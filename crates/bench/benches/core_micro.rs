@@ -1,0 +1,98 @@
+//! Core micro-benchmarks: compiler, pipeline, table lookup, interpreter,
+//! and entry expansion — the real-compute costs behind every experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mantis::apps::programs::DOS_P4R;
+use mantis::{p4r_lang, reaction_interp};
+use p4r_compiler::{compile_source, CompilerOptions};
+use rmt_sim::{Clock, PacketDesc, Switch, SwitchConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("core");
+    g.sample_size(30);
+
+    g.bench_function("compile_dos_p4r", |b| {
+        b.iter(|| compile_source(DOS_P4R, &CompilerOptions::default()).unwrap())
+    });
+
+    g.bench_function("parse_dos_p4r", |b| {
+        b.iter(|| p4r_lang::parse_program(DOS_P4R).unwrap())
+    });
+
+    // Packet-processing throughput through the compiled DoS pipeline.
+    {
+        let compiled = compile_source(DOS_P4R, &CompilerOptions::default()).unwrap();
+        let spec = rmt_sim::load(&compiled.p4).unwrap();
+        let mut sw = Switch::new(spec, SwitchConfig::default(), Clock::new());
+        let phv = PacketDesc::new(0)
+            .field("ethernet", "dst_addr", 0xD0)
+            .field("ipv4", "src_addr", 0x0a000001)
+            .payload(100)
+            .build(sw.spec());
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("ingress_pipeline_per_packet", |b| {
+            b.iter(|| sw.run_pipeline(phv.clone(), p4_ast::Pipeline::Ingress))
+        });
+    }
+
+    // Interpreter: one Figure-1-style reaction iteration.
+    {
+        let mut interp = reaction_interp::Interpreter::from_source(
+            r#"
+uint16_t current_max = 0, max_port = 0;
+for (int i = 1; i <= 10; ++i)
+    if (qdepths[i] > current_max) {
+        current_max = qdepths[i]; max_port = i;
+    }
+${v} = max_port;
+"#,
+        )
+        .unwrap();
+        let mut env = reaction_interp::MockEnv::default();
+        env.arrays.insert("qdepths".into(), (1, vec![5; 10]));
+        env.mbls.insert("v".into(), 0);
+        g.bench_function("interpreter_fig1_iteration", |b| {
+            b.iter(|| interp.run(&mut env).unwrap())
+        });
+    }
+
+    // Logical → physical entry expansion for a 2-alt malleable table.
+    {
+        let compiled = compile_source(
+            r#"
+header_type h_t { fields { a : 32; b : 32; } }
+header h_t h;
+malleable field x { width : 32; init : h.a; alts { h.a, h.b } }
+action use_x(v) { add(h.a, ${x}, v); }
+malleable table t {
+    reads { ${x} : exact; }
+    actions { use_x; }
+    size : 64;
+}
+control ingress { apply(t); }
+"#,
+            &CompilerOptions::default(),
+        )
+        .unwrap();
+        let info = compiled.iface.table("t").unwrap().clone();
+        g.bench_function("expand_entry_2alt", |b| {
+            b.iter(|| {
+                p4r_compiler::entry::expand_entry(
+                    &info,
+                    &[p4r_compiler::entry::LogicalKey::Exact(p4_ast::Value::new(
+                        7, 32,
+                    ))],
+                    "use_x",
+                    &[p4_ast::Value::new(1, 32)],
+                    0,
+                    Some(1),
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 10 — real compute cost of the raw measurement/update paths
+//! (virtual-time latencies are produced by `figures fig10a fig10b`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(20);
+
+    g.bench_function("fig10a_series", |b| b.iter(bench::fig10a));
+    g.bench_function("fig10b_series", |b| b.iter(bench::fig10b));
+    g.bench_function("dialogue_iteration", |b| {
+        b.iter_batched(
+            || {
+                let tb = mantis::Testbed::from_p4r(
+                    r#"
+header_type h_t { fields { a : 32; } }
+header h_t h;
+malleable value k { width : 32; init : 0; }
+action bump() { add_to_field(h.a, ${k}); }
+table t { actions { bump; } default_action : bump(); }
+reaction r(ing h.a) { ${k} = h_a; }
+control ingress { apply(t); }
+"#,
+                )
+                .unwrap();
+                tb.agent.borrow_mut().register_all_interpreted().unwrap();
+                tb
+            },
+            |tb| {
+                tb.agent.borrow_mut().run_iterations(10).unwrap();
+                tb
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

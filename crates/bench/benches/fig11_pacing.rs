@@ -1,0 +1,13 @@
+//! Fig. 11 — cost of producing the utilization/latency trade-off sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("pacing_sweep", |b| b.iter(bench::fig11));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Fig. 12 — legacy-operation contention experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("legacy_contention_400ops", |b| {
+        b.iter(|| bench::fig12(400, 11))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Fig. 13 — TCAM-usage sweeps (each point compiles a probe program).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("tcam_sweeps", |b| b.iter(bench::fig13));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

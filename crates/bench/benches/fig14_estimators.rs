@@ -1,0 +1,33 @@
+//! Fig. 14 — flow-size estimators over a CAIDA-like trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mantis::apps::baselines::*;
+
+fn bench(c: &mut Criterion) {
+    let trace = netsim::trace::generate(&netsim::trace::TraceConfig {
+        flows: 10_000,
+        duration_ns: 100_000_000,
+        seed: 7,
+        min_pkts_per_flow: 4.0,
+        ..Default::default()
+    });
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(trace.total_pkts()));
+    g.bench_function("mantis_estimator", |b| {
+        b.iter(|| evaluate(&mut MantisEstimator::new(10_000), &trace))
+    });
+    g.bench_function("sflow", |b| {
+        b.iter(|| evaluate(&mut SFlowEstimator::new(30_000), &trace))
+    });
+    g.bench_function("hash_table_8k", |b| {
+        b.iter(|| evaluate(&mut HashTableEstimator::new(8_192), &trace))
+    });
+    g.bench_function("count_min_2x8k", |b| {
+        b.iter(|| evaluate(&mut CountMinEstimator::new(2, 8_192), &trace))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

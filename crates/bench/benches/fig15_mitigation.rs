@@ -1,0 +1,22 @@
+//! Fig. 15 — the DoS mitigation scenario end-to-end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mantis::apps::dos::{run_mitigation, MitigationConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    g.bench_function("mitigation_scenario_50flows_2ms", |b| {
+        b.iter(|| {
+            run_mitigation(&MitigationConfig {
+                legit_flows: 50,
+                duration_ns: 2_000_000,
+                ..Default::default()
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

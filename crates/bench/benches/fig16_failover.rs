@@ -1,0 +1,25 @@
+//! Fig. 16 — gray-failure detection and route recomputation trials.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mantis::apps::failover::{run_trial, FailoverTrial};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16");
+    g.sample_size(10);
+    for td in [25_000u64, 50_000, 100_000] {
+        g.bench_function(format!("trial_td_{}us", td / 1000), |b| {
+            b.iter(|| {
+                run_trial(&FailoverTrial {
+                    td_ns: td,
+                    eta: 0.2,
+                    fail_at_ns: 1_000_000,
+                    fail_neighbor: 0,
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Table 1 — compiling all four use cases and computing their resources.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(20);
+    g.bench_function("all_rows", |b| b.iter(mantis::apps::table1::table1));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

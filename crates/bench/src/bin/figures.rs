@@ -1,0 +1,261 @@
+//! Regenerate every table and figure of the paper's evaluation (§8).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin figures -- all
+//! cargo run --release -p bench --bin figures -- fig10a fig13 table1
+//! ```
+//!
+//! Each figure prints a human-readable rendering and writes its raw series
+//! to `results/<name>.json`.
+
+use std::fs;
+use std::path::Path;
+
+const KNOWN: &[&str] = &[
+    "all", "fig10a", "fig10b", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table1",
+    "updates", "memo", "recirc", "ecmp", "rl",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let unknown: Vec<&String> = args
+        .iter()
+        .filter(|a| !KNOWN.contains(&a.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!(
+            "error: unknown figure name(s) {:?}; known: {}",
+            unknown,
+            KNOWN.join(", ")
+        );
+        std::process::exit(2);
+    }
+    let all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+    fs::create_dir_all("results").expect("create results/");
+
+    if want("fig10a") {
+        let series = bench::fig10a();
+        save("fig10a", &series);
+        println!("== Fig. 10a — measurement latency vs bytes read ==");
+        for s in &series {
+            println!("  {}", s.label);
+            for (x, y) in &s.points {
+                println!("    {:>6} B  {:>8.2} µs", x, y);
+            }
+        }
+        println!();
+    }
+
+    if want("fig10b") {
+        let series = bench::fig10b();
+        save("fig10b", &series);
+        println!("== Fig. 10b — update latency vs number of updates ==");
+        for s in &series {
+            println!("  {}", s.label);
+            for (x, y) in &s.points {
+                println!("    {:>4} updates  {:>9.2} µs", x, y);
+            }
+        }
+        println!();
+    }
+
+    if want("fig11") {
+        let s = bench::fig11();
+        save("fig11", &s);
+        println!("== Fig. 11 — CPU utilization vs reaction interval ==");
+        for (util, interval) in &s.points {
+            println!(
+                "    {:>6.1}% CPU  →  {:>8.1} µs between reactions",
+                util, interval
+            );
+        }
+        println!();
+    }
+
+    if want("fig12") {
+        let r = bench::fig12(400, 11);
+        save("fig12", &r);
+        println!("== Fig. 12 — concurrent legacy table update latency ==");
+        println!(
+            "    without Mantis: median {:>6.2} µs   p99 {:>6.2} µs",
+            r.without_median_us, r.without_p99_us
+        );
+        println!(
+            "    with Mantis:    median {:>6.2} µs   p99 {:>6.2} µs",
+            r.with_mantis_median_us, r.with_mantis_p99_us
+        );
+        println!(
+            "    overhead: median {:+.2}%  p99 {:+.2}%   (paper: 4.64% / 6.45%)",
+            r.median_overhead_pct, r.p99_overhead_pct
+        );
+        println!();
+    }
+
+    if want("fig13") {
+        let series = bench::fig13();
+        save("fig13", &series);
+        println!("== Fig. 13 — malleable-field TCAM usage ==");
+        for s in &series {
+            let pts: Vec<String> = s
+                .points
+                .iter()
+                .map(|(x, y)| format!("{x:.0}:{y:.1}KB"))
+                .collect();
+            println!("    {:<38} {}", s.label, pts.join("  "));
+        }
+        println!();
+    }
+
+    if want("fig14") {
+        // Scaled trace: 40 K flows (paper: 370 K) against proportionally
+        // scaled sketches; see DESIGN.md.
+        let r = bench::fig14(40_000, 7);
+        save("fig14", &r);
+        println!(
+            "== Fig. 14 — estimation error ({} flows, {} packets) ==",
+            r.trace_flows, r.trace_packets
+        );
+        for e in &r.estimators {
+            println!(
+                "    {:<22} mean rel err {:>8.3}   traffic-weighted {:>7.3}",
+                e.name, e.mean_rel_error, e.weighted_rel_error
+            );
+            let small = e.buckets.first().map(|(_, v)| *v).unwrap_or(0.0);
+            let large = e.buckets.last().map(|(_, v)| *v).unwrap_or(0.0);
+            println!(
+                "    {:<22} small flows {:>8.3}        large flows {:>8.3}",
+                "", small, large
+            );
+        }
+        println!();
+    }
+
+    if want("fig15") {
+        let r = bench::fig15();
+        save("fig15", &r);
+        println!("== Fig. 15 — DoS mitigation timeline ==");
+        println!(
+            "    mitigation latency: {} µs (paper: ~100 µs)",
+            r.mitigation_latency_ns.map(|v| v / 1000).unwrap_or(0)
+        );
+        for ((t, legit), (_, attacker)) in r.legit_goodput.iter().zip(r.attacker_goodput.iter()) {
+            println!(
+                "    {:>5} µs  legit {:>6.2} Gbps  attacker {:>6.2} Gbps",
+                t / 1000,
+                legit / 1e9,
+                attacker / 1e9
+            );
+        }
+        println!();
+    }
+
+    if want("fig16") {
+        let r = bench::fig16();
+        save("fig16", &r);
+        println!("== Fig. 16 — failover reaction time ==");
+        for (td, mean, min, max) in &r.by_td {
+            println!(
+                "    T_d = {:>4.0} µs: {:>6.1} µs mean ({:.1}..{:.1})",
+                td, mean, min, max
+            );
+        }
+        for (eta, t) in &r.by_eta {
+            println!("    η = {:.1}: {:>6.1} µs", eta, t);
+        }
+        println!();
+    }
+
+    if want("table1") {
+        let rows = bench::table1();
+        save("table1", &rows);
+        println!("== Table 1 — use-case resources ==");
+        print!("{}", mantis_apps::table1::render(&rows));
+        println!();
+    }
+
+    if want("updates") {
+        let rows = bench::update_protocols();
+        save("update_protocols", &rows);
+        println!("== §5.1.2 — two-phase vs Mantis update protocol ==");
+        for r in &rows {
+            println!(
+                "    config {:>5} entries, {:>3} changed: two-phase {:>9.1} µs (space ×{:.0})  \
+                 Mantis {:>7.1} µs (space ×{:.0})",
+                r.total_entries,
+                r.changed_entries,
+                r.two_phase_us,
+                r.two_phase_space_factor,
+                r.mantis_us,
+                r.mantis_space_factor
+            );
+        }
+        println!();
+    }
+
+    if want("memo") {
+        let r = bench::memoization_ablation();
+        save("memoization", &r);
+        println!("== §6 ablation — driver memoization ==");
+        println!(
+            "    first iteration {:.1} µs → steady state {:.1} µs ({:.2}× speedup)",
+            r.cold_iteration_us, r.warm_iteration_us, r.speedup
+        );
+        println!();
+    }
+
+    if want("recirc") {
+        let s = bench::recirc_penalty();
+        save("recirc", &s);
+        println!("== §2 — recirculation throughput penalty ==");
+        for (r, f) in &s.points {
+            println!(
+                "    {r:.0} recirculations → {:>5.1}% usable throughput",
+                f * 100.0
+            );
+        }
+        println!();
+    }
+
+    if want("ecmp") {
+        let r = bench::ecmp_experiment();
+        save(
+            "ecmp",
+            &serde_json::json!({
+                "imbalance_before": r.imbalance_before,
+                "imbalance_after": r.imbalance_after,
+                "first_shift_us": r.first_shift_ns.map(|t| t / 1000),
+                "final_counts": r.final_counts,
+            }),
+        );
+        println!("== §8.3.3 — hash polarization mitigation ==");
+        println!(
+            "    imbalance {:.2} → {:.2} after shifting at {:?} µs; final counts {:?}",
+            r.imbalance_before,
+            r.imbalance_after,
+            r.first_shift_ns.map(|t| t / 1000),
+            r.final_counts
+        );
+        println!();
+    }
+
+    if want("rl") {
+        let r = bench::rl_experiment();
+        save("rl", &r);
+        println!("== §8.3.4 — RL threshold tuning ==");
+        println!(
+            "    learned reward {:.3} → {:.3}",
+            r.learned_early, r.learned_late
+        );
+        for (t, reward) in &r.fixed {
+            println!("    fixed {:>6} B: {:.3}", t, reward);
+        }
+        println!();
+    }
+}
+
+fn save<T: serde::Serialize>(name: &str, value: &T) {
+    let path = Path::new("results").join(format!("{name}.json"));
+    fs::write(&path, bench::to_json(name, value)).expect("write figure data");
+    eprintln!("(wrote {})", path.display());
+}

@@ -1,0 +1,821 @@
+//! # bench
+//!
+//! The evaluation harness: one generator per table/figure of the paper's
+//! §8, shared by the `figures` binary (which prints the series and writes
+//! them to `results/`) and the Criterion benches (which measure the real
+//! compute cost of the same operations).
+//!
+//! | paper artifact | generator |
+//! |---|---|
+//! | Fig. 10a (measurement latency) | [`fig10a`] |
+//! | Fig. 10b (update latency) | [`fig10b`] |
+//! | Fig. 11 (CPU vs reaction time) | [`fig11`] |
+//! | Fig. 12 (legacy-op latency) | [`fig12`] |
+//! | Fig. 13 (malleable-field TCAM) | [`fig13`] |
+//! | Fig. 14 (estimation error) | [`fig14`] |
+//! | Fig. 15 (DoS mitigation timeline) | [`fig15`] |
+//! | Fig. 16 (failover reaction time) | [`fig16`] |
+//! | Table 1 (use-case resources) | [`table1`] |
+//! | §5.1.2 comparison (two-phase vs Mantis) | [`update_protocols`] |
+
+#![forbid(unsafe_code)]
+
+use mantis::apps::{baselines, dos, ecmp, failover, rl, table1 as t1};
+use mantis::{CostModel, Testbed};
+use p4_ast::Value;
+use p4r_compiler::entry::LogicalKey;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use serde_json::json;
+
+/// A generic labelled series: `(x, y)` points.
+#[derive(Clone, Debug, Serialize)]
+pub struct Series {
+    pub label: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 10a — measurement latency vs state size
+// ---------------------------------------------------------------------------
+
+/// Latency of measuring N bytes of data-plane state, for 32-bit field
+/// arguments (one packed register word each) and register-array arguments
+/// (one batched range read).
+pub fn fig10a() -> Vec<Series> {
+    let cost = CostModel::default();
+    let sizes = [4usize, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let fields = Series {
+        label: "field args (packed 32-bit words)".into(),
+        points: sizes
+            .iter()
+            .map(|b| (*b as f64, cost.field_read(b / 4) as f64 / 1000.0))
+            .collect(),
+    };
+    let regs = Series {
+        label: "register args (batched range read)".into(),
+        points: sizes
+            .iter()
+            .map(|b| (*b as f64, cost.register_read(*b) as f64 / 1000.0))
+            .collect(),
+    };
+    vec![fields, regs]
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 10b — update latency vs number of updates
+// ---------------------------------------------------------------------------
+
+/// A malleable-rich program for update microbenchmarks.
+const MICRO_P4R: &str = r#"
+header_type h_t { fields { a : 32; b : 32; } }
+header h_t h;
+malleable value k0 { width : 32; init : 0; }
+malleable value k1 { width : 32; init : 0; }
+malleable value k2 { width : 32; init : 0; }
+malleable value k3 { width : 32; init : 0; }
+action use_all() {
+    add_to_field(h.a, ${k0});
+    add_to_field(h.a, ${k1});
+    add_to_field(h.a, ${k2});
+    add_to_field(h.a, ${k3});
+}
+action fwd(port) { modify_field(intr.egress_spec, port); }
+action nop() { no_op(); }
+malleable table acl {
+    reads { h.b : exact; }
+    actions { fwd; nop; }
+    size : 4096;
+}
+table t { actions { use_all; } default_action : use_all(); }
+reaction spin(ing h.a) {
+    ${k0} = h_a + 1;
+}
+control ingress { apply(acl); apply(t); }
+"#;
+
+fn micro_testbed() -> Testbed {
+    let tb = Testbed::from_p4r(MICRO_P4R).expect("micro program");
+    // The paper's Fig. 11/12 loop updates a single malleable each
+    // iteration; register the program's reaction to reproduce that.
+    tb.agent
+        .borrow_mut()
+        .register_all_interpreted()
+        .expect("reaction registered");
+    // Warm the driver memo so measurements reflect the dialogue steady
+    // state (the paper's numbers are post-prologue).
+    tb.agent
+        .borrow_mut()
+        .user_init(|ctx| {
+            ctx.set_mbl("k0", 1)?;
+            ctx.table_add(
+                "acl",
+                vec![LogicalKey::Exact(Value::new(0xffff, 32))],
+                0,
+                "nop",
+                vec![],
+            )?;
+            Ok(())
+        })
+        .expect("warmup");
+    tb
+}
+
+/// Virtual-time latency of committing `n` scalar-malleable updates vs `n`
+/// table-entry modifications, measured on a live agent.
+pub fn fig10b() -> Vec<Series> {
+    let counts = [1usize, 2, 4, 8, 16, 32, 64];
+
+    // Scalar malleables: all writes fold into one init-table update.
+    let mut scalar_points = Vec::new();
+    for n in counts {
+        let tb = micro_testbed();
+        let mut agent = tb.agent.borrow_mut();
+        let t0 = agent.clock().now();
+        agent
+            .user_init(|ctx| {
+                for i in 0..n {
+                    ctx.set_mbl(["k0", "k1", "k2", "k3"][i % 4], i as i128)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        let dt = agent.clock().now() - t0;
+        scalar_points.push((n as f64, dt as f64 / 1000.0));
+    }
+
+    // Table entries: prepare + mirror per logical entry.
+    let mut table_points = Vec::new();
+    for n in counts {
+        let tb = micro_testbed();
+        let mut agent = tb.agent.borrow_mut();
+        let t0 = agent.clock().now();
+        agent
+            .user_init(|ctx| {
+                for i in 0..n {
+                    ctx.table_add(
+                        "acl",
+                        vec![LogicalKey::Exact(Value::new(i as u128, 32))],
+                        0,
+                        "fwd",
+                        vec![Value::new(2, 9)],
+                    )?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        let dt = agent.clock().now() - t0;
+        table_points.push((n as f64, dt as f64 / 1000.0));
+    }
+
+    vec![
+        Series {
+            label: "scalar malleables (values/fields)".into(),
+            points: scalar_points,
+        },
+        Series {
+            label: "malleable table entries".into(),
+            points: table_points,
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 11 — CPU utilization vs reaction time
+// ---------------------------------------------------------------------------
+
+/// Sweep `nanosleep` pacing: `(utilization %, mean reaction interval µs)`.
+pub fn fig11() -> Series {
+    let sleeps = [
+        0u64, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000,
+    ];
+    let mut points = Vec::new();
+    for sleep in sleeps {
+        let tb = micro_testbed();
+        let mut agent = tb.agent.borrow_mut();
+        let start = agent.clock().now();
+        let util = agent.run_paced(50, sleep).unwrap();
+        let span = agent.clock().now() - start;
+        let interval_us = span as f64 / 50.0 / 1000.0;
+        points.push((util * 100.0, interval_us));
+    }
+    Series {
+        label: "utilization (%) vs mean reaction interval (µs)".into(),
+        points,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 12 — concurrent legacy table update latency
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig12Result {
+    pub with_mantis_median_us: f64,
+    pub with_mantis_p99_us: f64,
+    pub without_median_us: f64,
+    pub without_p99_us: f64,
+    pub median_overhead_pct: f64,
+    pub p99_overhead_pct: f64,
+    pub latencies_with_us: Vec<f64>,
+}
+
+/// Legacy control-plane updates submitted from another core while the
+/// Mantis dialogue loop runs (or not). The distribution with Mantis is
+/// bimodal: most ops run immediately, some queue behind the agent's
+/// current driver operation.
+pub fn fig12(ops: usize, seed: u64) -> Fig12Result {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let arrivals: Vec<u64> = {
+        let mut t = 0u64;
+        (0..ops)
+            .map(|_| {
+                t += rng.gen_range(5_000..50_000);
+                t
+            })
+            .collect()
+    };
+
+    // Without Mantis: the driver is idle; each op costs its own time.
+    let base_cost = CostModel::default().table_update_ns;
+    let without: Vec<f64> = arrivals.iter().map(|_| base_cost as f64 / 1000.0).collect();
+
+    // With Mantis: run the busy loop and interleave the legacy submissions
+    // against the driver's busy window.
+    let tb = micro_testbed();
+    let mut agent = tb.agent.borrow_mut();
+    let mut with = Vec::new();
+    let mut next_arrival = 0usize;
+    while next_arrival < arrivals.len() {
+        agent.dialogue_iteration().unwrap();
+        let now = agent.clock().now();
+        while next_arrival < arrivals.len() && arrivals[next_arrival] <= now {
+            let at = arrivals[next_arrival];
+            let done = agent.driver_mut().legacy_table_update_at(at);
+            with.push((done - at) as f64 / 1000.0);
+            next_arrival += 1;
+        }
+    }
+
+    Fig12Result {
+        with_mantis_median_us: netsim::percentile(&with, 50.0),
+        with_mantis_p99_us: netsim::percentile(&with, 99.0),
+        without_median_us: netsim::percentile(&without, 50.0),
+        without_p99_us: netsim::percentile(&without, 99.0),
+        median_overhead_pct: (netsim::percentile(&with, 50.0) / netsim::percentile(&without, 50.0)
+            - 1.0)
+            * 100.0,
+        p99_overhead_pct: (netsim::percentile(&with, 99.0) / netsim::percentile(&without, 99.0)
+            - 1.0)
+            * 100.0,
+        latencies_with_us: with,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 13 — malleable-field TCAM usage
+// ---------------------------------------------------------------------------
+
+/// tblWriteX / tblReadX TCAM usage vs alternative count `A` (Fig. 13a) and
+/// field width `K` (Fig. 13b), at the paper's occupancies 512 and 1024.
+pub fn fig13() -> Vec<Series> {
+    let mut out = Vec::new();
+    // 13a: sweep A at K = 32.
+    for occupancy in [512u32, 1024] {
+        for (table, label) in [("wr", "tblWriteX"), ("rd", "tblReadX")] {
+            let mut points = Vec::new();
+            for a in 2..=8usize {
+                let bits = tcam_for(a, 32, table, occupancy);
+                points.push((a as f64, bits as f64 / 8.0 / 1024.0));
+            }
+            out.push(Series {
+                label: format!("13a {label} occ={occupancy} (A sweep, KB)"),
+                points,
+            });
+        }
+    }
+    // 13b: sweep K at A = 4.
+    for occupancy in [512u32, 1024] {
+        for (table, label) in [("wr", "tblWriteX"), ("rd", "tblReadX")] {
+            let mut points = Vec::new();
+            for k in [8u16, 16, 32, 48, 64] {
+                let bits = tcam_for(4, k, table, occupancy);
+                points.push((k as f64, bits as f64 / 8.0 / 1024.0));
+            }
+            out.push(Series {
+                label: format!("13b {label} occ={occupancy} (K sweep, KB)"),
+                points,
+            });
+        }
+    }
+    out
+}
+
+/// Build the Fig. 13 probe program: `tblWriteX` matches the 5-tuple
+/// (ternary) and writes `${x}`; `tblReadX` additionally matches `${x}`.
+fn tcam_for(alts: usize, width: u16, table: &str, occupancy: u32) -> u64 {
+    let alt_fields: Vec<String> = (0..alts).map(|i| format!("hdr.f{i}")).collect();
+    let field_decls: String = (0..alts)
+        .map(|i| format!("f{i} : {width};"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    let src = format!(
+        r#"
+header_type h_t {{
+    fields {{
+        {field_decls}
+        sip : 32; dip : 32; sport : 16; dport : 16; proto : 8;
+        out : {width};
+    }}
+}}
+header h_t hdr;
+malleable field x {{
+    width : {width}; init : hdr.f0;
+    alts {{ {alts_joined} }}
+}}
+action write_x(v) {{ modify_field(${{x}}, v); }}
+action read_x() {{ modify_field(hdr.out, ${{x}}); }}
+malleable table wr {{
+    reads {{
+        hdr.sip : ternary; hdr.dip : ternary;
+        hdr.sport : ternary; hdr.dport : ternary; hdr.proto : ternary;
+    }}
+    actions {{ write_x; }}
+    size : {occupancy};
+}}
+malleable table rd {{
+    reads {{
+        hdr.sip : ternary; hdr.dip : ternary;
+        hdr.sport : ternary; hdr.dport : ternary; hdr.proto : ternary;
+        ${{x}} : exact;
+    }}
+    actions {{ read_x; }}
+    size : {occupancy};
+}}
+control ingress {{ apply(wr); apply(rd); }}
+"#,
+        alts_joined = alt_fields.join(", "),
+    );
+    let compiled = p4r_compiler::compile_source(&src, &p4r_compiler::CompilerOptions::default())
+        .expect("fig13 probe compiles");
+    let action = if table == "wr" { "write_x" } else { "read_x" };
+    p4r_compiler::resources::tcam_usage_bits(
+        &compiled.p4,
+        &compiled.iface,
+        table,
+        action,
+        occupancy,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 14 — flow size estimation error
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig14Result {
+    pub trace_flows: usize,
+    pub trace_packets: u64,
+    pub estimators: Vec<EstimatorProfile>,
+}
+
+#[derive(Clone, Debug, Serialize)]
+pub struct EstimatorProfile {
+    pub name: String,
+    /// `(flow size upper bound bytes, mean relative error)`.
+    pub buckets: Vec<(u64, f64)>,
+    pub mean_rel_error: f64,
+    pub weighted_rel_error: f64,
+}
+
+/// Run all Fig. 14 estimators over a scaled CAIDA-like trace.
+///
+/// Scaling: the paper's block has ~370 K flows against 8 K/16 K-counter
+/// sketches (≈45×/23× oversubscription); we default to 40 K flows against
+/// 1 K/2 K counters to preserve the ratios (see DESIGN.md).
+pub fn fig14(flows: usize, seed: u64) -> Fig14Result {
+    let trace = netsim::trace::generate(&netsim::trace::TraceConfig {
+        flows,
+        duration_ns: 200_000_000,
+        seed,
+        min_pkts_per_flow: 4.0,
+        ..Default::default()
+    });
+    let cms_small = flows / 40; // ≈ paper's 8 K for 370 K flows
+    let cms_large = flows / 20; // ≈ paper's 16 K
+    let mut estimators: Vec<Box<dyn baselines::FlowEstimator>> = vec![
+        Box::new(baselines::MantisEstimator::new(10_000)),
+        Box::new(baselines::SFlowEstimator::new(30_000)),
+        Box::new(baselines::HashTableEstimator::new(cms_small)),
+        Box::new(baselines::HashTableEstimator::new(cms_large)),
+        Box::new(baselines::CountMinEstimator::new(2, cms_small)),
+        Box::new(baselines::CountMinEstimator::new(2, cms_large)),
+    ];
+    let labels = [
+        "mantis (10µs loop)".to_string(),
+        "sflow 1:30000".to_string(),
+        format!("hash table {cms_small}"),
+        format!("hash table {cms_large}"),
+        format!("count-min 2x{cms_small}"),
+        format!("count-min 2x{cms_large}"),
+    ];
+    let profiles = estimators
+        .iter_mut()
+        .zip(labels)
+        .map(|(est, label)| {
+            let r = baselines::evaluate(est.as_mut(), &trace);
+            EstimatorProfile {
+                name: label,
+                buckets: r
+                    .buckets
+                    .iter()
+                    .map(|b| (b.upper_bytes, b.mean_rel_error))
+                    .collect(),
+                mean_rel_error: r.mean_rel_error,
+                weighted_rel_error: r.weighted_rel_error,
+            }
+        })
+        .collect();
+    Fig14Result {
+        trace_flows: flows,
+        trace_packets: trace.total_pkts(),
+        estimators: profiles,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 15 / Fig. 16 / Table 1 — re-exported runners
+// ---------------------------------------------------------------------------
+
+pub fn fig15() -> dos::MitigationResult {
+    dos::run_mitigation(&dos::MitigationConfig::default())
+}
+
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig16Result {
+    /// `(T_d µs, mean µs, min µs, max µs)` over failure phases.
+    pub by_td: Vec<(f64, f64, f64, f64)>,
+    /// `(η, reaction µs)`.
+    pub by_eta: Vec<(f64, f64)>,
+}
+
+pub fn fig16() -> Fig16Result {
+    let mut by_td = Vec::new();
+    for td in [25_000u64, 50_000, 100_000] {
+        let mut times = Vec::new();
+        for phase in 0..8 {
+            let out = failover::run_trial(&failover::FailoverTrial {
+                td_ns: td,
+                eta: 0.2,
+                fail_at_ns: 1_000_000 + phase * td / 8,
+                fail_neighbor: (phase % 4) as usize,
+            });
+            times.push(out.reaction_time_ns as f64 / 1000.0);
+        }
+        by_td.push((
+            td as f64 / 1000.0,
+            netsim::mean(&times),
+            times.iter().cloned().fold(f64::MAX, f64::min),
+            times.iter().cloned().fold(f64::MIN, f64::max),
+        ));
+    }
+    let mut by_eta = Vec::new();
+    for eta in [0.2, 0.4, 0.6, 0.8] {
+        let out = failover::run_trial(&failover::FailoverTrial {
+            td_ns: 50_000,
+            eta,
+            fail_at_ns: 1_000_000,
+            fail_neighbor: 0,
+        });
+        by_eta.push((eta, out.reaction_time_ns as f64 / 1000.0));
+    }
+    Fig16Result { by_td, by_eta }
+}
+
+pub fn table1() -> Vec<t1::Table1Row> {
+    t1::table1()
+}
+
+// ---------------------------------------------------------------------------
+// §5.1.2 — update protocol comparison (design-choice ablation)
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, Serialize)]
+pub struct UpdateProtocolRow {
+    pub total_entries: u64,
+    pub changed_entries: u64,
+    pub two_phase_us: f64,
+    pub mantis_us: f64,
+    pub two_phase_space_factor: f64,
+    pub mantis_space_factor: f64,
+}
+
+/// Compare Reitblatt-style two-phase updates against Mantis's three-phase
+/// protocol across configuration sizes.
+pub fn update_protocols() -> Vec<UpdateProtocolRow> {
+    let tp = baselines::TwoPhaseUpdater::default();
+    let flip = CostModel::default().init_update_ns;
+    [(64u64, 1u64), (256, 1), (1024, 1), (1024, 16), (4096, 16)]
+        .iter()
+        .map(|(total, changed)| UpdateProtocolRow {
+            total_entries: *total,
+            changed_entries: *changed,
+            two_phase_us: tp.update_latency_ns(*total, *changed) as f64 / 1000.0,
+            mantis_us: tp.mantis_latency_ns(*total, *changed, flip) as f64 / 1000.0,
+            // Mantis keeps exactly two copies, always.
+            two_phase_space_factor: tp.space_factor(50_000),
+            mantis_space_factor: 2.0,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Extra runners for the ECMP / RL sections
+// ---------------------------------------------------------------------------
+
+pub fn ecmp_experiment() -> ecmp::RebalanceResult {
+    ecmp::run_rebalance(256, 4_000_000, 200_000)
+}
+
+#[derive(Clone, Debug, Serialize)]
+pub struct RlExperiment {
+    pub learned_early: f64,
+    pub learned_late: f64,
+    pub fixed: Vec<(u32, f64)>,
+}
+
+pub fn rl_experiment() -> RlExperiment {
+    let learned = rl::run_training(20_000_000, 100_000, 7);
+    let fixed = [2_000u32, 10_000, 20_000, 40_000, 80_000]
+        .iter()
+        .map(|t| {
+            (
+                *t,
+                rl::run_fixed_threshold(20_000_000, 100_000, *t).late_reward,
+            )
+        })
+        .collect();
+    RlExperiment {
+        learned_early: learned.early_reward,
+        learned_late: learned.late_reward,
+        fixed,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §6 ablation — driver memoization
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, Serialize)]
+pub struct MemoAblation {
+    /// First dialogue iteration (cold driver: device instructions computed
+    /// on the fly).
+    pub cold_iteration_us: f64,
+    /// Steady-state iteration with memoized instructions.
+    pub warm_iteration_us: f64,
+    pub speedup: f64,
+}
+
+/// Quantify the §6 design choice: "caching/memoization of device
+/// instructions ... is particularly important for speeding up mv updates".
+/// The first touch of each table computes device instructions; repeated
+/// interactions reuse them.
+pub fn memoization_ablation() -> MemoAblation {
+    let tb = Testbed::from_p4r(MICRO_P4R).expect("micro program");
+    let mut agent = tb.agent.borrow_mut();
+    let mut entry_commit_us = |n: u128| {
+        let t0 = agent.clock().now();
+        agent
+            .user_init(move |ctx| {
+                ctx.table_add(
+                    "acl",
+                    vec![LogicalKey::Exact(Value::new(n, 32))],
+                    0,
+                    "nop",
+                    vec![],
+                )?;
+                Ok(())
+            })
+            .unwrap();
+        (agent.clock().now() - t0) as f64 / 1000.0
+    };
+    let cold = entry_commit_us(1);
+    entry_commit_us(2);
+    let warm = entry_commit_us(3);
+    MemoAblation {
+        cold_iteration_us: cold,
+        warm_iteration_us: warm,
+        speedup: cold / warm.max(1e-9),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §2 motivation — recirculation throughput penalty
+// ---------------------------------------------------------------------------
+
+/// Measure the usable-throughput penalty of recirculation (§2: "the most
+/// direct way to circumvent the data plane limitations"): a program that
+/// recirculates every packet `r` times consumes `r+1` pipeline passes per
+/// delivered packet. The paper cites 38% usable throughput at two
+/// recirculations and 16% at three (from \[51], whose numbers fold in
+/// port-configuration specifics); our pipeline-pass model yields the same
+/// steeply decreasing shape at 1/(r+1).
+pub fn recirc_penalty() -> Series {
+    let mut points = Vec::new();
+    for r in 0..=3u64 {
+        let src = format!(
+            r#"
+header_type h_t {{ fields {{ a : 32; }} }}
+header h_t h;
+action deliver() {{ modify_field(intr.egress_spec, 2); }}
+action again() {{ modify_field(intr.egress_spec, 68); }}
+table out {{ actions {{ deliver; }} default_action : deliver(); }}
+table back {{ actions {{ again; }} default_action : again(); }}
+control ingress {{
+    if (intr.recirc_count < {r}) {{
+        apply(back);
+    }} else {{
+        apply(out);
+    }}
+}}
+"#
+        );
+        let clock = rmt_sim::Clock::new();
+        let mut sw =
+            rmt_sim::switch_from_source(&src, rmt_sim::SwitchConfig::default(), clock.clone())
+                .unwrap();
+        let n = 500u64;
+        for i in 0..n {
+            sw.inject(
+                &rmt_sim::PacketDesc::new(0)
+                    .field("h", "a", i as u128)
+                    .payload(100),
+            );
+        }
+        clock.advance(10_000_000);
+        sw.pump();
+        let delivered = sw.stats.tx;
+        let pipeline_passes = sw.stats.rx + sw.stats.recirculated;
+        points.push((r as f64, delivered as f64 / pipeline_passes as f64));
+    }
+    Series {
+        label: "usable throughput fraction vs recirculations per packet".into(),
+        points,
+    }
+}
+
+/// Serialize any figure payload to pretty JSON.
+pub fn to_json<T: Serialize>(name: &str, value: &T) -> String {
+    serde_json::to_string_pretty(&json!({ "figure": name, "data": value }))
+        .expect("figure data serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10a_shapes() {
+        let series = fig10a();
+        let fields = &series[0].points;
+        let regs = &series[1].points;
+        // Field reads scale linearly with words; register reads stay
+        // cheap per byte: at 1 KiB the gap is large.
+        assert!(fields.last().unwrap().1 > regs.last().unwrap().1 * 5.0);
+        // Both are monotone.
+        for s in &series {
+            assert!(s.points.windows(2).all(|w| w[0].1 <= w[1].1));
+        }
+    }
+
+    #[test]
+    fn fig10b_scalar_constant_table_linear() {
+        let series = fig10b();
+        let scalar = &series[0].points;
+        let table = &series[1].points;
+        // Scalars: one init-table update regardless of count.
+        let (first, last) = (scalar.first().unwrap().1, scalar.last().unwrap().1);
+        assert!(
+            (last - first).abs() < first * 0.25,
+            "scalar not constant: {first} vs {last}"
+        );
+        // Tables: 64 entries cost much more than 1.
+        assert!(table.last().unwrap().1 > table.first().unwrap().1 * 20.0);
+    }
+
+    #[test]
+    fn fig11_tradeoff_monotone() {
+        let s = fig11();
+        // More sleep → lower utilization, higher interval.
+        let utils: Vec<f64> = s.points.iter().map(|(u, _)| *u).collect();
+        assert!(utils.first().unwrap() > &99.0);
+        assert!(utils.last().unwrap() < &10.0);
+        // The paper's claim: at ~20% utilization the reaction interval is
+        // still 10s of µs.
+        let near20 = s
+            .points
+            .iter()
+            .min_by(|a, b| (a.0 - 20.0).abs().partial_cmp(&(b.0 - 20.0).abs()).unwrap())
+            .unwrap();
+        assert!(near20.1 < 100.0, "interval at ~20% util: {} µs", near20.1);
+    }
+
+    #[test]
+    fn fig12_overhead_small_and_bimodal() {
+        let r = fig12(400, 11);
+        // The paper: median within 4.64%, p99 within 6.45%.
+        assert!(
+            r.median_overhead_pct.abs() < 5.0,
+            "median overhead {}%",
+            r.median_overhead_pct
+        );
+        assert!(
+            r.p99_overhead_pct < 10.0,
+            "p99 overhead {}%",
+            r.p99_overhead_pct
+        );
+        // Bimodal: most ops unblocked (minimum = base cost), some queued
+        // behind a device-lock critical section (≤ 0.3 µs residual).
+        let min = r.latencies_with_us.iter().cloned().fold(f64::MAX, f64::min);
+        let max = r.latencies_with_us.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > min + 0.05, "no queueing tail: {min}..{max}");
+        assert!(max <= min + 0.35, "tail too long: {min}..{max}");
+        let blocked = r
+            .latencies_with_us
+            .iter()
+            .filter(|l| **l > min + 0.01)
+            .count();
+        assert!(blocked > 0 && blocked < r.latencies_with_us.len() / 2);
+    }
+
+    #[test]
+    fn fig13_write_linear_read_superlinear() {
+        let series = fig13();
+        let wr = series
+            .iter()
+            .find(|s| s.label.contains("13a tblWriteX occ=512"))
+            .unwrap();
+        let rd = series
+            .iter()
+            .find(|s| s.label.contains("13a tblReadX occ=512"))
+            .unwrap();
+        // Write: usage at A=8 ≈ 4× usage at A=2 (linear in A).
+        let w2 = wr.points[0].1;
+        let w8 = wr.points.last().unwrap().1;
+        assert!(w8 / w2 > 3.0 && w8 / w2 < 6.0, "write ratio {}", w8 / w2);
+        // Read: asymptotically quadratic → grows faster than write.
+        let r2 = rd.points[0].1;
+        let r8 = rd.points.last().unwrap().1;
+        assert!(r8 / r2 > w8 / w2, "read {} vs write {}", r8 / r2, w8 / w2);
+        // 13b: write constant in K, read linear in K.
+        let wrk = series
+            .iter()
+            .find(|s| s.label.contains("13b tblWriteX occ=512"))
+            .unwrap();
+        let rdk = series
+            .iter()
+            .find(|s| s.label.contains("13b tblReadX occ=512"))
+            .unwrap();
+        let wr_growth = wrk.points.last().unwrap().1 / wrk.points[0].1;
+        let rd_growth = rdk.points.last().unwrap().1 / rdk.points[0].1;
+        assert!(wr_growth < 1.05, "write grows with K: {wr_growth}");
+        assert!(rd_growth > 1.5, "read flat in K: {rd_growth}");
+        // Occupancy 1024 doubles 512.
+        let wr1024 = series
+            .iter()
+            .find(|s| s.label.contains("13a tblWriteX occ=1024"))
+            .unwrap();
+        assert!((wr1024.points[0].1 / wr.points[0].1 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn memoization_speeds_up_repeat_updates() {
+        let r = memoization_ablation();
+        assert!(
+            r.speedup > 1.2,
+            "memoization had no effect: cold {} warm {}",
+            r.cold_iteration_us,
+            r.warm_iteration_us
+        );
+    }
+
+    #[test]
+    fn recirc_penalty_decreases_steeply() {
+        let s = recirc_penalty();
+        let f: Vec<f64> = s.points.iter().map(|(_, y)| *y).collect();
+        assert!((f[0] - 1.0).abs() < 1e-9);
+        // 1/(r+1): 100%, 50%, 33%, 25% — monotone and below half by r=2,
+        // the §2 story ([51] reports 38%/16% on hardware).
+        assert!((f[1] - 0.5).abs() < 0.02, "{f:?}");
+        assert!(f[2] < 0.40 && f[3] < f[2], "{f:?}");
+    }
+
+    #[test]
+    fn update_protocol_rows_favor_mantis() {
+        for row in update_protocols() {
+            assert!(row.two_phase_us > row.mantis_us);
+            assert!(row.mantis_space_factor <= row.two_phase_space_factor);
+        }
+    }
+}

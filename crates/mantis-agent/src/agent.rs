@@ -1,0 +1,1092 @@
+//! The Mantis agent: prologue + dialogue loop (§6) with per-pipeline
+//! serializable isolation of measurements, malleable updates, and packet
+//! processing (§5).
+//!
+//! One dialogue iteration follows the paper's control flow exactly:
+//!
+//! ```text
+//! updateTable(memo, "p4r_init_", {measure_ver : mv ^ 1});
+//! read_measurements(memo, mv); mv ^= 1;
+//! run_user_reaction(memo, helper_state, vv ^ 1);   // stages updates
+//! updateTable(memo, "p4r_init_", {config_ver : vv ^ 1});   // commit
+//! fill_shadow_tables(memo, vv); vv ^= 1;           // mirror
+//! ```
+
+use crate::costmodel::CostModel;
+use crate::ctx::{CtxError, ReactionCtx, Snapshot};
+use crate::driver::MantisDriver;
+use crate::logical::{LogicalEntry, LogicalTable, Staged, StagedOp};
+use p4_ast::MatchKind;
+use p4_ast::Value;
+use p4r_compiler::entry::{expand_entry, ExpandError, PhysEntry, PhysKey};
+use p4r_compiler::iface::{ControlInterface, ReactionBinding};
+use p4r_compiler::Compiled;
+use reaction_interp::{InterpError, Interpreter};
+use rmt_sim::{Clock, DriverError, EntryHandle, KeyField, Nanos, Switch, TableId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Agent errors.
+#[derive(Debug)]
+pub enum AgentError {
+    Driver(DriverError),
+    Expand(ExpandError),
+    Ctx(CtxError),
+    Interp(InterpError),
+    UnknownReaction(String),
+    UnknownTable(String),
+    MissingEntry { table: String, handle: u64 },
+    NotCompiledWithReaction(String),
+}
+
+impl fmt::Display for AgentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgentError::Driver(e) => write!(f, "driver: {e}"),
+            AgentError::Expand(e) => write!(f, "entry expansion: {e}"),
+            AgentError::Ctx(e) => write!(f, "reaction context: {e}"),
+            AgentError::Interp(e) => write!(f, "reaction execution: {e}"),
+            AgentError::UnknownReaction(n) => write!(f, "unknown reaction `{n}`"),
+            AgentError::UnknownTable(n) => write!(f, "unknown table `{n}`"),
+            AgentError::MissingEntry { table, handle } => {
+                write!(f, "no logical entry {handle} in `{table}`")
+            }
+            AgentError::NotCompiledWithReaction(n) => {
+                write!(f, "program has no reaction named `{n}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AgentError {}
+
+impl From<DriverError> for AgentError {
+    fn from(e: DriverError) -> Self {
+        AgentError::Driver(e)
+    }
+}
+impl From<ExpandError> for AgentError {
+    fn from(e: ExpandError) -> Self {
+        AgentError::Expand(e)
+    }
+}
+impl From<CtxError> for AgentError {
+    fn from(e: CtxError) -> Self {
+        AgentError::Ctx(e)
+    }
+}
+impl From<InterpError> for AgentError {
+    fn from(e: InterpError) -> Self {
+        AgentError::Interp(e)
+    }
+}
+
+/// A native (Rust) reaction — the fast path the paper implements as
+/// compiled C; used by the heavy use-case workloads.
+pub trait NativeReaction {
+    fn react(&mut self, ctx: &mut ReactionCtx<'_>) -> Result<(), CtxError>;
+}
+
+impl<F> NativeReaction for F
+where
+    F: FnMut(&mut ReactionCtx<'_>) -> Result<(), CtxError>,
+{
+    fn react(&mut self, ctx: &mut ReactionCtx<'_>) -> Result<(), CtxError> {
+        self(ctx)
+    }
+}
+
+enum ReactionImpl {
+    Interpreted(Interpreter),
+    Native(Box<dyn NativeReaction>),
+}
+
+impl fmt::Debug for ReactionImpl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReactionImpl::Interpreted(_) => write!(f, "Interpreted"),
+            ReactionImpl::Native(_) => write!(f, "Native"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RegisteredReaction {
+    name: String,
+    binding: ReactionBinding,
+    imp: ReactionImpl,
+}
+
+/// Control-plane cache for one measured register slice (§5.2): holds the
+/// freshest value per entry, refreshed only when the write counter moved.
+#[derive(Clone, Debug)]
+struct RegCache {
+    vals: Vec<i128>,
+    ts_seen: [Vec<u64>; 2],
+}
+
+/// Extra (non-master) init table runtime state.
+#[derive(Clone, Debug)]
+struct ExtraInit {
+    table_id: TableId,
+    action: rmt_sim::ActionId,
+    data: Vec<Value>,
+    /// Entry handles for vv=0 and vv=1.
+    handles: [EntryHandle; 2],
+}
+
+/// Slot placement metadata.
+#[derive(Clone, Debug)]
+struct SlotLoc {
+    init_table: usize,
+    param_idx: usize,
+    width: u16,
+}
+
+/// Per-iteration timing report.
+#[derive(Clone, Debug, Default)]
+pub struct IterationReport {
+    pub duration_ns: Nanos,
+    pub measure_ns: Nanos,
+    pub react_ns: Nanos,
+    pub update_ns: Nanos,
+    pub staged_table_ops: usize,
+}
+
+/// Cumulative agent statistics.
+#[derive(Clone, Debug, Default)]
+pub struct AgentStats {
+    pub iterations: u64,
+    pub busy_ns: Nanos,
+    pub last: IterationReport,
+}
+
+/// The Mantis control-plane agent.
+pub struct MantisAgent {
+    switch: Rc<RefCell<Switch>>,
+    pub iface: ControlInterface,
+    driver: MantisDriver,
+    clock: Clock,
+    vv: u8,
+    mv: u8,
+    /// Current master init action data ([vv, mv, bin-0 slots...]).
+    master_data: Vec<Value>,
+    master_table: TableId,
+    master_action: rmt_sim::ActionId,
+    extra_inits: Vec<ExtraInit>,
+    /// Committed slot values (values: raw; fields: alt index).
+    slots: HashMap<String, i128>,
+    slot_locs: HashMap<String, SlotLoc>,
+    tables: HashMap<String, LogicalTable>,
+    action_arity: HashMap<String, usize>,
+    reg_caches: HashMap<(String, String), RegCache>,
+    snapshots: HashMap<String, Snapshot>,
+    reactions: Vec<RegisteredReaction>,
+    staged: Staged,
+    pub stats: AgentStats,
+    prologue_done: bool,
+}
+
+impl fmt::Debug for MantisAgent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MantisAgent")
+            .field("vv", &self.vv)
+            .field("mv", &self.mv)
+            .field("reactions", &self.reactions.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl MantisAgent {
+    /// Create an agent for a compiled program running on `switch`.
+    ///
+    /// # Panics
+    /// Panics if the switch was not loaded with the same compiled program
+    /// (tables/actions referenced by the interface must exist).
+    pub fn new(switch: Rc<RefCell<Switch>>, compiled: &Compiled, cost: CostModel) -> Self {
+        let iface = compiled.iface.clone();
+        let clock = switch.borrow().clock().clone();
+        let driver = MantisDriver::new(cost, clock.clone());
+
+        let (master_table, master_action, master_data, slot_locs, slots, extra_ids);
+        {
+            let sw = switch.borrow();
+            let master = iface
+                .master_init()
+                .expect("compiled programs have a master init");
+            master_table = sw
+                .table_id(&master.table)
+                .expect("master init table missing from switch");
+            master_action = sw
+                .action_id(&master.action)
+                .expect("master init action missing from switch");
+
+            // Slot placement + initial values.
+            let mut locs = HashMap::new();
+            let mut vals = HashMap::new();
+            for v in &iface.values {
+                locs.insert(
+                    v.name.clone(),
+                    SlotLoc {
+                        init_table: v.init_table,
+                        param_idx: v.param_idx,
+                        width: v.width,
+                    },
+                );
+                vals.insert(v.name.clone(), v.init.bits() as i128);
+            }
+            for fslot in &iface.fields {
+                locs.insert(
+                    fslot.name.clone(),
+                    SlotLoc {
+                        init_table: fslot.init_table,
+                        param_idx: fslot.param_idx,
+                        width: fslot.selector_bits,
+                    },
+                );
+                vals.insert(fslot.name.clone(), fslot.init_index as i128);
+            }
+            slot_locs = locs;
+            slots = vals;
+
+            // Build initial data vectors per init table.
+            let mut datas: Vec<Vec<Value>> = iface
+                .init_tables
+                .iter()
+                .map(|it| {
+                    it.param_widths
+                        .iter()
+                        .map(|w| Value::zero(*w))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            // vv=1, mv=0 in the master.
+            datas[0][0] = Value::new(1, 1);
+            datas[0][1] = Value::zero(1);
+            for (name, loc) in &slot_locs {
+                let v = slots[name];
+                datas[loc.init_table][loc.param_idx] = Value::new(v as u128, loc.width);
+            }
+            master_data = datas[0].clone();
+            extra_ids = datas;
+        }
+
+        // Resolve extra init tables (entries installed during prologue).
+        let mut extra_inits = Vec::new();
+        {
+            let sw = switch.borrow();
+            for (i, it) in iface.init_tables.iter().enumerate() {
+                if it.is_master {
+                    continue;
+                }
+                extra_inits.push(ExtraInit {
+                    table_id: sw.table_id(&it.table).expect("extra init table missing"),
+                    action: sw.action_id(&it.action).expect("extra init action missing"),
+                    data: extra_ids[i].clone(),
+                    handles: [EntryHandle(0), EntryHandle(0)],
+                });
+            }
+        }
+
+        // Logical tables for user-facing (non-init) tables.
+        let mut tables = HashMap::new();
+        {
+            let sw = switch.borrow();
+            for t in &iface.tables {
+                if t.name.starts_with("p4r_init") {
+                    continue;
+                }
+                let id = sw
+                    .table_id(&t.name)
+                    .unwrap_or_else(|_| panic!("table `{}` missing from switch", t.name));
+                tables.insert(t.name.clone(), LogicalTable::new(t.name.clone(), id));
+            }
+        }
+
+        // Action arity map (variant name → parameter count).
+        let mut action_arity = HashMap::new();
+        {
+            let sw = switch.borrow();
+            let spec = sw.spec();
+            for a in &spec.actions {
+                action_arity.insert(a.name.clone(), a.param_widths.len());
+            }
+        }
+
+        MantisAgent {
+            switch,
+            iface,
+            driver,
+            clock,
+            vv: 1,
+            mv: 0,
+            master_data,
+            master_table,
+            master_action,
+            extra_inits,
+            slots,
+            slot_locs,
+            tables,
+            action_arity,
+            reg_caches: HashMap::new(),
+            snapshots: HashMap::new(),
+            reactions: Vec::new(),
+            staged: Staged::default(),
+            stats: AgentStats::default(),
+            prologue_done: false,
+        }
+    }
+
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    pub fn driver(&self) -> &MantisDriver {
+        &self.driver
+    }
+
+    pub fn driver_mut(&mut self) -> &mut MantisDriver {
+        &mut self.driver
+    }
+
+    pub fn vv(&self) -> u8 {
+        self.vv
+    }
+
+    pub fn mv(&self) -> u8 {
+        self.mv
+    }
+
+    /// Committed value of a malleable (value: raw; field: alt index).
+    pub fn slot(&self, name: &str) -> Option<i128> {
+        self.slots.get(name).copied()
+    }
+
+    /// Number of logical entries in a malleable table.
+    pub fn logical_len(&self, table: &str) -> Option<usize> {
+        self.tables.get(table).map(|t| t.len())
+    }
+
+    // -- registration ----------------------------------------------------------
+
+    /// Register a reaction to run its compiled C-like body in the
+    /// interpreter.
+    pub fn register_interpreted(&mut self, name: &str) -> Result<(), AgentError> {
+        let binding = self
+            .iface
+            .reaction(name)
+            .cloned()
+            .ok_or_else(|| AgentError::NotCompiledWithReaction(name.to_string()))?;
+        let interp = Interpreter::from_source(&binding.body_src)
+            .map_err(|e| AgentError::Interp(InterpError::Env(e.to_string())))?;
+        self.reactions.push(RegisteredReaction {
+            name: name.to_string(),
+            binding,
+            imp: ReactionImpl::Interpreted(interp),
+        });
+        Ok(())
+    }
+
+    /// Register every reaction in the program with the interpreter.
+    pub fn register_all_interpreted(&mut self) -> Result<(), AgentError> {
+        for name in self
+            .iface
+            .reactions
+            .iter()
+            .map(|r| r.name.clone())
+            .collect::<Vec<_>>()
+        {
+            self.register_interpreted(&name)?;
+        }
+        Ok(())
+    }
+
+    /// Register a native Rust implementation for a reaction declared in the
+    /// program (its args/measurements come from the declaration).
+    pub fn register_native(
+        &mut self,
+        name: &str,
+        imp: Box<dyn NativeReaction>,
+    ) -> Result<(), AgentError> {
+        let binding = self
+            .iface
+            .reaction(name)
+            .cloned()
+            .ok_or_else(|| AgentError::NotCompiledWithReaction(name.to_string()))?;
+        self.reactions.push(RegisteredReaction {
+            name: name.to_string(),
+            binding,
+            imp: ReactionImpl::Native(imp),
+        });
+        Ok(())
+    }
+
+    /// Swap a reaction implementation at runtime (the paper's dynamic
+    /// `.so` reload). `reset_state` clears interpreted statics.
+    pub fn swap_reaction(
+        &mut self,
+        name: &str,
+        imp: Box<dyn NativeReaction>,
+        _reset_state: bool,
+    ) -> Result<(), AgentError> {
+        let r = self
+            .reactions
+            .iter_mut()
+            .find(|r| r.name == name)
+            .ok_or_else(|| AgentError::UnknownReaction(name.to_string()))?;
+        r.imp = ReactionImpl::Native(imp);
+        Ok(())
+    }
+
+    // -- prologue ---------------------------------------------------------------
+
+    /// The prologue phase: precompute metadata, install static entries,
+    /// initialize init tables, warm the driver memo.
+    pub fn prologue(&mut self) -> Result<(), AgentError> {
+        let switch = self.switch.clone();
+        let mut sw = switch.borrow_mut();
+
+        // Master init configuration.
+        self.driver.table_set_default(
+            &mut sw,
+            self.master_table,
+            self.master_action,
+            self.master_data.clone(),
+            true,
+        )?;
+
+        // Extra init tables: one entry per vv value.
+        for ei in &mut self.extra_inits {
+            for vvbit in 0..2u8 {
+                let h = self.driver.table_add(
+                    &mut sw,
+                    ei.table_id,
+                    vec![KeyField::Exact(Value::new(u128::from(vvbit), 1))],
+                    0,
+                    ei.action,
+                    ei.data.clone(),
+                )?;
+                ei.handles[vvbit as usize] = h;
+            }
+        }
+
+        // Load tables for the field-list optimization.
+        for pe in self.iface.prologue_entries.clone() {
+            let tid = sw.table_id(&pe.table)?;
+            let aid = sw.action_id(&pe.action)?;
+            self.driver.table_add(
+                &mut sw,
+                tid,
+                vec![KeyField::Exact(Value::new(u128::from(pe.selector), 16))],
+                0,
+                aid,
+                vec![],
+            )?;
+        }
+        self.prologue_done = true;
+        Ok(())
+    }
+
+    /// Run user initialization: stage updates in a closure, then apply them
+    /// with the full serializable sequence (no measurement).
+    pub fn user_init<F>(&mut self, f: F) -> Result<(), AgentError>
+    where
+        F: FnOnce(&mut ReactionCtx<'_>) -> Result<(), CtxError>,
+    {
+        {
+            let snapshot = Snapshot::default();
+            let mut ctx = ReactionCtx {
+                snapshot: &snapshot,
+                slots: &self.slots,
+                staged: &mut self.staged,
+                tables: &mut self.tables,
+                iface: &self.iface,
+                action_arity: &self.action_arity,
+                now_ns: self.clock.now(),
+            };
+            let res = f(&mut ctx);
+            if let Err(e) = res {
+                // Discard partially staged effects: user initialization is
+                // all-or-nothing, like a reaction.
+                self.staged.clear();
+                return Err(e.into());
+            }
+        }
+        self.apply_staged()
+    }
+
+    // -- dialogue ---------------------------------------------------------------
+
+    /// One iteration of the dialogue loop.
+    pub fn dialogue_iteration(&mut self) -> Result<IterationReport, AgentError> {
+        let t0 = self.clock.now();
+
+        // ── measurement flip: freeze the current working copy ──
+        let frozen = self.mv;
+        self.mv ^= 1;
+        self.write_master()?;
+        self.read_measurements(frozen)?;
+        let t_measured = self.clock.now();
+
+        // ── run reactions against the frozen snapshot ──
+        if let Err(e) = self.run_reactions() {
+            // A failed reaction must not leave half its effects staged for
+            // a later commit — discard them (serializable all-or-nothing).
+            self.staged.clear();
+            return Err(e);
+        }
+        let t_reacted = self.clock.now();
+
+        // ── prepare / commit / mirror ──
+        let staged_ops = self.staged.table_ops.len();
+        self.apply_staged()?;
+        let t1 = self.clock.now();
+
+        let report = IterationReport {
+            duration_ns: t1 - t0,
+            measure_ns: t_measured - t0,
+            react_ns: t_reacted - t_measured,
+            update_ns: t1 - t_reacted,
+            staged_table_ops: staged_ops,
+        };
+        self.stats.iterations += 1;
+        self.stats.busy_ns += report.duration_ns;
+        self.stats.last = report.clone();
+        Ok(report)
+    }
+
+    /// Run `n` iterations back-to-back (busy loop).
+    pub fn run_iterations(&mut self, n: usize) -> Result<(), AgentError> {
+        for _ in 0..n {
+            self.dialogue_iteration()?;
+        }
+        Ok(())
+    }
+
+    /// Run `n` iterations with `sleep_ns` of `nanosleep` pacing between
+    /// them (the Fig. 11 CPU/latency trade-off). Returns the resulting CPU
+    /// utilization in `[0, 1]`.
+    pub fn run_paced(&mut self, n: usize, sleep_ns: Nanos) -> Result<f64, AgentError> {
+        let start = self.clock.now();
+        let mut busy = 0;
+        for _ in 0..n {
+            let rep = self.dialogue_iteration()?;
+            busy += rep.duration_ns;
+            self.clock.advance(sleep_ns);
+        }
+        let span = self.clock.now() - start;
+        Ok(if span == 0 {
+            1.0
+        } else {
+            busy as f64 / span as f64
+        })
+    }
+
+    fn write_master(&mut self) -> Result<(), AgentError> {
+        let mut data = self.master_data.clone();
+        data[0] = Value::new(u128::from(self.vv), 1);
+        data[1] = Value::new(u128::from(self.mv), 1);
+        self.master_data = data.clone();
+        let switch = self.switch.clone();
+        let mut sw = switch.borrow_mut();
+        self.driver.table_set_default(
+            &mut sw,
+            self.master_table,
+            self.master_action,
+            data,
+            true,
+        )?;
+        Ok(())
+    }
+
+    fn read_measurements(&mut self, frozen: u8) -> Result<(), AgentError> {
+        let switch = self.switch.clone();
+        let sw = switch.borrow();
+        let reactions: Vec<(String, ReactionBinding)> = self
+            .reactions
+            .iter()
+            .map(|r| (r.name.clone(), r.binding.clone()))
+            .collect();
+        for (name, binding) in reactions {
+            let mut snap = Snapshot {
+                taken_at: self.clock.now(),
+                ..Default::default()
+            };
+            // Field arguments: packed-word cost, per-register raw reads.
+            if !binding.fields.is_empty() {
+                let cost = self.driver.cost.field_read(binding.packed_words.max(1));
+                self.driver.spend_external(cost);
+                for mf in &binding.fields {
+                    let rid = sw.register_id(&mf.register).map_err(AgentError::Driver)?;
+                    let v = sw
+                        .register_read_range(rid, u32::from(frozen), u32::from(frozen))
+                        .into_iter()
+                        .next()
+                        .unwrap_or(Value::zero(mf.width));
+                    snap.scalars.insert(mf.binding.clone(), v.bits() as i128);
+                }
+            }
+            // Register arguments: batched checkpoint reads + cache merge.
+            for mr in &binding.registers {
+                if mr.external {
+                    // Externally fed register (e.g. TM queue depths): read
+                    // the live values directly.
+                    let rid = sw.register_id(&mr.register)?;
+                    let vals = self.driver.register_read_range(&sw, rid, mr.lo, mr.hi);
+                    snap.arrays.insert(
+                        mr.binding.clone(),
+                        (
+                            i128::from(mr.lo),
+                            vals.iter().map(|v| v.bits() as i128).collect(),
+                        ),
+                    );
+                    continue;
+                }
+                let dup = sw.register_id(&mr.dup_register)?;
+                let tsr = sw.register_id(&mr.ts_register)?;
+                let base = u32::from(frozen) << mr.stride_log2;
+                let vals = self
+                    .driver
+                    .register_read_range(&sw, dup, base + mr.lo, base + mr.hi);
+                let tss = self
+                    .driver
+                    .register_read_range(&sw, tsr, base + mr.lo, base + mr.hi);
+                let n = (mr.hi - mr.lo + 1) as usize;
+                let cache = self
+                    .reg_caches
+                    .entry((name.clone(), mr.binding.clone()))
+                    .or_insert_with(|| RegCache {
+                        vals: vec![0; n],
+                        ts_seen: [vec![0; n], vec![0; n]],
+                    });
+                for i in 0..n {
+                    let ts = tss.get(i).map(|v| v.as_u64()).unwrap_or(0);
+                    if ts > cache.ts_seen[frozen as usize][i] {
+                        cache.ts_seen[frozen as usize][i] = ts;
+                        cache.vals[i] = vals.get(i).map(|v| v.bits() as i128).unwrap_or(0);
+                    }
+                }
+                snap.arrays
+                    .insert(mr.binding.clone(), (i128::from(mr.lo), cache.vals.clone()));
+            }
+            self.snapshots.insert(name, snap);
+        }
+        Ok(())
+    }
+
+    fn run_reactions(&mut self) -> Result<(), AgentError> {
+        let mut reactions = std::mem::take(&mut self.reactions);
+        let mut result = Ok(());
+        for r in &mut reactions {
+            let snapshot = self.snapshots.entry(r.name.clone()).or_default().clone();
+            let mut ctx = ReactionCtx {
+                snapshot: &snapshot,
+                slots: &self.slots,
+                staged: &mut self.staged,
+                tables: &mut self.tables,
+                iface: &self.iface,
+                action_arity: &self.action_arity,
+                now_ns: self.clock.now(),
+            };
+            let res = match &mut r.imp {
+                ReactionImpl::Interpreted(interp) => {
+                    interp.run(&mut ctx).map(|_| ()).map_err(AgentError::Interp)
+                }
+                ReactionImpl::Native(imp) => imp.react(&mut ctx).map_err(AgentError::Ctx),
+            };
+            if let Err(e) = res {
+                result = Err(e);
+                break;
+            }
+        }
+        self.reactions = reactions;
+        result?;
+        Ok(())
+    }
+
+    /// Prepare staged updates on the shadow copy, commit by flipping vv in
+    /// the master init table, then mirror onto the old primary.
+    fn apply_staged(&mut self) -> Result<(), AgentError> {
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        let shadow = self.vv ^ 1;
+
+        // ── prepare ──
+        self.apply_table_ops(shadow, false)?;
+        self.prepare_extra_init_writes(shadow)?;
+
+        // ── commit ──
+        self.commit_slot_writes();
+        self.vv = shadow;
+        self.write_master()?;
+        // Port ops and default-action changes are single atomic driver ops;
+        // they ride along with the commit point.
+        let port_ops = std::mem::take(&mut self.staged.port_ops);
+        {
+            let switch = self.switch.clone();
+            let mut sw = switch.borrow_mut();
+            for (port, up) in port_ops {
+                self.driver.port_set_up(&mut sw, port, up)?;
+            }
+        }
+        self.apply_set_defaults()?;
+
+        // ── mirror ──
+        let old = shadow ^ 1;
+        self.apply_table_ops(old, true)?;
+        self.mirror_extra_init_writes(old)?;
+
+        self.staged.clear();
+        Ok(())
+    }
+
+    /// Apply staged table ops to one vv copy. In the mirror pass, `Del`
+    /// also removes the logical entry.
+    fn apply_table_ops(&mut self, copy: u8, mirror: bool) -> Result<(), AgentError> {
+        let ops = self.staged.table_ops.clone();
+        let switch = self.switch.clone();
+        let mut sw = switch.borrow_mut();
+        for op in &ops {
+            match op {
+                StagedOp::Add {
+                    table,
+                    handle,
+                    key,
+                    priority,
+                    action,
+                    action_data,
+                } => {
+                    let info = self
+                        .iface
+                        .table(table)
+                        .ok_or_else(|| AgentError::UnknownTable(table.clone()))?;
+                    if info.vv_col.is_none() && mirror {
+                        // Unversioned tables have a single physical set,
+                        // installed during prepare.
+                        continue;
+                    }
+                    let vv_arg = info.vv_col.map(|_| copy);
+                    let phys = expand_entry(info, key, action, action_data, *priority, vv_arg)?;
+                    let lt = self
+                        .tables
+                        .get_mut(table)
+                        .ok_or_else(|| AgentError::UnknownTable(table.clone()))?;
+                    let mut handles = Vec::with_capacity(phys.len());
+                    for pe in &phys {
+                        let h = add_phys(&mut self.driver, &mut sw, lt.table_id, pe)?;
+                        handles.push(h);
+                    }
+                    let entry = lt.entries.entry(*handle).or_insert_with(|| LogicalEntry {
+                        key: key.clone(),
+                        priority: *priority,
+                        action: action.clone(),
+                        action_data: action_data.clone(),
+                        phys: [Vec::new(), Vec::new()],
+                    });
+                    entry.phys[copy as usize] = handles;
+                    // Tables without a vv column are unversioned: one
+                    // physical set only; skip the mirror pass for them.
+                    if info.vv_col.is_none() && !mirror {
+                        // mark mirror as no-op by pre-filling both copies
+                        let cloned = entry.phys[copy as usize].clone();
+                        entry.phys[(copy ^ 1) as usize] = cloned;
+                    }
+                }
+                StagedOp::Mod {
+                    table,
+                    handle,
+                    action,
+                    action_data,
+                } => {
+                    self.mod_entry_on_copy(
+                        &mut sw,
+                        table,
+                        *handle,
+                        action,
+                        action_data,
+                        copy,
+                        mirror,
+                    )?;
+                }
+                StagedOp::Del { table, handle } => {
+                    let info = self
+                        .iface
+                        .table(table)
+                        .ok_or_else(|| AgentError::UnknownTable(table.clone()))?;
+                    let unversioned = info.vv_col.is_none();
+                    let lt = self
+                        .tables
+                        .get_mut(table)
+                        .ok_or_else(|| AgentError::UnknownTable(table.clone()))?;
+                    let Some(entry) = lt.entries.get_mut(handle) else {
+                        return Err(AgentError::MissingEntry {
+                            table: table.clone(),
+                            handle: *handle,
+                        });
+                    };
+                    if unversioned && mirror {
+                        // Physical entries were already removed in prepare.
+                        lt.entries.remove(handle);
+                        continue;
+                    }
+                    for h in std::mem::take(&mut entry.phys[copy as usize]) {
+                        self.driver.table_del(&mut sw, lt.table_id, h)?;
+                    }
+                    if unversioned {
+                        entry.phys[(copy ^ 1) as usize].clear();
+                    }
+                    if mirror {
+                        lt.entries.remove(handle);
+                    }
+                }
+                StagedOp::SetDefault { .. } => {
+                    // Applied once at commit (not versioned).
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn mod_entry_on_copy(
+        &mut self,
+        sw: &mut Switch,
+        table: &str,
+        handle: u64,
+        action: &str,
+        action_data: &[Value],
+        copy: u8,
+        mirror: bool,
+    ) -> Result<(), AgentError> {
+        let info = self
+            .iface
+            .table(table)
+            .ok_or_else(|| AgentError::UnknownTable(table.to_string()))?
+            .clone();
+        let unversioned = info.vv_col.is_none();
+        if unversioned && mirror {
+            return Ok(());
+        }
+        let lt = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| AgentError::UnknownTable(table.to_string()))?;
+        let Some(entry) = lt.entries.get_mut(&handle) else {
+            return Err(AgentError::MissingEntry {
+                table: table.to_string(),
+                handle,
+            });
+        };
+        let vv_arg = info.vv_col.map(|_| copy);
+        let phys = expand_entry(
+            &info,
+            &entry.key,
+            action,
+            action_data,
+            entry.priority,
+            vv_arg,
+        )?;
+        if entry.action == action && entry.phys[copy as usize].len() == phys.len() {
+            // Same action: in-place modify of each physical entry.
+            let handles = entry.phys[copy as usize].clone();
+            for (h, pe) in handles.iter().zip(phys.iter()) {
+                let aid = sw.action_id(&pe.action)?;
+                self.driver
+                    .table_mod(sw, lt.table_id, *h, aid, pe.action_data.clone())?;
+            }
+        } else {
+            // Action changed: replace the physical set.
+            for h in std::mem::take(&mut entry.phys[copy as usize]) {
+                self.driver.table_del(sw, lt.table_id, h)?;
+            }
+            let mut handles = Vec::with_capacity(phys.len());
+            for pe in &phys {
+                handles.push(add_phys(&mut self.driver, sw, lt.table_id, pe)?);
+            }
+            entry.phys[copy as usize] = handles;
+        }
+        if mirror || unversioned {
+            // Bookkeeping reflects the new logical action after the final
+            // pass.
+            entry.action = action.to_string();
+            entry.action_data = action_data.to_vec();
+            if unversioned {
+                let cloned = entry.phys[copy as usize].clone();
+                entry.phys[(copy ^ 1) as usize] = cloned;
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_set_defaults(&mut self) -> Result<(), AgentError> {
+        let ops = self.staged.table_ops.clone();
+        let switch = self.switch.clone();
+        let mut sw = switch.borrow_mut();
+        for op in &ops {
+            if let StagedOp::SetDefault {
+                table,
+                action,
+                action_data,
+            } = op
+            {
+                let info = self
+                    .iface
+                    .table(table)
+                    .ok_or_else(|| AgentError::UnknownTable(table.clone()))?;
+                let av = info.action(action).ok_or_else(|| {
+                    AgentError::Ctx(CtxError::UnknownAction {
+                        table: table.clone(),
+                        action: action.clone(),
+                    })
+                })?;
+                let variant = av.variants[0].clone();
+                let tid = sw.table_id(table)?;
+                let aid = sw.action_id(&variant)?;
+                self.driver
+                    .table_set_default(&mut sw, tid, aid, action_data.clone(), false)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Effective staged slot writes (last-wins per slot).
+    fn effective_slot_writes(&self) -> HashMap<String, i128> {
+        let mut out = HashMap::new();
+        for (name, v) in &self.staged.slot_writes {
+            out.insert(name.clone(), *v);
+        }
+        out
+    }
+
+    fn prepare_extra_init_writes(&mut self, shadow: u8) -> Result<(), AgentError> {
+        let writes = self.effective_slot_writes();
+        if writes.is_empty() {
+            return Ok(());
+        }
+        // Group staged writes into the extra init tables' data vectors.
+        let mut dirty: Vec<usize> = Vec::new();
+        for (name, v) in &writes {
+            let Some(loc) = self.slot_locs.get(name) else {
+                continue;
+            };
+            if loc.init_table == 0 {
+                continue; // master slots commit with the vv flip
+            }
+            let ei = &mut self.extra_inits[loc.init_table - 1];
+            ei.data[loc.param_idx] = Value::new(*v as u128, loc.width);
+            if !dirty.contains(&(loc.init_table - 1)) {
+                dirty.push(loc.init_table - 1);
+            }
+        }
+        let switch = self.switch.clone();
+        let mut sw = switch.borrow_mut();
+        for i in dirty {
+            let ei = &self.extra_inits[i];
+            self.driver.table_mod(
+                &mut sw,
+                ei.table_id,
+                ei.handles[shadow as usize],
+                ei.action,
+                ei.data.clone(),
+            )?;
+        }
+        Ok(())
+    }
+
+    fn mirror_extra_init_writes(&mut self, old: u8) -> Result<(), AgentError> {
+        let writes = self.effective_slot_writes();
+        if writes.is_empty() {
+            return Ok(());
+        }
+        let mut dirty: Vec<usize> = Vec::new();
+        for name in writes.keys() {
+            if let Some(loc) = self.slot_locs.get(name) {
+                if loc.init_table > 0 && !dirty.contains(&(loc.init_table - 1)) {
+                    dirty.push(loc.init_table - 1);
+                }
+            }
+        }
+        let switch = self.switch.clone();
+        let mut sw = switch.borrow_mut();
+        for i in dirty {
+            let ei = &self.extra_inits[i];
+            self.driver.table_mod(
+                &mut sw,
+                ei.table_id,
+                ei.handles[old as usize],
+                ei.action,
+                ei.data.clone(),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Fold staged slot writes into the committed view and the master data
+    /// vector (they become visible with the vv-flip `set_default`).
+    fn commit_slot_writes(&mut self) {
+        let writes = self.effective_slot_writes();
+        for (name, v) in writes {
+            if let Some(loc) = self.slot_locs.get(&name) {
+                if loc.init_table == 0 {
+                    self.master_data[loc.param_idx] = Value::new(v as u128, loc.width);
+                }
+                self.slots.insert(name, v);
+            }
+        }
+    }
+}
+
+/// Convert an expanded physical entry into driver key fields for the
+/// switch's physical column kinds, and install it.
+fn add_phys(
+    driver: &mut MantisDriver,
+    sw: &mut Switch,
+    table: TableId,
+    pe: &PhysEntry,
+) -> Result<EntryHandle, AgentError> {
+    let kinds: Vec<(MatchKind, u16)> = sw
+        .spec()
+        .table(table)
+        .key
+        .iter()
+        .map(|k| (k.kind, k.width))
+        .collect();
+    let key: Vec<KeyField> = pe
+        .key
+        .iter()
+        .zip(kinds.iter())
+        .map(|(pk, (kind, width))| match (pk, kind) {
+            (PhysKey::Exact(v), MatchKind::Exact) => KeyField::Exact(*v),
+            (PhysKey::Exact(v), MatchKind::Ternary) => KeyField::Ternary {
+                value: *v,
+                mask: Value::ones(*width),
+            },
+            (PhysKey::Exact(v), MatchKind::Lpm) => KeyField::Lpm {
+                value: *v,
+                prefix_len: *width,
+            },
+            (PhysKey::Ternary { value, mask }, _) => KeyField::Ternary {
+                value: *value,
+                mask: *mask,
+            },
+            (PhysKey::Lpm { value, prefix_len }, _) => KeyField::Lpm {
+                value: *value,
+                prefix_len: *prefix_len,
+            },
+            (PhysKey::Any, MatchKind::Lpm) => KeyField::Lpm {
+                value: Value::zero(*width),
+                prefix_len: 0,
+            },
+            (PhysKey::Any, _) => KeyField::Ternary {
+                value: Value::zero(*width),
+                mask: Value::zero(*width),
+            },
+        })
+        .collect();
+    let aid = sw.action_id(&pe.action)?;
+    Ok(driver.table_add(sw, table, key, pe.priority, aid, pe.action_data.clone())?)
+}

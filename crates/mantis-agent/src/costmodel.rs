@@ -1,0 +1,129 @@
+//! Virtual-time cost model for control-plane driver operations.
+//!
+//! The paper's Fig. 10 microbenchmarks characterize the latency of raw
+//! measurements and updates on a Wedge100BF-32X with a modified driver. We
+//! reproduce the *shapes* with a configurable cost model:
+//!
+//! * field-argument measurement: one packed 32-bit register read each —
+//!   latency linear in the number of packed words (Fig. 10a "field"),
+//! * register-argument measurement: one batched range read — a base cost
+//!   plus ~10 ns per byte (Fig. 10a "register"),
+//! * scalar malleable updates: a single memoized table modification —
+//!   constant until the init table must split (Fig. 10b "scalar"),
+//! * table updates: linear per physical entry touched (Fig. 10b "table").
+//!
+//! Defaults are calibrated to land end-to-end reactions in the 10s of µs,
+//! matching §8.1.
+
+use rmt_sim::Nanos;
+
+/// Driver operation latencies (virtual nanoseconds).
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// Floor cost of any driver transaction (PCIe round trip).
+    pub pcie_base_ns: Nanos,
+    /// Per packed 32-bit word read when polling field arguments.
+    pub field_word_read_ns: Nanos,
+    /// Base cost of a batched register range read.
+    pub reg_read_base_ns: Nanos,
+    /// Marginal cost per byte of a batched register range read.
+    pub reg_read_per_byte_ns: Nanos,
+    /// Memoized table entry add/modify/delete.
+    pub table_update_ns: Nanos,
+    /// First-touch (unmemoized) table operation: the driver computes and
+    /// caches device instructions during the prologue/first dialogue.
+    pub table_update_cold_ns: Nanos,
+    /// Memoized update of the master init table (the vv/mv flip — the most
+    /// optimized operation in the agent).
+    pub init_update_ns: Nanos,
+    /// Port admin operation.
+    pub port_op_ns: Nanos,
+    /// Portion of each driver operation that holds the device lock (the
+    /// PCIe transaction itself); concurrent legacy operations queue behind
+    /// at most one such critical section (§6, Fig. 12).
+    pub device_lock_ns: Nanos,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            pcie_base_ns: 900,
+            field_word_read_ns: 1_700,
+            reg_read_base_ns: 1_500,
+            reg_read_per_byte_ns: 10,
+            table_update_ns: 4_600,
+            table_update_cold_ns: 9_500,
+            init_update_ns: 3_800,
+            port_op_ns: 2_000,
+            device_lock_ns: 300,
+        }
+    }
+}
+
+impl CostModel {
+    /// Latency of polling `words` packed 32-bit field words (Fig. 10a).
+    pub fn field_read(&self, words: usize) -> Nanos {
+        if words == 0 {
+            return 0;
+        }
+        self.pcie_base_ns + self.field_word_read_ns * words as Nanos
+    }
+
+    /// Latency of one batched register range read of `bytes` (Fig. 10a).
+    pub fn register_read(&self, bytes: usize) -> Nanos {
+        self.reg_read_base_ns + self.reg_read_per_byte_ns * bytes as Nanos
+    }
+
+    /// Latency of `n` table entry operations (Fig. 10b), `cold` of which
+    /// are first-touch.
+    pub fn table_updates(&self, n: usize, cold: usize) -> Nanos {
+        let cold = cold.min(n);
+        self.table_update_cold_ns * cold as Nanos + self.table_update_ns * (n - cold) as Nanos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_read_linear_in_words() {
+        let c = CostModel::default();
+        let one = c.field_read(1);
+        let four = c.field_read(4);
+        assert_eq!(four - one, 3 * c.field_word_read_ns);
+        assert_eq!(c.field_read(0), 0);
+    }
+
+    #[test]
+    fn register_read_cheap_per_byte() {
+        let c = CostModel::default();
+        // Reading 1 KiB of register state costs far less than reading the
+        // same state as packed field words (the Fig. 10a contrast).
+        let reg = c.register_read(1024);
+        let fields = c.field_read(1024 / 4);
+        assert!(reg < fields / 2, "reg={reg} fields={fields}");
+    }
+
+    #[test]
+    fn cold_updates_cost_more() {
+        let c = CostModel::default();
+        assert!(c.table_updates(4, 4) > c.table_updates(4, 0));
+        assert_eq!(c.table_updates(0, 0), 0);
+        // `cold` is clamped to `n`.
+        assert_eq!(c.table_updates(2, 10), c.table_updates(2, 2));
+    }
+
+    #[test]
+    fn defaults_put_reactions_in_tens_of_us() {
+        // A representative reaction: flip mv, read 2 field words + 64 B of
+        // registers, flip vv, one table update mirrored.
+        let c = CostModel::default();
+        let total = c.init_update_ns
+            + c.field_read(2)
+            + c.register_read(64)
+            + c.init_update_ns
+            + c.table_updates(2, 0);
+        assert!(total > 10_000 && total < 100_000, "{total}");
+    }
+}

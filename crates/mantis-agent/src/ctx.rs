@@ -1,0 +1,476 @@
+//! The reaction execution context.
+//!
+//! A [`ReactionCtx`] is handed to both native Rust reactions and the
+//! interpreter for C-like reaction bodies. It exposes the polled snapshot
+//! (measurements), the last-written malleable values, and *staging* APIs for
+//! updates. Nothing in the context touches the switch: all effects are
+//! staged and applied by the agent's prepare/commit/mirror sequence after
+//! the reaction returns, which is what makes the reaction's effects
+//! serializable.
+
+use crate::logical::{LogicalHandle, LogicalTable, Staged, StagedOp};
+use p4_ast::Value;
+use p4r_compiler::entry::LogicalKey;
+use p4r_compiler::iface::ControlInterface;
+use reaction_interp::{InterpError, ReactionEnv};
+use rmt_sim::Nanos;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Snapshot of one reaction's polled arguments.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Field arguments by binding name.
+    pub scalars: HashMap<String, i128>,
+    /// Register-slice arguments by binding name: `(lo, values)`.
+    pub arrays: HashMap<String, (i128, Vec<i128>)>,
+    /// Time the snapshot was taken.
+    pub taken_at: Nanos,
+}
+
+/// Errors from staging APIs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CtxError {
+    UnknownMalleable(String),
+    UnknownTable(String),
+    UnknownAction {
+        table: String,
+        action: String,
+    },
+    UnknownHandle(LogicalHandle),
+    AltOutOfRange {
+        mbl: String,
+        index: i128,
+        alts: usize,
+    },
+    BadArity {
+        what: String,
+        expected: usize,
+        got: usize,
+    },
+    UnknownMethod(String),
+}
+
+impl fmt::Display for CtxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtxError::UnknownMalleable(n) => write!(f, "unknown malleable `{n}`"),
+            CtxError::UnknownTable(n) => write!(f, "unknown malleable table `{n}`"),
+            CtxError::UnknownAction { table, action } => {
+                write!(f, "table `{table}` has no action `{action}`")
+            }
+            CtxError::UnknownHandle(h) => write!(f, "unknown logical entry handle {h}"),
+            CtxError::AltOutOfRange { mbl, index, alts } => write!(
+                f,
+                "alternative index {index} out of range for `{mbl}` ({alts} alts)"
+            ),
+            CtxError::BadArity {
+                what,
+                expected,
+                got,
+            } => {
+                write!(f, "{what}: expected {expected} values, got {got}")
+            }
+            CtxError::UnknownMethod(m) => write!(f, "unknown table method `{m}`"),
+        }
+    }
+}
+
+impl std::error::Error for CtxError {}
+
+/// The context a reaction runs against.
+pub struct ReactionCtx<'a> {
+    pub(crate) snapshot: &'a Snapshot,
+    /// Committed slot values (malleable values + field selector indexes).
+    pub(crate) slots: &'a HashMap<String, i128>,
+    pub(crate) staged: &'a mut Staged,
+    pub(crate) tables: &'a mut HashMap<String, LogicalTable>,
+    pub(crate) iface: &'a ControlInterface,
+    /// Action parameter arity by (variant) action name.
+    pub(crate) action_arity: &'a HashMap<String, usize>,
+    pub(crate) now_ns: Nanos,
+}
+
+impl fmt::Debug for ReactionCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReactionCtx")
+            .field("now_ns", &self.now_ns)
+            .field("staged_ops", &self.staged.table_ops.len())
+            .finish()
+    }
+}
+
+impl<'a> ReactionCtx<'a> {
+    /// Virtual time the reaction is running at.
+    pub fn now_ns(&self) -> Nanos {
+        self.now_ns
+    }
+
+    /// Time the argument snapshot was captured.
+    pub fn snapshot_time(&self) -> Nanos {
+        self.snapshot.taken_at
+    }
+
+    /// Read a scalar (field) argument by binding name.
+    pub fn arg(&self, name: &str) -> Option<i128> {
+        self.snapshot.scalars.get(name).copied()
+    }
+
+    /// Read an array (register-slice) argument: `(lo, values)`.
+    pub fn arg_array(&self, name: &str) -> Option<(i128, &[i128])> {
+        self.snapshot
+            .arrays
+            .get(name)
+            .map(|(lo, v)| (*lo, v.as_slice()))
+    }
+
+    /// Element of an array argument at its original register index.
+    pub fn arg_index(&self, name: &str, index: i128) -> Option<i128> {
+        let (lo, vals) = self.snapshot.arrays.get(name)?;
+        let off = index.checked_sub(*lo)?;
+        if off < 0 {
+            return None;
+        }
+        vals.get(off as usize).copied()
+    }
+
+    /// Last written (or staged) value of a malleable value, or the selector
+    /// index of a malleable field.
+    pub fn mbl(&self, name: &str) -> Result<i128, CtxError> {
+        if let Some(v) = self.staged.slot_value(name) {
+            return Ok(v);
+        }
+        self.slots
+            .get(name)
+            .copied()
+            .ok_or_else(|| CtxError::UnknownMalleable(name.to_string()))
+    }
+
+    /// Stage a write to a malleable value.
+    pub fn set_mbl(&mut self, name: &str, value: i128) -> Result<(), CtxError> {
+        if let Some(slot) = self.iface.value(name) {
+            let masked = value & mask_i128(slot.width);
+            self.staged.slot_writes.push((name.to_string(), masked));
+            return Ok(());
+        }
+        if let Some(f) = self.iface.field(name) {
+            let alts = f.alts.len();
+            if value < 0 || value as usize >= alts {
+                return Err(CtxError::AltOutOfRange {
+                    mbl: name.to_string(),
+                    index: value,
+                    alts,
+                });
+            }
+            self.staged.slot_writes.push((name.to_string(), value));
+            return Ok(());
+        }
+        Err(CtxError::UnknownMalleable(name.to_string()))
+    }
+
+    /// Stage shifting a malleable field to alternative `index`.
+    pub fn shift_field(&mut self, name: &str, index: usize) -> Result<(), CtxError> {
+        if self.iface.field(name).is_none() {
+            return Err(CtxError::UnknownMalleable(name.to_string()));
+        }
+        self.set_mbl(name, index as i128)
+    }
+
+    /// Stage adding a logical entry; returns its handle immediately (the
+    /// entry becomes visible to the data plane at commit).
+    pub fn table_add(
+        &mut self,
+        table: &str,
+        key: Vec<LogicalKey>,
+        priority: u32,
+        action: &str,
+        action_data: Vec<Value>,
+    ) -> Result<LogicalHandle, CtxError> {
+        let info = self
+            .iface
+            .table(table)
+            .ok_or_else(|| CtxError::UnknownTable(table.to_string()))?;
+        if info.action(action).is_none() {
+            return Err(CtxError::UnknownAction {
+                table: table.to_string(),
+                action: action.to_string(),
+            });
+        }
+        if key.len() != info.user_key.len() {
+            return Err(CtxError::BadArity {
+                what: format!("key of `{table}`"),
+                expected: info.user_key.len(),
+                got: key.len(),
+            });
+        }
+        let lt = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| CtxError::UnknownTable(table.to_string()))?;
+        let handle = lt.alloc_handle();
+        self.staged.table_ops.push(StagedOp::Add {
+            table: table.to_string(),
+            handle,
+            key,
+            priority,
+            action: action.to_string(),
+            action_data,
+        });
+        Ok(handle)
+    }
+
+    /// Stage modifying a logical entry's action/action data.
+    pub fn table_mod(
+        &mut self,
+        table: &str,
+        handle: LogicalHandle,
+        action: &str,
+        action_data: Vec<Value>,
+    ) -> Result<(), CtxError> {
+        let info = self
+            .iface
+            .table(table)
+            .ok_or_else(|| CtxError::UnknownTable(table.to_string()))?;
+        if info.action(action).is_none() {
+            return Err(CtxError::UnknownAction {
+                table: table.to_string(),
+                action: action.to_string(),
+            });
+        }
+        self.staged.table_ops.push(StagedOp::Mod {
+            table: table.to_string(),
+            handle,
+            action: action.to_string(),
+            action_data,
+        });
+        Ok(())
+    }
+
+    /// Stage deleting a logical entry.
+    pub fn table_del(&mut self, table: &str, handle: LogicalHandle) -> Result<(), CtxError> {
+        if self.iface.table(table).is_none() {
+            return Err(CtxError::UnknownTable(table.to_string()));
+        }
+        self.staged.table_ops.push(StagedOp::Del {
+            table: table.to_string(),
+            handle,
+        });
+        Ok(())
+    }
+
+    /// Stage changing a table's default action.
+    pub fn table_set_default(
+        &mut self,
+        table: &str,
+        action: &str,
+        action_data: Vec<Value>,
+    ) -> Result<(), CtxError> {
+        let info = self
+            .iface
+            .table(table)
+            .ok_or_else(|| CtxError::UnknownTable(table.to_string()))?;
+        if info.action(action).is_none() {
+            return Err(CtxError::UnknownAction {
+                table: table.to_string(),
+                action: action.to_string(),
+            });
+        }
+        self.staged.table_ops.push(StagedOp::SetDefault {
+            table: table.to_string(),
+            action: action.to_string(),
+            action_data,
+        });
+        Ok(())
+    }
+
+    /// Stage a port up/down change (applied at commit; used by the route
+    /// recomputation use case).
+    pub fn set_port_up(&mut self, port: rmt_sim::PortId, up: bool) {
+        self.staged.port_ops.push((port, up));
+    }
+
+    /// Number of logical entries currently installed in a table.
+    pub fn table_len(&self, table: &str) -> Option<usize> {
+        self.tables.get(table).map(|t| t.len())
+    }
+
+    /// Arity (action-data parameter count) of an original action on a
+    /// table; used by the interpreted `addEntry` convention.
+    fn action_data_arity(&self, table: &str, action: &str) -> Option<usize> {
+        let info = self.iface.table(table)?;
+        let av = info.action(action)?;
+        let first = av.variants.first()?;
+        self.action_arity.get(first).copied()
+    }
+}
+
+fn mask_i128(width: u16) -> i128 {
+    if width >= 127 {
+        -1
+    } else {
+        (1i128 << width) - 1
+    }
+}
+
+/// The [`ReactionEnv`] impl lets interpreted (C-like) reaction bodies run
+/// against the same context native reactions use.
+///
+/// Interpreted table-method convention (documented in the README):
+///
+/// * `t.addEntry(action_ordinal, key..., data...)` → logical handle,
+/// * `t.modEntry(handle, action_ordinal, data...)`,
+/// * `t.delEntry(handle)`,
+/// * `t.setDefault(action_ordinal, data...)`,
+/// * `t.size()` → current logical entry count,
+///
+/// where `action_ordinal` indexes the table's original action list and keys
+/// are exact values, one per user-visible key column.
+impl ReactionEnv for ReactionCtx<'_> {
+    fn read_scalar_arg(&self, name: &str) -> Option<i128> {
+        self.arg(name)
+    }
+
+    fn read_array_arg(&self, name: &str, index: i128) -> Option<Result<i128, InterpError>> {
+        let (lo, vals) = self.snapshot.arrays.get(name)?;
+        let off = index - lo;
+        Some(if off < 0 || off as usize >= vals.len() {
+            Err(InterpError::IndexOutOfBounds {
+                name: name.to_string(),
+                index,
+                len: vals.len(),
+            })
+        } else {
+            Ok(vals[off as usize])
+        })
+    }
+
+    fn is_array_arg(&self, name: &str) -> bool {
+        self.snapshot.arrays.contains_key(name)
+    }
+
+    fn read_mbl(&mut self, name: &str) -> Result<i128, InterpError> {
+        self.mbl(name).map_err(|e| InterpError::Env(e.to_string()))
+    }
+
+    fn write_mbl(&mut self, name: &str, value: i128) -> Result<(), InterpError> {
+        self.set_mbl(name, value)
+            .map_err(|e| InterpError::Env(e.to_string()))
+    }
+
+    fn table_op(&mut self, table: &str, method: &str, args: &[i128]) -> Result<i128, InterpError> {
+        let to_env = |e: CtxError| InterpError::Env(e.to_string());
+        let info = self
+            .iface
+            .table(table)
+            .ok_or_else(|| to_env(CtxError::UnknownTable(table.to_string())))?;
+        let action_by_ordinal = |ord: i128| -> Result<String, InterpError> {
+            info.actions
+                .get(ord as usize)
+                .map(|a| a.orig.clone())
+                .ok_or_else(|| {
+                    to_env(CtxError::UnknownAction {
+                        table: table.to_string(),
+                        action: format!("#{ord}"),
+                    })
+                })
+        };
+        match method {
+            "addEntry" => {
+                let key_len = info.user_key.len();
+                if args.len() < 1 + key_len {
+                    return Err(to_env(CtxError::BadArity {
+                        what: format!("addEntry on `{table}`"),
+                        expected: 1 + key_len,
+                        got: args.len(),
+                    }));
+                }
+                let action = action_by_ordinal(args[0])?;
+                let arity = self.action_data_arity(table, &action).unwrap_or(0);
+                if args.len() != 1 + key_len + arity {
+                    return Err(to_env(CtxError::BadArity {
+                        what: format!("addEntry on `{table}` with action `{action}`"),
+                        expected: 1 + key_len + arity,
+                        got: args.len(),
+                    }));
+                }
+                let key: Vec<LogicalKey> = args[1..1 + key_len]
+                    .iter()
+                    .map(|v| LogicalKey::Exact(Value::new(*v as u128, 64)))
+                    .collect();
+                let data: Vec<Value> = args[1 + key_len..]
+                    .iter()
+                    .map(|v| Value::new(*v as u128, 64))
+                    .collect();
+                let h = self
+                    .table_add(table, key, 0, &action, data)
+                    .map_err(to_env)?;
+                Ok(h as i128)
+            }
+            "modEntry" => {
+                if args.len() < 2 {
+                    return Err(to_env(CtxError::BadArity {
+                        what: format!("modEntry on `{table}`"),
+                        expected: 2,
+                        got: args.len(),
+                    }));
+                }
+                let action = action_by_ordinal(args[1])?;
+                let data: Vec<Value> = args[2..]
+                    .iter()
+                    .map(|v| Value::new(*v as u128, 64))
+                    .collect();
+                self.table_mod(table, args[0] as LogicalHandle, &action, data)
+                    .map_err(to_env)?;
+                Ok(0)
+            }
+            "delEntry" => {
+                if args.len() != 1 {
+                    return Err(to_env(CtxError::BadArity {
+                        what: format!("delEntry on `{table}`"),
+                        expected: 1,
+                        got: args.len(),
+                    }));
+                }
+                self.table_del(table, args[0] as LogicalHandle)
+                    .map_err(to_env)?;
+                Ok(0)
+            }
+            "setDefault" => {
+                if args.is_empty() {
+                    return Err(to_env(CtxError::BadArity {
+                        what: format!("setDefault on `{table}`"),
+                        expected: 1,
+                        got: 0,
+                    }));
+                }
+                let action = action_by_ordinal(args[0])?;
+                let data: Vec<Value> = args[1..]
+                    .iter()
+                    .map(|v| Value::new(*v as u128, 64))
+                    .collect();
+                self.table_set_default(table, &action, data)
+                    .map_err(to_env)?;
+                Ok(0)
+            }
+            "size" => Ok(self.table_len(table).unwrap_or(0) as i128),
+            other => Err(to_env(CtxError::UnknownMethod(other.to_string()))),
+        }
+    }
+
+    fn call(&mut self, name: &str, args: &[i128]) -> Option<Result<i128, InterpError>> {
+        match (name, args) {
+            ("now_ns", []) => Some(Ok(self.now_ns as i128)),
+            ("now_us", []) => Some(Ok((self.now_ns / 1_000) as i128)),
+            ("snapshot_ns", []) => Some(Ok(self.snapshot.taken_at as i128)),
+            ("port_down", [p]) => {
+                self.set_port_up(*p as rmt_sim::PortId, false);
+                Some(Ok(0))
+            }
+            ("port_up", [p]) => {
+                self.set_port_up(*p as rmt_sim::PortId, true);
+                Some(Ok(0))
+            }
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! # mantis-agent
+//!
+//! The Mantis control plane (§6 of the paper): an agent that runs on the
+//! switch CPU and executes, as fast as the driver allows, a *dialogue loop*
+//! of measurement polling and user-defined reactions, with per-pipeline
+//! serializable isolation between measurements, malleable updates, and
+//! packet processing (§5).
+//!
+//! Structure:
+//!
+//! * [`costmodel`] — virtual-time latencies of driver operations,
+//!   calibrated to the shapes of the paper's Fig. 10;
+//! * [`driver`] — memoized, cost-accounted wrapper over the raw switch
+//!   driver, including the busy-window model for concurrent legacy
+//!   operations (Fig. 12);
+//! * [`logical`] — logical-entry bookkeeping for the three-phase
+//!   (prepare/commit/mirror) update protocol of §5.1.2;
+//! * [`ctx`] — the staging context handed to reactions (native Rust or
+//!   interpreted C-like bodies);
+//! * [`agent`] — the prologue + dialogue loop itself.
+
+#![forbid(unsafe_code)]
+
+pub mod agent;
+pub mod costmodel;
+pub mod ctx;
+pub mod driver;
+pub mod logical;
+
+pub use agent::{AgentError, AgentStats, IterationReport, MantisAgent, NativeReaction};
+pub use costmodel::CostModel;
+pub use ctx::{CtxError, ReactionCtx, Snapshot};
+pub use driver::MantisDriver;
+pub use logical::{LogicalHandle, Staged, StagedOp};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4_ast::{Pipeline, Value};
+    use p4r_compiler::entry::LogicalKey;
+    use p4r_compiler::{compile_source, CompilerOptions};
+    use rmt_sim::{Clock, PacketDesc, Switch, SwitchConfig};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// A P4R program exercising values, fields, malleable tables,
+    /// measurement fields and registers in one place.
+    const PROGRAM: &str = r#"
+header_type ip_t { fields { src : 32; dst : 32; proto : 8; } }
+header ip_t ip;
+register total_bytes { width : 64; instance_count : 4; }
+malleable value thresh { width : 32; init : 100; }
+malleable field target {
+    width : 32; init : ip.src;
+    alts { ip.src, ip.dst }
+}
+action fwd(port) { modify_field(intr.egress_spec, port); }
+action tally(idx) { register_write(total_bytes, idx, intr.pkt_len); }
+action bump() { add_to_field(ip.proto, ${thresh}); }
+action to_drop() { drop(); }
+malleable table acl {
+    reads { ${target} : exact; }
+    actions { fwd; to_drop; }
+    size : 32;
+}
+table stats { actions { tally; } default_action : tally(0); }
+table adjust { actions { bump; } default_action : bump(); }
+reaction watch(ing ip.src, reg total_bytes[0:3]) {
+    static uint64_t seen = 0;
+    seen = seen + 1;
+    if (total_bytes[0] > ${thresh}) {
+        ${thresh} = ${thresh} * 2;
+    }
+    return seen;
+}
+control ingress {
+    apply(acl);
+    apply(adjust);
+    apply(stats);
+}
+"#;
+
+    fn build() -> (Rc<RefCell<Switch>>, MantisAgent, Clock) {
+        let compiled = compile_source(PROGRAM, &CompilerOptions::default()).unwrap();
+        let clock = Clock::new();
+        let spec = rmt_sim::load(&compiled.p4).unwrap();
+        let switch = Rc::new(RefCell::new(Switch::new(
+            spec,
+            SwitchConfig::default(),
+            clock.clone(),
+        )));
+        let mut agent = MantisAgent::new(switch.clone(), &compiled, CostModel::default());
+        agent.prologue().unwrap();
+        (switch, agent, clock)
+    }
+
+    fn inject(sw: &Rc<RefCell<Switch>>, src: u128, dst: u128) -> bool {
+        sw.borrow_mut().inject(
+            &PacketDesc::new(1)
+                .field("ip", "src", src)
+                .field("ip", "dst", dst)
+                .field("ip", "proto", 6)
+                .payload(100),
+        )
+    }
+
+    #[test]
+    fn prologue_installs_master_default() {
+        let (sw, _agent, _clock) = build();
+        let sw = sw.borrow();
+        let t = sw.table_id("p4r_init_").unwrap();
+        let d = sw.table_ref(t).default_action().unwrap();
+        // vv=1, mv=0, thresh=100, target_alt=0
+        assert_eq!(d.1[0], Value::new(1, 1));
+        assert_eq!(d.1[1], Value::zero(1));
+    }
+
+    #[test]
+    fn malleable_value_commit_changes_dataplane() {
+        let (sw, mut agent, _clock) = build();
+        agent
+            .user_init(|ctx| {
+                ctx.set_mbl("thresh", 7)?;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(agent.slot("thresh"), Some(7));
+        // A packet's proto (6) gets 7 added: verify via pipeline run.
+        let out = {
+            let mut swm = sw.borrow_mut();
+            let phv = PacketDesc::new(1)
+                .field("ip", "src", 1)
+                .field("ip", "dst", 2)
+                .field("ip", "proto", 6)
+                .build(swm.spec());
+            swm.run_pipeline(phv, Pipeline::Ingress)
+        };
+        let sw2 = sw.borrow();
+        let proto = out.get(sw2.field_id("ip", "proto").unwrap());
+        assert_eq!(proto.bits(), 13);
+    }
+
+    #[test]
+    fn malleable_table_add_expands_and_matches() {
+        let (sw, mut agent, _clock) = build();
+        // Add a logical entry: ${target} == 42 → fwd(5).
+        agent
+            .user_init(|ctx| {
+                ctx.table_add(
+                    "acl",
+                    vec![LogicalKey::Exact(Value::new(42, 32))],
+                    10,
+                    "fwd",
+                    vec![Value::new(5, 9)],
+                )?;
+                Ok(())
+            })
+            .unwrap();
+        // Physical entries: 2 alts × 2 vv copies = 4.
+        {
+            let sw = sw.borrow();
+            let t = sw.table_id("acl").unwrap();
+            assert_eq!(sw.table_len(t), 4);
+        }
+        // target initially references ip.src: src=42 matches → queue 5.
+        assert!(inject(&sw, 42, 0));
+        assert!(sw.borrow().queue_depth(5) > 0);
+
+        // Shift the reference to ip.dst; now dst=42 matches instead.
+        agent
+            .user_init(|ctx| {
+                ctx.shift_field("target", 1)?;
+                Ok(())
+            })
+            .unwrap();
+        let before = sw.borrow().queue_depth(5);
+        assert!(inject(&sw, 0, 42));
+        assert!(
+            sw.borrow().queue_depth(5) > before,
+            "dst-shifted entry did not match"
+        );
+        // And src=42 no longer matches.
+        let before = sw.borrow().queue_depth(5);
+        assert!(inject(&sw, 42, 0));
+        assert_eq!(sw.borrow().queue_depth(5), before);
+    }
+
+    #[test]
+    fn dialogue_iteration_runs_interpreted_reaction() {
+        let (sw, mut agent, _clock) = build();
+        agent.register_all_interpreted().unwrap();
+        // Send some packets so total_bytes[0] accumulates.
+        for i in 0..5 {
+            inject(&sw, 100 + i, 1);
+        }
+        let rep = agent.dialogue_iteration().unwrap();
+        assert!(rep.duration_ns > 0);
+        // Reaction saw total_bytes[0] = 109 (9 B header + 100 B payload)
+        // > thresh (100) and doubled thresh.
+        assert_eq!(agent.slot("thresh"), Some(200));
+        // Next iteration: 109 < 200, so no further doubling — the reaction
+        // reads the committed value back (read-your-writes across
+        // iterations).
+        inject(&sw, 1, 1);
+        agent.dialogue_iteration().unwrap();
+        assert_eq!(agent.slot("thresh"), Some(200));
+    }
+
+    #[test]
+    fn reaction_time_is_tens_of_microseconds() {
+        let (sw, mut agent, _clock) = build();
+        agent.register_all_interpreted().unwrap();
+        inject(&sw, 9, 9);
+        // Warm up driver memoization.
+        agent.dialogue_iteration().unwrap();
+        let rep = agent.dialogue_iteration().unwrap();
+        assert!(
+            rep.duration_ns > 5_000 && rep.duration_ns < 100_000,
+            "iteration took {} ns",
+            rep.duration_ns
+        );
+    }
+
+    #[test]
+    fn measurement_fields_reach_snapshot() {
+        let (sw, mut agent, _clock) = build();
+        let seen = Rc::new(RefCell::new(Vec::<i128>::new()));
+        let seen2 = seen.clone();
+        agent
+            .register_native(
+                "watch",
+                Box::new(move |ctx: &mut ReactionCtx<'_>| {
+                    if let Some(v) = ctx.arg("ip_src") {
+                        seen2.borrow_mut().push(v);
+                    }
+                    Ok(())
+                }),
+            )
+            .unwrap();
+        inject(&sw, 777, 1);
+        agent.dialogue_iteration().unwrap();
+        inject(&sw, 888, 1);
+        agent.dialogue_iteration().unwrap();
+        let seen = seen.borrow();
+        assert!(seen.contains(&777) || seen.contains(&888), "{seen:?}");
+    }
+
+    #[test]
+    fn register_cache_retains_freshest_value() {
+        let (sw, mut agent, _clock) = build();
+        let seen = Rc::new(RefCell::new(Vec::<i128>::new()));
+        let seen2 = seen.clone();
+        agent
+            .register_native(
+                "watch",
+                Box::new(move |ctx: &mut ReactionCtx<'_>| {
+                    seen2
+                        .borrow_mut()
+                        .push(ctx.arg_index("total_bytes", 0).unwrap());
+                    Ok(())
+                }),
+            )
+            .unwrap();
+        inject(&sw, 1, 1); // writes total_bytes[0] = 118 into working copy
+        agent.dialogue_iteration().unwrap();
+        // No new packets: several iterations must NOT regress to a stale 0
+        // (the §5.2 alternation problem the ts-cache solves).
+        agent.dialogue_iteration().unwrap();
+        agent.dialogue_iteration().unwrap();
+        let seen = seen.borrow();
+        assert!(seen.len() >= 3);
+        assert_eq!(seen[1], seen[2], "stale alternation: {seen:?}");
+        assert!(*seen.last().unwrap() > 0, "{seen:?}");
+    }
+
+    #[test]
+    fn vv_flips_each_commit_and_both_copies_stay_consistent() {
+        let (sw, mut agent, _clock) = build();
+        assert_eq!(agent.vv(), 1);
+        let h = Rc::new(RefCell::new(0u64));
+        let h2 = h.clone();
+        agent
+            .user_init(move |ctx| {
+                *h2.borrow_mut() = ctx.table_add(
+                    "acl",
+                    vec![LogicalKey::Exact(Value::new(1, 32))],
+                    0,
+                    "fwd",
+                    vec![Value::new(2, 9)],
+                )?;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(agent.vv(), 0);
+        // Modify the entry: still 4 physical entries, new action data.
+        let handle = *h.borrow();
+        agent
+            .user_init(move |ctx| {
+                ctx.table_mod("acl", handle, "fwd", vec![Value::new(3, 9)])?;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(agent.vv(), 1);
+        {
+            let sw = sw.borrow();
+            let t = sw.table_id("acl").unwrap();
+            assert_eq!(sw.table_len(t), 4);
+            for e in sw.table_ref(t).entries() {
+                assert_eq!(e.action_data, vec![Value::new(3, 9)]);
+            }
+        }
+        // Delete: physical entries drain from both copies.
+        agent
+            .user_init(move |ctx| {
+                ctx.table_del("acl", handle)?;
+                Ok(())
+            })
+            .unwrap();
+        let sw = sw.borrow();
+        let t = sw.table_id("acl").unwrap();
+        assert_eq!(sw.table_len(t), 0);
+        assert_eq!(agent.logical_len("acl"), Some(0));
+    }
+
+    #[test]
+    fn packets_see_old_or_new_config_never_a_mix() {
+        let (sw, mut agent, _clock) = build();
+        let h = Rc::new(RefCell::new(0u64));
+        let h2 = h.clone();
+        agent
+            .user_init(move |ctx| {
+                *h2.borrow_mut() = ctx.table_add(
+                    "acl",
+                    vec![LogicalKey::Exact(Value::new(5, 32))],
+                    0,
+                    "fwd",
+                    vec![Value::new(2, 9)],
+                )?;
+                Ok(())
+            })
+            .unwrap();
+        let handle = *h.borrow();
+
+        let port_of = |sw: &Rc<RefCell<Switch>>| {
+            let mut swm = sw.borrow_mut();
+            let phv = PacketDesc::new(1)
+                .field("ip", "src", 5)
+                .field("ip", "dst", 0)
+                .field("ip", "proto", 0)
+                .build(swm.spec());
+            let out = swm.run_pipeline(phv, Pipeline::Ingress);
+            out.egress_spec(swm.spec())
+        };
+        assert_eq!(port_of(&sw), 2);
+        agent
+            .user_init(move |ctx| {
+                ctx.table_mod("acl", handle, "fwd", vec![Value::new(6, 9)])?;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(port_of(&sw), 6);
+    }
+
+    #[test]
+    fn paced_loop_trades_cpu_for_latency() {
+        let (sw, mut agent, clock) = build();
+        agent.register_all_interpreted().unwrap();
+        inject(&sw, 1, 1);
+        let busy_util = agent.run_paced(10, 0).unwrap();
+        assert!(busy_util > 0.99);
+        let t0 = clock.now();
+        let paced_util = agent.run_paced(10, 200_000).unwrap();
+        assert!(paced_util < 0.5, "paced utilization {paced_util}");
+        assert!(clock.now() - t0 >= 2_000_000);
+    }
+
+    #[test]
+    fn unknown_reaction_registration_fails() {
+        let (_sw, mut agent, _clock) = build();
+        assert!(matches!(
+            agent.register_interpreted("ghost"),
+            Err(AgentError::NotCompiledWithReaction(_))
+        ));
+    }
+
+    #[test]
+    fn interpreted_table_ops_install_entries() {
+        // A reaction that blocks a sender via the malleable table, using
+        // the interpreted addEntry convention.
+        let src = r#"
+header_type ip_t { fields { src : 32; dst : 32; } }
+header ip_t ip;
+action fwd(port) { modify_field(intr.egress_spec, port); }
+action to_drop() { drop(); }
+malleable table acl {
+    reads { ip.src : exact; }
+    actions { fwd; to_drop; }
+    size : 16;
+}
+reaction guard(ing ip.src) {
+    static int blocked = 0;
+    if (!blocked && ip_src == 666) {
+        acl.addEntry(1, 666);
+        blocked = 1;
+    }
+}
+control ingress { apply(acl); }
+"#;
+        let compiled = compile_source(src, &CompilerOptions::default()).unwrap();
+        let clock = Clock::new();
+        let spec = rmt_sim::load(&compiled.p4).unwrap();
+        let switch = Rc::new(RefCell::new(Switch::new(
+            spec,
+            SwitchConfig::default(),
+            clock.clone(),
+        )));
+        let mut agent = MantisAgent::new(switch.clone(), &compiled, CostModel::default());
+        agent.prologue().unwrap();
+        agent.register_all_interpreted().unwrap();
+
+        // Benign traffic: nothing blocked.
+        switch
+            .borrow_mut()
+            .inject(&PacketDesc::new(0).field("ip", "src", 5).payload(50));
+        agent.dialogue_iteration().unwrap();
+        assert_eq!(agent.logical_len("acl"), Some(0));
+
+        // Attacker appears; next iteration observes and blocks it.
+        switch
+            .borrow_mut()
+            .inject(&PacketDesc::new(0).field("ip", "src", 666).payload(50));
+        agent.dialogue_iteration().unwrap();
+        assert_eq!(agent.logical_len("acl"), Some(1));
+        // vv doubling: 2 physical entries.
+        {
+            let sw = switch.borrow();
+            let t = sw.table_id("acl").unwrap();
+            assert_eq!(sw.table_len(t), 2);
+        }
+        // The attacker's packets now drop.
+        let dropped_before = switch.borrow().stats.dropped_ingress;
+        switch
+            .borrow_mut()
+            .inject(&PacketDesc::new(0).field("ip", "src", 666).payload(50));
+        assert_eq!(switch.borrow().stats.dropped_ingress, dropped_before + 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Logical-table bookkeeping for the three-phase serializable update
+//! protocol (§5.1.2, Figs. 7-8).
+//!
+//! Users manipulate *logical* entries (original P4R key, original action).
+//! Each logical entry materializes as physical entries in both the vv=0 and
+//! vv=1 copies of the table (after the mirror phase); the agent tracks the
+//! physical handles per copy.
+
+use p4_ast::Value;
+use p4r_compiler::entry::LogicalKey;
+use rmt_sim::{EntryHandle, TableId};
+use std::collections::HashMap;
+
+/// A user-visible handle to a logical entry.
+pub type LogicalHandle = u64;
+
+/// State of one logical entry.
+#[derive(Clone, Debug)]
+pub struct LogicalEntry {
+    pub key: Vec<LogicalKey>,
+    pub priority: u32,
+    pub action: String,
+    pub action_data: Vec<Value>,
+    /// Physical handles per vv copy.
+    pub phys: [Vec<EntryHandle>; 2],
+}
+
+/// Bookkeeping for one malleable (or malleable-affected) table.
+#[derive(Clone, Debug)]
+pub struct LogicalTable {
+    pub name: String,
+    pub table_id: TableId,
+    pub entries: HashMap<LogicalHandle, LogicalEntry>,
+    next_handle: LogicalHandle,
+}
+
+impl LogicalTable {
+    pub fn new(name: String, table_id: TableId) -> Self {
+        LogicalTable {
+            name,
+            table_id,
+            entries: HashMap::new(),
+            next_handle: 1,
+        }
+    }
+
+    pub fn alloc_handle(&mut self) -> LogicalHandle {
+        let h = self.next_handle;
+        self.next_handle += 1;
+        h
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A staged (not yet applied) update from a reaction.
+#[derive(Clone, Debug)]
+pub enum StagedOp {
+    Add {
+        table: String,
+        handle: LogicalHandle,
+        key: Vec<LogicalKey>,
+        priority: u32,
+        action: String,
+        action_data: Vec<Value>,
+    },
+    Mod {
+        table: String,
+        handle: LogicalHandle,
+        action: String,
+        action_data: Vec<Value>,
+    },
+    Del {
+        table: String,
+        handle: LogicalHandle,
+    },
+    SetDefault {
+        table: String,
+        action: String,
+        action_data: Vec<Value>,
+    },
+}
+
+/// Everything a reaction stages during one dialogue iteration; applied by
+/// the agent's prepare/commit/mirror sequence afterwards.
+#[derive(Clone, Debug, Default)]
+pub struct Staged {
+    /// Malleable value writes / field-selector shifts: name → new raw value.
+    pub slot_writes: Vec<(String, i128)>,
+    pub table_ops: Vec<StagedOp>,
+    /// Port administration requests (e.g. route recomputation disabling a
+    /// port); applied at commit.
+    pub port_ops: Vec<(rmt_sim::PortId, bool)>,
+}
+
+impl Staged {
+    pub fn is_empty(&self) -> bool {
+        self.slot_writes.is_empty() && self.table_ops.is_empty() && self.port_ops.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.slot_writes.clear();
+        self.table_ops.clear();
+        self.port_ops.clear();
+    }
+
+    /// Latest staged value for a slot (read-your-writes inside a reaction).
+    pub fn slot_value(&self, name: &str) -> Option<i128> {
+        self.slot_writes
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_unique_and_increasing() {
+        let mut t = LogicalTable::new("t".into(), TableId(0));
+        let a = t.alloc_handle();
+        let b = t.alloc_handle();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn staged_read_your_writes() {
+        let mut s = Staged::default();
+        assert!(s.is_empty());
+        s.slot_writes.push(("x".into(), 1));
+        s.slot_writes.push(("x".into(), 2));
+        assert_eq!(s.slot_value("x"), Some(2));
+        assert_eq!(s.slot_value("y"), None);
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

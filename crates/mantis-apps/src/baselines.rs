@@ -1,0 +1,531 @@
+//! Baseline flow-size estimators the paper compares against in Fig. 14,
+//! plus a traditional (slow) control loop and a Reitblatt-style two-phase
+//! updater for protocol-level comparisons.
+//!
+//! The estimators are faithful models of the corresponding data-plane /
+//! control-plane structures:
+//!
+//! * **sFlow** — control plane reconstructs sizes from 1-in-N sampled
+//!   packets (the paper uses N = 30 000 per \[37]),
+//! * **hash table** — one data-plane exact slot per hashed key with
+//!   evict-on-collision (last writer wins),
+//! * **count-min sketch** — d rows × w counters, estimate = min over rows
+//!   (collisions over-attribute, the effect Fig. 14 highlights for small
+//!   flows).
+
+use netsim::trace::{Trace, TracePacket};
+use std::collections::HashMap;
+
+/// An estimator consumes a packet stream and yields per-sender byte
+/// estimates.
+pub trait FlowEstimator {
+    fn observe(&mut self, pkt: &TracePacket);
+    /// Estimated bytes for a sender (0 if unknown).
+    fn estimate(&self, src: u32) -> u64;
+    fn name(&self) -> &'static str;
+}
+
+/// sFlow: count-based 1-in-N packet sampling.
+#[derive(Debug)]
+pub struct SFlowEstimator {
+    pub sample_rate: u64,
+    counter: u64,
+    sampled_bytes: HashMap<u32, u64>,
+}
+
+impl SFlowEstimator {
+    pub fn new(sample_rate: u64) -> Self {
+        SFlowEstimator {
+            sample_rate: sample_rate.max(1),
+            counter: 0,
+            sampled_bytes: HashMap::new(),
+        }
+    }
+}
+
+impl FlowEstimator for SFlowEstimator {
+    fn observe(&mut self, pkt: &TracePacket) {
+        self.counter += 1;
+        if self.counter.is_multiple_of(self.sample_rate) {
+            *self.sampled_bytes.entry(pkt.src).or_default() += u64::from(pkt.bytes);
+        }
+    }
+
+    fn estimate(&self, src: u32) -> u64 {
+        self.sampled_bytes.get(&src).copied().unwrap_or(0) * self.sample_rate
+    }
+
+    fn name(&self) -> &'static str {
+        "sflow"
+    }
+}
+
+fn slot_hash(src: u32, salt: u64) -> u64 {
+    // splitmix-style mix, deterministic.
+    let mut x = u64::from(src) ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Data-plane exact hash table with evict-on-collision.
+#[derive(Debug)]
+pub struct HashTableEstimator {
+    slots: Vec<(u32, u64)>,
+    pub evictions: u64,
+}
+
+impl HashTableEstimator {
+    pub fn new(entries: usize) -> Self {
+        HashTableEstimator {
+            slots: vec![(0, 0); entries.max(1)],
+            evictions: 0,
+        }
+    }
+}
+
+impl FlowEstimator for HashTableEstimator {
+    fn observe(&mut self, pkt: &TracePacket) {
+        let i = (slot_hash(pkt.src, 1) % self.slots.len() as u64) as usize;
+        let (key, bytes) = &mut self.slots[i];
+        if *key == pkt.src {
+            *bytes += u64::from(pkt.bytes);
+        } else {
+            if *key != 0 {
+                self.evictions += 1;
+            }
+            *key = pkt.src;
+            *bytes = u64::from(pkt.bytes);
+        }
+    }
+
+    fn estimate(&self, src: u32) -> u64 {
+        let i = (slot_hash(src, 1) % self.slots.len() as u64) as usize;
+        let (key, bytes) = self.slots[i];
+        if key == src {
+            bytes
+        } else {
+            0
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hash_table"
+    }
+}
+
+/// Count-min sketch (the paper uses a 2-stage sketch with 8 K/16 K
+/// counters per stage).
+#[derive(Debug)]
+pub struct CountMinEstimator {
+    rows: Vec<Vec<u64>>,
+    width: usize,
+}
+
+impl CountMinEstimator {
+    pub fn new(depth: usize, width: usize) -> Self {
+        CountMinEstimator {
+            rows: vec![vec![0; width.max(1)]; depth.max(1)],
+            width: width.max(1),
+        }
+    }
+}
+
+impl FlowEstimator for CountMinEstimator {
+    fn observe(&mut self, pkt: &TracePacket) {
+        for (r, row) in self.rows.iter_mut().enumerate() {
+            let i = (slot_hash(pkt.src, r as u64 + 11) % self.width as u64) as usize;
+            row[i] += u64::from(pkt.bytes);
+        }
+    }
+
+    fn estimate(&self, src: u32) -> u64 {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(r, row)| {
+                let i = (slot_hash(src, r as u64 + 11) % self.width as u64) as usize;
+                row[i]
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "count_min"
+    }
+}
+
+/// The Mantis estimator as an offline model: samples one packet per
+/// reaction-loop interval and attributes the byte-counter delta to it —
+/// the exact algorithm of §8.3.1, runnable over a trace without the full
+/// switch for Fig. 14-scale inputs. The end-to-end (switch + agent)
+/// version lives in [`crate::dos`]; both implement the same estimator.
+#[derive(Debug)]
+pub struct MantisEstimator {
+    pub interval_ns: u64,
+    next_sample_at: u64,
+    total_bytes: u64,
+    last_total: u64,
+    est: HashMap<u32, u64>,
+    pub samples: u64,
+}
+
+impl MantisEstimator {
+    pub fn new(interval_ns: u64) -> Self {
+        MantisEstimator {
+            interval_ns: interval_ns.max(1),
+            next_sample_at: 0,
+            total_bytes: 0,
+            last_total: 0,
+            est: HashMap::new(),
+            samples: 0,
+        }
+    }
+}
+
+impl FlowEstimator for MantisEstimator {
+    fn observe(&mut self, pkt: &TracePacket) {
+        self.total_bytes += u64::from(pkt.bytes);
+        if pkt.at >= self.next_sample_at {
+            // The reaction loop fires: polls (src of the current packet,
+            // running byte total) and attributes the delta.
+            let delta = self.total_bytes - self.last_total;
+            self.last_total = self.total_bytes;
+            *self.est.entry(pkt.src).or_default() += delta;
+            self.samples += 1;
+            self.next_sample_at = pkt.at + self.interval_ns;
+        }
+    }
+
+    fn estimate(&self, src: u32) -> u64 {
+        self.est.get(&src).copied().unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "mantis"
+    }
+}
+
+/// Error statistics of one log2 flow-size bucket.
+#[derive(Clone, Debug)]
+pub struct BucketError {
+    /// Upper bound of the bucket (bytes).
+    pub upper_bytes: u64,
+    pub flows: u64,
+    pub mean_rel_error: f64,
+    pub mean_abs_error_bytes: f64,
+}
+
+/// Per-estimator error summary over a trace, bucketed by true flow size
+/// (Fig. 14's x-axis).
+#[derive(Clone, Debug)]
+pub struct ErrorByFlowSize {
+    pub estimator: &'static str,
+    pub buckets: Vec<BucketError>,
+    /// Mean relative error across flows (small flows dominate).
+    pub mean_rel_error: f64,
+    /// Relative error weighted by true flow bytes (traffic-volume view).
+    pub weighted_rel_error: f64,
+}
+
+impl ErrorByFlowSize {
+    /// Mean relative error of the smallest-flows bucket.
+    pub fn small_flow_error(&self) -> f64 {
+        self.buckets
+            .first()
+            .map(|b| b.mean_rel_error)
+            .unwrap_or(0.0)
+    }
+
+    /// Mean relative error of the largest-flows bucket.
+    pub fn large_flow_error(&self) -> f64 {
+        self.buckets.last().map(|b| b.mean_rel_error).unwrap_or(0.0)
+    }
+}
+
+/// Run an estimator over a trace and compute its Fig. 14 error profile.
+pub fn evaluate(est: &mut dyn FlowEstimator, trace: &Trace) -> ErrorByFlowSize {
+    for p in &trace.packets {
+        est.observe(p);
+    }
+    struct Acc {
+        rel: f64,
+        abs: f64,
+        n: u64,
+    }
+    let mut bucket_sums: HashMap<u32, Acc> = HashMap::new();
+    let mut total_rel = 0.0;
+    let mut weighted = 0.0;
+    let mut weight = 0.0;
+    let mut n = 0u64;
+    for (src, truth) in &trace.truth_bytes {
+        if *truth == 0 {
+            continue;
+        }
+        let e = est.estimate(*src);
+        let abs = (e as f64 - *truth as f64).abs();
+        let rel = abs / *truth as f64;
+        let bucket = 64 - truth.leading_zeros(); // log2 bucket
+        let ent = bucket_sums.entry(bucket).or_insert(Acc {
+            rel: 0.0,
+            abs: 0.0,
+            n: 0,
+        });
+        ent.rel += rel;
+        ent.abs += abs;
+        ent.n += 1;
+        total_rel += rel;
+        weighted += rel * *truth as f64;
+        weight += *truth as f64;
+        n += 1;
+    }
+    let mut buckets: Vec<BucketError> = bucket_sums
+        .into_iter()
+        .map(|(b, acc)| BucketError {
+            upper_bytes: 1u64 << b,
+            flows: acc.n,
+            mean_rel_error: acc.rel / acc.n as f64,
+            mean_abs_error_bytes: acc.abs / acc.n as f64,
+        })
+        .collect();
+    buckets.sort_by_key(|b| b.upper_bytes);
+    ErrorByFlowSize {
+        estimator: est.name(),
+        buckets,
+        mean_rel_error: if n == 0 { 0.0 } else { total_rel / n as f64 },
+        weighted_rel_error: if weight == 0.0 {
+            0.0
+        } else {
+            weighted / weight
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Traditional control plane + two-phase update baselines (§2, §5.1.2)
+// ---------------------------------------------------------------------------
+
+/// Latency model of a traditional OpenFlow-style control loop: polling via
+/// a centralized controller takes milliseconds per round trip.
+#[derive(Clone, Debug)]
+pub struct SlowControlPlane {
+    /// Controller round-trip (poll or rule install), typically ~1-10 ms.
+    pub rtt_ns: u64,
+    /// Rule computation time at the controller.
+    pub compute_ns: u64,
+}
+
+impl Default for SlowControlPlane {
+    fn default() -> Self {
+        SlowControlPlane {
+            rtt_ns: 2_000_000,
+            compute_ns: 500_000,
+        }
+    }
+}
+
+impl SlowControlPlane {
+    /// Time from event occurrence to rule installed: one poll interval
+    /// (worst case half, we use full for detection), one poll RTT, compute,
+    /// one install RTT.
+    pub fn reaction_latency_ns(&self, poll_interval_ns: u64) -> u64 {
+        poll_interval_ns + self.rtt_ns + self.compute_ns + self.rtt_ns
+    }
+}
+
+/// Cost model of Reitblatt-style two-phase consistent updates (§5.1.2):
+/// every update installs the complete new configuration tagged with a new
+/// version, then (after a conservative timeout) removes the old one.
+#[derive(Clone, Debug)]
+pub struct TwoPhaseUpdater {
+    pub per_entry_ns: u64,
+    /// Conservative timeout before garbage-collecting the old version.
+    pub timeout_ns: u64,
+    /// In-flight version tags kept simultaneously.
+    pub max_versions: u32,
+}
+
+impl Default for TwoPhaseUpdater {
+    fn default() -> Self {
+        TwoPhaseUpdater {
+            per_entry_ns: 4_600,
+            timeout_ns: 1_000_000, // ≥ max packet lifetime, conservative
+            max_versions: 8,
+        }
+    }
+}
+
+impl TwoPhaseUpdater {
+    /// Latency to apply an update touching `changed` entries of a
+    /// `total`-entry configuration: the full config is reinstalled.
+    pub fn update_latency_ns(&self, total_entries: u64, _changed: u64) -> u64 {
+        total_entries * self.per_entry_ns
+    }
+
+    /// Table-space overhead factor while updates are in flight.
+    pub fn space_factor(&self, update_interval_ns: u64) -> f64 {
+        // Versions alive = ceil(timeout / interval) + 1, capped.
+        let alive = (self.timeout_ns + update_interval_ns - 1) / update_interval_ns.max(1) + 1;
+        alive.min(u64::from(self.max_versions)) as f64
+    }
+
+    /// Mantis three-phase latency for the same update: proportional to the
+    /// number of *changed* entries only (plus the constant commit flip).
+    pub fn mantis_latency_ns(&self, _total: u64, changed: u64, init_flip_ns: u64) -> u64 {
+        // prepare (changed) + commit (flip) + mirror (changed)
+        2 * changed * self.per_entry_ns + init_flip_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::trace::{generate, TraceConfig};
+
+    fn test_trace() -> Trace {
+        // Scaled to the paper's regime: ~24 packets/flow average (the
+        // CAIDA block has 8.9 M packets over 370 K flows).
+        generate(&TraceConfig {
+            flows: 2_000,
+            duration_ns: 50_000_000,
+            seed: 42,
+            min_pkts_per_flow: 4.0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn sflow_estimates_scale_with_rate() {
+        let t = test_trace();
+        let mut s = SFlowEstimator::new(100);
+        let res = evaluate(&mut s, &t);
+        // Coarse sampling: large error overall but bounded for huge flows.
+        assert!(res.mean_rel_error > 0.1);
+        assert!(res.large_flow_error() < 0.9, "{}", res.large_flow_error());
+    }
+
+    #[test]
+    fn hash_table_exact_without_collisions() {
+        let t = generate(&TraceConfig {
+            flows: 50,
+            seed: 1,
+            ..Default::default()
+        });
+        // Plenty of slots → near-exact estimates.
+        let mut h = HashTableEstimator::new(1 << 16);
+        let res = evaluate(&mut h, &t);
+        assert!(res.mean_rel_error < 0.05, "{}", res.mean_rel_error);
+    }
+
+    #[test]
+    fn hash_table_evicts_under_pressure() {
+        let t = test_trace();
+        let mut h = HashTableEstimator::new(256);
+        let _ = evaluate(&mut h, &t);
+        assert!(h.evictions > 0);
+    }
+
+    #[test]
+    fn count_min_never_underestimates() {
+        let t = test_trace();
+        let mut c = CountMinEstimator::new(2, 8_192);
+        for p in &t.packets {
+            c.observe(p);
+        }
+        for (src, truth) in &t.truth_bytes {
+            assert!(c.estimate(*src) >= *truth);
+        }
+    }
+
+    #[test]
+    fn count_min_hurts_small_flows_most() {
+        let t = test_trace();
+        let mut c = CountMinEstimator::new(2, 2_048);
+        let res = evaluate(&mut c, &t);
+        let small = res.small_flow_error();
+        let large = res.large_flow_error();
+        assert!(
+            small > large * 5.0,
+            "small-flow error {small} vs large-flow {large}"
+        );
+    }
+
+    #[test]
+    fn mantis_estimator_total_is_conserved() {
+        let t = test_trace();
+        let mut m = MantisEstimator::new(10_000);
+        for p in &t.packets {
+            m.observe(p);
+        }
+        let est_total: u64 = t.truth_bytes.keys().map(|s| m.estimate(*s)).sum();
+        // Attribution conserves the byte total up to the unsampled tail.
+        let truth_total = t.total_bytes();
+        assert!(est_total <= truth_total);
+        assert!(
+            est_total as f64 > truth_total as f64 * 0.9,
+            "est {est_total} vs truth {truth_total}"
+        );
+    }
+
+    #[test]
+    fn figure_14_ordering_holds() {
+        // The paper's headline claims, on a trace scaled so the sketch
+        // oversubscription (flows per counter) matches the paper's
+        // 370 K flows / 8 K counters ≈ 45×:
+        //  (1) Mantis ≪ sFlow on traffic-weighted error,
+        //  (2) Mantis ≪ sketch on small flows (collisions misattribute
+        //      arbitrarily many bytes),
+        //  (3) Mantis comparable (within a small factor) on large flows.
+        let t = test_trace(); // 2 000 flows, ~50 K packets
+        let mantis = evaluate(&mut MantisEstimator::new(8_000), &t);
+        let sflow = evaluate(&mut SFlowEstimator::new(30_000), &t);
+        let cms = evaluate(&mut CountMinEstimator::new(2, 64), &t);
+
+        assert!(
+            mantis.weighted_rel_error * 2.0 < sflow.weighted_rel_error,
+            "mantis {} vs sflow {}",
+            mantis.weighted_rel_error,
+            sflow.weighted_rel_error
+        );
+        // Large flows: Mantis gets many samples, sFlow ~none.
+        assert!(
+            mantis.large_flow_error() * 5.0 < sflow.large_flow_error(),
+            "mantis large {} vs sflow large {}",
+            mantis.large_flow_error(),
+            sflow.large_flow_error()
+        );
+        assert!(
+            mantis.small_flow_error() * 5.0 < cms.small_flow_error(),
+            "mantis small-flow {} vs cms {}",
+            mantis.small_flow_error(),
+            cms.small_flow_error()
+        );
+        assert!(
+            mantis.large_flow_error() < cms.large_flow_error() * 10.0 + 0.5,
+            "mantis large-flow {} vs cms {}",
+            mantis.large_flow_error(),
+            cms.large_flow_error()
+        );
+    }
+
+    #[test]
+    fn slow_control_plane_is_orders_slower() {
+        let slow = SlowControlPlane::default();
+        // Poll every 10 ms → ~14.5 ms reaction; Mantis reacts in ~10s of µs.
+        let lat = slow.reaction_latency_ns(10_000_000);
+        assert!(lat > 100 * 100_000);
+    }
+
+    #[test]
+    fn two_phase_costs_full_config_mantis_costs_delta() {
+        let tp = TwoPhaseUpdater::default();
+        let full = tp.update_latency_ns(1_000, 1);
+        let mantis = tp.mantis_latency_ns(1_000, 1, 3_800);
+        assert!(full > mantis * 50, "two-phase {full} vs mantis {mantis}");
+        // Space overhead grows as updates outpace the GC timeout.
+        assert!(tp.space_factor(10_000) > tp.space_factor(1_000_000));
+    }
+}

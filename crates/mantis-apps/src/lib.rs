@@ -1,0 +1,14 @@
+//! # mantis-apps
+//!
+//! The four use cases of the paper's evaluation (Table 1, §8.3) plus the
+//! baselines they are compared against.
+
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+pub mod dos;
+pub mod ecmp;
+pub mod failover;
+pub mod programs;
+pub mod rl;
+pub mod table1;

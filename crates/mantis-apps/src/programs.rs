@@ -1,0 +1,460 @@
+//! The P4R programs of the paper's four use cases (Table 1).
+//!
+//! Each program is a complete P4R source embedded as a constant; all four
+//! compile with the Mantis compiler and load into the RMT simulator. The
+//! reaction bodies are the C-like reference implementations (runnable in
+//! the interpreter); the heavy experiment harnesses swap in native Rust
+//! reactions with identical logic via [`mantis_agent::MantisAgent::swap_reaction`].
+
+/// Use case #1 (§8.3.1): flow size estimation and DoS mitigation.
+///
+/// The data plane tracks the current packet's source address and a running
+/// byte/packet total; the reaction attributes byte-count deltas to the
+/// sampled source, estimates per-sender rates, and blocks senders exceeding
+/// a threshold via the malleable `block_table`.
+pub const DOS_P4R: &str = r#"
+header_type ethernet_t {
+    fields { dst_addr : 48; src_addr : 48; ether_type : 16; }
+}
+header_type ipv4_t {
+    fields {
+        version_ihl : 8; diffserv : 8; total_len : 16;
+        identification : 16; flags_frag : 16; ttl : 8;
+        protocol : 8; hdr_checksum : 16;
+        src_addr : 32; dst_addr : 32;
+    }
+}
+header_type scratch_t { fields { acc_bytes : 64; acc_pkts : 64; } }
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+metadata scratch_t scratch;
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.ether_type) {
+        0x0800 : parse_ipv4;
+        default : done;
+    };
+}
+parser parse_ipv4 { extract(ipv4); return ingress; }
+parser done { return ingress; }
+
+register total_bytes { width : 64; instance_count : 1; }
+register total_pkts { width : 64; instance_count : 1; }
+
+action set_egress(port) { modify_field(intr.egress_spec, port); }
+action bounce() { modify_field(intr.egress_spec, intr.ingress_port); }
+table l2_forward {
+    reads { ethernet.dst_addr : exact; }
+    actions { set_egress; bounce; }
+    default_action : bounce();
+    size : 1024;
+}
+
+action tally() {
+    register_read(scratch.acc_bytes, total_bytes, 0);
+    add_to_field(scratch.acc_bytes, intr.pkt_len);
+    register_write(total_bytes, 0, scratch.acc_bytes);
+    register_read(scratch.acc_pkts, total_pkts, 0);
+    add_to_field(scratch.acc_pkts, 1);
+    register_write(total_pkts, 0, scratch.acc_pkts);
+}
+table stats { actions { tally; } default_action : tally(); }
+
+action allow() { no_op(); }
+action deny() { drop(); }
+malleable table block_table {
+    reads { ipv4.src_addr : exact; }
+    actions { allow; deny; }
+    default_action : allow();
+    size : 4096;
+}
+
+reaction estimate_and_block(ing ipv4.src_addr, reg total_bytes[0:0]) {
+    // Reference implementation: open-addressing table of senders with the
+    // marginal-attribution estimator from the paper. `RATE_KBPS` is the
+    // blocking threshold (1 Gbps = 125000 kB/s); `MIN_US` the minimum
+    // observation window before a sender becomes eligible for blocking.
+    static uint64_t keys[8192];
+    static uint64_t est_bytes[8192];
+    static uint64_t first_us[8192];
+    static uint64_t blocked[8192];
+    static uint64_t last_total = 0;
+    uint64_t now = now_us();
+    uint64_t total = total_bytes[0];
+    uint64_t delta = total - last_total;
+    last_total = total;
+    uint64_t src = ipv4_src_addr;
+    if (src == 0 || delta == 0) { return 0; }
+    int slot = (src * 2654435761) % 8192;
+    for (int probe = 0; probe < 64; ++probe) {
+        int i = (slot + probe) % 8192;
+        if (keys[i] == 0) {
+            keys[i] = src;
+            first_us[i] = now;
+            est_bytes[i] = delta;
+            return 0;
+        }
+        if (keys[i] == src) {
+            est_bytes[i] = est_bytes[i] + delta;
+            uint64_t age = now - first_us[i];
+            if (!blocked[i] && age > 50 && est_bytes[i] / (age + 1) > 125) {
+                block_table.addEntry(1, src);
+                blocked[i] = 1;
+            }
+            return 0;
+        }
+    }
+    return 0;
+}
+
+control ingress {
+    apply(block_table);
+    apply(stats);
+    apply(l2_forward);
+}
+"#;
+
+/// Use case #2 (§8.3.2): route recomputation on gray failures.
+///
+/// Neighbors send a heartbeat every `T_s` (1 µs). The data plane counts
+/// heartbeats per ingress port; the reaction compares the observed count
+/// against `δ = ⌊η·T_d/T_s⌋` and, after two consecutive violations,
+/// recomputes routes and reinstalls them into the malleable `route` table.
+pub const FAILOVER_P4R: &str = r#"
+header_type ethernet_t {
+    fields { dst_addr : 48; src_addr : 48; ether_type : 16; }
+}
+header_type ipv4_t {
+    fields {
+        version_ihl : 8; diffserv : 8; total_len : 16;
+        identification : 16; flags_frag : 16; ttl : 8;
+        protocol : 8; hdr_checksum : 16;
+        src_addr : 32; dst_addr : 32;
+    }
+}
+header_type hb_t { fields { seq : 32; origin : 16; } }
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+header hb_t hb;
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.ether_type) {
+        0x0800 : parse_ipv4;
+        0x88b5 : parse_hb;
+        default : done;
+    };
+}
+parser parse_ipv4 { extract(ipv4); return ingress; }
+parser parse_hb { extract(hb); return ingress; }
+parser done { return ingress; }
+
+register hb_count { width : 64; instance_count : 32; }
+
+action count_hb() {
+    count(hb_count, intr.ingress_port);
+    drop();
+}
+table heartbeat { actions { count_hb; } default_action : count_hb(); }
+
+action route_to(port) { modify_field(intr.egress_spec, port); }
+action unroutable() { drop(); }
+malleable table route {
+    reads { ipv4.dst_addr : lpm; }
+    actions { route_to; unroutable; }
+    default_action : unroutable();
+    size : 256;
+}
+
+reaction detect_failures(reg hb_count[0:7]) {
+    // Detection-only reference body: flags the first failed port into
+    // ${failed_port}. The native implementation adds full Dijkstra route
+    // recomputation over the topology (§8.3.2).
+    static uint64_t last[8];
+    static uint64_t below[8];
+    static uint64_t last_us = 0;
+    uint64_t now = now_us();
+    uint64_t td = now - last_us;
+    last_us = now;
+    if (td == 0 || td > 100000) {
+        for (int i = 0; i < 8; ++i) last[i] = hb_count[i];
+        return 0;
+    }
+    // eta = 20%: delta = td * 2 / 10 heartbeats expected at Ts = 1us.
+    // Neighbors occupy ports 4..7 (see failover::Topology::example).
+    uint64_t expected = td * 2 / 10;
+    for (int p = 4; p < 8; ++p) {
+        uint64_t delta = hb_count[p] - last[p];
+        last[p] = hb_count[p];
+        if (delta < expected) {
+            below[p] = below[p] + 1;
+        } else {
+            below[p] = 0;
+        }
+        if (below[p] == 2) {
+            ${failed_port} = p;
+        }
+    }
+    return 0;
+}
+
+malleable value failed_port { width : 16; init : 65535; }
+
+control ingress {
+    if (valid(hb)) {
+        apply(heartbeat);
+    } else {
+        apply(route);
+    }
+}
+"#;
+
+/// Use case #3 (§8.3.3): hash polarization mitigation.
+///
+/// The ECMP hash inputs are malleable fields; the reaction computes the
+/// Median Absolute Deviation of per-port egress counters and shifts the
+/// hash inputs when imbalance persists.
+pub const ECMP_P4R: &str = r#"
+header_type ethernet_t {
+    fields { dst_addr : 48; src_addr : 48; ether_type : 16; }
+}
+header_type ipv4_t {
+    fields {
+        version_ihl : 8; diffserv : 8; total_len : 16;
+        identification : 16; flags_frag : 16; ttl : 8;
+        protocol : 8; hdr_checksum : 16;
+        src_addr : 32; dst_addr : 32;
+    }
+}
+header_type l4_t { fields { sport : 32; dport : 32; } }
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+header l4_t l4;
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.ether_type) {
+        0x0800 : parse_ipv4;
+        default : done;
+    };
+}
+parser parse_ipv4 { extract(ipv4); return parse_l4; }
+parser parse_l4 { extract(l4); return ingress; }
+parser done { return ingress; }
+
+malleable field hash_a {
+    width : 32; init : ipv4.src_addr;
+    alts { ipv4.src_addr, l4.sport }
+}
+malleable field hash_b {
+    width : 32; init : ipv4.dst_addr;
+    alts { ipv4.dst_addr, l4.dport }
+}
+
+field_list ecmp_inputs {
+    ${hash_a};
+    ${hash_b};
+    ipv4.protocol;
+}
+field_list_calculation ecmp_hash {
+    input { ecmp_inputs; }
+    algorithm : crc16;
+    output_width : 16;
+}
+
+register egr_counts { width : 64; instance_count : 8; pipeline : egress; }
+
+action pick_path(base) {
+    modify_field_with_hash_based_offset(intr.egress_spec, base, ecmp_hash, 4);
+}
+table ecmp { actions { pick_path; } default_action : pick_path(4); }
+
+action count_egress() { count(egr_counts, intr.egress_port); }
+table egr_stats { actions { count_egress; } default_action : count_egress(); }
+
+reaction rebalance(reg egr_counts[4:7]) {
+    // Mean absolute deviation of per-port deltas (see [38] in the paper);
+    // shift the hash inputs when the relative deviation exceeds 25% for 3
+    // consecutive dialogues.
+    static uint64_t last[4];
+    static int persist = 0;
+    int64_t d[4];
+    int64_t total = 0;
+    for (int i = 0; i < 4; ++i) {
+        d[i] = egr_counts[i + 4] - last[i];
+        last[i] = egr_counts[i + 4];
+        total = total + d[i];
+    }
+    if (total < 16) { return 0; }
+    int64_t avg = total / 4;
+    int64_t devsum = 0;
+    for (int i = 0; i < 4; ++i) {
+        devsum = devsum + (d[i] > avg ? d[i] - avg : avg - d[i]);
+    }
+    int64_t dev = devsum / 4;
+    if (dev * 4 > avg) {
+        persist = persist + 1;
+    } else {
+        persist = 0;
+    }
+    if (persist >= 3) {
+        ${hash_a} = (${hash_a} + 1) % 2;
+        ${hash_b} = (${hash_b} + 1) % 2;
+        persist = 0;
+        for (int i = 0; i < 4; ++i) last[i] = egr_counts[i + 4];
+    }
+    return 0;
+}
+
+control ingress { apply(ecmp); }
+control egress { apply(egr_stats); }
+"#;
+
+/// Use case #4 (§8.3.4): reinforcement learning of the DCTCP ECN marking
+/// threshold.
+///
+/// The marking threshold is a malleable value; the reaction observes queue
+/// depth and throughput counters and runs ε-greedy Q-learning to pick the
+/// threshold maximizing utilization minus queueing.
+pub const RL_P4R: &str = r#"
+header_type ethernet_t {
+    fields { dst_addr : 48; src_addr : 48; ether_type : 16; }
+}
+header_type ipv4_t {
+    fields {
+        version_ihl : 8; diffserv : 8; total_len : 16;
+        identification : 16; flags_frag : 16; ttl : 8;
+        protocol : 8; hdr_checksum : 16;
+        src_addr : 32; dst_addr : 32;
+    }
+}
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.ether_type) {
+        0x0800 : parse_ipv4;
+        default : done;
+    };
+}
+parser parse_ipv4 { extract(ipv4); return ingress; }
+parser done { return ingress; }
+
+malleable value ecn_thresh { width : 32; init : 30000; }
+
+register qdepths { width : 64; instance_count : 32; pipeline : egress; }
+register egr_pkts { width : 64; instance_count : 1; pipeline : egress; }
+register egr_marks { width : 64; instance_count : 1; pipeline : egress; }
+
+action to_port(port) { modify_field(intr.egress_spec, port); }
+table fwd { actions { to_port; } default_action : to_port(2); }
+
+action mark() {
+    modify_field(intr.ecn, 3);
+    count(egr_marks, 0);
+}
+action count_pkt() { count(egr_pkts, 0); }
+table marker { actions { mark; } default_action : mark(); }
+table egr_tally { actions { count_pkt; } default_action : count_pkt(); }
+
+field_list thresh_probe { ${ecn_thresh}; }
+
+reaction tune_threshold(reg qdepths[2:2], reg egr_pkts[0:0], reg egr_marks[0:0]) {
+    // Reference body: a hill-climbing policy (the native implementation
+    // replaces this with full epsilon-greedy tabular Q-learning).
+    static uint64_t last_pkts = 0;
+    uint64_t q = qdepths[2];
+    uint64_t tput = egr_pkts[0] - last_pkts;
+    last_pkts = egr_pkts[0];
+    if (q > ${ecn_thresh} * 2 && ${ecn_thresh} > 2000) {
+        ${ecn_thresh} = ${ecn_thresh} / 2;
+    } else {
+        if (q < ${ecn_thresh} / 4 && tput > 0 && ${ecn_thresh} < 200000) {
+            ${ecn_thresh} = ${ecn_thresh} + 1000;
+        }
+    }
+    return 0;
+}
+
+control ingress { apply(fwd); }
+control egress {
+    apply(egr_tally);
+    if (intr.deq_qdepth > ${ecn_thresh}) {
+        apply(marker);
+    }
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4r_compiler::{compile_source, CompilerOptions};
+
+    fn compiles(src: &str) -> p4r_compiler::Compiled {
+        match compile_source(src, &CompilerOptions::default()) {
+            Ok(c) => c,
+            Err(e) => panic!("compile failed: {e}"),
+        }
+    }
+
+    #[test]
+    fn dos_program_compiles_and_loads() {
+        let c = compiles(DOS_P4R);
+        assert!(c.iface.table("block_table").unwrap().malleable);
+        assert_eq!(c.iface.reactions.len(), 1);
+        rmt_sim::load(&c.p4).unwrap();
+    }
+
+    #[test]
+    fn failover_program_compiles_and_loads() {
+        let c = compiles(FAILOVER_P4R);
+        assert!(c.iface.table("route").unwrap().malleable);
+        assert!(c.iface.value("failed_port").is_some());
+        rmt_sim::load(&c.p4).unwrap();
+    }
+
+    #[test]
+    fn ecmp_program_compiles_and_loads() {
+        let c = compiles(ECMP_P4R);
+        assert_eq!(c.iface.fields.len(), 2);
+        // Both hash fields use the load-value optimization.
+        assert!(c.iface.field("hash_a").unwrap().load.is_some());
+        assert!(c.iface.field("hash_b").unwrap().load.is_some());
+        rmt_sim::load(&c.p4).unwrap();
+    }
+
+    #[test]
+    fn rl_program_compiles_and_loads() {
+        let c = compiles(RL_P4R);
+        assert!(c.iface.value("ecn_thresh").is_some());
+        rmt_sim::load(&c.p4).unwrap();
+    }
+
+    #[test]
+    fn reaction_bodies_parse() {
+        for src in [DOS_P4R, FAILOVER_P4R, ECMP_P4R, RL_P4R] {
+            let c = compiles(src);
+            for r in &c.iface.reactions {
+                p4r_lang::creact::parse_body(&r.body_src)
+                    .unwrap_or_else(|e| panic!("reaction `{}` body: {e}", r.name));
+            }
+        }
+    }
+
+    #[test]
+    fn loc_in_table1_ballpark() {
+        // Table 1 reports P4R programs between 30 and 157 lines; ours are
+        // comparable in scale.
+        for (src, max) in [
+            (DOS_P4R, 160),
+            (FAILOVER_P4R, 160),
+            (ECMP_P4R, 200),
+            (RL_P4R, 160),
+        ] {
+            let loc = src.lines().filter(|l| !l.trim().is_empty()).count();
+            assert!(loc > 30 && loc < max, "loc = {loc}");
+        }
+    }
+}

@@ -1,0 +1,452 @@
+//! Traffic sources: TCP-like AIMD flows, constant-bit-rate UDP senders, and
+//! heartbeat generators.
+//!
+//! The TCP model is deliberately simple — rate-based AIMD with one
+//! multiplicative decrease per RTT on loss — which captures what the
+//! paper's experiments depend on: flows back off under drops and recover on
+//! the RTT timescale (Fig. 15's ~500 µs return to steady state).
+
+use crate::sim::Simulator;
+use rmt_sim::{Nanos, PacketDesc, PortId};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Header fields to stamp on every generated packet:
+/// `(instance, field, value)`.
+pub type FieldTemplate = Vec<(String, String, u128)>;
+
+/// Configuration of a TCP-like AIMD flow.
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    pub ingress_port: PortId,
+    pub fields: FieldTemplate,
+    pub payload_bytes: u32,
+    pub initial_rate_bps: u64,
+    pub min_rate_bps: u64,
+    pub max_rate_bps: u64,
+    /// Additive increase per RTT.
+    pub increase_bps: u64,
+    pub rtt_ns: Nanos,
+    pub start_ns: Nanos,
+    /// Stop sending at this time (None = run forever).
+    pub stop_ns: Option<Nanos>,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            ingress_port: 0,
+            fields: Vec::new(),
+            payload_bytes: 1_400,
+            initial_rate_bps: 100_000_000,
+            min_rate_bps: 1_000_000,
+            max_rate_bps: 25_000_000_000,
+            increase_bps: 20_000_000,
+            rtt_ns: 100_000, // 100 µs data-center RTT
+            start_ns: 0,
+            stop_ns: None,
+        }
+    }
+}
+
+/// Live state of a TCP flow.
+#[derive(Debug)]
+pub struct TcpState {
+    pub cfg: TcpConfig,
+    pub rate_bps: u64,
+    pub sent_pkts: u64,
+    pub accepted_pkts: u64,
+    pub accepted_bytes: u64,
+    pub lost_pkts: u64,
+    loss_this_rtt: bool,
+    /// External back-off request (e.g. ECN feedback computed by an
+    /// experiment harness): rate is multiplied by `f` at the next RTT tick.
+    pub backoff_factor: Option<f64>,
+    pub stopped: bool,
+    /// Nominal time of the next send (keeps the rate when the shared clock
+    /// jumps ahead during control-plane work).
+    next_send_ns: Nanos,
+    /// Send-chain generation: bumped when the AIMD tick reschedules an
+    /// overslept send loop, invalidating the stale pending event.
+    send_gen: u64,
+}
+
+impl TcpState {
+    /// Interval between packets at the current rate.
+    fn send_interval(&self) -> Nanos {
+        let bits = u64::from(self.cfg.payload_bytes) * 8;
+        (bits * 1_000_000_000 / self.rate_bps.max(1)).max(1)
+    }
+}
+
+/// Spawn a TCP flow into the simulator; returns a handle to its state.
+pub fn spawn_tcp(sim: &mut Simulator, cfg: TcpConfig) -> Rc<RefCell<TcpState>> {
+    let state = Rc::new(RefCell::new(TcpState {
+        rate_bps: cfg.initial_rate_bps,
+        next_send_ns: cfg.start_ns,
+        send_gen: 0,
+        cfg,
+        sent_pkts: 0,
+        accepted_pkts: 0,
+        accepted_bytes: 0,
+        lost_pkts: 0,
+        loss_this_rtt: false,
+        backoff_factor: None,
+        stopped: false,
+    }));
+
+    // Send loop.
+    {
+        let state = state.clone();
+        let start = state.borrow().cfg.start_ns;
+        sim.schedule(start, move |s| tcp_send(s, state, 0));
+    }
+    // AIMD tick.
+    {
+        let state = state.clone();
+        let (start, rtt) = {
+            let st = state.borrow();
+            (st.cfg.start_ns + st.cfg.rtt_ns, st.cfg.rtt_ns)
+        };
+        sim.schedule_periodic(start, rtt, move |s| {
+            let wake = {
+                let mut st = state.borrow_mut();
+                if st.stopped {
+                    return false;
+                }
+                if let Some(f) = st.backoff_factor.take() {
+                    st.rate_bps = ((st.rate_bps as f64 * f) as u64).max(st.cfg.min_rate_bps);
+                } else if st.loss_this_rtt {
+                    st.rate_bps = (st.rate_bps / 2).max(st.cfg.min_rate_bps);
+                } else {
+                    st.rate_bps = (st.rate_bps + st.cfg.increase_bps).min(st.cfg.max_rate_bps);
+                }
+                st.loss_this_rtt = false;
+                // If the send loop overslept at a previously tiny rate,
+                // reschedule it at the new rate's pace.
+                let interval = st.send_interval();
+                if st.next_send_ns > s.now() + interval {
+                    st.send_gen += 1;
+                    st.next_send_ns = s.now() + interval;
+                    Some((st.next_send_ns, st.send_gen))
+                } else {
+                    None
+                }
+            };
+            if let Some((at, gen)) = wake {
+                let state = state.clone();
+                s.schedule(at, move |s2| tcp_send(s2, state, gen));
+            }
+            true
+        });
+    }
+    state
+}
+
+fn tcp_send(sim: &mut Simulator, state: Rc<RefCell<TcpState>>, gen: u64) {
+    let (desc, interval, done) = {
+        let st = state.borrow();
+        if gen != st.send_gen {
+            return; // superseded by a tick-rescheduled chain
+        }
+        if st.stopped || st.cfg.stop_ns.is_some_and(|t| sim.now() >= t) {
+            (None, 0, true)
+        } else {
+            let mut d = PacketDesc::new(st.cfg.ingress_port).payload(st.cfg.payload_bytes);
+            for (i, f, v) in &st.cfg.fields {
+                d = d.field(i, f, *v);
+            }
+            (Some(d), st.send_interval(), false)
+        }
+    };
+    if done {
+        state.borrow_mut().stopped = true;
+        return;
+    }
+    let desc = desc.unwrap();
+    let accepted = sim.switch().borrow_mut().inject(&desc);
+    {
+        let mut st = state.borrow_mut();
+        st.sent_pkts += 1;
+        if accepted {
+            st.accepted_pkts += 1;
+            st.accepted_bytes += u64::from(st.cfg.payload_bytes);
+        } else {
+            st.lost_pkts += 1;
+            st.loss_this_rtt = true;
+        }
+    }
+    let next = {
+        let mut st = state.borrow_mut();
+        st.next_send_ns += interval;
+        st.next_send_ns
+    };
+    sim.schedule(next, move |s| tcp_send(s, state, gen));
+}
+
+/// Configuration of a constant-bit-rate UDP sender (the Fig. 15 attacker).
+#[derive(Clone, Debug)]
+pub struct UdpConfig {
+    pub ingress_port: PortId,
+    pub fields: FieldTemplate,
+    pub payload_bytes: u32,
+    pub rate_bps: u64,
+    pub start_ns: Nanos,
+    pub stop_ns: Option<Nanos>,
+}
+
+/// Live state of a UDP sender.
+#[derive(Debug, Default)]
+pub struct UdpState {
+    pub sent_pkts: u64,
+    pub accepted_pkts: u64,
+    pub dropped_pkts: u64,
+    pub stopped: bool,
+}
+
+/// Spawn a CBR UDP sender.
+pub fn spawn_udp(sim: &mut Simulator, cfg: UdpConfig) -> Rc<RefCell<UdpState>> {
+    let state = Rc::new(RefCell::new(UdpState::default()));
+    let interval = (u64::from(cfg.payload_bytes) * 8 * 1_000_000_000 / cfg.rate_bps.max(1)).max(1);
+    {
+        let state = state.clone();
+        sim.schedule_periodic(cfg.start_ns, interval, move |s| {
+            if state.borrow().stopped || cfg.stop_ns.is_some_and(|t| s.now() >= t) {
+                state.borrow_mut().stopped = true;
+                return false;
+            }
+            let mut d = PacketDesc::new(cfg.ingress_port).payload(cfg.payload_bytes);
+            for (i, f, v) in &cfg.fields {
+                d = d.field(i, f, *v);
+            }
+            let ok = s.switch().borrow_mut().inject(&d);
+            let mut st = state.borrow_mut();
+            st.sent_pkts += 1;
+            if ok {
+                st.accepted_pkts += 1;
+            } else {
+                st.dropped_pkts += 1;
+            }
+            true
+        });
+    }
+    state
+}
+
+/// Heartbeat generator for the gray-failure use case (§8.3.2): one
+/// high-priority heartbeat every `interval_ns` into `port`. When the port
+/// is administratively down (simulating a link failure), the switch drops
+/// the heartbeats and the data plane stops counting them.
+#[derive(Clone, Debug)]
+pub struct HeartbeatConfig {
+    pub port: PortId,
+    pub fields: FieldTemplate,
+    pub interval_ns: Nanos,
+    pub start_ns: Nanos,
+}
+
+pub fn spawn_heartbeats(sim: &mut Simulator, cfg: HeartbeatConfig) {
+    sim.schedule_periodic(cfg.start_ns, cfg.interval_ns, move |s| {
+        let mut d = PacketDesc::new(cfg.port).payload(0);
+        for (i, f, v) in &cfg.fields {
+            d = d.field(i, f, *v);
+        }
+        s.switch().borrow_mut().inject(&d);
+        true
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt_sim::{switch_from_source, Clock, Switch, SwitchConfig};
+
+    const PROG: &str = r#"
+header_type ip_t { fields { src : 32; dst : 32; } }
+header ip_t ip;
+register hb_count { width : 64; instance_count : 32; }
+action fwd() { modify_field(intr.egress_spec, 2); }
+action count_hb() { count(hb_count, intr.ingress_port); }
+table route { actions { fwd; } default_action : fwd(); }
+table hb { actions { count_hb; } default_action : count_hb(); }
+control ingress { apply(hb); apply(route); }
+"#;
+
+    fn mk(queue_bytes: u32) -> Simulator {
+        let clock = Clock::new();
+        let sw: Switch = switch_from_source(
+            PROG,
+            SwitchConfig {
+                queue_capacity_bytes: queue_bytes,
+                ..Default::default()
+            },
+            clock,
+        )
+        .unwrap();
+        Simulator::new(Rc::new(RefCell::new(sw)))
+    }
+
+    fn ip_fields(src: u128) -> FieldTemplate {
+        vec![
+            ("ip".into(), "src".into(), src),
+            ("ip".into(), "dst".into(), 1),
+        ]
+    }
+
+    #[test]
+    fn tcp_flow_sends_at_configured_rate() {
+        let mut sim = mk(1 << 20);
+        let flow = spawn_tcp(
+            &mut sim,
+            TcpConfig {
+                fields: ip_fields(10),
+                initial_rate_bps: 1_000_000_000, // 1 Gbps
+                increase_bps: 0,
+                payload_bytes: 1_250, // 10 µs per packet at 1 Gbps
+                ..Default::default()
+            },
+        );
+        sim.run_until(1_000_000); // 1 ms → ~100 packets
+        let st = flow.borrow();
+        assert!(
+            (90..=110).contains(&st.sent_pkts),
+            "sent {} packets",
+            st.sent_pkts
+        );
+        assert_eq!(st.lost_pkts, 0);
+    }
+
+    #[test]
+    fn tcp_flow_backs_off_on_loss_and_recovers() {
+        // Tiny queue with a rate far above the 25 Gbps drain: must drop.
+        let mut sim = mk(3_000);
+        let flow = spawn_tcp(
+            &mut sim,
+            TcpConfig {
+                fields: ip_fields(10),
+                initial_rate_bps: 50_000_000_000,
+                max_rate_bps: 50_000_000_000,
+                increase_bps: 0,
+                ..Default::default()
+            },
+        );
+        sim.run_until(2_000_000);
+        let st = flow.borrow();
+        assert!(st.lost_pkts > 0, "expected drops");
+        assert!(
+            st.rate_bps < 50_000_000_000,
+            "rate did not back off: {}",
+            st.rate_bps
+        );
+    }
+
+    #[test]
+    fn tcp_additive_increase_without_loss() {
+        let mut sim = mk(1 << 20);
+        let flow = spawn_tcp(
+            &mut sim,
+            TcpConfig {
+                fields: ip_fields(10),
+                initial_rate_bps: 100_000_000,
+                increase_bps: 50_000_000,
+                rtt_ns: 100_000,
+                ..Default::default()
+            },
+        );
+        sim.run_until(1_000_000); // 10 RTTs
+        let st = flow.borrow();
+        assert!(
+            st.rate_bps >= 100_000_000 + 8 * 50_000_000,
+            "rate {}",
+            st.rate_bps
+        );
+    }
+
+    #[test]
+    fn external_backoff_applies_once() {
+        let mut sim = mk(1 << 20);
+        let flow = spawn_tcp(
+            &mut sim,
+            TcpConfig {
+                fields: ip_fields(10),
+                initial_rate_bps: 1_000_000_000,
+                increase_bps: 0,
+                rtt_ns: 100_000,
+                ..Default::default()
+            },
+        );
+        flow.borrow_mut().backoff_factor = Some(0.5);
+        sim.run_until(150_000); // one RTT tick
+        assert_eq!(flow.borrow().rate_bps, 500_000_000);
+        sim.run_until(450_000);
+        assert_eq!(flow.borrow().rate_bps, 500_000_000);
+    }
+
+    #[test]
+    fn udp_sender_ignores_losses() {
+        let mut sim = mk(3_000);
+        let udp = spawn_udp(
+            &mut sim,
+            UdpConfig {
+                ingress_port: 0,
+                fields: ip_fields(66),
+                payload_bytes: 1_250,
+                rate_bps: 50_000_000_000,
+                start_ns: 0,
+                stop_ns: None,
+            },
+        );
+        sim.run_until(1_000_000);
+        let st = udp.borrow();
+        assert!(st.dropped_pkts > 0);
+        // Rate never changes: sent count matches the configured rate
+        // (1250 B @ 50 Gbps = 200 ns/pkt → ~5000 packets).
+        assert!(st.sent_pkts > 4_000, "sent {}", st.sent_pkts);
+    }
+
+    #[test]
+    fn flow_stops_at_stop_time() {
+        let mut sim = mk(1 << 20);
+        let flow = spawn_tcp(
+            &mut sim,
+            TcpConfig {
+                fields: ip_fields(10),
+                initial_rate_bps: 1_000_000_000,
+                payload_bytes: 1_250,
+                stop_ns: Some(500_000),
+                ..Default::default()
+            },
+        );
+        sim.run_until(2_000_000);
+        let st = flow.borrow();
+        assert!(st.stopped);
+        assert!((40..=60).contains(&st.sent_pkts), "sent {}", st.sent_pkts);
+    }
+
+    #[test]
+    fn heartbeats_counted_in_dataplane_until_port_fails() {
+        let mut sim = mk(1 << 20);
+        spawn_heartbeats(
+            &mut sim,
+            HeartbeatConfig {
+                port: 7,
+                fields: ip_fields(0),
+                interval_ns: 1_000, // Ts = 1 µs, as in the paper
+                start_ns: 0,
+            },
+        );
+        sim.run_until(100_000);
+        let count_at = |sim: &Simulator| {
+            let sw = sim.switch().borrow();
+            let r = sw.register_id("hb_count").unwrap();
+            sw.register_read_range(r, 7, 7)[0].as_u64()
+        };
+        let c1 = count_at(&sim);
+        assert!((95..=105).contains(&c1), "heartbeats {c1}");
+        // Fail the link: counting stops.
+        sim.switch().borrow_mut().port_set_up(7, false).unwrap();
+        sim.run_until(200_000);
+        let c2 = count_at(&sim);
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,25 @@
+//! # netsim
+//!
+//! A deterministic discrete-event network simulator around the `rmt-sim`
+//! switch — the stand-in for the paper's 25 Gbps server testbed:
+//!
+//! * [`sim`] — event queue on the shared virtual clock,
+//! * [`flows`] — TCP-like AIMD flows, CBR UDP senders (the DoS attacker),
+//!   and heartbeat generators,
+//! * [`trace`] — seeded synthetic CAIDA-like traces with ground truth,
+//! * [`metrics`] — time-bucketed series, median/MAD/percentiles.
+
+#![forbid(unsafe_code)]
+
+pub mod flows;
+pub mod metrics;
+pub mod sim;
+pub mod trace;
+
+pub use flows::{
+    spawn_heartbeats, spawn_tcp, spawn_udp, HeartbeatConfig, TcpConfig, TcpState, UdpConfig,
+    UdpState,
+};
+pub use metrics::{mad, mean, mean_abs_dev, median, percentile, BucketSeries};
+pub use sim::Simulator;
+pub use trace::{generate, Trace, TraceConfig, TracePacket};

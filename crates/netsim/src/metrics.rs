@@ -1,0 +1,183 @@
+//! Measurement utilities: time-bucketed series and the robust statistics
+//! the use cases need (median, MAD, percentiles).
+
+use rmt_sim::Nanos;
+
+/// Accumulates values into fixed-width time buckets (e.g. goodput
+/// timelines for Fig. 15).
+#[derive(Clone, Debug)]
+pub struct BucketSeries {
+    bucket_ns: Nanos,
+    buckets: Vec<f64>,
+}
+
+impl BucketSeries {
+    pub fn new(bucket_ns: Nanos) -> Self {
+        assert!(bucket_ns > 0);
+        BucketSeries {
+            bucket_ns,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Add `value` at time `at`.
+    pub fn add(&mut self, at: Nanos, value: f64) {
+        let idx = (at / self.bucket_ns) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0.0);
+        }
+        self.buckets[idx] += value;
+    }
+
+    /// `(bucket_start_ns, sum)` pairs.
+    pub fn series(&self) -> Vec<(Nanos, f64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as Nanos * self.bucket_ns, *v))
+            .collect()
+    }
+
+    /// Convert a byte-count series into a rate series in bits/s.
+    pub fn rate_bps(&self) -> Vec<(Nanos, f64)> {
+        let secs = self.bucket_ns as f64 / 1e9;
+        self.series()
+            .into_iter()
+            .map(|(t, bytes)| (t, bytes * 8.0 / secs))
+            .collect()
+    }
+
+    pub fn bucket_ns(&self) -> Nanos {
+        self.bucket_ns
+    }
+}
+
+/// Median of a slice (averaging the middle pair for even lengths).
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Median Absolute Deviation — the balance metric of the hash-polarization
+/// use case (§8.3.3).
+pub fn mad(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = median(xs);
+    let dev: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
+    median(&dev)
+}
+
+/// p-th percentile (0..=100) by nearest-rank.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v[rank.min(v.len() - 1)]
+}
+
+/// Mean absolute deviation about the mean.
+///
+/// The paper's §8.3.3 says "Median Absolute Deviation (MAD)" but cites an
+/// online *mean* absolute deviation algorithm \[38]; the median variant is
+/// degenerate for fully polarized traffic (a single hot port out of four
+/// has MAD = 0), so the use case uses this mean-based deviation.
+pub fn mean_abs_dev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).abs()).sum::<f64>() / xs.len() as f64
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_accumulate() {
+        let mut s = BucketSeries::new(1_000);
+        s.add(0, 10.0);
+        s.add(999, 5.0);
+        s.add(1_000, 1.0);
+        s.add(5_500, 2.0);
+        let series = s.series();
+        assert_eq!(series[0], (0, 15.0));
+        assert_eq!(series[1], (1_000, 1.0));
+        assert_eq!(series[5], (5_000, 2.0));
+        assert_eq!(series.len(), 6);
+    }
+
+    #[test]
+    fn rate_conversion() {
+        let mut s = BucketSeries::new(1_000_000); // 1 ms buckets
+        s.add(0, 125_000.0); // 125 kB in 1 ms = 1 Gbps
+        let r = s.rate_bps();
+        assert!((r[0].1 - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn mad_of_balanced_is_zero() {
+        assert_eq!(mad(&[5.0, 5.0, 5.0]), 0.0);
+        // One outlier: MAD stays robust.
+        assert_eq!(mad(&[1.0, 1.0, 1.0, 100.0]), 0.0);
+        assert!(mad(&[1.0, 2.0, 3.0, 4.0]) > 0.0);
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert_eq!(percentile(&xs, 50.0), 51.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn mean_abs_dev_detects_single_outlier() {
+        // Median-based MAD of [N,0,0,0] is 0; mean-based is not.
+        assert_eq!(mad(&[100.0, 0.0, 0.0, 0.0]), 0.0);
+        assert!(mean_abs_dev(&[100.0, 0.0, 0.0, 0.0]) > 0.0);
+        assert_eq!(mean_abs_dev(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn mean_simple() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bucket_width_panics() {
+        let _ = BucketSeries::new(0);
+    }
+}

@@ -1,0 +1,273 @@
+//! The discrete-event simulator core.
+//!
+//! A [`Simulator`] owns the shared virtual clock, the switch, and an event
+//! queue of scheduled closures. Traffic sources (TCP/UDP flows, heartbeat
+//! generators) schedule their own next events; experiment harnesses
+//! schedule agent dialogue iterations the same way. Execution is fully
+//! deterministic: ties break by schedule order.
+
+use rmt_sim::{Clock, Nanos, Switch, TxPacket};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+type EventFn = Box<dyn FnOnce(&mut Simulator)>;
+
+struct Scheduled {
+    at: Nanos,
+    seq: u64,
+    run: EventFn,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The event-driven simulator.
+pub struct Simulator {
+    clock: Clock,
+    switch: Rc<RefCell<Switch>>,
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    next_seq: u64,
+    /// Transmitted packets drained from the switch after every event; kept
+    /// until taken by the experiment (capped to avoid unbounded growth when
+    /// unused).
+    tx_log: Vec<TxPacket>,
+    /// Cap on `tx_log` length; older packets are discarded first.
+    pub tx_log_cap: usize,
+    /// Count of all packets ever transmitted (not capped).
+    pub tx_count: u64,
+    pub tx_bytes: u64,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.clock.now())
+            .field("pending_events", &self.heap.len())
+            .finish()
+    }
+}
+
+impl Simulator {
+    pub fn new(switch: Rc<RefCell<Switch>>) -> Self {
+        let clock = switch.borrow().clock().clone();
+        Simulator {
+            clock,
+            switch,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            tx_log: Vec::new(),
+            tx_log_cap: 1 << 20,
+            tx_count: 0,
+            tx_bytes: 0,
+        }
+    }
+
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    pub fn now(&self) -> Nanos {
+        self.clock.now()
+    }
+
+    pub fn switch(&self) -> &Rc<RefCell<Switch>> {
+        &self.switch
+    }
+
+    /// Schedule a one-shot event at absolute time `at` (events in the past
+    /// run at the current time).
+    pub fn schedule(&mut self, at: Nanos, f: impl FnOnce(&mut Simulator) + 'static) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled {
+            at,
+            seq,
+            run: Box::new(f),
+        }));
+    }
+
+    /// Schedule `f` every `interval` starting at `start`; stops when `f`
+    /// returns `false`.
+    ///
+    /// The period is *nominal*: the next firing is scheduled at
+    /// `previous_nominal + interval` even if event execution lagged behind
+    /// (e.g. a long control-plane operation advanced the clock). This
+    /// models traffic sources that keep their rate while the switch CPU is
+    /// busy — lagging firings execute back-to-back to catch up.
+    pub fn schedule_periodic(
+        &mut self,
+        start: Nanos,
+        interval: Nanos,
+        f: impl FnMut(&mut Simulator) -> bool + 'static,
+    ) {
+        fn step(
+            sim: &mut Simulator,
+            mut f: impl FnMut(&mut Simulator) -> bool + 'static,
+            interval: Nanos,
+            nominal: Nanos,
+        ) {
+            if f(sim) {
+                let next = nominal + interval.max(1);
+                sim.schedule(next, move |s| step(s, f, interval, next));
+            }
+        }
+        self.schedule(start, move |s| step(s, f, interval, start));
+    }
+
+    /// Run all events with `at <= until`, then advance the clock to
+    /// `until`.
+    pub fn run_until(&mut self, until: Nanos) {
+        // peek-then-pop (not `while let`): the event stays queued when it
+        // lies beyond the horizon.
+        #[allow(clippy::while_let_loop)]
+        loop {
+            let Some(Reverse(head)) = self.heap.peek() else {
+                break;
+            };
+            if head.at > until {
+                break;
+            }
+            let Reverse(ev) = self.heap.pop().unwrap();
+            self.clock.advance_to(ev.at);
+            (ev.run)(self);
+            self.drain_switch();
+        }
+        self.clock.advance_to(until);
+        self.drain_switch();
+    }
+
+    /// Run for `dur` from the current time.
+    pub fn run_for(&mut self, dur: Nanos) {
+        let until = self.now() + dur;
+        self.run_until(until);
+    }
+
+    /// Service switch queues and collect transmitted packets.
+    pub fn drain_switch(&mut self) {
+        let mut sw = self.switch.borrow_mut();
+        sw.pump();
+        for pkt in sw.take_transmitted() {
+            self.tx_count += 1;
+            self.tx_bytes += u64::from(pkt.phv.frame_len(sw.spec()));
+            if self.tx_log.len() < self.tx_log_cap {
+                self.tx_log.push(pkt);
+            }
+        }
+    }
+
+    /// Take the transmitted-packet log.
+    pub fn take_tx(&mut self) -> Vec<TxPacket> {
+        std::mem::take(&mut self.tx_log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt_sim::{switch_from_source, PacketDesc, SwitchConfig};
+
+    const FWD_ALL: &str = r#"
+header_type ip_t { fields { src : 32; dst : 32; } }
+header ip_t ip;
+action fwd() { modify_field(intr.egress_spec, 2); }
+table t { actions { fwd; } default_action : fwd(); }
+control ingress { apply(t); }
+"#;
+
+    fn mk() -> Simulator {
+        let clock = Clock::new();
+        let sw = switch_from_source(FWD_ALL, SwitchConfig::default(), clock).unwrap();
+        Simulator::new(Rc::new(RefCell::new(sw)))
+    }
+
+    #[test]
+    fn events_run_in_time_order_with_fifo_ties() {
+        let mut sim = mk();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (t, tag) in [(50u64, "b"), (10, "a"), (50, "c"), (99, "d")] {
+            let log = log.clone();
+            sim.schedule(t, move |s| log.borrow_mut().push((s.now(), tag)));
+        }
+        sim.run_until(100);
+        assert_eq!(
+            *log.borrow(),
+            vec![(10, "a"), (50, "b"), (50, "c"), (99, "d")]
+        );
+        assert_eq!(sim.now(), 100);
+    }
+
+    #[test]
+    fn events_scheduled_from_events_run() {
+        let mut sim = mk();
+        let hits = Rc::new(RefCell::new(0));
+        let h = hits.clone();
+        sim.schedule(10, move |s| {
+            let h2 = h.clone();
+            s.schedule(20, move |_| *h2.borrow_mut() += 1);
+        });
+        sim.run_until(100);
+        assert_eq!(*hits.borrow(), 1);
+    }
+
+    #[test]
+    fn periodic_stops_on_false() {
+        let mut sim = mk();
+        let count = Rc::new(RefCell::new(0));
+        let c = count.clone();
+        sim.schedule_periodic(0, 10, move |_| {
+            *c.borrow_mut() += 1;
+            *c.borrow() < 5
+        });
+        sim.run_until(1_000);
+        assert_eq!(*count.borrow(), 5);
+    }
+
+    #[test]
+    fn injected_packets_get_transmitted_and_logged() {
+        let mut sim = mk();
+        for i in 0..3 {
+            sim.schedule(i * 1_000, move |s| {
+                s.switch().borrow_mut().inject(
+                    &PacketDesc::new(0)
+                        .field("ip", "src", i as u128)
+                        .payload(100),
+                );
+            });
+        }
+        sim.run_until(1_000_000);
+        let tx = sim.take_tx();
+        assert_eq!(tx.len(), 3);
+        assert_eq!(sim.tx_count, 3);
+        assert!(tx.iter().all(|p| p.port == 2));
+        // Timestamps are monotone.
+        assert!(tx.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn events_beyond_horizon_stay_queued() {
+        let mut sim = mk();
+        let hits = Rc::new(RefCell::new(0));
+        let h = hits.clone();
+        sim.schedule(500, move |_| *h.borrow_mut() += 1);
+        sim.run_until(100);
+        assert_eq!(*hits.borrow(), 0);
+        sim.run_until(1_000);
+        assert_eq!(*hits.borrow(), 1);
+    }
+}

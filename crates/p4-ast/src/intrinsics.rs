@@ -1,0 +1,87 @@
+//! Intrinsic metadata available to every program on the simulated target.
+//!
+//! Real RMT targets expose intrinsic metadata (ingress port, egress spec,
+//! queue depth, timestamps) through target-specific headers. The simulated
+//! target calls its instance `intr`; [`inject`] adds the declaration to a
+//! program so references like `intr.egress_spec` validate and load.
+
+use crate::ast::{HeaderTypeDecl, InstanceDecl, Program};
+
+/// Name of the intrinsic metadata instance.
+pub const INTR: &str = "intr";
+
+/// Name of the intrinsic metadata header type.
+pub const INTR_TYPE: &str = "intr_t_";
+
+/// Intrinsic fields: `(name, width)`.
+///
+/// * `ingress_port` — port the packet arrived on,
+/// * `egress_spec` — port chosen by ingress (routing decision),
+/// * `egress_port` — actual port at egress time,
+/// * `pkt_len` — frame length in bytes,
+/// * `ts_ns` — arrival timestamp (ns of virtual time),
+/// * `recirc_count` — recirculation loop counter,
+/// * `deq_qdepth` — queue depth (bytes) observed at enqueue,
+/// * `ecn` — ECN codepoint, writable for DCTCP-style marking.
+pub const INTR_FIELDS: &[(&str, u16)] = &[
+    ("ingress_port", 9),
+    ("egress_spec", 9),
+    ("egress_port", 9),
+    ("pkt_len", 32),
+    ("ts_ns", 48),
+    ("recirc_count", 8),
+    ("deq_qdepth", 32),
+    ("ecn", 2),
+];
+
+/// Ensure the intrinsic header type and metadata instance exist in the
+/// program (idempotent). They are inserted at the front so intrinsic fields
+/// receive the lowest field ids when loaded.
+pub fn inject(prog: &mut Program) {
+    if prog.instance(INTR).is_none() {
+        prog.instances.insert(
+            0,
+            InstanceDecl {
+                header_type: INTR_TYPE.into(),
+                name: INTR.into(),
+                is_metadata: true,
+                initializers: vec![],
+            },
+        );
+    }
+    if prog.header_type(INTR_TYPE).is_none() {
+        prog.header_types.insert(
+            0,
+            HeaderTypeDecl {
+                name: INTR_TYPE.into(),
+                fields: INTR_FIELDS
+                    .iter()
+                    .map(|(n, w)| ((*n).to_string(), *w))
+                    .collect(),
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::FieldRef;
+
+    #[test]
+    fn inject_is_idempotent() {
+        let mut p = Program::default();
+        inject(&mut p);
+        inject(&mut p);
+        assert_eq!(p.header_types.len(), 1);
+        assert_eq!(p.instances.len(), 1);
+        assert_eq!(p.field_width(&FieldRef::new(INTR, "egress_spec")), Some(9));
+    }
+
+    #[test]
+    fn injected_program_validates() {
+        let mut p = Program::default();
+        inject(&mut p);
+        assert!(crate::validate::validate(&p).is_empty());
+    }
+}

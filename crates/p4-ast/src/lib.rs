@@ -1,0 +1,29 @@
+//! # p4-ast
+//!
+//! Abstract syntax tree for the P4-14 subset targeted by the Mantis
+//! reproduction, including the P4R extensions from the SIGCOMM 2020 paper
+//! *Mantis: Reactive Programmable Switches*:
+//!
+//! * **malleable values** — runtime-settable constants used in actions,
+//! * **malleable fields** — runtime-shiftable references to one of a set of
+//!   alternative header/metadata fields,
+//! * **malleable tables** — match-action tables amenable to fast,
+//!   serializable updates,
+//! * **reactions** — C-like control-plane functions with data-plane
+//!   arguments.
+//!
+//! The crate provides the AST ([`ast`]), arbitrary-width values ([`value`]),
+//! semantic validation ([`validate`]) and a pretty-printer back to P4-14
+//! source ([`pretty`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+pub mod ast;
+pub mod intrinsics;
+pub mod pretty;
+pub mod validate;
+pub mod value;
+
+pub use ast::*;
+pub use value::Value;

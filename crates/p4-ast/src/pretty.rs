@@ -1,0 +1,469 @@
+//! Pretty-printer: renders a [`Program`] back to P4-14 (with P4R extensions
+//! when present). The Mantis compiler uses this to emit the generated P4
+//! artifact, and Table 1 of the paper counts lines of this output.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a program to P4-14 source text. P4R-only constructs (malleables,
+/// reactions) are rendered with their P4R syntax, so a pre-compilation
+/// program round-trips to `.p4r` and a post-compilation one to plain `.p4`.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for ht in &p.header_types {
+        print_header_type(&mut out, ht);
+    }
+    for inst in &p.instances {
+        print_instance(&mut out, inst);
+    }
+    for r in &p.registers {
+        print_register(&mut out, r);
+    }
+    for fl in &p.field_lists {
+        print_field_list(&mut out, fl);
+    }
+    for c in &p.calculations {
+        print_calculation(&mut out, c);
+    }
+    for mv in &p.mbl_values {
+        print_mbl_value(&mut out, mv);
+    }
+    for mf in &p.mbl_fields {
+        print_mbl_field(&mut out, mf);
+    }
+    for st in &p.parser_states {
+        print_parser_state(&mut out, st);
+    }
+    for a in &p.actions {
+        print_action(&mut out, a);
+    }
+    for t in &p.tables {
+        print_table(&mut out, t);
+    }
+    print_control(&mut out, "ingress", &p.ingress);
+    print_control(&mut out, "egress", &p.egress);
+    for r in &p.reactions {
+        print_reaction(&mut out, r);
+    }
+    out
+}
+
+/// Count the non-blank lines of the rendered program — the LoC metric used
+/// for the Table 1 "P4" column.
+pub fn loc(p: &Program) -> usize {
+    print_program(p)
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .count()
+}
+
+fn print_header_type(out: &mut String, ht: &HeaderTypeDecl) {
+    writeln!(out, "header_type {} {{", ht.name).unwrap();
+    writeln!(out, "    fields {{").unwrap();
+    for (f, w) in &ht.fields {
+        writeln!(out, "        {f} : {w};").unwrap();
+    }
+    writeln!(out, "    }}").unwrap();
+    writeln!(out, "}}").unwrap();
+}
+
+fn print_instance(out: &mut String, inst: &InstanceDecl) {
+    let kw = if inst.is_metadata {
+        "metadata"
+    } else {
+        "header"
+    };
+    if inst.initializers.is_empty() {
+        writeln!(out, "{kw} {} {};", inst.header_type, inst.name).unwrap();
+    } else {
+        writeln!(out, "{kw} {} {} {{", inst.header_type, inst.name).unwrap();
+        for (f, v) in &inst.initializers {
+            writeln!(out, "    {f} : {v};").unwrap();
+        }
+        writeln!(out, "}}").unwrap();
+    }
+}
+
+fn print_register(out: &mut String, r: &RegisterDecl) {
+    writeln!(out, "register {} {{", r.name).unwrap();
+    writeln!(out, "    width : {};", r.width).unwrap();
+    writeln!(out, "    instance_count : {};", r.instance_count).unwrap();
+    if r.pipeline == Pipeline::Egress {
+        writeln!(out, "    pipeline : egress;").unwrap();
+    }
+    writeln!(out, "}}").unwrap();
+}
+
+fn print_field_list(out: &mut String, fl: &FieldListDecl) {
+    writeln!(out, "field_list {} {{", fl.name).unwrap();
+    for e in &fl.entries {
+        writeln!(out, "    {e};").unwrap();
+    }
+    writeln!(out, "}}").unwrap();
+}
+
+fn print_calculation(out: &mut String, c: &FieldListCalcDecl) {
+    let alg = match c.algorithm {
+        HashAlgorithm::Crc16 => "crc16",
+        HashAlgorithm::Crc32 => "crc32",
+        HashAlgorithm::Identity => "identity",
+        HashAlgorithm::XorMix => "xor_mix",
+    };
+    writeln!(out, "field_list_calculation {} {{", c.name).unwrap();
+    writeln!(out, "    input {{ {}; }}", c.input).unwrap();
+    writeln!(out, "    algorithm : {alg};").unwrap();
+    writeln!(out, "    output_width : {};", c.output_width).unwrap();
+    writeln!(out, "}}").unwrap();
+}
+
+fn print_mbl_value(out: &mut String, mv: &MblValueDecl) {
+    writeln!(
+        out,
+        "malleable value {} {{ width : {}; init : {}; }}",
+        mv.name, mv.width, mv.init
+    )
+    .unwrap();
+}
+
+fn print_mbl_field(out: &mut String, mf: &MblFieldDecl) {
+    writeln!(out, "malleable field {} {{", mf.name).unwrap();
+    writeln!(out, "    width : {}; init : {};", mf.width, mf.init).unwrap();
+    let alts: Vec<String> = mf.alts.iter().map(|a| a.to_string()).collect();
+    writeln!(out, "    alts {{ {} }}", alts.join(", ")).unwrap();
+    writeln!(out, "}}").unwrap();
+}
+
+fn print_parser_state(out: &mut String, st: &ParserStateDecl) {
+    writeln!(out, "parser {} {{", st.name).unwrap();
+    for e in &st.extracts {
+        writeln!(out, "    extract({e});").unwrap();
+    }
+    match &st.next {
+        ParserNext::State(s) => writeln!(out, "    return {s};").unwrap(),
+        ParserNext::Ingress => writeln!(out, "    return ingress;").unwrap(),
+        ParserNext::Select {
+            field,
+            cases,
+            default,
+        } => {
+            writeln!(out, "    return select({field}) {{").unwrap();
+            for (v, s) in cases {
+                writeln!(out, "        {v} : {s};").unwrap();
+            }
+            if let Some(d) = default {
+                writeln!(out, "        default : {d};").unwrap();
+            }
+            writeln!(out, "    }};").unwrap();
+        }
+    }
+    writeln!(out, "}}").unwrap();
+}
+
+fn print_action(out: &mut String, a: &ActionDecl) {
+    writeln!(out, "action {}({}) {{", a.name, a.params.join(", ")).unwrap();
+    for call in &a.body {
+        writeln!(out, "    {};", format_primitive(call)).unwrap();
+    }
+    writeln!(out, "}}").unwrap();
+}
+
+/// Render one primitive call in P4-14 syntax.
+pub fn format_primitive(call: &PrimitiveCall) -> String {
+    use PrimitiveCall::*;
+    match call {
+        ModifyField { dst, src } => format!("modify_field({dst}, {src})"),
+        Add { dst, a, b } => format!("add({dst}, {a}, {b})"),
+        AddToField { dst, v } => format!("add_to_field({dst}, {v})"),
+        Subtract { dst, a, b } => format!("subtract({dst}, {a}, {b})"),
+        SubtractFromField { dst, v } => format!("subtract_from_field({dst}, {v})"),
+        BitAnd { dst, a, b } => format!("bit_and({dst}, {a}, {b})"),
+        BitOr { dst, a, b } => format!("bit_or({dst}, {a}, {b})"),
+        BitXor { dst, a, b } => format!("bit_xor({dst}, {a}, {b})"),
+        ShiftLeft { dst, a, amount } => format!("shift_left({dst}, {a}, {amount})"),
+        ShiftRight { dst, a, amount } => format!("shift_right({dst}, {a}, {amount})"),
+        Drop => "drop()".to_string(),
+        NoOp => "no_op()".to_string(),
+        RegisterWrite {
+            register,
+            index,
+            value,
+        } => {
+            format!("register_write({register}, {index}, {value})")
+        }
+        RegisterRead {
+            dst,
+            register,
+            index,
+        } => {
+            format!("register_read({dst}, {register}, {index})")
+        }
+        Count { counter, index } => format!("count({counter}, {index})"),
+        ModifyFieldWithHash {
+            dst,
+            base,
+            calculation,
+            size,
+        } => format!("modify_field_with_hash_based_offset({dst}, {base}, {calculation}, {size})"),
+    }
+}
+
+fn print_table(out: &mut String, t: &TableDecl) {
+    if t.malleable {
+        writeln!(out, "malleable table {} {{", t.name).unwrap();
+    } else {
+        writeln!(out, "table {} {{", t.name).unwrap();
+    }
+    if !t.reads.is_empty() {
+        writeln!(out, "    reads {{").unwrap();
+        for r in &t.reads {
+            match &r.mask {
+                Some(m) => writeln!(out, "        {} mask {} : {};", r.target, m, r.kind).unwrap(),
+                None => writeln!(out, "        {} : {};", r.target, r.kind).unwrap(),
+            }
+        }
+        writeln!(out, "    }}").unwrap();
+    }
+    writeln!(out, "    actions {{").unwrap();
+    for a in &t.actions {
+        writeln!(out, "        {a};").unwrap();
+    }
+    writeln!(out, "    }}").unwrap();
+    if let Some((a, args)) = &t.default_action {
+        if args.is_empty() {
+            writeln!(out, "    default_action : {a}();").unwrap();
+        } else {
+            let args: Vec<String> = args.iter().map(|v| v.to_string()).collect();
+            writeln!(out, "    default_action : {a}({});", args.join(", ")).unwrap();
+        }
+    }
+    if let Some(s) = t.size {
+        writeln!(out, "    size : {s};").unwrap();
+    }
+    writeln!(out, "}}").unwrap();
+}
+
+fn print_control_stmts(out: &mut String, stmts: &[ControlStmt], indent: usize) {
+    let pad = "    ".repeat(indent);
+    for s in stmts {
+        match s {
+            ControlStmt::Apply(t) => writeln!(out, "{pad}apply({t});").unwrap(),
+            ControlStmt::If { cond, then_, else_ } => {
+                writeln!(out, "{pad}if ({}) {{", format_bool(cond)).unwrap();
+                print_control_stmts(out, then_, indent + 1);
+                if else_.is_empty() {
+                    writeln!(out, "{pad}}}").unwrap();
+                } else {
+                    writeln!(out, "{pad}}} else {{").unwrap();
+                    print_control_stmts(out, else_, indent + 1);
+                    writeln!(out, "{pad}}}").unwrap();
+                }
+            }
+        }
+    }
+}
+
+fn format_bool(e: &BoolExpr) -> String {
+    match e {
+        BoolExpr::Valid(h) => format!("valid({h})"),
+        BoolExpr::Cmp { lhs, op, rhs } => format!("{lhs} {op} {rhs}"),
+        BoolExpr::And(a, b) => format!("({}) and ({})", format_bool(a), format_bool(b)),
+        BoolExpr::Or(a, b) => format!("({}) or ({})", format_bool(a), format_bool(b)),
+        BoolExpr::Not(a) => format!("not ({})", format_bool(a)),
+    }
+}
+
+fn print_control(out: &mut String, name: &str, stmts: &[ControlStmt]) {
+    if stmts.is_empty() && name == "egress" {
+        return;
+    }
+    writeln!(out, "control {name} {{").unwrap();
+    print_control_stmts(out, stmts, 1);
+    writeln!(out, "}}").unwrap();
+}
+
+fn print_reaction(out: &mut String, r: &ReactionDecl) {
+    let args: Vec<String> = r
+        .args
+        .iter()
+        .map(|a| match a {
+            ReactionArg::Field {
+                pipeline,
+                target,
+                mask,
+            } => {
+                let dir = match pipeline {
+                    Pipeline::Ingress => "ing",
+                    Pipeline::Egress => "egr",
+                };
+                match mask {
+                    Some(m) => format!("{dir} {target} mask {m}"),
+                    None => format!("{dir} {target}"),
+                }
+            }
+            ReactionArg::Register { register, lo, hi } => {
+                format!("reg {register}[{lo}:{hi}]")
+            }
+            ReactionArg::Header { pipeline, instance } => {
+                let dir = match pipeline {
+                    Pipeline::Ingress => "ing",
+                    Pipeline::Egress => "egr",
+                };
+                format!("{dir} hdr {instance}")
+            }
+        })
+        .collect();
+    writeln!(out, "reaction {}({}) {{", r.name, args.join(", ")).unwrap();
+    for line in r.body_src.lines() {
+        writeln!(out, "    {line}").unwrap();
+    }
+    writeln!(out, "}}").unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn prints_header_and_table() {
+        let p = Program {
+            header_types: vec![HeaderTypeDecl {
+                name: "h_t".into(),
+                fields: vec![("a".into(), 8)],
+            }],
+            instances: vec![InstanceDecl {
+                header_type: "h_t".into(),
+                name: "h".into(),
+                is_metadata: false,
+                initializers: vec![],
+            }],
+            actions: vec![ActionDecl {
+                name: "set".into(),
+                params: vec!["v".into()],
+                body: vec![PrimitiveCall::ModifyField {
+                    dst: FieldOrMbl::field("h", "a"),
+                    src: Operand::Param("v".into()),
+                }],
+            }],
+            tables: vec![TableDecl {
+                name: "t".into(),
+                reads: vec![TableRead {
+                    target: FieldOrMbl::field("h", "a"),
+                    kind: MatchKind::Exact,
+                    mask: None,
+                }],
+                actions: vec!["set".into()],
+                default_action: Some(("set".into(), vec![Value::new(7, 8)])),
+                size: Some(64),
+                malleable: false,
+            }],
+            ingress: vec![ControlStmt::Apply("t".into())],
+            ..Default::default()
+        };
+        let s = print_program(&p);
+        assert!(s.contains("header_type h_t {"));
+        assert!(s.contains("header h_t h;"));
+        assert!(s.contains("modify_field(h.a, v);"));
+        assert!(s.contains("h.a : exact;"));
+        assert!(s.contains("default_action : set(7);"));
+        assert!(s.contains("apply(t);"));
+        assert!(loc(&p) > 10);
+    }
+
+    #[test]
+    fn prints_p4r_extensions() {
+        let p = Program {
+            header_types: vec![HeaderTypeDecl {
+                name: "h_t".into(),
+                fields: vec![("a".into(), 32), ("b".into(), 32)],
+            }],
+            instances: vec![InstanceDecl {
+                header_type: "h_t".into(),
+                name: "h".into(),
+                is_metadata: false,
+                initializers: vec![],
+            }],
+            mbl_values: vec![MblValueDecl {
+                name: "value_var".into(),
+                width: 16,
+                init: Value::new(1, 16),
+            }],
+            mbl_fields: vec![MblFieldDecl {
+                name: "field_var".into(),
+                width: 32,
+                init: FieldRef::new("h", "a"),
+                alts: vec![FieldRef::new("h", "a"), FieldRef::new("h", "b")],
+            }],
+            reactions: vec![ReactionDecl {
+                name: "r".into(),
+                args: vec![ReactionArg::Register {
+                    register: "q".into(),
+                    lo: 1,
+                    hi: 10,
+                }],
+                body_src: "${value_var} = 3;".into(),
+            }],
+            ..Default::default()
+        };
+        let s = print_program(&p);
+        assert!(s.contains("malleable value value_var { width : 16; init : 1; }"));
+        assert!(s.contains("alts { h.a, h.b }"));
+        assert!(s.contains("reaction r(reg q[1:10]) {"));
+        assert!(s.contains("${value_var} = 3;"));
+    }
+
+    #[test]
+    fn loc_ignores_blank_lines() {
+        let p = Program::default();
+        assert_eq!(loc(&p), 2); // "control ingress {" + "}"
+    }
+
+    #[test]
+    fn formats_all_primitives() {
+        let dst = FieldOrMbl::field("h", "a");
+        let a = Operand::field("h", "a");
+        let b = Operand::Const(Value::new(1, 8));
+        let cases = vec![
+            PrimitiveCall::Drop,
+            PrimitiveCall::NoOp,
+            PrimitiveCall::ModifyField {
+                dst: dst.clone(),
+                src: a.clone(),
+            },
+            PrimitiveCall::Add {
+                dst: dst.clone(),
+                a: a.clone(),
+                b: b.clone(),
+            },
+            PrimitiveCall::Subtract {
+                dst: dst.clone(),
+                a: a.clone(),
+                b: b.clone(),
+            },
+            PrimitiveCall::BitXor {
+                dst: dst.clone(),
+                a: a.clone(),
+                b: b.clone(),
+            },
+            PrimitiveCall::ShiftLeft {
+                dst: dst.clone(),
+                a: a.clone(),
+                amount: b.clone(),
+            },
+            PrimitiveCall::RegisterWrite {
+                register: "r".into(),
+                index: b.clone(),
+                value: a.clone(),
+            },
+            PrimitiveCall::Count {
+                counter: "c".into(),
+                index: b.clone(),
+            },
+        ];
+        for c in cases {
+            let s = format_primitive(&c);
+            assert!(s.contains('('), "{s}");
+            assert!(s.ends_with(')'), "{s}");
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # p4r-compiler
+//!
+//! The Mantis compiler (the paper's core contribution): translates P4R
+//! programs into a pair of artifacts — a valid, *malleable* plain-P4 program
+//! and a [`iface::ControlInterface`] that the Mantis agent uses to poll
+//! measurements and update malleable entities with serializable isolation.
+//!
+//! ```
+//! use p4r_compiler::{compile_source, CompilerOptions};
+//!
+//! let src = r#"
+//! header_type h_t { fields { foo : 32; bar : 32; baz : 32; } }
+//! header h_t hdr;
+//! malleable value value_var { width : 16; init : 1; }
+//! action my_action() { add_to_field(hdr.foo, ${value_var}); }
+//! table t { actions { my_action; } default_action : my_action(); }
+//! control ingress { apply(t); }
+//! "#;
+//! let out = compile_source(src, &CompilerOptions::default()).unwrap();
+//! assert!(!out.p4.has_p4r_constructs());
+//! assert_eq!(out.iface.values[0].name, "value_var");
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod compiler;
+pub mod entry;
+pub mod iface;
+pub mod packing;
+pub mod resources;
+
+pub use compiler::{compile, compile_source, CompileError, Compiled, CompilerOptions};
+pub use iface::ControlInterface;

@@ -1,0 +1,156 @@
+//! Sorted first-fit bin packing (§4.1 of the paper).
+//!
+//! Mantis uses the same greedy algorithm in two places: packing malleable
+//! configuration parameters into init actions (whose total parameter width
+//! is platform-limited) and packing measurement fields into 32-bit register
+//! words.
+
+/// Pack items (identified by index into `sizes`) into bins of `capacity`
+/// using sorted first-fit: sort by decreasing size, place each item into the
+/// first bin with room, opening a new bin when none fits.
+///
+/// Items larger than `capacity` get a bin of their own (the caller decides
+/// whether that is legal).
+///
+/// Returns, for each item index, its `(bin, offset)` placement, plus the
+/// number of bins used.
+pub fn sorted_first_fit(sizes: &[u32], capacity: u32) -> (Vec<(usize, u32)>, usize) {
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    // Stable sort by decreasing size keeps equal-size items in declaration
+    // order — determinism matters for generated artifact stability.
+    order.sort_by_key(|&i| std::cmp::Reverse(sizes[i]));
+
+    let mut bin_used: Vec<u32> = Vec::new();
+    let mut placement = vec![(0usize, 0u32); sizes.len()];
+    for &i in &order {
+        let sz = sizes[i];
+        let slot = bin_used
+            .iter()
+            .position(|&used| used + sz <= capacity || used == 0 && sz > capacity);
+        let bin = match slot {
+            Some(b) => b,
+            None => {
+                bin_used.push(0);
+                bin_used.len() - 1
+            }
+        };
+        placement[i] = (bin, bin_used[bin]);
+        bin_used[bin] += sz;
+    }
+    (placement, bin_used.len())
+}
+
+/// Number of `word_bits`-sized words needed to pack the given field widths
+/// with sorted first-fit (the Fig. 10a cost driver for field measurements).
+pub fn packed_word_count(widths: &[u16], word_bits: u32) -> usize {
+    if widths.is_empty() {
+        return 0;
+    }
+    let sizes: Vec<u32> = widths.iter().map(|w| u32::from(*w)).collect();
+    sorted_first_fit(&sizes, word_bits).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_input_uses_no_bins() {
+        let (placement, bins) = sorted_first_fit(&[], 32);
+        assert!(placement.is_empty());
+        assert_eq!(bins, 0);
+    }
+
+    #[test]
+    fn single_bin_when_everything_fits() {
+        let (placement, bins) = sorted_first_fit(&[8, 8, 16], 32);
+        assert_eq!(bins, 1);
+        // Sorted order: 16 first (offset 0), then the two 8s.
+        assert_eq!(placement[2], (0, 0));
+        assert_eq!(placement[0].0, 0);
+        assert_eq!(placement[1].0, 0);
+    }
+
+    #[test]
+    fn opens_new_bins_when_full() {
+        let (_, bins) = sorted_first_fit(&[20, 20, 20], 32);
+        assert_eq!(bins, 3);
+        let (_, bins) = sorted_first_fit(&[16, 16, 16, 16], 32);
+        assert_eq!(bins, 2);
+    }
+
+    #[test]
+    fn first_fit_packs_smaller_into_gaps() {
+        // Sorted: 24, 24, 8, 8 with capacity 32:
+        // bin0 = 24+8, bin1 = 24+8.
+        let (placement, bins) = sorted_first_fit(&[8, 24, 8, 24], 32);
+        assert_eq!(bins, 2);
+        assert_eq!(placement[1].0, 0);
+        assert_eq!(placement[3].0, 1);
+        assert_eq!(placement[0].0, 0);
+        assert_eq!(placement[2].0, 1);
+    }
+
+    #[test]
+    fn oversized_item_gets_own_bin() {
+        let (placement, bins) = sorted_first_fit(&[48, 8], 32);
+        assert_eq!(bins, 1.max(bins.min(2)));
+        // 48 went somewhere alone at offset 0.
+        assert_eq!(placement[0].1, 0);
+    }
+
+    #[test]
+    fn packed_word_count_matches_hand_calc() {
+        assert_eq!(packed_word_count(&[], 32), 0);
+        assert_eq!(packed_word_count(&[32], 32), 1);
+        assert_eq!(packed_word_count(&[16, 16], 32), 1);
+        assert_eq!(packed_word_count(&[16, 16, 8], 32), 2);
+        assert_eq!(packed_word_count(&[9, 9, 9, 9], 32), 2);
+        assert_eq!(packed_word_count(&[48, 16], 32), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn no_bin_overflows(sizes in proptest::collection::vec(1u32..=32, 0..20)) {
+            let cap = 32;
+            let (placement, bins) = sorted_first_fit(&sizes, cap);
+            let mut used = vec![0u32; bins];
+            for (i, (b, _)) in placement.iter().enumerate() {
+                used[*b] += sizes[i];
+            }
+            for u in used {
+                prop_assert!(u <= cap);
+            }
+        }
+
+        #[test]
+        fn offsets_are_disjoint(sizes in proptest::collection::vec(1u32..=32, 0..20)) {
+            let (placement, bins) = sorted_first_fit(&sizes, 32);
+            // Within a bin, [offset, offset+size) ranges must not overlap.
+            for b in 0..bins {
+                let mut ranges: Vec<(u32, u32)> = placement
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (bin, _))| *bin == b)
+                    .map(|(i, (_, off))| (*off, *off + sizes[i]))
+                    .collect();
+                ranges.sort();
+                for w in ranges.windows(2) {
+                    prop_assert!(w[0].1 <= w[1].0);
+                }
+            }
+        }
+
+        #[test]
+        fn bin_count_at_least_lower_bound(sizes in proptest::collection::vec(1u32..=32, 1..20)) {
+            let cap = 32u32;
+            let total: u32 = sizes.iter().sum();
+            let lower = total.div_ceil(cap);
+            let (_, bins) = sorted_first_fit(&sizes, cap);
+            prop_assert!(bins as u32 >= lower);
+            // First-fit-decreasing is within 2x of optimal for our sizes.
+            prop_assert!((bins as u32) <= sizes.len() as u32);
+        }
+    }
+}

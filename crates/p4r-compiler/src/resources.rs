@@ -1,0 +1,285 @@
+//! Resource accounting for compiled programs.
+//!
+//! This feeds two pieces of the paper's evaluation:
+//!
+//! * **Table 1** — per-use-case marginal stages/tables/registers and
+//!   SRAM/TCAM/metadata costs of the Mantis transformations;
+//! * **Figure 13** — TCAM usage of malleable-field transformations as a
+//!   function of the alternative count `A`, field width `K`, and table
+//!   occupancy.
+
+use crate::iface::{ControlInterface, TableInfo};
+use p4_ast::{ControlStmt, MatchKind, Program};
+use serde::{Deserialize, Serialize};
+
+/// Resource usage of one table.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableResource {
+    pub name: String,
+    /// Total match key width in bits.
+    pub key_bits: u32,
+    /// True if any key column is ternary/LPM (table lives in TCAM).
+    pub is_tcam: bool,
+    /// Physical entry capacity.
+    pub capacity: u32,
+    /// Maximum action-data width across the table's actions.
+    pub action_data_bits: u32,
+    /// Capacity × per-entry bit cost, split by memory type.
+    pub sram_bits: u64,
+    pub tcam_bits: u64,
+}
+
+/// Whole-program resource report.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceReport {
+    pub ingress_stages: u32,
+    pub egress_stages: u32,
+    pub num_tables: usize,
+    pub num_registers: usize,
+    pub tables: Vec<TableResource>,
+    pub sram_bytes: u64,
+    pub tcam_bytes: u64,
+    /// Width of all metadata the program declares (bits).
+    pub metadata_bits: u32,
+    /// Width of the generated `p4r_meta_t_` metadata only (bits) — the
+    /// marginal metadata cost reported in Table 1.
+    pub p4r_metadata_bits: u32,
+}
+
+/// Compute the resource report for a (compiled, plain-P4) program.
+pub fn report(p4: &Program) -> ResourceReport {
+    let mut tables = Vec::new();
+    let mut sram_bits_total: u64 = 0;
+    let mut tcam_bits_total: u64 = 0;
+
+    for t in &p4.tables {
+        let mut key_bits = 0u32;
+        let mut is_tcam = false;
+        for r in &t.reads {
+            let w = match &r.target {
+                p4_ast::FieldOrMbl::Field(fr) => u32::from(p4.field_width(fr).unwrap_or(0)),
+                p4_ast::FieldOrMbl::Mbl(_) => 0,
+            };
+            key_bits += w;
+            if r.kind != MatchKind::Exact {
+                is_tcam = true;
+            }
+        }
+        let action_data_bits = t
+            .actions
+            .iter()
+            .filter_map(|an| p4.action(an))
+            .map(|a| action_param_bits(p4, a))
+            .max()
+            .unwrap_or(0);
+        let capacity = t.size.unwrap_or(1024);
+        // Entry cost: key + action selector + action data. The selector is
+        // ceil(log2(#actions)) bits.
+        let sel_bits = ceil_log2(t.actions.len().max(1) as u32);
+        let entry_bits = u64::from(key_bits + sel_bits + action_data_bits);
+        let (sram_bits, tcam_bits) = if is_tcam {
+            // TCAM stores the key (value+mask = 2x) ; action data lives in
+            // adjacent SRAM.
+            (
+                u64::from(capacity) * u64::from(sel_bits + action_data_bits),
+                u64::from(capacity) * 2 * u64::from(key_bits),
+            )
+        } else {
+            (u64::from(capacity) * entry_bits, 0)
+        };
+        sram_bits_total += sram_bits;
+        tcam_bits_total += tcam_bits;
+        tables.push(TableResource {
+            name: t.name.clone(),
+            key_bits,
+            is_tcam,
+            capacity,
+            action_data_bits,
+            sram_bits,
+            tcam_bits,
+        });
+    }
+
+    for r in &p4.registers {
+        sram_bits_total += u64::from(r.width) * u64::from(r.instance_count);
+    }
+
+    let metadata_bits: u32 = p4
+        .instances
+        .iter()
+        .filter(|i| i.is_metadata && i.name != p4_ast::intrinsics::INTR)
+        .filter_map(|i| p4.header_type(&i.header_type))
+        .map(|ht| ht.total_bits())
+        .sum();
+    let p4r_metadata_bits: u32 = p4
+        .header_type(crate::iface::META_TYPE)
+        .map(|ht| ht.total_bits())
+        .unwrap_or(0);
+
+    ResourceReport {
+        ingress_stages: stages(&p4.ingress),
+        egress_stages: stages(&p4.egress),
+        num_tables: p4.tables.len(),
+        num_registers: p4.registers.len(),
+        tables,
+        sram_bytes: sram_bits_total / 8,
+        tcam_bytes: tcam_bits_total / 8,
+        metadata_bits,
+        p4r_metadata_bits,
+    }
+}
+
+/// Stage count with the same placement rule as the simulator's loader:
+/// sequential applies occupy consecutive stages; `if` arms share stages.
+pub fn stages(stmts: &[ControlStmt]) -> u32 {
+    fn walk(stmts: &[ControlStmt], base: u32) -> u32 {
+        let mut stage = base;
+        for s in stmts {
+            match s {
+                ControlStmt::Apply(_) => stage += 1,
+                ControlStmt::If { then_, else_, .. } => {
+                    stage = walk(then_, stage).max(walk(else_, stage));
+                }
+            }
+        }
+        stage
+    }
+    walk(stmts, 0)
+}
+
+fn action_param_bits(p4: &Program, a: &p4_ast::ActionDecl) -> u32 {
+    // Parameter widths are not declared in P4-14; approximate with the
+    // width of the destination they flow into, defaulting to 32.
+    let mut total = 0u32;
+    for _p in &a.params {
+        total += 32;
+    }
+    let _ = p4;
+    total
+}
+
+fn ceil_log2(n: u32) -> u32 {
+    let mut b = 0;
+    while (1u32 << b) < n {
+        b += 1;
+    }
+    b
+}
+
+/// TCAM bits consumed by `occupancy` logical entries of `table` installed
+/// with `action` — the Figure 13 metric. Accounts for the physical-entry
+/// expansion and the widened key (alt ternary columns, selector, vv).
+pub fn tcam_usage_bits(
+    p4: &Program,
+    iface: &ControlInterface,
+    table: &str,
+    action: &str,
+    occupancy: u32,
+) -> u64 {
+    let Some(info) = iface.table(table) else {
+        return 0;
+    };
+    let Some(decl) = p4.table(table) else {
+        return 0;
+    };
+    let key_bits: u32 = decl
+        .reads
+        .iter()
+        .map(|r| match &r.target {
+            p4_ast::FieldOrMbl::Field(fr) => u32::from(p4.field_width(fr).unwrap_or(0)),
+            p4_ast::FieldOrMbl::Mbl(_) => 0,
+        })
+        .sum();
+    let phys_entries = physical_entries(info, action, occupancy);
+    // TCAM stores value+mask per key bit.
+    phys_entries * 2 * u64::from(key_bits)
+}
+
+/// Physical entries for `occupancy` logical entries using `action`,
+/// including the ×2 shadow copies of malleable tables.
+pub fn physical_entries(info: &TableInfo, action: &str, occupancy: u32) -> u64 {
+    let expansion = info.expansion_factor(action) as u64;
+    let shadow = if info.malleable { 2 } else { 1 };
+    u64::from(occupancy) * expansion * shadow
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile_source, CompilerOptions};
+
+    #[test]
+    fn stages_count_matches_loader_rule() {
+        use p4_ast::{BoolExpr, ControlStmt as C};
+        let stmts = vec![
+            C::Apply("a".into()),
+            C::If {
+                cond: BoolExpr::Valid("h".into()),
+                then_: vec![C::Apply("b".into()), C::Apply("c".into())],
+                else_: vec![C::Apply("d".into())],
+            },
+            C::Apply("e".into()),
+        ];
+        assert_eq!(stages(&stmts), 4);
+        assert_eq!(stages(&[]), 0);
+    }
+
+    #[test]
+    fn report_counts_generated_metadata() {
+        let src = r#"
+header_type h_t { fields { foo : 32; bar : 32; } }
+header h_t hdr;
+malleable value mv16 { width : 16; init : 0; }
+action a() { add_to_field(hdr.foo, ${mv16}); }
+table t { actions { a; } default_action : a(); }
+control ingress { apply(t); }
+"#;
+        let out = compile_source(src, &CompilerOptions::default()).unwrap();
+        let rep = report(&out.p4);
+        // vv(1) + mv(1) + mv16(16)
+        assert_eq!(rep.p4r_metadata_bits, 18);
+        assert!(rep.ingress_stages >= 2); // init table + t
+        assert!(rep.num_tables >= 2);
+        assert!(rep.sram_bytes > 0);
+    }
+
+    #[test]
+    fn tcam_grows_with_alt_count() {
+        // tblReadX-style: 5-tuple ternary + malleable exact read.
+        fn usage(alts: usize, occupancy: u32) -> u64 {
+            let alt_list: Vec<String> = (0..alts).map(|i| format!("hdr.f{i}")).collect();
+            let fields: String = (0..alts.max(2))
+                .map(|i| format!("f{i} : 32;"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let src = format!(
+                r#"
+header_type h_t {{ fields {{ {fields} sip : 32; dip : 32; }} }}
+header h_t hdr;
+malleable field x {{
+    width : 32; init : hdr.f0;
+    alts {{ {alts_joined} }}
+}}
+action use_x(v) {{ add(hdr.sip, ${{x}}, v); }}
+malleable table rd {{
+    reads {{ hdr.sip : ternary; hdr.dip : ternary; ${{x}} : exact; }}
+    actions {{ use_x; }}
+}}
+control ingress {{ apply(rd); }}
+"#,
+                alts_joined = alt_list.join(", "),
+            );
+            let out = compile_source(&src, &CompilerOptions::default()).unwrap();
+            tcam_usage_bits(&out.p4, &out.iface, "rd", "use_x", occupancy)
+        }
+        let u2 = usage(2, 512);
+        let u4 = usage(4, 512);
+        let u8 = usage(8, 512);
+        assert!(u2 < u4 && u4 < u8, "{u2} {u4} {u8}");
+        // Asymptotically quadratic in A (entries ×A and key grows by A
+        // columns): growing A 2→8 must grow usage by more than 4×.
+        assert!(u8 > u2 * 4, "u8={u8} u2={u2}");
+        // Linear in occupancy.
+        assert_eq!(usage(4, 1024), usage(4, 512) * 2);
+    }
+}

@@ -1,0 +1,443 @@
+//! Lexer shared by the P4R parser and the C-like reaction-body parser.
+//!
+//! The token set is a superset of what P4-14 needs; the reaction parser uses
+//! the operators, the P4R parser mostly the structural tokens. Tokens carry
+//! byte spans into the original source so the P4R parser can capture reaction
+//! bodies verbatim (they are re-lexed by the reaction parser).
+
+use std::fmt;
+use std::ops::Range;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    Ident(String),
+    Number(u128),
+    // Structural
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Colon,
+    Comma,
+    Dot,
+    /// `${` — opens a malleable reference.
+    MblOpen,
+    // Operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    AmpAmp,
+    PipePipe,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    Eq,
+    Shl,
+    Shr,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    ShlEq,
+    ShrEq,
+    PlusPlus,
+    MinusMinus,
+    Question,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Tok::*;
+        match self {
+            Ident(s) => write!(f, "identifier `{s}`"),
+            Number(n) => write!(f, "number `{n}`"),
+            LBrace => write!(f, "`{{`"),
+            RBrace => write!(f, "`}}`"),
+            LParen => write!(f, "`(`"),
+            RParen => write!(f, "`)`"),
+            LBracket => write!(f, "`[`"),
+            RBracket => write!(f, "`]`"),
+            Semi => write!(f, "`;`"),
+            Colon => write!(f, "`:`"),
+            Comma => write!(f, "`,`"),
+            Dot => write!(f, "`.`"),
+            MblOpen => write!(f, "`${{`"),
+            Plus => write!(f, "`+`"),
+            Minus => write!(f, "`-`"),
+            Star => write!(f, "`*`"),
+            Slash => write!(f, "`/`"),
+            Percent => write!(f, "`%`"),
+            Amp => write!(f, "`&`"),
+            Pipe => write!(f, "`|`"),
+            Caret => write!(f, "`^`"),
+            Tilde => write!(f, "`~`"),
+            Bang => write!(f, "`!`"),
+            AmpAmp => write!(f, "`&&`"),
+            PipePipe => write!(f, "`||`"),
+            Lt => write!(f, "`<`"),
+            Le => write!(f, "`<=`"),
+            Gt => write!(f, "`>`"),
+            Ge => write!(f, "`>=`"),
+            EqEq => write!(f, "`==`"),
+            Ne => write!(f, "`!=`"),
+            Eq => write!(f, "`=`"),
+            Shl => write!(f, "`<<`"),
+            Shr => write!(f, "`>>`"),
+            PlusEq => write!(f, "`+=`"),
+            MinusEq => write!(f, "`-=`"),
+            StarEq => write!(f, "`*=`"),
+            SlashEq => write!(f, "`/=`"),
+            PercentEq => write!(f, "`%=`"),
+            AmpEq => write!(f, "`&=`"),
+            PipeEq => write!(f, "`|=`"),
+            CaretEq => write!(f, "`^=`"),
+            ShlEq => write!(f, "`<<=`"),
+            ShrEq => write!(f, "`>>=`"),
+            PlusPlus => write!(f, "`++`"),
+            MinusMinus => write!(f, "`--`"),
+            Question => write!(f, "`?`"),
+        }
+    }
+}
+
+/// A token plus its position in the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    pub tok: Tok,
+    /// Byte range in the original source.
+    pub span: Range<usize>,
+    /// 1-based line number of the token start.
+    pub line: u32,
+}
+
+/// A lexer error with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    pub message: String,
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize the full input. Comments (`//` and `/* */`) and whitespace are
+/// skipped.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! push {
+        ($tok:expr, $start:expr, $len:expr) => {
+            toks.push(Spanned {
+                tok: $tok,
+                span: $start..$start + $len,
+                line,
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated block comment".into(),
+                            line: start_line,
+                        });
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let (value, len) = lex_number(&src[i..], line)?;
+                i += len;
+                push!(Tok::Number(value), start, len);
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                push!(Tok::Ident(src[start..i].to_string()), start, i - start);
+            }
+            b'$' if bytes.get(i + 1) == Some(&b'{') => {
+                push!(Tok::MblOpen, i, 2);
+                i += 2;
+            }
+            _ => {
+                let start = i;
+                // Operator matching happens on raw bytes: slicing `src` at
+                // arbitrary offsets would panic inside multi-byte UTF-8
+                // sequences.
+                let three: &[u8] = bytes.get(i..i + 3).unwrap_or(b"");
+                let two: &[u8] = bytes.get(i..i + 2).unwrap_or(b"");
+                let (tok, len) = match three {
+                    b"<<=" => (Tok::ShlEq, 3),
+                    b">>=" => (Tok::ShrEq, 3),
+                    _ => match two {
+                        b"&&" => (Tok::AmpAmp, 2),
+                        b"||" => (Tok::PipePipe, 2),
+                        b"<=" => (Tok::Le, 2),
+                        b">=" => (Tok::Ge, 2),
+                        b"==" => (Tok::EqEq, 2),
+                        b"!=" => (Tok::Ne, 2),
+                        b"<<" => (Tok::Shl, 2),
+                        b">>" => (Tok::Shr, 2),
+                        b"+=" => (Tok::PlusEq, 2),
+                        b"-=" => (Tok::MinusEq, 2),
+                        b"*=" => (Tok::StarEq, 2),
+                        b"/=" => (Tok::SlashEq, 2),
+                        b"%=" => (Tok::PercentEq, 2),
+                        b"&=" => (Tok::AmpEq, 2),
+                        b"|=" => (Tok::PipeEq, 2),
+                        b"^=" => (Tok::CaretEq, 2),
+                        b"++" => (Tok::PlusPlus, 2),
+                        b"--" => (Tok::MinusMinus, 2),
+                        _ => match c {
+                            b'{' => (Tok::LBrace, 1),
+                            b'}' => (Tok::RBrace, 1),
+                            b'(' => (Tok::LParen, 1),
+                            b')' => (Tok::RParen, 1),
+                            b'[' => (Tok::LBracket, 1),
+                            b']' => (Tok::RBracket, 1),
+                            b';' => (Tok::Semi, 1),
+                            b':' => (Tok::Colon, 1),
+                            b',' => (Tok::Comma, 1),
+                            b'.' => (Tok::Dot, 1),
+                            b'+' => (Tok::Plus, 1),
+                            b'-' => (Tok::Minus, 1),
+                            b'*' => (Tok::Star, 1),
+                            b'/' => (Tok::Slash, 1),
+                            b'%' => (Tok::Percent, 1),
+                            b'&' => (Tok::Amp, 1),
+                            b'|' => (Tok::Pipe, 1),
+                            b'^' => (Tok::Caret, 1),
+                            b'~' => (Tok::Tilde, 1),
+                            b'!' => (Tok::Bang, 1),
+                            b'<' => (Tok::Lt, 1),
+                            b'>' => (Tok::Gt, 1),
+                            b'=' => (Tok::Eq, 1),
+                            b'?' => (Tok::Question, 1),
+                            other => {
+                                return Err(LexError {
+                                    message: format!(
+                                        "unexpected character `{}`",
+                                        char::from(other)
+                                    ),
+                                    line,
+                                })
+                            }
+                        },
+                    },
+                };
+                i += len;
+                push!(tok, start, len);
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// Lex a decimal or `0x` hexadecimal number prefix of `src`. Also accepts a
+/// P4-14 width-prefixed literal like `8w255` (the width prefix is ignored:
+/// widths are recovered from context during parsing).
+fn lex_number(src: &str, line: u32) -> Result<(u128, usize), LexError> {
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    // Width-prefixed form: digits 'w' digits.
+    // First scan the leading decimal run.
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i + 1 < bytes.len() && bytes[i] == b'w' && bytes[i + 1].is_ascii_digit() {
+        // width prefix — skip it and lex the payload.
+        let (v, len) = lex_number(&src[i + 1..], line)?;
+        return Ok((v, i + 1 + len));
+    }
+    if bytes.first() == Some(&b'0') && bytes.get(1).map(|b| b | 32) == Some(b'x') {
+        let start = 2;
+        let mut j = start;
+        while j < bytes.len() && bytes[j].is_ascii_hexdigit() {
+            j += 1;
+        }
+        if j == start {
+            return Err(LexError {
+                message: "`0x` with no hex digits".into(),
+                line,
+            });
+        }
+        let v = u128::from_str_radix(&src[start..j], 16).map_err(|_| LexError {
+            message: "hex literal too large for 128 bits".into(),
+            line,
+        })?;
+        return Ok((v, j));
+    }
+    let v: u128 = src[..i].parse().map_err(|_| LexError {
+        message: "decimal literal too large for 128 bits".into(),
+        line,
+    })?;
+    Ok((v, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_numbers() {
+        assert_eq!(
+            toks("foo bar_9 42 0xff"),
+            vec![
+                Tok::Ident("foo".into()),
+                Tok::Ident("bar_9".into()),
+                Tok::Number(42),
+                Tok::Number(0xff),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_width_prefixed_literals() {
+        assert_eq!(
+            toks("8w255 16w0x1f"),
+            vec![Tok::Number(255), Tok::Number(0x1f)]
+        );
+    }
+
+    #[test]
+    fn lexes_mbl_open() {
+        assert_eq!(
+            toks("${value_var}"),
+            vec![Tok::MblOpen, Tok::Ident("value_var".into()), Tok::RBrace]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            toks("<= >= == != << >> && || += -= ++ --"),
+            vec![
+                Tok::Le,
+                Tok::Ge,
+                Tok::EqEq,
+                Tok::Ne,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::AmpAmp,
+                Tok::PipePipe,
+                Tok::PlusEq,
+                Tok::MinusEq,
+                Tok::PlusPlus,
+                Tok::MinusMinus,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        let src = "a // line comment\n/* block\ncomment */ b";
+        assert_eq!(
+            toks(src),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let spanned = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<u32> = spanned.iter().map(|s| s.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn spans_slice_source() {
+        let src = "table foo {";
+        let spanned = lex(src).unwrap();
+        assert_eq!(&src[spanned[1].span.clone()], "foo");
+        assert_eq!(&src[spanned[2].span.clone()], "{");
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(lex("/* never ends").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let e = lex("a @ b").unwrap_err();
+        assert!(e.message.contains('@'));
+    }
+
+    #[test]
+    fn multibyte_input_errors_without_panicking() {
+        // Operator lookahead must not slice inside a UTF-8 sequence.
+        assert!(lex("héllo").is_err() || lex("héllo").is_ok());
+        assert!(lex("a é b").is_err());
+        assert!(lex("<é").is_err());
+        assert!(lex("日本語").is_err());
+    }
+
+    #[test]
+    fn rejects_bare_hex_prefix() {
+        assert!(lex("0x").is_err());
+    }
+
+    #[test]
+    fn max_u128_hex_ok() {
+        assert_eq!(
+            toks("0xffffffffffffffffffffffffffffffff"),
+            vec![Tok::Number(u128::MAX)]
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! # p4r-lang
+//!
+//! Front end for the P4R language of *Mantis: Reactive Programmable
+//! Switches* (SIGCOMM 2020): a lexer and recursive-descent parser for the
+//! P4-14 v1.0.5 subset plus the Figure 3 P4R extensions, and a separate
+//! parser for the C-like reaction bodies.
+//!
+//! ```
+//! let src = r#"
+//! header_type h_t { fields { a : 8; } }
+//! header h_t h;
+//! malleable value thresh { width : 8; init : 10; }
+//! reaction tune(ing h.a) {
+//!     ${thresh} = h_a + 1;
+//! }
+//! "#;
+//! let prog = p4r_lang::parse_program(src).unwrap();
+//! assert_eq!(prog.mbl_values[0].name, "thresh");
+//! let body = p4r_lang::creact::parse_body(&prog.reactions[0].body_src).unwrap();
+//! assert_eq!(body.stmts.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+pub mod creact;
+pub mod lexer;
+pub mod parser;
+
+pub use parser::{parse_program, ParseError};

@@ -1,0 +1,1315 @@
+//! Recursive-descent parser for P4R: the P4-14 v1.0.5 subset used by the
+//! paper plus the Figure 3 extensions (`malleable value|field|table` and
+//! `reaction` declarations).
+//!
+//! Reaction bodies are C-like code; the parser captures them verbatim (by
+//! brace matching) into [`ReactionDecl::body_src`], and `creact` parses them
+//! separately.
+
+use crate::lexer::{lex, LexError, Spanned, Tok};
+use p4_ast::*;
+use std::fmt;
+
+/// A parse error with a line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
+    }
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+/// Construct the [`Value`] for an integer literal whose width is not yet
+/// known from context. 64 bits covers every literal in practice; wider
+/// literals get 128.
+pub fn lit(n: u128) -> Value {
+    if n > u128::from(u64::MAX) {
+        Value::new(n, 128)
+    } else {
+        Value::new(n, 64)
+    }
+}
+
+/// Parse a complete `.p4r` (or plain `.p4`) source file.
+pub fn parse_program(src: &str) -> PResult<Program> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        src,
+        toks,
+        pos: 0,
+        prog: Program::default(),
+    };
+    p.program()?;
+    Ok(p.prog)
+}
+
+struct Parser<'s> {
+    src: &'s str,
+    toks: Vec<Spanned>,
+    pos: usize,
+    prog: Program,
+}
+
+impl<'s> Parser<'s> {
+    // -- token helpers ------------------------------------------------------
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|s| &s.tok)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|s| s.line)
+            .unwrap_or(1)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        Err(ParseError {
+            message: msg.into(),
+            line: self.line(),
+        })
+    }
+
+    fn bump(&mut self) -> Option<Spanned> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> PResult<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            match self.peek() {
+                Some(got) => self.err(format!("expected {t}, found {got}")),
+                None => self.err(format!("expected {t}, found end of input")),
+            }
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.peek().cloned() {
+            Some(Tok::Ident(s)) => {
+                self.pos += 1;
+                Ok(s)
+            }
+            Some(got) => self.err(format!("expected identifier, found {got}")),
+            None => self.err("expected identifier, found end of input"),
+        }
+    }
+
+    /// Consume a specific keyword (an identifier with a fixed spelling).
+    fn keyword(&mut self, kw: &str) -> PResult<()> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s == kw => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(got) => self.err(format!("expected keyword `{kw}`, found {got}")),
+            None => self.err(format!("expected keyword `{kw}`, found end of input")),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) && {
+            self.pos += 1;
+            true
+        }
+    }
+
+    fn number(&mut self) -> PResult<u128> {
+        match self.peek().cloned() {
+            Some(Tok::Number(n)) => {
+                self.pos += 1;
+                Ok(n)
+            }
+            Some(got) => self.err(format!("expected number, found {got}")),
+            None => self.err("expected number, found end of input"),
+        }
+    }
+
+    fn width(&mut self) -> PResult<u16> {
+        let n = self.number()?;
+        if n == 0 || n > 128 {
+            return self.err(format!("width {n} out of range 1..=128"));
+        }
+        Ok(n as u16)
+    }
+
+    // -- reference parsing --------------------------------------------------
+
+    /// `instance.field`
+    fn field_ref(&mut self) -> PResult<FieldRef> {
+        let instance = self.ident()?;
+        self.expect(&Tok::Dot)?;
+        let field = self.ident()?;
+        Ok(FieldRef { instance, field })
+    }
+
+    /// `${name}` or `instance.field`
+    fn target(&mut self) -> PResult<FieldOrMbl> {
+        if self.eat(&Tok::MblOpen) {
+            let name = self.ident()?;
+            self.expect(&Tok::RBrace)?;
+            Ok(FieldOrMbl::Mbl(name))
+        } else {
+            Ok(FieldOrMbl::Field(self.field_ref()?))
+        }
+    }
+
+    /// An action operand: constant, `${name}`, `inst.field`, or a bare
+    /// identifier (interpreted as an action parameter).
+    fn operand(&mut self) -> PResult<Operand> {
+        match self.peek().cloned() {
+            Some(Tok::Number(n)) => {
+                self.pos += 1;
+                Ok(Operand::Const(lit(n)))
+            }
+            Some(Tok::MblOpen) => {
+                self.pos += 1;
+                let name = self.ident()?;
+                self.expect(&Tok::RBrace)?;
+                Ok(Operand::Mbl(name))
+            }
+            Some(Tok::Ident(_)) => {
+                if self.peek2() == Some(&Tok::Dot) {
+                    Ok(Operand::Field(self.field_ref()?))
+                } else {
+                    Ok(Operand::Param(self.ident()?))
+                }
+            }
+            Some(got) => self.err(format!("expected operand, found {got}")),
+            None => self.err("expected operand, found end of input"),
+        }
+    }
+
+    // -- top level ----------------------------------------------------------
+
+    fn program(&mut self) -> PResult<()> {
+        while let Some(tok) = self.peek().cloned() {
+            let Tok::Ident(kw) = tok else {
+                return self.err(format!("expected declaration, found {tok}"));
+            };
+            match kw.as_str() {
+                "header_type" => self.header_type()?,
+                "header" => self.instance(false)?,
+                "metadata" => self.instance(true)?,
+                "parser" => self.parser_state()?,
+                "register" => self.register()?,
+                "counter" => self.counter()?,
+                "field_list" => self.field_list()?,
+                "field_list_calculation" => self.calculation()?,
+                "action" => self.action()?,
+                "table" => self.table(false)?,
+                "malleable" => self.malleable()?,
+                "reaction" => self.reaction()?,
+                "control" => self.control()?,
+                other => return self.err(format!("unknown declaration keyword `{other}`")),
+            }
+        }
+        Ok(())
+    }
+
+    fn header_type(&mut self) -> PResult<()> {
+        self.keyword("header_type")?;
+        let name = self.ident()?;
+        self.expect(&Tok::LBrace)?;
+        self.keyword("fields")?;
+        self.expect(&Tok::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            let fname = self.ident()?;
+            self.expect(&Tok::Colon)?;
+            let w = self.width()?;
+            self.expect(&Tok::Semi)?;
+            fields.push((fname, w));
+        }
+        self.expect(&Tok::RBrace)?;
+        self.prog.header_types.push(HeaderTypeDecl { name, fields });
+        Ok(())
+    }
+
+    fn instance(&mut self, is_metadata: bool) -> PResult<()> {
+        self.bump(); // `header` or `metadata`
+        let header_type = self.ident()?;
+        let name = self.ident()?;
+        let mut initializers = Vec::new();
+        if self.eat(&Tok::LBrace) {
+            while !self.eat(&Tok::RBrace) {
+                let f = self.ident()?;
+                self.expect(&Tok::Colon)?;
+                let v = self.number()?;
+                self.expect(&Tok::Semi)?;
+                initializers.push((f, lit(v)));
+            }
+        }
+        // Trailing `;` is optional after a braced initializer, required
+        // otherwise.
+        if initializers.is_empty() {
+            self.expect(&Tok::Semi)?;
+        } else {
+            self.eat(&Tok::Semi);
+        }
+        self.prog.instances.push(InstanceDecl {
+            header_type,
+            name,
+            is_metadata,
+            initializers,
+        });
+        Ok(())
+    }
+
+    fn parser_state(&mut self) -> PResult<()> {
+        self.keyword("parser")?;
+        let name = self.ident()?;
+        self.expect(&Tok::LBrace)?;
+        let mut extracts = Vec::new();
+        let mut next = None;
+        while !self.eat(&Tok::RBrace) {
+            if self.eat_keyword("extract") {
+                self.expect(&Tok::LParen)?;
+                extracts.push(self.ident()?);
+                self.expect(&Tok::RParen)?;
+                self.expect(&Tok::Semi)?;
+            } else if self.eat_keyword("return") {
+                if self.eat_keyword("select") {
+                    self.expect(&Tok::LParen)?;
+                    let field = self.field_ref()?;
+                    self.expect(&Tok::RParen)?;
+                    self.expect(&Tok::LBrace)?;
+                    let mut cases = Vec::new();
+                    let mut default = None;
+                    while !self.eat(&Tok::RBrace) {
+                        if self.eat_keyword("default") {
+                            self.expect(&Tok::Colon)?;
+                            default = Some(self.ident()?);
+                            self.expect(&Tok::Semi)?;
+                        } else {
+                            let v = self.number()?;
+                            self.expect(&Tok::Colon)?;
+                            let st = self.ident()?;
+                            self.expect(&Tok::Semi)?;
+                            cases.push((lit(v), st));
+                        }
+                    }
+                    self.expect(&Tok::Semi)?;
+                    next = Some(ParserNext::Select {
+                        field,
+                        cases,
+                        default,
+                    });
+                } else if self.eat_keyword("ingress") {
+                    self.expect(&Tok::Semi)?;
+                    next = Some(ParserNext::Ingress);
+                } else {
+                    let st = self.ident()?;
+                    self.expect(&Tok::Semi)?;
+                    next = Some(ParserNext::State(st));
+                }
+            } else {
+                return self.err("expected `extract` or `return` in parser state");
+            }
+        }
+        let next = match next {
+            Some(n) => n,
+            None => return self.err(format!("parser state `{name}` has no return")),
+        };
+        self.prog.parser_states.push(ParserStateDecl {
+            name,
+            extracts,
+            next,
+        });
+        Ok(())
+    }
+
+    fn register(&mut self) -> PResult<()> {
+        self.keyword("register")?;
+        let name = self.ident()?;
+        self.expect(&Tok::LBrace)?;
+        let mut width = None;
+        let mut count = None;
+        let mut pipeline = Pipeline::Ingress;
+        while !self.eat(&Tok::RBrace) {
+            let attr = self.ident()?;
+            self.expect(&Tok::Colon)?;
+            match attr.as_str() {
+                "width" => width = Some(self.width()?),
+                "instance_count" => count = Some(self.number()? as u32),
+                // `pipeline` is a P4R-repro extension; real P4-14 infers the
+                // pipeline from usage. Accepting it keeps programs explicit.
+                "pipeline" => {
+                    pipeline = if self.eat_keyword("egress") {
+                        Pipeline::Egress
+                    } else {
+                        self.keyword("ingress")?;
+                        Pipeline::Ingress
+                    };
+                }
+                other => return self.err(format!("unknown register attribute `{other}`")),
+            }
+            self.expect(&Tok::Semi)?;
+        }
+        let width = width.ok_or_else(|| ParseError {
+            message: format!("register `{name}` missing width"),
+            line: self.line(),
+        })?;
+        let instance_count = count.unwrap_or(1);
+        self.prog.registers.push(RegisterDecl {
+            name,
+            width,
+            instance_count,
+            pipeline,
+        });
+        Ok(())
+    }
+
+    /// `counter` declarations are modelled as 64-bit registers.
+    fn counter(&mut self) -> PResult<()> {
+        self.keyword("counter")?;
+        let name = self.ident()?;
+        self.expect(&Tok::LBrace)?;
+        let mut count = 1u32;
+        let mut pipeline = Pipeline::Ingress;
+        while !self.eat(&Tok::RBrace) {
+            let attr = self.ident()?;
+            self.expect(&Tok::Colon)?;
+            match attr.as_str() {
+                "instance_count" => count = self.number()? as u32,
+                // `type : packets;` etc — accepted and ignored.
+                "type" => {
+                    self.ident()?;
+                }
+                "pipeline" => {
+                    pipeline = if self.eat_keyword("egress") {
+                        Pipeline::Egress
+                    } else {
+                        self.keyword("ingress")?;
+                        Pipeline::Ingress
+                    };
+                }
+                other => return self.err(format!("unknown counter attribute `{other}`")),
+            }
+            self.expect(&Tok::Semi)?;
+        }
+        self.prog.registers.push(RegisterDecl {
+            name,
+            width: 64,
+            instance_count: count,
+            pipeline,
+        });
+        Ok(())
+    }
+
+    fn field_list(&mut self) -> PResult<()> {
+        self.keyword("field_list")?;
+        let name = self.ident()?;
+        self.expect(&Tok::LBrace)?;
+        let mut entries = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            entries.push(self.target()?);
+            self.expect(&Tok::Semi)?;
+        }
+        self.prog.field_lists.push(FieldListDecl { name, entries });
+        Ok(())
+    }
+
+    fn calculation(&mut self) -> PResult<()> {
+        self.keyword("field_list_calculation")?;
+        let name = self.ident()?;
+        self.expect(&Tok::LBrace)?;
+        let mut input = None;
+        let mut algorithm = HashAlgorithm::Crc16;
+        let mut output_width = 16;
+        while !self.eat(&Tok::RBrace) {
+            match self.peek() {
+                Some(Tok::Ident(s)) if s == "input" => {
+                    self.pos += 1;
+                    self.expect(&Tok::LBrace)?;
+                    input = Some(self.ident()?);
+                    self.expect(&Tok::Semi)?;
+                    self.expect(&Tok::RBrace)?;
+                }
+                Some(Tok::Ident(s)) if s == "algorithm" => {
+                    self.pos += 1;
+                    self.expect(&Tok::Colon)?;
+                    let alg = self.ident()?;
+                    algorithm = match alg.as_str() {
+                        "crc16" => HashAlgorithm::Crc16,
+                        "crc32" => HashAlgorithm::Crc32,
+                        "identity" => HashAlgorithm::Identity,
+                        "xor_mix" => HashAlgorithm::XorMix,
+                        other => return self.err(format!("unknown hash algorithm `{other}`")),
+                    };
+                    self.expect(&Tok::Semi)?;
+                }
+                Some(Tok::Ident(s)) if s == "output_width" => {
+                    self.pos += 1;
+                    self.expect(&Tok::Colon)?;
+                    output_width = self.width()?;
+                    self.expect(&Tok::Semi)?;
+                }
+                _ => return self.err("expected `input`, `algorithm`, or `output_width`"),
+            }
+        }
+        let input = input.ok_or_else(|| ParseError {
+            message: format!("field_list_calculation `{name}` missing input"),
+            line: self.line(),
+        })?;
+        self.prog.calculations.push(FieldListCalcDecl {
+            name,
+            input,
+            algorithm,
+            output_width,
+        });
+        Ok(())
+    }
+
+    fn action(&mut self) -> PResult<()> {
+        self.keyword("action")?;
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                params.push(self.ident()?);
+                if self.eat(&Tok::RParen) {
+                    break;
+                }
+                self.expect(&Tok::Comma)?;
+            }
+        }
+        self.expect(&Tok::LBrace)?;
+        let mut body = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            body.push(self.primitive_call()?);
+            self.expect(&Tok::Semi)?;
+        }
+        self.prog.actions.push(ActionDecl { name, params, body });
+        Ok(())
+    }
+
+    fn primitive_call(&mut self) -> PResult<PrimitiveCall> {
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let call = match name.as_str() {
+            "drop" => PrimitiveCall::Drop,
+            "no_op" => PrimitiveCall::NoOp,
+            "modify_field" => {
+                let dst = self.target()?;
+                self.expect(&Tok::Comma)?;
+                let src = self.operand()?;
+                PrimitiveCall::ModifyField { dst, src }
+            }
+            "add" | "subtract" | "bit_and" | "bit_or" | "bit_xor" => {
+                let dst = self.target()?;
+                self.expect(&Tok::Comma)?;
+                let a = self.operand()?;
+                self.expect(&Tok::Comma)?;
+                let b = self.operand()?;
+                match name.as_str() {
+                    "add" => PrimitiveCall::Add { dst, a, b },
+                    "subtract" => PrimitiveCall::Subtract { dst, a, b },
+                    "bit_and" => PrimitiveCall::BitAnd { dst, a, b },
+                    "bit_or" => PrimitiveCall::BitOr { dst, a, b },
+                    _ => PrimitiveCall::BitXor { dst, a, b },
+                }
+            }
+            "shift_left" | "shift_right" => {
+                let dst = self.target()?;
+                self.expect(&Tok::Comma)?;
+                let a = self.operand()?;
+                self.expect(&Tok::Comma)?;
+                let amount = self.operand()?;
+                if name == "shift_left" {
+                    PrimitiveCall::ShiftLeft { dst, a, amount }
+                } else {
+                    PrimitiveCall::ShiftRight { dst, a, amount }
+                }
+            }
+            "add_to_field" | "subtract_from_field" => {
+                let dst = self.target()?;
+                self.expect(&Tok::Comma)?;
+                let v = self.operand()?;
+                if name == "add_to_field" {
+                    PrimitiveCall::AddToField { dst, v }
+                } else {
+                    PrimitiveCall::SubtractFromField { dst, v }
+                }
+            }
+            "register_write" => {
+                let register = self.ident()?;
+                self.expect(&Tok::Comma)?;
+                let index = self.operand()?;
+                self.expect(&Tok::Comma)?;
+                let value = self.operand()?;
+                PrimitiveCall::RegisterWrite {
+                    register,
+                    index,
+                    value,
+                }
+            }
+            "register_read" => {
+                let dst = self.target()?;
+                self.expect(&Tok::Comma)?;
+                let register = self.ident()?;
+                self.expect(&Tok::Comma)?;
+                let index = self.operand()?;
+                PrimitiveCall::RegisterRead {
+                    dst,
+                    register,
+                    index,
+                }
+            }
+            "count" => {
+                let counter = self.ident()?;
+                self.expect(&Tok::Comma)?;
+                let index = self.operand()?;
+                PrimitiveCall::Count { counter, index }
+            }
+            "modify_field_with_hash_based_offset" => {
+                let dst = self.target()?;
+                self.expect(&Tok::Comma)?;
+                let base = self.operand()?;
+                self.expect(&Tok::Comma)?;
+                let calculation = self.ident()?;
+                self.expect(&Tok::Comma)?;
+                let size = self.operand()?;
+                PrimitiveCall::ModifyFieldWithHash {
+                    dst,
+                    base,
+                    calculation,
+                    size,
+                }
+            }
+            other => return self.err(format!("unknown primitive action `{other}`")),
+        };
+        self.expect(&Tok::RParen)?;
+        Ok(call)
+    }
+
+    fn table(&mut self, malleable: bool) -> PResult<()> {
+        self.keyword("table")?;
+        let name = self.ident()?;
+        self.expect(&Tok::LBrace)?;
+        let mut reads = Vec::new();
+        let mut actions = Vec::new();
+        let mut default_action = None;
+        let mut size = None;
+        while !self.eat(&Tok::RBrace) {
+            if self.eat_keyword("reads") {
+                self.expect(&Tok::LBrace)?;
+                while !self.eat(&Tok::RBrace) {
+                    let target = self.target()?;
+                    let mask = if self.eat_keyword("mask") {
+                        Some(lit(self.number()?))
+                    } else {
+                        None
+                    };
+                    self.expect(&Tok::Colon)?;
+                    let kind = match self.ident()?.as_str() {
+                        "exact" => MatchKind::Exact,
+                        "ternary" => MatchKind::Ternary,
+                        "lpm" => MatchKind::Lpm,
+                        other => return self.err(format!("unknown match kind `{other}`")),
+                    };
+                    self.expect(&Tok::Semi)?;
+                    reads.push(TableRead { target, kind, mask });
+                }
+            } else if self.eat_keyword("actions") {
+                self.expect(&Tok::LBrace)?;
+                while !self.eat(&Tok::RBrace) {
+                    actions.push(self.ident()?);
+                    self.expect(&Tok::Semi)?;
+                }
+            } else if self.eat_keyword("default_action") {
+                self.expect(&Tok::Colon)?;
+                let aname = self.ident()?;
+                let mut args = Vec::new();
+                if self.eat(&Tok::LParen) && !self.eat(&Tok::RParen) {
+                    loop {
+                        args.push(lit(self.number()?));
+                        if self.eat(&Tok::RParen) {
+                            break;
+                        }
+                        self.expect(&Tok::Comma)?;
+                    }
+                }
+                self.expect(&Tok::Semi)?;
+                default_action = Some((aname, args));
+            } else if self.eat_keyword("size") {
+                self.expect(&Tok::Colon)?;
+                size = Some(self.number()? as u32);
+                self.expect(&Tok::Semi)?;
+            } else {
+                return self.err("expected `reads`, `actions`, `default_action`, or `size`");
+            }
+        }
+        self.prog.tables.push(TableDecl {
+            name,
+            reads,
+            actions,
+            default_action,
+            size,
+            malleable,
+        });
+        Ok(())
+    }
+
+    fn malleable(&mut self) -> PResult<()> {
+        self.keyword("malleable")?;
+        match self.peek() {
+            Some(Tok::Ident(s)) if s == "value" => {
+                self.pos += 1;
+                let name = self.ident()?;
+                self.expect(&Tok::LBrace)?;
+                let mut width = None;
+                let mut init = None;
+                while !self.eat(&Tok::RBrace) {
+                    let attr = self.ident()?;
+                    self.expect(&Tok::Colon)?;
+                    match attr.as_str() {
+                        "width" => width = Some(self.width()?),
+                        "init" => init = Some(self.number()?),
+                        other => {
+                            return self.err(format!("unknown malleable value attribute `{other}`"))
+                        }
+                    }
+                    self.expect(&Tok::Semi)?;
+                }
+                let width = width.ok_or_else(|| ParseError {
+                    message: format!("malleable value `{name}` missing width"),
+                    line: self.line(),
+                })?;
+                let init = Value::new(init.unwrap_or(0), width);
+                self.prog
+                    .mbl_values
+                    .push(MblValueDecl { name, width, init });
+                Ok(())
+            }
+            Some(Tok::Ident(s)) if s == "field" => {
+                self.pos += 1;
+                let name = self.ident()?;
+                self.expect(&Tok::LBrace)?;
+                let mut width = None;
+                let mut init = None;
+                let mut alts = Vec::new();
+                while !self.eat(&Tok::RBrace) {
+                    match self.peek() {
+                        Some(Tok::Ident(s)) if s == "width" => {
+                            self.pos += 1;
+                            self.expect(&Tok::Colon)?;
+                            width = Some(self.width()?);
+                            self.expect(&Tok::Semi)?;
+                        }
+                        Some(Tok::Ident(s)) if s == "init" => {
+                            self.pos += 1;
+                            self.expect(&Tok::Colon)?;
+                            init = Some(self.field_ref()?);
+                            self.expect(&Tok::Semi)?;
+                        }
+                        Some(Tok::Ident(s)) if s == "alts" => {
+                            self.pos += 1;
+                            self.expect(&Tok::LBrace)?;
+                            loop {
+                                alts.push(self.field_ref()?);
+                                if self.eat(&Tok::RBrace) {
+                                    break;
+                                }
+                                self.expect(&Tok::Comma)?;
+                            }
+                            // Optional trailing `;` after the alts block.
+                            self.eat(&Tok::Semi);
+                        }
+                        _ => return self.err("expected `width`, `init`, or `alts`"),
+                    }
+                }
+                let width = width.ok_or_else(|| ParseError {
+                    message: format!("malleable field `{name}` missing width"),
+                    line: self.line(),
+                })?;
+                let init = init.ok_or_else(|| ParseError {
+                    message: format!("malleable field `{name}` missing init"),
+                    line: self.line(),
+                })?;
+                self.prog.mbl_fields.push(MblFieldDecl {
+                    name,
+                    width,
+                    init,
+                    alts,
+                });
+                Ok(())
+            }
+            Some(Tok::Ident(s)) if s == "table" => self.table(true),
+            _ => self.err("expected `value`, `field`, or `table` after `malleable`"),
+        }
+    }
+
+    fn reaction(&mut self) -> PResult<()> {
+        self.keyword("reaction")?;
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut args = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                args.push(self.reaction_arg()?);
+                if self.eat(&Tok::RParen) {
+                    break;
+                }
+                self.expect(&Tok::Comma)?;
+            }
+        }
+        // Capture the body verbatim between matching braces.
+        let open = self.toks.get(self.pos).cloned();
+        self.expect(&Tok::LBrace)?;
+        let body_start = open.map(|s| s.span.end).unwrap_or(0);
+        let mut depth = 1usize;
+        let body_end;
+        loop {
+            let Some(t) = self.bump() else {
+                return self.err(format!("unterminated reaction `{name}` body"));
+            };
+            match t.tok {
+                Tok::LBrace | Tok::MblOpen => depth += 1,
+                Tok::RBrace => {
+                    depth -= 1;
+                    if depth == 0 {
+                        body_end = t.span.start;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let body_src = dedent(&self.src[body_start..body_end]);
+        self.prog.reactions.push(ReactionDecl {
+            name,
+            args,
+            body_src,
+        });
+        Ok(())
+    }
+
+    fn reaction_arg(&mut self) -> PResult<ReactionArg> {
+        for (kw, pipeline) in [("ing", Pipeline::Ingress), ("egr", Pipeline::Egress)] {
+            if self.eat_keyword(kw) {
+                // `ing hdr <instance>` measures a whole header; `hdr` is
+                // only a keyword when not itself an instance reference
+                // (`ing hdr.foo` must stay a field argument).
+                if matches!(self.peek(), Some(Tok::Ident(s)) if s == "hdr")
+                    && matches!(self.peek2(), Some(Tok::Ident(_)))
+                {
+                    self.pos += 1; // `hdr`
+                    let instance = self.ident()?;
+                    return Ok(ReactionArg::Header { pipeline, instance });
+                }
+                let target = self.target()?;
+                let mask = if self.eat_keyword("mask") {
+                    Some(lit(self.number()?))
+                } else {
+                    None
+                };
+                return Ok(ReactionArg::Field {
+                    pipeline,
+                    target,
+                    mask,
+                });
+            }
+        }
+        if self.eat_keyword("reg") {
+            let register = self.ident()?;
+            self.expect(&Tok::LBracket)?;
+            let lo = self.number()? as u32;
+            self.expect(&Tok::Colon)?;
+            let hi = self.number()? as u32;
+            self.expect(&Tok::RBracket)?;
+            if lo > hi {
+                return self.err(format!("register slice [{lo}:{hi}] has lo > hi"));
+            }
+            return Ok(ReactionArg::Register { register, lo, hi });
+        }
+        self.err("expected reaction argument (`ing`, `egr`, or `reg`)")
+    }
+
+    fn control(&mut self) -> PResult<()> {
+        self.keyword("control")?;
+        let which = self.ident()?;
+        self.expect(&Tok::LBrace)?;
+        let stmts = self.control_block()?;
+        match which.as_str() {
+            "ingress" => self.prog.ingress = stmts,
+            "egress" => self.prog.egress = stmts,
+            other => return self.err(format!("unknown control `{other}`")),
+        }
+        Ok(())
+    }
+
+    /// Parse control statements until the closing `}` (consumed).
+    fn control_block(&mut self) -> PResult<Vec<ControlStmt>> {
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if self.eat_keyword("apply") {
+                self.expect(&Tok::LParen)?;
+                let t = self.ident()?;
+                self.expect(&Tok::RParen)?;
+                self.expect(&Tok::Semi)?;
+                stmts.push(ControlStmt::Apply(t));
+            } else if self.eat_keyword("if") {
+                self.expect(&Tok::LParen)?;
+                let cond = self.bool_expr()?;
+                self.expect(&Tok::RParen)?;
+                self.expect(&Tok::LBrace)?;
+                let then_ = self.control_block()?;
+                let else_ = if self.eat_keyword("else") {
+                    self.expect(&Tok::LBrace)?;
+                    self.control_block()?
+                } else {
+                    Vec::new()
+                };
+                stmts.push(ControlStmt::If { cond, then_, else_ });
+            } else {
+                return self.err("expected `apply` or `if` in control block");
+            }
+        }
+        Ok(stmts)
+    }
+
+    fn bool_expr(&mut self) -> PResult<BoolExpr> {
+        let mut lhs = self.bool_primary()?;
+        loop {
+            if self.eat_keyword("and") {
+                let rhs = self.bool_primary()?;
+                lhs = BoolExpr::And(Box::new(lhs), Box::new(rhs));
+            } else if self.eat_keyword("or") {
+                let rhs = self.bool_primary()?;
+                lhs = BoolExpr::Or(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn bool_primary(&mut self) -> PResult<BoolExpr> {
+        if self.eat_keyword("not") {
+            let inner = self.bool_primary()?;
+            return Ok(BoolExpr::Not(Box::new(inner)));
+        }
+        if self.eat(&Tok::LParen) {
+            let e = self.bool_expr()?;
+            self.expect(&Tok::RParen)?;
+            return Ok(e);
+        }
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == "valid") {
+            self.pos += 1;
+            self.expect(&Tok::LParen)?;
+            let inst = self.ident()?;
+            self.expect(&Tok::RParen)?;
+            return Ok(BoolExpr::Valid(inst));
+        }
+        let lhs = self.operand()?;
+        let op = match self.peek() {
+            Some(Tok::EqEq) => CmpOp::Eq,
+            Some(Tok::Ne) => CmpOp::Ne,
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Ge) => CmpOp::Ge,
+            _ => return self.err("expected comparison operator"),
+        };
+        self.pos += 1;
+        let rhs = self.operand()?;
+        Ok(BoolExpr::Cmp { lhs, op, rhs })
+    }
+}
+
+/// Strip common leading whitespace and outer blank lines from a captured
+/// reaction body so that `body_src` is readable on its own.
+fn dedent(s: &str) -> String {
+    let lines: Vec<&str> = s.lines().collect();
+    let indent = lines
+        .iter()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.len() - l.trim_start().len())
+        .min()
+        .unwrap_or(0);
+    let mut out: Vec<String> = lines
+        .iter()
+        .map(|l| {
+            let s = if l.len() >= indent {
+                &l[indent.min(l.len() - l.trim_start().len())..]
+            } else {
+                l.trim_start()
+            };
+            s.trim_end().to_string()
+        })
+        .collect();
+    while out.first().is_some_and(|l| l.trim().is_empty()) {
+        out.remove(0);
+    }
+    while out.last().is_some_and(|l| l.trim().is_empty()) {
+        out.pop();
+    }
+    out.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 1 example from the paper (lightly adapted: headers are
+    /// declared so that references resolve).
+    const FIG1: &str = r#"
+header_type h_t {
+    fields { foo : 32; bar : 32; baz : 32; qux : 32; }
+}
+header h_t hdr;
+
+register qdepths {
+    width : 32;
+    instance_count : 16;
+}
+
+malleable value value_var { width : 16; init : 1; }
+malleable field field_var {
+    width : 32; init : hdr.foo;
+    alts { hdr.foo, hdr.bar }
+}
+malleable table table_var {
+    reads { ${field_var} : exact; }
+    actions { my_action; my_drop; }
+}
+action my_action() {
+    add(${field_var}, hdr.baz, ${value_var});
+}
+action my_drop() {
+    drop();
+}
+reaction my_reaction(reg qdepths[1:10]) {
+    uint16_t current_max = 0, max_port = 0;
+    for (int i = 1; i <= 10; ++i)
+        if (qdepths[i] > current_max) {
+            current_max = qdepths[i]; max_port = i;
+        }
+    ${value_var} = max_port;
+}
+control ingress {
+    apply(table_var);
+}
+"#;
+
+    #[test]
+    fn parses_figure_1() {
+        let p = parse_program(FIG1).unwrap();
+        assert_eq!(p.mbl_values.len(), 1);
+        assert_eq!(p.mbl_values[0].name, "value_var");
+        assert_eq!(p.mbl_values[0].width, 16);
+        assert_eq!(p.mbl_values[0].init, Value::new(1, 16));
+        assert_eq!(p.mbl_fields.len(), 1);
+        assert_eq!(p.mbl_fields[0].alts.len(), 2);
+        assert_eq!(p.tables.len(), 1);
+        assert!(p.tables[0].malleable);
+        assert_eq!(p.tables[0].reads[0].target, FieldOrMbl::mbl("field_var"));
+        assert_eq!(p.reactions.len(), 1);
+        let r = &p.reactions[0];
+        assert_eq!(
+            r.args,
+            vec![ReactionArg::Register {
+                register: "qdepths".into(),
+                lo: 1,
+                hi: 10
+            }]
+        );
+        assert!(r.body_src.contains("${value_var} = max_port;"));
+        assert!(r.body_src.starts_with("uint16_t current_max"));
+        // Validates cleanly.
+        assert!(
+            p4_ast::validate::validate(&p).is_empty(),
+            "{:?}",
+            p4_ast::validate::validate(&p)
+        );
+    }
+
+    #[test]
+    fn parses_action_with_params_and_mbl_operand() {
+        let src = r#"
+header_type h_t { fields { a : 8; } }
+header h_t h;
+malleable value mv { width : 8; init : 3; }
+action set_a(v) {
+    modify_field(h.a, v);
+    add(h.a, h.a, ${mv});
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let a = p.action("set_a").unwrap();
+        assert_eq!(a.params, vec!["v"]);
+        assert_eq!(
+            a.body[0],
+            PrimitiveCall::ModifyField {
+                dst: FieldOrMbl::field("h", "a"),
+                src: Operand::Param("v".into()),
+            }
+        );
+        assert_eq!(
+            a.body[1],
+            PrimitiveCall::Add {
+                dst: FieldOrMbl::field("h", "a"),
+                a: Operand::field("h", "a"),
+                b: Operand::Mbl("mv".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_table_attrs() {
+        let src = r#"
+header_type h_t { fields { a : 8; b : 32; } }
+header h_t h;
+action nop() { no_op(); }
+table t {
+    reads {
+        h.a : exact;
+        h.b mask 0xff : ternary;
+        h.b : lpm;
+    }
+    actions { nop; }
+    default_action : nop();
+    size : 1024;
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let t = p.table("t").unwrap();
+        assert_eq!(t.reads.len(), 3);
+        assert_eq!(t.reads[1].mask, Some(lit(0xff)));
+        assert_eq!(t.reads[1].kind, MatchKind::Ternary);
+        assert_eq!(t.reads[2].kind, MatchKind::Lpm);
+        assert_eq!(t.size, Some(1024));
+        assert_eq!(t.default_action, Some(("nop".into(), vec![])));
+    }
+
+    #[test]
+    fn parses_parser_states() {
+        let src = r#"
+header_type eth_t { fields { dst : 48; src : 48; etype : 16; } }
+header_type ipv4_t { fields { src : 32; dst : 32; proto : 8; } }
+header eth_t eth;
+header ipv4_t ipv4;
+parser start {
+    extract(eth);
+    return select(eth.etype) {
+        0x0800 : parse_ipv4;
+        default : done;
+    };
+}
+parser parse_ipv4 {
+    extract(ipv4);
+    return ingress;
+}
+parser done {
+    return ingress;
+}
+"#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.parser_states.len(), 3);
+        match &p.parser_states[0].next {
+            ParserNext::Select {
+                field,
+                cases,
+                default,
+            } => {
+                assert_eq!(field, &FieldRef::new("eth", "etype"));
+                assert_eq!(cases.len(), 1);
+                assert_eq!(default.as_deref(), Some("done"));
+            }
+            other => panic!("unexpected parser next: {other:?}"),
+        }
+        assert!(p4_ast::validate::validate(&p).is_empty());
+    }
+
+    #[test]
+    fn parses_control_if_else() {
+        let src = r#"
+header_type h_t { fields { a : 8; } }
+header h_t h;
+action nop() { no_op(); }
+table t1 { actions { nop; } }
+table t2 { actions { nop; } }
+control ingress {
+    if (valid(h) and h.a == 1) {
+        apply(t1);
+    } else {
+        apply(t2);
+    }
+}
+"#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.ingress.len(), 1);
+        match &p.ingress[0] {
+            ControlStmt::If { cond, then_, else_ } => {
+                assert!(matches!(cond, BoolExpr::And(_, _)));
+                assert_eq!(then_, &vec![ControlStmt::Apply("t1".into())]);
+                assert_eq!(else_, &vec![ControlStmt::Apply("t2".into())]);
+            }
+            other => panic!("unexpected stmt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reaction_field_args() {
+        let src = r#"
+header_type h_t { fields { a : 8; } }
+header h_t h;
+reaction r(ing h.a, egr h.a) { int x = 0; }
+"#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(
+            p.reactions[0].args,
+            vec![
+                ReactionArg::Field {
+                    pipeline: Pipeline::Ingress,
+                    target: FieldOrMbl::field("h", "a"),
+                    mask: None,
+                },
+                ReactionArg::Field {
+                    pipeline: Pipeline::Egress,
+                    target: FieldOrMbl::field("h", "a"),
+                    mask: None,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn hdr_keyword_vs_instance_named_hdr() {
+        // `ing hdr flow` is a whole-header arg; `ing hdr.foo` is a field
+        // arg on an instance that happens to be named `hdr`.
+        let src = r#"
+header_type h_t { fields { foo : 8; } }
+header h_t hdr;
+header h_t flow;
+reaction r(ing hdr flow, egr hdr.foo) { int x = 0; }
+"#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(
+            p.reactions[0].args,
+            vec![
+                ReactionArg::Header {
+                    pipeline: Pipeline::Ingress,
+                    instance: "flow".into()
+                },
+                ReactionArg::Field {
+                    pipeline: Pipeline::Egress,
+                    target: FieldOrMbl::field("hdr", "foo"),
+                    mask: None,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn reaction_body_with_mbl_braces_balances() {
+        // `${x}` inside the body contains a `{`-like token; ensure brace
+        // matching accounts for MblOpen.
+        let src = r#"
+malleable value x { width : 8; init : 0; }
+reaction r() { if (1) { ${x} = 2; } }
+"#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.reactions[0].body_src, "if (1) { ${x} = 2; }");
+    }
+
+    #[test]
+    fn counter_becomes_register() {
+        let src = "counter c { type : packets; instance_count : 8; }";
+        let p = parse_program(src).unwrap();
+        let r = p.register("c").unwrap();
+        assert_eq!(r.width, 64);
+        assert_eq!(r.instance_count, 8);
+    }
+
+    #[test]
+    fn egress_pipeline_register() {
+        let src = "register q { width : 32; instance_count : 4; pipeline : egress; }";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.register("q").unwrap().pipeline, Pipeline::Egress);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let e = parse_program("header_type t {\n  oops\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_bad_register_slice() {
+        let src = "register r { width : 32; instance_count : 8; }\nreaction x(reg r[5:2]) {}";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.message.contains("lo > hi"));
+    }
+
+    #[test]
+    fn rejects_unknown_primitive() {
+        let e = parse_program("action a() { frobnicate(); }").unwrap_err();
+        assert!(e.message.contains("unknown primitive"));
+    }
+
+    #[test]
+    fn metadata_with_initializers() {
+        let src = r#"
+header_type m_t { fields { f : 4; } }
+metadata m_t m { f : 2; }
+"#;
+        let p = parse_program(src).unwrap();
+        let m = p.instance("m").unwrap();
+        assert!(m.is_metadata);
+        assert_eq!(m.initializers.len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_through_pretty_printer() {
+        let p1 = parse_program(FIG1).unwrap();
+        let printed = p4_ast::pretty::print_program(&p1);
+        let p2 = parse_program(&printed).unwrap();
+        // Structural fields survive a round trip.
+        assert_eq!(p1.header_types, p2.header_types);
+        assert_eq!(p1.tables, p2.tables);
+        assert_eq!(p1.mbl_values, p2.mbl_values);
+        assert_eq!(p1.mbl_fields, p2.mbl_fields);
+        assert_eq!(p1.actions, p2.actions);
+        assert_eq!(p1.ingress, p2.ingress);
+        assert_eq!(p1.reactions[0].args, p2.reactions[0].args);
+    }
+}

@@ -1,0 +1,196 @@
+//! Packet Header Vector: the per-packet field containers the pipeline
+//! operates on.
+
+use crate::spec::{DataPlaneSpec, FieldId, PortId, INTR};
+use p4_ast::Value;
+
+/// A packet's header vector plus per-packet flags.
+#[derive(Clone, Debug)]
+pub struct Phv {
+    values: Vec<Value>,
+    /// Validity of each header instance (metadata is always valid).
+    valid: Vec<bool>,
+    /// Set by the `drop()` primitive.
+    pub dropped: bool,
+    /// Bytes of payload beyond the parsed headers (used for queueing byte
+    /// counts).
+    pub payload_len: u32,
+}
+
+impl Phv {
+    /// A fresh PHV with metadata initialized and headers invalid.
+    pub fn new(spec: &DataPlaneSpec) -> Self {
+        let values = spec.fields.iter().map(|f| f.init).collect();
+        let valid = spec.headers.iter().map(|h| h.is_metadata).collect();
+        Phv {
+            values,
+            valid,
+            dropped: false,
+            payload_len: 0,
+        }
+    }
+
+    pub fn get(&self, id: FieldId) -> Value {
+        self.values[id.0 as usize]
+    }
+
+    /// Store `v`, truncating/extending to the container width.
+    pub fn set(&mut self, id: FieldId, v: Value) {
+        let w = self.values[id.0 as usize].width();
+        self.values[id.0 as usize] = v.resize(w);
+    }
+
+    pub fn is_valid(&self, header_idx: usize) -> bool {
+        self.valid[header_idx]
+    }
+
+    pub fn set_valid(&mut self, header_idx: usize, valid: bool) {
+        self.valid[header_idx] = valid;
+    }
+
+    /// Convenience: read an intrinsic field by name.
+    pub fn intr(&self, spec: &DataPlaneSpec, name: &str) -> Value {
+        self.get(spec.field_id(INTR, name).expect("intrinsic field"))
+    }
+
+    /// Convenience: write an intrinsic field by name.
+    pub fn set_intr(&mut self, spec: &DataPlaneSpec, name: &str, v: u64) {
+        let id = spec.field_id(INTR, name).expect("intrinsic field");
+        self.set(id, Value::new(u128::from(v), 64));
+    }
+
+    pub fn ingress_port(&self, spec: &DataPlaneSpec) -> PortId {
+        self.intr(spec, "ingress_port").as_u64() as PortId
+    }
+
+    pub fn egress_spec(&self, spec: &DataPlaneSpec) -> PortId {
+        self.intr(spec, "egress_spec").as_u64() as PortId
+    }
+
+    /// Total frame length in bytes: parsed+valid headers plus payload.
+    pub fn frame_len(&self, spec: &DataPlaneSpec) -> u32 {
+        let mut bits = 0u32;
+        for (i, h) in spec.headers.iter().enumerate() {
+            if !h.is_metadata && self.valid[i] {
+                for f in &h.fields {
+                    bits += u32::from(spec.field_width(*f));
+                }
+            }
+        }
+        bits / 8 + self.payload_len
+    }
+}
+
+/// A builder for injecting packets without going through byte parsing.
+///
+/// Network-simulator components construct packets directly as field
+/// assignments; the byte-level parser path ([`crate::parse`]) exists for
+/// raw-frame examples and tests.
+#[derive(Clone, Debug, Default)]
+pub struct PacketDesc {
+    pub port: PortId,
+    /// `(instance, field, value)` assignments; the named headers become
+    /// valid.
+    pub fields: Vec<(String, String, u128)>,
+    pub payload_len: u32,
+}
+
+impl PacketDesc {
+    pub fn new(port: PortId) -> Self {
+        PacketDesc {
+            port,
+            ..Default::default()
+        }
+    }
+
+    pub fn field(mut self, instance: &str, field: &str, value: u128) -> Self {
+        self.fields
+            .push((instance.to_string(), field.to_string(), value));
+        self
+    }
+
+    pub fn payload(mut self, len: u32) -> Self {
+        self.payload_len = len;
+        self
+    }
+
+    /// Materialize a PHV for this packet.
+    pub fn build(&self, spec: &DataPlaneSpec) -> Phv {
+        let mut phv = Phv::new(spec);
+        phv.payload_len = self.payload_len;
+        for (inst, field, value) in &self.fields {
+            let id = spec
+                .field_id(inst, field)
+                .unwrap_or_else(|| panic!("unknown field {inst}.{field}"));
+            phv.set(id, Value::new(*value, 128));
+            if let Some(h) = spec.header_idx(inst) {
+                phv.set_valid(h, true);
+            }
+        }
+        phv.set_intr(spec, "ingress_port", u64::from(self.port));
+        let len = phv.frame_len(spec);
+        phv.set_intr(spec, "pkt_len", u64::from(len));
+        phv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::load;
+    use p4r_lang::parse_program;
+
+    fn spec() -> DataPlaneSpec {
+        let prog = parse_program(
+            r#"
+header_type eth_t { fields { dst : 48; src : 48; etype : 16; } }
+header eth_t eth;
+header_type m_t { fields { x : 8; } }
+metadata m_t m { x : 5; }
+"#,
+        )
+        .unwrap();
+        load(&prog).unwrap()
+    }
+
+    #[test]
+    fn metadata_initialized_headers_invalid() {
+        let s = spec();
+        let phv = Phv::new(&s);
+        assert_eq!(phv.get(s.field_id("m", "x").unwrap()).bits(), 5);
+        assert!(phv.is_valid(s.header_idx("m").unwrap()));
+        assert!(!phv.is_valid(s.header_idx("eth").unwrap()));
+    }
+
+    #[test]
+    fn set_truncates_to_width() {
+        let s = spec();
+        let mut phv = Phv::new(&s);
+        let id = s.field_id("m", "x").unwrap();
+        phv.set(id, Value::new(0x1ff, 16));
+        assert_eq!(phv.get(id).bits(), 0xff);
+        assert_eq!(phv.get(id).width(), 8);
+    }
+
+    #[test]
+    fn packet_desc_builds_phv() {
+        let s = spec();
+        let phv = PacketDesc::new(3)
+            .field("eth", "dst", 0xaabb)
+            .payload(100)
+            .build(&s);
+        assert!(phv.is_valid(s.header_idx("eth").unwrap()));
+        assert_eq!(phv.get(s.field_id("eth", "dst").unwrap()).bits(), 0xaabb);
+        assert_eq!(phv.ingress_port(&s), 3);
+        // eth = 14 bytes + 100 payload
+        assert_eq!(phv.frame_len(&s), 114);
+        assert_eq!(phv.intr(&s, "pkt_len").as_u64(), 114);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown field")]
+    fn packet_desc_unknown_field_panics() {
+        let s = spec();
+        let _ = PacketDesc::new(0).field("nope", "f", 1).build(&s);
+    }
+}

@@ -1,0 +1,1017 @@
+//! The switch: ports, ingress/egress pipelines, traffic manager, stateful
+//! registers, and the raw driver API the control plane uses.
+//!
+//! Execution is deterministic and driven by the shared virtual [`Clock`].
+//! Packets can be processed in one call (fast path) or stage-by-stage via
+//! [`Execution`], which is what the isolation property tests use to
+//! interleave control-plane updates with in-flight packets.
+
+use crate::clock::{Clock, Nanos};
+use crate::phv::{PacketDesc, Phv};
+use crate::registers::RegisterArray;
+use crate::spec::{
+    ActionId, DataPlaneSpec, FieldId, PipelineTiming, PortId, RBool, ROperand, RPrimitive, RStmt,
+    RegisterId, TableId,
+};
+use crate::table::{EntryHandle, KeyField, Lookup, Table, TableError};
+use crate::{hash, spec};
+use p4_ast::{CmpOp, Pipeline, Value};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Switch configuration.
+#[derive(Clone, Debug)]
+pub struct SwitchConfig {
+    pub num_ports: u16,
+    /// Port line rate in bits per second (uniform).
+    pub port_rate_bps: u64,
+    /// Per-port queue capacity in bytes (tail drop beyond this).
+    pub queue_capacity_bytes: u32,
+    pub timing: PipelineTiming,
+    /// Port number that recirculates packets back to ingress.
+    pub recirc_port: PortId,
+    /// Maximum recirculations per packet (loop guard).
+    pub recirc_limit: u8,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        SwitchConfig {
+            num_ports: 32,
+            port_rate_bps: 25_000_000_000, // 25 Gbps, as in the paper's testbed
+            queue_capacity_bytes: 1 << 20, // 1 MiB per port
+            timing: PipelineTiming::default(),
+            recirc_port: 68,
+            recirc_limit: 8,
+        }
+    }
+}
+
+/// Per-port counters and state.
+#[derive(Clone, Debug, Default)]
+pub struct PortState {
+    pub up: bool,
+    pub rx_packets: u64,
+    pub rx_bytes: u64,
+    pub tx_packets: u64,
+    pub tx_bytes: u64,
+    pub queue_drops: u64,
+}
+
+/// Global switch statistics.
+#[derive(Clone, Debug, Default)]
+pub struct SwitchStats {
+    pub rx: u64,
+    pub tx: u64,
+    pub dropped_ingress: u64,
+    pub dropped_port_down: u64,
+    pub dropped_queue: u64,
+    pub recirculated: u64,
+}
+
+/// A packet transmitted out of a port.
+#[derive(Clone, Debug)]
+pub struct TxPacket {
+    pub port: PortId,
+    pub phv: Phv,
+    /// Transmit completion time.
+    pub time: Nanos,
+}
+
+/// A queued packet awaiting egress service.
+#[derive(Clone, Debug)]
+struct Queued {
+    phv: Phv,
+    bytes: u32,
+    /// Enqueue time (earliest the packet can reach the wire, modulo
+    /// pipeline latency).
+    enq_ns: Nanos,
+}
+
+/// Per-port FIFO queue.
+#[derive(Clone, Debug, Default)]
+struct PortQueue {
+    packets: VecDeque<Queued>,
+    depth_bytes: u32,
+    /// Time the port finishes serializing the current packet.
+    busy_until: Nanos,
+}
+
+/// A packet part-way through a pipeline, used for stage-interleaved
+/// execution in isolation tests.
+#[derive(Clone, Debug)]
+pub struct Execution {
+    pub phv: Phv,
+    pipeline: Pipeline,
+    next_stage: u32,
+    total_stages: u32,
+}
+
+impl Execution {
+    pub fn done(&self) -> bool {
+        self.next_stage >= self.total_stages || self.phv.dropped
+    }
+}
+
+/// Control-plane driver errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DriverError {
+    Table(TableError),
+    UnknownTable(String),
+    UnknownRegister(String),
+    UnknownAction(String),
+    BadPort(PortId),
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Table(e) => write!(f, "table op failed: {e}"),
+            DriverError::UnknownTable(s) => write!(f, "unknown table `{s}`"),
+            DriverError::UnknownRegister(s) => write!(f, "unknown register `{s}`"),
+            DriverError::UnknownAction(s) => write!(f, "unknown action `{s}`"),
+            DriverError::BadPort(p) => write!(f, "port {p} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl From<TableError> for DriverError {
+    fn from(e: TableError) -> Self {
+        DriverError::Table(e)
+    }
+}
+
+/// One `apply` site flattened out of the control program, with the branch
+/// conditions guarding it.
+#[derive(Clone, Debug)]
+struct GuardedApply {
+    table: TableId,
+    stage: u32,
+    /// `(cond, polarity)` pairs: all must evaluate to `polarity`.
+    guards: Vec<(RBool, bool)>,
+}
+
+/// The simulated switch.
+pub struct Switch {
+    spec: DataPlaneSpec,
+    config: SwitchConfig,
+    clock: Clock,
+    tables: Vec<Table>,
+    registers: Vec<RegisterArray>,
+    ports: Vec<PortState>,
+    queues: Vec<PortQueue>,
+    ingress_plan: Vec<GuardedApply>,
+    egress_plan: Vec<GuardedApply>,
+    transmitted: Vec<TxPacket>,
+    /// Register automatically updated with per-port queue depth in bytes.
+    qdepth_register: Option<RegisterId>,
+    pub stats: SwitchStats,
+}
+
+impl fmt::Debug for Switch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Switch")
+            .field("tables", &self.tables.len())
+            .field("registers", &self.registers.len())
+            .field("ports", &self.ports.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Switch {
+    pub fn new(spec: DataPlaneSpec, config: SwitchConfig, clock: Clock) -> Self {
+        let tables = spec.tables.iter().map(Table::new).collect();
+        let registers = spec.registers.iter().map(RegisterArray::new).collect();
+        let ports = (0..config.num_ports)
+            .map(|_| PortState {
+                up: true,
+                ..Default::default()
+            })
+            .collect();
+        let queues = (0..config.num_ports)
+            .map(|_| PortQueue::default())
+            .collect();
+        let ingress_plan = flatten(&spec, &spec.ingress);
+        let egress_plan = flatten(&spec, &spec.egress);
+        Switch {
+            spec,
+            config,
+            clock,
+            tables,
+            registers,
+            ports,
+            queues,
+            ingress_plan,
+            egress_plan,
+            transmitted: Vec::new(),
+            qdepth_register: None,
+            stats: SwitchStats::default(),
+        }
+    }
+
+    pub fn spec(&self) -> &DataPlaneSpec {
+        &self.spec
+    }
+
+    pub fn config(&self) -> &SwitchConfig {
+        &self.config
+    }
+
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Bind a register array so the traffic manager mirrors per-port queue
+    /// depth (bytes) into it, index = port. This models Tofino's queue-depth
+    /// visibility used by the paper's use cases.
+    pub fn bind_queue_depth_register(&mut self, name: &str) -> Result<(), DriverError> {
+        let id = self
+            .spec
+            .register_id(name)
+            .ok_or_else(|| DriverError::UnknownRegister(name.into()))?;
+        self.qdepth_register = Some(id);
+        Ok(())
+    }
+
+    // -- packet path ---------------------------------------------------------
+
+    /// Inject a packet described as field assignments; runs ingress and
+    /// enqueues to the traffic manager. Returns `true` if the packet was
+    /// accepted into a queue (not dropped).
+    pub fn inject(&mut self, desc: &PacketDesc) -> bool {
+        let phv = desc.build(&self.spec);
+        self.inject_phv(phv)
+    }
+
+    /// Inject a pre-built PHV.
+    pub fn inject_phv(&mut self, mut phv: Phv) -> bool {
+        self.stats.rx += 1;
+        let in_port = phv.ingress_port(&self.spec) as usize;
+        if let Some(p) = self.ports.get_mut(in_port) {
+            if !p.up {
+                self.stats.dropped_port_down += 1;
+                return false;
+            }
+            p.rx_packets += 1;
+            p.rx_bytes += u64::from(phv.frame_len(&self.spec));
+        }
+        phv.set_intr(&self.spec, "ts_ns", self.clock.now());
+
+        let mut exec = self.exec_start(phv, Pipeline::Ingress);
+        while !exec.done() {
+            self.exec_step(&mut exec);
+        }
+        self.after_ingress(exec.phv)
+    }
+
+    /// Route an ingress-complete PHV into the TM (or drop/recirculate).
+    fn after_ingress(&mut self, phv: Phv) -> bool {
+        if phv.dropped {
+            self.stats.dropped_ingress += 1;
+            return false;
+        }
+        let out_port = phv.egress_spec(&self.spec);
+        if out_port == self.config.recirc_port {
+            return self.recirculate(phv);
+        }
+        self.enqueue(out_port, phv)
+    }
+
+    /// Send a packet back through the ingress pipeline (bounded by the
+    /// recirculation limit). Recirculation consumes pipeline bandwidth; the
+    /// `recirculated` stat lets experiments account for the throughput
+    /// penalty the paper discusses (§2).
+    fn recirculate(&mut self, mut phv: Phv) -> bool {
+        let count = phv.intr(&self.spec, "recirc_count").as_u64();
+        if count as u8 >= self.config.recirc_limit {
+            self.stats.dropped_ingress += 1;
+            return false;
+        }
+        phv.set_intr(&self.spec, "recirc_count", count + 1);
+        self.stats.recirculated += 1;
+        let mut exec = self.exec_start(phv, Pipeline::Ingress);
+        while !exec.done() {
+            self.exec_step(&mut exec);
+        }
+        self.after_ingress(exec.phv)
+    }
+
+    fn enqueue(&mut self, port: PortId, mut phv: Phv) -> bool {
+        let bytes = phv.frame_len(&self.spec);
+        let Some(q) = self.queues.get_mut(port as usize) else {
+            self.stats.dropped_ingress += 1;
+            return false;
+        };
+        if q.depth_bytes + bytes > self.config.queue_capacity_bytes {
+            self.stats.dropped_queue += 1;
+            if let Some(p) = self.ports.get_mut(port as usize) {
+                p.queue_drops += 1;
+            }
+            return false;
+        }
+        // Record the queue depth seen at enqueue (DCTCP-style marking uses
+        // this).
+        phv.set_intr(&self.spec, "deq_qdepth", u64::from(q.depth_bytes));
+        q.depth_bytes += bytes;
+        let enq_ns = self.clock.now();
+        q.packets.push_back(Queued { phv, bytes, enq_ns });
+        self.mirror_qdepth(port);
+        true
+    }
+
+    /// Serve all port queues up to the current virtual time: dequeue, run
+    /// egress, transmit (or recirculate). Call after advancing the clock.
+    pub fn pump(&mut self) {
+        let now = self.clock.now();
+        let t = &self.config.timing;
+        // Latency from enqueue to the first wire byte (egress pipeline +
+        // fixed overheads; the ingress half happened before enqueue).
+        let pipe_ns: Nanos = t.fixed / 2 + u64::from(self.spec.egress_stages) * t.per_stage;
+        for port in 0..self.queues.len() {
+            loop {
+                let q = &mut self.queues[port];
+                let Some(head) = q.packets.front() else {
+                    break;
+                };
+                // The wire serializes back-to-back; an idle wire waits for
+                // the packet to clear the egress pipeline.
+                let tx_start = q.busy_until.max(head.enq_ns + pipe_ns);
+                if tx_start > now {
+                    break;
+                }
+                let Queued { phv, bytes, .. } = q.packets.pop_front().unwrap();
+                q.depth_bytes -= bytes;
+                let tx_time = tx_start + self.wire_time(bytes);
+                self.queues[port].busy_until = tx_time;
+                self.mirror_qdepth(port as PortId);
+
+                let mut phv = phv;
+                phv.set_intr(&self.spec, "egress_port", port as u64);
+                let mut exec = self.exec_start(phv, Pipeline::Egress);
+                while !exec.done() {
+                    self.exec_step(&mut exec);
+                }
+                let phv = exec.phv;
+                if phv.dropped {
+                    self.stats.dropped_ingress += 1;
+                    continue;
+                }
+                if let Some(p) = self.ports.get_mut(port) {
+                    if !p.up {
+                        self.stats.dropped_port_down += 1;
+                        continue;
+                    }
+                    p.tx_packets += 1;
+                    p.tx_bytes += u64::from(bytes);
+                }
+                self.stats.tx += 1;
+                self.transmitted.push(TxPacket {
+                    port: port as PortId,
+                    phv,
+                    time: tx_time,
+                });
+            }
+        }
+    }
+
+    /// Wire serialization time for `bytes` at the port rate.
+    pub fn wire_time(&self, bytes: u32) -> Nanos {
+        (u128::from(bytes) * 8 * 1_000_000_000 / u128::from(self.config.port_rate_bps)) as Nanos
+    }
+
+    /// Drain transmitted packets.
+    pub fn take_transmitted(&mut self) -> Vec<TxPacket> {
+        std::mem::take(&mut self.transmitted)
+    }
+
+    /// Current queue depth in bytes for a port.
+    pub fn queue_depth(&self, port: PortId) -> u32 {
+        self.queues
+            .get(port as usize)
+            .map(|q| q.depth_bytes)
+            .unwrap_or(0)
+    }
+
+    fn mirror_qdepth(&mut self, port: PortId) {
+        if let Some(rid) = self.qdepth_register {
+            let depth = self.queue_depth(port);
+            self.registers[rid.0 as usize].write(port as usize, Value::new(u128::from(depth), 64));
+        }
+    }
+
+    // -- staged execution -----------------------------------------------------
+
+    /// Begin a staged execution of one pipeline over a PHV.
+    pub fn exec_start(&self, phv: Phv, pipeline: Pipeline) -> Execution {
+        let total_stages = match pipeline {
+            Pipeline::Ingress => self.spec.ingress_stages,
+            Pipeline::Egress => self.spec.egress_stages,
+        };
+        Execution {
+            phv,
+            pipeline,
+            next_stage: 0,
+            total_stages,
+        }
+    }
+
+    /// Execute one stage. Control-plane operations performed between calls
+    /// model PCIe-time interleaving with in-flight packets.
+    pub fn exec_step(&mut self, exec: &mut Execution) {
+        if exec.done() {
+            return;
+        }
+        let stage = exec.next_stage;
+        exec.next_stage += 1;
+        let plan = match exec.pipeline {
+            Pipeline::Ingress => &self.ingress_plan,
+            Pipeline::Egress => &self.egress_plan,
+        };
+        // Collect the tables to apply at this stage whose guards pass.
+        let to_apply: Vec<TableId> = plan
+            .iter()
+            .filter(|g| g.stage == stage)
+            .filter(|g| {
+                g.guards
+                    .iter()
+                    .all(|(cond, pol)| eval_bool(&self.spec, &exec.phv, cond) == *pol)
+            })
+            .map(|g| g.table)
+            .collect();
+        for tid in to_apply {
+            self.apply_table(tid, &mut exec.phv);
+            if exec.phv.dropped {
+                return;
+            }
+        }
+    }
+
+    /// Run a full pipeline over a PHV (fast path for tests/benches).
+    pub fn run_pipeline(&mut self, phv: Phv, pipeline: Pipeline) -> Phv {
+        let mut e = self.exec_start(phv, pipeline);
+        while !e.done() {
+            self.exec_step(&mut e);
+        }
+        e.phv
+    }
+
+    fn apply_table(&mut self, tid: TableId, phv: &mut Phv) {
+        let tspec = &self.spec.tables[tid.0 as usize];
+        let result = self.tables[tid.0 as usize].lookup(tspec, phv);
+        let (action, data) = match result {
+            Lookup::Hit {
+                action,
+                action_data,
+                ..
+            }
+            | Lookup::Default {
+                action,
+                action_data,
+            } => (action, action_data),
+            Lookup::Miss => return,
+        };
+        self.run_action(action, &data, phv);
+    }
+
+    /// Execute an action body against a PHV.
+    pub fn run_action(&mut self, action: ActionId, data: &[Value], phv: &mut Phv) {
+        // Split borrows: the spec (action bodies, widths, calcs) is read-only
+        // while the register file is mutated — no per-packet cloning.
+        let spec = &self.spec;
+        let registers = &mut self.registers;
+        for prim in &spec.actions[action.0 as usize].body {
+            run_primitive(spec, registers, prim, data, phv);
+        }
+    }
+
+    // -- driver API -----------------------------------------------------------
+
+    pub fn table_add(
+        &mut self,
+        table: TableId,
+        key: Vec<KeyField>,
+        priority: u32,
+        action: ActionId,
+        action_data: Vec<Value>,
+    ) -> Result<EntryHandle, DriverError> {
+        let tspec = &self.spec.tables[table.0 as usize];
+        // Arity must be checked before normalization: `normalize_key` zips
+        // against the spec and would silently truncate an over-long key.
+        if key.len() != tspec.key.len() {
+            return Err(DriverError::Table(TableError::KeyArityMismatch {
+                expected: tspec.key.len(),
+                got: key.len(),
+            }));
+        }
+        let key = Table::normalize_key(tspec, key);
+        let (param_count, data) = self.fit_action_data(action, action_data);
+        Ok(self.tables[table.0 as usize].add_entry(
+            tspec,
+            key,
+            priority,
+            action,
+            data,
+            param_count,
+        )?)
+    }
+
+    pub fn table_mod(
+        &mut self,
+        table: TableId,
+        handle: EntryHandle,
+        action: ActionId,
+        action_data: Vec<Value>,
+    ) -> Result<(), DriverError> {
+        let tspec = &self.spec.tables[table.0 as usize];
+        let (param_count, data) = self.fit_action_data(action, action_data);
+        Ok(self.tables[table.0 as usize].mod_entry(tspec, handle, action, data, param_count)?)
+    }
+
+    pub fn table_del(&mut self, table: TableId, handle: EntryHandle) -> Result<(), DriverError> {
+        self.tables[table.0 as usize].del_entry(handle)?;
+        Ok(())
+    }
+
+    pub fn table_set_default(
+        &mut self,
+        table: TableId,
+        action: ActionId,
+        action_data: Vec<Value>,
+    ) -> Result<(), DriverError> {
+        let tspec = &self.spec.tables[table.0 as usize];
+        if !tspec.actions.contains(&action) {
+            return Err(DriverError::Table(TableError::UnknownAction(action)));
+        }
+        let (_, data) = self.fit_action_data(action, action_data);
+        self.tables[table.0 as usize].set_default(action, data);
+        Ok(())
+    }
+
+    /// Resize action data values to the action's parameter widths.
+    fn fit_action_data(&self, action: ActionId, data: Vec<Value>) -> (usize, Vec<Value>) {
+        let widths = &self.spec.actions[action.0 as usize].param_widths;
+        let fitted = data
+            .iter()
+            .zip(widths.iter())
+            .map(|(v, w)| v.resize(*w))
+            .collect();
+        (widths.len(), fitted)
+    }
+
+    pub fn table_len(&self, table: TableId) -> usize {
+        self.tables[table.0 as usize].len()
+    }
+
+    pub fn table_ref(&self, table: TableId) -> &Table {
+        &self.tables[table.0 as usize]
+    }
+
+    pub fn register_read_range(&self, reg: RegisterId, lo: u32, hi: u32) -> Vec<Value> {
+        self.registers[reg.0 as usize].read_range(lo, hi)
+    }
+
+    pub fn register_write(&mut self, reg: RegisterId, index: u32, value: Value) {
+        self.registers[reg.0 as usize].write(index as usize, value);
+    }
+
+    pub fn register_ref(&self, reg: RegisterId) -> &RegisterArray {
+        &self.registers[reg.0 as usize]
+    }
+
+    pub fn port_set_up(&mut self, port: PortId, up: bool) -> Result<(), DriverError> {
+        let p = self
+            .ports
+            .get_mut(port as usize)
+            .ok_or(DriverError::BadPort(port))?;
+        p.up = up;
+        Ok(())
+    }
+
+    pub fn port(&self, port: PortId) -> Option<&PortState> {
+        self.ports.get(port as usize)
+    }
+
+    // -- name-based conveniences (examples and tests) -------------------------
+
+    pub fn table_id(&self, name: &str) -> Result<TableId, DriverError> {
+        self.spec
+            .table_id(name)
+            .ok_or_else(|| DriverError::UnknownTable(name.into()))
+    }
+
+    pub fn action_id(&self, name: &str) -> Result<ActionId, DriverError> {
+        self.spec
+            .action_id(name)
+            .ok_or_else(|| DriverError::UnknownAction(name.into()))
+    }
+
+    pub fn register_id(&self, name: &str) -> Result<RegisterId, DriverError> {
+        self.spec
+            .register_id(name)
+            .ok_or_else(|| DriverError::UnknownRegister(name.into()))
+    }
+
+    pub fn field_id(&self, instance: &str, field: &str) -> Option<FieldId> {
+        self.spec.field_id(instance, field)
+    }
+}
+
+fn eval_operand(op: &ROperand, data: &[Value], phv: &Phv) -> Value {
+    match op {
+        ROperand::Const(v) => *v,
+        ROperand::Field(f) => phv.get(*f),
+        ROperand::Param(i) => data.get(*i).copied().unwrap_or(Value::zero(64)),
+    }
+}
+
+fn run_primitive(
+    spec: &DataPlaneSpec,
+    registers: &mut [RegisterArray],
+    prim: &RPrimitive,
+    data: &[Value],
+    phv: &mut Phv,
+) {
+    use RPrimitive as P;
+    let ev = |op: &ROperand, phv: &Phv| eval_operand(op, data, phv);
+    match prim {
+        P::ModifyField { dst, src } => {
+            let v = ev(src, phv);
+            phv.set(*dst, v);
+        }
+        P::Add { dst, a, b } => {
+            let w = spec.field_width(*dst);
+            let r = ev(a, phv).resize(w).wrapping_add(ev(b, phv).resize(w));
+            phv.set(*dst, r);
+        }
+        P::Subtract { dst, a, b } => {
+            let w = spec.field_width(*dst);
+            let r = ev(a, phv).resize(w).wrapping_sub(ev(b, phv).resize(w));
+            phv.set(*dst, r);
+        }
+        P::BitAnd { dst, a, b } => {
+            let w = spec.field_width(*dst);
+            let r = ev(a, phv).resize(w).and(ev(b, phv).resize(w));
+            phv.set(*dst, r);
+        }
+        P::BitOr { dst, a, b } => {
+            let w = spec.field_width(*dst);
+            let r = ev(a, phv).resize(w).or(ev(b, phv).resize(w));
+            phv.set(*dst, r);
+        }
+        P::BitXor { dst, a, b } => {
+            let w = spec.field_width(*dst);
+            let r = ev(a, phv).resize(w).xor(ev(b, phv).resize(w));
+            phv.set(*dst, r);
+        }
+        P::ShiftLeft { dst, a, amount } => {
+            let w = spec.field_width(*dst);
+            let amt = ev(amount, phv).as_u64() as u32;
+            phv.set(*dst, ev(a, phv).resize(w).shl(amt));
+        }
+        P::ShiftRight { dst, a, amount } => {
+            let w = spec.field_width(*dst);
+            let amt = ev(amount, phv).as_u64() as u32;
+            phv.set(*dst, ev(a, phv).resize(w).shr(amt));
+        }
+        P::Drop => phv.dropped = true,
+        P::NoOp => {}
+        P::RegisterWrite {
+            register,
+            index,
+            value,
+        } => {
+            let idx = ev(index, phv).as_usize();
+            let v = ev(value, phv);
+            registers[register.0 as usize].write(idx, v);
+        }
+        P::RegisterRead {
+            dst,
+            register,
+            index,
+        } => {
+            let idx = ev(index, phv).as_usize();
+            let v = registers[register.0 as usize].read(idx);
+            phv.set(*dst, v);
+        }
+        P::Count { counter, index } => {
+            let idx = ev(index, phv).as_usize();
+            registers[counter.0 as usize].increment(idx, 1);
+        }
+        P::Hash {
+            dst,
+            base,
+            calc,
+            size,
+        } => {
+            let c = &spec.calcs[calc.0 as usize];
+            let inputs: Vec<Value> = c.inputs.iter().map(|f| phv.get(*f)).collect();
+            let h = hash::compute(c.algorithm, &inputs, c.output_width);
+            let base = ev(base, phv);
+            let size = ev(size, phv).bits().max(1);
+            let w = spec.field_width(*dst);
+            let v = base.resize(w).wrapping_add(Value::new(h.bits() % size, w));
+            phv.set(*dst, v);
+        }
+    }
+}
+
+/// Flatten control statements into guarded applies with their stages.
+fn flatten(spec: &DataPlaneSpec, stmts: &[RStmt]) -> Vec<GuardedApply> {
+    fn walk(
+        spec: &DataPlaneSpec,
+        stmts: &[RStmt],
+        guards: &mut Vec<(RBool, bool)>,
+        out: &mut Vec<GuardedApply>,
+    ) {
+        for s in stmts {
+            match s {
+                RStmt::Apply(tid) => {
+                    out.push(GuardedApply {
+                        table: *tid,
+                        stage: spec.tables[tid.0 as usize].stage,
+                        guards: guards.clone(),
+                    });
+                }
+                RStmt::If { cond, then_, else_ } => {
+                    guards.push((cond.clone(), true));
+                    walk(spec, then_, guards, out);
+                    guards.pop();
+                    guards.push((cond.clone(), false));
+                    walk(spec, else_, guards, out);
+                    guards.pop();
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(spec, stmts, &mut Vec::new(), &mut out);
+    out
+}
+
+fn eval_bool(spec: &DataPlaneSpec, phv: &Phv, cond: &RBool) -> bool {
+    match cond {
+        RBool::Valid(h) => phv.is_valid(*h),
+        RBool::Cmp { lhs, op, rhs } => {
+            let l = eval_ctrl_operand(spec, phv, lhs);
+            let r = eval_ctrl_operand(spec, phv, rhs);
+            match op {
+                CmpOp::Eq => l == r,
+                CmpOp::Ne => l != r,
+                CmpOp::Lt => l < r,
+                CmpOp::Le => l <= r,
+                CmpOp::Gt => l > r,
+                CmpOp::Ge => l >= r,
+            }
+        }
+        RBool::And(a, b) => eval_bool(spec, phv, a) && eval_bool(spec, phv, b),
+        RBool::Or(a, b) => eval_bool(spec, phv, a) || eval_bool(spec, phv, b),
+        RBool::Not(a) => !eval_bool(spec, phv, a),
+    }
+}
+
+fn eval_ctrl_operand(_spec: &DataPlaneSpec, phv: &Phv, op: &ROperand) -> u128 {
+    match op {
+        ROperand::Const(v) => v.bits(),
+        ROperand::Field(f) => phv.get(*f).bits(),
+        ROperand::Param(_) => 0,
+    }
+}
+
+/// Build a switch directly from plain-P4 source (test/example convenience).
+pub fn switch_from_source(
+    src: &str,
+    config: SwitchConfig,
+    clock: Clock,
+) -> Result<Switch, Box<dyn std::error::Error>> {
+    let prog = p4r_lang::parse_program(src)?;
+    let spec = spec::load(&prog)?;
+    Ok(Switch::new(spec, config, clock))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L2: &str = r#"
+header_type eth_t { fields { dst : 48; src : 48; etype : 16; } }
+header eth_t eth;
+register rx_bytes { width : 64; instance_count : 4; }
+register qdepths { width : 32; instance_count : 32; }
+action fwd(port) { modify_field(intr.egress_spec, port); }
+action fwd_count(port, idx) {
+    modify_field(intr.egress_spec, port);
+    register_write(rx_bytes, idx, intr.pkt_len);
+}
+action to_drop() { drop(); }
+table l2 {
+    reads { eth.dst : exact; }
+    actions { fwd; fwd_count; to_drop; }
+    default_action : to_drop();
+    size : 128;
+}
+control ingress { apply(l2); }
+"#;
+
+    fn mk() -> Switch {
+        switch_from_source(L2, SwitchConfig::default(), Clock::new()).unwrap()
+    }
+
+    fn add_fwd(sw: &mut Switch, dst: u128, port: u64) -> EntryHandle {
+        let t = sw.table_id("l2").unwrap();
+        let a = sw.action_id("fwd").unwrap();
+        sw.table_add(
+            t,
+            vec![KeyField::Exact(Value::new(dst, 48))],
+            0,
+            a,
+            vec![Value::new(port as u128, 64)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn forwards_matching_packet() {
+        let mut sw = mk();
+        add_fwd(&mut sw, 0xAA, 3);
+        let accepted = sw.inject(&PacketDesc::new(1).field("eth", "dst", 0xAA).payload(100));
+        assert!(accepted);
+        sw.clock().advance(10_000);
+        sw.pump();
+        let tx = sw.take_transmitted();
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].port, 3);
+        assert_eq!(sw.stats.tx, 1);
+    }
+
+    #[test]
+    fn default_action_drops_miss() {
+        let mut sw = mk();
+        add_fwd(&mut sw, 0xAA, 3);
+        assert!(!sw.inject(&PacketDesc::new(1).field("eth", "dst", 0xBB)));
+        assert_eq!(sw.stats.dropped_ingress, 1);
+    }
+
+    #[test]
+    fn register_write_from_action() {
+        let mut sw = mk();
+        let t = sw.table_id("l2").unwrap();
+        let a = sw.action_id("fwd_count").unwrap();
+        sw.table_add(
+            t,
+            vec![KeyField::Exact(Value::new(0xCC, 48))],
+            0,
+            a,
+            vec![Value::new(2, 64), Value::new(1, 64)],
+        )
+        .unwrap();
+        sw.inject(&PacketDesc::new(0).field("eth", "dst", 0xCC).payload(50));
+        let r = sw.register_id("rx_bytes").unwrap();
+        let vals = sw.register_read_range(r, 1, 1);
+        // 14 bytes of eth header + 50 payload
+        assert_eq!(vals[0].as_u64(), 64);
+    }
+
+    #[test]
+    fn port_down_drops_rx() {
+        let mut sw = mk();
+        add_fwd(&mut sw, 0xAA, 3);
+        sw.port_set_up(1, false).unwrap();
+        assert!(!sw.inject(&PacketDesc::new(1).field("eth", "dst", 0xAA)));
+        assert_eq!(sw.stats.dropped_port_down, 1);
+    }
+
+    #[test]
+    fn queue_depth_register_mirrors() {
+        let mut sw = mk();
+        sw.bind_queue_depth_register("qdepths").unwrap();
+        add_fwd(&mut sw, 0xAA, 5);
+        sw.inject(&PacketDesc::new(1).field("eth", "dst", 0xAA).payload(86)); // 100B frame
+        let r = sw.register_id("qdepths").unwrap();
+        assert_eq!(sw.register_read_range(r, 5, 5)[0].as_u64(), 100);
+        assert_eq!(sw.queue_depth(5), 100);
+        sw.clock().advance(1_000_000);
+        sw.pump();
+        assert_eq!(sw.register_read_range(r, 5, 5)[0].as_u64(), 0);
+    }
+
+    #[test]
+    fn tail_drop_when_queue_full() {
+        let mut sw = switch_from_source(
+            L2,
+            SwitchConfig {
+                queue_capacity_bytes: 150,
+                ..Default::default()
+            },
+            Clock::new(),
+        )
+        .unwrap();
+        add_fwd(&mut sw, 0xAA, 2);
+        assert!(sw.inject(&PacketDesc::new(0).field("eth", "dst", 0xAA).payload(86)));
+        assert!(!sw.inject(&PacketDesc::new(0).field("eth", "dst", 0xAA).payload(86)));
+        assert_eq!(sw.stats.dropped_queue, 1);
+        assert_eq!(sw.port(2).unwrap().queue_drops, 1);
+    }
+
+    #[test]
+    fn wire_time_matches_rate() {
+        let sw = mk(); // 25 Gbps
+                       // 1250 bytes = 10000 bits at 25Gbps = 400ns
+        assert_eq!(sw.wire_time(1250), 400);
+    }
+
+    #[test]
+    fn staged_execution_interleaves_updates() {
+        // A two-stage program: stage0 writes meta from table t0 (entry's
+        // action data), stage1 copies meta into a register. Modifying t0
+        // *between* stage0 and stage1 of an in-flight packet must not
+        // affect that packet (it already read t0).
+        let src = r#"
+header_type m_t { fields { x : 16; } }
+metadata m_t m;
+register out { width : 16; instance_count : 1; }
+action set_x(v) { modify_field(m.x, v); }
+action save() { register_write(out, 0, m.x); }
+table t0 { actions { set_x; } default_action : set_x(7); }
+table t1 { actions { save; } default_action : save(); }
+control ingress { apply(t0); apply(t1); }
+"#;
+        let mut sw = switch_from_source(src, SwitchConfig::default(), Clock::new()).unwrap();
+        let t0 = sw.table_id("t0").unwrap();
+        let set_x = sw.action_id("set_x").unwrap();
+
+        let phv = Phv::new(sw.spec());
+        let mut exec = sw.exec_start(phv, Pipeline::Ingress);
+        sw.exec_step(&mut exec); // stage 0: m.x = 7
+                                 // Control plane changes the default action mid-flight.
+        sw.table_set_default(t0, set_x, vec![Value::new(99, 16)])
+            .unwrap();
+        sw.exec_step(&mut exec); // stage 1: out[0] = m.x
+        assert!(exec.done());
+        let r = sw.register_id("out").unwrap();
+        assert_eq!(sw.register_read_range(r, 0, 0)[0].as_u64(), 7);
+
+        // The next packet sees the new configuration.
+        let phv = Phv::new(sw.spec());
+        sw.run_pipeline(phv, Pipeline::Ingress);
+        assert_eq!(sw.register_read_range(r, 0, 0)[0].as_u64(), 99);
+    }
+
+    #[test]
+    fn recirculation_counts_and_limits() {
+        // Everything forwards to the recirc port; the loop guard kicks in.
+        let src = r#"
+header_type m_t { fields { x : 8; } }
+metadata m_t m;
+action loop_it() { modify_field(intr.egress_spec, 68); }
+table t { actions { loop_it; } default_action : loop_it(); }
+control ingress { apply(t); }
+"#;
+        let cfg = SwitchConfig {
+            recirc_limit: 3,
+            ..Default::default()
+        };
+        let mut sw = switch_from_source(src, cfg, Clock::new()).unwrap();
+        sw.inject(&PacketDesc::new(0).payload(60));
+        for _ in 0..10 {
+            sw.clock().advance(1_000_000);
+            sw.pump();
+        }
+        assert_eq!(sw.stats.recirculated, 3);
+        assert_eq!(sw.stats.tx, 0);
+    }
+
+    #[test]
+    fn hash_action_spreads_ports() {
+        let src = r#"
+header_type ip_t { fields { src : 32; dst : 32; } }
+header ip_t ip;
+field_list flow { ip.src; ip.dst; }
+field_list_calculation ecmp_hash {
+    input { flow; }
+    algorithm : crc16;
+    output_width : 16;
+}
+action pick(base) {
+    modify_field_with_hash_based_offset(intr.egress_spec, base, ecmp_hash, 4);
+}
+table t { actions { pick; } default_action : pick(8); }
+control ingress { apply(t); }
+"#;
+        let mut sw = switch_from_source(src, SwitchConfig::default(), Clock::new()).unwrap();
+        let mut ports = std::collections::HashSet::new();
+        for i in 0..64u128 {
+            let phv = PacketDesc::new(0)
+                .field("ip", "src", i)
+                .field("ip", "dst", 99)
+                .build(sw.spec());
+            let out = sw.run_pipeline(phv, Pipeline::Ingress);
+            let p = out.egress_spec(sw.spec());
+            assert!((8..12).contains(&p), "port {p} out of ECMP range");
+            ports.insert(p);
+        }
+        assert!(ports.len() > 1, "hash did not spread flows");
+    }
+}

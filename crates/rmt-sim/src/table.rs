@@ -1,0 +1,777 @@
+//! Runtime match-action tables.
+//!
+//! Semantics mirror an RMT TCAM/SRAM unit:
+//!
+//! * **exact** keys must match bit-for-bit,
+//! * **ternary** keys match under a per-entry mask; among multiple matching
+//!   entries the highest `priority` wins (ties broken by insertion order,
+//!   oldest first — deterministic),
+//! * **lpm** keys match a per-entry prefix; the longest matching prefix wins
+//!   (then priority).
+//!
+//! Single-entry add/modify/delete are atomic with respect to packet
+//! processing — exactly the guarantee the Mantis paper builds its
+//! serializable update protocol on.
+//!
+//! Duplicate keys: exact-only tables resolve a re-added identical key to
+//! the newest entry (the hash index is overwritten); scan-matched tables
+//! (ternary/LPM) tie-break by insertion order, oldest first. The Mantis
+//! layers never insert duplicate physical keys (expansion makes keys
+//! unique per vv/selector), so the difference is only observable through
+//! the raw driver API.
+
+use crate::phv::Phv;
+use crate::spec::{ActionId, TableSpec};
+use p4_ast::{MatchKind, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Opaque handle to an installed entry, unique within a table for the
+/// lifetime of the switch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntryHandle(pub u64);
+
+impl fmt::Debug for EntryHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EntryHandle({})", self.0)
+    }
+}
+
+/// One component of an entry's match key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KeyField {
+    Exact(Value),
+    Ternary { value: Value, mask: Value },
+    Lpm { value: Value, prefix_len: u16 },
+}
+
+impl KeyField {
+    fn matches(&self, field: Value, static_mask: Option<Value>) -> bool {
+        let field = match static_mask {
+            Some(m) => field.and(m),
+            None => field,
+        };
+        match self {
+            KeyField::Exact(v) => field.bits() == v.bits(),
+            KeyField::Ternary { value, mask } => field.matches_ternary(*value, *mask),
+            KeyField::Lpm { value, prefix_len } => field.matches_prefix(*value, *prefix_len),
+        }
+    }
+
+    /// LPM specificity used for longest-prefix ordering.
+    fn prefix_len(&self) -> u16 {
+        match self {
+            KeyField::Lpm { prefix_len, .. } => *prefix_len,
+            _ => 0,
+        }
+    }
+}
+
+/// An installed table entry.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    pub handle: EntryHandle,
+    pub key: Vec<KeyField>,
+    pub priority: u32,
+    pub action: ActionId,
+    pub action_data: Vec<Value>,
+    /// Insertion sequence for deterministic tie-breaks.
+    seq: u64,
+}
+
+/// Errors from control-plane table operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TableError {
+    KeyArityMismatch { expected: usize, got: usize },
+    KeyKindMismatch { index: usize, expected: MatchKind },
+    UnknownHandle(EntryHandle),
+    UnknownAction(ActionId),
+    TableFull { capacity: u32 },
+    ActionDataArity { expected: usize, got: usize },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::KeyArityMismatch { expected, got } => {
+                write!(
+                    f,
+                    "key arity mismatch: expected {expected} fields, got {got}"
+                )
+            }
+            TableError::KeyKindMismatch { index, expected } => {
+                write!(f, "key field {index} must be a {expected} match")
+            }
+            TableError::UnknownHandle(h) => write!(f, "no entry with handle {h:?}"),
+            TableError::UnknownAction(a) => write!(f, "action {a:?} is not bound to this table"),
+            TableError::TableFull { capacity } => write!(f, "table full (capacity {capacity})"),
+            TableError::ActionDataArity { expected, got } => {
+                write!(
+                    f,
+                    "action data arity mismatch: expected {expected}, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// A runtime table instance.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Entries in insertion order; matching scans and picks the winner.
+    entries: Vec<Entry>,
+    /// Exact-only tables additionally keep a hash index for O(1) lookup.
+    exact_index: Option<HashMap<Vec<u128>, usize>>,
+    default_action: Option<(ActionId, Vec<Value>)>,
+    next_handle: u64,
+    next_seq: u64,
+    capacity: u32,
+    /// Lookup and hit/miss counters (for stats and tests).
+    pub lookups: u64,
+    pub hits: u64,
+}
+
+/// The outcome of a table lookup.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Lookup {
+    Hit {
+        handle: EntryHandle,
+        action: ActionId,
+        action_data: Vec<Value>,
+    },
+    Default {
+        action: ActionId,
+        action_data: Vec<Value>,
+    },
+    Miss,
+}
+
+impl Table {
+    pub fn new(spec: &TableSpec) -> Self {
+        let exact_only =
+            !spec.key.is_empty() && spec.key.iter().all(|k| k.kind == MatchKind::Exact);
+        Table {
+            entries: Vec::new(),
+            exact_index: exact_only.then(HashMap::new),
+            default_action: spec.default_action.clone(),
+            next_handle: 1,
+            next_seq: 0,
+            capacity: spec.size,
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    pub fn entries(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.iter()
+    }
+
+    pub fn default_action(&self) -> Option<&(ActionId, Vec<Value>)> {
+        self.default_action.as_ref()
+    }
+
+    pub fn set_default(&mut self, action: ActionId, data: Vec<Value>) {
+        self.default_action = Some((action, data));
+    }
+
+    fn validate_key(&self, spec: &TableSpec, key: &[KeyField]) -> Result<(), TableError> {
+        if key.len() != spec.key.len() {
+            return Err(TableError::KeyArityMismatch {
+                expected: spec.key.len(),
+                got: key.len(),
+            });
+        }
+        for (i, (kf, ks)) in key.iter().zip(spec.key.iter()).enumerate() {
+            let ok = matches!(
+                (kf, ks.kind),
+                (KeyField::Exact(_), MatchKind::Exact)
+                    | (KeyField::Ternary { .. }, MatchKind::Ternary)
+                    | (KeyField::Lpm { .. }, MatchKind::Lpm)
+            );
+            if !ok {
+                return Err(TableError::KeyKindMismatch {
+                    index: i,
+                    expected: ks.kind,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_action(
+        &self,
+        spec: &TableSpec,
+        action: ActionId,
+        data_len: usize,
+        param_count: usize,
+    ) -> Result<(), TableError> {
+        if !spec.actions.contains(&action) {
+            return Err(TableError::UnknownAction(action));
+        }
+        if data_len != param_count {
+            return Err(TableError::ActionDataArity {
+                expected: param_count,
+                got: data_len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Install a new entry. `param_count` is the arity of `action` (the
+    /// switch resolves it from the action table).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_entry(
+        &mut self,
+        spec: &TableSpec,
+        key: Vec<KeyField>,
+        priority: u32,
+        action: ActionId,
+        action_data: Vec<Value>,
+        param_count: usize,
+    ) -> Result<EntryHandle, TableError> {
+        self.validate_key(spec, &key)?;
+        self.validate_action(spec, action, action_data.len(), param_count)?;
+        if self.entries.len() as u32 >= self.capacity {
+            return Err(TableError::TableFull {
+                capacity: self.capacity,
+            });
+        }
+        let handle = EntryHandle(self.next_handle);
+        self.next_handle += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(index) = &mut self.exact_index {
+            let k = exact_key_bits(&key);
+            index.insert(k, self.entries.len());
+        }
+        self.entries.push(Entry {
+            handle,
+            key,
+            priority,
+            action,
+            action_data,
+            seq,
+        });
+        Ok(handle)
+    }
+
+    /// Replace the action/action-data of an existing entry (the key and
+    /// priority are immutable, matching real switch drivers).
+    pub fn mod_entry(
+        &mut self,
+        spec: &TableSpec,
+        handle: EntryHandle,
+        action: ActionId,
+        action_data: Vec<Value>,
+        param_count: usize,
+    ) -> Result<(), TableError> {
+        self.validate_action(spec, action, action_data.len(), param_count)?;
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.handle == handle)
+            .ok_or(TableError::UnknownHandle(handle))?;
+        e.action = action;
+        e.action_data = action_data;
+        Ok(())
+    }
+
+    /// Remove an entry.
+    pub fn del_entry(&mut self, handle: EntryHandle) -> Result<Entry, TableError> {
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| e.handle == handle)
+            .ok_or(TableError::UnknownHandle(handle))?;
+        let e = self.entries.remove(idx);
+        if let Some(index) = &mut self.exact_index {
+            // Rebuild the displaced indexes (deletion is rare relative to
+            // lookups).
+            index.clear();
+            for (i, e) in self.entries.iter().enumerate() {
+                index.insert(exact_key_bits(&e.key), i);
+            }
+        }
+        Ok(e)
+    }
+
+    /// Look up the winning entry for the current PHV.
+    pub fn lookup(&mut self, spec: &TableSpec, phv: &Phv) -> Lookup {
+        self.lookups += 1;
+        if spec.key.is_empty() {
+            // Keyless tables always run their default action.
+            return match &self.default_action {
+                Some((a, d)) => Lookup::Default {
+                    action: *a,
+                    action_data: d.clone(),
+                },
+                None => Lookup::Miss,
+            };
+        }
+
+        let field_vals: Vec<Value> = spec
+            .key
+            .iter()
+            .map(|k| {
+                let v = phv.get(k.field);
+                match k.static_mask {
+                    Some(m) => v.and(m),
+                    None => v,
+                }
+            })
+            .collect();
+
+        // Fast path for exact-only tables.
+        if let Some(index) = &self.exact_index {
+            let bits: Vec<u128> = field_vals.iter().map(|v| v.bits()).collect();
+            if let Some(&i) = index.get(&bits) {
+                let e = &self.entries[i];
+                self.hits += 1;
+                return Lookup::Hit {
+                    handle: e.handle,
+                    action: e.action,
+                    action_data: e.action_data.clone(),
+                };
+            }
+        } else {
+            let mut best: Option<&Entry> = None;
+            let mut best_prefix: u32 = 0;
+            for e in &self.entries {
+                let all = e
+                    .key
+                    .iter()
+                    .zip(spec.key.iter())
+                    .zip(field_vals.iter())
+                    .all(|((kf, ks), fv)| {
+                        // static mask was applied to fv already
+                        let _ = ks;
+                        kf.matches(*fv, None)
+                    });
+                if !all {
+                    continue;
+                }
+                let prefix: u32 = e.key.iter().map(|k| u32::from(k.prefix_len())).sum();
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        (prefix, e.priority, std::cmp::Reverse(e.seq))
+                            > (best_prefix, b.priority, std::cmp::Reverse(b.seq))
+                    }
+                };
+                if better {
+                    best = Some(e);
+                    best_prefix = prefix;
+                }
+            }
+            if let Some(e) = best {
+                self.hits += 1;
+                return Lookup::Hit {
+                    handle: e.handle,
+                    action: e.action,
+                    action_data: e.action_data.clone(),
+                };
+            }
+        }
+
+        match &self.default_action {
+            Some((a, d)) => Lookup::Default {
+                action: *a,
+                action_data: d.clone(),
+            },
+            None => Lookup::Miss,
+        }
+    }
+
+    /// Normalize a user-provided key to the spec's field widths. Exposed so
+    /// that the driver layer can accept plain `u128` keys.
+    pub fn normalize_key(spec: &TableSpec, key: Vec<KeyField>) -> Vec<KeyField> {
+        key.into_iter()
+            .zip(spec.key.iter())
+            .map(|(kf, ks)| match kf {
+                KeyField::Exact(v) => KeyField::Exact(v.resize(ks.width)),
+                KeyField::Ternary { value, mask } => KeyField::Ternary {
+                    value: value.resize(ks.width),
+                    mask: mask.resize(ks.width),
+                },
+                KeyField::Lpm { value, prefix_len } => KeyField::Lpm {
+                    value: value.resize(ks.width),
+                    prefix_len: prefix_len.min(ks.width),
+                },
+            })
+            .collect()
+    }
+}
+
+fn exact_key_bits(key: &[KeyField]) -> Vec<u128> {
+    key.iter()
+        .map(|k| match k {
+            KeyField::Exact(v) => v.bits(),
+            _ => unreachable!("exact index on non-exact key"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FieldId, KeySpec};
+    use p4_ast::Pipeline;
+
+    fn mkspec(kinds: &[MatchKind]) -> TableSpec {
+        TableSpec {
+            name: "t".into(),
+            key: kinds
+                .iter()
+                .enumerate()
+                .map(|(i, k)| KeySpec {
+                    field: FieldId(i as u32),
+                    kind: *k,
+                    width: 32,
+                    static_mask: None,
+                })
+                .collect(),
+            actions: vec![ActionId(0), ActionId(1)],
+            default_action: Some((ActionId(1), vec![])),
+            size: 4,
+            malleable: false,
+            stage: 0,
+            pipeline: Pipeline::Ingress,
+        }
+    }
+
+    /// Minimal fake PHV: field i has value vals[i].
+    fn phv_with(vals: &[u128]) -> Phv {
+        // Build a spec with enough 32-bit fields.
+        use crate::spec::load;
+        let fields: String = (0..vals.len())
+            .map(|i| format!("f{i} : 32;"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let src = format!("header_type m_t {{ fields {{ {fields} }} }} metadata m_t m;");
+        let prog = p4r_lang::parse_program(&src).unwrap();
+        let spec = load(&prog).unwrap();
+        let mut phv = Phv::new(&spec);
+        for (i, v) in vals.iter().enumerate() {
+            let id = spec.field_id("m", &format!("f{i}")).unwrap();
+            phv.set(id, Value::new(*v, 32));
+        }
+        phv
+    }
+
+    /// Remap table spec key fields to the fake PHV's field ids (intrinsics
+    /// occupy the first ids).
+    fn remap(spec: &mut TableSpec, base: u32) {
+        for (i, k) in spec.key.iter_mut().enumerate() {
+            k.field = FieldId(base + i as u32);
+        }
+    }
+
+    const INTR_COUNT: u32 = crate::spec::INTR_FIELDS.len() as u32;
+
+    #[test]
+    fn exact_match_hit_and_miss() {
+        let mut spec = mkspec(&[MatchKind::Exact]);
+        remap(&mut spec, INTR_COUNT);
+        let mut t = Table::new(&spec);
+        let h = t
+            .add_entry(
+                &spec,
+                vec![KeyField::Exact(Value::new(7, 32))],
+                0,
+                ActionId(0),
+                vec![],
+                0,
+            )
+            .unwrap();
+        match t.lookup(&spec, &phv_with(&[7])) {
+            Lookup::Hit { handle, action, .. } => {
+                assert_eq!(handle, h);
+                assert_eq!(action, ActionId(0));
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert!(matches!(
+            t.lookup(&spec, &phv_with(&[8])),
+            Lookup::Default {
+                action: ActionId(1),
+                ..
+            }
+        ));
+        assert_eq!(t.lookups, 2);
+        assert_eq!(t.hits, 1);
+    }
+
+    #[test]
+    fn ternary_priority_wins() {
+        let mut spec = mkspec(&[MatchKind::Ternary]);
+        remap(&mut spec, INTR_COUNT);
+        let mut t = Table::new(&spec);
+        t.add_entry(
+            &spec,
+            vec![KeyField::Ternary {
+                value: Value::zero(32),
+                mask: Value::zero(32), // wildcard
+            }],
+            1,
+            ActionId(0),
+            vec![],
+            0,
+        )
+        .unwrap();
+        let hi = t
+            .add_entry(
+                &spec,
+                vec![KeyField::Ternary {
+                    value: Value::new(5, 32),
+                    mask: Value::ones(32),
+                }],
+                10,
+                ActionId(1),
+                vec![],
+                0,
+            )
+            .unwrap();
+        match t.lookup(&spec, &phv_with(&[5])) {
+            Lookup::Hit { handle, .. } => assert_eq!(handle, hi),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        // Non-5 packets fall to the wildcard.
+        match t.lookup(&spec, &phv_with(&[9])) {
+            Lookup::Hit { action, .. } => assert_eq!(action, ActionId(0)),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ternary_tie_break_is_insertion_order() {
+        let mut spec = mkspec(&[MatchKind::Ternary]);
+        remap(&mut spec, INTR_COUNT);
+        let mut t = Table::new(&spec);
+        let first = t
+            .add_entry(
+                &spec,
+                vec![KeyField::Ternary {
+                    value: Value::zero(32),
+                    mask: Value::zero(32),
+                }],
+                5,
+                ActionId(0),
+                vec![],
+                0,
+            )
+            .unwrap();
+        t.add_entry(
+            &spec,
+            vec![KeyField::Ternary {
+                value: Value::zero(32),
+                mask: Value::zero(32),
+            }],
+            5,
+            ActionId(1),
+            vec![],
+            0,
+        )
+        .unwrap();
+        match t.lookup(&spec, &phv_with(&[1])) {
+            Lookup::Hit { handle, .. } => assert_eq!(handle, first),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lpm_longest_prefix_wins() {
+        let mut spec = mkspec(&[MatchKind::Lpm]);
+        remap(&mut spec, INTR_COUNT);
+        let mut t = Table::new(&spec);
+        t.add_entry(
+            &spec,
+            vec![KeyField::Lpm {
+                value: Value::new(0x0a000000, 32),
+                prefix_len: 8,
+            }],
+            0,
+            ActionId(0),
+            vec![],
+            0,
+        )
+        .unwrap();
+        let h24 = t
+            .add_entry(
+                &spec,
+                vec![KeyField::Lpm {
+                    value: Value::new(0x0a000100, 32),
+                    prefix_len: 24,
+                }],
+                0,
+                ActionId(1),
+                vec![],
+                0,
+            )
+            .unwrap();
+        match t.lookup(&spec, &phv_with(&[0x0a000105])) {
+            Lookup::Hit { handle, .. } => assert_eq!(handle, h24),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        match t.lookup(&spec, &phv_with(&[0x0a990105])) {
+            Lookup::Hit { action, .. } => assert_eq!(action, ActionId(0)),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mod_and_del_entry() {
+        let mut spec = mkspec(&[MatchKind::Exact]);
+        remap(&mut spec, INTR_COUNT);
+        let mut t = Table::new(&spec);
+        let h = t
+            .add_entry(
+                &spec,
+                vec![KeyField::Exact(Value::new(1, 32))],
+                0,
+                ActionId(0),
+                vec![],
+                0,
+            )
+            .unwrap();
+        t.mod_entry(&spec, h, ActionId(1), vec![], 0).unwrap();
+        match t.lookup(&spec, &phv_with(&[1])) {
+            Lookup::Hit { action, .. } => assert_eq!(action, ActionId(1)),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        t.del_entry(h).unwrap();
+        assert!(matches!(
+            t.lookup(&spec, &phv_with(&[1])),
+            Lookup::Default { .. }
+        ));
+        assert_eq!(t.del_entry(h).unwrap_err(), TableError::UnknownHandle(h));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut spec = mkspec(&[MatchKind::Exact]);
+        remap(&mut spec, INTR_COUNT);
+        spec.size = 2;
+        let mut t = Table::new(&spec);
+        for i in 0..2 {
+            t.add_entry(
+                &spec,
+                vec![KeyField::Exact(Value::new(i, 32))],
+                0,
+                ActionId(0),
+                vec![],
+                0,
+            )
+            .unwrap();
+        }
+        let err = t
+            .add_entry(
+                &spec,
+                vec![KeyField::Exact(Value::new(99, 32))],
+                0,
+                ActionId(0),
+                vec![],
+                0,
+            )
+            .unwrap_err();
+        assert_eq!(err, TableError::TableFull { capacity: 2 });
+    }
+
+    #[test]
+    fn key_validation() {
+        let mut spec = mkspec(&[MatchKind::Exact, MatchKind::Ternary]);
+        remap(&mut spec, INTR_COUNT);
+        let mut t = Table::new(&spec);
+        // wrong arity
+        assert!(matches!(
+            t.add_entry(
+                &spec,
+                vec![KeyField::Exact(Value::new(0, 32))],
+                0,
+                ActionId(0),
+                vec![],
+                0
+            ),
+            Err(TableError::KeyArityMismatch { .. })
+        ));
+        // wrong kind
+        assert!(matches!(
+            t.add_entry(
+                &spec,
+                vec![
+                    KeyField::Ternary {
+                        value: Value::zero(32),
+                        mask: Value::zero(32)
+                    },
+                    KeyField::Ternary {
+                        value: Value::zero(32),
+                        mask: Value::zero(32)
+                    },
+                ],
+                0,
+                ActionId(0),
+                vec![],
+                0
+            ),
+            Err(TableError::KeyKindMismatch { index: 0, .. })
+        ));
+        // unknown action
+        assert!(matches!(
+            t.add_entry(
+                &spec,
+                vec![
+                    KeyField::Exact(Value::zero(32)),
+                    KeyField::Ternary {
+                        value: Value::zero(32),
+                        mask: Value::zero(32)
+                    },
+                ],
+                0,
+                ActionId(9),
+                vec![],
+                0
+            ),
+            Err(TableError::UnknownAction(_))
+        ));
+    }
+
+    #[test]
+    fn keyless_table_runs_default() {
+        let mut spec = mkspec(&[]);
+        spec.key.clear();
+        let mut t = Table::new(&spec);
+        assert!(matches!(
+            t.lookup(&spec, &phv_with(&[0])),
+            Lookup::Default {
+                action: ActionId(1),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn normalize_key_resizes() {
+        let spec = mkspec(&[MatchKind::Exact]);
+        let key = Table::normalize_key(&spec, vec![KeyField::Exact(Value::new(0x1_0000_0001, 64))]);
+        match &key[0] {
+            KeyField::Exact(v) => {
+                assert_eq!(v.width(), 32);
+                assert_eq!(v.bits(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

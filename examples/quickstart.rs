@@ -1,0 +1,105 @@
+//! Quickstart: write a P4R program with a malleable value and a reaction,
+//! compile it, run packets through the simulated switch, and watch the
+//! Mantis agent react within tens of microseconds of virtual time.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use mantis::rmt_sim::PacketDesc;
+use mantis::Testbed;
+
+/// A tiny rate limiter: the data plane counts bytes per sender bucket; the
+/// reaction doubles the drop threshold whenever total load stays low, and
+/// halves it under pressure. Everything dynamic is expressed in P4R.
+const SRC: &str = r#"
+header_type ipv4_t {
+    fields { src_addr : 32; dst_addr : 32; len : 16; }
+}
+header ipv4_t ipv4;
+
+register seen_bytes { width : 64; instance_count : 1; }
+header_type acc_t { fields { tmp : 64; } }
+metadata acc_t acc;
+
+malleable value threshold { width : 32; init : 1000; }
+
+action track() {
+    register_read(acc.tmp, seen_bytes, 0);
+    add_to_field(acc.tmp, intr.pkt_len);
+    register_write(seen_bytes, 0, acc.tmp);
+    modify_field(intr.egress_spec, 2);
+}
+table watch { actions { track; } default_action : track(); }
+
+reaction adapt(reg seen_bytes[0:0]) {
+    static uint64_t last = 0;
+    uint64_t delta = seen_bytes[0] - last;
+    last = seen_bytes[0];
+    if (delta > ${threshold}) {
+        ${threshold} = ${threshold} * 2;
+    } else {
+        if (${threshold} > 125) { ${threshold} = ${threshold} / 2; }
+    }
+    return delta;
+}
+
+control ingress { apply(watch); }
+"#;
+
+fn main() {
+    // Compile P4R → (malleable P4, control interface), load the P4 into
+    // the switch simulator, attach the agent.
+    let mut tb = Testbed::from_p4r(SRC).expect("program compiles and loads");
+
+    println!("compiled P4R into plain P4:");
+    println!(
+        "  {} tables, {} registers, {} reaction(s)",
+        tb.compiled.p4.tables.len(),
+        tb.compiled.p4.registers.len(),
+        tb.compiled.iface.reactions.len(),
+    );
+    println!(
+        "  generated P4 is {} lines (source was {})",
+        mantis::p4_ast::pretty::loc(&tb.compiled.p4),
+        SRC.lines().filter(|l| !l.trim().is_empty()).count()
+    );
+
+    // Run the C-like reaction body in the interpreter — no codegen, no FFI.
+    tb.agent
+        .borrow_mut()
+        .register_all_interpreted()
+        .expect("reaction registered");
+
+    // Dialogue loop every ~20 µs of virtual time.
+    tb.start_agent(20_000);
+
+    // A burst of packets, then silence.
+    for i in 0..50 {
+        let at = i * 2_000;
+        tb.sim.schedule(at, move |s| {
+            s.switch().borrow_mut().inject(
+                &PacketDesc::new(0)
+                    .field("ipv4", "src_addr", 0x0a000001)
+                    .field("ipv4", "dst_addr", 0x0a000002)
+                    .payload(900),
+            );
+        });
+    }
+
+    for t in [50_000u64, 100_000, 200_000, 400_000] {
+        tb.sim.run_until(t);
+        println!(
+            "t = {:>4} µs  threshold = {:>6} B  (agent ran {} iterations)",
+            t / 1000,
+            tb.agent.borrow().slot("threshold").unwrap(),
+            tb.agent.borrow().stats.iterations,
+        );
+    }
+
+    let report = tb.agent.borrow().stats.last.clone();
+    println!(
+        "last dialogue iteration: {} ns total ({} measure, {} react, {} update)",
+        report.duration_ns, report.measure_ns, report.react_ns, report.update_ns
+    );
+}

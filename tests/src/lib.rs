@@ -1,0 +1,3 @@
+//! Integration-test crate: see `tests/` for the cross-crate suites.
+//! (This library is intentionally empty.)
+#![forbid(unsafe_code)]

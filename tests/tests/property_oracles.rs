@@ -1,0 +1,362 @@
+//! Property tests checking core components against independent reference
+//! models ("oracles"):
+//!
+//! * the RMT table's match semantics vs a brute-force reference matcher,
+//! * the reaction interpreter's arithmetic vs direct Rust evaluation,
+//! * the P4R pretty-printer/parser round trip on generated programs.
+
+use mantis::p4_ast::{self, Value};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Table oracle
+// ---------------------------------------------------------------------------
+
+mod table_oracle {
+    use super::*;
+    use mantis::rmt_sim::{switch_from_source, Clock, KeyField, SwitchConfig};
+
+    /// Reference matcher mirroring the documented table semantics.
+    #[derive(Clone, Debug)]
+    struct RefEntry {
+        value: u64,
+        mask: u64,
+        priority: u32,
+        seq: u64,
+        tag: u64,
+    }
+
+    fn ref_lookup(entries: &[RefEntry], field: u64) -> Option<u64> {
+        entries
+            .iter()
+            .filter(|e| (field & e.mask) == (e.value & e.mask))
+            .max_by_key(|e| (e.priority, std::cmp::Reverse(e.seq)))
+            .map(|e| e.tag)
+    }
+
+    const PROG: &str = r#"
+header_type h_t { fields { k : 32; out : 32; } }
+header h_t h;
+action tag(v) { modify_field(h.out, v); }
+action miss() { modify_field(h.out, 0); }
+table t {
+    reads { h.k : ternary; }
+    actions { tag; miss; }
+    default_action : miss();
+    size : 64;
+}
+control ingress { apply(t); }
+"#;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn ternary_table_matches_reference_model(
+            entries in proptest::collection::vec(
+                (any::<u32>(), any::<u32>(), 0u32..16), 0..24),
+            probes in proptest::collection::vec(any::<u32>(), 1..24),
+        ) {
+            let clock = Clock::new();
+            let mut sw =
+                switch_from_source(PROG, SwitchConfig::default(), clock).unwrap();
+            let t = sw.table_id("t").unwrap();
+            let tag = sw.action_id("tag").unwrap();
+
+            let mut reference = Vec::new();
+            for (i, (value, mask, priority)) in entries.iter().enumerate() {
+                let tag_val = i as u64 + 1;
+                sw.table_add(
+                    t,
+                    vec![KeyField::Ternary {
+                        value: Value::new(u128::from(*value), 32),
+                        mask: Value::new(u128::from(*mask), 32),
+                    }],
+                    *priority,
+                    tag,
+                    vec![Value::new(u128::from(tag_val), 32)],
+                )
+                .unwrap();
+                reference.push(RefEntry {
+                    value: u64::from(*value),
+                    mask: u64::from(*mask),
+                    priority: *priority,
+                    seq: i as u64,
+                    tag: tag_val,
+                });
+            }
+
+            for probe in probes {
+                let phv = mantis::rmt_sim::PacketDesc::new(0)
+                    .field("h", "k", u128::from(probe))
+                    .build(sw.spec());
+                let out = sw.run_pipeline(phv, p4_ast::Pipeline::Ingress);
+                let got = out.get(sw.spec().field_id("h", "out").unwrap()).as_u64();
+                let expect = ref_lookup(&reference, u64::from(probe)).unwrap_or(0);
+                prop_assert_eq!(got, expect, "probe {:#x}", probe);
+            }
+        }
+
+        #[test]
+        fn lpm_table_matches_longest_prefix_oracle(
+            entries in proptest::collection::vec((any::<u32>(), 0u16..=32), 0..16),
+            probes in proptest::collection::vec(any::<u32>(), 1..16),
+        ) {
+            let prog = PROG.replace("h.k : ternary;", "h.k : lpm;");
+            let clock = Clock::new();
+            let mut sw =
+                switch_from_source(&prog, SwitchConfig::default(), clock).unwrap();
+            let t = sw.table_id("t").unwrap();
+            let tag = sw.action_id("tag").unwrap();
+
+            let mut reference: Vec<(u32, u16, u64)> = Vec::new();
+            for (i, (value, plen)) in entries.iter().enumerate() {
+                let tag_val = i as u64 + 1;
+                sw.table_add(
+                    t,
+                    vec![KeyField::Lpm {
+                        value: Value::new(u128::from(*value), 32),
+                        prefix_len: *plen,
+                    }],
+                    0,
+                    tag,
+                    vec![Value::new(u128::from(tag_val), 32)],
+                )
+                .unwrap();
+                reference.push((*value, *plen, tag_val));
+            }
+
+            let prefix_match = |v: u32, pat: u32, plen: u16| -> bool {
+                if plen == 0 {
+                    true
+                } else {
+                    (v >> (32 - plen)) == (pat >> (32 - plen))
+                }
+            };
+            for probe in probes {
+                let phv = mantis::rmt_sim::PacketDesc::new(0)
+                    .field("h", "k", u128::from(probe))
+                    .build(sw.spec());
+                let out = sw.run_pipeline(phv, p4_ast::Pipeline::Ingress);
+                let got = out.get(sw.spec().field_id("h", "out").unwrap()).as_u64();
+                // Longest matching prefix wins; insertion order breaks ties.
+                let expect = reference
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (pat, plen, _))| prefix_match(probe, *pat, *plen))
+                    .max_by_key(|(i, (_, plen, _))| (*plen, std::cmp::Reverse(*i)))
+                    .map(|(_, (_, _, tag))| *tag)
+                    .unwrap_or(0);
+                prop_assert_eq!(got, expect, "probe {:#x}", probe);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter arithmetic oracle
+// ---------------------------------------------------------------------------
+
+mod interp_oracle {
+    use super::*;
+    use mantis::reaction_interp::{Interpreter, MockEnv};
+
+    /// A little expression tree we can both render to C and evaluate in
+    /// Rust.
+    #[derive(Clone, Debug)]
+    enum Expr {
+        Num(i64),
+        Var(usize),
+        Add(Box<Expr>, Box<Expr>),
+        Sub(Box<Expr>, Box<Expr>),
+        Mul(Box<Expr>, Box<Expr>),
+        And(Box<Expr>, Box<Expr>),
+        Or(Box<Expr>, Box<Expr>),
+        Xor(Box<Expr>, Box<Expr>),
+        Lt(Box<Expr>, Box<Expr>),
+        Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    }
+
+    fn render(e: &Expr) -> String {
+        match e {
+            Expr::Num(n) => {
+                if *n < 0 {
+                    format!("(0 - {})", -(*n as i128))
+                } else {
+                    format!("{n}")
+                }
+            }
+            Expr::Var(i) => format!("v{i}"),
+            Expr::Add(a, b) => format!("({} + {})", render(a), render(b)),
+            Expr::Sub(a, b) => format!("({} - {})", render(a), render(b)),
+            Expr::Mul(a, b) => format!("({} * {})", render(a), render(b)),
+            Expr::And(a, b) => format!("({} & {})", render(a), render(b)),
+            Expr::Or(a, b) => format!("({} | {})", render(a), render(b)),
+            Expr::Xor(a, b) => format!("({} ^ {})", render(a), render(b)),
+            Expr::Lt(a, b) => format!("({} < {})", render(a), render(b)),
+            Expr::Ternary(c, a, b) => {
+                format!("({} ? {} : {})", render(c), render(a), render(b))
+            }
+        }
+    }
+
+    fn eval(e: &Expr, vars: &[i64]) -> i128 {
+        match e {
+            Expr::Num(n) => i128::from(*n),
+            Expr::Var(i) => i128::from(vars[*i % vars.len()]),
+            Expr::Add(a, b) => eval(a, vars).wrapping_add(eval(b, vars)),
+            Expr::Sub(a, b) => eval(a, vars).wrapping_sub(eval(b, vars)),
+            Expr::Mul(a, b) => eval(a, vars).wrapping_mul(eval(b, vars)),
+            Expr::And(a, b) => eval(a, vars) & eval(b, vars),
+            Expr::Or(a, b) => eval(a, vars) | eval(b, vars),
+            Expr::Xor(a, b) => eval(a, vars) ^ eval(b, vars),
+            Expr::Lt(a, b) => i128::from(eval(a, vars) < eval(b, vars)),
+            Expr::Ternary(c, a, b) => {
+                if eval(c, vars) != 0 {
+                    eval(a, vars)
+                } else {
+                    eval(b, vars)
+                }
+            }
+        }
+    }
+
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            (-1000i64..1000).prop_map(Expr::Num),
+            (0usize..4).prop_map(Expr::Var),
+        ];
+        leaf.prop_recursive(4, 32, 3, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::Lt(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| Expr::Ternary(
+                    Box::new(c),
+                    Box::new(a),
+                    Box::new(b)
+                )),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn interpreter_matches_rust_arithmetic(
+            expr in arb_expr(),
+            vars in proptest::collection::vec(-10_000i64..10_000, 4),
+        ) {
+            let src = format!("return {};", render(&expr));
+            let mut interp = Interpreter::from_source(&src).unwrap();
+            let mut env = MockEnv::default();
+            for (i, v) in vars.iter().enumerate() {
+                env.scalars.insert(format!("v{i}"), i128::from(*v));
+            }
+            let got = interp.run(&mut env).unwrap();
+            prop_assert_eq!(got, Some(eval(&expr, &vars)));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pretty-printer / parser round trip on generated programs
+// ---------------------------------------------------------------------------
+
+mod roundtrip {
+    use super::*;
+    use mantis::p4_ast::{
+        ActionDecl, FieldOrMbl, HeaderTypeDecl, InstanceDecl, MatchKind, Operand, PrimitiveCall,
+        Program, TableDecl, TableRead,
+    };
+
+    /// Generate a small but structurally valid program.
+    fn arb_program() -> impl Strategy<Value = Program> {
+        (
+            proptest::collection::vec(1u16..64, 1..6),  // field widths
+            proptest::collection::vec(0usize..3, 0..5), // table key choices
+            any::<bool>(),
+        )
+            .prop_map(|(widths, table_kinds, metadata)| {
+                let fields: Vec<(String, u16)> = widths
+                    .iter()
+                    .enumerate()
+                    .map(|(i, w)| (format!("f{i}"), *w))
+                    .collect();
+                let mut p = Program {
+                    header_types: vec![HeaderTypeDecl {
+                        name: "h_t".into(),
+                        fields: fields.clone(),
+                    }],
+                    instances: vec![InstanceDecl {
+                        header_type: "h_t".into(),
+                        name: "h".into(),
+                        is_metadata: metadata,
+                        initializers: vec![],
+                    }],
+                    actions: vec![ActionDecl {
+                        name: "a0".into(),
+                        params: vec!["p".into()],
+                        body: vec![PrimitiveCall::ModifyField {
+                            dst: FieldOrMbl::field("h", "f0"),
+                            src: Operand::Param("p".into()),
+                        }],
+                    }],
+                    ..Default::default()
+                };
+                for (ti, kind) in table_kinds.iter().enumerate() {
+                    let kind = match kind {
+                        0 => MatchKind::Exact,
+                        1 => MatchKind::Ternary,
+                        _ => MatchKind::Lpm,
+                    };
+                    let field = format!("f{}", ti % fields.len());
+                    p.tables.push(TableDecl {
+                        name: format!("t{ti}"),
+                        reads: vec![TableRead {
+                            target: FieldOrMbl::field("h", field),
+                            kind,
+                            mask: None,
+                        }],
+                        actions: vec!["a0".into()],
+                        default_action: None,
+                        size: Some(16),
+                        malleable: false,
+                    });
+                    p.ingress.push(p4_ast::ControlStmt::Apply(format!("t{ti}")));
+                }
+                p
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn print_then_parse_is_identity_on_structure(p in arb_program()) {
+            prop_assert!(p4_ast::validate::validate(&p).is_empty());
+            let printed = p4_ast::pretty::print_program(&p);
+            let reparsed = mantis::p4r_lang::parse_program(&printed)
+                .map_err(|e| TestCaseError::fail(format!("{e}\n{printed}")))?;
+            prop_assert_eq!(&p.header_types, &reparsed.header_types);
+            prop_assert_eq!(&p.tables, &reparsed.tables);
+            prop_assert_eq!(&p.actions, &reparsed.actions);
+            prop_assert_eq!(&p.ingress, &reparsed.ingress);
+            // And the reparsed program loads.
+            mantis::rmt_sim::load(&reparsed)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        }
+    }
+}

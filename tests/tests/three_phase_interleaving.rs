@@ -1,0 +1,292 @@
+//! Stage-granularity validation of the three-phase update protocol
+//! (§5.1.2, Figs. 7-8): we drive prepare / commit / mirror as individual
+//! driver operations and interleave them *between pipeline stages* of
+//! in-flight packets.
+//!
+//! The hardware guarantee the protocol builds on: a packet latches the
+//! whole malleable configuration (values, selectors, and the `vv` version
+//! bit) from the init table at the first stage. Therefore
+//!
+//! * a packet that passed the init stage before the commit sees the old
+//!   world even if the commit (and any number of prepare operations) land
+//!   mid-flight;
+//! * a packet that enters after the commit sees the new world;
+//! * the mirror pass only touches the old copy after old-vv packets have
+//!   drained (pipeline latency ≪ PCIe latency — §5.1.2), which the test
+//!   respects by mirroring after pre-commit packets complete.
+
+use mantis::p4_ast::{Pipeline, Value};
+use mantis::p4r_compiler::entry::{expand_entry, LogicalKey, PhysEntry, PhysKey};
+use mantis::p4r_compiler::{compile_source, CompilerOptions};
+use mantis::rmt_sim::{EntryHandle, KeyField, PacketDesc, Switch, SwitchConfig, TableId};
+use mantis::Clock;
+
+const PROG: &str = r#"
+header_type h_t { fields { k : 32; out : 32; } }
+header h_t h;
+malleable value scale { width : 32; init : 1; }
+action classify(tag) {
+    modify_field(h.out, tag);
+    add_to_field(h.out, ${scale});
+}
+action fallback() { modify_field(h.out, 0); }
+malleable table cls {
+    reads { h.k : exact; }
+    actions { classify; fallback; }
+    default_action : fallback();
+    size : 64;
+}
+control ingress { apply(cls); }
+"#;
+
+struct Harness {
+    sw: Switch,
+    cls: TableId,
+    info: mantis::p4r_compiler::iface::TableInfo,
+    master: TableId,
+    master_action: mantis::rmt_sim::ActionId,
+    /// Physical handles per vv copy for the single logical entry.
+    phys: [Vec<EntryHandle>; 2],
+}
+
+impl Harness {
+    fn new() -> Self {
+        let compiled = compile_source(PROG, &CompilerOptions::default()).unwrap();
+        let spec = mantis::rmt_sim::load(&compiled.p4).unwrap();
+        let sw = Switch::new(spec, SwitchConfig::default(), Clock::new());
+        let cls = sw.table_id("cls").unwrap();
+        let master = sw.table_id("p4r_init_").unwrap();
+        let master_action = sw.action_id("p4r_init_action_").unwrap();
+        let info = compiled.iface.table("cls").unwrap().clone();
+
+        let mut h = Harness {
+            sw,
+            cls,
+            info,
+            master,
+            master_action,
+            phys: [Vec::new(), Vec::new()],
+        };
+        // Initial config: vv=1, mv=0, scale=1; one logical entry
+        // {k=5 → classify(100)} in both copies.
+        h.set_master(1, 0, 1);
+        for vv in 0..2u8 {
+            h.phys[vv as usize] = h.add_copy(vv, 100);
+        }
+        h
+    }
+
+    fn expand(&self, vv: u8, tag: u64) -> Vec<PhysEntry> {
+        expand_entry(
+            &self.info,
+            &[LogicalKey::Exact(Value::new(5, 32))],
+            "classify",
+            &[Value::new(u128::from(tag), 32)],
+            0,
+            Some(vv),
+        )
+        .unwrap()
+    }
+
+    fn add_copy(&mut self, vv: u8, tag: u64) -> Vec<EntryHandle> {
+        let entries = self.expand(vv, tag);
+        entries
+            .iter()
+            .map(|pe| {
+                let key = to_keyfields(&self.sw, self.cls, pe);
+                let aid = self.sw.action_id(&pe.action).unwrap();
+                self.sw
+                    .table_add(self.cls, key, pe.priority, aid, pe.action_data.clone())
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    /// One *prepare* driver op: modify physical entry `i` of copy `vv` to
+    /// the new tag.
+    fn mod_copy_entry(&mut self, vv: u8, i: usize, tag: u64) {
+        let entries = self.expand(vv, tag);
+        let pe = &entries[i];
+        let aid = self.sw.action_id(&pe.action).unwrap();
+        self.sw
+            .table_mod(
+                self.cls,
+                self.phys[vv as usize][i],
+                aid,
+                pe.action_data.clone(),
+            )
+            .unwrap();
+    }
+
+    /// The *commit* driver op: one atomic default-action update carrying
+    /// vv, mv and all scalar slots.
+    fn set_master(&mut self, vv: u8, mv: u8, scale: u64) {
+        self.sw
+            .table_set_default(
+                self.master,
+                self.master_action,
+                vec![
+                    Value::new(u128::from(vv), 1),
+                    Value::new(u128::from(mv), 1),
+                    Value::new(u128::from(scale), 32),
+                ],
+            )
+            .unwrap();
+    }
+
+    fn start_probe(&self) -> mantis::rmt_sim::switch::Execution {
+        let phv = PacketDesc::new(0).field("h", "k", 5).build(self.sw.spec());
+        self.sw.exec_start(phv, Pipeline::Ingress)
+    }
+
+    fn out_of(&self, e: &mantis::rmt_sim::switch::Execution) -> u64 {
+        e.phv
+            .get(self.sw.spec().field_id("h", "out").unwrap())
+            .as_u64()
+    }
+}
+
+fn to_keyfields(sw: &Switch, table: TableId, pe: &PhysEntry) -> Vec<KeyField> {
+    sw.spec()
+        .table(table)
+        .key
+        .iter()
+        .zip(pe.key.iter())
+        .map(|(ks, pk)| match pk {
+            PhysKey::Exact(v) => KeyField::Exact(*v),
+            PhysKey::Ternary { value, mask } => KeyField::Ternary {
+                value: *value,
+                mask: *mask,
+            },
+            PhysKey::Lpm { value, prefix_len } => KeyField::Lpm {
+                value: *value,
+                prefix_len: *prefix_len,
+            },
+            PhysKey::Any => KeyField::Ternary {
+                value: Value::zero(ks.width),
+                mask: Value::zero(ks.width),
+            },
+        })
+        .collect()
+}
+
+const OLD_WORLD: u64 = 101; // tag 100 + scale 1
+const NEW_WORLD: u64 = 207; // tag 200 + scale 7
+
+/// Run the full update with the commit placed at every possible stage
+/// boundary of a probe packet: the packet sees the new world iff the
+/// commit landed before its init stage executed.
+#[test]
+fn packet_latches_configuration_at_init_stage() {
+    // The compiled ingress has: init stage, then the cls stage (plus any
+    // generated stages). Try committing before each stage boundary.
+    for commit_before_stage in 0..4usize {
+        let mut h = Harness::new();
+        let mut probe = h.start_probe();
+        let mut committed = false;
+        let mut stage = 0usize;
+        while !probe.done() {
+            if stage == commit_before_stage && !committed {
+                // prepare (shadow copy vv=0) then commit, as two driver ops
+                // landing between stages.
+                h.mod_copy_entry(0, 0, 200);
+                h.set_master(0, 0, 7);
+                committed = true;
+            }
+            h.sw.exec_step(&mut probe);
+            stage += 1;
+        }
+        if !committed {
+            h.mod_copy_entry(0, 0, 200);
+            h.set_master(0, 0, 7);
+        }
+        let expect = if commit_before_stage == 0 {
+            NEW_WORLD // committed before the packet latched the init table
+        } else {
+            OLD_WORLD // packet latched vv/scale before the commit
+        };
+        assert_eq!(
+            h.out_of(&probe),
+            expect,
+            "commit before stage {commit_before_stage}"
+        );
+        // Any packet entering now is firmly in the new world.
+        let late = h.sw.run_pipeline(
+            PacketDesc::new(0).field("h", "k", 5).build(h.sw.spec()),
+            Pipeline::Ingress,
+        );
+        assert_eq!(
+            late.get(h.sw.spec().field_id("h", "out").unwrap()).as_u64(),
+            NEW_WORLD
+        );
+    }
+}
+
+/// Packets in flight across the commit keep the world they latched, even
+/// with prepare ops interleaved around them and the mirror pass afterwards.
+#[test]
+fn concurrent_old_and_new_packets_each_see_one_world() {
+    let mut h = Harness::new();
+
+    // P1 latches the old configuration.
+    let mut p1 = h.start_probe();
+    h.sw.exec_step(&mut p1); // init stage: vv=1, scale=1
+
+    // Prepare lands mid-flight for P1 (invisible: wrong vv).
+    h.mod_copy_entry(0, 0, 200);
+    // Commit lands mid-flight for P1.
+    h.set_master(0, 0, 7);
+
+    // P2 starts after the commit and latches the new configuration.
+    let mut p2 = h.start_probe();
+    h.sw.exec_step(&mut p2);
+
+    // Finish both, interleaved.
+    while !p1.done() || !p2.done() {
+        if !p2.done() {
+            h.sw.exec_step(&mut p2);
+        }
+        if !p1.done() {
+            h.sw.exec_step(&mut p1);
+        }
+    }
+    assert_eq!(h.out_of(&p1), OLD_WORLD, "pre-commit packet");
+    assert_eq!(h.out_of(&p2), NEW_WORLD, "post-commit packet");
+
+    // Mirror after the old-vv packet drained (the §5.1.2 PCIe-vs-pipeline
+    // argument); the logical entry now survives a flip back.
+    h.mod_copy_entry(1, 0, 200);
+    h.set_master(1, 0, 7);
+    let back = h.sw.run_pipeline(
+        PacketDesc::new(0).field("h", "k", 5).build(h.sw.spec()),
+        Pipeline::Ingress,
+    );
+    assert_eq!(
+        back.get(h.sw.spec().field_id("h", "out").unwrap()).as_u64(),
+        NEW_WORLD,
+        "after flipping back to vv=1 the mirrored copy serves the new world"
+    );
+}
+
+/// The scalar-slot half of the commit is atomic with the vv flip: a packet
+/// never sees (new scale, old entries) or (old scale, new entries).
+#[test]
+fn scalar_and_table_updates_commit_together() {
+    let mut h = Harness::new();
+    // Deliberately interleave probes between the prepare and the commit.
+    h.mod_copy_entry(0, 0, 200);
+    let mid = h.sw.run_pipeline(
+        PacketDesc::new(0).field("h", "k", 5).build(h.sw.spec()),
+        Pipeline::Ingress,
+    );
+    let mid_out = mid.get(h.sw.spec().field_id("h", "out").unwrap()).as_u64();
+    assert_eq!(mid_out, OLD_WORLD, "prepare must be invisible");
+
+    h.set_master(0, 0, 7);
+    let post = h.sw.run_pipeline(
+        PacketDesc::new(0).field("h", "k", 5).build(h.sw.spec()),
+        Pipeline::Ingress,
+    );
+    let post_out = post.get(h.sw.spec().field_id("h", "out").unwrap()).as_u64();
+    assert_eq!(post_out, NEW_WORLD, "commit flips tag and scale together");
+}
