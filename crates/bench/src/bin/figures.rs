@@ -12,8 +12,22 @@ use std::fs;
 use std::path::Path;
 
 const KNOWN: &[&str] = &[
-    "all", "fig10a", "fig10b", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table1",
-    "updates", "memo", "recirc", "ecmp", "rl",
+    "all",
+    "fig10a",
+    "fig10b",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "table1",
+    "updates",
+    "memo",
+    "recirc",
+    "ecmp",
+    "rl",
+    "telemetry",
 ];
 
 fn main() {
@@ -236,6 +250,34 @@ fn main() {
             r.first_shift_ns.map(|t| t / 1000),
             r.final_counts
         );
+        println!();
+    }
+
+    if want("telemetry") {
+        let (trace, snapshot, profile) = bench::telemetry_profile(100, 20_000);
+        fs::write("results/telemetry_trace.json", &trace).expect("write trace");
+        fs::write("results/telemetry_snapshot.json", &snapshot).expect("write snapshot");
+        save("telemetry_profile", &profile);
+        println!("== Telemetry — reaction-loop profile ==");
+        println!(
+            "    {} iterations, busy {} µs, utilization {:.1}%",
+            profile.iterations,
+            profile.busy_ns / 1000,
+            profile.utilization * 100.0
+        );
+        for (phase, p50, p95, p99) in &profile.phase_quantiles {
+            println!(
+                "    phase {:<10} p50 {:>7} ns  p95 {:>7} ns  p99 {:>7} ns",
+                phase, p50, p95, p99
+            );
+        }
+        for (op, calls, p50, p95, p99) in &profile.driver_ops {
+            println!(
+                "    driver {:<16} ×{:<6} p50 {:>7} ns  p95 {:>7} ns  p99 {:>7} ns",
+                op, calls, p50, p95, p99
+            );
+        }
+        println!("    (trace: results/telemetry_trace.json — open in Perfetto)");
         println!();
     }
 

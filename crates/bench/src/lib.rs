@@ -231,7 +231,7 @@ pub fn fig12(ops: usize, seed: u64) -> Fig12Result {
         let mut t = 0u64;
         (0..ops)
             .map(|_| {
-                t += rng.gen_range(5_000..50_000);
+                t += rng.gen_range(5_000u64..50_000);
                 t
             })
             .collect()
@@ -663,6 +663,87 @@ control ingress {{
         label: "usable throughput fraction vs recirculations per packet".into(),
         points,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry profile — reaction-loop observability artifact
+// ---------------------------------------------------------------------------
+
+/// Summary numbers for the telemetry profile, pulled straight from the
+/// registry snapshot (not from ad-hoc accumulation).
+#[derive(Clone, Debug, Serialize)]
+pub struct TelemetryProfile {
+    pub iterations: u64,
+    pub busy_ns: u64,
+    pub utilization: f64,
+    /// `(phase, p50_ns, p95_ns, p99_ns)` for the dialogue phases.
+    pub phase_quantiles: Vec<(String, u64, u64, u64)>,
+    /// `(op, calls, p50_ns, p95_ns, p99_ns)` per driver op class.
+    pub driver_ops: Vec<(String, i128, u64, u64, u64)>,
+}
+
+/// Run the micro workload paced at `sleep_ns` for `iters` iterations with
+/// background traffic, and return `(chrome_trace_json, snapshot_json,
+/// profile)`. The trace shows the measure/react/update/sync spans of each
+/// iteration interleaved with driver-op spans and TM activity, all on the
+/// shared virtual-clock timeline.
+pub fn telemetry_profile(iters: usize, sleep_ns: u64) -> (String, String, TelemetryProfile) {
+    let mut tb = micro_testbed();
+    // Background traffic so the switch/TM scopes have activity: packets
+    // through the acl + reaction tables.
+    for i in 0..32u64 {
+        tb.sim.schedule(i * 50_000, move |s| {
+            s.switch().borrow_mut().inject(
+                &rmt_sim::PacketDesc::new(0)
+                    .field("h", "a", (200 + i) as u128)
+                    .field("h", "b", (i % 4) as u128)
+                    .payload(256),
+            );
+        });
+    }
+    let agent = tb.agent.clone();
+    let horizon = (iters as u64) * (sleep_ns + 50_000);
+    tb.sim.run_until(100_000);
+    {
+        let mut ag = agent.borrow_mut();
+        ag.run_paced(iters, sleep_ns).unwrap();
+    }
+    tb.sim.run_until(horizon.max(tb.sim.now()));
+
+    let snap = tb.telemetry.snapshot();
+    let stats = agent.borrow().stats();
+    let span = tb.sim.now();
+    let phases = ["iteration", "measure", "react", "update", "sync"];
+    let phase_quantiles = phases
+        .iter()
+        .filter_map(|ph| {
+            snap.hist(&format!("agent.{ph}_ns"))
+                .map(|h| (ph.to_string(), h.p50, h.p95, h.p99))
+        })
+        .collect();
+    let driver_ops = snap
+        .hists
+        .iter()
+        .filter_map(|(name, h)| {
+            let op = name
+                .strip_prefix("driver.")
+                .and_then(|n| n.strip_suffix("_ns"))?;
+            let calls = snap.counter(&format!("driver.{op}_calls"));
+            Some((op.to_string(), calls, h.p50, h.p95, h.p99))
+        })
+        .collect();
+    let profile = TelemetryProfile {
+        iterations: stats.iterations,
+        busy_ns: stats.busy_ns,
+        utilization: if span == 0 {
+            0.0
+        } else {
+            stats.busy_ns as f64 / span as f64
+        },
+        phase_quantiles,
+        driver_ops,
+    };
+    (tb.chrome_trace(), tb.telemetry_snapshot(), profile)
 }
 
 /// Serialize any figure payload to pretty JSON.

@@ -16,6 +16,7 @@ use crate::costmodel::CostModel;
 use crate::ctx::{CtxError, ReactionCtx, Snapshot};
 use crate::driver::MantisDriver;
 use crate::logical::{LogicalEntry, LogicalTable, Staged, StagedOp};
+use mantis_telemetry::{scopes, Scope, Telemetry, TelemetryConfig};
 use p4_ast::MatchKind;
 use p4_ast::Value;
 use p4r_compiler::entry::{expand_entry, ExpandError, PhysEntry, PhysKey};
@@ -145,17 +146,24 @@ struct SlotLoc {
     width: u16,
 }
 
-/// Per-iteration timing report.
+/// Per-iteration timing report. A convenience copy of what the
+/// telemetry registry records: each field is also a
+/// `agent.<phase>_ns` histogram sample.
 #[derive(Clone, Debug, Default)]
 pub struct IterationReport {
     pub duration_ns: Nanos,
     pub measure_ns: Nanos,
     pub react_ns: Nanos,
+    /// Prepare + commit of staged malleable updates.
     pub update_ns: Nanos,
+    /// Mirror of committed state onto the old primary copy.
+    pub sync_ns: Nanos,
     pub staged_table_ops: usize,
 }
 
-/// Cumulative agent statistics.
+/// Cumulative agent statistics, materialized from the telemetry
+/// registry (`agent.iterations` / `agent.busy_ns` counters) by
+/// [`MantisAgent::stats`].
 #[derive(Clone, Debug, Default)]
 pub struct AgentStats {
     pub iterations: u64,
@@ -185,7 +193,8 @@ pub struct MantisAgent {
     snapshots: HashMap<String, Snapshot>,
     reactions: Vec<RegisteredReaction>,
     staged: Staged,
-    pub stats: AgentStats,
+    telemetry: Rc<Telemetry>,
+    last_report: IterationReport,
     prologue_done: bool,
 }
 
@@ -195,7 +204,7 @@ impl fmt::Debug for MantisAgent {
             .field("vv", &self.vv)
             .field("mv", &self.mv)
             .field("reactions", &self.reactions.len())
-            .field("stats", &self.stats)
+            .field("stats", &self.stats())
             .finish()
     }
 }
@@ -209,7 +218,12 @@ impl MantisAgent {
     pub fn new(switch: Rc<RefCell<Switch>>, compiled: &Compiled, cost: CostModel) -> Self {
         let iface = compiled.iface.clone();
         let clock = switch.borrow().clock().clone();
-        let driver = MantisDriver::new(cost, clock.clone());
+        // Every agent owns an (enabled) telemetry handle so that stats
+        // are always registry-sourced; `set_telemetry` swaps in a
+        // shared handle when the caller wants the full trace.
+        let telemetry = Rc::new(Telemetry::new(TelemetryConfig::default()));
+        let mut driver = MantisDriver::new(cost, clock.clone());
+        driver.set_telemetry(telemetry.clone());
 
         let (master_table, master_action, master_data, slot_locs, slots, extra_ids);
         {
@@ -335,8 +349,29 @@ impl MantisAgent {
             snapshots: HashMap::new(),
             reactions: Vec::new(),
             staged: Staged::default(),
-            stats: AgentStats::default(),
+            telemetry,
+            last_report: IterationReport::default(),
             prologue_done: false,
+        }
+    }
+
+    /// Share a telemetry handle (e.g. the testbed-wide one). The driver
+    /// is re-pointed too. Counters accumulated so far are not migrated.
+    pub fn set_telemetry(&mut self, telemetry: Rc<Telemetry>) {
+        self.driver.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    pub fn telemetry(&self) -> &Rc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Cumulative stats, read back from the telemetry registry.
+    pub fn stats(&self) -> AgentStats {
+        AgentStats {
+            iterations: self.telemetry.counter(scopes::CTR_ITERATIONS) as u64,
+            busy_ns: self.telemetry.counter(scopes::CTR_BUSY_NS) as Nanos,
+            last: self.last_report.clone(),
         }
     }
 
@@ -515,46 +550,65 @@ impl MantisAgent {
                 return Err(e.into());
             }
         }
-        self.apply_staged()
+        self.apply_staged().map(|_| ())
     }
 
     // -- dialogue ---------------------------------------------------------------
 
-    /// One iteration of the dialogue loop.
+    /// One iteration of the dialogue loop. Phases are recorded as
+    /// `Scope::Agent` spans (measure → react → update → sync) and fed
+    /// into the `agent.*` histograms/counters of the telemetry registry.
     pub fn dialogue_iteration(&mut self) -> Result<IterationReport, AgentError> {
+        let tel = self.telemetry.clone();
         let t0 = self.clock.now();
+        tel.span_begin(Scope::Agent, scopes::SPAN_ITERATION, t0);
 
         // ── measurement flip: freeze the current working copy ──
+        tel.span_begin(Scope::Agent, scopes::SPAN_MEASURE, t0);
         let frozen = self.mv;
         self.mv ^= 1;
         self.write_master()?;
         self.read_measurements(frozen)?;
         let t_measured = self.clock.now();
+        tel.span_end(Scope::Agent, scopes::SPAN_MEASURE, t_measured);
 
         // ── run reactions against the frozen snapshot ──
+        tel.span_begin(Scope::Agent, scopes::SPAN_REACT, t_measured);
         if let Err(e) = self.run_reactions() {
             // A failed reaction must not leave half its effects staged for
             // a later commit — discard them (serializable all-or-nothing).
             self.staged.clear();
+            let t_err = self.clock.now();
+            tel.span_end(Scope::Agent, scopes::SPAN_REACT, t_err);
+            tel.span_end(Scope::Agent, scopes::SPAN_ITERATION, t_err);
             return Err(e);
         }
         let t_reacted = self.clock.now();
+        tel.span_end(Scope::Agent, scopes::SPAN_REACT, t_reacted);
 
         // ── prepare / commit / mirror ──
         let staged_ops = self.staged.table_ops.len();
-        self.apply_staged()?;
+        let (update_ns, sync_ns) = self.apply_staged()?;
         let t1 = self.clock.now();
+        tel.span_end(Scope::Agent, scopes::SPAN_ITERATION, t1);
 
         let report = IterationReport {
             duration_ns: t1 - t0,
             measure_ns: t_measured - t0,
             react_ns: t_reacted - t_measured,
-            update_ns: t1 - t_reacted,
+            update_ns,
+            sync_ns,
             staged_table_ops: staged_ops,
         };
-        self.stats.iterations += 1;
-        self.stats.busy_ns += report.duration_ns;
-        self.stats.last = report.clone();
+        tel.counter_add(scopes::CTR_ITERATIONS, 1);
+        tel.counter_add(scopes::CTR_BUSY_NS, i128::from(report.duration_ns));
+        tel.counter_add(scopes::CTR_STAGED_TABLE_OPS, staged_ops as i128);
+        tel.hist_record(scopes::HIST_ITERATION_NS, report.duration_ns);
+        tel.hist_record(scopes::HIST_MEASURE_NS, report.measure_ns);
+        tel.hist_record(scopes::HIST_REACT_NS, report.react_ns);
+        tel.hist_record(scopes::HIST_UPDATE_NS, report.update_ns);
+        tel.hist_record(scopes::HIST_SYNC_NS, report.sync_ns);
+        self.last_report = report.clone();
         Ok(report)
     }
 
@@ -571,12 +625,13 @@ impl MantisAgent {
     /// utilization in `[0, 1]`.
     pub fn run_paced(&mut self, n: usize, sleep_ns: Nanos) -> Result<f64, AgentError> {
         let start = self.clock.now();
-        let mut busy = 0;
+        let busy0 = self.telemetry.counter(scopes::CTR_BUSY_NS);
         for _ in 0..n {
-            let rep = self.dialogue_iteration()?;
-            busy += rep.duration_ns;
+            self.dialogue_iteration()?;
             self.clock.advance(sleep_ns);
         }
+        // Busy time comes out of the registry, not ad-hoc accumulation.
+        let busy = (self.telemetry.counter(scopes::CTR_BUSY_NS) - busy0) as u64;
         let span = self.clock.now() - start;
         Ok(if span == 0 {
             1.0
@@ -708,12 +763,17 @@ impl MantisAgent {
     }
 
     /// Prepare staged updates on the shadow copy, commit by flipping vv in
-    /// the master init table, then mirror onto the old primary.
-    fn apply_staged(&mut self) -> Result<(), AgentError> {
+    /// the master init table, then mirror onto the old primary. Returns
+    /// `(update_ns, sync_ns)`: the prepare+commit window and the mirror
+    /// window, also recorded as `update`/`sync` spans.
+    fn apply_staged(&mut self) -> Result<(Nanos, Nanos), AgentError> {
         if self.staged.is_empty() {
-            return Ok(());
+            return Ok((0, 0));
         }
+        let tel = self.telemetry.clone();
         let shadow = self.vv ^ 1;
+        let t_update = self.clock.now();
+        tel.span_begin(Scope::Agent, scopes::SPAN_UPDATE, t_update);
 
         // ── prepare ──
         self.apply_table_ops(shadow, false)?;
@@ -736,12 +796,17 @@ impl MantisAgent {
         self.apply_set_defaults()?;
 
         // ── mirror ──
+        let t_sync = self.clock.now();
+        tel.span_end(Scope::Agent, scopes::SPAN_UPDATE, t_sync);
+        tel.span_begin(Scope::Agent, scopes::SPAN_SYNC, t_sync);
         let old = shadow ^ 1;
         self.apply_table_ops(old, true)?;
         self.mirror_extra_init_writes(old)?;
 
         self.staged.clear();
-        Ok(())
+        let t_done = self.clock.now();
+        tel.span_end(Scope::Agent, scopes::SPAN_SYNC, t_done);
+        Ok((t_sync - t_update, t_done - t_sync))
     }
 
     /// Apply staged table ops to one vv copy. In the mirror pass, `Del`

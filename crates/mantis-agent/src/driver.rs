@@ -5,11 +5,13 @@
 //! (Fig. 12).
 
 use crate::costmodel::CostModel;
+use mantis_telemetry::{Scope, Telemetry};
 use p4_ast::Value;
 use rmt_sim::{
     ActionId, Clock, DriverError, EntryHandle, KeyField, Nanos, RegisterId, Switch, TableId,
 };
 use std::collections::HashSet;
+use std::rc::Rc;
 
 /// Memoization key: which device-instruction templates have been computed.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -39,6 +41,7 @@ pub struct MantisDriver {
     lock_start: Nanos,
     lock_until: Nanos,
     pub stats: DriverStats,
+    telemetry: Rc<Telemetry>,
 }
 
 impl MantisDriver {
@@ -51,7 +54,15 @@ impl MantisDriver {
             lock_start: 0,
             lock_until: 0,
             stats: DriverStats::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Route per-op accounting into a shared telemetry handle: each op
+    /// records a `Scope::Driver` span plus a `driver.<op>_ns` histogram
+    /// sample and a `driver.<op>_calls` counter.
+    pub fn set_telemetry(&mut self, telemetry: Rc<Telemetry>) {
+        self.telemetry = telemetry;
     }
 
     /// End of the driver's current busy window — a concurrent legacy
@@ -61,8 +72,9 @@ impl MantisDriver {
     }
 
     /// Account one operation of the given duration: the clock advances, and
-    /// the busy window extends.
-    fn spend(&mut self, dur: Nanos) {
+    /// the busy window extends. `op` names the operation class for
+    /// telemetry (span + per-op histogram).
+    fn spend(&mut self, op: &'static str, dur: Nanos) {
         let start = self.clock.now().max(self.busy_until);
         let end = start + dur;
         self.clock.advance_to(end);
@@ -74,6 +86,11 @@ impl MantisDriver {
         self.lock_until = start + self.cost.device_lock_ns.min(dur);
         self.stats.ops += 1;
         self.stats.busy_ns += dur;
+        if self.telemetry.is_enabled() {
+            self.telemetry.span_begin(Scope::Driver, op, start);
+            self.telemetry.span_end(Scope::Driver, op, end);
+            self.telemetry.driver_op(op, dur);
+        }
     }
 
     fn table_op_cost(&mut self, table: TableId) -> Nanos {
@@ -98,7 +115,7 @@ impl MantisDriver {
         data: Vec<Value>,
     ) -> Result<EntryHandle, DriverError> {
         let cost = self.table_op_cost(table);
-        self.spend(cost);
+        self.spend("table_add", cost);
         sw.table_add(table, key, priority, action, data)
     }
 
@@ -111,7 +128,7 @@ impl MantisDriver {
         data: Vec<Value>,
     ) -> Result<(), DriverError> {
         let cost = self.table_op_cost(table);
-        self.spend(cost);
+        self.spend("table_mod", cost);
         sw.table_mod(table, handle, action, data)
     }
 
@@ -122,7 +139,7 @@ impl MantisDriver {
         handle: EntryHandle,
     ) -> Result<(), DriverError> {
         let cost = self.table_op_cost(table);
-        self.spend(cost);
+        self.spend("table_del", cost);
         sw.table_del(table, handle)
     }
 
@@ -137,16 +154,17 @@ impl MantisDriver {
         data: Vec<Value>,
         is_init_flip: bool,
     ) -> Result<(), DriverError> {
-        let cost = if is_init_flip {
-            if self.memo.insert(MemoKey::InitDefault(table)) {
+        let (op, cost) = if is_init_flip {
+            let cost = if self.memo.insert(MemoKey::InitDefault(table)) {
                 self.cost.table_update_cold_ns
             } else {
                 self.cost.init_update_ns
-            }
+            };
+            ("init_flip", cost)
         } else {
-            self.table_op_cost(table)
+            ("set_default", self.table_op_cost(table))
         };
-        self.spend(cost);
+        self.spend(op, cost);
         sw.table_set_default(table, action, data)
     }
 
@@ -163,7 +181,7 @@ impl MantisDriver {
         let width_bytes = usize::from(sw.spec().register(reg).width).div_ceil(8);
         let n = (hi.saturating_sub(lo) + 1) as usize;
         let cost = self.cost.register_read(n * width_bytes);
-        self.spend(cost);
+        self.spend("register_read", cost);
         self.stats.register_reads += 1;
         sw.register_read_range(reg, lo, hi)
     }
@@ -171,7 +189,7 @@ impl MantisDriver {
     /// Poll one packed field word (a 2-entry measurement register).
     pub fn field_word_read(&mut self, sw: &Switch, reg: RegisterId, index: u32) -> Value {
         let cost = self.cost.pcie_base_ns + self.cost.field_word_read_ns;
-        self.spend(cost);
+        self.spend("field_word_read", cost);
         self.stats.field_reads += 1;
         sw.register_read_range(reg, index, index)
             .into_iter()
@@ -181,7 +199,7 @@ impl MantisDriver {
 
     pub fn register_write(&mut self, sw: &mut Switch, reg: RegisterId, index: u32, value: Value) {
         let cost = self.cost.pcie_base_ns;
-        self.spend(cost);
+        self.spend("register_write", cost);
         sw.register_write(reg, index, value);
     }
 
@@ -191,7 +209,7 @@ impl MantisDriver {
         port: rmt_sim::PortId,
         up: bool,
     ) -> Result<(), DriverError> {
-        self.spend(self.cost.port_op_ns);
+        self.spend("port_set", self.cost.port_op_ns);
         sw.port_set_up(port, up)
     }
 
@@ -199,7 +217,7 @@ impl MantisDriver {
     /// field-argument poll, where the agent reads several 2-entry
     /// measurement registers as one batch).
     pub fn spend_external(&mut self, dur: Nanos) {
-        self.spend(dur);
+        self.spend("field_poll", dur);
         self.stats.field_reads += 1;
     }
 

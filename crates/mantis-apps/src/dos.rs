@@ -341,7 +341,7 @@ pub fn run_estimation_e2e(trace: &netsim::trace::Trace) -> (HashMap<u32, u64>, u
     schedule_agent(&mut tb.sim, tb.agent.clone(), 0);
     tb.sim
         .run_until(trace.packets.last().map(|p| p.at + 100_000).unwrap_or(0));
-    let iters = tb.agent.borrow().stats.iterations;
+    let iters = tb.agent.borrow().stats().iterations;
     let est = tb
         .flows
         .borrow()

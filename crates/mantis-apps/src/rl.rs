@@ -339,7 +339,7 @@ mod tests {
 
     #[test]
     fn q_learning_improves_reward() {
-        let res = run_training(20_000_000, 100_000, 7);
+        let res = run_training(100_000_000, 100_000, 7);
         assert!(res.iterations > 100, "only {} iterations", res.iterations);
         assert!(
             res.late_reward > res.early_reward,

@@ -1,0 +1,745 @@
+//! Virtual-clock-native observability for the Mantis stack.
+//!
+//! Everything in the simulator runs on a shared virtual clock, so
+//! telemetry here is *deterministic*: two runs with the same seed
+//! produce byte-identical traces and snapshots. The crate deliberately
+//! has no dependencies and no notion of wall time — callers pass
+//! virtual-clock timestamps (`Nanos`) into every recording call.
+//!
+//! Three facilities share one [`Telemetry`] handle:
+//!
+//! * a **tracer** — a fixed-capacity ring buffer of span begin/end and
+//!   instant events, exportable as Chrome `trace_event` JSON
+//!   ([`Telemetry::chrome_trace_json`]) that loads directly into
+//!   Perfetto / `chrome://tracing`;
+//! * a **metrics registry** — counters, gauges, and log-linear
+//!   histograms with p50/p95/p99 snapshots
+//!   ([`Telemetry::snapshot`], [`Telemetry::snapshot_json`]);
+//! * **reaction-loop profiling conventions** — the agent records its
+//!   dialogue phases as spans ([`scopes`]) and each driver op into
+//!   per-op histograms, so a single trace shows where a reaction
+//!   window went.
+//!
+//! The handle is `Rc`-shared and internally `RefCell`'d, matching the
+//! single-threaded simulator design of `rmt-sim`.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Virtual-clock timestamp, nanoseconds. Mirrors `rmt_sim::Nanos`
+/// without depending on it (this crate sits below the whole stack).
+pub type Nanos = u64;
+
+/// Trace scopes, rendered as named "threads" in the Chrome trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Scope {
+    /// The control-plane agent's dialogue loop.
+    Agent,
+    /// The Mantis driver (P4Runtime-ish op costs, locking).
+    Driver,
+    /// The RMT pipeline (stages, parser/deparser).
+    Switch,
+    /// The traffic manager (queues, scheduling).
+    TrafficManager,
+    /// The host/network simulation (flows, drops, marks).
+    NetSim,
+    /// Benchmark harness bookkeeping.
+    Bench,
+}
+
+impl Scope {
+    /// Stable Chrome-trace thread id for the scope.
+    pub fn tid(self) -> u32 {
+        match self {
+            Scope::Agent => 1,
+            Scope::Driver => 2,
+            Scope::Switch => 3,
+            Scope::TrafficManager => 4,
+            Scope::NetSim => 5,
+            Scope::Bench => 6,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Scope::Agent => "agent",
+            Scope::Driver => "driver",
+            Scope::Switch => "switch",
+            Scope::TrafficManager => "traffic-manager",
+            Scope::NetSim => "netsim",
+            Scope::Bench => "bench",
+        }
+    }
+
+    const ALL: [Scope; 6] = [
+        Scope::Agent,
+        Scope::Driver,
+        Scope::Switch,
+        Scope::TrafficManager,
+        Scope::NetSim,
+        Scope::Bench,
+    ];
+}
+
+/// Span / metric naming conventions used across the workspace, kept in
+/// one place so instrumentation sites and consumers (bench, tests)
+/// cannot drift apart.
+pub mod scopes {
+    /// One full dialogue iteration (measure → react → update → sync).
+    pub const SPAN_ITERATION: &str = "iteration";
+    /// Phase 1: write the master sequence register + batched reads.
+    pub const SPAN_MEASURE: &str = "measure";
+    /// Phase 2: run user reactions against the measurement snapshot.
+    pub const SPAN_REACT: &str = "react";
+    /// Phase 3: apply staged malleable updates (prepare + commit).
+    pub const SPAN_UPDATE: &str = "update";
+    /// Phase 4: mirror committed state into the agent's shadow copy.
+    pub const SPAN_SYNC: &str = "sync";
+
+    /// Histogram of per-iteration busy time.
+    pub const HIST_ITERATION_NS: &str = "agent.iteration_ns";
+    pub const HIST_MEASURE_NS: &str = "agent.measure_ns";
+    pub const HIST_REACT_NS: &str = "agent.react_ns";
+    pub const HIST_UPDATE_NS: &str = "agent.update_ns";
+    pub const HIST_SYNC_NS: &str = "agent.sync_ns";
+
+    /// Total iterations / busy nanoseconds (drive `run_paced` stats).
+    pub const CTR_ITERATIONS: &str = "agent.iterations";
+    pub const CTR_BUSY_NS: &str = "agent.busy_ns";
+    pub const CTR_STAGED_TABLE_OPS: &str = "agent.staged_table_ops";
+
+    /// Per-driver-op latency histograms (`driver.<op>_ns`) and call
+    /// counters (`driver.<op>_calls`) are derived from the op name via
+    /// [`super::Telemetry::driver_op`].
+    pub const DRIVER_OP_PREFIX: &str = "driver.";
+}
+
+// -- configuration ----------------------------------------------------------
+
+#[derive(Clone, Debug)]
+pub struct TelemetryConfig {
+    /// Ring-buffer capacity for trace events; older events are dropped
+    /// (and counted) once full.
+    pub trace_capacity: usize,
+    /// Master switch: when false, recording calls are no-ops (metrics
+    /// and events alike) and exports describe an empty registry.
+    pub enabled: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            trace_capacity: 1 << 16,
+            enabled: true,
+        }
+    }
+}
+
+// -- trace events -----------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Phase {
+    Begin,
+    End,
+    Instant,
+}
+
+#[derive(Clone, Debug)]
+struct Event {
+    t: Nanos,
+    scope: Scope,
+    phase: Phase,
+    name: String,
+    /// Small numeric payload; rendered into Chrome-trace `args`.
+    args: Vec<(&'static str, i128)>,
+}
+
+// -- log-linear histogram ---------------------------------------------------
+
+const SUB_BUCKETS: usize = 16;
+const MAGNITUDES: usize = 64;
+
+/// Log-linear histogram over `u64` values: 64 power-of-two magnitude
+/// ranges, each split into 16 linear sub-buckets (~6% relative error on
+/// quantile estimates). Deterministic and allocation-free after
+/// construction.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: Vec<u32>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: vec![0; MAGNITUDES * SUB_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let mag = 63 - v.leading_zeros() as usize;
+    // Top SUB_BUCKETS.ilog2() bits below the leading one pick the
+    // sub-bucket within the magnitude.
+    let shift = mag.saturating_sub(4);
+    let sub = ((v >> shift) as usize) & (SUB_BUCKETS - 1);
+    mag * SUB_BUCKETS + sub
+}
+
+fn bucket_value(index: usize) -> u64 {
+    let mag = index / SUB_BUCKETS;
+    let sub = (index % SUB_BUCKETS) as u64;
+    if mag < 4 {
+        return (mag as u64 * SUB_BUCKETS as u64 + sub).min(SUB_BUCKETS as u64 - 1);
+    }
+    // Midpoint of the sub-bucket's range.
+    let base = (1u64 << mag) | (sub << (mag - 4));
+    base + (1u64 << (mag - 4)) / 2
+}
+
+impl Histogram {
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Quantile estimate (`q` in `[0, 1]`); exact at the recorded min
+    /// and max, bucket-midpoint otherwise. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += u64::from(*c);
+            if seen >= rank {
+                return bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            mean: if self.count == 0 {
+                0.0
+            } else {
+                self.sum as f64 / self.count as f64
+            },
+        }
+    }
+}
+
+/// Point-in-time summary of one histogram.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistSnapshot {
+    pub count: u64,
+    pub sum: u128,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+    pub mean: f64,
+}
+
+/// Point-in-time copy of the whole registry.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, i128>,
+    pub gauges: BTreeMap<String, i128>,
+    pub hists: BTreeMap<String, HistSnapshot>,
+    /// Trace events currently held in the ring buffer.
+    pub events_buffered: u64,
+    /// Events evicted because the ring buffer was full.
+    pub events_dropped: u64,
+}
+
+impl Snapshot {
+    pub fn counter(&self, name: &str) -> i128 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> i128 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.get(name)
+    }
+}
+
+// -- the shared handle ------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct Inner {
+    config: TelemetryConfig,
+    events: VecDeque<Event>,
+    events_dropped: u64,
+    counters: BTreeMap<String, i128>,
+    gauges: BTreeMap<String, i128>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+/// The shared telemetry handle. Clone the `Rc` freely; all methods
+/// take `&self`.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    inner: RefCell<Inner>,
+}
+
+impl Telemetry {
+    pub fn new(config: TelemetryConfig) -> Self {
+        Telemetry {
+            inner: RefCell::new(Inner {
+                config,
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// An enabled handle with default config, ready to share.
+    pub fn shared() -> Rc<Telemetry> {
+        Rc::new(Telemetry::new(TelemetryConfig::default()))
+    }
+
+    /// A handle that records nothing (the default for components whose
+    /// caller did not ask for telemetry).
+    pub fn disabled() -> Rc<Telemetry> {
+        Rc::new(Telemetry::new(TelemetryConfig {
+            enabled: false,
+            trace_capacity: 0,
+        }))
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.borrow().config.enabled
+    }
+
+    // -- tracer ------------------------------------------------------------
+
+    pub fn span_begin(&self, scope: Scope, name: &str, t: Nanos) {
+        self.push(Event {
+            t,
+            scope,
+            phase: Phase::Begin,
+            name: name.to_string(),
+            args: Vec::new(),
+        });
+    }
+
+    pub fn span_end(&self, scope: Scope, name: &str, t: Nanos) {
+        self.push(Event {
+            t,
+            scope,
+            phase: Phase::End,
+            name: name.to_string(),
+            args: Vec::new(),
+        });
+    }
+
+    /// A point event with a small numeric payload.
+    pub fn instant(&self, scope: Scope, name: &str, t: Nanos, args: &[(&'static str, i128)]) {
+        self.push(Event {
+            t,
+            scope,
+            phase: Phase::Instant,
+            name: name.to_string(),
+            args: args.to_vec(),
+        });
+    }
+
+    fn push(&self, ev: Event) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.config.enabled {
+            return;
+        }
+        if inner.events.len() >= inner.config.trace_capacity {
+            inner.events.pop_front();
+            inner.events_dropped += 1;
+        }
+        if inner.config.trace_capacity > 0 {
+            inner.events.push_back(ev);
+        } else {
+            inner.events_dropped += 1;
+        }
+    }
+
+    // -- metrics registry --------------------------------------------------
+
+    pub fn counter_add(&self, name: &str, delta: i128) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.config.enabled {
+            return;
+        }
+        match inner.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                inner.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    pub fn gauge_set(&self, name: &str, value: i128) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.config.enabled {
+            return;
+        }
+        match inner.gauges.get_mut(name) {
+            Some(v) => *v = value,
+            None => {
+                inner.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    pub fn hist_record(&self, name: &str, value: u64) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.config.enabled {
+            return;
+        }
+        match inner.hists.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::default();
+                h.record(value);
+                inner.hists.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Record one driver op: bumps `driver.<op>_calls` and feeds
+    /// `driver.<op>_ns`. This is the per-op accounting behind the
+    /// reaction-loop profile (batched register reads vs table writes
+    /// vs scalar updates all show up as separate histograms).
+    pub fn driver_op(&self, op: &str, cost_ns: Nanos) {
+        {
+            let inner = self.inner.borrow();
+            if !inner.config.enabled {
+                return;
+            }
+        }
+        self.counter_add(&format!("{}{}_calls", scopes::DRIVER_OP_PREFIX, op), 1);
+        self.hist_record(&format!("{}{}_ns", scopes::DRIVER_OP_PREFIX, op), cost_ns);
+    }
+
+    pub fn counter(&self, name: &str) -> i128 {
+        self.inner.borrow().counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> i128 {
+        self.inner.borrow().gauges.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn hist_quantile(&self, name: &str, q: f64) -> u64 {
+        self.inner
+            .borrow()
+            .hists
+            .get(name)
+            .map(|h| h.quantile(q))
+            .unwrap_or(0)
+    }
+
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.borrow();
+        Snapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            hists: inner
+                .hists
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+            events_buffered: inner.events.len() as u64,
+            events_dropped: inner.events_dropped,
+        }
+    }
+
+    /// Drop all recorded events and metrics (config is kept).
+    pub fn reset(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.events.clear();
+        inner.events_dropped = 0;
+        inner.counters.clear();
+        inner.gauges.clear();
+        inner.hists.clear();
+    }
+
+    // -- exporters ---------------------------------------------------------
+
+    /// Chrome `trace_event` JSON (the "JSON Array Format" wrapped in an
+    /// object), loadable in Perfetto / `chrome://tracing`. Timestamps
+    /// are virtual-clock microseconds with nanosecond fractions;
+    /// output is byte-deterministic for a given event sequence.
+    pub fn chrome_trace_json(&self) -> String {
+        let inner = self.inner.borrow();
+        let mut out = String::new();
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+        let mut first = true;
+        // Thread-name metadata so scopes render with readable labels.
+        for scope in Scope::ALL {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                scope.tid(),
+                scope.name()
+            );
+        }
+        for ev in &inner.events {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let ph = match ev.phase {
+                Phase::Begin => "B",
+                Phase::End => "E",
+                Phase::Instant => "i",
+            };
+            let _ = write!(
+                out,
+                "{{\"ph\":\"{}\",\"pid\":0,\"tid\":{},\"ts\":{}.{:03},\"name\":\"{}\"",
+                ph,
+                ev.scope.tid(),
+                ev.t / 1_000,
+                ev.t % 1_000,
+                escape_json(&ev.name),
+            );
+            if ev.phase == Phase::Instant {
+                out.push_str(",\"s\":\"t\"");
+            }
+            if !ev.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (k, v)) in ev.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{}\":{}", escape_json(k), v);
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Flat JSON snapshot of the metrics registry: counters, gauges,
+    /// and histogram summaries. Byte-deterministic (sorted keys).
+    pub fn snapshot_json(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        out.push_str("{\n  \"counters\": {");
+        let mut first = true;
+        for (k, v) in &snap.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\": {}", escape_json(k), v);
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        first = true;
+        for (k, v) in &snap.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\": {}", escape_json(k), v);
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        first = true;
+        for (k, h) in &snap.hists {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                escape_json(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.p50,
+                h.p95,
+                h.p99
+            );
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        let _ = write!(
+            out,
+            "  \"events_buffered\": {},\n  \"events_dropped\": {}\n}}\n",
+            snap.events_buffered, snap.events_dropped
+        );
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        // Log-linear buckets: ~6% relative error tolerated.
+        assert!((450..=550).contains(&s.p50), "p50 = {}", s.p50);
+        assert!((900..=1000).contains(&s.p95), "p95 = {}", s.p95);
+        assert!((940..=1000).contains(&s.p99), "p99 = {}", s.p99);
+    }
+
+    #[test]
+    fn histogram_handles_edge_values() {
+        let mut h = Histogram::default();
+        assert_eq!(h.snapshot().p50, 0);
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.count, 2);
+        assert!(s.p99 >= s.p50, "quantiles must be monotone");
+    }
+
+    #[test]
+    fn single_value_histogram_is_exact_at_all_quantiles() {
+        let mut h = Histogram::default();
+        h.record(42);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 42);
+        }
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let tel = Telemetry::new(TelemetryConfig {
+            trace_capacity: 2,
+            enabled: true,
+        });
+        tel.instant(Scope::Agent, "a", 1, &[]);
+        tel.instant(Scope::Agent, "b", 2, &[]);
+        tel.instant(Scope::Agent, "c", 3, &[]);
+        let snap = tel.snapshot();
+        assert_eq!(snap.events_buffered, 2);
+        assert_eq!(snap.events_dropped, 1);
+        let trace = tel.chrome_trace_json();
+        assert!(!trace.contains("\"name\":\"a\""));
+        assert!(trace.contains("\"name\":\"c\""));
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let tel = Telemetry::disabled();
+        tel.counter_add("x", 5);
+        tel.hist_record("h", 9);
+        tel.span_begin(Scope::Agent, "s", 0);
+        let snap = tel.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.hists.is_empty());
+        assert_eq!(snap.events_buffered, 0);
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let run = || {
+            let tel = Telemetry::new(TelemetryConfig::default());
+            tel.span_begin(Scope::Agent, scopes::SPAN_MEASURE, 1_500);
+            tel.span_end(Scope::Agent, scopes::SPAN_MEASURE, 2_750);
+            tel.driver_op("table_add", 600);
+            tel.driver_op("table_add", 800);
+            tel.counter_add(scopes::CTR_ITERATIONS, 1);
+            tel.gauge_set("tm.q0_depth", 12);
+            (tel.chrome_trace_json(), tel.snapshot_json())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn chrome_trace_has_span_pairs_and_metadata() {
+        let tel = Telemetry::new(TelemetryConfig::default());
+        tel.span_begin(Scope::Driver, "register_read", 1_000);
+        tel.span_end(Scope::Driver, "register_read", 3_500);
+        tel.instant(Scope::NetSim, "drop", 2_000, &[("port", 3)]);
+        let trace = tel.chrome_trace_json();
+        assert!(trace.contains("\"ph\":\"B\""));
+        assert!(trace.contains("\"ph\":\"E\""));
+        assert!(trace.contains("\"ts\":1.000"));
+        assert!(trace.contains("\"ts\":3.500"));
+        assert!(trace.contains("\"args\":{\"port\":3}"));
+        assert!(trace.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn snapshot_json_contains_percentiles() {
+        let tel = Telemetry::new(TelemetryConfig::default());
+        for i in 0..100 {
+            tel.driver_op("register_read", 1_000 + i * 10);
+        }
+        let json = tel.snapshot_json();
+        assert!(json.contains("\"driver.register_read_ns\""));
+        assert!(json.contains("\"p99\""));
+        assert_eq!(tel.counter("driver.register_read_calls"), 100);
+    }
+}

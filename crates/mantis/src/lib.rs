@@ -35,6 +35,7 @@
 
 pub use mantis_agent;
 pub use mantis_apps as apps;
+pub use mantis_telemetry as telemetry;
 pub use netsim;
 pub use p4_ast;
 pub use p4r_compiler;
@@ -43,6 +44,7 @@ pub use reaction_interp;
 pub use rmt_sim;
 
 pub use mantis_agent::{AgentError, CostModel, MantisAgent, NativeReaction, ReactionCtx};
+pub use mantis_telemetry::{Scope, Telemetry, TelemetryConfig};
 pub use p4r_compiler::{compile_source, CompileError, Compiled, CompilerOptions};
 pub use rmt_sim::{Clock, Switch, SwitchConfig};
 
@@ -57,6 +59,9 @@ pub struct Testbed {
     pub compiled: Compiled,
     pub sim: netsim::Simulator,
     pub agent: Rc<RefCell<MantisAgent>>,
+    /// Shared observability handle: the agent, driver, switch, and flow
+    /// sources all record into this one registry/tracer.
+    pub telemetry: Rc<Telemetry>,
 }
 
 impl fmt::Debug for Testbed {
@@ -102,15 +107,31 @@ impl Testbed {
             compile_source(src, &CompilerOptions::default()).map_err(TestbedError::Compile)?;
         let clock = Clock::new();
         let spec = rmt_sim::load(&compiled.p4).map_err(TestbedError::Load)?;
+        let telemetry = Telemetry::shared();
         let switch = Rc::new(RefCell::new(Switch::new(spec, switch_cfg, clock)));
+        switch.borrow_mut().set_telemetry(telemetry.clone());
         let mut agent = MantisAgent::new(switch.clone(), &compiled, cost);
+        agent.set_telemetry(telemetry.clone());
         agent.prologue().map_err(TestbedError::Agent)?;
         let sim = netsim::Simulator::new(switch);
         Ok(Testbed {
             compiled,
             sim,
             agent: Rc::new(RefCell::new(agent)),
+            telemetry,
         })
+    }
+
+    /// Dump the run so far as Chrome `trace_event` JSON (open in
+    /// Perfetto or `chrome://tracing`).
+    pub fn chrome_trace(&self) -> String {
+        self.telemetry.chrome_trace_json()
+    }
+
+    /// Dump the metrics registry (counters, gauges, p50/p95/p99
+    /// histogram summaries) as flat JSON.
+    pub fn telemetry_snapshot(&self) -> String {
+        self.telemetry.snapshot_json()
     }
 
     /// Schedule the dialogue loop: back-to-back when `pace_ns == 0`, else

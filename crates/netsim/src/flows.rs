@@ -7,6 +7,7 @@
 //! the RTT timescale (Fig. 15's ~500 µs return to steady state).
 
 use crate::sim::Simulator;
+use mantis_telemetry::Scope;
 use rmt_sim::{Nanos, PacketDesc, PortId};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -52,6 +53,8 @@ impl Default for TcpConfig {
 /// Live state of a TCP flow.
 #[derive(Debug)]
 pub struct TcpState {
+    /// Simulator-assigned id, used in telemetry metric names.
+    pub flow_id: u64,
     pub cfg: TcpConfig,
     pub rate_bps: u64,
     pub sent_pkts: u64,
@@ -81,7 +84,9 @@ impl TcpState {
 
 /// Spawn a TCP flow into the simulator; returns a handle to its state.
 pub fn spawn_tcp(sim: &mut Simulator, cfg: TcpConfig) -> Rc<RefCell<TcpState>> {
+    let flow_id = sim.alloc_flow_id();
     let state = Rc::new(RefCell::new(TcpState {
+        flow_id,
         rate_bps: cfg.initial_rate_bps,
         next_send_ns: cfg.start_ns,
         send_gen: 0,
@@ -122,6 +127,15 @@ pub fn spawn_tcp(sim: &mut Simulator, cfg: TcpConfig) -> Rc<RefCell<TcpState>> {
                     st.rate_bps = (st.rate_bps + st.cfg.increase_bps).min(st.cfg.max_rate_bps);
                 }
                 st.loss_this_rtt = false;
+                {
+                    let tel = s.telemetry();
+                    if tel.is_enabled() {
+                        tel.gauge_set(
+                            &format!("netsim.flow{}_rate_bps", st.flow_id),
+                            i128::from(st.rate_bps),
+                        );
+                    }
+                }
                 // If the send loop overslept at a previously tiny rate,
                 // reschedule it at the new rate's pace.
                 let interval = st.send_interval();
@@ -174,6 +188,15 @@ fn tcp_send(sim: &mut Simulator, state: Rc<RefCell<TcpState>>, gen: u64) {
         } else {
             st.lost_pkts += 1;
             st.loss_this_rtt = true;
+            let tel = sim.telemetry();
+            if tel.is_enabled() {
+                tel.instant(
+                    Scope::NetSim,
+                    "tcp_drop",
+                    sim.now(),
+                    &[("flow", i128::from(st.flow_id))],
+                );
+            }
         }
     }
     let next = {

@@ -6,6 +6,7 @@
 //! schedule agent dialogue iterations the same way. Execution is fully
 //! deterministic: ties break by schedule order.
 
+use mantis_telemetry::Telemetry;
 use rmt_sim::{Clock, Nanos, Switch, TxPacket};
 use std::cell::RefCell;
 use std::cmp::Reverse;
@@ -52,6 +53,7 @@ pub struct Simulator {
     /// Count of all packets ever transmitted (not capped).
     pub tx_count: u64,
     pub tx_bytes: u64,
+    next_flow_id: u64,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -75,7 +77,22 @@ impl Simulator {
             tx_log_cap: 1 << 20,
             tx_count: 0,
             tx_bytes: 0,
+            next_flow_id: 0,
         }
+    }
+
+    /// The switch's telemetry handle (disabled unless a testbed attached
+    /// one via `Switch::set_telemetry`). Flow sources use it to publish
+    /// per-flow rate gauges and drop events.
+    pub fn telemetry(&self) -> Rc<Telemetry> {
+        self.switch.borrow().telemetry().clone()
+    }
+
+    /// Allocate a stable id for a spawned flow (used in telemetry names).
+    pub fn alloc_flow_id(&mut self) -> u64 {
+        let id = self.next_flow_id;
+        self.next_flow_id += 1;
+        id
     }
 
     pub fn clock(&self) -> &Clock {

@@ -15,9 +15,11 @@ use crate::spec::{
 };
 use crate::table::{EntryHandle, KeyField, Lookup, Table, TableError};
 use crate::{hash, spec};
+use mantis_telemetry::{Scope, Telemetry};
 use p4_ast::{CmpOp, Pipeline, Value};
 use std::collections::VecDeque;
 use std::fmt;
+use std::rc::Rc;
 
 /// Switch configuration.
 #[derive(Clone, Debug)]
@@ -168,6 +170,7 @@ pub struct Switch {
     /// Register automatically updated with per-port queue depth in bytes.
     qdepth_register: Option<RegisterId>,
     pub stats: SwitchStats,
+    telemetry: Rc<Telemetry>,
 }
 
 impl fmt::Debug for Switch {
@@ -209,7 +212,20 @@ impl Switch {
             transmitted: Vec::new(),
             qdepth_register: None,
             stats: SwitchStats::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a shared telemetry handle: the traffic manager publishes
+    /// per-port queue-depth gauges, drops become instant events, and
+    /// each egress pass is a `Scope::Switch` span on the virtual
+    /// timeline.
+    pub fn set_telemetry(&mut self, telemetry: Rc<Telemetry>) {
+        self.telemetry = telemetry;
+    }
+
+    pub fn telemetry(&self) -> &Rc<Telemetry> {
+        &self.telemetry
     }
 
     pub fn spec(&self) -> &DataPlaneSpec {
@@ -249,10 +265,21 @@ impl Switch {
     /// Inject a pre-built PHV.
     pub fn inject_phv(&mut self, mut phv: Phv) -> bool {
         self.stats.rx += 1;
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter_add("switch.rx", 1);
+        }
         let in_port = phv.ingress_port(&self.spec) as usize;
         if let Some(p) = self.ports.get_mut(in_port) {
             if !p.up {
                 self.stats.dropped_port_down += 1;
+                if self.telemetry.is_enabled() {
+                    self.telemetry.instant(
+                        Scope::Switch,
+                        "drop_port_down",
+                        self.clock.now(),
+                        &[("port", in_port as i128)],
+                    );
+                }
                 return false;
             }
             p.rx_packets += 1;
@@ -306,9 +333,21 @@ impl Switch {
             return false;
         };
         if q.depth_bytes + bytes > self.config.queue_capacity_bytes {
+            let depth = q.depth_bytes;
             self.stats.dropped_queue += 1;
             if let Some(p) = self.ports.get_mut(port as usize) {
                 p.queue_drops += 1;
+            }
+            if self.telemetry.is_enabled() {
+                self.telemetry.instant(
+                    Scope::TrafficManager,
+                    "drop_queue_full",
+                    self.clock.now(),
+                    &[
+                        ("port", i128::from(port)),
+                        ("depth_bytes", i128::from(depth)),
+                    ],
+                );
             }
             return false;
         }
@@ -347,6 +386,14 @@ impl Switch {
                 let tx_time = tx_start + self.wire_time(bytes);
                 self.queues[port].busy_until = tx_time;
                 self.mirror_qdepth(port as PortId);
+                if self.telemetry.is_enabled() {
+                    // The dequeue→wire window of this packet on the
+                    // virtual timeline.
+                    self.telemetry
+                        .span_begin(Scope::Switch, "egress_pass", tx_start);
+                    self.telemetry
+                        .span_end(Scope::Switch, "egress_pass", tx_time);
+                }
 
                 let mut phv = phv;
                 phv.set_intr(&self.spec, "egress_port", port as u64);
@@ -368,6 +415,9 @@ impl Switch {
                     p.tx_bytes += u64::from(bytes);
                 }
                 self.stats.tx += 1;
+                if self.telemetry.is_enabled() {
+                    self.telemetry.counter_add("switch.tx", 1);
+                }
                 self.transmitted.push(TxPacket {
                     port: port as PortId,
                     phv,
@@ -396,9 +446,13 @@ impl Switch {
     }
 
     fn mirror_qdepth(&mut self, port: PortId) {
+        let depth = self.queue_depth(port);
         if let Some(rid) = self.qdepth_register {
-            let depth = self.queue_depth(port);
             self.registers[rid.0 as usize].write(port as usize, Value::new(u128::from(depth), 64));
+        }
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .gauge_set(&format!("tm.q{port}_depth_bytes"), i128::from(depth));
         }
     }
 

@@ -93,11 +93,11 @@ fn main() {
             "t = {:>4} µs  threshold = {:>6} B  (agent ran {} iterations)",
             t / 1000,
             tb.agent.borrow().slot("threshold").unwrap(),
-            tb.agent.borrow().stats.iterations,
+            tb.agent.borrow().stats().iterations,
         );
     }
 
-    let report = tb.agent.borrow().stats.last.clone();
+    let report = tb.agent.borrow().stats().last.clone();
     println!(
         "last dialogue iteration: {} ns total ({} measure, {} react, {} update)",
         report.duration_ns, report.measure_ns, report.react_ns, report.update_ns

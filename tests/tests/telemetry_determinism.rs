@@ -1,0 +1,85 @@
+//! Telemetry determinism: every timestamp in the tracer comes off the shared
+//! virtual clock, so two identical runs must produce **byte-identical**
+//! Chrome-trace and snapshot exports. This is the property that makes traces
+//! diffable across commits and usable as regression artifacts.
+//!
+//! A golden copy of the trace is checked in under `tests/tests/golden/`.
+//! If an intentional change alters the trace shape, regenerate it with:
+//!
+//! ```text
+//! UPDATE_TELEMETRY_GOLDEN=1 cargo test -p integration-tests --test telemetry_determinism
+//! ```
+
+use std::path::Path;
+
+/// Smaller than the `figures` run so the golden file stays reviewable, but
+/// large enough to exercise measure/react/update/sync spans and driver ops.
+fn profile_run() -> (String, String) {
+    let (trace, snapshot, _profile) = bench::telemetry_profile(20, 20_000);
+    (trace, snapshot)
+}
+
+#[test]
+fn identical_runs_export_byte_identical_artifacts() {
+    let (trace_a, snap_a) = profile_run();
+    let (trace_b, snap_b) = profile_run();
+    assert_eq!(
+        trace_a, trace_b,
+        "Chrome trace must be byte-identical across identical runs"
+    );
+    assert_eq!(
+        snap_a, snap_b,
+        "metrics snapshot must be byte-identical across identical runs"
+    );
+}
+
+#[test]
+fn chrome_trace_matches_golden_file() {
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/telemetry_trace.json");
+    let (trace, _snap) = profile_run();
+
+    if std::env::var_os("UPDATE_TELEMETRY_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+        std::fs::write(&golden_path, &trace).unwrap();
+        eprintln!("regenerated {}", golden_path.display());
+        return;
+    }
+
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with \
+             UPDATE_TELEMETRY_GOLDEN=1 cargo test -p integration-tests \
+             --test telemetry_determinism",
+            golden_path.display()
+        )
+    });
+    assert_eq!(
+        trace, golden,
+        "Chrome trace diverged from golden file; if intentional, regenerate \
+         with UPDATE_TELEMETRY_GOLDEN=1"
+    );
+}
+
+#[test]
+fn trace_contains_all_dialogue_phases() {
+    let (trace, snap) = profile_run();
+    for phase in ["measure", "react", "update", "sync", "iteration"] {
+        assert!(
+            trace.contains(&format!("\"name\":\"{phase}\"")),
+            "trace missing {phase} spans"
+        );
+    }
+    // Snapshot must carry per-driver-op histograms with quantiles.
+    let parsed: serde_json::Value = serde_json::from_str(&snap).unwrap();
+    let top = parsed.as_map().expect("snapshot is a JSON object");
+    let hists = top
+        .iter()
+        .find(|(k, _)| k == "histograms")
+        .and_then(|(_, v)| v.as_map())
+        .expect("snapshot has histograms");
+    assert!(
+        hists.iter().any(|(k, _)| k.starts_with("driver.")),
+        "snapshot missing driver.* histograms"
+    );
+}

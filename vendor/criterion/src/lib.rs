@@ -1,0 +1,155 @@
+//! Minimal stand-in for the `criterion` benchmark harness.
+//!
+//! Runs each benchmark closure a small number of times with a wall-clock
+//! timer and prints a one-line summary. No statistics, plots, or saved
+//! baselines — just enough to keep `cargo bench` targets compiling and
+//! producing useful numbers offline.
+
+use std::time::Instant;
+
+/// Number of timed samples per benchmark (upstream default is 100; we
+/// keep runs quick).
+const DEFAULT_SAMPLES: usize = 10;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Collects per-sample durations for one benchmark.
+#[derive(Default)]
+pub struct Bencher {
+    samples_ns: Vec<u128>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.target_samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples_ns.push(t0.elapsed().as_nanos());
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(t0.elapsed().as_nanos());
+        }
+    }
+}
+
+fn report(name: &str, samples_ns: &[u128]) {
+    if samples_ns.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let mut v = samples_ns.to_vec();
+    v.sort_unstable();
+    let median = v[v.len() / 2];
+    let min = v[0];
+    let max = v[v.len() - 1];
+    println!(
+        "{name:<40} median {:>12} ns   (min {min} ns, max {max} ns, {} samples)",
+        median,
+        v.len()
+    );
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.min(DEFAULT_SAMPLES);
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+            target_samples: self.sample_size,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name.as_ref()), &b.samples_ns);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The harness entry point; constructed by `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLES,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+            target_samples: DEFAULT_SAMPLES,
+        };
+        f(&mut b);
+        report(name.as_ref(), &b.samples_ns);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,444 @@
+//! Minimal stand-in for `serde`.
+//!
+//! Instead of upstream serde's visitor-based data model, serialization
+//! goes through an owned [`Content`] tree (think `serde_json::Value`
+//! moved into `serde` itself). `serde_json` in `vendor/` renders and
+//! parses that tree. The derive macros in `serde_derive` generate
+//! `Serialize`/`Deserialize` impls with upstream-compatible shapes
+//! (maps for named-field structs, externally tagged enums).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialized form of any value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    Int(i128),
+    UInt(u128),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer view accepting both signed and unsigned content.
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Content::Int(v) => Some(*v),
+            Content::UInt(v) => i128::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            Content::UInt(v) => Some(*v),
+            Content::Int(v) => u128::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::Float(v) => Some(*v),
+            Content::Int(v) => Some(*v as f64),
+            Content::UInt(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::Int(_) | Content::UInt(_) => "integer",
+            Content::Float(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Look up a key in serialized-map content.
+pub fn map_get<'a>(map: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Clone, Debug)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    pub fn expected(what: &str, context: &str, got: &Content) -> Self {
+        DeError::new(format!("expected {what} for {context}, got {}", got.kind()))
+    }
+
+    pub fn missing(field: &str, context: &str) -> Self {
+        DeError::new(format!("missing field `{field}` in {context}"))
+    }
+
+    pub fn unknown_variant(variant: &str, context: &str) -> Self {
+        DeError::new(format!("unknown variant `{variant}` for {context}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into a [`Content`] tree.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Deserialization from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// -- primitive impls ---------------------------------------------------------
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", "bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::UInt(u128::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = content
+                    .as_u128()
+                    .ok_or_else(|| DeError::expected("integer", stringify!($t), content))?;
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::new(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_ser_de_uint!(u8, u16, u32, u64, u128);
+
+macro_rules! impl_ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::Int(i128::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = content
+                    .as_i128()
+                    .ok_or_else(|| DeError::expected("integer", stringify!($t), content))?;
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::new(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_ser_de_int!(i8, i16, i32, i64, i128);
+
+impl Serialize for usize {
+    fn to_content(&self) -> Content {
+        Content::UInt(*self as u128)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let v = content
+            .as_u128()
+            .ok_or_else(|| DeError::expected("integer", "usize", content))?;
+        usize::try_from(v).map_err(|_| DeError::new(format!("{v} out of range for usize")))
+    }
+}
+
+impl Serialize for isize {
+    fn to_content(&self) -> Content {
+        Content::Int(*self as i128)
+    }
+}
+
+impl Deserialize for isize {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let v = content
+            .as_i128()
+            .ok_or_else(|| DeError::expected("integer", "isize", content))?;
+        isize::try_from(v).map_err(|_| DeError::new(format!("{v} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_f64()
+            .ok_or_else(|| DeError::expected("number", "f64", content))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_f64()
+            .map(|v| v as f32)
+            .ok_or_else(|| DeError::expected("number", "f32", content))
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", "String", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "Vec", content))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! impl_ser_de_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let seq = content
+                    .as_seq()
+                    .ok_or_else(|| DeError::expected("sequence", "tuple", content))?;
+                let want = [$($n),+].len();
+                if seq.len() != want {
+                    return Err(DeError::new(format!(
+                        "tuple length mismatch: expected {want}, got {}",
+                        seq.len()
+                    )));
+                }
+                Ok(($($t::from_content(&seq[$n])?,)+))
+            }
+        }
+    )+};
+}
+impl_ser_de_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+);
+
+/// Maps serialize with sorted keys for deterministic output.
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", "HashMap", content))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", "BTreeMap", content))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(_: &Content) -> Result<Self, DeError> {
+        Ok(())
+    }
+}

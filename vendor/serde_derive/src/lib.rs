@@ -1,0 +1,410 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde stand-in.
+//!
+//! Supports the shapes this workspace actually uses: named-field structs
+//! and enums with unit / tuple / struct variants, plus the
+//! `#[serde(default)]` field attribute. Generics, tuple structs, and the
+//! rest of serde's attribute zoo are intentionally unsupported and fail
+//! with a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Does an attribute token group (the `[...]` part) spell `serde(default)`?
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Parse the fields of a named-field brace group.
+fn parse_named_fields(group: proc_macro::Group) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = group.stream().into_iter().peekable();
+    loop {
+        let mut default = false;
+        // Leading attributes.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.next() {
+                        if attr_is_serde_default(&g) {
+                            default = true;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Visibility.
+        if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            tokens.next();
+            if matches!(
+                tokens.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                tokens.next();
+            }
+        }
+        // Field name.
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            Some(other) => panic!("serde_derive: unexpected token in fields: {other}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type up to the next top-level comma. `<`/`>` nest.
+        let mut angle: i32 = 0;
+        for t in tokens.by_ref() {
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Count the fields of a tuple-variant paren group (top-level commas).
+fn count_tuple_fields(group: proc_macro::Group) -> usize {
+    let mut count = 0;
+    let mut saw_token = false;
+    let mut angle: i32 = 0;
+    for t in group.stream() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: proc_macro::Group) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = group.stream().into_iter().peekable();
+    loop {
+        // Leading attributes.
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            Some(other) => panic!("serde_derive: unexpected token in variants: {other}"),
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = match tokens.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                VariantKind::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match tokens.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                VariantKind::Struct(parse_named_fields(g))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant and the trailing comma.
+        for t in tokens.by_ref() {
+            if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                if matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    tokens.next();
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "struct" => {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("serde_derive: expected struct name, got {other:?}"),
+                };
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Shape::Struct {
+                            name,
+                            fields: parse_named_fields(g),
+                        };
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("serde_derive: generic types are unsupported ({name})")
+                    }
+                    _ => panic!("serde_derive: only named-field structs are supported ({name})"),
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "enum" => {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("serde_derive: expected enum name, got {other:?}"),
+                };
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Shape::Enum {
+                            name,
+                            variants: parse_variants(g),
+                        };
+                    }
+                    _ => panic!("serde_derive: generic enums are unsupported ({name})"),
+                }
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: no struct or enum found"),
+        }
+    }
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from(\"{0}\"), serde::Serialize::to_content(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> serde::Content {{\n\
+                 serde::Content::Map(vec![{}])\n}}\n}}\n",
+                entries.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => serde::Content::Str(String::from(\"{vn}\")),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => serde::Content::Map(vec![(String::from(\"{vn}\"), serde::Serialize::to_content(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let pats: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_content(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Content::Map(vec![(String::from(\"{vn}\"), serde::Content::Seq(vec![{}]))]),",
+                                pats.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let pats: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let vals: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(String::from(\"{0}\"), serde::Serialize::to_content({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => serde::Content::Map(vec![(String::from(\"{vn}\"), serde::Content::Map(vec![{}]))]),",
+                                pats.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> serde::Content {{\n\
+                 match self {{\n{}\n}}\n}}\n}}\n",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_field_init(fields: &[Field], map_var: &str, context: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fallback = if f.default {
+                "Default::default()".to_string()
+            } else {
+                format!(
+                    "return Err(serde::DeError::missing(\"{}\", \"{context}\"))",
+                    f.name
+                )
+            };
+            format!(
+                "{0}: match serde::map_get({map_var}, \"{0}\") {{\n\
+                 Some(__v) => serde::Deserialize::from_content(__v)?,\n\
+                 None => {fallback},\n}},",
+                f.name
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_content(__c: &serde::Content) -> Result<Self, serde::DeError> {{\n\
+                 let __m = __c.as_map().ok_or_else(|| serde::DeError::expected(\"map\", \"{name}\", __c))?;\n\
+                 Ok({name} {{\n{}\n}})\n}}\n}}\n",
+                gen_field_init(fields, "__m", name)
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_content(__v)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("serde::Deserialize::from_content(&__s[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let __s = __v.as_seq().ok_or_else(|| serde::DeError::expected(\"sequence\", \"{name}::{vn}\", __v))?;\n\
+                                 if __s.len() != {n} {{ return Err(serde::DeError::new(\"wrong tuple variant arity for {name}::{vn}\")); }}\n\
+                                 Ok({name}::{vn}({}))\n}},",
+                                elems.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => Some(format!(
+                            "\"{vn}\" => {{\n\
+                             let __vm = __v.as_map().ok_or_else(|| serde::DeError::expected(\"map\", \"{name}::{vn}\", __v))?;\n\
+                             Ok({name}::{vn} {{\n{}\n}})\n}},",
+                            gen_field_init(fields, "__vm", &format!("{name}::{vn}"))
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_content(__c: &serde::Content) -> Result<Self, serde::DeError> {{\n\
+                 match __c {{\n\
+                 serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {}\n\
+                 __other => Err(serde::DeError::unknown_variant(__other, \"{name}\")),\n}},\n\
+                 serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __v) = &__m[0];\n\
+                 match __k.as_str() {{\n\
+                 {}\n\
+                 __other => Err(serde::DeError::unknown_variant(__other, \"{name}\")),\n}}\n}},\n\
+                 __other => Err(serde::DeError::expected(\"string or single-key map\", \"{name}\", __other)),\n\
+                 }}\n}}\n}}\n",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_serialize(&shape)
+        .parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
