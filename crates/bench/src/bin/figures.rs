@@ -28,6 +28,7 @@ const KNOWN: &[&str] = &[
     "ecmp",
     "rl",
     "telemetry",
+    "perf",
 ];
 
 fn main() {
@@ -277,7 +278,49 @@ fn main() {
                 op, calls, p50, p95, p99
             );
         }
+        for (table, lookups, hits) in &profile.table_stats {
+            println!(
+                "    table  {:<16} lookups {:>7}  hits {:>7}",
+                table, lookups, hits
+            );
+        }
+        for (reaction, dispatched) in &profile.reaction_vm {
+            println!(
+                "    vm     {:<16} dispatched {:>9} ops",
+                reaction, dispatched
+            );
+        }
         println!("    (trace: results/telemetry_trace.json — open in Perfetto)");
+        println!();
+    }
+
+    if want("perf") {
+        let quick = std::env::var("MANTIS_BENCH_QUICK").is_ok_and(|v| v != "0");
+        let r = bench::perf::run(quick);
+        save("perf", &r);
+        fs::write("BENCH_perf.json", bench::to_json("perf", &r)).expect("write BENCH_perf.json");
+        eprintln!("(wrote BENCH_perf.json)");
+        println!(
+            "== Perf — fast-path wall-clock throughput ({}) ==",
+            if quick { "quick" } else { "full" }
+        );
+        for lb in [&r.exact, &r.lpm, &r.ternary] {
+            println!(
+                "    {:<8} {:>5} entries: indexed {:>11.0}/s  linear {:>10.0}/s  speedup {:>6.1}x",
+                lb.workload,
+                lb.entries,
+                lb.indexed_lookups_per_sec,
+                lb.linear_lookups_per_sec,
+                lb.speedup
+            );
+        }
+        println!(
+            "    reactions ({} ops):   VM {:>11.0}/s  walker {:>10.0}/s  speedup {:>6.1}x",
+            r.reactions.body_ops,
+            r.reactions.vm_runs_per_sec,
+            r.reactions.walker_runs_per_sec,
+            r.reactions.speedup
+        );
         println!();
     }
 

@@ -20,6 +20,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod perf;
+
 use mantis::apps::{baselines, dos, ecmp, failover, rl, table1 as t1};
 use mantis::{CostModel, Testbed};
 use p4_ast::Value;
@@ -680,6 +682,12 @@ pub struct TelemetryProfile {
     pub phase_quantiles: Vec<(String, u64, u64, u64)>,
     /// `(op, calls, p50_ns, p95_ns, p99_ns)` per driver op class.
     pub driver_ops: Vec<(String, i128, u64, u64, u64)>,
+    /// `(table, lookups, hits)` per physical table, from the switch's
+    /// per-table fast-path counters.
+    pub table_stats: Vec<(String, i128, i128)>,
+    /// `(reaction, vm_dispatch)` bytecode ops dispatched per compiled
+    /// reaction (absent entries ran on the tree-walker fallback).
+    pub reaction_vm: Vec<(String, i128)>,
 }
 
 /// Run the micro workload paced at `sleep_ns` for `iters` iterations with
@@ -710,6 +718,12 @@ pub fn telemetry_profile(iters: usize, sleep_ns: u64) -> (String, String, Teleme
     }
     tb.sim.run_until(horizon.max(tb.sim.now()));
 
+    // Publish the fast-path observability gauges (explicit-call-only, so
+    // the trace itself is untouched): per-table lookup/hit counters from
+    // the switch and per-reaction VM dispatch counts from the agent.
+    tb.sim.switch().borrow().publish_table_stats();
+    agent.borrow().publish_reaction_stats();
+
     let snap = tb.telemetry.snapshot();
     let stats = agent.borrow().stats();
     let span = tb.sim.now();
@@ -732,6 +746,27 @@ pub fn telemetry_profile(iters: usize, sleep_ns: u64) -> (String, String, Teleme
             Some((op.to_string(), calls, h.p50, h.p95, h.p99))
         })
         .collect();
+    let table_stats = snap
+        .gauges
+        .iter()
+        .filter_map(|(name, lookups)| {
+            let table = name
+                .strip_prefix("table.")
+                .and_then(|n| n.strip_suffix(".lookups"))?;
+            let hits = snap.gauge(&format!("table.{table}.hits"));
+            Some((table.to_string(), *lookups, hits))
+        })
+        .collect();
+    let reaction_vm = snap
+        .gauges
+        .iter()
+        .filter_map(|(name, dispatched)| {
+            let reaction = name
+                .strip_prefix("reaction.")
+                .and_then(|n| n.strip_suffix(".vm_dispatch"))?;
+            Some((reaction.to_string(), *dispatched))
+        })
+        .collect();
     let profile = TelemetryProfile {
         iterations: stats.iterations,
         busy_ns: stats.busy_ns,
@@ -742,6 +777,8 @@ pub fn telemetry_profile(iters: usize, sleep_ns: u64) -> (String, String, Teleme
         },
         phase_quantiles,
         driver_ops,
+        table_stats,
+        reaction_vm,
     };
     (tb.chrome_trace(), tb.telemetry_snapshot(), profile)
 }

@@ -22,7 +22,7 @@ use p4_ast::Value;
 use p4r_compiler::entry::{expand_entry, ExpandError, PhysEntry, PhysKey};
 use p4r_compiler::iface::{ControlInterface, ReactionBinding};
 use p4r_compiler::Compiled;
-use reaction_interp::{InterpError, Interpreter};
+use reaction_interp::{CompiledReaction, InterpError, Interpreter};
 use rmt_sim::{Clock, DriverError, EntryHandle, KeyField, Nanos, Switch, TableId};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -100,6 +100,10 @@ where
 }
 
 enum ReactionImpl {
+    /// Slot-resolved bytecode (the fast path for C-like bodies).
+    Compiled(CompiledReaction),
+    /// AST tree-walker — the reference semantics, kept as the fallback
+    /// for bodies the bytecode compiler rejects.
     Interpreted(Interpreter),
     Native(Box<dyn NativeReaction>),
 }
@@ -107,6 +111,7 @@ enum ReactionImpl {
 impl fmt::Debug for ReactionImpl {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ReactionImpl::Compiled(_) => write!(f, "Compiled"),
             ReactionImpl::Interpreted(_) => write!(f, "Interpreted"),
             ReactionImpl::Native(_) => write!(f, "Native"),
         }
@@ -375,6 +380,34 @@ impl MantisAgent {
         }
     }
 
+    /// Total bytecode ops dispatched across all VM-compiled reactions.
+    pub fn vm_dispatch_total(&self) -> u64 {
+        self.reactions
+            .iter()
+            .map(|r| match &r.imp {
+                ReactionImpl::Compiled(vm) => vm.dispatch_count(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Publish per-reaction execution-engine stats as telemetry gauges
+    /// (`reaction.<name>.vm_dispatch`). Explicit-call-only, so existing
+    /// telemetry traces are unaffected unless a caller opts in.
+    pub fn publish_reaction_stats(&self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        for r in &self.reactions {
+            if let ReactionImpl::Compiled(vm) = &r.imp {
+                self.telemetry.gauge_set(
+                    &format!("reaction.{}.vm_dispatch", r.name),
+                    vm.dispatch_count() as i128,
+                );
+            }
+        }
+    }
+
     pub fn clock(&self) -> &Clock {
         &self.clock
     }
@@ -415,12 +448,18 @@ impl MantisAgent {
             .reaction(name)
             .cloned()
             .ok_or_else(|| AgentError::NotCompiledWithReaction(name.to_string()))?;
-        let interp = Interpreter::from_source(&binding.body_src)
+        let body = p4r_lang::creact::parse_body(&binding.body_src)
             .map_err(|e| AgentError::Interp(InterpError::Env(e.to_string())))?;
+        // Prefer the bytecode VM; fall back to the tree-walker for the
+        // rare bodies the slot resolver cannot compile faithfully.
+        let imp = match CompiledReaction::compile(&body) {
+            Ok(vm) => ReactionImpl::Compiled(vm),
+            Err(_) => ReactionImpl::Interpreted(Interpreter::new(body)),
+        };
         self.reactions.push(RegisteredReaction {
             name: name.to_string(),
             binding,
-            imp: ReactionImpl::Interpreted(interp),
+            imp,
         });
         Ok(())
     }
@@ -747,6 +786,9 @@ impl MantisAgent {
                 now_ns: self.clock.now(),
             };
             let res = match &mut r.imp {
+                ReactionImpl::Compiled(vm) => {
+                    vm.run(&mut ctx).map(|_| ()).map_err(AgentError::Interp)
+                }
                 ReactionImpl::Interpreted(interp) => {
                     interp.run(&mut ctx).map(|_| ()).map_err(AgentError::Interp)
                 }

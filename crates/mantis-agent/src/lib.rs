@@ -306,7 +306,7 @@ control ingress {
             let t = sw.table_id("acl").unwrap();
             assert_eq!(sw.table_len(t), 4);
             for e in sw.table_ref(t).entries() {
-                assert_eq!(e.action_data, vec![Value::new(3, 9)]);
+                assert_eq!(e.action_data[..], [Value::new(3, 9)]);
             }
         }
         // Delete: physical entries drain from both copies.

@@ -19,6 +19,10 @@ use p4r_lang::creact::{BinOp, Body, CType, Declarator, Expr, LValue, Stmt, UnOp}
 use std::collections::HashMap;
 use std::fmt;
 
+pub mod vm;
+
+pub use vm::{CompileError, CompiledReaction};
+
 /// Errors surfaced to the agent.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum InterpError {
@@ -112,7 +116,7 @@ struct Var {
 }
 
 /// Truncate a value to a C type's width with the right signedness.
-fn coerce(ty: CType, v: i128) -> i128 {
+pub(crate) fn coerce(ty: CType, v: i128) -> i128 {
     let bits = u32::from(ty.bits()).min(127);
     if bits == 0 {
         return 0;
@@ -585,7 +589,7 @@ impl<'a> Exec<'a> {
     }
 }
 
-fn apply_binop(op: BinOp, l: i128, r: i128) -> Result<i128, InterpError> {
+pub(crate) fn apply_binop(op: BinOp, l: i128, r: i128) -> Result<i128, InterpError> {
     Ok(match op {
         BinOp::Add => l.wrapping_add(r),
         BinOp::Sub => l.wrapping_sub(r),

@@ -164,13 +164,19 @@ pub struct Switch {
     registers: Vec<RegisterArray>,
     ports: Vec<PortState>,
     queues: Vec<PortQueue>,
-    ingress_plan: Vec<GuardedApply>,
-    egress_plan: Vec<GuardedApply>,
+    /// Guarded applies bucketed by stage (outer index), so a stage step
+    /// touches only its own applies instead of filtering the whole plan.
+    ingress_plan: Vec<Vec<GuardedApply>>,
+    egress_plan: Vec<Vec<GuardedApply>>,
     transmitted: Vec<TxPacket>,
     /// Register automatically updated with per-port queue depth in bytes.
     qdepth_register: Option<RegisterId>,
     pub stats: SwitchStats,
     telemetry: Rc<Telemetry>,
+    /// Reusable per-stage buffer of tables whose guards passed.
+    apply_scratch: Vec<TableId>,
+    /// Reusable buffer for hash-calculation inputs.
+    hash_scratch: Vec<Value>,
 }
 
 impl fmt::Debug for Switch {
@@ -197,8 +203,8 @@ impl Switch {
         let queues = (0..config.num_ports)
             .map(|_| PortQueue::default())
             .collect();
-        let ingress_plan = flatten(&spec, &spec.ingress);
-        let egress_plan = flatten(&spec, &spec.egress);
+        let ingress_plan = bucket_by_stage(flatten(&spec, &spec.ingress), spec.ingress_stages);
+        let egress_plan = bucket_by_stage(flatten(&spec, &spec.egress), spec.egress_stages);
         Switch {
             spec,
             config,
@@ -213,6 +219,8 @@ impl Switch {
             qdepth_register: None,
             stats: SwitchStats::default(),
             telemetry: Telemetry::disabled(),
+            apply_scratch: Vec::new(),
+            hash_scratch: Vec::new(),
         }
     }
 
@@ -480,27 +488,35 @@ impl Switch {
         }
         let stage = exec.next_stage;
         exec.next_stage += 1;
+        // Collect the tables to apply at this stage whose guards pass. All
+        // guards are evaluated against the pre-stage PHV (before any table
+        // at this stage runs), so the buffer is filled first. The buffer is
+        // switch-owned and reused across packets — no per-stage allocation.
+        let mut to_apply = std::mem::take(&mut self.apply_scratch);
+        to_apply.clear();
         let plan = match exec.pipeline {
             Pipeline::Ingress => &self.ingress_plan,
             Pipeline::Egress => &self.egress_plan,
         };
-        // Collect the tables to apply at this stage whose guards pass.
-        let to_apply: Vec<TableId> = plan
-            .iter()
-            .filter(|g| g.stage == stage)
-            .filter(|g| {
-                g.guards
+        if let Some(bucket) = plan.get(stage as usize) {
+            to_apply.extend(
+                bucket
                     .iter()
-                    .all(|(cond, pol)| eval_bool(&self.spec, &exec.phv, cond) == *pol)
-            })
-            .map(|g| g.table)
-            .collect();
-        for tid in to_apply {
+                    .filter(|g| {
+                        g.guards
+                            .iter()
+                            .all(|(cond, pol)| eval_bool(&self.spec, &exec.phv, cond) == *pol)
+                    })
+                    .map(|g| g.table),
+            );
+        }
+        for &tid in &to_apply {
             self.apply_table(tid, &mut exec.phv);
             if exec.phv.dropped {
-                return;
+                break;
             }
         }
+        self.apply_scratch = to_apply;
     }
 
     /// Run a full pipeline over a PHV (fast path for tests/benches).
@@ -533,11 +549,30 @@ impl Switch {
     /// Execute an action body against a PHV.
     pub fn run_action(&mut self, action: ActionId, data: &[Value], phv: &mut Phv) {
         // Split borrows: the spec (action bodies, widths, calcs) is read-only
-        // while the register file is mutated — no per-packet cloning.
+        // while the register file and the hash scratch are mutated — no
+        // per-packet cloning or allocation.
         let spec = &self.spec;
         let registers = &mut self.registers;
+        let hash_scratch = &mut self.hash_scratch;
         for prim in &spec.actions[action.0 as usize].body {
-            run_primitive(spec, registers, prim, data, phv);
+            run_primitive(spec, registers, hash_scratch, prim, data, phv);
+        }
+    }
+
+    /// Publish per-table lookup/hit counters as telemetry gauges (no-op on
+    /// a disabled handle). Called explicitly — e.g. by the bench/figures
+    /// profiling paths — rather than per packet, so the hot path stays free
+    /// of telemetry work and existing golden traces are unaffected.
+    pub fn publish_table_stats(&self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        for (t, tspec) in self.tables.iter().zip(self.spec.tables.iter()) {
+            let name = &tspec.name;
+            self.telemetry
+                .gauge_set(&format!("table.{name}.lookups"), t.lookups as i128);
+            self.telemetry
+                .gauge_set(&format!("table.{name}.hits"), t.hits as i128);
         }
     }
 
@@ -684,6 +719,7 @@ fn eval_operand(op: &ROperand, data: &[Value], phv: &Phv) -> Value {
 fn run_primitive(
     spec: &DataPlaneSpec,
     registers: &mut [RegisterArray],
+    hash_scratch: &mut Vec<Value>,
     prim: &RPrimitive,
     data: &[Value],
     phv: &mut Phv,
@@ -761,8 +797,9 @@ fn run_primitive(
             size,
         } => {
             let c = &spec.calcs[calc.0 as usize];
-            let inputs: Vec<Value> = c.inputs.iter().map(|f| phv.get(*f)).collect();
-            let h = hash::compute(c.algorithm, &inputs, c.output_width);
+            hash_scratch.clear();
+            hash_scratch.extend(c.inputs.iter().map(|f| phv.get(*f)));
+            let h = hash::compute(c.algorithm, hash_scratch, c.output_width);
             let base = ev(base, phv);
             let size = ev(size, phv).bits().max(1);
             let w = spec.field_width(*dst);
@@ -770,6 +807,19 @@ fn run_primitive(
             phv.set(*dst, v);
         }
     }
+}
+
+/// Group flattened applies by stage; applies whose stage is out of range
+/// for the pipeline's stage count keep their own (never-executed) bucket,
+/// matching the old filter-by-stage behavior.
+fn bucket_by_stage(plan: Vec<GuardedApply>, stages: u32) -> Vec<Vec<GuardedApply>> {
+    let max_stage = plan.iter().map(|g| g.stage + 1).max().unwrap_or(0);
+    let mut buckets: Vec<Vec<GuardedApply>> = Vec::new();
+    buckets.resize_with(stages.max(max_stage) as usize, Vec::new);
+    for g in plan {
+        buckets[g.stage as usize].push(g);
+    }
+    buckets
 }
 
 /// Flatten control statements into guarded applies with their stages.

@@ -19,12 +19,35 @@
 //! layers never insert duplicate physical keys (expansion makes keys
 //! unique per vv/selector), so the difference is only observable through
 //! the raw driver API.
+//!
+//! # Lookup fast paths
+//!
+//! Each table keeps an index sized to its match kinds, so per-packet match
+//! cost scales with the candidate set, not the table size:
+//!
+//! * exact-only tables: a hash map from key bits to entry index (O(1)),
+//! * single-LPM tables (one `lpm` field, rest `exact`): per-prefix-length
+//!   hash buckets probed longest-first; the first populated bucket holds
+//!   the winner because prefix length dominates priority in the winner
+//!   ordering,
+//! * anything else (ternary, multi-LPM): entries pre-sorted by descending
+//!   `(prefix_sum, priority, oldest-first)` precedence with per-field
+//!   care-bits (`value & mask == target` rows) precomputed, so the scan
+//!   early-exits at the first match.
+//!
+//! All indexes are pure accelerators: the winner is identical to a linear
+//! scan with the `(prefix, priority, Reverse(seq))` ordering (property-
+//! tested in `tests/`), and nothing about the virtual-clock cost model
+//! changes. Lookups also reuse a per-table scratch buffer instead of
+//! allocating per packet, and hits hand out `Rc<[Value]>` action data
+//! instead of cloning a `Vec`.
 
 use crate::phv::Phv;
 use crate::spec::{ActionId, TableSpec};
 use p4_ast::{MatchKind, Value};
 use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
 
 /// Opaque handle to an installed entry, unique within a table for the
 /// lifetime of the switch.
@@ -65,6 +88,41 @@ impl KeyField {
             _ => 0,
         }
     }
+
+    /// Care-bits row `(mask, target)` for this key field over a field of
+    /// `width` bits: the field value `f` (already static-masked, `< 2^width`)
+    /// matches iff `f & mask == target`.
+    ///
+    /// A `target` with bits outside `mask` can never match — that encodes
+    /// the bit-for-bit semantics for values wider than the field (exact
+    /// compares raw bits; LPM compares the full shifted pattern).
+    fn care_bits(&self, width: u16) -> (u128, u128) {
+        match self {
+            KeyField::Exact(v) => (!0u128, v.bits()),
+            KeyField::Ternary { value, mask } => (mask.bits(), value.bits() & mask.bits()),
+            KeyField::Lpm { value, prefix_len } => {
+                if *prefix_len == 0 {
+                    (0, 0)
+                } else {
+                    let shift = u32::from(width.saturating_sub(*prefix_len));
+                    let mask = prefix_mask(width, *prefix_len);
+                    // Keep pattern bits above the field width: they make the
+                    // row unmatchable, same as `matches_prefix`.
+                    (mask, (value.bits() >> shift) << shift)
+                }
+            }
+        }
+    }
+}
+
+/// Mask selecting the top `prefix_len` bits of a `width`-bit field.
+fn prefix_mask(width: u16, prefix_len: u16) -> u128 {
+    if prefix_len == 0 {
+        return 0;
+    }
+    let p = prefix_len.min(width);
+    let ones = if p >= 128 { !0u128 } else { (1u128 << p) - 1 };
+    ones << u32::from(width - p)
 }
 
 /// An installed table entry.
@@ -74,7 +132,7 @@ pub struct Entry {
     pub key: Vec<KeyField>,
     pub priority: u32,
     pub action: ActionId,
-    pub action_data: Vec<Value>,
+    pub action_data: Rc<[Value]>,
     /// Insertion sequence for deterministic tie-breaks.
     seq: u64,
 }
@@ -117,20 +175,109 @@ impl fmt::Display for TableError {
 
 impl std::error::Error for TableError {}
 
+/// Which accelerator structure a table uses (derived from the key spec).
+#[derive(Clone, Debug)]
+enum Index {
+    /// All-exact key: hash map from key bits to entry index. Duplicate keys
+    /// resolve to the newest entry (insert overwrites).
+    Exact(HashMap<Vec<u128>, usize>),
+    /// Exactly one `lpm` field, all others `exact`: per-prefix-length hash
+    /// buckets, probed longest prefix first.
+    Lpm(LpmIndex),
+    /// General case (ternary or several LPM fields): entries in descending
+    /// precedence order with precomputed care-bits rows.
+    Scan(ScanIndex),
+}
+
+#[derive(Clone, Debug)]
+struct LpmIndex {
+    /// Position of the `lpm` field in the key.
+    lpm_pos: usize,
+    /// Spec width of the `lpm` field.
+    width: u16,
+    /// Levels sorted by descending `prefix_len`; each maps the key bits
+    /// (exact fields raw, LPM field masked to the prefix) to the entry
+    /// indices carrying that key, sorted best-first by
+    /// `(priority desc, seq asc)`.
+    levels: Vec<LpmLevel>,
+}
+
+#[derive(Clone, Debug)]
+struct LpmLevel {
+    prefix_len: u16,
+    mask: u128,
+    buckets: HashMap<Vec<u128>, Vec<usize>>,
+}
+
+/// Precedence key for scan-ordered entries: higher sorts first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Prec {
+    prefix: u32,
+    priority: u32,
+    seq: u64,
+}
+
+impl Prec {
+    fn rank(&self) -> (u32, u32, std::cmp::Reverse<u64>) {
+        (self.prefix, self.priority, std::cmp::Reverse(self.seq))
+    }
+}
+
+impl PartialOrd for Prec {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Prec {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rank().cmp(&other.rank())
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct ScanIndex {
+    /// Rows in descending precedence order; the first matching row wins.
+    order: Vec<ScanRow>,
+}
+
+#[derive(Clone, Debug)]
+struct ScanRow {
+    /// Index into `Table::entries`.
+    idx: usize,
+    prec: Prec,
+    /// Per-field `(mask, target)` care-bits: the row matches iff every
+    /// field value satisfies `f & mask == target`.
+    rows: Box<[(u128, u128)]>,
+}
+
+impl ScanRow {
+    #[inline]
+    fn matches(&self, field_bits: &[u128]) -> bool {
+        self.rows
+            .iter()
+            .zip(field_bits.iter())
+            .all(|((mask, target), f)| f & mask == *target)
+    }
+}
+
 /// A runtime table instance.
 #[derive(Clone, Debug)]
 pub struct Table {
-    /// Entries in insertion order; matching scans and picks the winner.
+    /// Entries in insertion order (the driver-visible view).
     entries: Vec<Entry>,
-    /// Exact-only tables additionally keep a hash index for O(1) lookup.
-    exact_index: Option<HashMap<Vec<u128>, usize>>,
-    default_action: Option<(ActionId, Vec<Value>)>,
+    index: Index,
+    default_action: Option<(ActionId, Rc<[Value]>)>,
     next_handle: u64,
     next_seq: u64,
     capacity: u32,
     /// Lookup and hit/miss counters (for stats and tests).
     pub lookups: u64,
     pub hits: u64,
+    /// Reusable per-lookup buffer of static-masked field bits.
+    scratch_bits: Vec<u128>,
+    /// Reusable probe-key buffer for the LPM index.
+    scratch_key: Vec<u128>,
 }
 
 /// The outcome of a table lookup.
@@ -139,28 +286,42 @@ pub enum Lookup {
     Hit {
         handle: EntryHandle,
         action: ActionId,
-        action_data: Vec<Value>,
+        action_data: Rc<[Value]>,
     },
     Default {
         action: ActionId,
-        action_data: Vec<Value>,
+        action_data: Rc<[Value]>,
     },
     Miss,
 }
 
 impl Table {
     pub fn new(spec: &TableSpec) -> Self {
-        let exact_only =
-            !spec.key.is_empty() && spec.key.iter().all(|k| k.kind == MatchKind::Exact);
+        let index = if !spec.key.is_empty() && spec.key.iter().all(|k| k.kind == MatchKind::Exact) {
+            Index::Exact(HashMap::new())
+        } else if let Some(lpm_pos) = single_lpm_pos(spec) {
+            Index::Lpm(LpmIndex {
+                lpm_pos,
+                width: spec.key[lpm_pos].width,
+                levels: Vec::new(),
+            })
+        } else {
+            Index::Scan(ScanIndex::default())
+        };
         Table {
             entries: Vec::new(),
-            exact_index: exact_only.then(HashMap::new),
-            default_action: spec.default_action.clone(),
+            index,
+            default_action: spec
+                .default_action
+                .as_ref()
+                .map(|(a, d)| (*a, Rc::from(d.as_slice()))),
             next_handle: 1,
             next_seq: 0,
             capacity: spec.size,
             lookups: 0,
             hits: 0,
+            scratch_bits: Vec::new(),
+            scratch_key: Vec::new(),
         }
     }
 
@@ -180,12 +341,12 @@ impl Table {
         self.entries.iter()
     }
 
-    pub fn default_action(&self) -> Option<&(ActionId, Vec<Value>)> {
+    pub fn default_action(&self) -> Option<&(ActionId, Rc<[Value]>)> {
         self.default_action.as_ref()
     }
 
     pub fn set_default(&mut self, action: ActionId, data: Vec<Value>) {
-        self.default_action = Some((action, data));
+        self.default_action = Some((action, Rc::from(data)));
     }
 
     fn validate_key(&self, spec: &TableSpec, key: &[KeyField]) -> Result<(), TableError> {
@@ -254,16 +415,20 @@ impl Table {
         self.next_handle += 1;
         let seq = self.next_seq;
         self.next_seq += 1;
-        if let Some(index) = &mut self.exact_index {
-            let k = exact_key_bits(&key);
-            index.insert(k, self.entries.len());
+        let idx = self.entries.len();
+        match &mut self.index {
+            Index::Exact(map) => {
+                map.insert(exact_key_bits(&key), idx);
+            }
+            Index::Lpm(lpm) => lpm.insert(&key, priority, seq, idx, &self.entries),
+            Index::Scan(scan) => scan.insert(spec, &key, priority, seq, idx),
         }
         self.entries.push(Entry {
             handle,
             key,
             priority,
             action,
-            action_data,
+            action_data: Rc::from(action_data),
             seq,
         });
         Ok(handle)
@@ -286,11 +451,13 @@ impl Table {
             .find(|e| e.handle == handle)
             .ok_or(TableError::UnknownHandle(handle))?;
         e.action = action;
-        e.action_data = action_data;
+        e.action_data = Rc::from(action_data);
         Ok(())
     }
 
-    /// Remove an entry.
+    /// Remove an entry. The index is patched incrementally: only the
+    /// displaced positions (entries after the removed one) are shifted,
+    /// never rebuilt from scratch.
     pub fn del_entry(&mut self, handle: EntryHandle) -> Result<Entry, TableError> {
         let idx = self
             .entries
@@ -298,13 +465,36 @@ impl Table {
             .position(|e| e.handle == handle)
             .ok_or(TableError::UnknownHandle(handle))?;
         let e = self.entries.remove(idx);
-        if let Some(index) = &mut self.exact_index {
-            // Rebuild the displaced indexes (deletion is rare relative to
-            // lookups).
-            index.clear();
-            for (i, e) in self.entries.iter().enumerate() {
-                index.insert(exact_key_bits(&e.key), i);
+        match &mut self.index {
+            Index::Exact(map) => {
+                let bits = exact_key_bits(&e.key);
+                if map.get(&bits) == Some(&idx) {
+                    // If a shadowed duplicate of the same key remains, it
+                    // becomes visible again (newest survivor wins, matching
+                    // the old full-rebuild behavior).
+                    match self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, o)| exact_key_bits(&o.key) == bits)
+                        .max_by_key(|(_, o)| o.seq)
+                    {
+                        Some((i, _)) => {
+                            map.insert(bits, i);
+                        }
+                        None => {
+                            map.remove(&bits);
+                        }
+                    }
+                }
+                for v in map.values_mut() {
+                    if *v > idx {
+                        *v -= 1;
+                    }
+                }
             }
+            Index::Lpm(lpm) => lpm.remove(&e.key, idx),
+            Index::Scan(scan) => scan.remove(idx),
         }
         Ok(e)
     }
@@ -314,83 +504,47 @@ impl Table {
         self.lookups += 1;
         if spec.key.is_empty() {
             // Keyless tables always run their default action.
-            return match &self.default_action {
-                Some((a, d)) => Lookup::Default {
-                    action: *a,
-                    action_data: d.clone(),
-                },
-                None => Lookup::Miss,
+            return self.default_lookup();
+        }
+
+        // Static-masked field bits, reusing the table-owned scratch buffer.
+        self.scratch_bits.clear();
+        for k in &spec.key {
+            let v = phv.get(k.field);
+            let b = match k.static_mask {
+                Some(m) => v.bits() & m.bits(),
+                None => v.bits(),
+            };
+            self.scratch_bits.push(b);
+        }
+
+        let winner: Option<usize> = match &self.index {
+            Index::Exact(map) => map.get(self.scratch_bits.as_slice()).copied(),
+            Index::Lpm(lpm) => lpm.probe(&self.scratch_bits, &mut self.scratch_key),
+            Index::Scan(scan) => scan
+                .order
+                .iter()
+                .find(|row| row.matches(&self.scratch_bits))
+                .map(|row| row.idx),
+        };
+
+        if let Some(i) = winner {
+            let e = &self.entries[i];
+            self.hits += 1;
+            return Lookup::Hit {
+                handle: e.handle,
+                action: e.action,
+                action_data: Rc::clone(&e.action_data),
             };
         }
+        self.default_lookup()
+    }
 
-        let field_vals: Vec<Value> = spec
-            .key
-            .iter()
-            .map(|k| {
-                let v = phv.get(k.field);
-                match k.static_mask {
-                    Some(m) => v.and(m),
-                    None => v,
-                }
-            })
-            .collect();
-
-        // Fast path for exact-only tables.
-        if let Some(index) = &self.exact_index {
-            let bits: Vec<u128> = field_vals.iter().map(|v| v.bits()).collect();
-            if let Some(&i) = index.get(&bits) {
-                let e = &self.entries[i];
-                self.hits += 1;
-                return Lookup::Hit {
-                    handle: e.handle,
-                    action: e.action,
-                    action_data: e.action_data.clone(),
-                };
-            }
-        } else {
-            let mut best: Option<&Entry> = None;
-            let mut best_prefix: u32 = 0;
-            for e in &self.entries {
-                let all = e
-                    .key
-                    .iter()
-                    .zip(spec.key.iter())
-                    .zip(field_vals.iter())
-                    .all(|((kf, ks), fv)| {
-                        // static mask was applied to fv already
-                        let _ = ks;
-                        kf.matches(*fv, None)
-                    });
-                if !all {
-                    continue;
-                }
-                let prefix: u32 = e.key.iter().map(|k| u32::from(k.prefix_len())).sum();
-                let better = match best {
-                    None => true,
-                    Some(b) => {
-                        (prefix, e.priority, std::cmp::Reverse(e.seq))
-                            > (best_prefix, b.priority, std::cmp::Reverse(b.seq))
-                    }
-                };
-                if better {
-                    best = Some(e);
-                    best_prefix = prefix;
-                }
-            }
-            if let Some(e) = best {
-                self.hits += 1;
-                return Lookup::Hit {
-                    handle: e.handle,
-                    action: e.action,
-                    action_data: e.action_data.clone(),
-                };
-            }
-        }
-
+    fn default_lookup(&self) -> Lookup {
         match &self.default_action {
             Some((a, d)) => Lookup::Default {
                 action: *a,
-                action_data: d.clone(),
+                action_data: Rc::clone(d),
             },
             None => Lookup::Miss,
         }
@@ -413,6 +567,211 @@ impl Table {
                 },
             })
             .collect()
+    }
+
+    /// Reference linear-scan lookup (the pre-index semantics). Kept for the
+    /// differential property tests and the bench harness baseline; must
+    /// always agree with [`Table::lookup`], including the exact-only
+    /// duplicate-key rule (newest entry wins — see the module docs).
+    pub fn lookup_linear(&self, spec: &TableSpec, phv: &Phv) -> Lookup {
+        if spec.key.is_empty() {
+            return self.default_lookup();
+        }
+        let field_vals: Vec<Value> = spec
+            .key
+            .iter()
+            .map(|k| {
+                let v = phv.get(k.field);
+                match k.static_mask {
+                    Some(m) => v.and(m),
+                    None => v,
+                }
+            })
+            .collect();
+        if spec.key.iter().all(|k| k.kind == MatchKind::Exact) {
+            let winner = self
+                .entries
+                .iter()
+                .filter(|e| {
+                    e.key
+                        .iter()
+                        .zip(field_vals.iter())
+                        .all(|(kf, fv)| kf.matches(*fv, None))
+                })
+                .max_by_key(|e| e.seq);
+            if let Some(e) = winner {
+                return Lookup::Hit {
+                    handle: e.handle,
+                    action: e.action,
+                    action_data: Rc::clone(&e.action_data),
+                };
+            }
+            return self.default_lookup();
+        }
+        let mut best: Option<&Entry> = None;
+        let mut best_prefix: u32 = 0;
+        for e in &self.entries {
+            let all = e
+                .key
+                .iter()
+                .zip(field_vals.iter())
+                .all(|(kf, fv)| kf.matches(*fv, None));
+            if !all {
+                continue;
+            }
+            let prefix: u32 = e.key.iter().map(|k| u32::from(k.prefix_len())).sum();
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    (prefix, e.priority, std::cmp::Reverse(e.seq))
+                        > (best_prefix, b.priority, std::cmp::Reverse(b.seq))
+                }
+            };
+            if better {
+                best = Some(e);
+                best_prefix = prefix;
+            }
+        }
+        if let Some(e) = best {
+            return Lookup::Hit {
+                handle: e.handle,
+                action: e.action,
+                action_data: Rc::clone(&e.action_data),
+            };
+        }
+        self.default_lookup()
+    }
+}
+
+/// Position of the single `lpm` key field if every other field is `exact`.
+fn single_lpm_pos(spec: &TableSpec) -> Option<usize> {
+    let mut pos = None;
+    for (i, k) in spec.key.iter().enumerate() {
+        match k.kind {
+            MatchKind::Lpm if pos.is_none() => pos = Some(i),
+            MatchKind::Exact => {}
+            _ => return None,
+        }
+    }
+    pos
+}
+
+impl LpmIndex {
+    /// Probe key for an entry: exact fields raw, the LPM field reduced to
+    /// its prefix bits (keeping out-of-width pattern bits, which makes the
+    /// entry unmatchable — same as `matches_prefix`).
+    fn entry_key(&self, key: &[KeyField], prefix_len: u16) -> Vec<u128> {
+        key.iter()
+            .enumerate()
+            .map(|(i, kf)| match kf {
+                KeyField::Exact(v) => v.bits(),
+                KeyField::Lpm { value, .. } => {
+                    if prefix_len == 0 {
+                        0
+                    } else {
+                        let shift = u32::from(self.width.saturating_sub(prefix_len));
+                        (value.bits() >> shift) << shift
+                    }
+                }
+                KeyField::Ternary { .. } => unreachable!("ternary field {i} in LPM index"),
+            })
+            .collect()
+    }
+
+    fn insert(&mut self, key: &[KeyField], priority: u32, seq: u64, idx: usize, entries: &[Entry]) {
+        let prefix_len = key[self.lpm_pos].prefix_len();
+        let bits = self.entry_key(key, prefix_len);
+        let level_pos = match self
+            .levels
+            .binary_search_by(|l| prefix_len.cmp(&l.prefix_len))
+        {
+            Ok(p) => p,
+            Err(p) => {
+                self.levels.insert(
+                    p,
+                    LpmLevel {
+                        prefix_len,
+                        mask: prefix_mask(self.width, prefix_len),
+                        buckets: HashMap::new(),
+                    },
+                );
+                p
+            }
+        };
+        let bucket = self.levels[level_pos].buckets.entry(bits).or_default();
+        // Keep best-first: (priority desc, seq asc). `seq` is unique, so the
+        // position is total-ordered.
+        let pos = bucket.partition_point(|&other| {
+            let o = &entries[other];
+            (o.priority, std::cmp::Reverse(o.seq)) > (priority, std::cmp::Reverse(seq))
+        });
+        bucket.insert(pos, idx);
+    }
+
+    fn remove(&mut self, key: &[KeyField], idx: usize) {
+        let prefix_len = key[self.lpm_pos].prefix_len();
+        let bits = self.entry_key(key, prefix_len);
+        if let Some(level_pos) = self.levels.iter().position(|l| l.prefix_len == prefix_len) {
+            let level = &mut self.levels[level_pos];
+            if let Some(bucket) = level.buckets.get_mut(&bits) {
+                bucket.retain(|&i| i != idx);
+                if bucket.is_empty() {
+                    level.buckets.remove(&bits);
+                }
+            }
+            if level.buckets.is_empty() {
+                self.levels.remove(level_pos);
+            }
+        }
+        for level in &mut self.levels {
+            for bucket in level.buckets.values_mut() {
+                for v in bucket.iter_mut() {
+                    if *v > idx {
+                        *v -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Longest-prefix-first probe; the first populated bucket's best entry
+    /// is the overall winner (prefix length dominates priority).
+    fn probe(&self, field_bits: &[u128], scratch_key: &mut Vec<u128>) -> Option<usize> {
+        scratch_key.clear();
+        scratch_key.extend_from_slice(field_bits);
+        for level in &self.levels {
+            scratch_key[self.lpm_pos] = field_bits[self.lpm_pos] & level.mask;
+            if let Some(bucket) = level.buckets.get(scratch_key.as_slice()) {
+                return bucket.first().copied();
+            }
+        }
+        None
+    }
+}
+
+impl ScanIndex {
+    fn insert(&mut self, spec: &TableSpec, key: &[KeyField], priority: u32, seq: u64, idx: usize) {
+        let prec = Prec {
+            prefix: key.iter().map(|k| u32::from(k.prefix_len())).sum(),
+            priority,
+            seq,
+        };
+        let rows: Box<[(u128, u128)]> = key
+            .iter()
+            .zip(spec.key.iter())
+            .map(|(kf, ks)| kf.care_bits(ks.width))
+            .collect();
+        let pos = self.order.partition_point(|row| row.prec > prec);
+        self.order.insert(pos, ScanRow { idx, prec, rows });
+    }
+
+    fn remove(&mut self, idx: usize) {
+        self.order.retain(|row| row.idx != idx);
+        for row in &mut self.order {
+            if row.idx > idx {
+                row.idx -= 1;
+            }
+        }
     }
 }
 
@@ -629,6 +988,194 @@ mod tests {
         match t.lookup(&spec, &phv_with(&[0x0a990105])) {
             Lookup::Hit { action, .. } => assert_eq!(action, ActionId(0)),
             other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lpm_del_then_fallback_to_shorter_prefix() {
+        let mut spec = mkspec(&[MatchKind::Lpm]);
+        remap(&mut spec, INTR_COUNT);
+        let mut t = Table::new(&spec);
+        let h8 = t
+            .add_entry(
+                &spec,
+                vec![KeyField::Lpm {
+                    value: Value::new(0x0a000000, 32),
+                    prefix_len: 8,
+                }],
+                0,
+                ActionId(0),
+                vec![],
+                0,
+            )
+            .unwrap();
+        let h24 = t
+            .add_entry(
+                &spec,
+                vec![KeyField::Lpm {
+                    value: Value::new(0x0a000100, 32),
+                    prefix_len: 24,
+                }],
+                0,
+                ActionId(1),
+                vec![],
+                0,
+            )
+            .unwrap();
+        t.del_entry(h24).unwrap();
+        match t.lookup(&spec, &phv_with(&[0x0a000105])) {
+            Lookup::Hit { handle, .. } => assert_eq!(handle, h8),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        t.del_entry(h8).unwrap();
+        assert!(matches!(
+            t.lookup(&spec, &phv_with(&[0x0a000105])),
+            Lookup::Default { .. }
+        ));
+    }
+
+    #[test]
+    fn lpm_with_exact_companion_field() {
+        let mut spec = mkspec(&[MatchKind::Exact, MatchKind::Lpm]);
+        remap(&mut spec, INTR_COUNT);
+        let mut t = Table::new(&spec);
+        let h = t
+            .add_entry(
+                &spec,
+                vec![
+                    KeyField::Exact(Value::new(4, 32)),
+                    KeyField::Lpm {
+                        value: Value::new(0x0a000000, 32),
+                        prefix_len: 16,
+                    },
+                ],
+                0,
+                ActionId(0),
+                vec![],
+                0,
+            )
+            .unwrap();
+        match t.lookup(&spec, &phv_with(&[4, 0x0a00ffff])) {
+            Lookup::Hit { handle, .. } => assert_eq!(handle, h),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        // Wrong exact companion → default.
+        assert!(matches!(
+            t.lookup(&spec, &phv_with(&[5, 0x0a00ffff])),
+            Lookup::Default { .. }
+        ));
+    }
+
+    #[test]
+    fn scan_del_shifts_displaced_indices() {
+        let mut spec = mkspec(&[MatchKind::Ternary]);
+        remap(&mut spec, INTR_COUNT);
+        spec.size = 8;
+        let mut t = Table::new(&spec);
+        let mk = |v: u128| KeyField::Ternary {
+            value: Value::new(v, 32),
+            mask: Value::ones(32),
+        };
+        let h1 = t
+            .add_entry(&spec, vec![mk(1)], 0, ActionId(0), vec![], 0)
+            .unwrap();
+        let h2 = t
+            .add_entry(&spec, vec![mk(2)], 0, ActionId(0), vec![], 0)
+            .unwrap();
+        let h3 = t
+            .add_entry(&spec, vec![mk(3)], 0, ActionId(1), vec![], 0)
+            .unwrap();
+        t.del_entry(h1).unwrap();
+        // h2/h3 shifted down by one; lookups must still resolve them.
+        match t.lookup(&spec, &phv_with(&[2])) {
+            Lookup::Hit { handle, .. } => assert_eq!(handle, h2),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        match t.lookup(&spec, &phv_with(&[3])) {
+            Lookup::Hit { handle, action, .. } => {
+                assert_eq!(handle, h3);
+                assert_eq!(action, ActionId(1));
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert!(matches!(
+            t.lookup(&spec, &phv_with(&[1])),
+            Lookup::Default { .. }
+        ));
+    }
+
+    #[test]
+    fn exact_del_restores_shadowed_duplicate() {
+        let mut spec = mkspec(&[MatchKind::Exact]);
+        remap(&mut spec, INTR_COUNT);
+        let mut t = Table::new(&spec);
+        let old = t
+            .add_entry(
+                &spec,
+                vec![KeyField::Exact(Value::new(7, 32))],
+                0,
+                ActionId(0),
+                vec![],
+                0,
+            )
+            .unwrap();
+        let newer = t
+            .add_entry(
+                &spec,
+                vec![KeyField::Exact(Value::new(7, 32))],
+                0,
+                ActionId(1),
+                vec![],
+                0,
+            )
+            .unwrap();
+        // Newest duplicate wins while installed.
+        match t.lookup(&spec, &phv_with(&[7])) {
+            Lookup::Hit { handle, .. } => assert_eq!(handle, newer),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        t.del_entry(newer).unwrap();
+        // The shadowed entry becomes visible again.
+        match t.lookup(&spec, &phv_with(&[7])) {
+            Lookup::Hit { handle, .. } => assert_eq!(handle, old),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn indexed_lookup_matches_linear_reference() {
+        let mut spec = mkspec(&[MatchKind::Ternary, MatchKind::Lpm]);
+        remap(&mut spec, INTR_COUNT);
+        spec.size = 64;
+        let mut t = Table::new(&spec);
+        // A deterministic little generator (no external rand).
+        let mut s: u64 = 0x9e3779b97f4a7c15;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for _ in 0..40 {
+            let key = vec![
+                KeyField::Ternary {
+                    value: Value::new(u128::from(next() & 0xffff), 32),
+                    mask: Value::new(u128::from(next() & 0xffff), 32),
+                },
+                KeyField::Lpm {
+                    value: Value::new(u128::from(next() as u32), 32),
+                    prefix_len: (next() % 33) as u16,
+                },
+            ];
+            let prio = (next() % 4) as u32;
+            t.add_entry(&spec, key, prio, ActionId(0), vec![], 0)
+                .unwrap();
+        }
+        for _ in 0..200 {
+            let phv = phv_with(&[u128::from(next() & 0xffff), u128::from(next() as u32)]);
+            let fast = t.lookup(&spec, &phv);
+            let slow = t.lookup_linear(&spec, &phv);
+            assert_eq!(fast, slow);
         }
     }
 

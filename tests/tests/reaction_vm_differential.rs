@@ -1,0 +1,263 @@
+//! Differential test for the reaction execution engines: the slot-resolved
+//! bytecode VM and the reference AST tree-walker must be observationally
+//! identical — same results, same malleable writes, same table ops, same
+//! errors (including `StepLimitExceeded` mid-loop and integer wrap-around)
+//! — on every reaction body shipped with the four use-case apps, plus
+//! crafted edge-case bodies.
+//!
+//! Statics are exercised by running each body several times against the
+//! same engine instances: any divergence in persistent `static` state shows
+//! up as diverging writes or results in later runs.
+
+use mantis::apps::programs::{DOS_P4R, ECMP_P4R, FAILOVER_P4R, RL_P4R};
+use mantis::p4r_lang::creact::parse_body;
+use mantis::reaction_interp::{CompiledReaction, InterpError, Interpreter, MockEnv};
+use mantis::{compile_source, CompilerOptions};
+
+/// Run `src` through both engines (fresh instance each) against
+/// identically seeded envs, `runs` times on the *same* instances/envs so
+/// statics and accumulated env state are covered, under the given step
+/// limit. Asserts identical results/errors and identical env state after
+/// every run.
+fn assert_parity(label: &str, src: &str, mk_env: impl Fn() -> MockEnv, step_limit: u64, runs: u32) {
+    let body = parse_body(src).unwrap_or_else(|e| panic!("{label}: body does not parse: {e}"));
+    let mut vm = CompiledReaction::compile(&body)
+        .unwrap_or_else(|e| panic!("{label}: body must compile to bytecode: {e}"));
+    let mut walker = Interpreter::new(body);
+    vm.step_limit = step_limit;
+    walker.step_limit = step_limit;
+
+    let mut env_vm = mk_env();
+    let mut env_walker = mk_env();
+    for run in 0..runs {
+        let r_vm = vm.run(&mut env_vm);
+        let r_walker = walker.run(&mut env_walker);
+        assert_eq!(
+            r_vm, r_walker,
+            "{label}: result diverged (run {run}, step limit {step_limit})"
+        );
+        assert_eq!(
+            env_vm.mbls, env_walker.mbls,
+            "{label}: malleable writes diverged (run {run}, step limit {step_limit})"
+        );
+        assert_eq!(
+            env_vm.table_ops, env_walker.table_ops,
+            "{label}: table ops diverged (run {run}, step limit {step_limit})"
+        );
+        assert_eq!(
+            env_vm.arrays, env_walker.arrays,
+            "{label}: array state diverged (run {run}, step limit {step_limit})"
+        );
+    }
+}
+
+/// Build a plausible env for a compiled app's reaction binding: measured
+/// fields become scalar args, measured registers become array args with
+/// the binding's index range, and every malleable value slot is writable
+/// at its declared init.
+fn app_envs(src: &str) -> Vec<(String, String, MockEnv)> {
+    let compiled = compile_source(src, &CompilerOptions::default()).expect("app compiles");
+    let iface = &compiled.iface;
+    iface
+        .reactions
+        .iter()
+        .map(|binding| {
+            let mut env = MockEnv::default();
+            for (i, f) in binding.fields.iter().enumerate() {
+                // Deterministic, width-respecting sample values.
+                let max = 1i128 << u32::from(f.width).min(30);
+                env.scalars
+                    .insert(f.binding.clone(), (i as i128 * 37 + 13) % max);
+            }
+            for (i, r) in binding.registers.iter().enumerate() {
+                let len = (r.hi - r.lo + 1) as usize;
+                let max = 1i128 << u32::from(r.width).min(30);
+                let vals: Vec<i128> = (0..len)
+                    .map(|j| ((i as i128 + 1) * 101 + j as i128 * 17) % max)
+                    .collect();
+                env.arrays
+                    .insert(r.binding.clone(), (i128::from(r.lo), vals));
+            }
+            for v in &iface.values {
+                env.mbls.insert(v.name.clone(), v.init.bits() as i128);
+            }
+            (binding.name.clone(), binding.body_src.clone(), env)
+        })
+        .collect()
+}
+
+#[test]
+fn app_reactions_match_walker() {
+    for (app, src) in [
+        ("dos", DOS_P4R),
+        ("failover", FAILOVER_P4R),
+        ("ecmp", ECMP_P4R),
+        ("rl", RL_P4R),
+    ] {
+        let reactions = app_envs(src);
+        assert!(!reactions.is_empty(), "{app}: no reactions compiled");
+        for (name, body_src, env) in &reactions {
+            let label = format!("{app}/{name}");
+            assert_parity(&label, body_src, || clone_env(env), 50_000_000, 4);
+        }
+    }
+}
+
+/// App reactions under tight step budgets: both engines must stop at the
+/// exact same point with the same `StepLimitExceeded` error and identical
+/// partial malleable writes — this pins the VM's tick accounting to the
+/// walker's, mid-loop included.
+#[test]
+fn app_reactions_match_walker_under_step_limits() {
+    for (app, src) in [
+        ("dos", DOS_P4R),
+        ("failover", FAILOVER_P4R),
+        ("ecmp", ECMP_P4R),
+        ("rl", RL_P4R),
+    ] {
+        for (name, body_src, env) in &app_envs(src) {
+            for limit in [1u64, 3, 9, 27, 81, 243, 729] {
+                let label = format!("{app}/{name}@{limit}");
+                assert_parity(&label, body_src, || clone_env(env), limit, 2);
+            }
+        }
+    }
+}
+
+fn clone_env(env: &MockEnv) -> MockEnv {
+    MockEnv {
+        scalars: env.scalars.clone(),
+        arrays: env.arrays.clone(),
+        mbls: env.mbls.clone(),
+        table_ops: env.table_ops.clone(),
+        builtins: env.builtins.clone(),
+    }
+}
+
+fn env_with_mbls(mbls: &[(&str, i128)]) -> MockEnv {
+    let mut env = MockEnv::default();
+    for (k, v) in mbls {
+        env.mbls.insert((*k).to_string(), *v);
+    }
+    env
+}
+
+#[test]
+fn step_limit_exceeded_is_identical() {
+    let src = "while (1) { ${x} = ${x} + 1; }";
+    let body = parse_body(src).unwrap();
+    let mut vm = CompiledReaction::compile(&body).unwrap();
+    let mut walker = Interpreter::new(body);
+    for limit in [1u64, 2, 10, 101, 1000] {
+        vm.step_limit = limit;
+        walker.step_limit = limit;
+        let mut env_vm = env_with_mbls(&[("x", 0)]);
+        let mut env_walker = env_with_mbls(&[("x", 0)]);
+        let r_vm = vm.run(&mut env_vm);
+        let r_walker = walker.run(&mut env_walker);
+        assert_eq!(r_vm, r_walker, "limit {limit}");
+        assert_eq!(
+            r_vm,
+            Err(InterpError::StepLimitExceeded(limit)),
+            "limit {limit}"
+        );
+        // Partial effects up to the abort point must agree too.
+        assert_eq!(env_vm.mbls, env_walker.mbls, "limit {limit}");
+    }
+}
+
+#[test]
+fn integer_wrap_around_is_identical() {
+    let src = r#"
+uint8_t a = 250;
+a += 10;
+${wrapped_u8} = a;
+int8_t b = 120;
+b += 10;
+${wrapped_i8} = b;
+int8_t c = -128;
+c--;
+${wrapped_dec} = c;
+uint16_t d = 65535;
+++d;
+${wrapped_u16} = d;
+"#;
+    assert_parity(
+        "wrap-around",
+        src,
+        || {
+            env_with_mbls(&[
+                ("wrapped_u8", 0),
+                ("wrapped_i8", 0),
+                ("wrapped_dec", 0),
+                ("wrapped_u16", 0),
+            ])
+        },
+        50_000_000,
+        2,
+    );
+}
+
+#[test]
+fn runtime_errors_are_identical() {
+    // Division by zero, deep in an expression.
+    let src_div = "${y} = 1 + 6 / (${z} - ${z});";
+    let body = parse_body(src_div).unwrap();
+    let mut vm = CompiledReaction::compile(&body).unwrap();
+    let mut walker = Interpreter::new(body);
+    let mut env_vm = env_with_mbls(&[("y", 0), ("z", 7)]);
+    let mut env_walker = env_with_mbls(&[("y", 0), ("z", 7)]);
+    let r_vm = vm.run(&mut env_vm);
+    let r_walker = walker.run(&mut env_walker);
+    assert_eq!(r_vm, r_walker);
+    assert_eq!(r_vm, Err(InterpError::DivisionByZero));
+    assert_eq!(env_vm.mbls, env_walker.mbls);
+
+    // Array index out of bounds on an env argument.
+    let src_oob = "${y} = qdepths[99];";
+    let body = parse_body(src_oob).unwrap();
+    let mut vm = CompiledReaction::compile(&body).unwrap();
+    let mut walker = Interpreter::new(body);
+    let mk = || {
+        let mut env = env_with_mbls(&[("y", 0)]);
+        env.arrays.insert("qdepths".into(), (0, vec![1, 2, 3, 4]));
+        env
+    };
+    let (mut env_vm, mut env_walker) = (mk(), mk());
+    let r_vm = vm.run(&mut env_vm);
+    let r_walker = walker.run(&mut env_walker);
+    assert_eq!(r_vm, r_walker);
+    assert!(matches!(r_vm, Err(InterpError::IndexOutOfBounds { .. })));
+
+    // Unknown variable.
+    let src_unk = "${y} = nowhere;";
+    let body = parse_body(src_unk).unwrap();
+    let mut vm = CompiledReaction::compile(&body).unwrap();
+    let mut walker = Interpreter::new(body);
+    let (mut env_vm, mut env_walker) = (env_with_mbls(&[("y", 0)]), env_with_mbls(&[("y", 0)]));
+    let r_vm = vm.run(&mut env_vm);
+    let r_walker = walker.run(&mut env_walker);
+    assert_eq!(r_vm, r_walker);
+    assert!(matches!(r_vm, Err(InterpError::UnknownVariable(_))));
+}
+
+#[test]
+fn statics_and_termination_are_identical() {
+    // A persistent counter plus top-level break-style early termination.
+    let src = r#"
+static uint32_t calls = 0;
+calls += 1;
+${count} = calls;
+if (calls > 2) {
+    return calls;
+}
+${after} = calls * 10;
+"#;
+    assert_parity(
+        "statics",
+        src,
+        || env_with_mbls(&[("count", 0), ("after", 0)]),
+        50_000_000,
+        5,
+    );
+}
