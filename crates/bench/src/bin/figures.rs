@@ -29,6 +29,7 @@ const KNOWN: &[&str] = &[
     "rl",
     "telemetry",
     "perf",
+    "faults",
 ];
 
 fn main() {
@@ -320,6 +321,30 @@ fn main() {
             r.reactions.vm_runs_per_sec,
             r.reactions.walker_runs_per_sec,
             r.reactions.speedup
+        );
+        println!();
+    }
+
+    if want("faults") {
+        let quick = std::env::var("MANTIS_BENCH_QUICK").is_ok_and(|v| v != "0");
+        let r = bench::faults::run(quick);
+        save("faults", &r);
+        println!(
+            "== Fault tolerance — recovery under injected faults ({}) ==",
+            if quick { "quick" } else { "full" }
+        );
+        println!(
+            "    failover reaction time: fault-free {:>6.1} µs   faulted {:>6.1} µs",
+            r.fault_free_reaction_ns as f64 / 1000.0,
+            r.faulted_reaction_ns as f64 / 1000.0
+        );
+        println!(
+            "    injected {} faults; {} retries, {} rollbacks; converged equal: {}",
+            r.faults_injected, r.retries, r.rollbacks, r.converged_equal
+        );
+        println!(
+            "    quarantine: {:?} ({} skips); healthy reaction ran {} more iterations",
+            r.quarantined, r.quarantine_skips, r.other_reaction_iterations
         );
         println!();
     }

@@ -20,6 +20,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod faults;
 pub mod perf;
 
 use mantis::apps::{baselines, dos, ecmp, failover, rl, table1 as t1};

@@ -11,11 +11,25 @@
 //! updateTable(memo, "p4r_init_", {config_ver : vv ^ 1});   // commit
 //! fill_shadow_tables(memo, vv); vv ^= 1;           // mirror
 //! ```
+//!
+//! The loop is fault-tolerant (DESIGN.md §8):
+//!
+//! * every driver op in the measure and apply paths is retried with
+//!   bounded exponential backoff on the virtual clock while the error is
+//!   transient;
+//! * the malleable-update phase is transactional — table shadows and
+//!   agent bookkeeping are checkpointed before the first driver op, and a
+//!   mid-apply failure rolls everything back (all-or-nothing);
+//! * each reaction runs behind a circuit breaker: a failing reaction is
+//!   contained (its partial staging discarded, the iteration continues)
+//!   and quarantined after `threshold` consecutive failures, with a
+//!   half-open probe after the cooldown.
 
 use crate::costmodel::CostModel;
 use crate::ctx::{CtxError, ReactionCtx, Snapshot};
 use crate::driver::MantisDriver;
 use crate::logical::{LogicalEntry, LogicalTable, Staged, StagedOp};
+use mantis_faults::{BreakerConfig, BreakerState, CircuitBreaker, FaultPlan, RetryPolicy};
 use mantis_telemetry::{scopes, Scope, Telemetry, TelemetryConfig};
 use p4_ast::MatchKind;
 use p4_ast::Value;
@@ -23,15 +37,48 @@ use p4r_compiler::entry::{expand_entry, ExpandError, PhysEntry, PhysKey};
 use p4r_compiler::iface::{ControlInterface, ReactionBinding};
 use p4r_compiler::Compiled;
 use reaction_interp::{CompiledReaction, InterpError, Interpreter};
-use rmt_sim::{Clock, DriverError, EntryHandle, KeyField, Nanos, Switch, TableId};
+use rmt_sim::{Clock, DriverError, EntryHandle, KeyField, Nanos, PortId, Switch, Table, TableId};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
+use std::ops::Range;
 use std::rc::Rc;
 
-/// Agent errors.
+/// Which part of the agent's lifecycle an error surfaced in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AgentPhase {
+    Prologue,
+    UserInit,
+    Measure,
+    React,
+    /// Prepare + commit of staged malleable updates.
+    Update,
+    /// Mirror of committed state onto the old primary copy.
+    Sync,
+}
+
+impl AgentPhase {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AgentPhase::Prologue => "prologue",
+            AgentPhase::UserInit => "user-init",
+            AgentPhase::Measure => "measure",
+            AgentPhase::React => "react",
+            AgentPhase::Update => "update",
+            AgentPhase::Sync => "sync",
+        }
+    }
+}
+
+impl fmt::Display for AgentPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What went wrong.
 #[derive(Debug)]
-pub enum AgentError {
+pub enum AgentErrorKind {
     Driver(DriverError),
     Expand(ExpandError),
     Ctx(CtxError),
@@ -42,46 +89,124 @@ pub enum AgentError {
     NotCompiledWithReaction(String),
 }
 
-impl fmt::Display for AgentError {
+impl fmt::Display for AgentErrorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AgentError::Driver(e) => write!(f, "driver: {e}"),
-            AgentError::Expand(e) => write!(f, "entry expansion: {e}"),
-            AgentError::Ctx(e) => write!(f, "reaction context: {e}"),
-            AgentError::Interp(e) => write!(f, "reaction execution: {e}"),
-            AgentError::UnknownReaction(n) => write!(f, "unknown reaction `{n}`"),
-            AgentError::UnknownTable(n) => write!(f, "unknown table `{n}`"),
-            AgentError::MissingEntry { table, handle } => {
+            AgentErrorKind::Driver(e) => write!(f, "driver: {e}"),
+            AgentErrorKind::Expand(e) => write!(f, "entry expansion: {e}"),
+            AgentErrorKind::Ctx(e) => write!(f, "reaction context: {e}"),
+            AgentErrorKind::Interp(e) => write!(f, "reaction execution: {e}"),
+            AgentErrorKind::UnknownReaction(n) => write!(f, "unknown reaction `{n}`"),
+            AgentErrorKind::UnknownTable(n) => write!(f, "unknown table `{n}`"),
+            AgentErrorKind::MissingEntry { table, handle } => {
                 write!(f, "no logical entry {handle} in `{table}`")
             }
-            AgentError::NotCompiledWithReaction(n) => {
+            AgentErrorKind::NotCompiledWithReaction(n) => {
                 write!(f, "program has no reaction named `{n}`")
             }
         }
     }
 }
 
+/// Agent errors: the failure [`kind`](AgentErrorKind) plus where it
+/// happened — the dialogue [`phase`](AgentPhase) and (inside the loop)
+/// the 0-based iteration number, both carried into `Display`.
+#[derive(Debug)]
+pub struct AgentError {
+    /// 0-based dialogue iteration the error surfaced in; `None` outside
+    /// the loop (prologue, registration, user init).
+    pub iteration: Option<u64>,
+    pub phase: Option<AgentPhase>,
+    pub kind: AgentErrorKind,
+}
+
+impl AgentError {
+    /// Would retrying plausibly succeed? True exactly for transient
+    /// injected driver faults; every other kind (logic errors, permanent
+    /// faults) is not retryable.
+    pub fn is_transient(&self) -> bool {
+        matches!(&self.kind, AgentErrorKind::Driver(e) if e.is_transient())
+    }
+
+    /// Annotate with a phase, keeping an earlier (more precise) one.
+    fn in_phase(mut self, phase: AgentPhase) -> Self {
+        if self.phase.is_none() {
+            self.phase = Some(phase);
+        }
+        self
+    }
+
+    /// Annotate with the dialogue iteration, keeping an earlier one.
+    fn at_iteration(mut self, iteration: u64) -> Self {
+        if self.iteration.is_none() {
+            self.iteration = Some(iteration);
+        }
+        self
+    }
+
+    fn unknown_table(name: &str) -> Self {
+        AgentErrorKind::UnknownTable(name.to_string()).into()
+    }
+
+    fn missing_entry(table: &str, handle: u64) -> Self {
+        AgentErrorKind::MissingEntry {
+            table: table.to_string(),
+            handle,
+        }
+        .into()
+    }
+}
+
+impl fmt::Display for AgentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.iteration, self.phase) {
+            (Some(i), Some(p)) => write!(f, "iteration {i}, {p} phase: {}", self.kind),
+            (None, Some(p)) => write!(f, "{p} phase: {}", self.kind),
+            _ => write!(f, "{}", self.kind),
+        }
+    }
+}
+
 impl std::error::Error for AgentError {}
 
+impl From<AgentErrorKind> for AgentError {
+    fn from(kind: AgentErrorKind) -> Self {
+        AgentError {
+            iteration: None,
+            phase: None,
+            kind,
+        }
+    }
+}
 impl From<DriverError> for AgentError {
     fn from(e: DriverError) -> Self {
-        AgentError::Driver(e)
+        AgentErrorKind::Driver(e).into()
     }
 }
 impl From<ExpandError> for AgentError {
     fn from(e: ExpandError) -> Self {
-        AgentError::Expand(e)
+        AgentErrorKind::Expand(e).into()
     }
 }
 impl From<CtxError> for AgentError {
     fn from(e: CtxError) -> Self {
-        AgentError::Ctx(e)
+        AgentErrorKind::Ctx(e).into()
     }
 }
 impl From<InterpError> for AgentError {
     fn from(e: InterpError) -> Self {
-        AgentError::Interp(e)
+        AgentErrorKind::Interp(e).into()
     }
+}
+
+/// One contained reaction failure (the iteration itself kept going).
+#[derive(Clone, Debug)]
+pub struct ReactionFailure {
+    pub name: String,
+    /// Rendered error (the reaction's partial staging was discarded).
+    pub error: String,
+    /// Did this failure trip the reaction's circuit breaker open?
+    pub quarantined: bool,
 }
 
 /// A native (Rust) reaction — the fast path the paper implements as
@@ -123,6 +248,60 @@ struct RegisteredReaction {
     name: String,
     binding: ReactionBinding,
     imp: ReactionImpl,
+    breaker: CircuitBreaker,
+}
+
+/// Which reaction staged which slice of the iteration's staged ops —
+/// used to attribute a mid-apply driver failure back to its reaction's
+/// circuit breaker.
+#[derive(Clone, Debug)]
+struct ReactionRange {
+    name: String,
+    table_ops: Range<usize>,
+    port_ops: Range<usize>,
+}
+
+/// Where inside the staged sequence an apply failure happened.
+#[derive(Clone, Copy, Debug)]
+enum Blame {
+    /// Not attributable to a single staged op (master flip, init writes).
+    None,
+    TableOp(usize),
+    PortOp(usize),
+}
+
+/// An apply-phase failure: the error plus breaker attribution.
+struct ApplyFailure {
+    err: AgentError,
+    blame: Blame,
+}
+
+impl ApplyFailure {
+    fn unblamed(err: AgentError) -> Self {
+        ApplyFailure {
+            err,
+            blame: Blame::None,
+        }
+    }
+
+    fn in_phase(mut self, phase: AgentPhase) -> Self {
+        self.err = self.err.in_phase(phase);
+        self
+    }
+}
+
+/// Checkpoints taken before the first driver op of a transactional
+/// apply: the touched tables' device shadows (handle-stable `Table`
+/// clones — the driver's software shadow) plus the agent bookkeeping
+/// they correspond to.
+struct Txn {
+    tables: Vec<(TableId, Table)>,
+    logical: Vec<(String, LogicalTable)>,
+    master_data: Vec<Value>,
+    vv: u8,
+    slots: HashMap<String, i128>,
+    extra_inits: Vec<ExtraInit>,
+    ports: Vec<(PortId, bool)>,
 }
 
 /// Control-plane cache for one measured register slice (§5.2): holds the
@@ -151,9 +330,10 @@ struct SlotLoc {
     width: u16,
 }
 
-/// Per-iteration timing report. A convenience copy of what the
-/// telemetry registry records: each field is also a
-/// `agent.<phase>_ns` histogram sample.
+/// Per-iteration report. Timing fields are a convenience copy of what
+/// the telemetry registry records (each is also a `agent.<phase>_ns`
+/// histogram sample); the fault-tolerance fields mirror the
+/// `agent.retries` / `agent.rollbacks` / `agent.quarantined` counters.
 #[derive(Clone, Debug, Default)]
 pub struct IterationReport {
     pub duration_ns: Nanos,
@@ -164,6 +344,14 @@ pub struct IterationReport {
     /// Mirror of committed state onto the old primary copy.
     pub sync_ns: Nanos,
     pub staged_table_ops: usize,
+    /// Driver-op retries performed this iteration (all levels).
+    pub retries: u32,
+    /// Transactional rollbacks of the apply phase this iteration.
+    pub rollbacks: u32,
+    /// Reactions skipped because their breaker was open.
+    pub quarantine_skips: usize,
+    /// Reactions that failed this iteration (contained, not fatal).
+    pub reaction_failures: Vec<ReactionFailure>,
 }
 
 /// Cumulative agent statistics, materialized from the telemetry
@@ -198,6 +386,13 @@ pub struct MantisAgent {
     snapshots: HashMap<String, Snapshot>,
     reactions: Vec<RegisteredReaction>,
     staged: Staged,
+    reaction_ranges: Vec<ReactionRange>,
+    retry: RetryPolicy,
+    breaker_cfg: BreakerConfig,
+    iteration_count: u64,
+    /// Set once any breaker ever trips; gates the degraded-mode gauges so
+    /// fault-free runs record nothing extra (telemetry determinism).
+    had_quarantine: bool,
     telemetry: Rc<Telemetry>,
     last_report: IterationReport,
     prologue_done: bool,
@@ -211,6 +406,34 @@ impl fmt::Debug for MantisAgent {
             .field("reactions", &self.reactions.len())
             .field("stats", &self.stats())
             .finish()
+    }
+}
+
+/// Run one driver op, retrying transient failures with bounded
+/// exponential backoff on the virtual clock. Free function so callers
+/// can hold disjoint borrows of other agent fields.
+fn retry_op<T>(
+    driver: &mut MantisDriver,
+    clock: &Clock,
+    tel: &Telemetry,
+    policy: RetryPolicy,
+    retries: &mut u32,
+    mut op: impl FnMut(&mut MantisDriver) -> Result<T, AgentError>,
+) -> Result<T, AgentError> {
+    let mut attempt = 0u32;
+    loop {
+        match op(driver) {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && policy.allows(attempt) => {
+                let backoff = policy.backoff(attempt);
+                attempt += 1;
+                *retries += 1;
+                tel.counter_add(scopes::CTR_RETRIES, 1);
+                tel.hist_record(scopes::HIST_RETRY_BACKOFF_NS, backoff);
+                clock.advance(backoff);
+            }
+            Err(e) => return Err(e),
+        }
     }
 }
 
@@ -235,13 +458,21 @@ impl MantisAgent {
             let sw = switch.borrow();
             let master = iface
                 .master_init()
-                .expect("compiled programs have a master init");
-            master_table = sw
-                .table_id(&master.table)
-                .expect("master init table missing from switch");
-            master_action = sw
-                .action_id(&master.action)
-                .expect("master init action missing from switch");
+                .expect("invariant: compiled programs always carry a master init");
+            master_table = sw.table_id(&master.table).unwrap_or_else(|_| {
+                panic!(
+                    "invariant: master init table `{}` must exist on the switch \
+                     the program was loaded onto",
+                    master.table
+                )
+            });
+            master_action = sw.action_id(&master.action).unwrap_or_else(|_| {
+                panic!(
+                    "invariant: master init action `{}` must exist on the switch \
+                     the program was loaded onto",
+                    master.action
+                )
+            });
 
             // Slot placement + initial values.
             let mut locs = HashMap::new();
@@ -301,9 +532,21 @@ impl MantisAgent {
                 if it.is_master {
                     continue;
                 }
+                let table_id = sw.table_id(&it.table).unwrap_or_else(|_| {
+                    panic!(
+                        "invariant: init table `{}` must exist on the switch",
+                        it.table
+                    )
+                });
+                let action = sw.action_id(&it.action).unwrap_or_else(|_| {
+                    panic!(
+                        "invariant: init action `{}` must exist on the switch",
+                        it.action
+                    )
+                });
                 extra_inits.push(ExtraInit {
-                    table_id: sw.table_id(&it.table).expect("extra init table missing"),
-                    action: sw.action_id(&it.action).expect("extra init action missing"),
+                    table_id,
+                    action,
                     data: extra_ids[i].clone(),
                     handles: [EntryHandle(0), EntryHandle(0)],
                 });
@@ -318,9 +561,9 @@ impl MantisAgent {
                 if t.name.starts_with("p4r_init") {
                     continue;
                 }
-                let id = sw
-                    .table_id(&t.name)
-                    .unwrap_or_else(|_| panic!("table `{}` missing from switch", t.name));
+                let id = sw.table_id(&t.name).unwrap_or_else(|_| {
+                    panic!("invariant: table `{}` must exist on the switch", t.name)
+                });
                 tables.insert(t.name.clone(), LogicalTable::new(t.name.clone(), id));
             }
         }
@@ -354,6 +597,11 @@ impl MantisAgent {
             snapshots: HashMap::new(),
             reactions: Vec::new(),
             staged: Staged::default(),
+            reaction_ranges: Vec::new(),
+            retry: RetryPolicy::default(),
+            breaker_cfg: BreakerConfig::default(),
+            iteration_count: 0,
+            had_quarantine: false,
             telemetry,
             last_report: IterationReport::default(),
             prologue_done: false,
@@ -438,18 +686,66 @@ impl MantisAgent {
         self.tables.get(table).map(|t| t.len())
     }
 
+    // -- fault-tolerance configuration ------------------------------------------
+
+    /// Install a fault plan on the driver (driver-op rules only; link
+    /// flaps are scheduled through `netsim::schedule_link_flaps`).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.driver.set_fault_plan(plan);
+    }
+
+    /// Replace the retry policy used for driver ops and apply attempts.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Replace the per-reaction circuit-breaker configuration. Existing
+    /// breakers are reset to closed.
+    pub fn set_breaker_config(&mut self, cfg: BreakerConfig) {
+        self.breaker_cfg = cfg;
+        for r in &mut self.reactions {
+            r.breaker = CircuitBreaker::new(cfg);
+        }
+    }
+
+    pub fn breaker_config(&self) -> BreakerConfig {
+        self.breaker_cfg
+    }
+
+    /// Breaker state of one registered reaction.
+    pub fn breaker_state(&self, name: &str) -> Option<BreakerState> {
+        self.reactions
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.breaker.state())
+    }
+
+    /// Names of reactions currently quarantined (breaker open, cooldown
+    /// not yet elapsed).
+    pub fn quarantined_reactions(&self) -> Vec<String> {
+        let now = self.clock.now();
+        self.reactions
+            .iter()
+            .filter(|r| r.breaker.is_quarantined(now))
+            .map(|r| r.name.clone())
+            .collect()
+    }
+
     // -- registration ----------------------------------------------------------
 
     /// Register a reaction to run its compiled C-like body in the
     /// interpreter.
     pub fn register_interpreted(&mut self, name: &str) -> Result<(), AgentError> {
-        let binding = self
-            .iface
-            .reaction(name)
-            .cloned()
-            .ok_or_else(|| AgentError::NotCompiledWithReaction(name.to_string()))?;
-        let body = p4r_lang::creact::parse_body(&binding.body_src)
-            .map_err(|e| AgentError::Interp(InterpError::Env(e.to_string())))?;
+        let binding = self.iface.reaction(name).cloned().ok_or_else(|| {
+            AgentError::from(AgentErrorKind::NotCompiledWithReaction(name.to_string()))
+        })?;
+        let body = p4r_lang::creact::parse_body(&binding.body_src).map_err(|e| {
+            AgentError::from(AgentErrorKind::Interp(InterpError::Env(e.to_string())))
+        })?;
         // Prefer the bytecode VM; fall back to the tree-walker for the
         // rare bodies the slot resolver cannot compile faithfully.
         let imp = match CompiledReaction::compile(&body) {
@@ -460,6 +756,7 @@ impl MantisAgent {
             name: name.to_string(),
             binding,
             imp,
+            breaker: CircuitBreaker::new(self.breaker_cfg),
         });
         Ok(())
     }
@@ -485,33 +782,36 @@ impl MantisAgent {
         name: &str,
         imp: Box<dyn NativeReaction>,
     ) -> Result<(), AgentError> {
-        let binding = self
-            .iface
-            .reaction(name)
-            .cloned()
-            .ok_or_else(|| AgentError::NotCompiledWithReaction(name.to_string()))?;
+        let binding = self.iface.reaction(name).cloned().ok_or_else(|| {
+            AgentError::from(AgentErrorKind::NotCompiledWithReaction(name.to_string()))
+        })?;
         self.reactions.push(RegisteredReaction {
             name: name.to_string(),
             binding,
             imp: ReactionImpl::Native(imp),
+            breaker: CircuitBreaker::new(self.breaker_cfg),
         });
         Ok(())
     }
 
     /// Swap a reaction implementation at runtime (the paper's dynamic
-    /// `.so` reload). `reset_state` clears interpreted statics.
+    /// `.so` reload). `reset_state` clears interpreted statics. The
+    /// reaction's breaker is reset: a reload is the operator's fix for a
+    /// quarantined reaction.
     pub fn swap_reaction(
         &mut self,
         name: &str,
         imp: Box<dyn NativeReaction>,
         _reset_state: bool,
     ) -> Result<(), AgentError> {
+        let cfg = self.breaker_cfg;
         let r = self
             .reactions
             .iter_mut()
             .find(|r| r.name == name)
-            .ok_or_else(|| AgentError::UnknownReaction(name.to_string()))?;
+            .ok_or_else(|| AgentError::from(AgentErrorKind::UnknownReaction(name.to_string())))?;
         r.imp = ReactionImpl::Native(imp);
+        r.breaker = CircuitBreaker::new(cfg);
         Ok(())
     }
 
@@ -520,6 +820,11 @@ impl MantisAgent {
     /// The prologue phase: precompute metadata, install static entries,
     /// initialize init tables, warm the driver memo.
     pub fn prologue(&mut self) -> Result<(), AgentError> {
+        self.prologue_inner()
+            .map_err(|e| e.in_phase(AgentPhase::Prologue))
+    }
+
+    fn prologue_inner(&mut self) -> Result<(), AgentError> {
         let switch = self.switch.clone();
         let mut sw = switch.borrow_mut();
 
@@ -570,6 +875,7 @@ impl MantisAgent {
     where
         F: FnOnce(&mut ReactionCtx<'_>) -> Result<(), CtxError>,
     {
+        self.reaction_ranges.clear();
         {
             let snapshot = Snapshot::default();
             let mut ctx = ReactionCtx {
@@ -586,10 +892,14 @@ impl MantisAgent {
                 // Discard partially staged effects: user initialization is
                 // all-or-nothing, like a reaction.
                 self.staged.clear();
-                return Err(e.into());
+                return Err(AgentError::from(e).in_phase(AgentPhase::UserInit));
             }
         }
-        self.apply_staged().map(|_| ())
+        let mut retries = 0u32;
+        let mut rollbacks = 0u32;
+        self.apply_staged(&mut retries, &mut rollbacks)
+            .map(|_| ())
+            .map_err(|e| e.in_phase(AgentPhase::UserInit))
     }
 
     // -- dialogue ---------------------------------------------------------------
@@ -597,8 +907,18 @@ impl MantisAgent {
     /// One iteration of the dialogue loop. Phases are recorded as
     /// `Scope::Agent` spans (measure → react → update → sync) and fed
     /// into the `agent.*` histograms/counters of the telemetry registry.
+    ///
+    /// Fault-tolerance contract: reaction failures are *contained* —
+    /// reported in [`IterationReport::reaction_failures`], counted
+    /// against the reaction's breaker, never fatal to the iteration. An
+    /// `Err` return means the measure or apply phase failed permanently;
+    /// in that case the device and agent state are those of the last
+    /// committed iteration (the transactional apply rolled back).
     pub fn dialogue_iteration(&mut self) -> Result<IterationReport, AgentError> {
+        let iter = self.iteration_count;
         let tel = self.telemetry.clone();
+        let mut retries = 0u32;
+        let mut rollbacks = 0u32;
         let t0 = self.clock.now();
         tel.span_begin(Scope::Agent, scopes::SPAN_ITERATION, t0);
 
@@ -606,30 +926,48 @@ impl MantisAgent {
         tel.span_begin(Scope::Agent, scopes::SPAN_MEASURE, t0);
         let frozen = self.mv;
         self.mv ^= 1;
-        self.write_master()?;
-        self.read_measurements(frozen)?;
+        let measured = self
+            .write_master(&mut retries)
+            .and_then(|()| self.read_measurements(frozen, &mut retries));
+        if let Err(e) = measured {
+            // Nothing malleable was touched; re-freeze the old copy so the
+            // device and agent agree again, then surface the error.
+            self.mv = frozen;
+            self.restore_master();
+            let t_err = self.clock.now();
+            tel.span_end(Scope::Agent, scopes::SPAN_MEASURE, t_err);
+            tel.span_end(Scope::Agent, scopes::SPAN_ITERATION, t_err);
+            return Err(e.in_phase(AgentPhase::Measure).at_iteration(iter));
+        }
         let t_measured = self.clock.now();
         tel.span_end(Scope::Agent, scopes::SPAN_MEASURE, t_measured);
 
         // ── run reactions against the frozen snapshot ──
+        // Failures are contained: the failing reaction's partial staging
+        // is discarded and its breaker advances; the iteration continues
+        // with whatever the healthy reactions staged.
         tel.span_begin(Scope::Agent, scopes::SPAN_REACT, t_measured);
-        if let Err(e) = self.run_reactions() {
-            // A failed reaction must not leave half its effects staged for
-            // a later commit — discard them (serializable all-or-nothing).
-            self.staged.clear();
-            let t_err = self.clock.now();
-            tel.span_end(Scope::Agent, scopes::SPAN_REACT, t_err);
-            tel.span_end(Scope::Agent, scopes::SPAN_ITERATION, t_err);
-            return Err(e);
-        }
+        let (reaction_failures, quarantine_skips) = self.run_reactions(iter);
         let t_reacted = self.clock.now();
         tel.span_end(Scope::Agent, scopes::SPAN_REACT, t_reacted);
 
-        // ── prepare / commit / mirror ──
+        // ── prepare / commit / mirror (transactional) ──
         let staged_ops = self.staged.table_ops.len();
-        let (update_ns, sync_ns) = self.apply_staged()?;
+        let applied = self.apply_staged(&mut retries, &mut rollbacks);
         let t1 = self.clock.now();
         tel.span_end(Scope::Agent, scopes::SPAN_ITERATION, t1);
+        let (update_ns, sync_ns) = match applied {
+            Ok(v) => v,
+            Err(e) => return Err(e.in_phase(AgentPhase::Update).at_iteration(iter)),
+        };
+        // The commit landed: the reactions that ran this iteration get
+        // their breaker success (a half-open probe closes here).
+        let ranges = std::mem::take(&mut self.reaction_ranges);
+        for rr in &ranges {
+            if let Some(r) = self.reactions.iter_mut().find(|r| r.name == rr.name) {
+                r.breaker.on_success();
+            }
+        }
 
         let report = IterationReport {
             duration_ns: t1 - t0,
@@ -638,7 +976,12 @@ impl MantisAgent {
             update_ns,
             sync_ns,
             staged_table_ops: staged_ops,
+            retries,
+            rollbacks,
+            quarantine_skips,
+            reaction_failures,
         };
+        self.iteration_count += 1;
         tel.counter_add(scopes::CTR_ITERATIONS, 1);
         tel.counter_add(scopes::CTR_BUSY_NS, i128::from(report.duration_ns));
         tel.counter_add(scopes::CTR_STAGED_TABLE_OPS, staged_ops as i128);
@@ -679,26 +1022,45 @@ impl MantisAgent {
         })
     }
 
-    fn write_master(&mut self) -> Result<(), AgentError> {
+    fn write_master(&mut self, retries: &mut u32) -> Result<(), AgentError> {
         let mut data = self.master_data.clone();
         data[0] = Value::new(u128::from(self.vv), 1);
         data[1] = Value::new(u128::from(self.mv), 1);
         self.master_data = data.clone();
         let switch = self.switch.clone();
         let mut sw = switch.borrow_mut();
-        self.driver.table_set_default(
-            &mut sw,
-            self.master_table,
-            self.master_action,
-            data,
-            true,
-        )?;
-        Ok(())
+        let (mt, ma) = (self.master_table, self.master_action);
+        retry_op(
+            &mut self.driver,
+            &self.clock,
+            &self.telemetry,
+            self.retry,
+            retries,
+            |d| {
+                d.table_set_default(&mut sw, mt, ma, data.clone(), true)
+                    .map_err(AgentError::from)
+            },
+        )
     }
 
-    fn read_measurements(&mut self, frozen: u8) -> Result<(), AgentError> {
+    /// Re-write the master init default from current agent state over a
+    /// fault-free recovery path (used after a failed measure flip).
+    fn restore_master(&mut self) {
+        self.driver.suspend_faults();
+        let mut scratch = 0u32;
+        let res = self.write_master(&mut scratch);
+        self.driver.resume_faults();
+        if let Err(e) = res {
+            // With faults suspended the master set_default has no failure
+            // mode left: the table/action were validated in `new`.
+            panic!("invariant: fault-free master restore failed: {e}");
+        }
+    }
+
+    fn read_measurements(&mut self, frozen: u8, retries: &mut u32) -> Result<(), AgentError> {
         let switch = self.switch.clone();
         let sw = switch.borrow();
+        let retry = self.retry;
         let reactions: Vec<(String, ReactionBinding)> = self
             .reactions
             .iter()
@@ -712,9 +1074,18 @@ impl MantisAgent {
             // Field arguments: packed-word cost, per-register raw reads.
             if !binding.fields.is_empty() {
                 let cost = self.driver.cost.field_read(binding.packed_words.max(1));
-                self.driver.spend_external(cost);
+                retry_op(
+                    &mut self.driver,
+                    &self.clock,
+                    &self.telemetry,
+                    retry,
+                    retries,
+                    |d| d.spend_external(cost).map_err(AgentError::from),
+                )?;
                 for mf in &binding.fields {
-                    let rid = sw.register_id(&mf.register).map_err(AgentError::Driver)?;
+                    let rid = sw
+                        .register_id(&mf.register)
+                        .map_err(|e| AgentError::from(AgentErrorKind::Driver(e)))?;
                     let v = sw
                         .register_read_range(rid, u32::from(frozen), u32::from(frozen))
                         .into_iter()
@@ -729,7 +1100,17 @@ impl MantisAgent {
                     // Externally fed register (e.g. TM queue depths): read
                     // the live values directly.
                     let rid = sw.register_id(&mr.register)?;
-                    let vals = self.driver.register_read_range(&sw, rid, mr.lo, mr.hi);
+                    let vals = retry_op(
+                        &mut self.driver,
+                        &self.clock,
+                        &self.telemetry,
+                        retry,
+                        retries,
+                        |d| {
+                            d.register_read_range(&sw, rid, mr.lo, mr.hi)
+                                .map_err(AgentError::from)
+                        },
+                    )?;
                     snap.arrays.insert(
                         mr.binding.clone(),
                         (
@@ -742,12 +1123,28 @@ impl MantisAgent {
                 let dup = sw.register_id(&mr.dup_register)?;
                 let tsr = sw.register_id(&mr.ts_register)?;
                 let base = u32::from(frozen) << mr.stride_log2;
-                let vals = self
-                    .driver
-                    .register_read_range(&sw, dup, base + mr.lo, base + mr.hi);
-                let tss = self
-                    .driver
-                    .register_read_range(&sw, tsr, base + mr.lo, base + mr.hi);
+                let vals = retry_op(
+                    &mut self.driver,
+                    &self.clock,
+                    &self.telemetry,
+                    retry,
+                    retries,
+                    |d| {
+                        d.register_read_range(&sw, dup, base + mr.lo, base + mr.hi)
+                            .map_err(AgentError::from)
+                    },
+                )?;
+                let tss = retry_op(
+                    &mut self.driver,
+                    &self.clock,
+                    &self.telemetry,
+                    retry,
+                    retries,
+                    |d| {
+                        d.register_read_range(&sw, tsr, base + mr.lo, base + mr.hi)
+                            .map_err(AgentError::from)
+                    },
+                )?;
                 let n = (mr.hi - mr.lo + 1) as usize;
                 let cache = self
                     .reg_caches
@@ -771,10 +1168,21 @@ impl MantisAgent {
         Ok(())
     }
 
-    fn run_reactions(&mut self) -> Result<(), AgentError> {
+    /// Run every registered reaction that its breaker allows. Returns the
+    /// contained failures and the number of quarantine skips.
+    fn run_reactions(&mut self, iter: u64) -> (Vec<ReactionFailure>, usize) {
+        self.reaction_ranges.clear();
         let mut reactions = std::mem::take(&mut self.reactions);
-        let mut result = Ok(());
+        let mut failures = Vec::new();
+        let mut skipped = 0usize;
         for r in &mut reactions {
+            let now = self.clock.now();
+            if !r.breaker.allow(now) {
+                skipped += 1;
+                self.telemetry.counter_add(scopes::CTR_QUARANTINE_SKIPS, 1);
+                continue;
+            }
+            let marks = self.staged.marks();
             let snapshot = self.snapshots.entry(r.name.clone()).or_default().clone();
             let mut ctx = ReactionCtx {
                 snapshot: &snapshot,
@@ -783,81 +1191,308 @@ impl MantisAgent {
                 tables: &mut self.tables,
                 iface: &self.iface,
                 action_arity: &self.action_arity,
-                now_ns: self.clock.now(),
+                now_ns: now,
             };
-            let res = match &mut r.imp {
+            let res: Result<(), AgentError> = match &mut r.imp {
                 ReactionImpl::Compiled(vm) => {
-                    vm.run(&mut ctx).map(|_| ()).map_err(AgentError::Interp)
+                    vm.run(&mut ctx).map(|_| ()).map_err(AgentError::from)
                 }
                 ReactionImpl::Interpreted(interp) => {
-                    interp.run(&mut ctx).map(|_| ()).map_err(AgentError::Interp)
+                    interp.run(&mut ctx).map(|_| ()).map_err(AgentError::from)
                 }
-                ReactionImpl::Native(imp) => imp.react(&mut ctx).map_err(AgentError::Ctx),
+                ReactionImpl::Native(imp) => imp.react(&mut ctx).map_err(AgentError::from),
             };
-            if let Err(e) = res {
-                result = Err(e);
-                break;
+            match res {
+                Ok(()) => {
+                    // Breaker success is recorded only once this reaction's
+                    // staged ops actually commit (in dialogue_iteration):
+                    // a reaction that poisons the apply phase must not
+                    // reset its own failure count by merely running.
+                    let end = self.staged.marks();
+                    self.reaction_ranges.push(ReactionRange {
+                        name: r.name.clone(),
+                        table_ops: marks.table_ops..end.table_ops,
+                        port_ops: marks.port_ops..end.port_ops,
+                    });
+                }
+                Err(e) => {
+                    // Contain the failure: discard only this reaction's
+                    // partial staging and advance its breaker.
+                    self.staged.truncate(marks);
+                    let now = self.clock.now();
+                    let tripped = r.breaker.on_failure(now);
+                    if tripped {
+                        self.had_quarantine = true;
+                        if self.telemetry.is_enabled() {
+                            self.telemetry.instant(Scope::Agent, "quarantine", now, &[]);
+                        }
+                    }
+                    let err = e.in_phase(AgentPhase::React).at_iteration(iter);
+                    failures.push(ReactionFailure {
+                        name: r.name.clone(),
+                        error: err.to_string(),
+                        quarantined: tripped,
+                    });
+                }
             }
         }
         self.reactions = reactions;
-        result?;
-        Ok(())
+        // Degraded-mode gauges: only recorded once a quarantine has ever
+        // happened, so fault-free traces stay byte-identical.
+        if self.had_quarantine {
+            let now = self.clock.now();
+            let q = self
+                .reactions
+                .iter()
+                .filter(|r| r.breaker.is_quarantined(now))
+                .count();
+            self.telemetry
+                .gauge_set(scopes::GAUGE_QUARANTINED, q as i128);
+            self.telemetry
+                .gauge_set(scopes::GAUGE_DEGRADED, (q > 0) as i128);
+        }
+        (failures, skipped)
     }
 
-    /// Prepare staged updates on the shadow copy, commit by flipping vv in
-    /// the master init table, then mirror onto the old primary. Returns
-    /// `(update_ns, sync_ns)`: the prepare+commit window and the mirror
-    /// window, also recorded as `update`/`sync` spans.
-    fn apply_staged(&mut self) -> Result<(Nanos, Nanos), AgentError> {
+    /// Transactional wrapper around one apply attempt: checkpoint, try,
+    /// roll back + retry on transient failure, roll back + drop the
+    /// staged intent on permanent failure (all-or-nothing).
+    fn apply_staged(
+        &mut self,
+        retries: &mut u32,
+        rollbacks: &mut u32,
+    ) -> Result<(Nanos, Nanos), AgentError> {
         if self.staged.is_empty() {
             return Ok((0, 0));
         }
+        let txn = self.begin_txn();
+        let mut attempt = 0u32;
+        loop {
+            match self.apply_staged_once(retries) {
+                Ok(ns) => {
+                    self.staged.clear();
+                    return Ok(ns);
+                }
+                Err(fail) => {
+                    self.rollback(&txn);
+                    *rollbacks += 1;
+                    self.telemetry.counter_add(scopes::CTR_ROLLBACKS, 1);
+                    if fail.err.is_transient() && self.retry.allows(attempt) {
+                        let backoff = self.retry.backoff(attempt);
+                        attempt += 1;
+                        *retries += 1;
+                        self.telemetry.counter_add(scopes::CTR_RETRIES, 1);
+                        self.telemetry
+                            .hist_record(scopes::HIST_RETRY_BACKOFF_NS, backoff);
+                        self.clock.advance(backoff);
+                        continue;
+                    }
+                    // Permanent: blame the reaction whose staged op failed
+                    // (if attributable), drop the intent, surface the error.
+                    self.blame_apply_failure(fail.blame);
+                    self.staged.clear();
+                    return Err(fail.err);
+                }
+            }
+        }
+    }
+
+    /// Checkpoint everything one apply attempt can touch: device shadows
+    /// of the master, every staged-op table, and all extra init tables;
+    /// plus the agent bookkeeping and prior port states.
+    fn begin_txn(&self) -> Txn {
+        let sw = self.switch.borrow();
+        let mut tids: Vec<TableId> = vec![self.master_table];
+        let mut logical = Vec::new();
+        for op in &self.staged.table_ops {
+            let name = match op {
+                StagedOp::Add { table, .. }
+                | StagedOp::Mod { table, .. }
+                | StagedOp::Del { table, .. }
+                | StagedOp::SetDefault { table, .. } => table,
+            };
+            if logical
+                .iter()
+                .any(|(n, _): &(String, LogicalTable)| n == name)
+            {
+                continue;
+            }
+            if let Some(lt) = self.tables.get(name) {
+                tids.push(lt.table_id);
+                logical.push((name.clone(), lt.clone()));
+            }
+        }
+        for ei in &self.extra_inits {
+            tids.push(ei.table_id);
+        }
+        tids.sort_unstable();
+        tids.dedup();
+        let tables = tids
+            .into_iter()
+            .map(|t| (t, sw.table_checkpoint(t)))
+            .collect();
+        let ports = self
+            .staged
+            .port_ops
+            .iter()
+            .filter_map(|(p, _)| sw.port(*p).map(|st| (*p, st.up)))
+            .collect();
+        Txn {
+            tables,
+            logical,
+            master_data: self.master_data.clone(),
+            vv: self.vv,
+            slots: self.slots.clone(),
+            extra_inits: self.extra_inits.clone(),
+            ports,
+        }
+    }
+
+    /// Restore the transaction checkpoint after a failed apply attempt.
+    /// Runs with faults suspended: recovery replays the driver's software
+    /// shadow over a known-good path. Staged ops are left intact so the
+    /// caller can retry or drop them.
+    fn rollback(&mut self, txn: &Txn) {
+        let switch = self.switch.clone();
+        {
+            let mut sw = switch.borrow_mut();
+            for (tid, ckpt) in &txn.tables {
+                sw.table_restore(*tid, ckpt.clone());
+            }
+            self.driver.suspend_faults();
+            for (port, up) in &txn.ports {
+                let res = self.driver.port_set_up(&mut sw, *port, *up);
+                debug_assert!(res.is_ok(), "invariant: restoring a known port succeeds");
+                let _ = res;
+            }
+            self.driver.resume_faults();
+        }
+        self.driver.spend_rollback(txn.tables.len());
+        for (name, lt) in &txn.logical {
+            self.tables.insert(name.clone(), lt.clone());
+        }
+        self.master_data = txn.master_data.clone();
+        self.vv = txn.vv;
+        self.slots = txn.slots.clone();
+        self.extra_inits = txn.extra_inits.clone();
+    }
+
+    /// Advance the breaker of the reaction whose staged op caused a
+    /// permanent apply failure, quarantining a reaction that keeps
+    /// poisoning the update phase while the rest of the loop stays live.
+    fn blame_apply_failure(&mut self, blame: Blame) {
+        let hit = |rr: &ReactionRange| match blame {
+            Blame::TableOp(i) => rr.table_ops.contains(&i),
+            Blame::PortOp(i) => rr.port_ops.contains(&i),
+            Blame::None => false,
+        };
+        let Some(name) = self
+            .reaction_ranges
+            .iter()
+            .find(|rr| hit(rr))
+            .map(|rr| rr.name.clone())
+        else {
+            return;
+        };
+        let now = self.clock.now();
+        if let Some(r) = self.reactions.iter_mut().find(|r| r.name == name) {
+            let tripped = r.breaker.on_failure(now);
+            if tripped {
+                self.had_quarantine = true;
+                if self.telemetry.is_enabled() {
+                    self.telemetry.instant(Scope::Agent, "quarantine", now, &[]);
+                }
+            }
+        }
+    }
+
+    /// One attempt at the prepare/commit/mirror sequence. Returns
+    /// `(update_ns, sync_ns)`, also recorded as `update`/`sync` spans.
+    /// Does not consume `self.staged` (the transactional wrapper does).
+    fn apply_staged_once(&mut self, retries: &mut u32) -> Result<(Nanos, Nanos), ApplyFailure> {
         let tel = self.telemetry.clone();
         let shadow = self.vv ^ 1;
         let t_update = self.clock.now();
         tel.span_begin(Scope::Agent, scopes::SPAN_UPDATE, t_update);
-
-        // ── prepare ──
-        self.apply_table_ops(shadow, false)?;
-        self.prepare_extra_init_writes(shadow)?;
-
-        // ── commit ──
-        self.commit_slot_writes();
-        self.vv = shadow;
-        self.write_master()?;
-        // Port ops and default-action changes are single atomic driver ops;
-        // they ride along with the commit point.
-        let port_ops = std::mem::take(&mut self.staged.port_ops);
-        {
-            let switch = self.switch.clone();
-            let mut sw = switch.borrow_mut();
-            for (port, up) in port_ops {
-                self.driver.port_set_up(&mut sw, port, up)?;
-            }
+        if let Err(f) = self.apply_prepare_commit(shadow, retries) {
+            tel.span_end(Scope::Agent, scopes::SPAN_UPDATE, self.clock.now());
+            return Err(f.in_phase(AgentPhase::Update));
         }
-        self.apply_set_defaults()?;
-
-        // ── mirror ──
         let t_sync = self.clock.now();
         tel.span_end(Scope::Agent, scopes::SPAN_UPDATE, t_sync);
         tel.span_begin(Scope::Agent, scopes::SPAN_SYNC, t_sync);
         let old = shadow ^ 1;
-        self.apply_table_ops(old, true)?;
-        self.mirror_extra_init_writes(old)?;
-
-        self.staged.clear();
+        if let Err(f) = self.apply_mirror(old, retries) {
+            tel.span_end(Scope::Agent, scopes::SPAN_SYNC, self.clock.now());
+            return Err(f.in_phase(AgentPhase::Sync));
+        }
         let t_done = self.clock.now();
         tel.span_end(Scope::Agent, scopes::SPAN_SYNC, t_done);
         Ok((t_sync - t_update, t_done - t_sync))
     }
 
+    /// Prepare staged updates on the shadow copy, then commit by flipping
+    /// vv in the master init table (plus the atomic rider ops).
+    fn apply_prepare_commit(&mut self, shadow: u8, retries: &mut u32) -> Result<(), ApplyFailure> {
+        // ── prepare ──
+        self.apply_table_ops(shadow, false, retries)?;
+        self.prepare_extra_init_writes(shadow, retries)
+            .map_err(ApplyFailure::unblamed)?;
+
+        // ── commit ──
+        self.commit_slot_writes();
+        self.vv = shadow;
+        self.write_master(retries).map_err(ApplyFailure::unblamed)?;
+        // Port ops and default-action changes are single atomic driver ops;
+        // they ride along with the commit point.
+        let port_ops = self.staged.port_ops.clone();
+        {
+            let switch = self.switch.clone();
+            let mut sw = switch.borrow_mut();
+            let retry = self.retry;
+            for (i, (port, up)) in port_ops.into_iter().enumerate() {
+                retry_op(
+                    &mut self.driver,
+                    &self.clock,
+                    &self.telemetry,
+                    retry,
+                    retries,
+                    |d| d.port_set_up(&mut sw, port, up).map_err(AgentError::from),
+                )
+                .map_err(|err| ApplyFailure {
+                    err,
+                    blame: Blame::PortOp(i),
+                })?;
+            }
+        }
+        self.apply_set_defaults(retries)?;
+        Ok(())
+    }
+
+    /// Mirror the committed state onto the old primary copy.
+    fn apply_mirror(&mut self, old: u8, retries: &mut u32) -> Result<(), ApplyFailure> {
+        self.apply_table_ops(old, true, retries)?;
+        self.mirror_extra_init_writes(old, retries)
+            .map_err(ApplyFailure::unblamed)
+    }
+
     /// Apply staged table ops to one vv copy. In the mirror pass, `Del`
     /// also removes the logical entry.
-    fn apply_table_ops(&mut self, copy: u8, mirror: bool) -> Result<(), AgentError> {
+    fn apply_table_ops(
+        &mut self,
+        copy: u8,
+        mirror: bool,
+        retries: &mut u32,
+    ) -> Result<(), ApplyFailure> {
         let ops = self.staged.table_ops.clone();
         let switch = self.switch.clone();
         let mut sw = switch.borrow_mut();
-        for op in &ops {
+        let retry = self.retry;
+        for (i, op) in ops.iter().enumerate() {
+            let fail_at = |err: AgentError| ApplyFailure {
+                err,
+                blame: Blame::TableOp(i),
+            };
             match op {
                 StagedOp::Add {
                     table,
@@ -870,21 +1505,31 @@ impl MantisAgent {
                     let info = self
                         .iface
                         .table(table)
-                        .ok_or_else(|| AgentError::UnknownTable(table.clone()))?;
+                        .ok_or_else(|| fail_at(AgentError::unknown_table(table)))?;
                     if info.vv_col.is_none() && mirror {
                         // Unversioned tables have a single physical set,
                         // installed during prepare.
                         continue;
                     }
                     let vv_arg = info.vv_col.map(|_| copy);
-                    let phys = expand_entry(info, key, action, action_data, *priority, vv_arg)?;
+                    let phys = expand_entry(info, key, action, action_data, *priority, vv_arg)
+                        .map_err(|e| fail_at(e.into()))?;
                     let lt = self
                         .tables
                         .get_mut(table)
-                        .ok_or_else(|| AgentError::UnknownTable(table.clone()))?;
+                        .ok_or_else(|| fail_at(AgentError::unknown_table(table)))?;
+                    let tid = lt.table_id;
                     let mut handles = Vec::with_capacity(phys.len());
                     for pe in &phys {
-                        let h = add_phys(&mut self.driver, &mut sw, lt.table_id, pe)?;
+                        let h = retry_op(
+                            &mut self.driver,
+                            &self.clock,
+                            &self.telemetry,
+                            retry,
+                            retries,
+                            |d| add_phys(d, &mut sw, tid, pe),
+                        )
+                        .map_err(fail_at)?;
                         handles.push(h);
                     }
                     let entry = lt.entries.entry(*handle).or_insert_with(|| LogicalEntry {
@@ -917,31 +1562,39 @@ impl MantisAgent {
                         action_data,
                         copy,
                         mirror,
-                    )?;
+                        retries,
+                    )
+                    .map_err(fail_at)?;
                 }
                 StagedOp::Del { table, handle } => {
                     let info = self
                         .iface
                         .table(table)
-                        .ok_or_else(|| AgentError::UnknownTable(table.clone()))?;
+                        .ok_or_else(|| fail_at(AgentError::unknown_table(table)))?;
                     let unversioned = info.vv_col.is_none();
                     let lt = self
                         .tables
                         .get_mut(table)
-                        .ok_or_else(|| AgentError::UnknownTable(table.clone()))?;
+                        .ok_or_else(|| fail_at(AgentError::unknown_table(table)))?;
                     let Some(entry) = lt.entries.get_mut(handle) else {
-                        return Err(AgentError::MissingEntry {
-                            table: table.clone(),
-                            handle: *handle,
-                        });
+                        return Err(fail_at(AgentError::missing_entry(table, *handle)));
                     };
                     if unversioned && mirror {
                         // Physical entries were already removed in prepare.
                         lt.entries.remove(handle);
                         continue;
                     }
+                    let tid = lt.table_id;
                     for h in std::mem::take(&mut entry.phys[copy as usize]) {
-                        self.driver.table_del(&mut sw, lt.table_id, h)?;
+                        retry_op(
+                            &mut self.driver,
+                            &self.clock,
+                            &self.telemetry,
+                            retry,
+                            retries,
+                            |d| d.table_del(&mut sw, tid, h).map_err(AgentError::from),
+                        )
+                        .map_err(fail_at)?;
                     }
                     if unversioned {
                         entry.phys[(copy ^ 1) as usize].clear();
@@ -968,25 +1621,25 @@ impl MantisAgent {
         action_data: &[Value],
         copy: u8,
         mirror: bool,
+        retries: &mut u32,
     ) -> Result<(), AgentError> {
         let info = self
             .iface
             .table(table)
-            .ok_or_else(|| AgentError::UnknownTable(table.to_string()))?
+            .ok_or_else(|| AgentError::unknown_table(table))?
             .clone();
         let unversioned = info.vv_col.is_none();
         if unversioned && mirror {
             return Ok(());
         }
+        let retry = self.retry;
         let lt = self
             .tables
             .get_mut(table)
-            .ok_or_else(|| AgentError::UnknownTable(table.to_string()))?;
+            .ok_or_else(|| AgentError::unknown_table(table))?;
+        let tid = lt.table_id;
         let Some(entry) = lt.entries.get_mut(&handle) else {
-            return Err(AgentError::MissingEntry {
-                table: table.to_string(),
-                handle,
-            });
+            return Err(AgentError::missing_entry(table, handle));
         };
         let vv_arg = info.vv_col.map(|_| copy);
         let phys = expand_entry(
@@ -1002,17 +1655,41 @@ impl MantisAgent {
             let handles = entry.phys[copy as usize].clone();
             for (h, pe) in handles.iter().zip(phys.iter()) {
                 let aid = sw.action_id(&pe.action)?;
-                self.driver
-                    .table_mod(sw, lt.table_id, *h, aid, pe.action_data.clone())?;
+                retry_op(
+                    &mut self.driver,
+                    &self.clock,
+                    &self.telemetry,
+                    retry,
+                    retries,
+                    |d| {
+                        d.table_mod(sw, tid, *h, aid, pe.action_data.clone())
+                            .map_err(AgentError::from)
+                    },
+                )?;
             }
         } else {
             // Action changed: replace the physical set.
             for h in std::mem::take(&mut entry.phys[copy as usize]) {
-                self.driver.table_del(sw, lt.table_id, h)?;
+                retry_op(
+                    &mut self.driver,
+                    &self.clock,
+                    &self.telemetry,
+                    retry,
+                    retries,
+                    |d| d.table_del(sw, tid, h).map_err(AgentError::from),
+                )?;
             }
             let mut handles = Vec::with_capacity(phys.len());
             for pe in &phys {
-                handles.push(add_phys(&mut self.driver, sw, lt.table_id, pe)?);
+                let h = retry_op(
+                    &mut self.driver,
+                    &self.clock,
+                    &self.telemetry,
+                    retry,
+                    retries,
+                    |d| add_phys(d, sw, tid, pe),
+                )?;
+                handles.push(h);
             }
             entry.phys[copy as usize] = handles;
         }
@@ -1029,11 +1706,16 @@ impl MantisAgent {
         Ok(())
     }
 
-    fn apply_set_defaults(&mut self) -> Result<(), AgentError> {
+    fn apply_set_defaults(&mut self, retries: &mut u32) -> Result<(), ApplyFailure> {
         let ops = self.staged.table_ops.clone();
         let switch = self.switch.clone();
         let mut sw = switch.borrow_mut();
-        for op in &ops {
+        let retry = self.retry;
+        for (i, op) in ops.iter().enumerate() {
+            let fail_at = |err: AgentError| ApplyFailure {
+                err,
+                blame: Blame::TableOp(i),
+            };
             if let StagedOp::SetDefault {
                 table,
                 action,
@@ -1043,18 +1725,28 @@ impl MantisAgent {
                 let info = self
                     .iface
                     .table(table)
-                    .ok_or_else(|| AgentError::UnknownTable(table.clone()))?;
+                    .ok_or_else(|| fail_at(AgentError::unknown_table(table)))?;
                 let av = info.action(action).ok_or_else(|| {
-                    AgentError::Ctx(CtxError::UnknownAction {
+                    fail_at(AgentError::from(CtxError::UnknownAction {
                         table: table.clone(),
                         action: action.clone(),
-                    })
+                    }))
                 })?;
                 let variant = av.variants[0].clone();
-                let tid = sw.table_id(table)?;
-                let aid = sw.action_id(&variant)?;
-                self.driver
-                    .table_set_default(&mut sw, tid, aid, action_data.clone(), false)?;
+                let tid = sw.table_id(table).map_err(|e| fail_at(e.into()))?;
+                let aid = sw.action_id(&variant).map_err(|e| fail_at(e.into()))?;
+                retry_op(
+                    &mut self.driver,
+                    &self.clock,
+                    &self.telemetry,
+                    retry,
+                    retries,
+                    |d| {
+                        d.table_set_default(&mut sw, tid, aid, action_data.clone(), false)
+                            .map_err(AgentError::from)
+                    },
+                )
+                .map_err(fail_at)?;
             }
         }
         Ok(())
@@ -1069,7 +1761,11 @@ impl MantisAgent {
         out
     }
 
-    fn prepare_extra_init_writes(&mut self, shadow: u8) -> Result<(), AgentError> {
+    fn prepare_extra_init_writes(
+        &mut self,
+        shadow: u8,
+        retries: &mut u32,
+    ) -> Result<(), AgentError> {
         let writes = self.effective_slot_writes();
         if writes.is_empty() {
             return Ok(());
@@ -1091,20 +1787,33 @@ impl MantisAgent {
         }
         let switch = self.switch.clone();
         let mut sw = switch.borrow_mut();
+        let retry = self.retry;
         for i in dirty {
-            let ei = &self.extra_inits[i];
-            self.driver.table_mod(
-                &mut sw,
-                ei.table_id,
-                ei.handles[shadow as usize],
-                ei.action,
-                ei.data.clone(),
+            let (tid, h, action, data) = {
+                let ei = &self.extra_inits[i];
+                (
+                    ei.table_id,
+                    ei.handles[shadow as usize],
+                    ei.action,
+                    ei.data.clone(),
+                )
+            };
+            retry_op(
+                &mut self.driver,
+                &self.clock,
+                &self.telemetry,
+                retry,
+                retries,
+                |d| {
+                    d.table_mod(&mut sw, tid, h, action, data.clone())
+                        .map_err(AgentError::from)
+                },
             )?;
         }
         Ok(())
     }
 
-    fn mirror_extra_init_writes(&mut self, old: u8) -> Result<(), AgentError> {
+    fn mirror_extra_init_writes(&mut self, old: u8, retries: &mut u32) -> Result<(), AgentError> {
         let writes = self.effective_slot_writes();
         if writes.is_empty() {
             return Ok(());
@@ -1119,14 +1828,27 @@ impl MantisAgent {
         }
         let switch = self.switch.clone();
         let mut sw = switch.borrow_mut();
+        let retry = self.retry;
         for i in dirty {
-            let ei = &self.extra_inits[i];
-            self.driver.table_mod(
-                &mut sw,
-                ei.table_id,
-                ei.handles[old as usize],
-                ei.action,
-                ei.data.clone(),
+            let (tid, h, action, data) = {
+                let ei = &self.extra_inits[i];
+                (
+                    ei.table_id,
+                    ei.handles[old as usize],
+                    ei.action,
+                    ei.data.clone(),
+                )
+            };
+            retry_op(
+                &mut self.driver,
+                &self.clock,
+                &self.telemetry,
+                retry,
+                retries,
+                |d| {
+                    d.table_mod(&mut sw, tid, h, action, data.clone())
+                        .map_err(AgentError::from)
+                },
             )?;
         }
         Ok(())

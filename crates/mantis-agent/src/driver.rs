@@ -3,14 +3,21 @@
 //! "caching/memoization of device instructions"), and exposes the busy
 //! window that concurrent legacy control-plane operations queue behind
 //! (Fig. 12).
+//!
+//! Every operation consults an optional [`FaultInjector`] *before*
+//! touching the device: an injected failure consumes the op's modeled
+//! latency (the transport timed out) but mutates nothing, so a retried op
+//! lands exactly as it would have in a fault-free run. Recovery code
+//! suspends injection while it replays the driver's software shadow.
 
 use crate::costmodel::CostModel;
-use mantis_telemetry::{Scope, Telemetry};
+use mantis_faults::{FaultInjector, FaultPlan, Injection};
+use mantis_telemetry::{scopes, Scope, Telemetry};
 use p4_ast::Value;
 use rmt_sim::{
     ActionId, Clock, DriverError, EntryHandle, KeyField, Nanos, RegisterId, Switch, TableId,
 };
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 /// Memoization key: which device-instruction templates have been computed.
@@ -28,6 +35,8 @@ pub struct DriverStats {
     pub table_ops: u64,
     pub register_reads: u64,
     pub field_reads: u64,
+    /// Ops that failed with an injected fault.
+    pub injected_failures: u64,
 }
 
 /// The cost-accounted driver.
@@ -42,6 +51,10 @@ pub struct MantisDriver {
     lock_until: Nanos,
     pub stats: DriverStats,
     telemetry: Rc<Telemetry>,
+    injector: Option<FaultInjector>,
+    /// Last successfully read values per register range, served back by a
+    /// `StaleRead` injection. Only maintained while an injector is set.
+    stale_cache: HashMap<(RegisterId, u32, u32), Vec<Value>>,
 }
 
 impl MantisDriver {
@@ -55,6 +68,8 @@ impl MantisDriver {
             lock_until: 0,
             stats: DriverStats::default(),
             telemetry: Telemetry::disabled(),
+            injector: None,
+            stale_cache: HashMap::new(),
         }
     }
 
@@ -65,10 +80,76 @@ impl MantisDriver {
         self.telemetry = telemetry;
     }
 
+    /// Install a fault plan (driver-op rules; link flaps are scheduled by
+    /// `netsim`). Replaces any previous plan and resets its budgets.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = Some(FaultInjector::new(plan));
+        self.stale_cache.clear();
+    }
+
+    /// Remove fault injection entirely.
+    pub fn clear_fault_plan(&mut self) {
+        self.injector = None;
+        self.stale_cache.clear();
+    }
+
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Enter a fault-free recovery section (nestable): ops are counted
+    /// but nothing injects. Models rollback replaying the driver's
+    /// journaled shadow state over a known-good path.
+    pub fn suspend_faults(&mut self) {
+        if let Some(inj) = self.injector.as_mut() {
+            inj.suspend();
+        }
+    }
+
+    /// Leave a fault-free recovery section.
+    pub fn resume_faults(&mut self) {
+        if let Some(inj) = self.injector.as_mut() {
+            inj.resume();
+        }
+    }
+
     /// End of the driver's current busy window — a concurrent legacy
     /// operation issued before this time queues until it.
     pub fn busy_until(&self) -> Nanos {
         self.busy_until
+    }
+
+    /// Consult the fault plan for one op. Records `fault.injected` when a
+    /// decision is made.
+    fn inject(&mut self, op: &'static str) -> Option<Injection> {
+        let inj = self.injector.as_mut()?.decide(op, self.clock.now())?;
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter_add(scopes::CTR_FAULTS_INJECTED, 1);
+            self.telemetry
+                .counter_add(&format!("fault.{op}_injected"), 1);
+            self.telemetry
+                .instant(Scope::Driver, "fault_injected", self.clock.now(), &[]);
+        }
+        Some(inj)
+    }
+
+    /// Resolve an injection decision against a mutation op: returns
+    /// `Err(Injected)` for failures (after spending the op's latency —
+    /// the transport timed out) and scales the cost for delays.
+    fn gate(&mut self, op: &'static str, cost: &mut Nanos) -> Result<(), DriverError> {
+        match self.inject(op) {
+            Some(Injection::Fail { persistent }) => {
+                self.spend(op, *cost);
+                self.stats.injected_failures += 1;
+                Err(DriverError::Injected { op, persistent })
+            }
+            Some(Injection::Delay { factor_milli }) => {
+                *cost = scale(*cost, factor_milli);
+                Ok(())
+            }
+            // Read effects are meaningless on mutations.
+            Some(Injection::Stale) | Some(Injection::Corrupt { .. }) | None => Ok(()),
+        }
     }
 
     /// Account one operation of the given duration: the clock advances, and
@@ -114,7 +195,8 @@ impl MantisDriver {
         action: ActionId,
         data: Vec<Value>,
     ) -> Result<EntryHandle, DriverError> {
-        let cost = self.table_op_cost(table);
+        let mut cost = self.table_op_cost(table);
+        self.gate("table_add", &mut cost)?;
         self.spend("table_add", cost);
         sw.table_add(table, key, priority, action, data)
     }
@@ -127,7 +209,8 @@ impl MantisDriver {
         action: ActionId,
         data: Vec<Value>,
     ) -> Result<(), DriverError> {
-        let cost = self.table_op_cost(table);
+        let mut cost = self.table_op_cost(table);
+        self.gate("table_mod", &mut cost)?;
         self.spend("table_mod", cost);
         sw.table_mod(table, handle, action, data)
     }
@@ -138,7 +221,8 @@ impl MantisDriver {
         table: TableId,
         handle: EntryHandle,
     ) -> Result<(), DriverError> {
-        let cost = self.table_op_cost(table);
+        let mut cost = self.table_op_cost(table);
+        self.gate("table_del", &mut cost)?;
         self.spend("table_del", cost);
         sw.table_del(table, handle)
     }
@@ -154,7 +238,7 @@ impl MantisDriver {
         data: Vec<Value>,
         is_init_flip: bool,
     ) -> Result<(), DriverError> {
-        let (op, cost) = if is_init_flip {
+        let (op, mut cost) = if is_init_flip {
             let cost = if self.memo.insert(MemoKey::InitDefault(table)) {
                 self.cost.table_update_cold_ns
             } else {
@@ -164,43 +248,100 @@ impl MantisDriver {
         } else {
             ("set_default", self.table_op_cost(table))
         };
+        self.gate(op, &mut cost)?;
         self.spend(op, cost);
         sw.table_set_default(table, action, data)
     }
 
     // -- register operations ----------------------------------------------------
 
-    /// Batched range read of a register array.
+    /// Batched range read of a register array. Fallible: the transport
+    /// can fail, and injected `StaleRead`/`CorruptRead` effects distort
+    /// the returned values without failing the op (measurement noise, not
+    /// a retryable error).
     pub fn register_read_range(
         &mut self,
         sw: &Switch,
         reg: RegisterId,
         lo: u32,
         hi: u32,
-    ) -> Vec<Value> {
-        let width_bytes = usize::from(sw.spec().register(reg).width).div_ceil(8);
+    ) -> Result<Vec<Value>, DriverError> {
+        let width = sw.spec().register(reg).width;
+        let width_bytes = usize::from(width).div_ceil(8);
         let n = (hi.saturating_sub(lo) + 1) as usize;
-        let cost = self.cost.register_read(n * width_bytes);
-        self.spend("register_read", cost);
+        let mut cost = self.cost.register_read(n * width_bytes);
+        let effect = self.inject("register_read");
+        if let Some(Injection::Delay { factor_milli }) = effect {
+            cost = scale(cost, factor_milli);
+        }
         self.stats.register_reads += 1;
-        sw.register_read_range(reg, lo, hi)
+        match effect {
+            Some(Injection::Fail { persistent }) => {
+                self.spend("register_read", cost);
+                self.stats.injected_failures += 1;
+                return Err(DriverError::Injected {
+                    op: "register_read",
+                    persistent,
+                });
+            }
+            Some(Injection::Stale) => {
+                self.spend("register_read", cost);
+                // Serve the previous snapshot of this range (zeros if it
+                // was never read): a checkpoint that missed the sync.
+                return Ok(self
+                    .stale_cache
+                    .get(&(reg, lo, hi))
+                    .cloned()
+                    .unwrap_or_else(|| vec![Value::zero(width); n]));
+            }
+            Some(Injection::Corrupt { xor }) => {
+                self.spend("register_read", cost);
+                return Ok(sw
+                    .register_read_range(reg, lo, hi)
+                    .into_iter()
+                    .map(|v| Value::new(v.bits() ^ u128::from(xor), width))
+                    .collect());
+            }
+            _ => {}
+        }
+        self.spend("register_read", cost);
+        let vals = sw.register_read_range(reg, lo, hi);
+        if self.injector.is_some() {
+            self.stale_cache.insert((reg, lo, hi), vals.clone());
+        }
+        Ok(vals)
     }
 
     /// Poll one packed field word (a 2-entry measurement register).
-    pub fn field_word_read(&mut self, sw: &Switch, reg: RegisterId, index: u32) -> Value {
-        let cost = self.cost.pcie_base_ns + self.cost.field_word_read_ns;
+    pub fn field_word_read(
+        &mut self,
+        sw: &Switch,
+        reg: RegisterId,
+        index: u32,
+    ) -> Result<Value, DriverError> {
+        let mut cost = self.cost.pcie_base_ns + self.cost.field_word_read_ns;
+        self.gate("field_word_read", &mut cost)?;
         self.spend("field_word_read", cost);
         self.stats.field_reads += 1;
-        sw.register_read_range(reg, index, index)
+        Ok(sw
+            .register_read_range(reg, index, index)
             .into_iter()
             .next()
-            .unwrap_or(Value::zero(32))
+            .unwrap_or(Value::zero(32)))
     }
 
-    pub fn register_write(&mut self, sw: &mut Switch, reg: RegisterId, index: u32, value: Value) {
-        let cost = self.cost.pcie_base_ns;
+    pub fn register_write(
+        &mut self,
+        sw: &mut Switch,
+        reg: RegisterId,
+        index: u32,
+        value: Value,
+    ) -> Result<(), DriverError> {
+        let mut cost = self.cost.pcie_base_ns;
+        self.gate("register_write", &mut cost)?;
         self.spend("register_write", cost);
         sw.register_write(reg, index, value);
+        Ok(())
     }
 
     pub fn port_set_up(
@@ -209,16 +350,28 @@ impl MantisDriver {
         port: rmt_sim::PortId,
         up: bool,
     ) -> Result<(), DriverError> {
-        self.spend("port_set", self.cost.port_op_ns);
+        let mut cost = self.cost.port_op_ns;
+        self.gate("port_set", &mut cost)?;
+        self.spend("port_set", cost);
         sw.port_set_up(port, up)
     }
 
     /// Account an externally computed cost (e.g. the packed-word cost of a
     /// field-argument poll, where the agent reads several 2-entry
     /// measurement registers as one batch).
-    pub fn spend_external(&mut self, dur: Nanos) {
-        self.spend("field_poll", dur);
+    pub fn spend_external(&mut self, dur: Nanos) -> Result<(), DriverError> {
+        let mut cost = dur;
+        self.gate("field_poll", &mut cost)?;
+        self.spend("field_poll", cost);
         self.stats.field_reads += 1;
+        Ok(())
+    }
+
+    /// Account the recovery work of restoring `tables` table shadows
+    /// after a failed transactional apply (one warm table update each).
+    pub fn spend_rollback(&mut self, tables: usize) {
+        let cost = self.cost.table_update_ns * tables as Nanos;
+        self.spend("rollback", cost);
     }
 
     /// Simulate a *legacy* control-plane operation submitted at `at` (from
@@ -238,9 +391,15 @@ impl MantisDriver {
     }
 }
 
+/// Scale a cost by an integer milli-factor (3000 = ×3).
+fn scale(cost: Nanos, factor_milli: u32) -> Nanos {
+    (u128::from(cost) * u128::from(factor_milli) / 1_000) as Nanos
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mantis_faults::{FaultOp, FaultWindow};
     use rmt_sim::{switch_from_source, SwitchConfig};
 
     fn mk() -> (Switch, MantisDriver, Clock) {
@@ -298,7 +457,7 @@ control ingress { apply(t); }
         let (sw, mut d, clock) = mk();
         let r = sw.register_id("r").unwrap();
         let t0 = clock.now();
-        let vals = d.register_read_range(&sw, r, 0, 15);
+        let vals = d.register_read_range(&sw, r, 0, 15).unwrap();
         assert_eq!(vals.len(), 16);
         let dur = clock.now() - t0;
         assert_eq!(dur, d.cost.register_read(16 * 4));
@@ -334,5 +493,140 @@ control ingress { apply(t); }
             op_start + d.cost.device_lock_ns + 50 + d.cost.table_update_ns
         );
         let _ = clock;
+    }
+
+    #[test]
+    fn injected_failure_spends_latency_but_mutates_nothing() {
+        let (mut sw, mut d, clock) = mk();
+        let t = sw.table_id("t").unwrap();
+        let nop = sw.action_id("nop").unwrap();
+        d.set_fault_plan(FaultPlan::new().fail_transient(
+            FaultOp::Named("table_add"),
+            FaultWindow::Always,
+            1,
+        ));
+        let t0 = clock.now();
+        let err = d
+            .table_add(
+                &mut sw,
+                t,
+                vec![KeyField::Exact(Value::new(1, 32))],
+                0,
+                nop,
+                vec![],
+            )
+            .unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        assert!(clock.now() > t0, "a failed op still costs transport time");
+        assert_eq!(sw.table_len(t), 0, "failed op must not touch the device");
+        // Budget spent: the retry lands.
+        d.table_add(
+            &mut sw,
+            t,
+            vec![KeyField::Exact(Value::new(1, 32))],
+            0,
+            nop,
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(sw.table_len(t), 1);
+        assert_eq!(d.stats.injected_failures, 1);
+    }
+
+    #[test]
+    fn stale_read_serves_previous_snapshot_and_corrupt_flips_bits() {
+        let (mut sw, mut d, _clock) = mk();
+        let r = sw.register_id("r").unwrap();
+        d.set_fault_plan(
+            FaultPlan::new()
+                .rule(mantis_faults::FaultRule {
+                    op: FaultOp::Named("register_read"),
+                    effect: mantis_faults::FaultEffect::StaleRead,
+                    window: FaultWindow::Ops { lo: 1, hi: 2 },
+                    max_hits: Some(1),
+                })
+                .rule(mantis_faults::FaultRule {
+                    op: FaultOp::Named("register_read"),
+                    effect: mantis_faults::FaultEffect::CorruptRead { xor: 0xff },
+                    window: FaultWindow::Ops { lo: 2, hi: 3 },
+                    max_hits: Some(1),
+                }),
+        );
+        sw.register_write(r, 0, Value::new(7, 32));
+        // Op 0: clean read, primes the stale cache.
+        assert_eq!(d.register_read_range(&sw, r, 0, 0).unwrap()[0].bits(), 7);
+        sw.register_write(r, 0, Value::new(9, 32));
+        // Op 1: stale — still sees 7.
+        assert_eq!(d.register_read_range(&sw, r, 0, 0).unwrap()[0].bits(), 7);
+        // Op 2: corrupt — 9 ^ 0xff.
+        assert_eq!(
+            d.register_read_range(&sw, r, 0, 0).unwrap()[0].bits(),
+            9 ^ 0xff
+        );
+        // Op 3: clean again.
+        assert_eq!(d.register_read_range(&sw, r, 0, 0).unwrap()[0].bits(), 9);
+    }
+
+    #[test]
+    fn delay_injection_scales_op_cost() {
+        let (mut sw, mut d, clock) = mk();
+        let t = sw.table_id("t").unwrap();
+        let nop = sw.action_id("nop").unwrap();
+        // Warm the memo first, fault-free.
+        d.table_add(
+            &mut sw,
+            t,
+            vec![KeyField::Exact(Value::new(1, 32))],
+            0,
+            nop,
+            vec![],
+        )
+        .unwrap();
+        d.set_fault_plan(FaultPlan::new().delay(
+            FaultOp::Named("table_add"),
+            FaultWindow::Always,
+            3_000,
+            1,
+        ));
+        let t0 = clock.now();
+        d.table_add(
+            &mut sw,
+            t,
+            vec![KeyField::Exact(Value::new(2, 32))],
+            0,
+            nop,
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(clock.now() - t0, 3 * d.cost.table_update_ns);
+    }
+
+    #[test]
+    fn suspended_faults_do_not_inject() {
+        let (mut sw, mut d, _clock) = mk();
+        let t = sw.table_id("t").unwrap();
+        let nop = sw.action_id("nop").unwrap();
+        d.set_fault_plan(FaultPlan::new().fail_persistent(FaultOp::Any, FaultWindow::Always));
+        d.suspend_faults();
+        d.table_add(
+            &mut sw,
+            t,
+            vec![KeyField::Exact(Value::new(1, 32))],
+            0,
+            nop,
+            vec![],
+        )
+        .unwrap();
+        d.resume_faults();
+        assert!(d
+            .table_add(
+                &mut sw,
+                t,
+                vec![KeyField::Exact(Value::new(2, 32))],
+                0,
+                nop,
+                vec![],
+            )
+            .is_err());
     }
 }

@@ -27,7 +27,10 @@ pub mod ctx;
 pub mod driver;
 pub mod logical;
 
-pub use agent::{AgentError, AgentStats, IterationReport, MantisAgent, NativeReaction};
+pub use agent::{
+    AgentError, AgentErrorKind, AgentPhase, AgentStats, IterationReport, MantisAgent,
+    NativeReaction, ReactionFailure,
+};
 pub use costmodel::CostModel;
 pub use ctx::{CtxError, ReactionCtx, Snapshot};
 pub use driver::MantisDriver;
@@ -377,10 +380,12 @@ control ingress {
     #[test]
     fn unknown_reaction_registration_fails() {
         let (_sw, mut agent, _clock) = build();
+        let err = agent.register_interpreted("ghost").unwrap_err();
         assert!(matches!(
-            agent.register_interpreted("ghost"),
-            Err(AgentError::NotCompiledWithReaction(_))
+            err.kind,
+            AgentErrorKind::NotCompiledWithReaction(_)
         ));
+        assert!(!err.is_transient());
     }
 
     #[test]

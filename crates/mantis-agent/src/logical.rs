@@ -110,6 +110,25 @@ impl Staged {
         self.port_ops.clear();
     }
 
+    /// Snapshot the current staging lengths. Taken before each reaction
+    /// runs so a failing reaction's partial effects can be
+    /// [`truncate`](Staged::truncate)d away without touching what earlier
+    /// reactions staged.
+    pub fn marks(&self) -> StagedMarks {
+        StagedMarks {
+            slot_writes: self.slot_writes.len(),
+            table_ops: self.table_ops.len(),
+            port_ops: self.port_ops.len(),
+        }
+    }
+
+    /// Roll staging back to a previous [`marks`](Staged::marks) snapshot.
+    pub fn truncate(&mut self, m: StagedMarks) {
+        self.slot_writes.truncate(m.slot_writes);
+        self.table_ops.truncate(m.table_ops);
+        self.port_ops.truncate(m.port_ops);
+    }
+
     /// Latest staged value for a slot (read-your-writes inside a reaction).
     pub fn slot_value(&self, name: &str) -> Option<i128> {
         self.slot_writes
@@ -120,9 +139,33 @@ impl Staged {
     }
 }
 
+/// Staging lengths at one point in time (see [`Staged::marks`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StagedMarks {
+    pub slot_writes: usize,
+    pub table_ops: usize,
+    pub port_ops: usize,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn marks_truncate_only_the_tail() {
+        let mut s = Staged::default();
+        s.slot_writes.push(("a".into(), 1));
+        let m = s.marks();
+        s.slot_writes.push(("b".into(), 2));
+        s.table_ops.push(StagedOp::Del {
+            table: "t".into(),
+            handle: 1,
+        });
+        s.truncate(m);
+        assert_eq!(s.slot_writes.len(), 1);
+        assert_eq!(s.slot_writes[0].0, "a");
+        assert!(s.table_ops.is_empty());
+    }
 
     #[test]
     fn handles_are_unique_and_increasing() {

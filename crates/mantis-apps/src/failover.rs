@@ -294,10 +294,14 @@ pub fn schedule_paced_agent(
     start: Nanos,
 ) {
     fn iterate(sim: &mut Simulator, agent: Rc<RefCell<MantisAgent>>, td: Nanos, started: Nanos) {
-        agent
-            .borrow_mut()
-            .dialogue_iteration()
-            .expect("dialogue iteration");
+        // A failed iteration (e.g. a persistent injected fault) degrades
+        // the loop instead of crashing it: the error is counted and the
+        // next iteration still gets scheduled — the transactional apply
+        // already restored a consistent device state.
+        if agent.borrow_mut().dialogue_iteration().is_err() {
+            sim.telemetry()
+                .counter_add("agent.paced_iteration_errors", 1);
+        }
         let next = (started + td).max(sim.now() + 1);
         sim.schedule(next, move |s| iterate(s, agent, td, next));
     }

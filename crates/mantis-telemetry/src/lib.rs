@@ -115,6 +115,23 @@ pub mod scopes {
     /// counters (`driver.<op>_calls`) are derived from the op name via
     /// [`super::Telemetry::driver_op`].
     pub const DRIVER_OP_PREFIX: &str = "driver.";
+
+    // -- fault tolerance (DESIGN.md §8) --------------------------------
+
+    /// Faults injected by a `mantis-faults` plan into driver ops.
+    pub const CTR_FAULTS_INJECTED: &str = "fault.injected";
+    /// Driver-op retries performed by the agent.
+    pub const CTR_RETRIES: &str = "agent.retries";
+    /// Transactional rollbacks of the malleable-update phase.
+    pub const CTR_ROLLBACKS: &str = "agent.rollbacks";
+    /// Reaction executions skipped because their breaker was open.
+    pub const CTR_QUARANTINE_SKIPS: &str = "agent.quarantined";
+    /// Histogram of virtual-clock retry backoffs.
+    pub const HIST_RETRY_BACKOFF_NS: &str = "agent.retry_backoff_ns";
+    /// Currently quarantined (breaker-open) reactions.
+    pub const GAUGE_QUARANTINED: &str = "agent.quarantined_reactions";
+    /// 1 while at least one reaction is quarantined (degraded mode).
+    pub const GAUGE_DEGRADED: &str = "agent.degraded";
 }
 
 // -- configuration ----------------------------------------------------------

@@ -43,7 +43,14 @@ pub use p4r_lang;
 pub use reaction_interp;
 pub use rmt_sim;
 
-pub use mantis_agent::{AgentError, CostModel, MantisAgent, NativeReaction, ReactionCtx};
+pub use mantis_agent::{
+    AgentError, AgentErrorKind, AgentPhase, CostModel, MantisAgent, NativeReaction, ReactionCtx,
+    ReactionFailure,
+};
+pub use mantis_faults::{
+    BreakerConfig, BreakerState, CircuitBreaker, FaultInjector, FaultOp, FaultPlan, FaultWindow,
+    RetryPolicy,
+};
 pub use mantis_telemetry::{Scope, Telemetry, TelemetryConfig};
 pub use p4r_compiler::{compile_source, CompileError, Compiled, CompilerOptions};
 pub use rmt_sim::{Clock, Switch, SwitchConfig};

@@ -1,0 +1,89 @@
+//! Deterministic link-fault scheduling: turn the [`LinkFlap`] entries of
+//! a [`FaultPlan`] into simulator events that force ports down and back
+//! up at fixed virtual times.
+//!
+//! A flap is an *environment* fault, not a driver fault: the switch port
+//! goes down underneath the control plane, exactly like the failover
+//! use case's induced link failure (§7.2), so reactions observe it
+//! through their measurements and must steer traffic around it.
+
+use crate::sim::Simulator;
+use mantis_faults::{FaultPlan, LinkFlap};
+use mantis_telemetry::Scope;
+use rmt_sim::PortId;
+
+/// Schedule every link flap in `plan` on the simulator's event queue.
+///
+/// Ports outside the switch's port range are ignored (the plan may be
+/// written against a larger topology).
+pub fn schedule_link_flaps(sim: &mut Simulator, plan: &FaultPlan) {
+    for flap in plan.link_flaps.clone() {
+        schedule_link_flap(sim, flap);
+    }
+}
+
+/// Schedule one down/up pair.
+pub fn schedule_link_flap(sim: &mut Simulator, flap: LinkFlap) {
+    let port = flap.port as PortId;
+    sim.schedule(flap.down_at, move |s| set_port(s, port, false));
+    sim.schedule(flap.up_at, move |s| set_port(s, port, true));
+}
+
+fn set_port(sim: &mut Simulator, port: PortId, up: bool) {
+    let ok = sim.switch().borrow_mut().port_set_up(port, up).is_ok();
+    if !ok {
+        return;
+    }
+    let tel = sim.telemetry();
+    if tel.is_enabled() {
+        let name = if up { "link_up" } else { "link_down" };
+        tel.instant(
+            Scope::Switch,
+            name,
+            sim.now(),
+            &[("port", i128::from(port))],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmt_sim::{switch_from_source, Clock, SwitchConfig};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    const PROG: &str = r#"
+header_type ip_t { fields { src : 32; } }
+header ip_t ip;
+action fwd() { modify_field(intr.egress_spec, 2); }
+table t { actions { fwd; } default_action : fwd(); }
+control ingress { apply(t); }
+"#;
+
+    #[test]
+    fn flaps_toggle_ports_at_their_scheduled_times() {
+        let clock = Clock::new();
+        let sw = switch_from_source(PROG, SwitchConfig::default(), clock).unwrap();
+        let mut sim = Simulator::new(Rc::new(RefCell::new(sw)));
+        let plan = FaultPlan::new().flap(2, 1_000, 5_000);
+        schedule_link_flaps(&mut sim, &plan);
+
+        sim.run_until(500);
+        assert!(sim.switch().borrow().port(2).unwrap().up);
+        sim.run_until(2_000);
+        assert!(!sim.switch().borrow().port(2).unwrap().up, "down at 1000");
+        sim.run_until(6_000);
+        assert!(sim.switch().borrow().port(2).unwrap().up, "back up at 5000");
+    }
+
+    #[test]
+    fn out_of_range_ports_are_ignored() {
+        let clock = Clock::new();
+        let sw = switch_from_source(PROG, SwitchConfig::default(), clock).unwrap();
+        let mut sim = Simulator::new(Rc::new(RefCell::new(sw)));
+        let plan = FaultPlan::new().flap(60_000, 10, 20);
+        schedule_link_flaps(&mut sim, &plan);
+        sim.run_until(100); // must not panic
+    }
+}

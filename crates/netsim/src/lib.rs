@@ -4,6 +4,7 @@
 //! switch — the stand-in for the paper's 25 Gbps server testbed:
 //!
 //! * [`sim`] — event queue on the shared virtual clock,
+//! * [`faults`] — deterministic link flaps scheduled from a fault plan,
 //! * [`flows`] — TCP-like AIMD flows, CBR UDP senders (the DoS attacker),
 //!   and heartbeat generators,
 //! * [`trace`] — seeded synthetic CAIDA-like traces with ground truth,
@@ -11,11 +12,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod faults;
 pub mod flows;
 pub mod metrics;
 pub mod sim;
 pub mod trace;
 
+pub use faults::{schedule_link_flap, schedule_link_flaps};
 pub use flows::{
     spawn_heartbeats, spawn_tcp, spawn_udp, HeartbeatConfig, TcpConfig, TcpState, UdpConfig,
     UdpState,

@@ -123,6 +123,28 @@ pub enum DriverError {
     UnknownRegister(String),
     UnknownAction(String),
     BadPort(PortId),
+    /// A fault injected by a `mantis-faults` plan before the op reached
+    /// the device (no state was mutated). `persistent` distinguishes
+    /// retry-recoverable transport glitches from hard faults.
+    Injected {
+        op: &'static str,
+        persistent: bool,
+    },
+}
+
+impl DriverError {
+    /// Would retrying the failed operation plausibly succeed? Only
+    /// injected *transient* faults are retryable; capacity exhaustion,
+    /// unknown names, and persistent faults are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            DriverError::Injected {
+                persistent: false,
+                ..
+            }
+        )
+    }
 }
 
 impl fmt::Display for DriverError {
@@ -133,6 +155,15 @@ impl fmt::Display for DriverError {
             DriverError::UnknownRegister(s) => write!(f, "unknown register `{s}`"),
             DriverError::UnknownAction(s) => write!(f, "unknown action `{s}`"),
             DriverError::BadPort(p) => write!(f, "port {p} out of range"),
+            DriverError::Injected { op, persistent } => write!(
+                f,
+                "injected {} fault in `{op}`",
+                if *persistent {
+                    "persistent"
+                } else {
+                    "transient"
+                }
+            ),
         }
     }
 }
@@ -389,7 +420,9 @@ impl Switch {
                 if tx_start > now {
                     break;
                 }
-                let Queued { phv, bytes, .. } = q.packets.pop_front().unwrap();
+                let Some(Queued { phv, bytes, .. }) = q.packets.pop_front() else {
+                    break;
+                };
                 q.depth_bytes -= bytes;
                 let tx_time = tx_start + self.wire_time(bytes);
                 self.queues[port].busy_until = tx_time;
@@ -622,6 +655,21 @@ impl Switch {
     pub fn table_del(&mut self, table: TableId, handle: EntryHandle) -> Result<(), DriverError> {
         self.tables[table.0 as usize].del_entry(handle)?;
         Ok(())
+    }
+
+    /// Snapshot one table's full driver-visible state (entries, lookup
+    /// indexes, default action, handle counter). Real drivers keep a
+    /// software shadow of every table; checkpoint/restore models
+    /// recovering the device from that shadow. Restoring is
+    /// handle-stable: handles live at checkpoint time resolve again, and
+    /// handles allocated after it vanish.
+    pub fn table_checkpoint(&self, table: TableId) -> Table {
+        self.tables[table.0 as usize].clone()
+    }
+
+    /// Restore a table to a previously checkpointed state.
+    pub fn table_restore(&mut self, table: TableId, checkpoint: Table) {
+        self.tables[table.0 as usize] = checkpoint;
     }
 
     pub fn table_set_default(

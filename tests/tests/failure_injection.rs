@@ -5,7 +5,7 @@ use mantis::p4_ast::Value;
 use mantis::p4r_compiler::entry::LogicalKey;
 use mantis::p4r_compiler::{compile, CompilerOptions};
 use mantis::rmt_sim::PacketDesc;
-use mantis::{AgentError, MantisAgent, Testbed};
+use mantis::{AgentErrorKind, MantisAgent, Testbed};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -43,8 +43,17 @@ control ingress { apply(t); }
 "#;
     let tb = Testbed::from_p4r(src).unwrap();
     tb.agent.borrow_mut().register_all_interpreted().unwrap();
-    let err = tb.agent.borrow_mut().dialogue_iteration().unwrap_err();
-    assert!(matches!(err, AgentError::Interp(_)), "{err}");
+    // Reaction failures are contained: the iteration succeeds and reports
+    // the failure instead of aborting the loop.
+    let rep = tb.agent.borrow_mut().dialogue_iteration().unwrap();
+    assert_eq!(rep.reaction_failures.len(), 1);
+    let failure = &rep.reaction_failures[0];
+    assert_eq!(failure.name, "bad");
+    assert!(
+        failure.error.contains("react phase"),
+        "failure should name the phase: {}",
+        failure.error
+    );
     // The agent is still usable: swap in a fixed reaction and continue.
     tb.agent
         .borrow_mut()
@@ -93,7 +102,8 @@ fn table_capacity_exhaustion_reports_driver_error() {
             Ok(())
         })
         .unwrap_err();
-    assert!(matches!(err, AgentError::Driver(_)), "{err}");
+    assert!(matches!(err.kind, AgentErrorKind::Driver(_)), "{err}");
+    assert!(!err.is_transient(), "capacity exhaustion is permanent");
 }
 
 #[test]
@@ -107,7 +117,7 @@ fn invalid_alt_index_rejected_before_staging() {
             Ok(())
         })
         .unwrap_err();
-    assert!(matches!(err, AgentError::Ctx(_)), "{err}");
+    assert!(matches!(err.kind, AgentErrorKind::Ctx(_)), "{err}");
     // Committed state unchanged.
     assert_eq!(tb.agent.borrow().slot("pick"), Some(0));
 }
@@ -287,8 +297,8 @@ control ingress { apply(t); }
 "#;
     let tb = Testbed::from_p4r(src).unwrap();
     tb.agent.borrow_mut().register_all_interpreted().unwrap();
-    let err = tb.agent.borrow_mut().dialogue_iteration().unwrap_err();
-    assert!(matches!(err, AgentError::Interp(_)), "{err}");
+    let rep = tb.agent.borrow_mut().dialogue_iteration().unwrap();
+    assert_eq!(rep.reaction_failures.len(), 1, "runaway reaction contained");
     // Staged effects of the failed reaction are NOT committed.
     assert_eq!(tb.agent.borrow().slot("k"), Some(0));
 }
@@ -312,7 +322,8 @@ control ingress { apply(t); }
 "#;
     let tb = Testbed::from_p4r(src).unwrap();
     tb.agent.borrow_mut().register_all_interpreted().unwrap();
-    assert!(tb.agent.borrow_mut().dialogue_iteration().is_err());
+    let rep = tb.agent.borrow_mut().dialogue_iteration().unwrap();
+    assert_eq!(rep.reaction_failures.len(), 1);
     // A later, unrelated commit must not carry the orphaned ${k} = 99.
     tb.agent
         .borrow_mut()
@@ -337,7 +348,7 @@ fn failed_user_init_discards_partial_staging() {
             Ok(())
         })
         .unwrap_err();
-    assert!(matches!(err, AgentError::Ctx(_)));
+    assert!(matches!(err.kind, AgentErrorKind::Ctx(_)));
     tb.agent
         .borrow_mut()
         .user_init(|ctx| {

@@ -83,3 +83,60 @@ fn trace_contains_all_dialogue_phases() {
         "snapshot missing driver.* histograms"
     );
 }
+
+// ── faulted runs ──────────────────────────────────────────────────────────
+//
+// Fault injection is itself clocked off the virtual clock and op counter,
+// so a *faulted* run must be exactly as deterministic as a clean one: same
+// plan, same seed, same byte-identical artifacts.
+
+fn faulted_run() -> (String, String) {
+    bench::faults::faulted_profile(20, 20_000)
+}
+
+#[test]
+fn identical_faulted_runs_export_byte_identical_artifacts() {
+    let (trace_a, snap_a) = faulted_run();
+    let (trace_b, snap_b) = faulted_run();
+    assert_eq!(
+        trace_a, trace_b,
+        "faulted Chrome trace must be byte-identical across identical runs"
+    );
+    assert_eq!(
+        snap_a, snap_b,
+        "faulted metrics snapshot must be byte-identical across identical runs"
+    );
+}
+
+#[test]
+fn faulted_trace_matches_golden_file() {
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/telemetry_trace_faulted.json");
+    let (trace, snap) = faulted_run();
+    // The faulted run must actually record fault activity, otherwise the
+    // golden proves nothing.
+    for key in ["fault.injected", "agent.retries", "agent.retry_backoff_ns"] {
+        assert!(snap.contains(key), "faulted snapshot missing {key}");
+    }
+
+    if std::env::var_os("UPDATE_TELEMETRY_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+        std::fs::write(&golden_path, &trace).unwrap();
+        eprintln!("regenerated {}", golden_path.display());
+        return;
+    }
+
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with \
+             UPDATE_TELEMETRY_GOLDEN=1 cargo test -p integration-tests \
+             --test telemetry_determinism",
+            golden_path.display()
+        )
+    });
+    assert_eq!(
+        trace, golden,
+        "faulted Chrome trace diverged from golden file; if intentional, \
+         regenerate with UPDATE_TELEMETRY_GOLDEN=1"
+    );
+}
