@@ -34,10 +34,13 @@ use mantis_telemetry::{scopes, Scope, Telemetry, TelemetryConfig};
 use p4_ast::MatchKind;
 use p4_ast::Value;
 use p4r_compiler::entry::{expand_entry, ExpandError, PhysEntry, PhysKey};
-use p4r_compiler::iface::{ControlInterface, ReactionBinding};
+use p4r_compiler::iface::{ControlInterface, ReactionBinding, TableInfo};
 use p4r_compiler::Compiled;
 use reaction_interp::{CompiledReaction, InterpError, Interpreter};
-use rmt_sim::{Clock, DriverError, EntryHandle, KeyField, Nanos, PortId, Switch, Table, TableId};
+use rmt_sim::{
+    Clock, DriverError, EntryHandle, KeyField, Nanos, PortId, ReadAgg, Switch, TableCheckpoint,
+    TableId,
+};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
@@ -295,10 +298,11 @@ impl ApplyFailure {
 /// clones — the driver's software shadow) plus the agent bookkeeping
 /// they correspond to.
 struct Txn {
-    tables: Vec<(TableId, Table)>,
+    tables: Vec<(TableId, TableCheckpoint)>,
     logical: Vec<(String, LogicalTable)>,
     master_data: Vec<Value>,
-    vv: u8,
+    /// Per-pipe config version at checkpoint time.
+    vv: Vec<u8>,
     slots: HashMap<String, i128>,
     extra_inits: Vec<ExtraInit>,
     ports: Vec<(PortId, bool)>,
@@ -370,7 +374,10 @@ pub struct MantisAgent {
     pub iface: ControlInterface,
     driver: MantisDriver,
     clock: Clock,
-    vv: u8,
+    /// Per-pipe config version. All pipes hold equal values between
+    /// iterations; during a commit they flip pipe-by-pipe, so a packet in
+    /// pipe `i` never observes a half-applied update within its own pipe.
+    vv: Vec<u8>,
     mv: u8,
     /// Current master init action data ([vv, mv, bin-0 slots...]).
     master_data: Vec<Value>,
@@ -407,6 +414,14 @@ impl fmt::Debug for MantisAgent {
             .field("stats", &self.stats())
             .finish()
     }
+}
+
+/// Unversioned tables (no vv column) keep a single physical entry set,
+/// installed during the prepare pass; the mirror pass must skip the
+/// physical writes for them entirely. All apply paths (Add/Mod/Del) share
+/// this one predicate so the skip rule cannot drift between op kinds.
+fn skips_mirror_pass(info: &TableInfo, mirror: bool) -> bool {
+    info.vv_col.is_none() && mirror
 }
 
 /// Run one driver op, retrying transient failures with bounded
@@ -578,12 +593,13 @@ impl MantisAgent {
             }
         }
 
+        let num_pipes = usize::from(switch.borrow().num_pipes());
         MantisAgent {
             switch,
             iface,
             driver,
             clock,
-            vv: 1,
+            vv: vec![1; num_pipes],
             mv: 0,
             master_data,
             master_table,
@@ -668,8 +684,15 @@ impl MantisAgent {
         &mut self.driver
     }
 
+    /// Committed config version (pipe 0's copy; all pipes agree between
+    /// iterations).
     pub fn vv(&self) -> u8 {
-        self.vv
+        self.vv[0]
+    }
+
+    /// Per-pipe config versions.
+    pub fn vv_per_pipe(&self) -> &[u8] {
+        &self.vv
     }
 
     pub fn mv(&self) -> u8 {
@@ -1022,9 +1045,21 @@ impl MantisAgent {
         })
     }
 
+    /// Re-write every pipe's master init default from current agent state
+    /// (vv per pipe, mv global).
     fn write_master(&mut self, retries: &mut u32) -> Result<(), AgentError> {
+        for pipe in 0..self.vv.len() as u16 {
+            self.write_master_pipe(pipe, retries)?;
+        }
+        Ok(())
+    }
+
+    /// Write one pipe's master init default: `[vv[pipe], mv, slots...]`.
+    /// The write is a single atomic set_default, so a packet in this pipe
+    /// observes either the old or the new config version, never a blend.
+    fn write_master_pipe(&mut self, pipe: u16, retries: &mut u32) -> Result<(), AgentError> {
         let mut data = self.master_data.clone();
-        data[0] = Value::new(u128::from(self.vv), 1);
+        data[0] = Value::new(u128::from(self.vv[pipe as usize]), 1);
         data[1] = Value::new(u128::from(self.mv), 1);
         self.master_data = data.clone();
         let switch = self.switch.clone();
@@ -1037,7 +1072,7 @@ impl MantisAgent {
             self.retry,
             retries,
             |d| {
-                d.table_set_default(&mut sw, mt, ma, data.clone(), true)
+                d.table_set_default_on(&mut sw, pipe, mt, ma, data.clone(), true)
                     .map_err(AgentError::from)
             },
         )
@@ -1072,8 +1107,13 @@ impl MantisAgent {
                 ..Default::default()
             };
             // Field arguments: packed-word cost, per-register raw reads.
+            // The poll walks every pipe's copy of the packed words.
             if !binding.fields.is_empty() {
-                let cost = self.driver.cost.field_read(binding.packed_words.max(1));
+                let num_pipes = usize::from(sw.num_pipes());
+                let cost = self
+                    .driver
+                    .cost
+                    .field_read(binding.packed_words.max(1) * num_pipes);
                 retry_op(
                     &mut self.driver,
                     &self.clock,
@@ -1086,8 +1126,11 @@ impl MantisAgent {
                     let rid = sw
                         .register_id(&mf.register)
                         .map_err(|e| AgentError::from(AgentErrorKind::Driver(e)))?;
+                    // Field measurements are last-written data-plane values,
+                    // not counters: take the max across pipes rather than a
+                    // sum (identical at num_pipes = 1).
                     let v = sw
-                        .register_read_range(rid, u32::from(frozen), u32::from(frozen))
+                        .register_read_agg(rid, u32::from(frozen), u32::from(frozen), ReadAgg::Max)
                         .into_iter()
                         .next()
                         .unwrap_or(Value::zero(mf.width));
@@ -1341,7 +1384,7 @@ impl MantisAgent {
             tables,
             logical,
             master_data: self.master_data.clone(),
-            vv: self.vv,
+            vv: self.vv.clone(),
             slots: self.slots.clone(),
             extra_inits: self.extra_inits.clone(),
             ports,
@@ -1372,7 +1415,7 @@ impl MantisAgent {
             self.tables.insert(name.clone(), lt.clone());
         }
         self.master_data = txn.master_data.clone();
-        self.vv = txn.vv;
+        self.vv = txn.vv.clone();
         self.slots = txn.slots.clone();
         self.extra_inits = txn.extra_inits.clone();
     }
@@ -1411,7 +1454,9 @@ impl MantisAgent {
     /// Does not consume `self.staged` (the transactional wrapper does).
     fn apply_staged_once(&mut self, retries: &mut u32) -> Result<(Nanos, Nanos), ApplyFailure> {
         let tel = self.telemetry.clone();
-        let shadow = self.vv ^ 1;
+        // All pipes hold equal vv between iterations; pipe 0 names the
+        // shared shadow copy.
+        let shadow = self.vv[0] ^ 1;
         let t_update = self.clock.now();
         tel.span_begin(Scope::Agent, scopes::SPAN_UPDATE, t_update);
         if let Err(f) = self.apply_prepare_commit(shadow, retries) {
@@ -1441,8 +1486,17 @@ impl MantisAgent {
 
         // ── commit ──
         self.commit_slot_writes();
-        self.vv = shadow;
-        self.write_master(retries).map_err(ApplyFailure::unblamed)?;
+        // Flip pipe-by-pipe: every pipe's shadow copy was fully prepared
+        // above (table writes fan out), so each per-pipe flip moves that
+        // pipe atomically from the old config to the complete new one. A
+        // mid-sequence failure leaves self.vv mixed; the transactional
+        // rollback restores both the agent vv vector and every pipe's
+        // master default from the table checkpoint.
+        for pipe in 0..self.vv.len() as u16 {
+            self.vv[pipe as usize] = shadow;
+            self.write_master_pipe(pipe, retries)
+                .map_err(ApplyFailure::unblamed)?;
+        }
         // Port ops and default-action changes are single atomic driver ops;
         // they ride along with the commit point.
         let port_ops = self.staged.port_ops.clone();
@@ -1506,9 +1560,7 @@ impl MantisAgent {
                         .iface
                         .table(table)
                         .ok_or_else(|| fail_at(AgentError::unknown_table(table)))?;
-                    if info.vv_col.is_none() && mirror {
-                        // Unversioned tables have a single physical set,
-                        // installed during prepare.
+                    if skips_mirror_pass(info, mirror) {
                         continue;
                     }
                     let vv_arg = info.vv_col.map(|_| copy);
@@ -1572,6 +1624,7 @@ impl MantisAgent {
                         .table(table)
                         .ok_or_else(|| fail_at(AgentError::unknown_table(table)))?;
                     let unversioned = info.vv_col.is_none();
+                    let skip_phys = skips_mirror_pass(info, mirror);
                     let lt = self
                         .tables
                         .get_mut(table)
@@ -1579,7 +1632,7 @@ impl MantisAgent {
                     let Some(entry) = lt.entries.get_mut(handle) else {
                         return Err(fail_at(AgentError::missing_entry(table, *handle)));
                     };
-                    if unversioned && mirror {
+                    if skip_phys {
                         // Physical entries were already removed in prepare.
                         lt.entries.remove(handle);
                         continue;
@@ -1629,7 +1682,7 @@ impl MantisAgent {
             .ok_or_else(|| AgentError::unknown_table(table))?
             .clone();
         let unversioned = info.vv_col.is_none();
-        if unversioned && mirror {
+        if skips_mirror_pass(&info, mirror) {
             return Ok(());
         }
         let retry = self.retry;

@@ -122,7 +122,16 @@ impl MantisDriver {
     /// Consult the fault plan for one op. Records `fault.injected` when a
     /// decision is made.
     fn inject(&mut self, op: &'static str) -> Option<Injection> {
-        let inj = self.injector.as_mut()?.decide(op, self.clock.now())?;
+        self.inject_on(op, None)
+    }
+
+    /// Consult the fault plan for one op addressed at hardware pipe
+    /// `pipe` (when `Some`), so pipe-scoped fault rules can target it.
+    fn inject_on(&mut self, op: &'static str, pipe: Option<u16>) -> Option<Injection> {
+        let inj = self
+            .injector
+            .as_mut()?
+            .decide_on(op, pipe, self.clock.now())?;
         if self.telemetry.is_enabled() {
             self.telemetry.counter_add(scopes::CTR_FAULTS_INJECTED, 1);
             self.telemetry
@@ -137,7 +146,17 @@ impl MantisDriver {
     /// `Err(Injected)` for failures (after spending the op's latency —
     /// the transport timed out) and scales the cost for delays.
     fn gate(&mut self, op: &'static str, cost: &mut Nanos) -> Result<(), DriverError> {
-        match self.inject(op) {
+        self.gate_on(op, None, cost)
+    }
+
+    /// Like `gate`, for an op addressed at one hardware pipe.
+    fn gate_on(
+        &mut self,
+        op: &'static str,
+        pipe: Option<u16>,
+        cost: &mut Nanos,
+    ) -> Result<(), DriverError> {
+        match self.inject_on(op, pipe) {
             Some(Injection::Fail { persistent }) => {
                 self.spend(op, *cost);
                 self.stats.injected_failures += 1;
@@ -227,9 +246,10 @@ impl MantisDriver {
         sw.table_del(table, handle)
     }
 
-    /// Update a table's default action. The master init table's default is
-    /// the most frequently updated object in Mantis (the vv/mv flip), so it
-    /// gets its own memoized (cheapest) cost class.
+    /// Update a table's default action in every pipe (fan-out). The
+    /// master init table's default is the most frequently updated object
+    /// in Mantis (the vv/mv flip), so it gets its own memoized (cheapest)
+    /// cost class.
     pub fn table_set_default(
         &mut self,
         sw: &mut Switch,
@@ -238,7 +258,32 @@ impl MantisDriver {
         data: Vec<Value>,
         is_init_flip: bool,
     ) -> Result<(), DriverError> {
-        let (op, mut cost) = if is_init_flip {
+        let (op, mut cost) = self.set_default_cost(table, is_init_flip);
+        self.gate(op, &mut cost)?;
+        self.spend(op, cost);
+        sw.table_set_default(table, action, data)
+    }
+
+    /// Update a table's default action in a *single* pipe — the per-pipe
+    /// version-variable flip. One device op per pipe, visible to
+    /// pipe-scoped fault rules.
+    pub fn table_set_default_on(
+        &mut self,
+        sw: &mut Switch,
+        pipe: u16,
+        table: TableId,
+        action: ActionId,
+        data: Vec<Value>,
+        is_init_flip: bool,
+    ) -> Result<(), DriverError> {
+        let (op, mut cost) = self.set_default_cost(table, is_init_flip);
+        self.gate_on(op, Some(pipe), &mut cost)?;
+        self.spend(op, cost);
+        sw.table_set_default_on(pipe, table, action, data)
+    }
+
+    fn set_default_cost(&mut self, table: TableId, is_init_flip: bool) -> (&'static str, Nanos) {
+        if is_init_flip {
             let cost = if self.memo.insert(MemoKey::InitDefault(table)) {
                 self.cost.table_update_cold_ns
             } else {
@@ -247,10 +292,7 @@ impl MantisDriver {
             ("init_flip", cost)
         } else {
             ("set_default", self.table_op_cost(table))
-        };
-        self.gate(op, &mut cost)?;
-        self.spend(op, cost);
-        sw.table_set_default(table, action, data)
+        }
     }
 
     // -- register operations ----------------------------------------------------
@@ -269,7 +311,11 @@ impl MantisDriver {
         let width = sw.spec().register(reg).width;
         let width_bytes = usize::from(width).div_ceil(8);
         let n = (hi.saturating_sub(lo) + 1) as usize;
-        let mut cost = self.cost.register_read(n * width_bytes);
+        // One logical read touches every pipe's copy: the driver DMAs
+        // each pipe's range and aggregates in software (RBFRT-style), so
+        // the PCIe cost scales with `num_pipes` (identity at 1).
+        let num_pipes = usize::from(sw.config().num_pipes);
+        let mut cost = self.cost.register_read(n * width_bytes * num_pipes);
         let effect = self.inject("register_read");
         if let Some(Injection::Delay { factor_milli }) = effect {
             cost = scale(cost, factor_milli);
@@ -539,18 +585,18 @@ control ingress { apply(t); }
         let r = sw.register_id("r").unwrap();
         d.set_fault_plan(
             FaultPlan::new()
-                .rule(mantis_faults::FaultRule {
-                    op: FaultOp::Named("register_read"),
-                    effect: mantis_faults::FaultEffect::StaleRead,
-                    window: FaultWindow::Ops { lo: 1, hi: 2 },
-                    max_hits: Some(1),
-                })
-                .rule(mantis_faults::FaultRule {
-                    op: FaultOp::Named("register_read"),
-                    effect: mantis_faults::FaultEffect::CorruptRead { xor: 0xff },
-                    window: FaultWindow::Ops { lo: 2, hi: 3 },
-                    max_hits: Some(1),
-                }),
+                .rule(mantis_faults::FaultRule::new(
+                    FaultOp::Named("register_read"),
+                    mantis_faults::FaultEffect::StaleRead,
+                    FaultWindow::Ops { lo: 1, hi: 2 },
+                    Some(1),
+                ))
+                .rule(mantis_faults::FaultRule::new(
+                    FaultOp::Named("register_read"),
+                    mantis_faults::FaultEffect::CorruptRead { xor: 0xff },
+                    FaultWindow::Ops { lo: 2, hi: 3 },
+                    Some(1),
+                )),
         );
         sw.register_write(r, 0, Value::new(7, 32));
         // Op 0: clean read, primes the stale cache.

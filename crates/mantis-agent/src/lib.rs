@@ -26,6 +26,7 @@ pub mod costmodel;
 pub mod ctx;
 pub mod driver;
 pub mod logical;
+pub mod sched;
 
 pub use agent::{
     AgentError, AgentErrorKind, AgentPhase, AgentStats, IterationReport, MantisAgent,
@@ -35,6 +36,7 @@ pub use costmodel::CostModel;
 pub use ctx::{CtxError, ReactionCtx, Snapshot};
 pub use driver::MantisDriver;
 pub use logical::{LogicalHandle, Staged, StagedOp};
+pub use sched::{schedule_agent, schedule_paced_agent};
 
 #[cfg(test)]
 mod tests {
@@ -362,6 +364,94 @@ control ingress {
             })
             .unwrap();
         assert_eq!(port_of(&sw), 6);
+    }
+
+    #[test]
+    fn unversioned_table_survives_add_and_del_in_one_iteration() {
+        // Regression: an unversioned table (no vv column — one physical
+        // entry set installed during prepare) receiving both an Add and a
+        // Del in the same iteration. The mirror pass must skip the
+        // physical writes for both ops via the same rule, leaving exactly
+        // the added entry behind with consistent bookkeeping.
+        let src = r#"
+header_type ip_t { fields { src : 32; dst : 32; } }
+header ip_t ip;
+malleable value knob { width : 32; init : 0; }
+action fwd(port) { modify_field(intr.egress_spec, port); }
+action to_drop() { drop(); }
+action touch() { add_to_field(ip.dst, ${knob}); }
+table blocklist {
+    reads { ip.src : exact; }
+    actions { fwd; to_drop; }
+    size : 16;
+}
+table adjust { actions { touch; } default_action : touch(); }
+reaction r(ing ip.src) { return 0; }
+control ingress { apply(blocklist); apply(adjust); }
+"#;
+        let compiled = compile_source(src, &CompilerOptions::default()).unwrap();
+        assert!(
+            compiled.iface.table("blocklist").unwrap().vv_col.is_none(),
+            "blocklist must be unversioned for this regression test"
+        );
+        let clock = Clock::new();
+        let spec = rmt_sim::load(&compiled.p4).unwrap();
+        let switch = Rc::new(RefCell::new(Switch::new(
+            spec,
+            SwitchConfig::default(),
+            clock.clone(),
+        )));
+        let mut agent = MantisAgent::new(switch.clone(), &compiled, CostModel::default());
+        agent.prologue().unwrap();
+
+        let h = Rc::new(RefCell::new(0u64));
+        let h2 = h.clone();
+        agent
+            .user_init(move |ctx| {
+                *h2.borrow_mut() = ctx.table_add(
+                    "blocklist",
+                    vec![LogicalKey::Exact(Value::new(1, 32))],
+                    0,
+                    "fwd",
+                    vec![Value::new(2, 9)],
+                )?;
+                Ok(())
+            })
+            .unwrap();
+        let handle = *h.borrow();
+        // One iteration: Add a new entry AND Del the existing one.
+        agent
+            .user_init(move |ctx| {
+                ctx.table_add(
+                    "blocklist",
+                    vec![LogicalKey::Exact(Value::new(2, 32))],
+                    0,
+                    "fwd",
+                    vec![Value::new(3, 9)],
+                )?;
+                ctx.table_del("blocklist", handle)?;
+                Ok(())
+            })
+            .unwrap();
+        // Exactly the added entry remains, physically and logically.
+        {
+            let sw = switch.borrow();
+            let t = sw.table_id("blocklist").unwrap();
+            assert_eq!(sw.table_len(t), 1);
+        }
+        assert_eq!(agent.logical_len("blocklist"), Some(1));
+        // The surviving entry matches src=2 → port 3; src=1 no longer hits.
+        let port_of = |src_val: u128| {
+            let mut swm = switch.borrow_mut();
+            let phv = PacketDesc::new(1)
+                .field("ip", "src", src_val)
+                .field("ip", "dst", 0)
+                .build(swm.spec());
+            let out = swm.run_pipeline(phv, Pipeline::Ingress);
+            out.egress_spec(swm.spec())
+        };
+        assert_eq!(port_of(2), 3);
+        assert_ne!(port_of(1), 2, "deleted entry still matches");
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Scheduling of the agent's dialogue loop onto a `netsim` event queue.
+//!
+//! Every Mantis use case drives the same loop; only the pacing policy
+//! differs (back-to-back busy loop vs a target period `T_d`, the Fig. 11
+//! CPU/latency trade-off). The policy is agent infrastructure, so it
+//! lives here rather than in the application crates — `mantis_apps::dos`
+//! and `mantis_apps::failover` re-export these for compatibility.
+
+use crate::agent::MantisAgent;
+use netsim::Simulator;
+use rmt_sim::Nanos;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Schedule the agent's dialogue loop as back-to-back iterations: each
+/// iteration advances the virtual clock by its own driver cost, and the
+/// next one starts right after it completes (the paper's busy loop).
+///
+/// # Panics
+/// Panics if a dialogue iteration fails; use [`schedule_paced_agent`]
+/// when the loop must survive injected faults.
+pub fn schedule_agent(sim: &mut Simulator, agent: Rc<RefCell<MantisAgent>>, start: Nanos) {
+    fn iterate(sim: &mut Simulator, agent: Rc<RefCell<MantisAgent>>) {
+        agent
+            .borrow_mut()
+            .dialogue_iteration()
+            .expect("dialogue iteration");
+        let next = sim.now() + 1;
+        sim.schedule(next, move |s| iterate(s, agent));
+    }
+    sim.schedule(start, move |s| iterate(s, agent));
+}
+
+/// Schedule the dialogue loop with a target period `T_d`: the next
+/// iteration starts `td_ns` after the previous one started (or immediately
+/// after it finished, if it ran longer).
+pub fn schedule_paced_agent(
+    sim: &mut Simulator,
+    agent: Rc<RefCell<MantisAgent>>,
+    td_ns: Nanos,
+    start: Nanos,
+) {
+    fn iterate(sim: &mut Simulator, agent: Rc<RefCell<MantisAgent>>, td: Nanos, started: Nanos) {
+        // A failed iteration (e.g. a persistent injected fault) degrades
+        // the loop instead of crashing it: the error is counted and the
+        // next iteration still gets scheduled — the transactional apply
+        // already restored a consistent device state.
+        if agent.borrow_mut().dialogue_iteration().is_err() {
+            sim.telemetry()
+                .counter_add("agent.paced_iteration_errors", 1);
+        }
+        let next = (started + td).max(sim.now() + 1);
+        sim.schedule(next, move |s| iterate(s, agent, td, next));
+    }
+    sim.schedule(start, move |s| iterate(s, agent, td_ns, start));
+}

@@ -151,20 +151,7 @@ pub fn build_testbed(
     }
 }
 
-/// Schedule the agent's dialogue loop as back-to-back iterations: each
-/// iteration advances the virtual clock by its own driver cost, and the
-/// next one starts right after it completes (the paper's busy loop).
-pub fn schedule_agent(sim: &mut Simulator, agent: Rc<RefCell<MantisAgent>>, start: Nanos) {
-    fn iterate(sim: &mut Simulator, agent: Rc<RefCell<MantisAgent>>) {
-        agent
-            .borrow_mut()
-            .dialogue_iteration()
-            .expect("dialogue iteration");
-        let next = sim.now() + 1;
-        sim.schedule(next, move |s| iterate(s, agent));
-    }
-    sim.schedule(start, move |s| iterate(s, agent));
-}
+pub use mantis_agent::sched::schedule_agent;
 
 /// Parameters of the Fig. 15 scenario.
 #[derive(Clone, Debug)]

@@ -284,29 +284,7 @@ pub fn build_testbed(topo: Topology, ts_ns: Nanos, eta: f64) -> FailoverTestbed 
     }
 }
 
-/// Schedule the dialogue loop with a target period `T_d`: the next
-/// iteration starts `td_ns` after the previous one started (or immediately
-/// after it finished, if it ran longer).
-pub fn schedule_paced_agent(
-    sim: &mut Simulator,
-    agent: Rc<RefCell<MantisAgent>>,
-    td_ns: Nanos,
-    start: Nanos,
-) {
-    fn iterate(sim: &mut Simulator, agent: Rc<RefCell<MantisAgent>>, td: Nanos, started: Nanos) {
-        // A failed iteration (e.g. a persistent injected fault) degrades
-        // the loop instead of crashing it: the error is counted and the
-        // next iteration still gets scheduled — the transactional apply
-        // already restored a consistent device state.
-        if agent.borrow_mut().dialogue_iteration().is_err() {
-            sim.telemetry()
-                .counter_add("agent.paced_iteration_errors", 1);
-        }
-        let next = (started + td).max(sim.now() + 1);
-        sim.schedule(next, move |s| iterate(s, agent, td, next));
-    }
-    sim.schedule(start, move |s| iterate(s, agent, td_ns, start));
-}
+pub use mantis_agent::sched::schedule_paced_agent;
 
 /// One Fig. 16 trial: fail a link at `fail_at_ns`, return the reaction
 /// time (failure → recomputed routes committed).

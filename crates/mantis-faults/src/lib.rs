@@ -121,9 +121,37 @@ pub struct FaultRule {
     /// fault: retries eventually pass). `None` → every matched op in the
     /// window is hit (a persistent fault).
     pub max_hits: Option<u32>,
+    /// Restrict the rule to ops addressed at one hardware pipe.
+    /// `None` matches every op; `Some(p)` matches only ops the driver
+    /// reports as targeting pipe `p` (ops with no pipe affinity — e.g.
+    /// fan-out writes — never match a pipe-scoped rule).
+    pub pipe: Option<u16>,
 }
 
 impl FaultRule {
+    /// A rule matching every pipe (the common case); use `.on_pipe(p)` to
+    /// scope it.
+    pub fn new(
+        op: FaultOp,
+        effect: FaultEffect,
+        window: FaultWindow,
+        max_hits: Option<u32>,
+    ) -> Self {
+        FaultRule {
+            op,
+            effect,
+            window,
+            max_hits,
+            pipe: None,
+        }
+    }
+
+    /// Scope this rule to ops targeting hardware pipe `pipe`.
+    pub fn on_pipe(mut self, pipe: u16) -> Self {
+        self.pipe = Some(pipe);
+        self
+    }
+
     /// Is this rule transient (bounded hit budget)? `Fail` rules use this
     /// to report `persistent` through `DriverError::Injected`.
     pub fn is_transient(&self) -> bool {
@@ -161,33 +189,23 @@ impl FaultPlan {
 
     /// Fail up to `hits` matched ops inside the window (transient).
     pub fn fail_transient(self, op: FaultOp, window: FaultWindow, hits: u32) -> Self {
-        self.rule(FaultRule {
-            op,
-            effect: FaultEffect::Fail,
-            window,
-            max_hits: Some(hits),
-        })
+        self.rule(FaultRule::new(op, FaultEffect::Fail, window, Some(hits)))
     }
 
     /// Fail every matched op inside the window (persistent).
     pub fn fail_persistent(self, op: FaultOp, window: FaultWindow) -> Self {
-        self.rule(FaultRule {
-            op,
-            effect: FaultEffect::Fail,
-            window,
-            max_hits: None,
-        })
+        self.rule(FaultRule::new(op, FaultEffect::Fail, window, None))
     }
 
     /// Multiply the latency of up to `hits` matched ops by
     /// `factor_milli/1000`.
     pub fn delay(self, op: FaultOp, window: FaultWindow, factor_milli: u32, hits: u32) -> Self {
-        self.rule(FaultRule {
+        self.rule(FaultRule::new(
             op,
-            effect: FaultEffect::Delay { factor_milli },
+            FaultEffect::Delay { factor_milli },
             window,
-            max_hits: Some(hits),
-        })
+            Some(hits),
+        ))
     }
 
     /// Schedule a link flap.
@@ -319,8 +337,18 @@ impl FaultInjector {
 
     /// Consult the plan for one driver op at virtual time `now`. Always
     /// counts the op; returns the first armed matching rule's effect, or
-    /// `None`. Suspended injectors count but never inject.
+    /// `None`. Suspended injectors count but never inject. Ops with no
+    /// pipe affinity (fan-out writes, aggregated reads) never match
+    /// pipe-scoped rules; use [`decide_on`](FaultInjector::decide_on) for
+    /// ops addressed at one pipe.
     pub fn decide(&mut self, op: &str, now: Nanos) -> Option<Injection> {
+        self.decide_on(op, None, now)
+    }
+
+    /// Like [`decide`](FaultInjector::decide), for a driver op targeting
+    /// hardware pipe `pipe` (when `Some`). Pipe-scoped rules match only
+    /// when the pipes agree.
+    pub fn decide_on(&mut self, op: &str, pipe: Option<u16>, now: Nanos) -> Option<Injection> {
         let count = self.op_count;
         self.op_count += 1;
         if self.suspended > 0 {
@@ -328,6 +356,9 @@ impl FaultInjector {
         }
         for (i, rule) in self.plan.rules.iter().enumerate() {
             if !rule.op.matches(op) || !rule.window.contains(count, now) {
+                continue;
+            }
+            if rule.pipe.is_some() && rule.pipe != pipe {
                 continue;
             }
             if let Some(budget) = rule.max_hits {
@@ -656,6 +687,36 @@ mod tests {
         );
         assert_eq!(inj.decide("register_read", 51), None, "delay budget spent");
         assert_eq!(inj.injected_total(), 3);
+    }
+
+    #[test]
+    fn pipe_scoped_rules_match_only_their_pipe() {
+        let plan = FaultPlan::new().rule(
+            FaultRule::new(
+                FaultOp::Named("init_flip"),
+                FaultEffect::Fail,
+                FaultWindow::Always,
+                None,
+            )
+            .on_pipe(2),
+        );
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.decide_on("init_flip", Some(0), 0), None);
+        assert_eq!(inj.decide_on("init_flip", Some(1), 0), None);
+        assert_eq!(
+            inj.decide_on("init_flip", Some(2), 0),
+            Some(Injection::Fail { persistent: true })
+        );
+        // Ops with no pipe affinity never match a pipe-scoped rule.
+        assert_eq!(inj.decide("init_flip", 0), None);
+        // Unscoped rules match pipe-addressed ops fine.
+        let mut inj = FaultInjector::new(
+            FaultPlan::new().fail_persistent(FaultOp::Named("init_flip"), FaultWindow::Always),
+        );
+        assert_eq!(
+            inj.decide_on("init_flip", Some(3), 0),
+            Some(Injection::Fail { persistent: true })
+        );
     }
 
     #[test]

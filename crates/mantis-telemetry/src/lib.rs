@@ -132,6 +132,16 @@ pub mod scopes {
     pub const GAUGE_QUARANTINED: &str = "agent.quarantined_reactions";
     /// 1 while at least one reaction is quarantined (degraded mode).
     pub const GAUGE_DEGRADED: &str = "agent.degraded";
+
+    // -- multi-pipe (DESIGN.md §9) -------------------------------------
+
+    /// Name a metric scoped to one hardware pipe (`pipe<p>.<name>`).
+    /// Multi-pipe switches label per-pipe counters this way; a
+    /// single-pipe switch emits the unprefixed name so existing traces
+    /// stay byte-identical.
+    pub fn pipe_metric(pipe: u16, name: &str) -> String {
+        format!("pipe{pipe}.{name}")
+    }
 }
 
 // -- configuration ----------------------------------------------------------

@@ -44,8 +44,8 @@ pub use reaction_interp;
 pub use rmt_sim;
 
 pub use mantis_agent::{
-    AgentError, AgentErrorKind, AgentPhase, CostModel, MantisAgent, NativeReaction, ReactionCtx,
-    ReactionFailure,
+    schedule_agent, schedule_paced_agent, AgentError, AgentErrorKind, AgentPhase, CostModel,
+    MantisAgent, NativeReaction, ReactionCtx, ReactionFailure,
 };
 pub use mantis_faults::{
     BreakerConfig, BreakerState, CircuitBreaker, FaultInjector, FaultOp, FaultPlan, FaultWindow,
@@ -97,11 +97,35 @@ impl fmt::Display for TestbedError {
 
 impl std::error::Error for TestbedError {}
 
+/// Number of hardware pipes requested via the `MANTIS_PIPES` environment
+/// variable (tests and CI legs sweep pipe counts this way); 1 when unset
+/// or unparsable.
+pub fn pipes_from_env() -> u16 {
+    std::env::var("MANTIS_PIPES")
+        .ok()
+        .and_then(|v| v.parse::<u16>().ok())
+        .map_or(1, |p| p.max(1))
+}
+
 impl Testbed {
     /// Compile P4R source, load it into a default-config switch, attach an
     /// agent (running its prologue), and wrap everything in a simulator.
     pub fn from_p4r(src: &str) -> Result<Testbed, TestbedError> {
         Testbed::with_config(src, SwitchConfig::default(), CostModel::default())
+    }
+
+    /// Compile and load onto a switch with `num_pipes` hardware pipes
+    /// (other switch and cost settings default). `num_pipes = 1` is
+    /// behaviorally identical to [`Testbed::from_p4r`].
+    pub fn from_p4r_with_pipes(src: &str, num_pipes: u16) -> Result<Testbed, TestbedError> {
+        Testbed::with_config(
+            src,
+            SwitchConfig {
+                num_pipes,
+                ..SwitchConfig::default()
+            },
+            CostModel::default(),
+        )
     }
 
     /// Same, with explicit switch/cost configuration.
@@ -145,14 +169,9 @@ impl Testbed {
     /// one iteration per `pace_ns`.
     pub fn start_agent(&mut self, pace_ns: u64) {
         if pace_ns == 0 {
-            mantis_apps::dos::schedule_agent(&mut self.sim, self.agent.clone(), 0);
+            mantis_agent::schedule_agent(&mut self.sim, self.agent.clone(), 0);
         } else {
-            mantis_apps::failover::schedule_paced_agent(
-                &mut self.sim,
-                self.agent.clone(),
-                pace_ns,
-                0,
-            );
+            mantis_agent::schedule_paced_agent(&mut self.sim, self.agent.clone(), pace_ns, 0);
         }
     }
 }

@@ -207,6 +207,45 @@ fn tcp_send(sim: &mut Simulator, state: Rc<RefCell<TcpState>>, gen: u64) {
     sim.schedule(next, move |s| tcp_send(s, state, gen));
 }
 
+/// Ingress ports spread round-robin across the switch's hardware pipes:
+/// entry `i` is the `i / num_pipes`-th port of pipe `i % num_pipes`.
+/// On a single-pipe switch this degenerates to `0, 1, 2, ...`. Ports past
+/// the end of a pipe's contiguous range wrap back into pipe order, so the
+/// result always holds `n` valid ports as long as the switch has any.
+pub fn ports_across_pipes(sim: &Simulator, n: usize) -> Vec<PortId> {
+    let sw = sim.switch().borrow();
+    let num_ports = sw.config().num_ports;
+    let num_pipes = sw.num_pipes();
+    let ports_per_pipe = num_ports.div_ceil(num_pipes);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let pipe = (i as u16) % num_pipes;
+        let offset = (i as u16) / num_pipes;
+        let port = pipe * ports_per_pipe + offset % ports_per_pipe;
+        out.push(port.min(num_ports.saturating_sub(1)));
+    }
+    out
+}
+
+/// Spawn `n` TCP flows from `base`, with ingress ports spread across the
+/// switch's hardware pipes via [`ports_across_pipes`] so a multi-pipe run
+/// exercises every pipe's packet path concurrently.
+pub fn spawn_tcp_across_pipes(
+    sim: &mut Simulator,
+    base: TcpConfig,
+    n: usize,
+) -> Vec<Rc<RefCell<TcpState>>> {
+    let ports = ports_across_pipes(sim, n);
+    ports
+        .into_iter()
+        .map(|port| {
+            let mut cfg = base.clone();
+            cfg.ingress_port = port;
+            spawn_tcp(sim, cfg)
+        })
+        .collect()
+}
+
 /// Configuration of a constant-bit-rate UDP sender (the Fig. 15 attacker).
 #[derive(Clone, Debug)]
 pub struct UdpConfig {
@@ -444,6 +483,31 @@ control ingress { apply(hb); apply(route); }
         let st = flow.borrow();
         assert!(st.stopped);
         assert!((40..=60).contains(&st.sent_pkts), "sent {}", st.sent_pkts);
+    }
+
+    #[test]
+    fn ports_spread_round_robin_across_pipes() {
+        let clock = Clock::new();
+        let sw: Switch = switch_from_source(
+            PROG,
+            SwitchConfig {
+                num_ports: 8,
+                num_pipes: 4,
+                ..Default::default()
+            },
+            clock,
+        )
+        .unwrap();
+        let sim = Simulator::new(Rc::new(RefCell::new(sw)));
+        let ports = ports_across_pipes(&sim, 8);
+        let pipes: Vec<u16> = {
+            let sw = sim.switch().borrow();
+            ports.iter().map(|p| sw.pipe_of_port(*p)).collect()
+        };
+        // 4 pipes, 2 ports each: the first four flows land on distinct
+        // pipes, then the assignment wraps onto each pipe's second port.
+        assert_eq!(pipes, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(ports, vec![0, 2, 4, 6, 1, 3, 5, 7]);
     }
 
     #[test]

@@ -20,8 +20,8 @@ pub mod trace;
 
 pub use faults::{schedule_link_flap, schedule_link_flaps};
 pub use flows::{
-    spawn_heartbeats, spawn_tcp, spawn_udp, HeartbeatConfig, TcpConfig, TcpState, UdpConfig,
-    UdpState,
+    ports_across_pipes, spawn_heartbeats, spawn_tcp, spawn_tcp_across_pipes, spawn_udp,
+    HeartbeatConfig, TcpConfig, TcpState, UdpConfig, UdpState,
 };
 pub use metrics::{mad, mean, mean_abs_dev, median, percentile, BucketSeries};
 pub use sim::Simulator;

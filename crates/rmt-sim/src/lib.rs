@@ -35,5 +35,7 @@ pub mod table;
 pub use clock::{Clock, Nanos};
 pub use phv::{PacketDesc, Phv};
 pub use spec::{load, ActionId, DataPlaneSpec, FieldId, LoadError, PortId, RegisterId, TableId};
-pub use switch::{switch_from_source, DriverError, Switch, SwitchConfig, TxPacket};
+pub use switch::{
+    switch_from_source, DriverError, Pipe, ReadAgg, Switch, SwitchConfig, TableCheckpoint, TxPacket,
+};
 pub use table::{EntryHandle, KeyField, Table, TableError};

@@ -15,7 +15,7 @@ use crate::spec::{
 };
 use crate::table::{EntryHandle, KeyField, Lookup, Table, TableError};
 use crate::{hash, spec};
-use mantis_telemetry::{Scope, Telemetry};
+use mantis_telemetry::{scopes::pipe_metric, Scope, Telemetry};
 use p4_ast::{CmpOp, Pipeline, Value};
 use std::collections::VecDeque;
 use std::fmt;
@@ -24,7 +24,14 @@ use std::rc::Rc;
 /// Switch configuration.
 #[derive(Clone, Debug)]
 pub struct SwitchConfig {
+    /// Total front-panel ports across all pipes.
     pub num_ports: u16,
+    /// Number of independent hardware pipes. Ports are partitioned
+    /// contiguously across pipes (`ceil(num_ports / num_pipes)` per pipe);
+    /// each pipe has its own tables, registers, port state, and TM queues,
+    /// while the stage layout (`DataPlaneSpec`) is shared. `0` is
+    /// normalized to `1`.
+    pub num_pipes: u16,
     /// Port line rate in bits per second (uniform).
     pub port_rate_bps: u64,
     /// Per-port queue capacity in bytes (tail drop beyond this).
@@ -40,6 +47,7 @@ impl Default for SwitchConfig {
     fn default() -> Self {
         SwitchConfig {
             num_ports: 32,
+            num_pipes: 1,
             port_rate_bps: 25_000_000_000, // 25 Gbps, as in the paper's testbed
             queue_capacity_bytes: 1 << 20, // 1 MiB per port
             timing: PipelineTiming::default(),
@@ -99,6 +107,50 @@ struct PortQueue {
     busy_until: Nanos,
 }
 
+/// One hardware pipe: its own table entry stores, register files, port
+/// state, and traffic-manager queues. The stage layout (`DataPlaneSpec`)
+/// and the flattened apply plans are shared across pipes — pipes differ
+/// only in runtime state, matching a multi-pipe ASIC where every pipe
+/// runs the same compiled program.
+pub struct Pipe {
+    tables: Vec<Table>,
+    registers: Vec<RegisterArray>,
+    ports: Vec<PortState>,
+    queues: Vec<PortQueue>,
+}
+
+impl fmt::Debug for Pipe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pipe")
+            .field("tables", &self.tables.len())
+            .field("registers", &self.registers.len())
+            .field("ports", &self.ports.len())
+            .finish()
+    }
+}
+
+/// Snapshot of one logical table across every pipe, plus the shared
+/// handle counter, as captured by [`Switch::table_checkpoint`].
+#[derive(Clone, Debug)]
+pub struct TableCheckpoint {
+    pipes: Vec<Table>,
+    next_handle: u64,
+}
+
+/// How a control-plane register read combines per-pipe values into one
+/// logical value per index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadAgg {
+    /// Element-wise wrapping sum — correct for data-plane counters and
+    /// anything written by at most one pipe (e.g. per-port state mirrored
+    /// only into the owning pipe).
+    Sum,
+    /// Element-wise maximum — correct for registers the control plane
+    /// writes symmetrically to every pipe (a sum would multiply the value
+    /// by `num_pipes`).
+    Max,
+}
+
 /// A packet part-way through a pipeline, used for stage-interleaved
 /// execution in isolation tests.
 #[derive(Clone, Debug)]
@@ -107,11 +159,18 @@ pub struct Execution {
     pipeline: Pipeline,
     next_stage: u32,
     total_stages: u32,
+    /// The hardware pipe this packet executes in.
+    pipe: u16,
 }
 
 impl Execution {
     pub fn done(&self) -> bool {
         self.next_stage >= self.total_stages || self.phv.dropped
+    }
+
+    /// The hardware pipe this execution runs in.
+    pub fn pipe(&self) -> u16 {
+        self.pipe
     }
 }
 
@@ -123,6 +182,7 @@ pub enum DriverError {
     UnknownRegister(String),
     UnknownAction(String),
     BadPort(PortId),
+    BadPipe(u16),
     /// A fault injected by a `mantis-faults` plan before the op reached
     /// the device (no state was mutated). `persistent` distinguishes
     /// retry-recoverable transport glitches from hard faults.
@@ -155,6 +215,7 @@ impl fmt::Display for DriverError {
             DriverError::UnknownRegister(s) => write!(f, "unknown register `{s}`"),
             DriverError::UnknownAction(s) => write!(f, "unknown action `{s}`"),
             DriverError::BadPort(p) => write!(f, "port {p} out of range"),
+            DriverError::BadPipe(p) => write!(f, "pipe {p} out of range"),
             DriverError::Injected { op, persistent } => write!(
                 f,
                 "injected {} fault in `{op}`",
@@ -186,15 +247,20 @@ struct GuardedApply {
     guards: Vec<(RBool, bool)>,
 }
 
-/// The simulated switch.
+/// The simulated switch: `num_pipes` independent [`Pipe`]s sharing one
+/// compiled [`DataPlaneSpec`].
 pub struct Switch {
     spec: DataPlaneSpec,
     config: SwitchConfig,
     clock: Clock,
-    tables: Vec<Table>,
-    registers: Vec<RegisterArray>,
-    ports: Vec<PortState>,
-    queues: Vec<PortQueue>,
+    pipes: Vec<Pipe>,
+    /// Ports per pipe (`ceil(num_ports / num_pipes)`); the port→pipe map
+    /// is `pipe = port / ports_per_pipe`, contiguous like real front
+    /// panels.
+    ports_per_pipe: u16,
+    /// Per-table next entry handle, shared across pipes so a fan-out
+    /// `table_add` lands under the same handle in every pipe.
+    next_handles: Vec<u64>,
     /// Guarded applies bucketed by stage (outer index), so a stage step
     /// touches only its own applies instead of filtering the whole plan.
     ingress_plan: Vec<Vec<GuardedApply>>,
@@ -213,37 +279,47 @@ pub struct Switch {
 impl fmt::Debug for Switch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Switch")
-            .field("tables", &self.tables.len())
-            .field("registers", &self.registers.len())
-            .field("ports", &self.ports.len())
+            .field("pipes", &self.pipes.len())
+            .field("tables", &self.next_handles.len())
+            .field("ports", &(self.config.num_ports as usize))
             .field("stats", &self.stats)
             .finish()
     }
 }
 
 impl Switch {
-    pub fn new(spec: DataPlaneSpec, config: SwitchConfig, clock: Clock) -> Self {
-        let tables = spec.tables.iter().map(Table::new).collect();
-        let registers = spec.registers.iter().map(RegisterArray::new).collect();
-        let ports = (0..config.num_ports)
-            .map(|_| PortState {
-                up: true,
-                ..Default::default()
+    pub fn new(spec: DataPlaneSpec, mut config: SwitchConfig, clock: Clock) -> Self {
+        config.num_pipes = config.num_pipes.max(1);
+        let num_pipes = config.num_pipes;
+        let ports_per_pipe = config.num_ports.div_ceil(num_pipes);
+        let pipes = (0..num_pipes)
+            .map(|p| {
+                let lo = p * ports_per_pipe;
+                let hi = (lo + ports_per_pipe).min(config.num_ports);
+                let local_ports = hi.saturating_sub(lo);
+                Pipe {
+                    tables: spec.tables.iter().map(Table::new).collect(),
+                    registers: spec.registers.iter().map(RegisterArray::new).collect(),
+                    ports: (0..local_ports)
+                        .map(|_| PortState {
+                            up: true,
+                            ..Default::default()
+                        })
+                        .collect(),
+                    queues: (0..local_ports).map(|_| PortQueue::default()).collect(),
+                }
             })
             .collect();
-        let queues = (0..config.num_ports)
-            .map(|_| PortQueue::default())
-            .collect();
+        let next_handles = vec![1u64; spec.tables.len()];
         let ingress_plan = bucket_by_stage(flatten(&spec, &spec.ingress), spec.ingress_stages);
         let egress_plan = bucket_by_stage(flatten(&spec, &spec.egress), spec.egress_stages);
         Switch {
             spec,
             config,
             clock,
-            tables,
-            registers,
-            ports,
-            queues,
+            pipes,
+            ports_per_pipe,
+            next_handles,
             ingress_plan,
             egress_plan,
             transmitted: Vec::new(),
@@ -253,6 +329,31 @@ impl Switch {
             apply_scratch: Vec::new(),
             hash_scratch: Vec::new(),
         }
+    }
+
+    // -- port → pipe map ------------------------------------------------------
+
+    /// Number of hardware pipes.
+    pub fn num_pipes(&self) -> u16 {
+        self.config.num_pipes
+    }
+
+    /// Map a global port to `(pipe, local_port)`; `None` for ports outside
+    /// the front panel (e.g. the recirculation port).
+    pub fn port_slot(&self, port: PortId) -> Option<(usize, usize)> {
+        if port >= self.config.num_ports {
+            return None;
+        }
+        Some((
+            (port / self.ports_per_pipe) as usize,
+            (port % self.ports_per_pipe) as usize,
+        ))
+    }
+
+    /// The pipe a port belongs to, clamping out-of-panel ports (like the
+    /// recirculation port) to the last pipe — execution needs *some* pipe.
+    pub fn pipe_of_port(&self, port: PortId) -> u16 {
+        (port / self.ports_per_pipe).min(self.config.num_pipes - 1)
     }
 
     /// Attach a shared telemetry handle: the traffic manager publishes
@@ -304,20 +405,35 @@ impl Switch {
     /// Inject a pre-built PHV.
     pub fn inject_phv(&mut self, mut phv: Phv) -> bool {
         self.stats.rx += 1;
+        let in_port = phv.ingress_port(&self.spec);
+        let exec_pipe = self.pipe_of_port(in_port);
         if self.telemetry.is_enabled() {
             self.telemetry.counter_add("switch.rx", 1);
+            if self.config.num_pipes > 1 {
+                self.telemetry
+                    .counter_add(&pipe_metric(exec_pipe, "switch.rx"), 1);
+            }
         }
-        let in_port = phv.ingress_port(&self.spec) as usize;
-        if let Some(p) = self.ports.get_mut(in_port) {
+        if let Some((pipe, local)) = self.port_slot(in_port) {
+            let p = &mut self.pipes[pipe].ports[local];
             if !p.up {
                 self.stats.dropped_port_down += 1;
                 if self.telemetry.is_enabled() {
-                    self.telemetry.instant(
-                        Scope::Switch,
-                        "drop_port_down",
-                        self.clock.now(),
-                        &[("port", in_port as i128)],
-                    );
+                    if self.config.num_pipes > 1 {
+                        self.telemetry.instant(
+                            Scope::Switch,
+                            "drop_port_down",
+                            self.clock.now(),
+                            &[("port", i128::from(in_port)), ("pipe", pipe as i128)],
+                        );
+                    } else {
+                        self.telemetry.instant(
+                            Scope::Switch,
+                            "drop_port_down",
+                            self.clock.now(),
+                            &[("port", i128::from(in_port))],
+                        );
+                    }
                 }
                 return false;
             }
@@ -367,26 +483,38 @@ impl Switch {
 
     fn enqueue(&mut self, port: PortId, mut phv: Phv) -> bool {
         let bytes = phv.frame_len(&self.spec);
-        let Some(q) = self.queues.get_mut(port as usize) else {
+        let Some((pipe, local)) = self.port_slot(port) else {
             self.stats.dropped_ingress += 1;
             return false;
         };
+        let q = &mut self.pipes[pipe].queues[local];
         if q.depth_bytes + bytes > self.config.queue_capacity_bytes {
             let depth = q.depth_bytes;
             self.stats.dropped_queue += 1;
-            if let Some(p) = self.ports.get_mut(port as usize) {
-                p.queue_drops += 1;
-            }
+            self.pipes[pipe].ports[local].queue_drops += 1;
             if self.telemetry.is_enabled() {
-                self.telemetry.instant(
-                    Scope::TrafficManager,
-                    "drop_queue_full",
-                    self.clock.now(),
-                    &[
-                        ("port", i128::from(port)),
-                        ("depth_bytes", i128::from(depth)),
-                    ],
-                );
+                if self.config.num_pipes > 1 {
+                    self.telemetry.instant(
+                        Scope::TrafficManager,
+                        "drop_queue_full",
+                        self.clock.now(),
+                        &[
+                            ("port", i128::from(port)),
+                            ("depth_bytes", i128::from(depth)),
+                            ("pipe", pipe as i128),
+                        ],
+                    );
+                } else {
+                    self.telemetry.instant(
+                        Scope::TrafficManager,
+                        "drop_queue_full",
+                        self.clock.now(),
+                        &[
+                            ("port", i128::from(port)),
+                            ("depth_bytes", i128::from(depth)),
+                        ],
+                    );
+                }
             }
             return false;
         }
@@ -408,9 +536,16 @@ impl Switch {
         // Latency from enqueue to the first wire byte (egress pipeline +
         // fixed overheads; the ingress half happened before enqueue).
         let pipe_ns: Nanos = t.fixed / 2 + u64::from(self.spec.egress_stages) * t.per_stage;
-        for port in 0..self.queues.len() {
+        // Global port order, not pipe-major order: identical service order
+        // to the single-pipe switch, so pipes=1 traces stay byte-identical
+        // and multi-pipe runs remain deterministic.
+        for port in 0..self.config.num_ports {
+            let (pipe, local) = match self.port_slot(port) {
+                Some(slot) => slot,
+                None => continue,
+            };
             loop {
-                let q = &mut self.queues[port];
+                let q = &mut self.pipes[pipe].queues[local];
                 let Some(head) = q.packets.front() else {
                     break;
                 };
@@ -425,8 +560,8 @@ impl Switch {
                 };
                 q.depth_bytes -= bytes;
                 let tx_time = tx_start + self.wire_time(bytes);
-                self.queues[port].busy_until = tx_time;
-                self.mirror_qdepth(port as PortId);
+                self.pipes[pipe].queues[local].busy_until = tx_time;
+                self.mirror_qdepth(port);
                 if self.telemetry.is_enabled() {
                     // The dequeue→wire window of this packet on the
                     // virtual timeline.
@@ -437,7 +572,7 @@ impl Switch {
                 }
 
                 let mut phv = phv;
-                phv.set_intr(&self.spec, "egress_port", port as u64);
+                phv.set_intr(&self.spec, "egress_port", u64::from(port));
                 let mut exec = self.exec_start(phv, Pipeline::Egress);
                 while !exec.done() {
                     self.exec_step(&mut exec);
@@ -447,7 +582,8 @@ impl Switch {
                     self.stats.dropped_ingress += 1;
                     continue;
                 }
-                if let Some(p) = self.ports.get_mut(port) {
+                {
+                    let p = &mut self.pipes[pipe].ports[local];
                     if !p.up {
                         self.stats.dropped_port_down += 1;
                         continue;
@@ -458,9 +594,13 @@ impl Switch {
                 self.stats.tx += 1;
                 if self.telemetry.is_enabled() {
                     self.telemetry.counter_add("switch.tx", 1);
+                    if self.config.num_pipes > 1 {
+                        self.telemetry
+                            .counter_add(&pipe_metric(pipe as u16, "switch.tx"), 1);
+                    }
                 }
                 self.transmitted.push(TxPacket {
-                    port: port as PortId,
+                    port,
                     phv,
                     time: tx_time,
                 });
@@ -480,16 +620,22 @@ impl Switch {
 
     /// Current queue depth in bytes for a port.
     pub fn queue_depth(&self, port: PortId) -> u32 {
-        self.queues
-            .get(port as usize)
-            .map(|q| q.depth_bytes)
+        self.port_slot(port)
+            .map(|(pipe, local)| self.pipes[pipe].queues[local].depth_bytes)
             .unwrap_or(0)
     }
 
     fn mirror_qdepth(&mut self, port: PortId) {
         let depth = self.queue_depth(port);
+        let Some((pipe, _)) = self.port_slot(port) else {
+            return;
+        };
         if let Some(rid) = self.qdepth_register {
-            self.registers[rid.0 as usize].write(port as usize, Value::new(u128::from(depth), 64));
+            // Only the owning pipe sees its ports' depths, at the *global*
+            // port index — a cross-pipe aggregated read therefore
+            // reconstructs the full panel (every other pipe holds zero).
+            self.pipes[pipe].registers[rid.0 as usize]
+                .write(port as usize, Value::new(u128::from(depth), 64));
         }
         if self.telemetry.is_enabled() {
             self.telemetry
@@ -499,8 +645,21 @@ impl Switch {
 
     // -- staged execution -----------------------------------------------------
 
-    /// Begin a staged execution of one pipeline over a PHV.
+    /// Begin a staged execution of one pipeline over a PHV. The pipe is
+    /// derived from the packet's port: ingress port for ingress passes,
+    /// the `egress_port` intrinsic for egress passes.
     pub fn exec_start(&self, phv: Phv, pipeline: Pipeline) -> Execution {
+        let port = match pipeline {
+            Pipeline::Ingress => phv.ingress_port(&self.spec),
+            Pipeline::Egress => phv.intr(&self.spec, "egress_port").as_u64() as PortId,
+        };
+        self.exec_start_on(phv, pipeline, self.pipe_of_port(port))
+    }
+
+    /// Begin a staged execution pinned to a specific pipe (out-of-range
+    /// pipes are clamped). Isolation tests use this to interleave packets
+    /// across pipes explicitly.
+    pub fn exec_start_on(&self, phv: Phv, pipeline: Pipeline, pipe: u16) -> Execution {
         let total_stages = match pipeline {
             Pipeline::Ingress => self.spec.ingress_stages,
             Pipeline::Egress => self.spec.egress_stages,
@@ -510,6 +669,7 @@ impl Switch {
             pipeline,
             next_stage: 0,
             total_stages,
+            pipe: pipe.min(self.config.num_pipes - 1),
         }
     }
 
@@ -544,7 +704,7 @@ impl Switch {
             );
         }
         for &tid in &to_apply {
-            self.apply_table(tid, &mut exec.phv);
+            self.apply_table(tid, exec.pipe as usize, &mut exec.phv);
             if exec.phv.dropped {
                 break;
             }
@@ -561,9 +721,22 @@ impl Switch {
         e.phv
     }
 
-    fn apply_table(&mut self, tid: TableId, phv: &mut Phv) {
-        let tspec = &self.spec.tables[tid.0 as usize];
-        let result = self.tables[tid.0 as usize].lookup(tspec, phv);
+    /// Run a full pipeline over a PHV in a specific pipe.
+    pub fn run_pipeline_on(&mut self, phv: Phv, pipeline: Pipeline, pipe: u16) -> Phv {
+        let mut e = self.exec_start_on(phv, pipeline, pipe);
+        while !e.done() {
+            self.exec_step(&mut e);
+        }
+        e.phv
+    }
+
+    fn apply_table(&mut self, tid: TableId, pipe: usize, phv: &mut Phv) {
+        // Split borrows: the spec is read-only while the pipe's tables and
+        // registers and the shared hash scratch are mutated.
+        let spec = &self.spec;
+        let pipe_state = &mut self.pipes[pipe];
+        let tspec = &spec.tables[tid.0 as usize];
+        let result = pipe_state.tables[tid.0 as usize].lookup(tspec, phv);
         let (action, data) = match result {
             Lookup::Hit {
                 action,
@@ -576,16 +749,22 @@ impl Switch {
             } => (action, action_data),
             Lookup::Miss => return,
         };
-        self.run_action(action, &data, phv);
+        let registers = &mut pipe_state.registers;
+        let hash_scratch = &mut self.hash_scratch;
+        for prim in &spec.actions[action.0 as usize].body {
+            run_primitive(spec, registers, hash_scratch, prim, &data, phv);
+        }
     }
 
-    /// Execute an action body against a PHV.
+    /// Execute an action body against a PHV (in pipe 0).
     pub fn run_action(&mut self, action: ActionId, data: &[Value], phv: &mut Phv) {
-        // Split borrows: the spec (action bodies, widths, calcs) is read-only
-        // while the register file and the hash scratch are mutated — no
-        // per-packet cloning or allocation.
+        self.run_action_on(action, data, 0, phv);
+    }
+
+    /// Execute an action body against a PHV in a specific pipe.
+    pub fn run_action_on(&mut self, action: ActionId, data: &[Value], pipe: u16, phv: &mut Phv) {
         let spec = &self.spec;
-        let registers = &mut self.registers;
+        let registers = &mut self.pipes[pipe as usize].registers;
         let hash_scratch = &mut self.hash_scratch;
         for prim in &spec.actions[action.0 as usize].body {
             run_primitive(spec, registers, hash_scratch, prim, data, phv);
@@ -593,24 +772,33 @@ impl Switch {
     }
 
     /// Publish per-table lookup/hit counters as telemetry gauges (no-op on
-    /// a disabled handle). Called explicitly — e.g. by the bench/figures
-    /// profiling paths — rather than per packet, so the hot path stays free
-    /// of telemetry work and existing golden traces are unaffected.
+    /// a disabled handle), summed across pipes. Called explicitly — e.g.
+    /// by the bench/figures profiling paths — rather than per packet, so
+    /// the hot path stays free of telemetry work and existing golden
+    /// traces are unaffected.
     pub fn publish_table_stats(&self) {
         if !self.telemetry.is_enabled() {
             return;
         }
-        for (t, tspec) in self.tables.iter().zip(self.spec.tables.iter()) {
+        for (i, tspec) in self.spec.tables.iter().enumerate() {
+            let (lookups, hits) = self.pipes.iter().fold((0u64, 0u64), |(l, h), p| {
+                (l + p.tables[i].lookups, h + p.tables[i].hits)
+            });
             let name = &tspec.name;
             self.telemetry
-                .gauge_set(&format!("table.{name}.lookups"), t.lookups as i128);
+                .gauge_set(&format!("table.{name}.lookups"), lookups as i128);
             self.telemetry
-                .gauge_set(&format!("table.{name}.hits"), t.hits as i128);
+                .gauge_set(&format!("table.{name}.hits"), hits as i128);
         }
     }
 
     // -- driver API -----------------------------------------------------------
 
+    /// Install an entry in *every* pipe under one shared handle (symmetric
+    /// fan-out, like a Tofino driver writing a table in all-pipes scope).
+    /// Validation runs against pipe 0; because symmetric operations keep
+    /// all pipes identical, a failure there means no pipe was mutated, and
+    /// success there must succeed everywhere.
     pub fn table_add(
         &mut self,
         table: TableId,
@@ -630,14 +818,35 @@ impl Switch {
         }
         let key = Table::normalize_key(tspec, key);
         let (param_count, data) = self.fit_action_data(action, action_data);
-        Ok(self.tables[table.0 as usize].add_entry(
+        let handle = EntryHandle(self.next_handles[table.0 as usize]);
+        let mut pipes = self.pipes.iter_mut();
+        let first = pipes
+            .next()
+            .expect("invariant: switch has at least one pipe");
+        first.tables[table.0 as usize].add_entry_at(
             tspec,
-            key,
+            handle,
+            key.clone(),
             priority,
             action,
-            data,
+            data.clone(),
             param_count,
-        )?)
+        )?;
+        for p in pipes {
+            p.tables[table.0 as usize]
+                .add_entry_at(
+                    tspec,
+                    handle,
+                    key.clone(),
+                    priority,
+                    action,
+                    data.clone(),
+                    param_count,
+                )
+                .expect("invariant: symmetric table_add diverged across pipes");
+        }
+        self.next_handles[table.0 as usize] = handle.0 + 1;
+        Ok(handle)
     }
 
     pub fn table_mod(
@@ -647,31 +856,72 @@ impl Switch {
         action: ActionId,
         action_data: Vec<Value>,
     ) -> Result<(), DriverError> {
-        let tspec = &self.spec.tables[table.0 as usize];
         let (param_count, data) = self.fit_action_data(action, action_data);
-        Ok(self.tables[table.0 as usize].mod_entry(tspec, handle, action, data, param_count)?)
-    }
-
-    pub fn table_del(&mut self, table: TableId, handle: EntryHandle) -> Result<(), DriverError> {
-        self.tables[table.0 as usize].del_entry(handle)?;
+        let tspec = &self.spec.tables[table.0 as usize];
+        let mut pipes = self.pipes.iter_mut();
+        let first = pipes
+            .next()
+            .expect("invariant: switch has at least one pipe");
+        first.tables[table.0 as usize].mod_entry(
+            tspec,
+            handle,
+            action,
+            data.clone(),
+            param_count,
+        )?;
+        for p in pipes {
+            p.tables[table.0 as usize]
+                .mod_entry(tspec, handle, action, data.clone(), param_count)
+                .expect("invariant: symmetric table_mod diverged across pipes");
+        }
         Ok(())
     }
 
-    /// Snapshot one table's full driver-visible state (entries, lookup
-    /// indexes, default action, handle counter). Real drivers keep a
-    /// software shadow of every table; checkpoint/restore models
-    /// recovering the device from that shadow. Restoring is
+    pub fn table_del(&mut self, table: TableId, handle: EntryHandle) -> Result<(), DriverError> {
+        let mut pipes = self.pipes.iter_mut();
+        let first = pipes
+            .next()
+            .expect("invariant: switch has at least one pipe");
+        first.tables[table.0 as usize].del_entry(handle)?;
+        for p in pipes {
+            p.tables[table.0 as usize]
+                .del_entry(handle)
+                .expect("invariant: symmetric table_del diverged across pipes");
+        }
+        Ok(())
+    }
+
+    /// Snapshot one table's full driver-visible state in every pipe
+    /// (entries, lookup indexes, default actions, handle counter). Real
+    /// drivers keep a software shadow of every table; checkpoint/restore
+    /// models recovering the device from that shadow. Restoring is
     /// handle-stable: handles live at checkpoint time resolve again, and
     /// handles allocated after it vanish.
-    pub fn table_checkpoint(&self, table: TableId) -> Table {
-        self.tables[table.0 as usize].clone()
+    pub fn table_checkpoint(&self, table: TableId) -> TableCheckpoint {
+        TableCheckpoint {
+            pipes: self
+                .pipes
+                .iter()
+                .map(|p| p.tables[table.0 as usize].clone())
+                .collect(),
+            next_handle: self.next_handles[table.0 as usize],
+        }
     }
 
-    /// Restore a table to a previously checkpointed state.
-    pub fn table_restore(&mut self, table: TableId, checkpoint: Table) {
-        self.tables[table.0 as usize] = checkpoint;
+    /// Restore a table (in every pipe) to a previously checkpointed state.
+    pub fn table_restore(&mut self, table: TableId, checkpoint: TableCheckpoint) {
+        assert_eq!(
+            checkpoint.pipes.len(),
+            self.pipes.len(),
+            "invariant: table checkpoint taken on a switch with a different pipe count"
+        );
+        for (p, t) in self.pipes.iter_mut().zip(checkpoint.pipes) {
+            p.tables[table.0 as usize] = t;
+        }
+        self.next_handles[table.0 as usize] = checkpoint.next_handle;
     }
 
+    /// Set a table's default action in every pipe (symmetric fan-out).
     pub fn table_set_default(
         &mut self,
         table: TableId,
@@ -683,7 +933,31 @@ impl Switch {
             return Err(DriverError::Table(TableError::UnknownAction(action)));
         }
         let (_, data) = self.fit_action_data(action, action_data);
-        self.tables[table.0 as usize].set_default(action, data);
+        for p in &mut self.pipes {
+            p.tables[table.0 as usize].set_default(action, data.clone());
+        }
+        Ok(())
+    }
+
+    /// Set a table's default action in a *single* pipe. This is the
+    /// primitive behind per-pipe version-variable flips: one pipe commits
+    /// to the new config while others still serve the old one.
+    pub fn table_set_default_on(
+        &mut self,
+        pipe: u16,
+        table: TableId,
+        action: ActionId,
+        action_data: Vec<Value>,
+    ) -> Result<(), DriverError> {
+        if pipe >= self.config.num_pipes {
+            return Err(DriverError::BadPipe(pipe));
+        }
+        let tspec = &self.spec.tables[table.0 as usize];
+        if !tspec.actions.contains(&action) {
+            return Err(DriverError::Table(TableError::UnknownAction(action)));
+        }
+        let (_, data) = self.fit_action_data(action, action_data);
+        self.pipes[pipe as usize].tables[table.0 as usize].set_default(action, data);
         Ok(())
     }
 
@@ -698,37 +972,93 @@ impl Switch {
         (widths.len(), fitted)
     }
 
+    /// Entry count (pipe 0 view; symmetric ops keep all pipes equal).
     pub fn table_len(&self, table: TableId) -> usize {
-        self.tables[table.0 as usize].len()
+        self.pipes[0].tables[table.0 as usize].len()
     }
 
+    /// Table view in pipe 0 (symmetric ops keep all pipes equal).
     pub fn table_ref(&self, table: TableId) -> &Table {
-        &self.tables[table.0 as usize]
+        &self.pipes[0].tables[table.0 as usize]
     }
 
+    /// Table view in a specific pipe.
+    pub fn table_ref_on(&self, pipe: u16, table: TableId) -> &Table {
+        &self.pipes[pipe as usize].tables[table.0 as usize]
+    }
+
+    /// Read a register range aggregated across pipes with [`ReadAgg::Sum`]
+    /// — the right default for data-plane counters, and the identity at
+    /// `num_pipes = 1`.
     pub fn register_read_range(&self, reg: RegisterId, lo: u32, hi: u32) -> Vec<Value> {
-        self.registers[reg.0 as usize].read_range(lo, hi)
+        self.register_read_agg(reg, lo, hi, ReadAgg::Sum)
     }
 
+    /// Read a register range, combining per-pipe values element-wise.
+    pub fn register_read_agg(&self, reg: RegisterId, lo: u32, hi: u32, agg: ReadAgg) -> Vec<Value> {
+        let mut acc = self.pipes[0].registers[reg.0 as usize].read_range(lo, hi);
+        for p in &self.pipes[1..] {
+            let vals = p.registers[reg.0 as usize].read_range(lo, hi);
+            for (a, v) in acc.iter_mut().zip(vals) {
+                *a = match agg {
+                    ReadAgg::Sum => a.wrapping_add(v),
+                    ReadAgg::Max => {
+                        if v.bits() > a.bits() {
+                            v
+                        } else {
+                            *a
+                        }
+                    }
+                };
+            }
+        }
+        acc
+    }
+
+    /// Read a register range from a single pipe (no aggregation).
+    pub fn register_read_range_on(
+        &self,
+        pipe: u16,
+        reg: RegisterId,
+        lo: u32,
+        hi: u32,
+    ) -> Vec<Value> {
+        self.pipes[pipe as usize].registers[reg.0 as usize].read_range(lo, hi)
+    }
+
+    /// Control-plane register write, fanned out to every pipe. Registers
+    /// written this way should be read back with [`ReadAgg::Max`] (or
+    /// per-pipe) — a sum would multiply the value by `num_pipes`.
     pub fn register_write(&mut self, reg: RegisterId, index: u32, value: Value) {
-        self.registers[reg.0 as usize].write(index as usize, value);
+        for p in &mut self.pipes {
+            p.registers[reg.0 as usize].write(index as usize, value);
+        }
     }
 
+    /// Control-plane register write to a single pipe.
+    pub fn register_write_on(&mut self, pipe: u16, reg: RegisterId, index: u32, value: Value) {
+        self.pipes[pipe as usize].registers[reg.0 as usize].write(index as usize, value);
+    }
+
+    /// Register view in pipe 0.
     pub fn register_ref(&self, reg: RegisterId) -> &RegisterArray {
-        &self.registers[reg.0 as usize]
+        &self.pipes[0].registers[reg.0 as usize]
+    }
+
+    /// Register view in a specific pipe.
+    pub fn register_ref_on(&self, pipe: u16, reg: RegisterId) -> &RegisterArray {
+        &self.pipes[pipe as usize].registers[reg.0 as usize]
     }
 
     pub fn port_set_up(&mut self, port: PortId, up: bool) -> Result<(), DriverError> {
-        let p = self
-            .ports
-            .get_mut(port as usize)
-            .ok_or(DriverError::BadPort(port))?;
-        p.up = up;
+        let (pipe, local) = self.port_slot(port).ok_or(DriverError::BadPort(port))?;
+        self.pipes[pipe].ports[local].up = up;
         Ok(())
     }
 
     pub fn port(&self, port: PortId) -> Option<&PortState> {
-        self.ports.get(port as usize)
+        self.port_slot(port)
+            .map(|(pipe, local)| &self.pipes[pipe].ports[local])
     }
 
     // -- name-based conveniences (examples and tests) -------------------------
@@ -1165,5 +1495,162 @@ control ingress { apply(t); }
             ports.insert(p);
         }
         assert!(ports.len() > 1, "hash did not spread flows");
+    }
+
+    // -- multi-pipe -----------------------------------------------------------
+
+    fn mk_pipes(n: u16) -> Switch {
+        switch_from_source(
+            L2,
+            SwitchConfig {
+                num_pipes: n,
+                ..Default::default()
+            },
+            Clock::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn port_pipe_map_is_contiguous() {
+        let sw = mk_pipes(4); // 32 ports → 8 per pipe
+        assert_eq!(sw.num_pipes(), 4);
+        assert_eq!(sw.port_slot(0), Some((0, 0)));
+        assert_eq!(sw.port_slot(7), Some((0, 7)));
+        assert_eq!(sw.port_slot(8), Some((1, 0)));
+        assert_eq!(sw.port_slot(31), Some((3, 7)));
+        assert_eq!(sw.port_slot(32), None);
+        assert_eq!(sw.port_slot(68), None); // recirc port is off-panel
+        assert_eq!(sw.pipe_of_port(68), 3); // ...but clamps for execution
+    }
+
+    #[test]
+    fn zero_pipes_normalizes_to_one() {
+        let sw = mk_pipes(0);
+        assert_eq!(sw.num_pipes(), 1);
+        assert_eq!(sw.config().num_pipes, 1);
+    }
+
+    #[test]
+    fn table_add_fans_out_to_all_pipes() {
+        let mut sw = mk_pipes(4);
+        add_fwd(&mut sw, 0xAA, 3);
+        // Ports 1 (pipe 0) and 9 (pipe 1) both match the fanned-out entry.
+        assert!(sw.inject(&PacketDesc::new(1).field("eth", "dst", 0xAA).payload(100)));
+        assert!(sw.inject(&PacketDesc::new(9).field("eth", "dst", 0xAA).payload(100)));
+        sw.clock().advance(10_000);
+        sw.pump();
+        assert_eq!(sw.stats.tx, 2);
+        let t = sw.table_id("l2").unwrap();
+        for pipe in 0..4 {
+            assert_eq!(
+                sw.table_ref_on(pipe, t).len(),
+                1,
+                "pipe {pipe} missing entry"
+            );
+        }
+    }
+
+    #[test]
+    fn data_plane_registers_are_per_pipe_and_sum_aggregates() {
+        let mut sw = mk_pipes(4);
+        let t = sw.table_id("l2").unwrap();
+        let a = sw.action_id("fwd_count").unwrap();
+        sw.table_add(
+            t,
+            vec![KeyField::Exact(Value::new(0xCC, 48))],
+            0,
+            a,
+            vec![Value::new(2, 64), Value::new(1, 64)],
+        )
+        .unwrap();
+        // One packet in pipe 0 (port 1), one in pipe 1 (port 9); each
+        // writes its 64-byte frame length into its own pipe's register.
+        sw.inject(&PacketDesc::new(1).field("eth", "dst", 0xCC).payload(50));
+        sw.inject(&PacketDesc::new(9).field("eth", "dst", 0xCC).payload(50));
+        let r = sw.register_id("rx_bytes").unwrap();
+        assert_eq!(sw.register_read_range_on(0, r, 1, 1)[0].as_u64(), 64);
+        assert_eq!(sw.register_read_range_on(1, r, 1, 1)[0].as_u64(), 64);
+        assert_eq!(sw.register_read_range_on(2, r, 1, 1)[0].as_u64(), 0);
+        assert_eq!(sw.register_read_range(r, 1, 1)[0].as_u64(), 128); // Sum
+        assert_eq!(sw.register_read_agg(r, 1, 1, ReadAgg::Max)[0].as_u64(), 64);
+    }
+
+    #[test]
+    fn control_register_write_fans_out() {
+        let mut sw = mk_pipes(2);
+        let r = sw.register_id("rx_bytes").unwrap();
+        sw.register_write(r, 3, Value::new(7, 64));
+        assert_eq!(sw.register_read_range_on(0, r, 3, 3)[0].as_u64(), 7);
+        assert_eq!(sw.register_read_range_on(1, r, 3, 3)[0].as_u64(), 7);
+        assert_eq!(sw.register_read_agg(r, 3, 3, ReadAgg::Max)[0].as_u64(), 7);
+        sw.register_write_on(1, r, 3, Value::new(9, 64));
+        assert_eq!(sw.register_read_range_on(0, r, 3, 3)[0].as_u64(), 7);
+        assert_eq!(sw.register_read_agg(r, 3, 3, ReadAgg::Max)[0].as_u64(), 9);
+    }
+
+    #[test]
+    fn per_pipe_default_flip_is_isolated() {
+        let mut sw = mk_pipes(2);
+        let t = sw.table_id("l2").unwrap();
+        let fwd = sw.action_id("fwd").unwrap();
+        // Pipe 1 forwards misses to port 2; pipe 0 keeps the drop default.
+        sw.table_set_default_on(1, t, fwd, vec![Value::new(2, 64)])
+            .unwrap();
+        assert!(!sw.inject(&PacketDesc::new(1).field("eth", "dst", 0xEE))); // pipe 0 drops
+        assert!(sw.inject(&PacketDesc::new(17).field("eth", "dst", 0xEE))); // pipe 1 forwards
+        assert_eq!(
+            sw.table_set_default_on(2, t, fwd, vec![Value::new(2, 64)]),
+            Err(DriverError::BadPipe(2))
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_spans_pipes_and_keeps_handles_stable() {
+        let mut sw = mk_pipes(2);
+        let t = sw.table_id("l2").unwrap();
+        let h1 = add_fwd(&mut sw, 0xAA, 3);
+        let cp = sw.table_checkpoint(t);
+        let h2 = add_fwd(&mut sw, 0xBB, 4);
+        assert_ne!(h1, h2);
+        sw.table_restore(t, cp);
+        for pipe in 0..2 {
+            assert_eq!(sw.table_ref_on(pipe, t).len(), 1);
+        }
+        // The handle counter rewinds with the checkpoint, and re-adding
+        // reuses the same handle in every pipe.
+        let h3 = add_fwd(&mut sw, 0xBB, 4);
+        assert_eq!(h2, h3);
+        sw.table_del(t, h3).unwrap();
+        for pipe in 0..2 {
+            assert_eq!(sw.table_ref_on(pipe, t).len(), 1);
+        }
+    }
+
+    #[test]
+    fn qdepth_mirrors_into_owning_pipe_only() {
+        let mut sw = mk_pipes(4);
+        sw.bind_queue_depth_register("qdepths").unwrap();
+        add_fwd(&mut sw, 0xAA, 9); // port 9 → pipe 1
+        sw.inject(&PacketDesc::new(1).field("eth", "dst", 0xAA).payload(86)); // 100B frame
+        let r = sw.register_id("qdepths").unwrap();
+        assert_eq!(sw.register_read_range_on(1, r, 9, 9)[0].as_u64(), 100);
+        assert_eq!(sw.register_read_range_on(0, r, 9, 9)[0].as_u64(), 0);
+        // The aggregated (Sum) view reconstructs the panel.
+        assert_eq!(sw.register_read_range(r, 9, 9)[0].as_u64(), 100);
+    }
+
+    #[test]
+    fn port_state_lives_in_owning_pipe() {
+        let mut sw = mk_pipes(4);
+        add_fwd(&mut sw, 0xAA, 3);
+        sw.port_set_up(9, false).unwrap(); // pipe 1
+        assert!(!sw.inject(&PacketDesc::new(9).field("eth", "dst", 0xAA)));
+        assert_eq!(sw.stats.dropped_port_down, 1);
+        // Same local index in pipe 0 (port 1) is unaffected.
+        assert!(sw.inject(&PacketDesc::new(1).field("eth", "dst", 0xAA)));
+        assert!(sw.port(1).unwrap().up);
+        assert!(!sw.port(9).unwrap().up);
+        assert!(sw.port_set_up(1000, false).is_err());
     }
 }

@@ -404,6 +404,34 @@ impl Table {
         action_data: Vec<Value>,
         param_count: usize,
     ) -> Result<EntryHandle, TableError> {
+        let handle = EntryHandle(self.next_handle);
+        self.add_entry_at(
+            spec,
+            handle,
+            key,
+            priority,
+            action,
+            action_data,
+            param_count,
+        )?;
+        Ok(handle)
+    }
+
+    /// Install a new entry under a caller-chosen handle. The switch uses
+    /// this to fan one logical add out to every pipe under a single
+    /// shared handle; the local counter is advanced past `handle` so
+    /// later self-allocated adds never collide.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_entry_at(
+        &mut self,
+        spec: &TableSpec,
+        handle: EntryHandle,
+        key: Vec<KeyField>,
+        priority: u32,
+        action: ActionId,
+        action_data: Vec<Value>,
+        param_count: usize,
+    ) -> Result<(), TableError> {
         self.validate_key(spec, &key)?;
         self.validate_action(spec, action, action_data.len(), param_count)?;
         if self.entries.len() as u32 >= self.capacity {
@@ -411,8 +439,7 @@ impl Table {
                 capacity: self.capacity,
             });
         }
-        let handle = EntryHandle(self.next_handle);
-        self.next_handle += 1;
+        self.next_handle = self.next_handle.max(handle.0 + 1);
         let seq = self.next_seq;
         self.next_seq += 1;
         let idx = self.entries.len();
@@ -431,7 +458,7 @@ impl Table {
             action_data: Rc::from(action_data),
             seq,
         });
-        Ok(handle)
+        Ok(())
     }
 
     /// Replace the action/action-data of an existing entry (the key and

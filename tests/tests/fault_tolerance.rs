@@ -77,7 +77,7 @@ fn register_churn(tb: &Testbed) {
                         }
                     }
                 }
-                if i % 5 == 0 {
+                if i.is_multiple_of(5) {
                     ctx.shift_field("pick", (i % 2) as usize)?;
                 }
                 Ok(())

@@ -5,9 +5,10 @@
 //! (serializable isolation of updates and packet processing).
 
 use mantis::p4_ast::{Pipeline, Value};
-use mantis::p4r_compiler::entry::LogicalKey;
-use mantis::rmt_sim::PacketDesc;
-use mantis::Testbed;
+use mantis::p4r_compiler::entry::{expand_entry, LogicalKey, PhysEntry, PhysKey};
+use mantis::p4r_compiler::{compile_source, CompilerOptions};
+use mantis::rmt_sim::{KeyField, PacketDesc, Switch, SwitchConfig, TableId};
+use mantis::{Clock, Testbed};
 use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -81,6 +82,305 @@ fn update_is_atomic_for_concurrent_probes() {
     // Entirely new world: matching now keys on h.b with the new tag+scale.
     assert_eq!(probe(&tb, 9, 5), 207);
     assert_eq!(probe(&tb, 5, 9), 0);
+}
+
+// -- cross-pipe isolation (DESIGN.md §9) ------------------------------------
+
+/// A version-observable program without malleable fields: one exact-match
+/// malleable table plus a scalar, so "which world did this packet see" is
+/// a single output value.
+const PIPE_PROG: &str = r#"
+header_type h_t { fields { k : 32; out : 32; } }
+header h_t h;
+malleable value scale { width : 32; init : 1; }
+action classify(tag) {
+    modify_field(h.out, tag);
+    add_to_field(h.out, ${scale});
+}
+action fallback() { modify_field(h.out, 0); }
+malleable table cls {
+    reads { h.k : exact; }
+    actions { classify; fallback; }
+    default_action : fallback();
+    size : 64;
+}
+control ingress { apply(cls); }
+"#;
+
+const NUM_PIPES: u16 = 4;
+const OLD_WORLD: u64 = 101; // tag 100 + scale 1
+const NEW_WORLD: u64 = 207; // tag 200 + scale 7
+
+/// Switch-level multi-pipe harness: drives prepare (fan-out) and per-pipe
+/// commits as individual driver ops, the way the agent's commit loop
+/// issues them, so probes can land between any two per-pipe flips.
+struct PipeHarness {
+    sw: Switch,
+    cls: TableId,
+    info: mantis::p4r_compiler::iface::TableInfo,
+    master: TableId,
+    master_action: mantis::rmt_sim::ActionId,
+    shadow_handles: Vec<mantis::rmt_sim::EntryHandle>,
+}
+
+impl PipeHarness {
+    fn new() -> Self {
+        let compiled = compile_source(PIPE_PROG, &CompilerOptions::default()).unwrap();
+        let spec = mantis::rmt_sim::load(&compiled.p4).unwrap();
+        let sw = Switch::new(
+            spec,
+            SwitchConfig {
+                num_pipes: NUM_PIPES,
+                ..Default::default()
+            },
+            Clock::new(),
+        );
+        let cls = sw.table_id("cls").unwrap();
+        let master = sw.table_id("p4r_init_").unwrap();
+        let master_action = sw.action_id("p4r_init_action_").unwrap();
+        let info = compiled.iface.table("cls").unwrap().clone();
+        let mut h = PipeHarness {
+            sw,
+            cls,
+            info,
+            master,
+            master_action,
+            shadow_handles: Vec::new(),
+        };
+        // Initial config in every pipe: vv=1, mv=0, scale=1; the logical
+        // entry {k=5 → classify(100)} in both copies (adds fan out).
+        h.set_master_all(1, 1);
+        h.add_copy(1, 100);
+        h.shadow_handles = h.add_copy(0, 100);
+        h
+    }
+
+    fn expand(&self, vv: u8, tag: u64) -> Vec<PhysEntry> {
+        expand_entry(
+            &self.info,
+            &[LogicalKey::Exact(Value::new(5, 32))],
+            "classify",
+            &[Value::new(u128::from(tag), 32)],
+            0,
+            Some(vv),
+        )
+        .unwrap()
+    }
+
+    fn add_copy(&mut self, vv: u8, tag: u64) -> Vec<mantis::rmt_sim::EntryHandle> {
+        self.expand(vv, tag)
+            .iter()
+            .map(|pe| {
+                let key = to_keyfields(&self.sw, self.cls, pe);
+                let aid = self.sw.action_id(&pe.action).unwrap();
+                self.sw
+                    .table_add(self.cls, key, pe.priority, aid, pe.action_data.clone())
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    /// Prepare: rewrite the shadow (vv=0) copy to the new tag. Table
+    /// writes fan out to every pipe, invisible until that pipe's flip.
+    fn prepare(&mut self, tag: u64) {
+        let entries = self.expand(0, tag);
+        for (h, pe) in self.shadow_handles.clone().iter().zip(entries.iter()) {
+            let aid = self.sw.action_id(&pe.action).unwrap();
+            self.sw
+                .table_mod(self.cls, *h, aid, pe.action_data.clone())
+                .unwrap();
+        }
+    }
+
+    fn master_data(vv: u8, scale: u64) -> Vec<Value> {
+        vec![
+            Value::new(u128::from(vv), 1),
+            Value::zero(1),
+            Value::new(u128::from(scale), 32),
+        ]
+    }
+
+    fn set_master_all(&mut self, vv: u8, scale: u64) {
+        self.sw
+            .table_set_default(
+                self.master,
+                self.master_action,
+                Self::master_data(vv, scale),
+            )
+            .unwrap();
+    }
+
+    /// One per-pipe commit: the atomic default-action flip in pipe `p`.
+    fn commit_pipe(&mut self, p: u16, vv: u8, scale: u64) {
+        self.sw
+            .table_set_default_on(
+                p,
+                self.master,
+                self.master_action,
+                Self::master_data(vv, scale),
+            )
+            .unwrap();
+    }
+
+    /// Run a full probe packet through pipe `p` (ingress on that pipe's
+    /// first port) and return its observed world.
+    fn probe_pipe(&mut self, p: u16) -> u64 {
+        let port = p * self.ports_per_pipe();
+        let phv = PacketDesc::new(port)
+            .field("h", "k", 5)
+            .build(self.sw.spec());
+        let out = self.sw.run_pipeline(phv, Pipeline::Ingress);
+        out.get(self.sw.spec().field_id("h", "out").unwrap())
+            .as_u64()
+    }
+
+    fn ports_per_pipe(&self) -> u16 {
+        self.sw.config().num_ports.div_ceil(NUM_PIPES)
+    }
+}
+
+fn to_keyfields(sw: &Switch, table: TableId, pe: &PhysEntry) -> Vec<KeyField> {
+    sw.spec()
+        .table(table)
+        .key
+        .iter()
+        .zip(pe.key.iter())
+        .map(|(ks, pk)| match pk {
+            PhysKey::Exact(v) => KeyField::Exact(*v),
+            PhysKey::Ternary { value, mask } => KeyField::Ternary {
+                value: *value,
+                mask: *mask,
+            },
+            PhysKey::Lpm { value, prefix_len } => KeyField::Lpm {
+                value: *value,
+                prefix_len: *prefix_len,
+            },
+            PhysKey::Any => KeyField::Ternary {
+                value: Value::zero(ks.width),
+                mask: Value::zero(ks.width),
+            },
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cross-pipe update window: the commit flips pipes one at a time (in
+    /// a seed-chosen order), and probe packets interleave across all
+    /// pipes between every pair of flips. Each probe must observe the
+    /// entirely-old or entirely-new configuration — decided solely by
+    /// whether its *own* pipe has flipped — and within each pipe the
+    /// observation sequence is monotonic (old never reappears after new).
+    #[test]
+    fn cross_pipe_probes_see_old_xor_new_per_pipe(
+        perm in 0usize..24,
+        schedule in proptest::collection::vec((0u16..NUM_PIPES, 0usize..=NUM_PIPES as usize), 8..20),
+    ) {
+        // Decode `perm` into one of the 4! commit orders (Lehmer code).
+        let mut avail: Vec<u16> = (0..NUM_PIPES).collect();
+        let mut order = Vec::with_capacity(avail.len());
+        let mut code = perm;
+        for radix in (1..=avail.len()).rev() {
+            order.push(avail.remove(code % radix));
+            code /= radix;
+        }
+        let mut h = PipeHarness::new();
+        // Prepare the shadow copy everywhere: must be invisible in every
+        // pipe until that pipe's own flip.
+        h.prepare(200);
+        for p in 0..NUM_PIPES {
+            prop_assert_eq!(h.probe_pipe(p), OLD_WORLD, "prepare leaked into pipe {}", p);
+        }
+
+        let mut last_seen: Vec<Option<u64>> = vec![None; NUM_PIPES as usize];
+        // `step` counts how many per-pipe commits have landed.
+        for step in 0..=NUM_PIPES as usize {
+            let flipped: &[u16] = &order[..step];
+            for (probe_pipe, _) in schedule.iter().filter(|(_, at)| *at == step) {
+                let got = h.probe_pipe(*probe_pipe);
+                let expect = if flipped.contains(probe_pipe) { NEW_WORLD } else { OLD_WORLD };
+                prop_assert_eq!(
+                    got, expect,
+                    "pipe {} after {} commits (order {:?})", probe_pipe, step, order
+                );
+                prop_assert!(
+                    got == OLD_WORLD || got == NEW_WORLD,
+                    "blended observation {} in pipe {}", got, probe_pipe
+                );
+                // Per-pipe monotonicity.
+                if let Some(prev) = last_seen[*probe_pipe as usize] {
+                    prop_assert!(
+                        !(prev == NEW_WORLD && got == OLD_WORLD),
+                        "old world reappeared in pipe {}", probe_pipe
+                    );
+                }
+                last_seen[*probe_pipe as usize] = Some(got);
+            }
+            if step < NUM_PIPES as usize {
+                h.commit_pipe(order[step], 0, 7);
+            }
+        }
+        // All pipes flipped: every pipe serves the new world.
+        for p in 0..NUM_PIPES {
+            prop_assert_eq!(h.probe_pipe(p), NEW_WORLD, "pipe {} after full commit", p);
+        }
+    }
+
+    /// The same contract through the agent path at num_pipes = 4: a
+    /// user_init commit is one serializable transition for every pipe —
+    /// probes on all pipes see the complete old world before and the
+    /// complete new world after, with identical values across pipes.
+    #[test]
+    fn agent_commit_is_serializable_across_pipes(
+        new_scale in 2u32..1000,
+        new_tag in 2u32..1000,
+    ) {
+        let tb = Testbed::from_p4r_with_pipes(PIPE_PROG, NUM_PIPES).unwrap();
+        let handle = Rc::new(RefCell::new(0u64));
+        let h2 = handle.clone();
+        tb.agent
+            .borrow_mut()
+            .user_init(move |ctx| {
+                *h2.borrow_mut() = ctx.table_add(
+                    "cls",
+                    vec![LogicalKey::Exact(Value::new(5, 32))],
+                    0,
+                    "classify",
+                    vec![Value::new(100, 32)],
+                )?;
+                Ok(())
+            })
+            .unwrap();
+        let probe_on = |pipe: u16| {
+            let mut sw = tb.sim.switch().borrow_mut();
+            let port = pipe * sw.config().num_ports.div_ceil(NUM_PIPES);
+            let phv = PacketDesc::new(port).field("h", "k", 5).build(sw.spec());
+            let out = sw.run_pipeline(phv, Pipeline::Ingress);
+            out.get(sw.spec().field_id("h", "out").unwrap()).as_u64()
+        };
+        for p in 0..NUM_PIPES {
+            prop_assert_eq!(probe_on(p), OLD_WORLD, "pipe {} before", p);
+        }
+        let h = *handle.borrow();
+        tb.agent
+            .borrow_mut()
+            .user_init(move |ctx| {
+                ctx.set_mbl("scale", i128::from(new_scale))?;
+                ctx.table_mod("cls", h, "classify", vec![Value::new(u128::from(new_tag), 32)])?;
+                Ok(())
+            })
+            .unwrap();
+        let expect = u64::from(new_scale) + u64::from(new_tag);
+        for p in 0..NUM_PIPES {
+            prop_assert_eq!(probe_on(p), expect, "pipe {} after", p);
+        }
+        // The per-pipe version vector converged.
+        let agent = tb.agent.borrow();
+        let vvs = agent.vv_per_pipe();
+        prop_assert_eq!(vvs.len(), usize::from(NUM_PIPES));
+        prop_assert!(vvs.iter().all(|v| *v == vvs[0]), "vv diverged: {:?}", vvs);
+    }
 }
 
 proptest! {
