@@ -30,6 +30,7 @@ const KNOWN: &[&str] = &[
     "telemetry",
     "perf",
     "faults",
+    "fabric",
 ];
 
 fn main() {
@@ -345,6 +346,35 @@ fn main() {
         println!(
             "    quarantine: {:?} ({} skips); healthy reaction ran {} more iterations",
             r.quarantined, r.quarantine_skips, r.other_reaction_iterations
+        );
+        println!();
+    }
+
+    if want("fabric") {
+        let quick = std::env::var("MANTIS_BENCH_QUICK").is_ok_and(|v| v != "0");
+        let r = bench::fabric::run(quick);
+        save("fabric", &r);
+        println!(
+            "== Fabric — failover convergence & goodput vs topology size ({}) ==",
+            if quick { "quick" } else { "full" }
+        );
+        for p in &r.failover {
+            println!(
+                "    {}x{} leaf-spine ({} switches): convergence {:>7.1} µs, resume {:>7.1} µs, \
+                 delivered {} → {} (goodput restored {:.2})",
+                p.leaves,
+                p.spines,
+                p.switches,
+                p.convergence_ns as f64 / 1000.0,
+                p.resume_ns.map_or(f64::NAN, |t| t as f64 / 1000.0),
+                p.delivered_before,
+                p.delivered_after,
+                p.goodput_restored
+            );
+        }
+        println!(
+            "    ecmp end-to-end: per-spine {:?}, delivered {}/{} (max/min {:.2})",
+            r.ecmp.per_spine_tx, r.ecmp.delivered, r.ecmp.sent, r.ecmp.max_over_min
         );
         println!();
     }

@@ -1,0 +1,143 @@
+//! Fabric benchmark (`figures -- fabric`): the paper's failover
+//! experiment (§5, Fig. 16) run over a *real* multi-hop leaf–spine
+//! fabric instead of a single switch.
+//!
+//! For each topology size, a `mantis-faults` link flap downs the wire
+//! between leaf 0 and its primary spine; the leaf's gray-failure reaction
+//! detects the heartbeat stall and reroutes onto the alternate spine.
+//! Reported per size: convergence time (wire down → reroute commit),
+//! end-to-end resume time, and delivered goodput before/after measured at
+//! the destination leaf's host port. A second scenario measures ECMP
+//! spreading across four spines end to end.
+
+use mantis::apps::fabric::{run_fabric_ecmp, run_fabric_failover, FabricFailoverTrial};
+use serde::Serialize;
+
+/// Dialogue pacing for every agent in the fabric.
+const TD_NS: u64 = 50_000;
+/// Delivery expectation η of the gray-failure detector.
+const ETA: f64 = 0.2;
+/// When the wire goes down (also the length of the "before" window).
+const FAIL_AT_NS: u64 = 1_000_000;
+/// Measurement tail after detection (the "after" window).
+const SETTLE_NS: u64 = 1_000_000;
+
+/// One failover measurement on a `leaves × spines` fabric.
+#[derive(Clone, Debug, Serialize)]
+pub struct FabricPoint {
+    pub leaves: usize,
+    pub spines: usize,
+    pub switches: usize,
+    /// Wire down → reroute commit on the affected leaf.
+    pub convergence_ns: u64,
+    pub routes_changed: usize,
+    pub delivered_before: u64,
+    pub delivered_outage: u64,
+    pub delivered_after: u64,
+    /// Wire down → first delivery over the alternate spine.
+    pub resume_ns: Option<u64>,
+    /// Post-reroute goodput relative to pre-failure (1.0 = restored).
+    pub goodput_restored: f64,
+}
+
+/// The ECMP end-to-end spread measurement.
+#[derive(Clone, Debug, Serialize)]
+pub struct EcmpPoint {
+    pub spines: usize,
+    pub flows: usize,
+    pub per_spine_tx: Vec<u64>,
+    pub sent: u64,
+    pub delivered: u64,
+    /// Spine load imbalance (1.0 = perfectly even).
+    pub max_over_min: f64,
+}
+
+/// Everything `results/fabric.json` reports.
+#[derive(Clone, Debug, Serialize)]
+pub struct FabricBenchResult {
+    pub td_ns: u64,
+    pub eta: f64,
+    pub failover: Vec<FabricPoint>,
+    pub ecmp: EcmpPoint,
+}
+
+/// Run the fabric benchmark. `quick` trims the topology sweep for CI.
+pub fn run(quick: bool) -> FabricBenchResult {
+    let sizes: &[(usize, usize)] = if quick {
+        &[(2, 2)]
+    } else {
+        &[(2, 2), (3, 2), (4, 2), (4, 3), (4, 4)]
+    };
+    let failover = sizes
+        .iter()
+        .map(|&(leaves, spines)| {
+            let out = run_fabric_failover(&FabricFailoverTrial {
+                leaves,
+                spines,
+                td_ns: TD_NS,
+                eta: ETA,
+                fail_spine: 0,
+                fail_at_ns: FAIL_AT_NS,
+                settle_ns: SETTLE_NS,
+                rate_bps: 1_000_000_000,
+            });
+            let before_rate = out.delivered_before as f64 / FAIL_AT_NS as f64;
+            let after_rate = out.delivered_after as f64 / SETTLE_NS as f64;
+            FabricPoint {
+                leaves,
+                spines,
+                switches: leaves + spines,
+                convergence_ns: out.convergence_ns,
+                routes_changed: out.routes_changed,
+                delivered_before: out.delivered_before,
+                delivered_outage: out.delivered_outage,
+                delivered_after: out.delivered_after,
+                resume_ns: out.resume_ns,
+                goodput_restored: if before_rate > 0.0 {
+                    after_rate / before_rate
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+
+    let (flows, duration_ns) = if quick {
+        (32, 1_500_000)
+    } else {
+        (128, 3_000_000)
+    };
+    let e = run_fabric_ecmp(flows, duration_ns);
+    FabricBenchResult {
+        td_ns: TD_NS,
+        eta: ETA,
+        failover,
+        ecmp: EcmpPoint {
+            spines: e.spines,
+            flows,
+            per_spine_tx: e.per_spine_tx,
+            sent: e.sent,
+            delivered: e.delivered,
+            max_over_min: e.max_over_min,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_has_expected_shape() {
+        let r = run(true);
+        assert_eq!(r.failover.len(), 1);
+        let p = &r.failover[0];
+        assert_eq!((p.leaves, p.spines, p.switches), (2, 2, 4));
+        assert!(p.convergence_ns > 0);
+        assert!(p.delivered_before > 0 && p.delivered_after > 0);
+        assert!(p.resume_ns.is_some());
+        assert!(p.goodput_restored > 0.5, "goodput {}", p.goodput_restored);
+        assert_eq!(r.ecmp.per_spine_tx.len(), 4);
+        assert!(r.ecmp.delivered > 0);
+    }
+}

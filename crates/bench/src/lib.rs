@@ -20,6 +20,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod fabric;
 pub mod faults;
 pub mod perf;
 

@@ -717,6 +717,16 @@ impl MantisAgent {
         self.driver.set_fault_plan(plan);
     }
 
+    /// Declare which fabric switch this agent controls (`None` on a
+    /// single-switch testbed). Switch-scoped fault rules match against it.
+    pub fn set_fabric_index(&mut self, index: Option<u16>) {
+        self.driver.set_fabric_index(index);
+    }
+
+    pub fn fabric_index(&self) -> Option<u16> {
+        self.driver.fabric_index()
+    }
+
     /// Replace the retry policy used for driver ops and apply attempts.
     pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
         self.retry = policy;

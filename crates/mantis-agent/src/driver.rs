@@ -52,6 +52,10 @@ pub struct MantisDriver {
     pub stats: DriverStats,
     telemetry: Rc<Telemetry>,
     injector: Option<FaultInjector>,
+    /// Fabric switch this driver controls (`None` on single-switch
+    /// testbeds); fault injectors inherit it so `FaultRule::on_switch`
+    /// rules can target one agent of a fabric.
+    fabric_index: Option<u16>,
     /// Last successfully read values per register range, served back by a
     /// `StaleRead` injection. Only maintained while an injector is set.
     stale_cache: HashMap<(RegisterId, u32, u32), Vec<Value>>,
@@ -69,6 +73,7 @@ impl MantisDriver {
             stats: DriverStats::default(),
             telemetry: Telemetry::disabled(),
             injector: None,
+            fabric_index: None,
             stale_cache: HashMap::new(),
         }
     }
@@ -83,8 +88,23 @@ impl MantisDriver {
     /// Install a fault plan (driver-op rules; link flaps are scheduled by
     /// `netsim`). Replaces any previous plan and resets its budgets.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.injector = Some(FaultInjector::new(plan));
+        let mut injector = FaultInjector::new(plan);
+        injector.set_switch(self.fabric_index);
+        self.injector = Some(injector);
         self.stale_cache.clear();
+    }
+
+    /// Declare which fabric switch this driver controls. Applied to the
+    /// current injector (if any) and inherited by later plans.
+    pub fn set_fabric_index(&mut self, index: Option<u16>) {
+        self.fabric_index = index;
+        if let Some(inj) = self.injector.as_mut() {
+            inj.set_switch(index);
+        }
+    }
+
+    pub fn fabric_index(&self) -> Option<u16> {
+        self.fabric_index
     }
 
     /// Remove fault injection entirely.

@@ -36,7 +36,7 @@ pub use costmodel::CostModel;
 pub use ctx::{CtxError, ReactionCtx, Snapshot};
 pub use driver::MantisDriver;
 pub use logical::{LogicalHandle, Staged, StagedOp};
-pub use sched::{schedule_agent, schedule_paced_agent};
+pub use sched::{schedule_agent, schedule_fabric_agents, schedule_paced_agent};
 
 #[cfg(test)]
 mod tests {

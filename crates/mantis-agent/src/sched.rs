@@ -54,3 +54,21 @@ pub fn schedule_paced_agent(
     }
     sim.schedule(start, move |s| iterate(s, agent, td_ns, start));
 }
+
+/// Schedule one paced dialogue loop per fabric agent, with deterministic
+/// phase offsets: agent `i` of `n` starts at `start + i·td/n`. The stagger
+/// models independent per-switch control CPUs — their measure/react
+/// cycles interleave rather than firing in lockstep — while keeping every
+/// run identical (offsets are a pure function of the fabric size).
+pub fn schedule_fabric_agents(
+    sim: &mut Simulator,
+    agents: &[Rc<RefCell<MantisAgent>>],
+    td_ns: Nanos,
+    start: Nanos,
+) {
+    let n = agents.len().max(1) as Nanos;
+    for (i, agent) in agents.iter().enumerate() {
+        let offset = td_ns * i as Nanos / n;
+        schedule_paced_agent(sim, agent.clone(), td_ns, start + offset);
+    }
+}

@@ -8,6 +8,7 @@
 pub mod baselines;
 pub mod dos;
 pub mod ecmp;
+pub mod fabric;
 pub mod failover;
 pub mod programs;
 pub mod rl;

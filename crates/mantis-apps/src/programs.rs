@@ -387,6 +387,91 @@ control egress {
 }
 "#;
 
+/// Spine role for the fabric experiments (§5 failover over a real
+/// multi-hop path; see `crate::fabric`).
+///
+/// Header shapes match [`FAILOVER_P4R`] by name so packets survive the
+/// wire between the per-role programs. Heartbeats are relayed by
+/// destination leaf (`hb.origin` names the leaf the probe is bound for);
+/// data is routed by destination prefix. The `relayed` counters give the
+/// spine's own agent a measurement to poll, so all N dialogue loops in a
+/// fabric exercise the same machinery.
+pub const SPINE_P4R: &str = r#"
+header_type ethernet_t {
+    fields { dst_addr : 48; src_addr : 48; ether_type : 16; }
+}
+header_type ipv4_t {
+    fields {
+        version_ihl : 8; diffserv : 8; total_len : 16;
+        identification : 16; flags_frag : 16; ttl : 8;
+        protocol : 8; hdr_checksum : 16;
+        src_addr : 32; dst_addr : 32;
+    }
+}
+header_type hb_t { fields { seq : 32; origin : 16; } }
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+header hb_t hb;
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.ether_type) {
+        0x0800 : parse_ipv4;
+        0x88b5 : parse_hb;
+        default : done;
+    };
+}
+parser parse_ipv4 { extract(ipv4); return ingress; }
+parser parse_hb { extract(hb); return ingress; }
+parser done { return ingress; }
+
+register relayed { width : 64; instance_count : 16; }
+
+action hb_to(port) {
+    count(relayed, intr.ingress_port);
+    modify_field(intr.egress_spec, port);
+}
+action route_to(port) {
+    count(relayed, intr.ingress_port);
+    modify_field(intr.egress_spec, port);
+}
+action unroutable() { drop(); }
+
+malleable table hb_route {
+    reads { hb.origin : exact; }
+    actions { hb_to; unroutable; }
+    default_action : unroutable();
+    size : 64;
+}
+malleable table route {
+    reads { ipv4.dst_addr : lpm; }
+    actions { route_to; unroutable; }
+    default_action : unroutable();
+    size : 256;
+}
+
+reaction watch_relay(reg relayed[0:15]) {
+    // Reference body: mirror the total relayed count into ${relay_total}
+    // so the spine's dialogue loop measures like any other agent.
+    uint64_t total = 0;
+    for (int i = 0; i < 16; ++i) {
+        total = total + relayed[i];
+    }
+    ${relay_total} = total;
+    return 0;
+}
+
+malleable value relay_total { width : 32; init : 0; }
+
+control ingress {
+    if (valid(hb)) {
+        apply(hb_route);
+    } else {
+        apply(route);
+    }
+}
+"#;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,8 +518,17 @@ mod tests {
     }
 
     #[test]
+    fn spine_program_compiles_and_loads() {
+        let c = compiles(SPINE_P4R);
+        assert!(c.iface.table("hb_route").unwrap().malleable);
+        assert!(c.iface.table("route").unwrap().malleable);
+        assert!(c.iface.value("relay_total").is_some());
+        rmt_sim::load(&c.p4).unwrap();
+    }
+
+    #[test]
     fn reaction_bodies_parse() {
-        for src in [DOS_P4R, FAILOVER_P4R, ECMP_P4R, RL_P4R] {
+        for src in [DOS_P4R, FAILOVER_P4R, ECMP_P4R, RL_P4R, SPINE_P4R] {
             let c = compiles(src);
             for r in &c.iface.reactions {
                 p4r_lang::creact::parse_body(&r.body_src)

@@ -126,11 +126,17 @@ pub struct FaultRule {
     /// reports as targeting pipe `p` (ops with no pipe affinity — e.g.
     /// fan-out writes — never match a pipe-scoped rule).
     pub pipe: Option<u16>,
+    /// Restrict the rule to one fabric switch's driver. `None` matches
+    /// every switch; `Some(s)` matches only injectors whose identity
+    /// ([`FaultInjector::set_switch`]) is switch `s` — a single-switch
+    /// testbed's injector has no identity and never matches a
+    /// switch-scoped rule.
+    pub switch: Option<u16>,
 }
 
 impl FaultRule {
-    /// A rule matching every pipe (the common case); use `.on_pipe(p)` to
-    /// scope it.
+    /// A rule matching every pipe and every switch (the common case); use
+    /// `.on_pipe(p)` / `.on_switch(s)` to scope it.
     pub fn new(
         op: FaultOp,
         effect: FaultEffect,
@@ -143,12 +149,19 @@ impl FaultRule {
             window,
             max_hits,
             pipe: None,
+            switch: None,
         }
     }
 
     /// Scope this rule to ops targeting hardware pipe `pipe`.
     pub fn on_pipe(mut self, pipe: u16) -> Self {
         self.pipe = Some(pipe);
+        self
+    }
+
+    /// Scope this rule to the driver of fabric switch `switch`.
+    pub fn on_switch(mut self, switch: u16) -> Self {
+        self.switch = Some(switch);
         self
     }
 
@@ -163,6 +176,11 @@ impl FaultRule {
 /// `up_at > down_at`) comes back at `up_at`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LinkFlap {
+    /// Fabric switch index the port belongs to (0 on a single-switch
+    /// testbed). When the port is one end of an inter-switch link, the
+    /// scheduler downs *both* endpoints — a wire fault, not a one-sided
+    /// admin-down.
+    pub switch: u32,
     /// Switch port (matches `rmt_sim::PortId`, widened for independence).
     pub port: u32,
     pub down_at: Nanos,
@@ -208,9 +226,16 @@ impl FaultPlan {
         ))
     }
 
-    /// Schedule a link flap.
-    pub fn flap(mut self, port: u32, down_at: Nanos, up_at: Nanos) -> Self {
+    /// Schedule a link flap on switch 0 (*the* switch of a single-switch
+    /// testbed).
+    pub fn flap(self, port: u32, down_at: Nanos, up_at: Nanos) -> Self {
+        self.flap_on(0, port, down_at, up_at)
+    }
+
+    /// Schedule a link flap on fabric switch `switch`.
+    pub fn flap_on(mut self, switch: u32, port: u32, down_at: Nanos, up_at: Nanos) -> Self {
         self.link_flaps.push(LinkFlap {
+            switch,
             port,
             down_at,
             up_at,
@@ -286,6 +311,9 @@ pub struct FaultInjector {
     hits: Vec<u32>,
     injected_total: u64,
     suspended: u32,
+    /// Fabric identity of the driver this injector serves; switch-scoped
+    /// rules match only when it agrees. `None` on single-switch testbeds.
+    switch: Option<u16>,
 }
 
 impl FaultInjector {
@@ -297,7 +325,18 @@ impl FaultInjector {
             hits,
             injected_total: 0,
             suspended: 0,
+            switch: None,
         }
+    }
+
+    /// Declare which fabric switch this injector's driver controls, so
+    /// [`FaultRule::on_switch`]-scoped rules can match it.
+    pub fn set_switch(&mut self, switch: Option<u16>) {
+        self.switch = switch;
+    }
+
+    pub fn switch(&self) -> Option<u16> {
+        self.switch
     }
 
     pub fn plan(&self) -> &FaultPlan {
@@ -359,6 +398,9 @@ impl FaultInjector {
                 continue;
             }
             if rule.pipe.is_some() && rule.pipe != pipe {
+                continue;
+            }
+            if rule.switch.is_some() && rule.switch != self.switch {
                 continue;
             }
             if let Some(budget) = rule.max_hits {
@@ -715,6 +757,43 @@ mod tests {
         );
         assert_eq!(
             inj.decide_on("init_flip", Some(3), 0),
+            Some(Injection::Fail { persistent: true })
+        );
+    }
+
+    #[test]
+    fn switch_scoped_rules_match_only_their_switch() {
+        let plan = FaultPlan::new().rule(
+            FaultRule::new(
+                FaultOp::Named("init_flip"),
+                FaultEffect::Fail,
+                FaultWindow::Always,
+                None,
+            )
+            .on_switch(1),
+        );
+        // An injector with no fabric identity (single-switch testbed)
+        // never matches a switch-scoped rule.
+        let mut inj = FaultInjector::new(plan.clone());
+        assert_eq!(inj.decide("init_flip", 0), None);
+        // The wrong switch doesn't match either.
+        let mut inj = FaultInjector::new(plan.clone());
+        inj.set_switch(Some(0));
+        assert_eq!(inj.decide("init_flip", 0), None);
+        // The scoped switch does.
+        let mut inj = FaultInjector::new(plan);
+        inj.set_switch(Some(1));
+        assert_eq!(
+            inj.decide("init_flip", 0),
+            Some(Injection::Fail { persistent: true })
+        );
+        // Unscoped rules match any identity.
+        let mut inj = FaultInjector::new(
+            FaultPlan::new().fail_persistent(FaultOp::Named("init_flip"), FaultWindow::Always),
+        );
+        inj.set_switch(Some(3));
+        assert_eq!(
+            inj.decide("init_flip", 0),
             Some(Injection::Fail { persistent: true })
         );
     }

@@ -142,6 +142,16 @@ pub mod scopes {
     pub fn pipe_metric(pipe: u16, name: &str) -> String {
         format!("pipe{pipe}.{name}")
     }
+
+    // -- multi-switch fabric (DESIGN.md §10) ----------------------------
+
+    /// Name a metric scoped to one switch of a fabric (`sw<i>.<name>`),
+    /// mirroring [`pipe_metric`]. Fabrics with more than one switch label
+    /// per-switch counters this way; a single-switch testbed emits the
+    /// unprefixed name so existing traces stay byte-identical.
+    pub fn switch_metric(switch: u16, name: &str) -> String {
+        format!("sw{switch}.{name}")
+    }
 }
 
 // -- configuration ----------------------------------------------------------

@@ -44,14 +44,15 @@ pub use reaction_interp;
 pub use rmt_sim;
 
 pub use mantis_agent::{
-    schedule_agent, schedule_paced_agent, AgentError, AgentErrorKind, AgentPhase, CostModel,
-    MantisAgent, NativeReaction, ReactionCtx, ReactionFailure,
+    schedule_agent, schedule_fabric_agents, schedule_paced_agent, AgentError, AgentErrorKind,
+    AgentPhase, CostModel, MantisAgent, NativeReaction, ReactionCtx, ReactionFailure,
 };
 pub use mantis_faults::{
     BreakerConfig, BreakerState, CircuitBreaker, FaultInjector, FaultOp, FaultPlan, FaultWindow,
     RetryPolicy,
 };
 pub use mantis_telemetry::{Scope, Telemetry, TelemetryConfig};
+pub use netsim::{Endpoint, Link, Topology};
 pub use p4r_compiler::{compile_source, CompileError, Compiled, CompilerOptions};
 pub use rmt_sim::{Clock, Switch, SwitchConfig};
 
@@ -97,14 +98,38 @@ impl fmt::Display for TestbedError {
 
 impl std::error::Error for TestbedError {}
 
+/// Parse a `MANTIS_*` count knob: a positive integer, or `default` with a
+/// one-line warning on stderr when the value is malformed or zero (a
+/// misspelled CI matrix entry should degrade loudly, not silently). Unset
+/// (`None`) is the quiet default.
+pub fn parse_env_count(name: &str, raw: Option<&str>, default: u16) -> u16 {
+    let Some(raw) = raw else {
+        return default;
+    };
+    match raw.trim().parse::<u16>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("warning: {name}={raw:?} is not a positive count; using default {default}");
+            default
+        }
+    }
+}
+
 /// Number of hardware pipes requested via the `MANTIS_PIPES` environment
-/// variable (tests and CI legs sweep pipe counts this way); 1 when unset
-/// or unparsable.
+/// variable (tests and CI legs sweep pipe counts this way); 1 when unset,
+/// and 1 with a warning when malformed or zero.
 pub fn pipes_from_env() -> u16 {
-    std::env::var("MANTIS_PIPES")
-        .ok()
-        .and_then(|v| v.parse::<u16>().ok())
-        .map_or(1, |p| p.max(1))
+    let raw = std::env::var("MANTIS_PIPES").ok();
+    parse_env_count("MANTIS_PIPES", raw.as_deref(), 1)
+}
+
+/// Number of fabric switches requested via the `MANTIS_SWITCHES`
+/// environment variable — the twin of [`pipes_from_env`] for fabric-aware
+/// tests and CI legs; 1 when unset, and 1 with a warning when malformed
+/// or zero.
+pub fn switches_from_env() -> u16 {
+    let raw = std::env::var("MANTIS_SWITCHES").ok();
+    parse_env_count("MANTIS_SWITCHES", raw.as_deref(), 1)
 }
 
 impl Testbed {
@@ -128,28 +153,20 @@ impl Testbed {
         )
     }
 
-    /// Same, with explicit switch/cost configuration.
+    /// Same, with explicit switch/cost configuration. A `Testbed` is the
+    /// 1-node special case of [`Fabric`]: construction delegates to
+    /// [`Fabric::with_config`] on the trivial topology.
     pub fn with_config(
         src: &str,
         switch_cfg: SwitchConfig,
         cost: CostModel,
     ) -> Result<Testbed, TestbedError> {
-        let compiled =
-            compile_source(src, &CompilerOptions::default()).map_err(TestbedError::Compile)?;
-        let clock = Clock::new();
-        let spec = rmt_sim::load(&compiled.p4).map_err(TestbedError::Load)?;
-        let telemetry = Telemetry::shared();
-        let switch = Rc::new(RefCell::new(Switch::new(spec, switch_cfg, clock)));
-        switch.borrow_mut().set_telemetry(telemetry.clone());
-        let mut agent = MantisAgent::new(switch.clone(), &compiled, cost);
-        agent.set_telemetry(telemetry.clone());
-        agent.prologue().map_err(TestbedError::Agent)?;
-        let sim = netsim::Simulator::new(switch);
+        let mut fabric = Fabric::with_config(&[src], Topology::single(), switch_cfg, cost)?;
         Ok(Testbed {
-            compiled,
-            sim,
-            agent: Rc::new(RefCell::new(agent)),
-            telemetry,
+            compiled: fabric.compiled.remove(0),
+            sim: fabric.sim,
+            agent: fabric.agents.remove(0),
+            telemetry: fabric.telemetry,
         })
     }
 
@@ -173,6 +190,128 @@ impl Testbed {
         } else {
             mantis_agent::schedule_paced_agent(&mut self.sim, self.agent.clone(), pace_ns, 0);
         }
+    }
+}
+
+/// A topology of Mantis switches, each with its own agent, all sharing one
+/// virtual clock and telemetry registry (DESIGN.md §10).
+///
+/// Switch `i` of the [`Topology`] runs program `i`; a packet transmitted
+/// out a linked port is delivered to the peer switch after the link's wire
+/// delay, so multi-hop experiments (failover around a downed inter-switch
+/// link, ECMP across spine uplinks) measure real end-to-end behavior.
+pub struct Fabric {
+    /// Per-switch compiled programs (`compiled[i]` runs on switch `i`).
+    pub compiled: Vec<Compiled>,
+    pub sim: netsim::Simulator,
+    /// Per-switch agents, prologues already run.
+    pub agents: Vec<Rc<RefCell<MantisAgent>>>,
+    /// Shared observability handle. On a multi-switch fabric, switches
+    /// additionally record under `sw<i>.`-scoped metric names.
+    pub telemetry: Rc<Telemetry>,
+}
+
+impl fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fabric")
+            .field("switches", &self.agents.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Fabric {
+    /// Compile one P4R program and run it on every switch of `topo`.
+    pub fn from_p4r(src: &str, topo: Topology) -> Result<Fabric, TestbedError> {
+        let srcs = vec![src; topo.num_switches()];
+        Fabric::with_config(&srcs, topo, SwitchConfig::default(), CostModel::default())
+    }
+
+    /// Per-role programs: `srcs[i]` runs on switch `i` (e.g. leaf vs spine
+    /// programs of a Clos fabric). Headers shared by name across programs
+    /// survive inter-switch hops; fields only one program knows do not.
+    pub fn from_p4r_roles(srcs: &[&str], topo: Topology) -> Result<Fabric, TestbedError> {
+        Fabric::with_config(srcs, topo, SwitchConfig::default(), CostModel::default())
+    }
+
+    /// Full control over switch/cost configuration (shared by all
+    /// switches).
+    ///
+    /// # Panics
+    /// Panics when `srcs.len()` does not match the topology.
+    pub fn with_config(
+        srcs: &[&str],
+        topo: Topology,
+        switch_cfg: SwitchConfig,
+        cost: CostModel,
+    ) -> Result<Fabric, TestbedError> {
+        assert!(
+            srcs.len() == topo.num_switches(),
+            "{} programs for a {}-switch topology",
+            srcs.len(),
+            topo.num_switches()
+        );
+        let multi = topo.num_switches() > 1;
+        let clock = Clock::new();
+        let telemetry = Telemetry::shared();
+        let mut compiled = Vec::with_capacity(srcs.len());
+        let mut switches = Vec::with_capacity(srcs.len());
+        let mut agents = Vec::with_capacity(srcs.len());
+        for (i, src) in srcs.iter().enumerate() {
+            let comp =
+                compile_source(src, &CompilerOptions::default()).map_err(TestbedError::Compile)?;
+            let spec = rmt_sim::load(&comp.p4).map_err(TestbedError::Load)?;
+            let switch = Rc::new(RefCell::new(Switch::new(
+                spec,
+                switch_cfg.clone(),
+                clock.clone(),
+            )));
+            {
+                let mut sw = switch.borrow_mut();
+                sw.set_telemetry(telemetry.clone());
+                // Single-switch fabrics keep unscoped metric names only, so
+                // every existing telemetry golden stays byte-identical.
+                sw.set_fabric_index(multi.then_some(i as u16));
+            }
+            let mut agent = MantisAgent::new(switch.clone(), &comp, cost.clone());
+            agent.set_telemetry(telemetry.clone());
+            agent.set_fabric_index(multi.then_some(i as u16));
+            agent.prologue().map_err(TestbedError::Agent)?;
+            compiled.push(comp);
+            switches.push(switch);
+            agents.push(Rc::new(RefCell::new(agent)));
+        }
+        let sim = netsim::Simulator::fabric(switches, topo);
+        Ok(Fabric {
+            compiled,
+            sim,
+            agents,
+            telemetry,
+        })
+    }
+
+    pub fn num_switches(&self) -> usize {
+        self.agents.len()
+    }
+
+    pub fn agent(&self, i: usize) -> &Rc<RefCell<MantisAgent>> {
+        &self.agents[i]
+    }
+
+    /// Schedule every agent's paced dialogue loop with deterministic phase
+    /// offsets (agent `i` starts at `i·td/n`), so per-switch control loops
+    /// interleave like independent CPUs instead of firing in lockstep.
+    pub fn start_agents(&mut self, td_ns: u64) {
+        mantis_agent::schedule_fabric_agents(&mut self.sim, &self.agents, td_ns.max(1), 0);
+    }
+
+    /// Dump the run so far as Chrome `trace_event` JSON.
+    pub fn chrome_trace(&self) -> String {
+        self.telemetry.chrome_trace_json()
+    }
+
+    /// Dump the metrics registry as flat JSON.
+    pub fn telemetry_snapshot(&self) -> String {
+        self.telemetry.snapshot_json()
     }
 }
 
@@ -208,5 +347,69 @@ control ingress { apply(t); }
             Testbed::from_p4r("this is not p4r"),
             Err(TestbedError::Compile(_))
         ));
+    }
+
+    #[test]
+    fn env_counts_default_on_malformed_or_zero() {
+        // Unset: the quiet default.
+        assert_eq!(parse_env_count("MANTIS_PIPES", None, 1), 1);
+        assert_eq!(parse_env_count("MANTIS_SWITCHES", None, 1), 1);
+        // Well-formed values parse (whitespace tolerated).
+        assert_eq!(parse_env_count("MANTIS_PIPES", Some("4"), 1), 4);
+        assert_eq!(parse_env_count("MANTIS_SWITCHES", Some(" 3 "), 1), 3);
+        // Malformed, zero, negative, and overflowing all fall back.
+        for bad in ["abc", "", "0", "-2", "4.5", "1e3", "99999999999"] {
+            assert_eq!(parse_env_count("MANTIS_PIPES", Some(bad), 1), 1, "{bad:?}");
+            assert_eq!(
+                parse_env_count("MANTIS_SWITCHES", Some(bad), 2),
+                2,
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fabric_links_two_reacting_switches() {
+        // Switch 0 forwards everything to its uplink; switch 1 counts what
+        // arrives and its agent mirrors the count into a knob.
+        let fwd = r#"
+header_type h_t { fields { a : 32; } }
+header h_t h;
+action up() { modify_field(intr.egress_spec, 4); }
+table t { actions { up; } default_action : up(); }
+reaction idle(ing h.a) { if (h_a > 4294967295) { } }
+control ingress { apply(t); }
+"#;
+        let count = r#"
+header_type h_t { fields { a : 32; } }
+header h_t h;
+register seen { width : 64; instance_count : 4; }
+malleable value knob { width : 32; init : 0; }
+action tally() { count(seen, 0); modify_field(intr.egress_spec, 1); }
+table t { actions { tally; } default_action : tally(); }
+reaction watch(reg seen[0:0]) { ${knob} = seen[0]; }
+control ingress { apply(t); }
+"#;
+        let topo = Topology::new(2).link(Endpoint::new(0, 4), Endpoint::new(1, 4));
+        let mut fab = Fabric::from_p4r_roles(&[fwd, count], topo).unwrap();
+        for agent in &fab.agents {
+            agent.borrow_mut().register_all_interpreted().unwrap();
+        }
+        fab.start_agents(50_000);
+        for i in 0..5u64 {
+            fab.sim.schedule(i * 10_000, move |s| {
+                s.switch_at(0)
+                    .borrow_mut()
+                    .inject(&rmt_sim::PacketDesc::new(0).field("h", "a", 7).payload(64));
+            });
+        }
+        fab.sim.run_until(1_000_000);
+        // All five packets crossed the link and were counted on switch 1,
+        // and switch 1's *own agent* observed them.
+        assert_eq!(fab.agents[1].borrow().slot("knob"), Some(5));
+        // Fabric-scoped telemetry appears for both switches.
+        let snap = fab.telemetry_snapshot();
+        assert!(snap.contains("sw0.switch.tx"), "snapshot: {snap}");
+        assert!(snap.contains("sw1.switch.rx"), "snapshot: {snap}");
     }
 }

@@ -23,26 +23,56 @@ pub fn schedule_link_flaps(sim: &mut Simulator, plan: &FaultPlan) {
 }
 
 /// Schedule one down/up pair.
+///
+/// When the flapped port is one end of an inter-switch link, *both*
+/// endpoints go down and come back together — the fault lives on the
+/// wire, so heartbeats and data crossing it die in either direction.
 pub fn schedule_link_flap(sim: &mut Simulator, flap: LinkFlap) {
+    let switch = flap.switch as usize;
     let port = flap.port as PortId;
-    sim.schedule(flap.down_at, move |s| set_port(s, port, false));
-    sim.schedule(flap.up_at, move |s| set_port(s, port, true));
+    if switch >= sim.num_switches() {
+        return; // plan written against a larger fabric
+    }
+    sim.schedule(flap.down_at, move |s| set_link(s, switch, port, false));
+    sim.schedule(flap.up_at, move |s| set_link(s, switch, port, true));
 }
 
-fn set_port(sim: &mut Simulator, port: PortId, up: bool) {
-    let ok = sim.switch().borrow_mut().port_set_up(port, up).is_ok();
+fn set_link(sim: &mut Simulator, switch: usize, port: PortId, up: bool) {
+    set_port(sim, switch, port, up);
+    if let Some((peer, _)) = sim.topology().peer_of(switch, port) {
+        set_port(sim, peer.switch, peer.port, up);
+    }
+}
+
+fn set_port(sim: &mut Simulator, switch: usize, port: PortId, up: bool) {
+    let ok = sim
+        .switch_at(switch)
+        .borrow_mut()
+        .port_set_up(port, up)
+        .is_ok();
     if !ok {
         return;
     }
     let tel = sim.telemetry();
     if tel.is_enabled() {
         let name = if up { "link_up" } else { "link_down" };
-        tel.instant(
-            Scope::Switch,
-            name,
-            sim.now(),
-            &[("port", i128::from(port))],
-        );
+        // Single-switch testbeds keep the historical one-attribute shape
+        // (telemetry goldens are byte-identical).
+        if sim.num_switches() > 1 {
+            tel.instant(
+                Scope::Switch,
+                name,
+                sim.now(),
+                &[("port", i128::from(port)), ("switch", switch as i128)],
+            );
+        } else {
+            tel.instant(
+                Scope::Switch,
+                name,
+                sim.now(),
+                &[("port", i128::from(port))],
+            );
+        }
     }
 }
 
@@ -75,6 +105,31 @@ control ingress { apply(t); }
         assert!(!sim.switch().borrow().port(2).unwrap().up, "down at 1000");
         sim.run_until(6_000);
         assert!(sim.switch().borrow().port(2).unwrap().up, "back up at 5000");
+    }
+
+    #[test]
+    fn flapping_an_inter_switch_link_downs_both_endpoints() {
+        use crate::topo::{Endpoint, Topology};
+        let clock = Clock::new();
+        let a = switch_from_source(PROG, SwitchConfig::default(), clock.clone()).unwrap();
+        let b = switch_from_source(PROG, SwitchConfig::default(), clock).unwrap();
+        let topo = Topology::new(2).link(Endpoint::new(0, 5), Endpoint::new(1, 6));
+        let mut sim = Simulator::fabric(
+            vec![Rc::new(RefCell::new(a)), Rc::new(RefCell::new(b))],
+            topo,
+        );
+        let plan = FaultPlan::new().flap_on(0, 5, 1_000, 5_000);
+        schedule_link_flaps(&mut sim, &plan);
+
+        sim.run_until(2_000);
+        assert!(!sim.switch_at(0).borrow().port(5).unwrap().up);
+        assert!(
+            !sim.switch_at(1).borrow().port(6).unwrap().up,
+            "the peer endpoint goes down with the wire"
+        );
+        sim.run_until(6_000);
+        assert!(sim.switch_at(0).borrow().port(5).unwrap().up);
+        assert!(sim.switch_at(1).borrow().port(6).unwrap().up);
     }
 
     #[test]

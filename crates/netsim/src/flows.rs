@@ -55,6 +55,8 @@ impl Default for TcpConfig {
 pub struct TcpState {
     /// Simulator-assigned id, used in telemetry metric names.
     pub flow_id: u64,
+    /// Fabric switch this flow injects into (0 on a single-switch testbed).
+    pub switch: usize,
     pub cfg: TcpConfig,
     pub rate_bps: u64,
     pub sent_pkts: u64,
@@ -82,11 +84,17 @@ impl TcpState {
     }
 }
 
-/// Spawn a TCP flow into the simulator; returns a handle to its state.
+/// Spawn a TCP flow into switch 0; returns a handle to its state.
 pub fn spawn_tcp(sim: &mut Simulator, cfg: TcpConfig) -> Rc<RefCell<TcpState>> {
+    spawn_tcp_on(sim, 0, cfg)
+}
+
+/// Spawn a TCP flow injecting into fabric switch `switch`.
+pub fn spawn_tcp_on(sim: &mut Simulator, switch: usize, cfg: TcpConfig) -> Rc<RefCell<TcpState>> {
     let flow_id = sim.alloc_flow_id();
     let state = Rc::new(RefCell::new(TcpState {
         flow_id,
+        switch,
         rate_bps: cfg.initial_rate_bps,
         next_send_ns: cfg.start_ns,
         send_gen: 0,
@@ -158,19 +166,19 @@ pub fn spawn_tcp(sim: &mut Simulator, cfg: TcpConfig) -> Rc<RefCell<TcpState>> {
 }
 
 fn tcp_send(sim: &mut Simulator, state: Rc<RefCell<TcpState>>, gen: u64) {
-    let (desc, interval, done) = {
+    let (desc, interval, done, switch) = {
         let st = state.borrow();
         if gen != st.send_gen {
             return; // superseded by a tick-rescheduled chain
         }
         if st.stopped || st.cfg.stop_ns.is_some_and(|t| sim.now() >= t) {
-            (None, 0, true)
+            (None, 0, true, st.switch)
         } else {
             let mut d = PacketDesc::new(st.cfg.ingress_port).payload(st.cfg.payload_bytes);
             for (i, f, v) in &st.cfg.fields {
                 d = d.field(i, f, *v);
             }
-            (Some(d), st.send_interval(), false)
+            (Some(d), st.send_interval(), false, st.switch)
         }
     };
     if done {
@@ -178,7 +186,7 @@ fn tcp_send(sim: &mut Simulator, state: Rc<RefCell<TcpState>>, gen: u64) {
         return;
     }
     let desc = desc.unwrap();
-    let accepted = sim.switch().borrow_mut().inject(&desc);
+    let accepted = sim.switch_at(switch).borrow_mut().inject(&desc);
     {
         let mut st = state.borrow_mut();
         st.sent_pkts += 1;
@@ -266,8 +274,13 @@ pub struct UdpState {
     pub stopped: bool,
 }
 
-/// Spawn a CBR UDP sender.
+/// Spawn a CBR UDP sender into switch 0.
 pub fn spawn_udp(sim: &mut Simulator, cfg: UdpConfig) -> Rc<RefCell<UdpState>> {
+    spawn_udp_on(sim, 0, cfg)
+}
+
+/// Spawn a CBR UDP sender injecting into fabric switch `switch`.
+pub fn spawn_udp_on(sim: &mut Simulator, switch: usize, cfg: UdpConfig) -> Rc<RefCell<UdpState>> {
     let state = Rc::new(RefCell::new(UdpState::default()));
     let interval = (u64::from(cfg.payload_bytes) * 8 * 1_000_000_000 / cfg.rate_bps.max(1)).max(1);
     {
@@ -281,7 +294,7 @@ pub fn spawn_udp(sim: &mut Simulator, cfg: UdpConfig) -> Rc<RefCell<UdpState>> {
             for (i, f, v) in &cfg.fields {
                 d = d.field(i, f, *v);
             }
-            let ok = s.switch().borrow_mut().inject(&d);
+            let ok = s.switch_at(switch).borrow_mut().inject(&d);
             let mut st = state.borrow_mut();
             st.sent_pkts += 1;
             if ok {
@@ -308,12 +321,17 @@ pub struct HeartbeatConfig {
 }
 
 pub fn spawn_heartbeats(sim: &mut Simulator, cfg: HeartbeatConfig) {
+    spawn_heartbeats_on(sim, 0, cfg);
+}
+
+/// Heartbeat generator injecting into fabric switch `switch`.
+pub fn spawn_heartbeats_on(sim: &mut Simulator, switch: usize, cfg: HeartbeatConfig) {
     sim.schedule_periodic(cfg.start_ns, cfg.interval_ns, move |s| {
         let mut d = PacketDesc::new(cfg.port).payload(0);
         for (i, f, v) in &cfg.fields {
             d = d.field(i, f, *v);
         }
-        s.switch().borrow_mut().inject(&d);
+        s.switch_at(switch).borrow_mut().inject(&d);
         true
     });
 }

@@ -4,6 +4,8 @@
 //! switch — the stand-in for the paper's 25 Gbps server testbed:
 //!
 //! * [`sim`] — event queue on the shared virtual clock,
+//! * [`topo`] — the fabric graph: `(switch, port)` endpoints wired by
+//!   latency/bandwidth links,
 //! * [`faults`] — deterministic link flaps scheduled from a fault plan,
 //! * [`flows`] — TCP-like AIMD flows, CBR UDP senders (the DoS attacker),
 //!   and heartbeat generators,
@@ -16,13 +18,16 @@ pub mod faults;
 pub mod flows;
 pub mod metrics;
 pub mod sim;
+pub mod topo;
 pub mod trace;
 
 pub use faults::{schedule_link_flap, schedule_link_flaps};
 pub use flows::{
-    ports_across_pipes, spawn_heartbeats, spawn_tcp, spawn_tcp_across_pipes, spawn_udp,
-    HeartbeatConfig, TcpConfig, TcpState, UdpConfig, UdpState,
+    ports_across_pipes, spawn_heartbeats, spawn_heartbeats_on, spawn_tcp, spawn_tcp_across_pipes,
+    spawn_tcp_on, spawn_udp, spawn_udp_on, HeartbeatConfig, TcpConfig, TcpState, UdpConfig,
+    UdpState,
 };
 pub use metrics::{mad, mean, mean_abs_dev, median, percentile, BucketSeries};
 pub use sim::Simulator;
+pub use topo::{Endpoint, Link, Topology, DEFAULT_LINK_LATENCY_NS, HOST_PORTS};
 pub use trace::{generate, Trace, TraceConfig, TracePacket};

@@ -1,16 +1,24 @@
 //! The discrete-event simulator core.
 //!
-//! A [`Simulator`] owns the shared virtual clock, the switch, and an event
-//! queue of scheduled closures. Traffic sources (TCP/UDP flows, heartbeat
-//! generators) schedule their own next events; experiment harnesses
-//! schedule agent dialogue iterations the same way. Execution is fully
-//! deterministic: ties break by schedule order.
+//! A [`Simulator`] owns the shared virtual clock, the fabric's switches,
+//! and an event queue of scheduled closures. Traffic sources (TCP/UDP
+//! flows, heartbeat generators) schedule their own next events; experiment
+//! harnesses schedule agent dialogue iterations the same way. Execution is
+//! fully deterministic: events tie-break by schedule order, and the
+//! per-event transmit drain visits switches in index order, so link
+//! deliveries are totally ordered by `(time, switch_id, seq)`.
+//!
+//! With a multi-switch [`Topology`], a packet transmitted out a linked
+//! port becomes an rx event on the peer switch after the link's wire
+//! delay; packets leaving unlinked ports exit the fabric into the
+//! transmit log.
 
+use crate::topo::Topology;
 use mantis_telemetry::Telemetry;
 use rmt_sim::{Clock, Nanos, Switch, TxPacket};
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::rc::Rc;
 
 type EventFn = Box<dyn FnOnce(&mut Simulator)>;
@@ -41,18 +49,23 @@ impl Ord for Scheduled {
 /// The event-driven simulator.
 pub struct Simulator {
     clock: Clock,
-    switch: Rc<RefCell<Switch>>,
+    switches: Vec<Rc<RefCell<Switch>>>,
+    topo: Topology,
     heap: BinaryHeap<Reverse<Scheduled>>,
     next_seq: u64,
-    /// Transmitted packets drained from the switch after every event; kept
-    /// until taken by the experiment (capped to avoid unbounded growth when
-    /// unused).
-    tx_log: Vec<TxPacket>,
+    /// Packets that exited the fabric (transmitted out an *unlinked*
+    /// port), tagged with the switch that emitted them; kept until taken
+    /// by the experiment (capped to avoid unbounded growth when unused).
+    tx_log: VecDeque<(usize, TxPacket)>,
     /// Cap on `tx_log` length; older packets are discarded first.
     pub tx_log_cap: usize,
-    /// Count of all packets ever transmitted (not capped).
+    /// Count of all packets ever transmitted by any switch, including
+    /// hops over internal fabric links (not capped).
     pub tx_count: u64,
     pub tx_bytes: u64,
+    /// Per-switch transmit accounting (same units as `tx_count`/`tx_bytes`).
+    tx_count_per_switch: Vec<u64>,
+    tx_bytes_per_switch: Vec<u64>,
     next_flow_id: u64,
 }
 
@@ -60,32 +73,55 @@ impl std::fmt::Debug for Simulator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
             .field("now", &self.clock.now())
+            .field("switches", &self.switches.len())
             .field("pending_events", &self.heap.len())
             .finish()
     }
 }
 
 impl Simulator {
+    /// A single-switch simulator — the 1-node special case of
+    /// [`Simulator::fabric`] with the trivial topology.
     pub fn new(switch: Rc<RefCell<Switch>>) -> Self {
-        let clock = switch.borrow().clock().clone();
+        Simulator::fabric(vec![switch], Topology::single())
+    }
+
+    /// A multi-switch fabric: `switches[i]` is switch `i` of `topo`. All
+    /// switches must share one virtual clock (fabric builders construct
+    /// them that way).
+    ///
+    /// # Panics
+    /// Panics when the switch count does not match the topology.
+    pub fn fabric(switches: Vec<Rc<RefCell<Switch>>>, topo: Topology) -> Self {
+        assert!(
+            switches.len() == topo.num_switches(),
+            "fabric has {} switches but the topology names {}",
+            switches.len(),
+            topo.num_switches()
+        );
+        let clock = switches[0].borrow().clock().clone();
+        let n = switches.len();
         Simulator {
             clock,
-            switch,
+            switches,
+            topo,
             heap: BinaryHeap::new(),
             next_seq: 0,
-            tx_log: Vec::new(),
+            tx_log: VecDeque::new(),
             tx_log_cap: 1 << 20,
             tx_count: 0,
             tx_bytes: 0,
+            tx_count_per_switch: vec![0; n],
+            tx_bytes_per_switch: vec![0; n],
             next_flow_id: 0,
         }
     }
 
-    /// The switch's telemetry handle (disabled unless a testbed attached
+    /// The fabric's telemetry handle (disabled unless a testbed attached
     /// one via `Switch::set_telemetry`). Flow sources use it to publish
     /// per-flow rate gauges and drop events.
     pub fn telemetry(&self) -> Rc<Telemetry> {
-        self.switch.borrow().telemetry().clone()
+        self.switches[0].borrow().telemetry().clone()
     }
 
     /// Allocate a stable id for a spawned flow (used in telemetry names).
@@ -103,8 +139,32 @@ impl Simulator {
         self.clock.now()
     }
 
+    /// Switch 0 — *the* switch of a single-switch testbed.
     pub fn switch(&self) -> &Rc<RefCell<Switch>> {
-        &self.switch
+        &self.switches[0]
+    }
+
+    /// Switch `i` of the fabric.
+    pub fn switch_at(&self, i: usize) -> &Rc<RefCell<Switch>> {
+        &self.switches[i]
+    }
+
+    pub fn num_switches(&self) -> usize {
+        self.switches.len()
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Packets transmitted by switch `i` (including over fabric links).
+    pub fn tx_count_on(&self, i: usize) -> u64 {
+        self.tx_count_per_switch[i]
+    }
+
+    /// Bytes transmitted by switch `i` (including over fabric links).
+    pub fn tx_bytes_on(&self, i: usize) -> u64 {
+        self.tx_bytes_per_switch[i]
     }
 
     /// Schedule a one-shot event at absolute time `at` (events in the past
@@ -147,26 +207,31 @@ impl Simulator {
         self.schedule(start, move |s| step(s, f, interval, start));
     }
 
+    fn next_event_within(&self, until: Nanos) -> bool {
+        self.heap
+            .peek()
+            .is_some_and(|Reverse(head)| head.at <= until)
+    }
+
     /// Run all events with `at <= until`, then advance the clock to
     /// `until`.
     pub fn run_until(&mut self, until: Nanos) {
-        // peek-then-pop (not `while let`): the event stays queued when it
-        // lies beyond the horizon.
-        #[allow(clippy::while_let_loop)]
         loop {
-            let Some(Reverse(head)) = self.heap.peek() else {
-                break;
-            };
-            if head.at > until {
+            while self.next_event_within(until) {
+                let Reverse(ev) = self.heap.pop().expect("peeked event exists");
+                self.clock.advance_to(ev.at);
+                (ev.run)(self);
+                self.drain_switch();
+            }
+            self.clock.advance_to(until);
+            self.drain_switch();
+            // The horizon drain may itself have put packets on a fabric
+            // link with an arrival inside the horizon — deliver those too
+            // before handing control back.
+            if !self.next_event_within(until) {
                 break;
             }
-            let Reverse(ev) = self.heap.pop().unwrap();
-            self.clock.advance_to(ev.at);
-            (ev.run)(self);
-            self.drain_switch();
         }
-        self.clock.advance_to(until);
-        self.drain_switch();
     }
 
     /// Run for `dur` from the current time.
@@ -175,28 +240,84 @@ impl Simulator {
         self.run_until(until);
     }
 
-    /// Service switch queues and collect transmitted packets.
+    /// Service every switch's queues (in switch-index order, so fabric
+    /// deliveries are deterministically ordered) and collect transmitted
+    /// packets: linked ports schedule an rx event on the peer switch after
+    /// the wire delay, unlinked ports append to the transmit log.
     pub fn drain_switch(&mut self) {
-        let mut sw = self.switch.borrow_mut();
-        sw.pump();
-        for pkt in sw.take_transmitted() {
-            self.tx_count += 1;
-            self.tx_bytes += u64::from(pkt.phv.frame_len(sw.spec()));
-            if self.tx_log.len() < self.tx_log_cap {
-                self.tx_log.push(pkt);
+        for i in 0..self.switches.len() {
+            // Collect this switch's transmissions first: scheduling the
+            // deliveries needs `&mut self` again.
+            let batch: Vec<(TxPacket, u32)> = {
+                let mut sw = self.switches[i].borrow_mut();
+                sw.pump();
+                let pkts = sw.take_transmitted();
+                if pkts.is_empty() {
+                    continue;
+                }
+                pkts.into_iter()
+                    .map(|pkt| {
+                        let bytes = pkt.phv.frame_len(sw.spec());
+                        (pkt, bytes)
+                    })
+                    .collect()
+            };
+            for (pkt, bytes) in batch {
+                self.tx_count += 1;
+                self.tx_bytes += u64::from(bytes);
+                self.tx_count_per_switch[i] += 1;
+                self.tx_bytes_per_switch[i] += u64::from(bytes);
+                match self.topo.peer_of(i, pkt.port) {
+                    Some((peer, link)) => {
+                        let arrival = pkt.time + link.wire_delay(bytes);
+                        let mut desc = {
+                            let sw = self.switches[i].borrow();
+                            pkt.phv.describe(sw.spec())
+                        };
+                        desc.port = peer.port;
+                        let dest = peer.switch;
+                        // Inject *as of* the arrival time: the delivery
+                        // event may be materialized after the clock moved
+                        // past `arrival` (the drain is lazy), and the
+                        // peer's tx timeline must not be distorted by
+                        // that.
+                        self.schedule(arrival, move |s| {
+                            let mut sw = s.switches[dest].borrow_mut();
+                            let phv = desc.build_lossy(sw.spec());
+                            sw.inject_phv_at(phv, arrival);
+                        });
+                    }
+                    None => {
+                        // Enforce the cap contract: older packets are
+                        // discarded first.
+                        while self.tx_log.len() >= self.tx_log_cap.max(1) {
+                            self.tx_log.pop_front();
+                        }
+                        if self.tx_log_cap > 0 {
+                            self.tx_log.push_back((i, pkt));
+                        }
+                    }
+                }
             }
         }
     }
 
-    /// Take the transmitted-packet log.
+    /// Take the transmitted-packet log (packets that exited the fabric).
     pub fn take_tx(&mut self) -> Vec<TxPacket> {
-        std::mem::take(&mut self.tx_log)
+        self.tx_log.drain(..).map(|(_, pkt)| pkt).collect()
+    }
+
+    /// Like [`take_tx`](Simulator::take_tx), keeping the index of the
+    /// switch each packet exited from.
+    pub fn take_tx_tagged(&mut self) -> Vec<(usize, TxPacket)> {
+        self.tx_log.drain(..).collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topo::Endpoint;
     use rmt_sim::{switch_from_source, PacketDesc, SwitchConfig};
 
     const FWD_ALL: &str = r#"
@@ -211,6 +332,27 @@ control ingress { apply(t); }
         let clock = Clock::new();
         let sw = switch_from_source(FWD_ALL, SwitchConfig::default(), clock).unwrap();
         Simulator::new(Rc::new(RefCell::new(sw)))
+    }
+
+    /// A 2-switch line where switch 0 forwards everything out its linked
+    /// port and switch 1 forwards everything out an unlinked one.
+    fn mk_pair(latency_ns: Nanos) -> Simulator {
+        const TO_LINK: &str = r#"
+header_type ip_t { fields { src : 32; dst : 32; } }
+header ip_t ip;
+action fwd() { modify_field(intr.egress_spec, 5); }
+table t { actions { fwd; } default_action : fwd(); }
+control ingress { apply(t); }
+"#;
+        let clock = Clock::new();
+        let a = switch_from_source(TO_LINK, SwitchConfig::default(), clock.clone()).unwrap();
+        let b = switch_from_source(FWD_ALL, SwitchConfig::default(), clock).unwrap();
+        let topo =
+            Topology::new(2).link_with(Endpoint::new(0, 5), Endpoint::new(1, 4), latency_ns, 0);
+        Simulator::fabric(
+            vec![Rc::new(RefCell::new(a)), Rc::new(RefCell::new(b))],
+            topo,
+        )
     }
 
     #[test]
@@ -271,6 +413,7 @@ control ingress { apply(t); }
         let tx = sim.take_tx();
         assert_eq!(tx.len(), 3);
         assert_eq!(sim.tx_count, 3);
+        assert_eq!(sim.tx_count_on(0), 3);
         assert!(tx.iter().all(|p| p.port == 2));
         // Timestamps are monotone.
         assert!(tx.windows(2).all(|w| w[0].time <= w[1].time));
@@ -286,5 +429,84 @@ control ingress { apply(t); }
         assert_eq!(*hits.borrow(), 0);
         sim.run_until(1_000);
         assert_eq!(*hits.borrow(), 1);
+    }
+
+    #[test]
+    fn tx_log_cap_discards_oldest_first() {
+        let mut sim = mk();
+        sim.tx_log_cap = 2;
+        for i in 0..4 {
+            sim.schedule(i * 10_000, move |s| {
+                s.switch().borrow_mut().inject(
+                    &PacketDesc::new(0)
+                        .field("ip", "src", i as u128)
+                        .payload(100),
+                );
+            });
+        }
+        sim.run_until(1_000_000);
+        // All four transmissions counted, only the two *newest* kept.
+        assert_eq!(sim.tx_count, 4);
+        let tx = sim.take_tx();
+        assert_eq!(tx.len(), 2);
+        let srcs: Vec<u64> = {
+            let sw = sim.switch().borrow();
+            let id = sw.spec().field_id("ip", "src").unwrap();
+            tx.iter().map(|p| p.phv.get(id).as_u64()).collect()
+        };
+        assert_eq!(srcs, vec![2, 3], "older packets must be discarded first");
+    }
+
+    #[test]
+    fn linked_ports_deliver_to_the_peer_after_the_wire_delay() {
+        let mut sim = mk_pair(5_000);
+        sim.schedule(0, |s| {
+            s.switch_at(0)
+                .borrow_mut()
+                .inject(&PacketDesc::new(0).field("ip", "src", 7).payload(100));
+        });
+        sim.run_until(2_000_000);
+        // Hop 1 (switch 0 → link) is not an end-to-end delivery...
+        assert_eq!(sim.tx_count_on(0), 1);
+        // ...but switch 1 received it and forwarded it out its unlinked
+        // port 2.
+        assert_eq!(sim.tx_count_on(1), 1);
+        assert_eq!(sim.tx_count, 2);
+        let tx = sim.take_tx_tagged();
+        assert_eq!(tx.len(), 1, "only the fabric exit is logged");
+        let (from, pkt) = &tx[0];
+        assert_eq!(*from, 1);
+        assert_eq!(pkt.port, 2);
+        {
+            let sw = sim.switch_at(1).borrow();
+            let id = sw.spec().field_id("ip", "src").unwrap();
+            assert_eq!(pkt.phv.get(id).as_u64(), 7, "header survived the hop");
+        }
+        // The second hop can only start after the 5 µs wire delay.
+        assert!(pkt.time > 5_000, "delivery at {} ns", pkt.time);
+    }
+
+    #[test]
+    fn fabric_runs_are_deterministic() {
+        let run = || {
+            let mut sim = mk_pair(700);
+            for i in 0..20u64 {
+                sim.schedule(i * 777, move |s| {
+                    s.switch_at(0).borrow_mut().inject(
+                        &PacketDesc::new(0)
+                            .field("ip", "src", u128::from(i))
+                            .payload(64),
+                    );
+                });
+            }
+            sim.run_until(3_000_000);
+            let fingerprint: Vec<(usize, u64, u16)> = sim
+                .take_tx_tagged()
+                .iter()
+                .map(|(sw, p)| (*sw, p.time, p.port))
+                .collect();
+            (fingerprint, sim.tx_count, sim.tx_bytes)
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -1,0 +1,282 @@
+//! Fabric topology: which `(switch, port)` endpoints are wired together.
+//!
+//! A [`Topology`] is a graph of `N` switches connected by bidirectional
+//! [`Link`]s. The [`Simulator`](crate::sim::Simulator) consults it after
+//! every event: a packet transmitted out a linked port is scheduled as an
+//! rx event on the peer switch after the wire delay, while packets leaving
+//! unlinked ports exit the fabric (they are the end-to-end deliveries an
+//! experiment observes).
+//!
+//! Port conventions of the built-in constructors: every switch keeps its
+//! first [`HOST_PORTS`] ports for hosts/external traffic, and inter-switch
+//! links start at port [`HOST_PORTS`]. In a [`Topology::leaf_spine`]
+//! fabric, leaf `i`'s uplink to spine `j` is port `HOST_PORTS + j` and
+//! spine `j`'s downlink to leaf `i` is port `HOST_PORTS + i` — the same
+//! `4..` neighbor-port band the failover use case has always monitored.
+
+use rmt_sim::{Nanos, PortId};
+
+/// Ports `0..HOST_PORTS` are host-facing on every built-in topology;
+/// inter-switch links occupy `HOST_PORTS..`.
+pub const HOST_PORTS: PortId = 4;
+
+/// Default one-way propagation delay of a built-in link (500 ns — a few
+/// hundred meters of fiber, a rack-scale number).
+pub const DEFAULT_LINK_LATENCY_NS: Nanos = 500;
+
+/// One side of a link: a port on a switch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Endpoint {
+    /// Switch index within the fabric (`0..num_switches`).
+    pub switch: usize,
+    pub port: PortId,
+}
+
+impl Endpoint {
+    pub fn new(switch: usize, port: PortId) -> Self {
+        Endpoint { switch, port }
+    }
+}
+
+/// A bidirectional wire between two `(switch, port)` endpoints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Link {
+    pub a: Endpoint,
+    pub b: Endpoint,
+    /// One-way propagation delay added on top of the sender's wire
+    /// serialization time.
+    pub latency_ns: Nanos,
+    /// Link bandwidth in bits/s; `0` means "not the bottleneck" (the
+    /// sending port's rate already serialized the packet).
+    pub bandwidth_bps: u64,
+}
+
+impl Link {
+    /// Arrival delay for `bytes` over this link (propagation plus the
+    /// link-rate transfer time when the link is slower than the port).
+    pub fn wire_delay(&self, bytes: u32) -> Nanos {
+        let transfer = if self.bandwidth_bps == 0 {
+            0
+        } else {
+            (u128::from(bytes) * 8 * 1_000_000_000 / u128::from(self.bandwidth_bps)) as Nanos
+        };
+        self.latency_ns + transfer
+    }
+}
+
+/// The fabric graph: `num_switches` switches plus the links between them.
+///
+/// Each `(switch, port)` endpoint may appear in at most one link
+/// (enforced by [`Topology::link`]).
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    num_switches: usize,
+    links: Vec<Link>,
+}
+
+impl Topology {
+    /// The degenerate 1-switch fabric every single-switch `Testbed` is a
+    /// special case of: no links, every port exits the fabric.
+    pub fn single() -> Self {
+        Topology {
+            num_switches: 1,
+            links: Vec::new(),
+        }
+    }
+
+    /// `n` unconnected switches; wire them up with [`Topology::link`].
+    pub fn new(num_switches: usize) -> Self {
+        assert!(num_switches > 0, "a fabric needs at least one switch");
+        Topology {
+            num_switches,
+            links: Vec::new(),
+        }
+    }
+
+    /// A chain `0 — 1 — … — n-1`: switch `i`'s port `HOST_PORTS + 1`
+    /// connects to switch `i+1`'s port `HOST_PORTS` (i.e. "east" is
+    /// `HOST_PORTS + 1`, "west" is `HOST_PORTS`).
+    pub fn line(n: usize) -> Self {
+        let mut topo = Topology::new(n);
+        for i in 0..n.saturating_sub(1) {
+            topo = topo.link(
+                Endpoint::new(i, HOST_PORTS + 1),
+                Endpoint::new(i + 1, HOST_PORTS),
+            );
+        }
+        topo
+    }
+
+    /// A 2-tier Clos fabric: switches `0..leaves` are leaves, switches
+    /// `leaves..leaves+spines` are spines, and every leaf connects to
+    /// every spine. Leaf `i` reaches spine `j` via port `HOST_PORTS + j`;
+    /// spine `j` reaches leaf `i` via port `HOST_PORTS + i`.
+    pub fn leaf_spine(leaves: usize, spines: usize) -> Self {
+        assert!(leaves > 0 && spines > 0, "leaf-spine needs both tiers");
+        let mut topo = Topology::new(leaves + spines);
+        for i in 0..leaves {
+            for j in 0..spines {
+                topo = topo.link(
+                    Endpoint::new(i, HOST_PORTS + j as PortId),
+                    Endpoint::new(leaves + j, HOST_PORTS + i as PortId),
+                );
+            }
+        }
+        topo
+    }
+
+    /// Add a link with the default latency and unconstrained bandwidth
+    /// (builder style).
+    pub fn link(self, a: Endpoint, b: Endpoint) -> Self {
+        self.link_with(a, b, DEFAULT_LINK_LATENCY_NS, 0)
+    }
+
+    /// Add a link with explicit latency/bandwidth (builder style).
+    ///
+    /// # Panics
+    /// Panics if an endpoint names a switch outside the fabric or is
+    /// already part of another link (a port has one wire).
+    pub fn link_with(
+        mut self,
+        a: Endpoint,
+        b: Endpoint,
+        latency_ns: Nanos,
+        bandwidth_bps: u64,
+    ) -> Self {
+        assert!(
+            a.switch < self.num_switches && b.switch < self.num_switches,
+            "link endpoint names switch outside the fabric ({a:?} — {b:?}, {} switches)",
+            self.num_switches
+        );
+        assert!(a != b, "a link cannot connect an endpoint to itself");
+        for ep in [a, b] {
+            assert!(
+                self.peer_of(ep.switch, ep.port).is_none(),
+                "endpoint {ep:?} is already linked (a port has one wire)"
+            );
+        }
+        self.links.push(Link {
+            a,
+            b,
+            latency_ns,
+            bandwidth_bps,
+        });
+        self
+    }
+
+    pub fn num_switches(&self) -> usize {
+        self.num_switches
+    }
+
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The endpoint wired to `(switch, port)` plus its link, or `None`
+    /// when the port exits the fabric.
+    pub fn peer_of(&self, switch: usize, port: PortId) -> Option<(Endpoint, &Link)> {
+        let ep = Endpoint::new(switch, port);
+        self.links.iter().find_map(|l| {
+            if l.a == ep {
+                Some((l.b, l))
+            } else if l.b == ep {
+                Some((l.a, l))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Leaf `i`'s uplink port to spine `j` under the
+    /// [`leaf_spine`](Topology::leaf_spine) convention.
+    pub fn leaf_uplink_port(spine: usize) -> PortId {
+        HOST_PORTS + spine as PortId
+    }
+
+    /// Spine `j`'s downlink port to leaf `i` under the
+    /// [`leaf_spine`](Topology::leaf_spine) convention.
+    pub fn spine_downlink_port(leaf: usize) -> PortId {
+        HOST_PORTS + leaf as PortId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_has_no_links() {
+        let t = Topology::single();
+        assert_eq!(t.num_switches(), 1);
+        assert!(t.peer_of(0, 0).is_none());
+    }
+
+    #[test]
+    fn line_wires_east_to_west() {
+        let t = Topology::line(3);
+        assert_eq!(t.num_switches(), 3);
+        assert_eq!(t.links().len(), 2);
+        let (peer, link) = t.peer_of(0, HOST_PORTS + 1).expect("0 east — 1 west");
+        assert_eq!(peer, Endpoint::new(1, HOST_PORTS));
+        assert_eq!(link.latency_ns, DEFAULT_LINK_LATENCY_NS);
+        // Symmetric lookup.
+        let (back, _) = t.peer_of(1, HOST_PORTS).unwrap();
+        assert_eq!(back, Endpoint::new(0, HOST_PORTS + 1));
+        // Host ports and the chain ends exit the fabric.
+        assert!(t.peer_of(0, 0).is_none());
+        assert!(t.peer_of(0, HOST_PORTS).is_none());
+        assert!(t.peer_of(2, HOST_PORTS + 1).is_none());
+    }
+
+    #[test]
+    fn leaf_spine_is_a_full_bipartite_mesh() {
+        let t = Topology::leaf_spine(2, 2);
+        assert_eq!(t.num_switches(), 4);
+        assert_eq!(t.links().len(), 4);
+        for leaf in 0..2 {
+            for spine in 0..2 {
+                let (peer, _) = t
+                    .peer_of(leaf, Topology::leaf_uplink_port(spine))
+                    .expect("leaf uplink wired");
+                assert_eq!(
+                    peer,
+                    Endpoint::new(2 + spine, Topology::spine_downlink_port(leaf))
+                );
+            }
+        }
+        // Host ports stay free on every switch.
+        for sw in 0..4 {
+            for port in 0..HOST_PORTS {
+                assert!(t.peer_of(sw, port).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn wire_delay_adds_transfer_time_at_finite_bandwidth() {
+        let t = Topology::new(2).link_with(
+            Endpoint::new(0, 4),
+            Endpoint::new(1, 4),
+            1_000,
+            1_000_000_000, // 1 Gbps
+        );
+        let (_, link) = t.peer_of(0, 4).unwrap();
+        // 1250 B at 1 Gbps = 10 µs transfer + 1 µs propagation.
+        assert_eq!(link.wire_delay(1_250), 1_000 + 10_000);
+        let unconstrained = Link {
+            a: Endpoint::new(0, 0),
+            b: Endpoint::new(1, 0),
+            latency_ns: 7,
+            bandwidth_bps: 0,
+        };
+        assert_eq!(unconstrained.wire_delay(1_250), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "already linked")]
+    fn double_wiring_a_port_panics() {
+        let _ = Topology::new(3)
+            .link(Endpoint::new(0, 4), Endpoint::new(1, 4))
+            .link(Endpoint::new(0, 4), Endpoint::new(2, 4));
+    }
+}

@@ -67,6 +67,27 @@ impl Phv {
         self.intr(spec, "egress_spec").as_u64() as PortId
     }
 
+    /// Describe this PHV spec-independently: every field of every valid
+    /// non-metadata header as `(instance, field, value)` assignments, plus
+    /// the payload length. The result can be re-materialized against a
+    /// *different* spec with [`PacketDesc::build_lossy`] — this is how a
+    /// fabric carries a packet from one switch's program to its peer's.
+    /// Intrinsic metadata (ports, timestamps) deliberately does not
+    /// survive the wire; the caller sets the new ingress port.
+    pub fn describe(&self, spec: &DataPlaneSpec) -> PacketDesc {
+        let mut desc = PacketDesc::new(0).payload(self.payload_len);
+        for (i, h) in spec.headers.iter().enumerate() {
+            if h.is_metadata || !self.valid[i] {
+                continue;
+            }
+            for f in &h.fields {
+                let info = &spec.fields[f.0 as usize];
+                desc = desc.field(&info.instance, &info.field, self.get(*f).bits());
+            }
+        }
+        desc
+    }
+
     /// Total frame length in bytes: parsed+valid headers plus payload.
     pub fn frame_len(&self, spec: &DataPlaneSpec) -> u32 {
         let mut bits = 0u32;
@@ -116,12 +137,28 @@ impl PacketDesc {
 
     /// Materialize a PHV for this packet.
     pub fn build(&self, spec: &DataPlaneSpec) -> Phv {
+        self.materialize(spec, false)
+    }
+
+    /// Like [`build`](PacketDesc::build), but fields the spec does not
+    /// know are silently skipped instead of panicking. A fabric link uses
+    /// this to deliver a packet described against the sender's program
+    /// into a receiver running a *different* program: the shared headers
+    /// transfer, the rest is payload the receiver's parser cannot see.
+    pub fn build_lossy(&self, spec: &DataPlaneSpec) -> Phv {
+        self.materialize(spec, true)
+    }
+
+    fn materialize(&self, spec: &DataPlaneSpec, lossy: bool) -> Phv {
         let mut phv = Phv::new(spec);
         phv.payload_len = self.payload_len;
         for (inst, field, value) in &self.fields {
-            let id = spec
-                .field_id(inst, field)
-                .unwrap_or_else(|| panic!("unknown field {inst}.{field}"));
+            let Some(id) = spec.field_id(inst, field) else {
+                if lossy {
+                    continue;
+                }
+                panic!("unknown field {inst}.{field}");
+            };
             phv.set(id, Value::new(*value, 128));
             if let Some(h) = spec.header_idx(inst) {
                 phv.set_valid(h, true);
@@ -192,5 +229,37 @@ metadata m_t m { x : 5; }
     fn packet_desc_unknown_field_panics() {
         let s = spec();
         let _ = PacketDesc::new(0).field("nope", "f", 1).build(&s);
+    }
+
+    #[test]
+    fn build_lossy_skips_unknown_fields() {
+        let s = spec();
+        let phv = PacketDesc::new(2)
+            .field("nope", "f", 1)
+            .field("eth", "dst", 0xaabb)
+            .payload(10)
+            .build_lossy(&s);
+        assert!(phv.is_valid(s.header_idx("eth").unwrap()));
+        assert_eq!(phv.get(s.field_id("eth", "dst").unwrap()).bits(), 0xaabb);
+        assert_eq!(phv.ingress_port(&s), 2);
+    }
+
+    #[test]
+    fn describe_round_trips_valid_headers() {
+        let s = spec();
+        let phv = PacketDesc::new(3)
+            .field("eth", "dst", 0xaabb)
+            .field("eth", "etype", 0x0800)
+            .payload(100)
+            .build(&s);
+        let mut desc = phv.describe(&s);
+        desc.port = 5;
+        // Metadata never crosses the wire.
+        assert!(desc.fields.iter().all(|(i, _, _)| i == "eth"));
+        let back = desc.build_lossy(&s);
+        assert_eq!(back.get(s.field_id("eth", "dst").unwrap()).bits(), 0xaabb);
+        assert_eq!(back.get(s.field_id("eth", "etype").unwrap()).bits(), 0x0800);
+        assert_eq!(back.ingress_port(&s), 5);
+        assert_eq!(back.frame_len(&s), phv.frame_len(&s));
     }
 }

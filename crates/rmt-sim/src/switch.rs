@@ -15,7 +15,10 @@ use crate::spec::{
 };
 use crate::table::{EntryHandle, KeyField, Lookup, Table, TableError};
 use crate::{hash, spec};
-use mantis_telemetry::{scopes::pipe_metric, Scope, Telemetry};
+use mantis_telemetry::{
+    scopes::{pipe_metric, switch_metric},
+    Scope, Telemetry,
+};
 use p4_ast::{CmpOp, Pipeline, Value};
 use std::collections::VecDeque;
 use std::fmt;
@@ -270,6 +273,11 @@ pub struct Switch {
     qdepth_register: Option<RegisterId>,
     pub stats: SwitchStats,
     telemetry: Rc<Telemetry>,
+    /// This switch's index within a multi-switch fabric. `None` (the
+    /// default, and always the case for single-switch testbeds) suppresses
+    /// the `sw{i}.*` telemetry scope entirely so existing goldens stay
+    /// byte-identical.
+    fabric_index: Option<u16>,
     /// Reusable per-stage buffer of tables whose guards passed.
     apply_scratch: Vec<TableId>,
     /// Reusable buffer for hash-calculation inputs.
@@ -326,6 +334,7 @@ impl Switch {
             qdepth_register: None,
             stats: SwitchStats::default(),
             telemetry: Telemetry::disabled(),
+            fabric_index: None,
             apply_scratch: Vec::new(),
             hash_scratch: Vec::new(),
         }
@@ -368,6 +377,20 @@ impl Switch {
         &self.telemetry
     }
 
+    /// Label this switch as member `i` of a multi-switch fabric: its
+    /// rx/tx counters are additionally emitted under the `sw{i}.*` scope
+    /// (mirroring the `pipe{p}.*` convention). Fabric builders set this
+    /// only when the topology has more than one switch, so single-switch
+    /// traces never contain `sw` labels.
+    pub fn set_fabric_index(&mut self, index: Option<u16>) {
+        self.fabric_index = index;
+    }
+
+    /// The fabric index set by [`set_fabric_index`](Switch::set_fabric_index).
+    pub fn fabric_index(&self) -> Option<u16> {
+        self.fabric_index
+    }
+
     pub fn spec(&self) -> &DataPlaneSpec {
         &self.spec
     }
@@ -403,7 +426,17 @@ impl Switch {
     }
 
     /// Inject a pre-built PHV.
-    pub fn inject_phv(&mut self, mut phv: Phv) -> bool {
+    pub fn inject_phv(&mut self, phv: Phv) -> bool {
+        self.inject_phv_at(phv, self.clock.now())
+    }
+
+    /// Inject a pre-built PHV as of virtual time `at` (≤ now). Fabric
+    /// links use this: the simulator materializes a wire delivery lazily
+    /// (possibly after the clock moved past the arrival), and timestamping
+    /// the packet with its true arrival keeps the downstream tx timeline
+    /// exact — the TM already computes `tx_start` from per-packet
+    /// `enq_ns`, not from the pump time.
+    pub fn inject_phv_at(&mut self, mut phv: Phv, at: Nanos) -> bool {
         self.stats.rx += 1;
         let in_port = phv.ingress_port(&self.spec);
         let exec_pipe = self.pipe_of_port(in_port);
@@ -412,6 +445,10 @@ impl Switch {
             if self.config.num_pipes > 1 {
                 self.telemetry
                     .counter_add(&pipe_metric(exec_pipe, "switch.rx"), 1);
+            }
+            if let Some(sw) = self.fabric_index {
+                self.telemetry
+                    .counter_add(&switch_metric(sw, "switch.rx"), 1);
             }
         }
         if let Some((pipe, local)) = self.port_slot(in_port) {
@@ -440,33 +477,33 @@ impl Switch {
             p.rx_packets += 1;
             p.rx_bytes += u64::from(phv.frame_len(&self.spec));
         }
-        phv.set_intr(&self.spec, "ts_ns", self.clock.now());
+        phv.set_intr(&self.spec, "ts_ns", at);
 
         let mut exec = self.exec_start(phv, Pipeline::Ingress);
         while !exec.done() {
             self.exec_step(&mut exec);
         }
-        self.after_ingress(exec.phv)
+        self.after_ingress(exec.phv, at)
     }
 
     /// Route an ingress-complete PHV into the TM (or drop/recirculate).
-    fn after_ingress(&mut self, phv: Phv) -> bool {
+    fn after_ingress(&mut self, phv: Phv, at: Nanos) -> bool {
         if phv.dropped {
             self.stats.dropped_ingress += 1;
             return false;
         }
         let out_port = phv.egress_spec(&self.spec);
         if out_port == self.config.recirc_port {
-            return self.recirculate(phv);
+            return self.recirculate(phv, at);
         }
-        self.enqueue(out_port, phv)
+        self.enqueue(out_port, phv, at)
     }
 
     /// Send a packet back through the ingress pipeline (bounded by the
     /// recirculation limit). Recirculation consumes pipeline bandwidth; the
     /// `recirculated` stat lets experiments account for the throughput
     /// penalty the paper discusses (§2).
-    fn recirculate(&mut self, mut phv: Phv) -> bool {
+    fn recirculate(&mut self, mut phv: Phv, at: Nanos) -> bool {
         let count = phv.intr(&self.spec, "recirc_count").as_u64();
         if count as u8 >= self.config.recirc_limit {
             self.stats.dropped_ingress += 1;
@@ -478,10 +515,10 @@ impl Switch {
         while !exec.done() {
             self.exec_step(&mut exec);
         }
-        self.after_ingress(exec.phv)
+        self.after_ingress(exec.phv, at)
     }
 
-    fn enqueue(&mut self, port: PortId, mut phv: Phv) -> bool {
+    fn enqueue(&mut self, port: PortId, mut phv: Phv, at: Nanos) -> bool {
         let bytes = phv.frame_len(&self.spec);
         let Some((pipe, local)) = self.port_slot(port) else {
             self.stats.dropped_ingress += 1;
@@ -522,7 +559,7 @@ impl Switch {
         // this).
         phv.set_intr(&self.spec, "deq_qdepth", u64::from(q.depth_bytes));
         q.depth_bytes += bytes;
-        let enq_ns = self.clock.now();
+        let enq_ns = at;
         q.packets.push_back(Queued { phv, bytes, enq_ns });
         self.mirror_qdepth(port);
         true
@@ -597,6 +634,10 @@ impl Switch {
                     if self.config.num_pipes > 1 {
                         self.telemetry
                             .counter_add(&pipe_metric(pipe as u16, "switch.tx"), 1);
+                    }
+                    if let Some(sw) = self.fabric_index {
+                        self.telemetry
+                            .counter_add(&switch_metric(sw, "switch.tx"), 1);
                     }
                 }
                 self.transmitted.push(TxPacket {
