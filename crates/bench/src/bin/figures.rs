@@ -31,6 +31,7 @@ const KNOWN: &[&str] = &[
     "perf",
     "faults",
     "fabric",
+    "control",
 ];
 
 fn main() {
@@ -376,6 +377,46 @@ fn main() {
             "    ecmp end-to-end: per-spine {:?}, delivered {}/{} (max/min {:.2})",
             r.ecmp.per_spine_tx, r.ecmp.delivered, r.ecmp.sent, r.ecmp.max_over_min
         );
+        println!();
+    }
+
+    if want("control") {
+        let quick = std::env::var("MANTIS_BENCH_QUICK").is_ok_and(|v| v != "0");
+        let r = bench::control::run(quick);
+        save("control", &r);
+        println!(
+            "== Control plane — wire latency, batching, failover ({}) ==",
+            if quick { "quick" } else { "full" }
+        );
+        println!(
+            "    local baseline: {:>8.1} ns/iteration ({} table mods each)",
+            r.local_iteration_ns, r.mods_per_iteration
+        );
+        for p in &r.rtt_sweep {
+            println!(
+                "    rtt {:>6.1} µs: {:>8.1} µs/iteration, {:.1} frames/iteration",
+                p.rtt_ns as f64 / 1000.0,
+                p.iteration_ns / 1000.0,
+                p.frames_per_iteration
+            );
+        }
+        println!(
+            "    batching @ rtt {} µs: {:>8.1} µs vs {:>8.1} µs one-op-per-frame ({:.2}x, {} vs {} frames)",
+            r.batching.rtt_ns / 1000,
+            r.batching.batched_iteration_ns / 1000.0,
+            r.batching.unbatched_iteration_ns / 1000.0,
+            r.batching.speedup,
+            r.batching.batched_frames,
+            r.batching.unbatched_frames
+        );
+        for f in &r.failover {
+            println!(
+                "    failover @ lease {:>6} µs: converged in {:>8.1} µs ({} standby attempts)",
+                f.lease_ns / 1000,
+                f.convergence_ns as f64 / 1000.0,
+                f.standby_attempts
+            );
+        }
         println!();
     }
 

@@ -1,0 +1,335 @@
+//! Control-plane benchmark (`figures -- control`): what the wire costs.
+//!
+//! Three measurements on a mod-heavy reaction loop (each iteration
+//! rewrites a block of malleable-table entries and commits a malleable
+//! value — the paper's Fig. 11/12 shape, pushed through the remote
+//! driver):
+//!
+//! * **RTT sweep** — mean dialogue-iteration virtual latency as the
+//!   channel round-trip grows from 0 to 100 µs, against the in-process
+//!   driver baseline. At RTT = 0 remote ≡ local; beyond that the slope
+//!   is the number of *frames* per iteration, which batching keeps flat.
+//! * **Batching ablation** — the same loop with the RBFRT-style deferred
+//!   batches disabled (one op per frame). The ratio is the payoff of
+//!   coalescing result-less mutations until a barrier.
+//! * **Failover convergence** — virtual time from severing the primary
+//!   controller's channels to a standby's first committed iteration,
+//!   as a function of the mastership lease.
+
+use mantis::control::{remote_agent, ChannelConfig, ControlPlane, RemoteDriver};
+use mantis::p4_ast::Value;
+use mantis::p4r_compiler::entry::LogicalKey;
+use mantis::p4r_compiler::{compile_source, Compiled, CompilerOptions};
+use mantis::rmt_sim::PacketDesc;
+use mantis::{
+    Clock, Controller, ControllerConfig, CostModel, FaultPlan, MantisAgent, ReactionCtx, Switch,
+    SwitchConfig, Telemetry,
+};
+use serde::Serialize;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Entries rewritten per dialogue iteration.
+const MODS_PER_ITER: usize = 8;
+
+const CONTROL_P4R: &str = r#"
+header_type h_t { fields { a : 32; b : 32; } }
+header h_t h;
+malleable value knob { width : 32; init : 0; }
+action fwd(port) { modify_field(intr.egress_spec, port); }
+action nop() { no_op(); }
+malleable table acl {
+    reads { h.b : exact; }
+    actions { fwd; nop; }
+    size : 256;
+}
+table t { actions { nop; } default_action : nop(); }
+reaction churn(ing h.a) { ${knob} = ${knob}; }
+control ingress { apply(acl); apply(t); }
+"#;
+
+/// One point of the RTT sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct RttPoint {
+    pub rtt_ns: u64,
+    /// Mean dialogue-iteration latency on the virtual clock.
+    pub iteration_ns: f64,
+    /// Control frames sent per iteration (both directions).
+    pub frames_per_iteration: f64,
+    pub bytes_total: i128,
+}
+
+/// The batching ablation at one RTT.
+#[derive(Clone, Debug, Serialize)]
+pub struct BatchingPoint {
+    pub rtt_ns: u64,
+    pub batched_iteration_ns: f64,
+    pub unbatched_iteration_ns: f64,
+    /// unbatched / batched — the payoff of deferred batches.
+    pub speedup: f64,
+    pub batched_frames: i128,
+    pub unbatched_frames: i128,
+}
+
+/// One failover convergence measurement.
+#[derive(Clone, Debug, Serialize)]
+pub struct FailoverPoint {
+    pub lease_ns: u64,
+    /// Severance → the standby's first committed iteration.
+    pub convergence_ns: u64,
+    /// Standby claim attempts until the lease expired.
+    pub standby_attempts: u64,
+}
+
+/// Everything `results/control.json` reports.
+#[derive(Clone, Debug, Serialize)]
+pub struct ControlBenchResult {
+    pub mods_per_iteration: usize,
+    /// In-process driver baseline for the same loop.
+    pub local_iteration_ns: f64,
+    pub rtt_sweep: Vec<RttPoint>,
+    pub batching: BatchingPoint,
+    pub failover: Vec<FailoverPoint>,
+}
+
+struct Loop {
+    agent: MantisAgent,
+    telemetry: Rc<Telemetry>,
+    clock: Clock,
+}
+
+fn compiled() -> Compiled {
+    compile_source(CONTROL_P4R, &CompilerOptions::default()).expect("control program compiles")
+}
+
+/// Register the mod-heavy native reaction: rewrite `MODS_PER_ITER`
+/// pre-installed entries and bump the knob, every iteration.
+fn arm_workload(agent: &mut MantisAgent) {
+    let mut handles = Vec::with_capacity(MODS_PER_ITER);
+    agent
+        .user_init(|ctx| {
+            for k in 0..MODS_PER_ITER {
+                let h = ctx.table_add(
+                    "acl",
+                    vec![LogicalKey::Exact(Value::new(k as u128 + 1, 32))],
+                    0,
+                    "fwd",
+                    vec![Value::new(k as u128 % 8, 9)],
+                )?;
+                handles.push(h);
+            }
+            Ok(())
+        })
+        .expect("user init");
+    let mut i: u64 = 0;
+    agent
+        .register_native(
+            "churn",
+            Box::new(move |ctx: &mut ReactionCtx<'_>| {
+                i += 1;
+                for (k, h) in handles.iter().enumerate() {
+                    ctx.table_mod(
+                        "acl",
+                        *h,
+                        "fwd",
+                        vec![Value::new((i + k as u64) as u128 % 8, 9)],
+                    )?;
+                }
+                ctx.set_mbl("knob", i as i128)
+            }),
+        )
+        .expect("reaction registered");
+}
+
+fn build_switch() -> (Rc<RefCell<Switch>>, Clock) {
+    let comp = compiled();
+    let spec = mantis::rmt_sim::load(&comp.p4).expect("loads");
+    let clock = Clock::new();
+    let switch = Rc::new(RefCell::new(Switch::new(
+        spec,
+        SwitchConfig::default(),
+        clock.clone(),
+    )));
+    (switch, clock)
+}
+
+fn local_loop() -> Loop {
+    let comp = compiled();
+    let (switch, clock) = build_switch();
+    let telemetry = Telemetry::shared();
+    let mut agent = MantisAgent::new(switch, &comp, CostModel::default());
+    agent.set_telemetry(telemetry.clone());
+    agent.prologue().expect("prologue");
+    arm_workload(&mut agent);
+    Loop {
+        agent,
+        telemetry,
+        clock,
+    }
+}
+
+fn remote_loop(cfg: ChannelConfig, batching: bool) -> Loop {
+    let comp = compiled();
+    let (switch, clock) = build_switch();
+    let telemetry = Telemetry::shared();
+    let mut agent = if batching {
+        let (agent, _plane) = remote_agent(switch, &comp, CostModel::default(), cfg);
+        agent
+    } else {
+        let plane = ControlPlane::shared(switch, CostModel::default());
+        let driver = RemoteDriver::with_batching(plane, cfg, false);
+        MantisAgent::with_driver(&comp, Box::new(driver))
+    };
+    agent.set_telemetry(telemetry.clone());
+    agent.prologue().expect("prologue");
+    arm_workload(&mut agent);
+    Loop {
+        agent,
+        telemetry,
+        clock,
+    }
+}
+
+/// Mean per-iteration virtual latency of `iters` dialogue iterations.
+fn measure(lp: &mut Loop, iters: u64) -> f64 {
+    let t0 = lp.clock.now();
+    for _ in 0..iters {
+        lp.agent.dialogue_iteration().expect("iteration");
+    }
+    (lp.clock.now() - t0) as f64 / iters as f64
+}
+
+fn failover_point(lease_ns: u64) -> FailoverPoint {
+    let comp = compiled();
+    let (switch, clock) = build_switch();
+    let plane = ControlPlane::shared(switch.clone(), CostModel::default());
+    let chan = ChannelConfig::with_rtt(1_000);
+    let mut primary = Controller::new(ControllerConfig::new(1, lease_ns, chan));
+    let mut standby = Controller::new(ControllerConfig::new(2, lease_ns, chan));
+    primary.add_switch(plane.clone(), comp.clone());
+    standby.add_switch(plane, comp);
+    let setup = Rc::new(|_i: usize, agent: &mut MantisAgent| agent.register_all_interpreted());
+    primary.set_agent_setup(setup.clone());
+    standby.set_agent_setup(setup);
+
+    primary.step().expect("primary boots");
+    switch
+        .borrow_mut()
+        .inject(&PacketDesc::new(0).field("h", "a", 1).payload(64));
+    primary.step().expect("primary runs");
+
+    // Partition the primary; the standby polls every `td` until its claim
+    // lands (the incumbent's lease must first expire on the virtual clock).
+    let severed_at = clock.now();
+    primary.set_channel_fault_plan(FaultPlan::new().sever_control(0, severed_at));
+    primary.step().expect("primary loses the lease");
+
+    let td = 10_000u64;
+    let mut attempts = 0u64;
+    loop {
+        let report = standby.step().expect("standby step");
+        if report.master {
+            assert!(report.iterations == 1, "standby adopted but did not react");
+            break;
+        }
+        attempts += 1;
+        assert!(attempts < 10_000, "standby never converged");
+        clock.advance(td);
+    }
+    FailoverPoint {
+        lease_ns,
+        convergence_ns: clock.now() - severed_at,
+        standby_attempts: attempts,
+    }
+}
+
+/// Run the control benchmark. `quick` trims the sweeps for CI.
+pub fn run(quick: bool) -> ControlBenchResult {
+    let iters: u64 = if quick { 40 } else { 200 };
+    let rtts: &[u64] = if quick {
+        &[0, 10_000]
+    } else {
+        &[0, 1_000, 10_000, 100_000]
+    };
+
+    let local_iteration_ns = measure(&mut local_loop(), iters);
+
+    let rtt_sweep = rtts
+        .iter()
+        .map(|&rtt| {
+            let mut lp = remote_loop(ChannelConfig::with_rtt(rtt), true);
+            let frames_before = lp.telemetry.counter("control.frames");
+            let iteration_ns = measure(&mut lp, iters);
+            let frames = lp.telemetry.counter("control.frames") - frames_before;
+            RttPoint {
+                rtt_ns: rtt,
+                iteration_ns,
+                frames_per_iteration: frames as f64 / iters as f64,
+                bytes_total: lp.telemetry.counter("control.bytes"),
+            }
+        })
+        .collect();
+
+    let ablation_rtt = 10_000u64;
+    let batching = {
+        let mut b = remote_loop(ChannelConfig::with_rtt(ablation_rtt), true);
+        let batched_iteration_ns = measure(&mut b, iters);
+        let mut u = remote_loop(ChannelConfig::with_rtt(ablation_rtt), false);
+        let unbatched_iteration_ns = measure(&mut u, iters);
+        BatchingPoint {
+            rtt_ns: ablation_rtt,
+            batched_iteration_ns,
+            unbatched_iteration_ns,
+            speedup: unbatched_iteration_ns / batched_iteration_ns,
+            batched_frames: b.telemetry.counter("control.frames"),
+            unbatched_frames: u.telemetry.counter("control.frames"),
+        }
+    };
+
+    let leases: &[u64] = if quick {
+        &[100_000]
+    } else {
+        &[50_000, 100_000, 200_000, 400_000]
+    };
+    let failover = leases.iter().map(|&l| failover_point(l)).collect();
+
+    ControlBenchResult {
+        mods_per_iteration: MODS_PER_ITER,
+        local_iteration_ns,
+        rtt_sweep,
+        batching,
+        failover,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_control_bench_holds_its_claims() {
+        let r = run(true);
+        // RTT=0 remote matches the local loop's virtual latency.
+        let zero = &r.rtt_sweep[0];
+        assert_eq!(zero.rtt_ns, 0);
+        assert!(
+            (zero.iteration_ns - r.local_iteration_ns).abs() < 1.0,
+            "remote @ RTT=0 ({}) != local ({})",
+            zero.iteration_ns,
+            r.local_iteration_ns
+        );
+        // Latency grows with RTT, frames stay constant per iteration.
+        assert!(r.rtt_sweep[1].iteration_ns > zero.iteration_ns);
+        // Batching wins by at least the acceptance threshold.
+        assert!(
+            r.batching.speedup >= 2.0,
+            "batching speedup {} < 2x",
+            r.batching.speedup
+        );
+        assert!(r.batching.unbatched_frames > r.batching.batched_frames);
+        // Failover converged shortly after the lease expired.
+        let f = &r.failover[0];
+        assert!(f.convergence_ns >= f.lease_ns);
+        assert!(f.convergence_ns < 10 * f.lease_ns, "{}", f.convergence_ns);
+    }
+}

@@ -20,6 +20,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod control;
 pub mod fabric;
 pub mod faults;
 pub mod perf;
@@ -100,7 +101,10 @@ control ingress { apply(acl); apply(t); }
 "#;
 
 fn micro_testbed() -> Testbed {
-    let tb = Testbed::from_p4r(MICRO_P4R).expect("micro program");
+    // Pinned to the in-process driver: this testbed feeds the telemetry
+    // timing golden, whose byte-identity must survive `MANTIS_REMOTE=1`
+    // runs of the suite (the remote path is benchmarked in `control`).
+    let tb = Testbed::from_p4r_local(MICRO_P4R).expect("micro program");
     // The paper's Fig. 11/12 loop updates a single malleable each
     // iteration; register the program's reaction to reproduce that.
     tb.agent
@@ -586,7 +590,9 @@ pub struct MemoAblation {
 /// The first touch of each table computes device instructions; repeated
 /// interactions reuse them.
 pub fn memoization_ablation() -> MemoAblation {
-    let tb = Testbed::from_p4r(MICRO_P4R).expect("micro program");
+    // In-process driver: this ablation times the driver memo itself, not
+    // the control channel.
+    let tb = Testbed::from_p4r_local(MICRO_P4R).expect("micro program");
     let mut agent = tb.agent.borrow_mut();
     let mut entry_commit_us = |n: u128| {
         let t0 = agent.clock().now();

@@ -27,7 +27,7 @@
 
 use crate::costmodel::CostModel;
 use crate::ctx::{CtxError, ReactionCtx, Snapshot};
-use crate::driver::MantisDriver;
+use crate::driver_api::{CheckpointToken, DriverApi, LocalDriver};
 use crate::logical::{LogicalEntry, LogicalTable, Staged, StagedOp};
 use mantis_faults::{BreakerConfig, BreakerState, CircuitBreaker, FaultPlan, RetryPolicy};
 use mantis_telemetry::{scopes, Scope, Telemetry, TelemetryConfig};
@@ -37,10 +37,7 @@ use p4r_compiler::entry::{expand_entry, ExpandError, PhysEntry, PhysKey};
 use p4r_compiler::iface::{ControlInterface, ReactionBinding, TableInfo};
 use p4r_compiler::Compiled;
 use reaction_interp::{CompiledReaction, InterpError, Interpreter};
-use rmt_sim::{
-    Clock, DriverError, EntryHandle, KeyField, Nanos, PortId, ReadAgg, Switch, TableCheckpoint,
-    TableId,
-};
+use rmt_sim::{Clock, DriverError, EntryHandle, KeyField, Nanos, PortId, ReadAgg, Switch, TableId};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
@@ -298,7 +295,7 @@ impl ApplyFailure {
 /// clones — the driver's software shadow) plus the agent bookkeeping
 /// they correspond to.
 struct Txn {
-    tables: Vec<(TableId, TableCheckpoint)>,
+    tables: Vec<(TableId, CheckpointToken)>,
     logical: Vec<(String, LogicalTable)>,
     master_data: Vec<Value>,
     /// Per-pipe config version at checkpoint time.
@@ -370,9 +367,8 @@ pub struct AgentStats {
 
 /// The Mantis control-plane agent.
 pub struct MantisAgent {
-    switch: Rc<RefCell<Switch>>,
     pub iface: ControlInterface,
-    driver: MantisDriver,
+    driver: Box<dyn DriverApi>,
     clock: Clock,
     /// Per-pipe config version. All pipes hold equal values between
     /// iterations; during a commit they flip pipe-by-pipe, so a packet in
@@ -428,12 +424,12 @@ fn skips_mirror_pass(info: &TableInfo, mirror: bool) -> bool {
 /// exponential backoff on the virtual clock. Free function so callers
 /// can hold disjoint borrows of other agent fields.
 fn retry_op<T>(
-    driver: &mut MantisDriver,
+    driver: &mut dyn DriverApi,
     clock: &Clock,
     tel: &Telemetry,
     policy: RetryPolicy,
     retries: &mut u32,
-    mut op: impl FnMut(&mut MantisDriver) -> Result<T, AgentError>,
+    mut op: impl FnMut(&mut dyn DriverApi) -> Result<T, AgentError>,
 ) -> Result<T, AgentError> {
     let mut attempt = 0u32;
     loop {
@@ -459,143 +455,136 @@ impl MantisAgent {
     /// Panics if the switch was not loaded with the same compiled program
     /// (tables/actions referenced by the interface must exist).
     pub fn new(switch: Rc<RefCell<Switch>>, compiled: &Compiled, cost: CostModel) -> Self {
+        Self::with_driver(compiled, Box::new(LocalDriver::new(switch, cost)))
+    }
+
+    /// Create an agent that controls its switch through an arbitrary
+    /// [`DriverApi`] implementation — in-process ([`LocalDriver`], what
+    /// [`new`](MantisAgent::new) builds) or remote over a control channel.
+    ///
+    /// # Panics
+    /// Panics if the driver's spec does not carry the compiled program's
+    /// tables/actions.
+    pub fn with_driver(compiled: &Compiled, mut driver: Box<dyn DriverApi>) -> Self {
         let iface = compiled.iface.clone();
-        let clock = switch.borrow().clock().clone();
+        let clock = driver.clock().clone();
         // Every agent owns an (enabled) telemetry handle so that stats
         // are always registry-sourced; `set_telemetry` swaps in a
         // shared handle when the caller wants the full trace.
         let telemetry = Rc::new(Telemetry::new(TelemetryConfig::default()));
-        let mut driver = MantisDriver::new(cost, clock.clone());
         driver.set_telemetry(telemetry.clone());
 
-        let (master_table, master_action, master_data, slot_locs, slots, extra_ids);
-        {
-            let sw = switch.borrow();
-            let master = iface
-                .master_init()
-                .expect("invariant: compiled programs always carry a master init");
-            master_table = sw.table_id(&master.table).unwrap_or_else(|_| {
-                panic!(
-                    "invariant: master init table `{}` must exist on the switch \
-                     the program was loaded onto",
-                    master.table
-                )
-            });
-            master_action = sw.action_id(&master.action).unwrap_or_else(|_| {
-                panic!(
-                    "invariant: master init action `{}` must exist on the switch \
-                     the program was loaded onto",
-                    master.action
-                )
-            });
+        let master = iface
+            .master_init()
+            .expect("invariant: compiled programs always carry a master init");
+        let master_table = driver.table_id(&master.table).unwrap_or_else(|_| {
+            panic!(
+                "invariant: master init table `{}` must exist on the switch \
+                 the program was loaded onto",
+                master.table
+            )
+        });
+        let master_action = driver.action_id(&master.action).unwrap_or_else(|_| {
+            panic!(
+                "invariant: master init action `{}` must exist on the switch \
+                 the program was loaded onto",
+                master.action
+            )
+        });
 
-            // Slot placement + initial values.
-            let mut locs = HashMap::new();
-            let mut vals = HashMap::new();
-            for v in &iface.values {
-                locs.insert(
-                    v.name.clone(),
-                    SlotLoc {
-                        init_table: v.init_table,
-                        param_idx: v.param_idx,
-                        width: v.width,
-                    },
-                );
-                vals.insert(v.name.clone(), v.init.bits() as i128);
-            }
-            for fslot in &iface.fields {
-                locs.insert(
-                    fslot.name.clone(),
-                    SlotLoc {
-                        init_table: fslot.init_table,
-                        param_idx: fslot.param_idx,
-                        width: fslot.selector_bits,
-                    },
-                );
-                vals.insert(fslot.name.clone(), fslot.init_index as i128);
-            }
-            slot_locs = locs;
-            slots = vals;
-
-            // Build initial data vectors per init table.
-            let mut datas: Vec<Vec<Value>> = iface
-                .init_tables
-                .iter()
-                .map(|it| {
-                    it.param_widths
-                        .iter()
-                        .map(|w| Value::zero(*w))
-                        .collect::<Vec<_>>()
-                })
-                .collect();
-            // vv=1, mv=0 in the master.
-            datas[0][0] = Value::new(1, 1);
-            datas[0][1] = Value::zero(1);
-            for (name, loc) in &slot_locs {
-                let v = slots[name];
-                datas[loc.init_table][loc.param_idx] = Value::new(v as u128, loc.width);
-            }
-            master_data = datas[0].clone();
-            extra_ids = datas;
+        // Slot placement + initial values.
+        let mut slot_locs = HashMap::new();
+        let mut slots = HashMap::new();
+        for v in &iface.values {
+            slot_locs.insert(
+                v.name.clone(),
+                SlotLoc {
+                    init_table: v.init_table,
+                    param_idx: v.param_idx,
+                    width: v.width,
+                },
+            );
+            slots.insert(v.name.clone(), v.init.bits() as i128);
         }
+        for fslot in &iface.fields {
+            slot_locs.insert(
+                fslot.name.clone(),
+                SlotLoc {
+                    init_table: fslot.init_table,
+                    param_idx: fslot.param_idx,
+                    width: fslot.selector_bits,
+                },
+            );
+            slots.insert(fslot.name.clone(), fslot.init_index as i128);
+        }
+
+        // Build initial data vectors per init table.
+        let mut datas: Vec<Vec<Value>> = iface
+            .init_tables
+            .iter()
+            .map(|it| {
+                it.param_widths
+                    .iter()
+                    .map(|w| Value::zero(*w))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        // vv=1, mv=0 in the master.
+        datas[0][0] = Value::new(1, 1);
+        datas[0][1] = Value::zero(1);
+        for (name, loc) in &slot_locs {
+            let v = slots[name];
+            datas[loc.init_table][loc.param_idx] = Value::new(v as u128, loc.width);
+        }
+        let master_data = datas[0].clone();
+        let extra_ids = datas;
 
         // Resolve extra init tables (entries installed during prologue).
         let mut extra_inits = Vec::new();
-        {
-            let sw = switch.borrow();
-            for (i, it) in iface.init_tables.iter().enumerate() {
-                if it.is_master {
-                    continue;
-                }
-                let table_id = sw.table_id(&it.table).unwrap_or_else(|_| {
-                    panic!(
-                        "invariant: init table `{}` must exist on the switch",
-                        it.table
-                    )
-                });
-                let action = sw.action_id(&it.action).unwrap_or_else(|_| {
-                    panic!(
-                        "invariant: init action `{}` must exist on the switch",
-                        it.action
-                    )
-                });
-                extra_inits.push(ExtraInit {
-                    table_id,
-                    action,
-                    data: extra_ids[i].clone(),
-                    handles: [EntryHandle(0), EntryHandle(0)],
-                });
+        for (i, it) in iface.init_tables.iter().enumerate() {
+            if it.is_master {
+                continue;
             }
+            let table_id = driver.table_id(&it.table).unwrap_or_else(|_| {
+                panic!(
+                    "invariant: init table `{}` must exist on the switch",
+                    it.table
+                )
+            });
+            let action = driver.action_id(&it.action).unwrap_or_else(|_| {
+                panic!(
+                    "invariant: init action `{}` must exist on the switch",
+                    it.action
+                )
+            });
+            extra_inits.push(ExtraInit {
+                table_id,
+                action,
+                data: extra_ids[i].clone(),
+                handles: [EntryHandle(0), EntryHandle(0)],
+            });
         }
 
         // Logical tables for user-facing (non-init) tables.
         let mut tables = HashMap::new();
-        {
-            let sw = switch.borrow();
-            for t in &iface.tables {
-                if t.name.starts_with("p4r_init") {
-                    continue;
-                }
-                let id = sw.table_id(&t.name).unwrap_or_else(|_| {
-                    panic!("invariant: table `{}` must exist on the switch", t.name)
-                });
-                tables.insert(t.name.clone(), LogicalTable::new(t.name.clone(), id));
+        for t in &iface.tables {
+            if t.name.starts_with("p4r_init") {
+                continue;
             }
+            let id = driver.table_id(&t.name).unwrap_or_else(|_| {
+                panic!("invariant: table `{}` must exist on the switch", t.name)
+            });
+            tables.insert(t.name.clone(), LogicalTable::new(t.name.clone(), id));
         }
 
         // Action arity map (variant name → parameter count).
         let mut action_arity = HashMap::new();
-        {
-            let sw = switch.borrow();
-            let spec = sw.spec();
-            for a in &spec.actions {
-                action_arity.insert(a.name.clone(), a.param_widths.len());
-            }
+        for a in &driver.spec().actions {
+            action_arity.insert(a.name.clone(), a.param_widths.len());
         }
 
-        let num_pipes = usize::from(switch.borrow().num_pipes());
+        let num_pipes = usize::from(driver.num_pipes());
         MantisAgent {
-            switch,
             iface,
             driver,
             clock,
@@ -676,12 +665,12 @@ impl MantisAgent {
         &self.clock
     }
 
-    pub fn driver(&self) -> &MantisDriver {
-        &self.driver
+    pub fn driver(&self) -> &dyn DriverApi {
+        self.driver.as_ref()
     }
 
-    pub fn driver_mut(&mut self) -> &mut MantisDriver {
-        &mut self.driver
+    pub fn driver_mut(&mut self) -> &mut dyn DriverApi {
+        self.driver.as_mut()
     }
 
     /// Committed config version (pipe 0's copy; all pipes agree between
@@ -858,12 +847,8 @@ impl MantisAgent {
     }
 
     fn prologue_inner(&mut self) -> Result<(), AgentError> {
-        let switch = self.switch.clone();
-        let mut sw = switch.borrow_mut();
-
         // Master init configuration.
         self.driver.table_set_default(
-            &mut sw,
             self.master_table,
             self.master_action,
             self.master_data.clone(),
@@ -871,26 +856,29 @@ impl MantisAgent {
         )?;
 
         // Extra init tables: one entry per vv value.
-        for ei in &mut self.extra_inits {
+        let mut handles = Vec::with_capacity(self.extra_inits.len());
+        for ei in &self.extra_inits {
+            let mut hs = [EntryHandle(0), EntryHandle(0)];
             for vvbit in 0..2u8 {
-                let h = self.driver.table_add(
-                    &mut sw,
+                hs[vvbit as usize] = self.driver.table_add(
                     ei.table_id,
                     vec![KeyField::Exact(Value::new(u128::from(vvbit), 1))],
                     0,
                     ei.action,
                     ei.data.clone(),
                 )?;
-                ei.handles[vvbit as usize] = h;
             }
+            handles.push(hs);
+        }
+        for (ei, hs) in self.extra_inits.iter_mut().zip(handles) {
+            ei.handles = hs;
         }
 
         // Load tables for the field-list optimization.
         for pe in self.iface.prologue_entries.clone() {
-            let tid = sw.table_id(&pe.table)?;
-            let aid = sw.action_id(&pe.action)?;
+            let tid = self.driver.table_id(&pe.table)?;
+            let aid = self.driver.action_id(&pe.action)?;
             self.driver.table_add(
-                &mut sw,
                 tid,
                 vec![KeyField::Exact(Value::new(u128::from(pe.selector), 16))],
                 0,
@@ -898,6 +886,46 @@ impl MantisAgent {
                 vec![],
             )?;
         }
+        self.prologue_done = true;
+        Ok(())
+    }
+
+    /// Take over a switch that a previous controller already initialised
+    /// (controller failover). The original prologue's entries are still
+    /// installed on the device, so re-adding them would duplicate; instead
+    /// the new controller re-asserts its bookkeeping onto the existing
+    /// entries: the master init default is rewritten as an init flip, and
+    /// each extra init table's two entries — at their deterministic
+    /// prologue handles (per-table handles start at 1, and init tables
+    /// only ever receive the prologue's two adds) — are modified back to
+    /// this agent's data. Prologue entries (field-list selectors) are
+    /// static and left untouched. Malleable config then re-converges from
+    /// live measurements over subsequent iterations: Mantis reactive
+    /// state is soft state.
+    pub fn adopt(&mut self) -> Result<(), AgentError> {
+        self.adopt_inner()
+            .map_err(|e| e.in_phase(AgentPhase::Prologue))
+    }
+
+    fn adopt_inner(&mut self) -> Result<(), AgentError> {
+        self.driver.table_set_default(
+            self.master_table,
+            self.master_action,
+            self.master_data.clone(),
+            true,
+        )?;
+        for i in 0..self.extra_inits.len() {
+            let (table_id, action, data) = {
+                let ei = &self.extra_inits[i];
+                (ei.table_id, ei.action, ei.data.clone())
+            };
+            let hs = [EntryHandle(1), EntryHandle(2)];
+            for h in hs {
+                self.driver.table_mod(table_id, h, action, data.clone())?;
+            }
+            self.extra_inits[i].handles = hs;
+        }
+        self.driver.flush()?;
         self.prologue_done = true;
         Ok(())
     }
@@ -1072,17 +1100,15 @@ impl MantisAgent {
         data[0] = Value::new(u128::from(self.vv[pipe as usize]), 1);
         data[1] = Value::new(u128::from(self.mv), 1);
         self.master_data = data.clone();
-        let switch = self.switch.clone();
-        let mut sw = switch.borrow_mut();
         let (mt, ma) = (self.master_table, self.master_action);
         retry_op(
-            &mut self.driver,
+            self.driver.as_mut(),
             &self.clock,
             &self.telemetry,
             self.retry,
             retries,
             |d| {
-                d.table_set_default_on(&mut sw, pipe, mt, ma, data.clone(), true)
+                d.table_set_default_on(pipe, mt, ma, data.clone(), true)
                     .map_err(AgentError::from)
             },
         )
@@ -1103,8 +1129,6 @@ impl MantisAgent {
     }
 
     fn read_measurements(&mut self, frozen: u8, retries: &mut u32) -> Result<(), AgentError> {
-        let switch = self.switch.clone();
-        let sw = switch.borrow();
         let retry = self.retry;
         let reactions: Vec<(String, ReactionBinding)> = self
             .reactions
@@ -1119,13 +1143,13 @@ impl MantisAgent {
             // Field arguments: packed-word cost, per-register raw reads.
             // The poll walks every pipe's copy of the packed words.
             if !binding.fields.is_empty() {
-                let num_pipes = usize::from(sw.num_pipes());
+                let num_pipes = usize::from(self.driver.num_pipes());
                 let cost = self
                     .driver
-                    .cost
+                    .cost()
                     .field_read(binding.packed_words.max(1) * num_pipes);
                 retry_op(
-                    &mut self.driver,
+                    self.driver.as_mut(),
                     &self.clock,
                     &self.telemetry,
                     retry,
@@ -1133,17 +1157,32 @@ impl MantisAgent {
                     |d| d.spend_external(cost).map_err(AgentError::from),
                 )?;
                 for mf in &binding.fields {
-                    let rid = sw
+                    let rid = self
+                        .driver
                         .register_id(&mf.register)
                         .map_err(|e| AgentError::from(AgentErrorKind::Driver(e)))?;
                     // Field measurements are last-written data-plane values,
                     // not counters: take the max across pipes rather than a
                     // sum (identical at num_pipes = 1).
-                    let v = sw
-                        .register_read_agg(rid, u32::from(frozen), u32::from(frozen), ReadAgg::Max)
-                        .into_iter()
-                        .next()
-                        .unwrap_or(Value::zero(mf.width));
+                    let v = retry_op(
+                        self.driver.as_mut(),
+                        &self.clock,
+                        &self.telemetry,
+                        retry,
+                        retries,
+                        |d| {
+                            d.register_read_agg(
+                                rid,
+                                u32::from(frozen),
+                                u32::from(frozen),
+                                ReadAgg::Max,
+                            )
+                            .map_err(AgentError::from)
+                        },
+                    )?
+                    .into_iter()
+                    .next()
+                    .unwrap_or(Value::zero(mf.width));
                     snap.scalars.insert(mf.binding.clone(), v.bits() as i128);
                 }
             }
@@ -1152,15 +1191,15 @@ impl MantisAgent {
                 if mr.external {
                     // Externally fed register (e.g. TM queue depths): read
                     // the live values directly.
-                    let rid = sw.register_id(&mr.register)?;
+                    let rid = self.driver.register_id(&mr.register)?;
                     let vals = retry_op(
-                        &mut self.driver,
+                        self.driver.as_mut(),
                         &self.clock,
                         &self.telemetry,
                         retry,
                         retries,
                         |d| {
-                            d.register_read_range(&sw, rid, mr.lo, mr.hi)
+                            d.register_read_range(rid, mr.lo, mr.hi)
                                 .map_err(AgentError::from)
                         },
                     )?;
@@ -1173,28 +1212,28 @@ impl MantisAgent {
                     );
                     continue;
                 }
-                let dup = sw.register_id(&mr.dup_register)?;
-                let tsr = sw.register_id(&mr.ts_register)?;
+                let dup = self.driver.register_id(&mr.dup_register)?;
+                let tsr = self.driver.register_id(&mr.ts_register)?;
                 let base = u32::from(frozen) << mr.stride_log2;
                 let vals = retry_op(
-                    &mut self.driver,
+                    self.driver.as_mut(),
                     &self.clock,
                     &self.telemetry,
                     retry,
                     retries,
                     |d| {
-                        d.register_read_range(&sw, dup, base + mr.lo, base + mr.hi)
+                        d.register_read_range(dup, base + mr.lo, base + mr.hi)
                             .map_err(AgentError::from)
                     },
                 )?;
                 let tss = retry_op(
-                    &mut self.driver,
+                    self.driver.as_mut(),
                     &self.clock,
                     &self.telemetry,
                     retry,
                     retries,
                     |d| {
-                        d.register_read_range(&sw, tsr, base + mr.lo, base + mr.hi)
+                        d.register_read_range(tsr, base + mr.lo, base + mr.hi)
                             .map_err(AgentError::from)
                     },
                 )?;
@@ -1318,13 +1357,13 @@ impl MantisAgent {
         if self.staged.is_empty() {
             return Ok((0, 0));
         }
-        let txn = self.begin_txn();
+        let txn = self.begin_txn()?;
         let mut attempt = 0u32;
-        loop {
+        let result = loop {
             match self.apply_staged_once(retries) {
                 Ok(ns) => {
                     self.staged.clear();
-                    return Ok(ns);
+                    break Ok(ns);
                 }
                 Err(fail) => {
                     self.rollback(&txn);
@@ -1344,17 +1383,20 @@ impl MantisAgent {
                     // (if attributable), drop the intent, surface the error.
                     self.blame_apply_failure(fail.blame);
                     self.staged.clear();
-                    return Err(fail.err);
+                    break Err(fail.err);
                 }
             }
+        };
+        for (_, token) in &txn.tables {
+            self.driver.checkpoint_discard(*token);
         }
+        result
     }
 
     /// Checkpoint everything one apply attempt can touch: device shadows
     /// of the master, every staged-op table, and all extra init tables;
     /// plus the agent bookkeeping and prior port states.
-    fn begin_txn(&self) -> Txn {
-        let sw = self.switch.borrow();
+    fn begin_txn(&mut self) -> Result<Txn, AgentError> {
         let mut tids: Vec<TableId> = vec![self.master_table];
         let mut logical = Vec::new();
         for op in &self.staged.table_ops {
@@ -1380,17 +1422,18 @@ impl MantisAgent {
         }
         tids.sort_unstable();
         tids.dedup();
-        let tables = tids
-            .into_iter()
-            .map(|t| (t, sw.table_checkpoint(t)))
-            .collect();
-        let ports = self
-            .staged
-            .port_ops
-            .iter()
-            .filter_map(|(p, _)| sw.port(*p).map(|st| (*p, st.up)))
-            .collect();
-        Txn {
+        let mut tables = Vec::with_capacity(tids.len());
+        for t in tids {
+            tables.push((t, self.driver.table_checkpoint(t)?));
+        }
+        let port_ids: Vec<PortId> = self.staged.port_ops.iter().map(|(p, _)| *p).collect();
+        let mut ports = Vec::new();
+        for p in port_ids {
+            if let Some(up) = self.driver.port_up(p)? {
+                ports.push((p, up));
+            }
+        }
+        Ok(Txn {
             tables,
             logical,
             master_data: self.master_data.clone(),
@@ -1398,7 +1441,7 @@ impl MantisAgent {
             slots: self.slots.clone(),
             extra_inits: self.extra_inits.clone(),
             ports,
-        }
+        })
     }
 
     /// Restore the transaction checkpoint after a failed apply attempt.
@@ -1406,20 +1449,21 @@ impl MantisAgent {
     /// shadow over a known-good path. Staged ops are left intact so the
     /// caller can retry or drop them.
     fn rollback(&mut self, txn: &Txn) {
-        let switch = self.switch.clone();
-        {
-            let mut sw = switch.borrow_mut();
-            for (tid, ckpt) in &txn.tables {
-                sw.table_restore(*tid, ckpt.clone());
-            }
-            self.driver.suspend_faults();
-            for (port, up) in &txn.ports {
-                let res = self.driver.port_set_up(&mut sw, *port, *up);
-                debug_assert!(res.is_ok(), "invariant: restoring a known port succeeds");
-                let _ = res;
-            }
-            self.driver.resume_faults();
+        self.driver.suspend_faults();
+        for (tid, token) in &txn.tables {
+            let res = self.driver.table_restore(*tid, *token);
+            debug_assert!(
+                res.is_ok(),
+                "invariant: restoring a live checkpoint succeeds"
+            );
+            let _ = res;
         }
+        for (port, up) in &txn.ports {
+            let res = self.driver.port_set_up(*port, *up);
+            debug_assert!(res.is_ok(), "invariant: restoring a known port succeeds");
+            let _ = res;
+        }
+        self.driver.resume_faults();
         self.driver.spend_rollback(txn.tables.len());
         for (name, lt) in &txn.logical {
             self.tables.insert(name.clone(), lt.clone());
@@ -1481,6 +1525,14 @@ impl MantisAgent {
             tel.span_end(Scope::Agent, scopes::SPAN_SYNC, self.clock.now());
             return Err(f.in_phase(AgentPhase::Sync));
         }
+        // Drain pipelined driver work before declaring the iteration synced
+        // (a no-op for the in-process driver). No in-place retry: a failed
+        // flush discards the remote batch, so recovery must replay the whole
+        // attempt via the transactional rollback, not re-flush emptiness.
+        if let Err(e) = self.driver.flush() {
+            tel.span_end(Scope::Agent, scopes::SPAN_SYNC, self.clock.now());
+            return Err(ApplyFailure::unblamed(AgentError::from(e)).in_phase(AgentPhase::Sync));
+        }
         let t_done = self.clock.now();
         tel.span_end(Scope::Agent, scopes::SPAN_SYNC, t_done);
         Ok((t_sync - t_update, t_done - t_sync))
@@ -1510,24 +1562,20 @@ impl MantisAgent {
         // Port ops and default-action changes are single atomic driver ops;
         // they ride along with the commit point.
         let port_ops = self.staged.port_ops.clone();
-        {
-            let switch = self.switch.clone();
-            let mut sw = switch.borrow_mut();
-            let retry = self.retry;
-            for (i, (port, up)) in port_ops.into_iter().enumerate() {
-                retry_op(
-                    &mut self.driver,
-                    &self.clock,
-                    &self.telemetry,
-                    retry,
-                    retries,
-                    |d| d.port_set_up(&mut sw, port, up).map_err(AgentError::from),
-                )
-                .map_err(|err| ApplyFailure {
-                    err,
-                    blame: Blame::PortOp(i),
-                })?;
-            }
+        let retry = self.retry;
+        for (i, (port, up)) in port_ops.into_iter().enumerate() {
+            retry_op(
+                self.driver.as_mut(),
+                &self.clock,
+                &self.telemetry,
+                retry,
+                retries,
+                |d| d.port_set_up(port, up).map_err(AgentError::from),
+            )
+            .map_err(|err| ApplyFailure {
+                err,
+                blame: Blame::PortOp(i),
+            })?;
         }
         self.apply_set_defaults(retries)?;
         Ok(())
@@ -1549,8 +1597,6 @@ impl MantisAgent {
         retries: &mut u32,
     ) -> Result<(), ApplyFailure> {
         let ops = self.staged.table_ops.clone();
-        let switch = self.switch.clone();
-        let mut sw = switch.borrow_mut();
         let retry = self.retry;
         for (i, op) in ops.iter().enumerate() {
             let fail_at = |err: AgentError| ApplyFailure {
@@ -1584,12 +1630,12 @@ impl MantisAgent {
                     let mut handles = Vec::with_capacity(phys.len());
                     for pe in &phys {
                         let h = retry_op(
-                            &mut self.driver,
+                            self.driver.as_mut(),
                             &self.clock,
                             &self.telemetry,
                             retry,
                             retries,
-                            |d| add_phys(d, &mut sw, tid, pe),
+                            |d| add_phys(d, tid, pe),
                         )
                         .map_err(fail_at)?;
                         handles.push(h);
@@ -1617,7 +1663,6 @@ impl MantisAgent {
                     action_data,
                 } => {
                     self.mod_entry_on_copy(
-                        &mut sw,
                         table,
                         *handle,
                         action,
@@ -1650,12 +1695,12 @@ impl MantisAgent {
                     let tid = lt.table_id;
                     for h in std::mem::take(&mut entry.phys[copy as usize]) {
                         retry_op(
-                            &mut self.driver,
+                            self.driver.as_mut(),
                             &self.clock,
                             &self.telemetry,
                             retry,
                             retries,
-                            |d| d.table_del(&mut sw, tid, h).map_err(AgentError::from),
+                            |d| d.table_del(tid, h).map_err(AgentError::from),
                         )
                         .map_err(fail_at)?;
                     }
@@ -1677,7 +1722,6 @@ impl MantisAgent {
     #[allow(clippy::too_many_arguments)]
     fn mod_entry_on_copy(
         &mut self,
-        sw: &mut Switch,
         table: &str,
         handle: u64,
         action: &str,
@@ -1717,15 +1761,15 @@ impl MantisAgent {
             // Same action: in-place modify of each physical entry.
             let handles = entry.phys[copy as usize].clone();
             for (h, pe) in handles.iter().zip(phys.iter()) {
-                let aid = sw.action_id(&pe.action)?;
+                let aid = self.driver.action_id(&pe.action)?;
                 retry_op(
-                    &mut self.driver,
+                    self.driver.as_mut(),
                     &self.clock,
                     &self.telemetry,
                     retry,
                     retries,
                     |d| {
-                        d.table_mod(sw, tid, *h, aid, pe.action_data.clone())
+                        d.table_mod(tid, *h, aid, pe.action_data.clone())
                             .map_err(AgentError::from)
                     },
                 )?;
@@ -1734,23 +1778,23 @@ impl MantisAgent {
             // Action changed: replace the physical set.
             for h in std::mem::take(&mut entry.phys[copy as usize]) {
                 retry_op(
-                    &mut self.driver,
+                    self.driver.as_mut(),
                     &self.clock,
                     &self.telemetry,
                     retry,
                     retries,
-                    |d| d.table_del(sw, tid, h).map_err(AgentError::from),
+                    |d| d.table_del(tid, h).map_err(AgentError::from),
                 )?;
             }
             let mut handles = Vec::with_capacity(phys.len());
             for pe in &phys {
                 let h = retry_op(
-                    &mut self.driver,
+                    self.driver.as_mut(),
                     &self.clock,
                     &self.telemetry,
                     retry,
                     retries,
-                    |d| add_phys(d, sw, tid, pe),
+                    |d| add_phys(d, tid, pe),
                 )?;
                 handles.push(h);
             }
@@ -1771,8 +1815,6 @@ impl MantisAgent {
 
     fn apply_set_defaults(&mut self, retries: &mut u32) -> Result<(), ApplyFailure> {
         let ops = self.staged.table_ops.clone();
-        let switch = self.switch.clone();
-        let mut sw = switch.borrow_mut();
         let retry = self.retry;
         for (i, op) in ops.iter().enumerate() {
             let fail_at = |err: AgentError| ApplyFailure {
@@ -1796,16 +1838,19 @@ impl MantisAgent {
                     }))
                 })?;
                 let variant = av.variants[0].clone();
-                let tid = sw.table_id(table).map_err(|e| fail_at(e.into()))?;
-                let aid = sw.action_id(&variant).map_err(|e| fail_at(e.into()))?;
+                let tid = self.driver.table_id(table).map_err(|e| fail_at(e.into()))?;
+                let aid = self
+                    .driver
+                    .action_id(&variant)
+                    .map_err(|e| fail_at(e.into()))?;
                 retry_op(
-                    &mut self.driver,
+                    self.driver.as_mut(),
                     &self.clock,
                     &self.telemetry,
                     retry,
                     retries,
                     |d| {
-                        d.table_set_default(&mut sw, tid, aid, action_data.clone(), false)
+                        d.table_set_default(tid, aid, action_data.clone(), false)
                             .map_err(AgentError::from)
                     },
                 )
@@ -1848,8 +1893,6 @@ impl MantisAgent {
                 dirty.push(loc.init_table - 1);
             }
         }
-        let switch = self.switch.clone();
-        let mut sw = switch.borrow_mut();
         let retry = self.retry;
         for i in dirty {
             let (tid, h, action, data) = {
@@ -1862,13 +1905,13 @@ impl MantisAgent {
                 )
             };
             retry_op(
-                &mut self.driver,
+                self.driver.as_mut(),
                 &self.clock,
                 &self.telemetry,
                 retry,
                 retries,
                 |d| {
-                    d.table_mod(&mut sw, tid, h, action, data.clone())
+                    d.table_mod(tid, h, action, data.clone())
                         .map_err(AgentError::from)
                 },
             )?;
@@ -1889,8 +1932,6 @@ impl MantisAgent {
                 }
             }
         }
-        let switch = self.switch.clone();
-        let mut sw = switch.borrow_mut();
         let retry = self.retry;
         for i in dirty {
             let (tid, h, action, data) = {
@@ -1903,13 +1944,13 @@ impl MantisAgent {
                 )
             };
             retry_op(
-                &mut self.driver,
+                self.driver.as_mut(),
                 &self.clock,
                 &self.telemetry,
                 retry,
                 retries,
                 |d| {
-                    d.table_mod(&mut sw, tid, h, action, data.clone())
+                    d.table_mod(tid, h, action, data.clone())
                         .map_err(AgentError::from)
                 },
             )?;
@@ -1935,12 +1976,11 @@ impl MantisAgent {
 /// Convert an expanded physical entry into driver key fields for the
 /// switch's physical column kinds, and install it.
 fn add_phys(
-    driver: &mut MantisDriver,
-    sw: &mut Switch,
+    driver: &mut dyn DriverApi,
     table: TableId,
     pe: &PhysEntry,
 ) -> Result<EntryHandle, AgentError> {
-    let kinds: Vec<(MatchKind, u16)> = sw
+    let kinds: Vec<(MatchKind, u16)> = driver
         .spec()
         .table(table)
         .key
@@ -1979,6 +2019,6 @@ fn add_phys(
             },
         })
         .collect();
-    let aid = sw.action_id(&pe.action)?;
-    Ok(driver.table_add(sw, table, key, pe.priority, aid, pe.action_data.clone())?)
+    let aid = driver.action_id(&pe.action)?;
+    Ok(driver.table_add(table, key, pe.priority, aid, pe.action_data.clone())?)
 }

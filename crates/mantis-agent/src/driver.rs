@@ -139,6 +139,11 @@ impl MantisDriver {
         self.busy_until
     }
 
+    /// The shared virtual clock this driver accounts on.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
     /// Consult the fault plan for one op. Records `fault.injected` when a
     /// decision is made.
     fn inject(&mut self, op: &'static str) -> Option<Injection> {
@@ -180,14 +185,18 @@ impl MantisDriver {
             Some(Injection::Fail { persistent }) => {
                 self.spend(op, *cost);
                 self.stats.injected_failures += 1;
+                self.telemetry.counter_add(scopes::CTR_DRIVER_INJECTED, 1);
                 Err(DriverError::Injected { op, persistent })
             }
             Some(Injection::Delay { factor_milli }) => {
                 *cost = scale(*cost, factor_milli);
                 Ok(())
             }
-            // Read effects are meaningless on mutations.
-            Some(Injection::Stale) | Some(Injection::Corrupt { .. }) | None => Ok(()),
+            // Read and channel effects are meaningless on mutations.
+            Some(Injection::Stale)
+            | Some(Injection::Corrupt { .. })
+            | Some(Injection::Duplicate)
+            | None => Ok(()),
         }
     }
 
@@ -345,6 +354,7 @@ impl MantisDriver {
             Some(Injection::Fail { persistent }) => {
                 self.spend("register_read", cost);
                 self.stats.injected_failures += 1;
+                self.telemetry.counter_add(scopes::CTR_DRIVER_INJECTED, 1);
                 return Err(DriverError::Injected {
                     op: "register_read",
                     persistent,

@@ -1,0 +1,439 @@
+//! The agent-facing driver abstraction.
+//!
+//! [`MantisAgent`](crate::agent::MantisAgent) drives the switch through an
+//! object-safe trait rather than a concrete [`MantisDriver`], so the same
+//! dialogue loop can run either *on* the switch CPU (the paper's
+//! deployment — [`LocalDriver`], in-process, zero transport cost) or
+//! *remotely* over a control channel (`mantis-control`'s `RemoteDriver`,
+//! which encodes each call into the wire protocol and pipelines batches).
+//!
+//! The trait deliberately has no `&mut Switch` parameters: the driver owns
+//! its access path to the device. Mutations are allowed to be *deferred*
+//! by a batching implementation; any read, checkpoint, or init-table flip
+//! is a **barrier** that must observe every mutation issued before it, and
+//! [`DriverApi::flush`] forces pending work to complete. [`LocalDriver`]
+//! applies everything synchronously, so its barriers are trivial.
+
+use crate::costmodel::CostModel;
+use crate::driver::{DriverStats, MantisDriver};
+use mantis_faults::FaultPlan;
+use mantis_telemetry::Telemetry;
+use p4_ast::Value;
+use rmt_sim::{
+    ActionId, Clock, DataPlaneSpec, DriverError, EntryHandle, KeyField, Nanos, PortId, ReadAgg,
+    RegisterId, Switch, TableCheckpoint, TableId,
+};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Opaque handle to a server-held table checkpoint. The checkpoint bytes
+/// never cross the driver API (remotely they would have to cross the
+/// wire); the driver keeps them and restores by token.
+pub type CheckpointToken = u64;
+
+/// Every operation the Mantis agent needs from a switch driver.
+///
+/// Implementations: [`LocalDriver`] (in-process, the paper's shape) and
+/// `mantis_control::RemoteDriver` (wire-encoded, batching).
+pub trait DriverApi {
+    // -- static metadata (client-side; pushed at session setup like a
+    //    P4Runtime pipeline config) -----------------------------------------
+
+    /// The data-plane spec of the controlled switch.
+    fn spec(&self) -> &DataPlaneSpec;
+
+    /// Hardware pipes of the controlled switch.
+    fn num_pipes(&self) -> u16;
+
+    /// The driver's virtual-time cost model.
+    fn cost(&self) -> &CostModel;
+
+    /// The shared virtual clock every cost is accounted on.
+    fn clock(&self) -> &Clock;
+
+    fn table_id(&self, name: &str) -> Result<TableId, DriverError> {
+        self.spec()
+            .table_id(name)
+            .ok_or_else(|| DriverError::UnknownTable(name.to_string()))
+    }
+
+    fn action_id(&self, name: &str) -> Result<ActionId, DriverError> {
+        self.spec()
+            .action_id(name)
+            .ok_or_else(|| DriverError::UnknownAction(name.to_string()))
+    }
+
+    fn register_id(&self, name: &str) -> Result<RegisterId, DriverError> {
+        self.spec()
+            .register_id(name)
+            .ok_or_else(|| DriverError::UnknownRegister(name.to_string()))
+    }
+
+    // -- mutations (deferrable by a batching driver) ------------------------
+
+    /// Install one physical entry. Always a barrier: the returned handle
+    /// is device-assigned.
+    fn table_add(
+        &mut self,
+        table: TableId,
+        key: Vec<KeyField>,
+        priority: u32,
+        action: ActionId,
+        data: Vec<Value>,
+    ) -> Result<EntryHandle, DriverError>;
+
+    fn table_mod(
+        &mut self,
+        table: TableId,
+        handle: EntryHandle,
+        action: ActionId,
+        data: Vec<Value>,
+    ) -> Result<(), DriverError>;
+
+    fn table_del(&mut self, table: TableId, handle: EntryHandle) -> Result<(), DriverError>;
+
+    /// Fan-out default-action update. `is_init_flip` marks the master
+    /// init table's vv/mv flip — a **barrier** for batching drivers
+    /// (RBFRT-style flush point) besides being the cheapest op class.
+    fn table_set_default(
+        &mut self,
+        table: TableId,
+        action: ActionId,
+        data: Vec<Value>,
+        is_init_flip: bool,
+    ) -> Result<(), DriverError>;
+
+    /// Single-pipe default-action update (the per-pipe version flip).
+    fn table_set_default_on(
+        &mut self,
+        pipe: u16,
+        table: TableId,
+        action: ActionId,
+        data: Vec<Value>,
+        is_init_flip: bool,
+    ) -> Result<(), DriverError>;
+
+    fn register_write(
+        &mut self,
+        reg: RegisterId,
+        index: u32,
+        value: Value,
+    ) -> Result<(), DriverError>;
+
+    fn port_set_up(&mut self, port: PortId, up: bool) -> Result<(), DriverError>;
+
+    // -- reads (barriers) ---------------------------------------------------
+
+    /// Batched, cost-accounted range read.
+    fn register_read_range(
+        &mut self,
+        reg: RegisterId,
+        lo: u32,
+        hi: u32,
+    ) -> Result<Vec<Value>, DriverError>;
+
+    /// Cross-pipe aggregated read of the *sync protocol* — free of device
+    /// cost locally (the values ride along with an accounted poll), but a
+    /// remote driver still pays its channel costs.
+    fn register_read_agg(
+        &mut self,
+        reg: RegisterId,
+        lo: u32,
+        hi: u32,
+        agg: ReadAgg,
+    ) -> Result<Vec<Value>, DriverError>;
+
+    /// Admin state of a port (`None` for an unknown port).
+    fn port_up(&mut self, port: PortId) -> Result<Option<bool>, DriverError>;
+
+    /// Account an externally computed measurement cost (the packed-word
+    /// field poll).
+    fn spend_external(&mut self, dur: Nanos) -> Result<(), DriverError>;
+
+    /// Account the recovery work of restoring `tables` table shadows.
+    fn spend_rollback(&mut self, tables: usize);
+
+    // -- transactions -------------------------------------------------------
+
+    /// Snapshot a table's device shadow (free: the driver journals its own
+    /// software shadow). Barrier for batching drivers.
+    fn table_checkpoint(&mut self, table: TableId) -> Result<CheckpointToken, DriverError>;
+
+    /// Restore a table to a checkpoint. The token stays valid (rollback
+    /// may restore the same checkpoint across several apply attempts).
+    fn table_restore(&mut self, table: TableId, token: CheckpointToken) -> Result<(), DriverError>;
+
+    /// Drop a checkpoint the transaction no longer needs.
+    fn checkpoint_discard(&mut self, token: CheckpointToken);
+
+    // -- batching -----------------------------------------------------------
+
+    /// Force every deferred mutation to complete. No-op for synchronous
+    /// drivers.
+    fn flush(&mut self) -> Result<(), DriverError> {
+        Ok(())
+    }
+
+    // -- fault & config plumbing --------------------------------------------
+
+    /// Install a fault plan. A remote driver arms *both* its channel (the
+    /// `FaultOp::Control` rules) and the far-end device driver (everything
+    /// else) — write rules with specific selectors, not `FaultOp::Any`.
+    fn set_fault_plan(&mut self, plan: FaultPlan);
+
+    fn clear_fault_plan(&mut self);
+
+    /// Enter a fault-free recovery section (nestable).
+    fn suspend_faults(&mut self);
+
+    fn resume_faults(&mut self);
+
+    fn set_fabric_index(&mut self, index: Option<u16>);
+
+    fn fabric_index(&self) -> Option<u16>;
+
+    fn set_telemetry(&mut self, telemetry: Rc<Telemetry>);
+
+    /// Cumulative device-driver statistics.
+    fn stats(&self) -> DriverStats;
+
+    /// End of the device driver's current busy window.
+    fn busy_until(&self) -> Nanos;
+
+    /// Simulate a concurrent legacy control-plane op submitted at `at`
+    /// (Fig. 12); returns its completion time.
+    fn legacy_table_update_at(&mut self, at: Nanos) -> Nanos;
+}
+
+/// The in-process driver: [`MantisDriver`] plus a shared handle to the
+/// switch it controls. Every call applies synchronously; barriers are
+/// trivial. This is the paper's deployment shape (agent on the switch
+/// CPU) and the reference the remote path is differentially tested
+/// against.
+#[derive(Debug)]
+pub struct LocalDriver {
+    inner: MantisDriver,
+    switch: Rc<RefCell<Switch>>,
+    /// Client-side spec copy so metadata lookups never borrow the switch.
+    spec: DataPlaneSpec,
+    num_pipes: u16,
+    checkpoints: HashMap<CheckpointToken, TableCheckpoint>,
+    next_token: CheckpointToken,
+}
+
+impl LocalDriver {
+    pub fn new(switch: Rc<RefCell<Switch>>, cost: CostModel) -> Self {
+        let clock = switch.borrow().clock().clone();
+        let (spec, num_pipes) = {
+            let sw = switch.borrow();
+            (sw.spec().clone(), sw.num_pipes())
+        };
+        LocalDriver {
+            inner: MantisDriver::new(cost, clock),
+            switch,
+            spec,
+            num_pipes,
+            checkpoints: HashMap::new(),
+            next_token: 0,
+        }
+    }
+
+    /// The wrapped cost-accounted driver.
+    pub fn driver(&self) -> &MantisDriver {
+        &self.inner
+    }
+
+    pub fn driver_mut(&mut self) -> &mut MantisDriver {
+        &mut self.inner
+    }
+}
+
+impl DriverApi for LocalDriver {
+    fn spec(&self) -> &DataPlaneSpec {
+        &self.spec
+    }
+
+    fn num_pipes(&self) -> u16 {
+        self.num_pipes
+    }
+
+    fn cost(&self) -> &CostModel {
+        &self.inner.cost
+    }
+
+    fn clock(&self) -> &Clock {
+        self.inner.clock()
+    }
+
+    fn table_add(
+        &mut self,
+        table: TableId,
+        key: Vec<KeyField>,
+        priority: u32,
+        action: ActionId,
+        data: Vec<Value>,
+    ) -> Result<EntryHandle, DriverError> {
+        let switch = self.switch.clone();
+        let mut sw = switch.borrow_mut();
+        self.inner
+            .table_add(&mut sw, table, key, priority, action, data)
+    }
+
+    fn table_mod(
+        &mut self,
+        table: TableId,
+        handle: EntryHandle,
+        action: ActionId,
+        data: Vec<Value>,
+    ) -> Result<(), DriverError> {
+        let switch = self.switch.clone();
+        let mut sw = switch.borrow_mut();
+        self.inner.table_mod(&mut sw, table, handle, action, data)
+    }
+
+    fn table_del(&mut self, table: TableId, handle: EntryHandle) -> Result<(), DriverError> {
+        let switch = self.switch.clone();
+        let mut sw = switch.borrow_mut();
+        self.inner.table_del(&mut sw, table, handle)
+    }
+
+    fn table_set_default(
+        &mut self,
+        table: TableId,
+        action: ActionId,
+        data: Vec<Value>,
+        is_init_flip: bool,
+    ) -> Result<(), DriverError> {
+        let switch = self.switch.clone();
+        let mut sw = switch.borrow_mut();
+        self.inner
+            .table_set_default(&mut sw, table, action, data, is_init_flip)
+    }
+
+    fn table_set_default_on(
+        &mut self,
+        pipe: u16,
+        table: TableId,
+        action: ActionId,
+        data: Vec<Value>,
+        is_init_flip: bool,
+    ) -> Result<(), DriverError> {
+        let switch = self.switch.clone();
+        let mut sw = switch.borrow_mut();
+        self.inner
+            .table_set_default_on(&mut sw, pipe, table, action, data, is_init_flip)
+    }
+
+    fn register_write(
+        &mut self,
+        reg: RegisterId,
+        index: u32,
+        value: Value,
+    ) -> Result<(), DriverError> {
+        let switch = self.switch.clone();
+        let mut sw = switch.borrow_mut();
+        self.inner.register_write(&mut sw, reg, index, value)
+    }
+
+    fn port_set_up(&mut self, port: PortId, up: bool) -> Result<(), DriverError> {
+        let switch = self.switch.clone();
+        let mut sw = switch.borrow_mut();
+        self.inner.port_set_up(&mut sw, port, up)
+    }
+
+    fn register_read_range(
+        &mut self,
+        reg: RegisterId,
+        lo: u32,
+        hi: u32,
+    ) -> Result<Vec<Value>, DriverError> {
+        let switch = self.switch.clone();
+        let sw = switch.borrow();
+        self.inner.register_read_range(&sw, reg, lo, hi)
+    }
+
+    fn register_read_agg(
+        &mut self,
+        reg: RegisterId,
+        lo: u32,
+        hi: u32,
+        agg: ReadAgg,
+    ) -> Result<Vec<Value>, DriverError> {
+        Ok(self.switch.borrow().register_read_agg(reg, lo, hi, agg))
+    }
+
+    fn port_up(&mut self, port: PortId) -> Result<Option<bool>, DriverError> {
+        Ok(self.switch.borrow().port(port).map(|st| st.up))
+    }
+
+    fn spend_external(&mut self, dur: Nanos) -> Result<(), DriverError> {
+        self.inner.spend_external(dur)
+    }
+
+    fn spend_rollback(&mut self, tables: usize) {
+        self.inner.spend_rollback(tables);
+    }
+
+    fn table_checkpoint(&mut self, table: TableId) -> Result<CheckpointToken, DriverError> {
+        let ckpt = self.switch.borrow().table_checkpoint(table);
+        let token = self.next_token;
+        self.next_token += 1;
+        self.checkpoints.insert(token, ckpt);
+        Ok(token)
+    }
+
+    fn table_restore(&mut self, table: TableId, token: CheckpointToken) -> Result<(), DriverError> {
+        let ckpt = self
+            .checkpoints
+            .get(&token)
+            .expect("invariant: restore only uses live checkpoint tokens")
+            .clone();
+        self.switch.borrow_mut().table_restore(table, ckpt);
+        Ok(())
+    }
+
+    fn checkpoint_discard(&mut self, token: CheckpointToken) {
+        self.checkpoints.remove(&token);
+    }
+
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.inner.set_fault_plan(plan);
+    }
+
+    fn clear_fault_plan(&mut self) {
+        self.inner.clear_fault_plan();
+    }
+
+    fn suspend_faults(&mut self) {
+        self.inner.suspend_faults();
+    }
+
+    fn resume_faults(&mut self) {
+        self.inner.resume_faults();
+    }
+
+    fn set_fabric_index(&mut self, index: Option<u16>) {
+        self.inner.set_fabric_index(index);
+    }
+
+    fn fabric_index(&self) -> Option<u16> {
+        self.inner.fabric_index()
+    }
+
+    fn set_telemetry(&mut self, telemetry: Rc<Telemetry>) {
+        self.inner.set_telemetry(telemetry);
+    }
+
+    fn stats(&self) -> DriverStats {
+        self.inner.stats.clone()
+    }
+
+    fn busy_until(&self) -> Nanos {
+        self.inner.busy_until()
+    }
+
+    fn legacy_table_update_at(&mut self, at: Nanos) -> Nanos {
+        self.inner.legacy_table_update_at(at)
+    }
+}

@@ -25,6 +25,7 @@ pub mod agent;
 pub mod costmodel;
 pub mod ctx;
 pub mod driver;
+pub mod driver_api;
 pub mod logical;
 pub mod sched;
 
@@ -35,6 +36,7 @@ pub use agent::{
 pub use costmodel::CostModel;
 pub use ctx::{CtxError, ReactionCtx, Snapshot};
 pub use driver::MantisDriver;
+pub use driver_api::{CheckpointToken, DriverApi, LocalDriver};
 pub use logical::{LogicalHandle, Staged, StagedOp};
 pub use sched::{schedule_agent, schedule_fabric_agents, schedule_paced_agent};
 

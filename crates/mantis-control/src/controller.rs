@@ -1,0 +1,284 @@
+//! The controller: N Mantis agents driven remotely against M fabric
+//! switches, with lease-based mastership and standby failover.
+//!
+//! Each [`Controller`] holds one *arbitration channel* per switch (its
+//! own frames, its own injectable fault state) plus, once it holds
+//! mastership, one [`MantisAgent`] per switch whose driver is a
+//! [`RemoteDriver`]. Mastership is a lease on the switch's virtual
+//! clock: the primary renews it every [`Controller::step`]; when its
+//! channels are severed ([`FaultPlan::sever_control`]) renewal fails,
+//! the lease expires, and a standby's next claim is granted. The grant
+//! carries the previous holder, so the standby knows to **adopt** the
+//! already-initialised switch ([`MantisAgent::adopt`]) instead of
+//! re-running the prologue — and then re-converges the reactive config
+//! from live measurements (Mantis state is soft state).
+//!
+//! Arbitration is cooperative (see [`crate::plane`]): a controller that
+//! cannot renew stops driving its agents; the severed channel already
+//! keeps a partitioned ex-master away from the device.
+
+use crate::channel::{Channel, ChannelConfig};
+use crate::plane::ControlPlane;
+use crate::remote::RemoteDriver;
+use crate::wire::{DriverOp, DriverResponse};
+use mantis_agent::{AgentError, MantisAgent};
+use mantis_faults::FaultPlan;
+use mantis_telemetry::Telemetry;
+use p4r_compiler::Compiled;
+use rmt_sim::{DriverError, Nanos};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Controller identity and timing parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ControllerConfig {
+    /// Arbitration identity carried in `MasterClaim` frames.
+    pub id: u16,
+    /// Mastership lease duration; renewed on every [`Controller::step`].
+    pub lease_ns: Nanos,
+    /// Channel parameters for both arbitration and driver channels.
+    pub channel: ChannelConfig,
+}
+
+impl ControllerConfig {
+    pub fn new(id: u16, lease_ns: Nanos, channel: ChannelConfig) -> Self {
+        ControllerConfig {
+            id,
+            lease_ns,
+            channel,
+        }
+    }
+}
+
+/// Per-agent setup run after a prologue or adoption (register reactions,
+/// user init). The first argument is the switch index.
+pub type AgentSetup = dyn Fn(usize, &mut MantisAgent) -> Result<(), AgentError>;
+
+struct Endpoint {
+    plane: Rc<RefCell<ControlPlane>>,
+    compiled: Compiled,
+    arb: Channel,
+}
+
+/// What one [`Controller::step`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepReport {
+    /// Did the controller hold (or acquire) mastership this step?
+    pub master: bool,
+    /// Whether this step performed the initial acquisition (prologue or
+    /// adoption) of its switches.
+    pub acquired: bool,
+    /// Dialogue iterations that committed.
+    pub iterations: usize,
+    /// Dialogue iterations that failed permanently.
+    pub failures: usize,
+}
+
+/// A (possibly standby) control-plane instance for a set of switches.
+pub struct Controller {
+    cfg: ControllerConfig,
+    endpoints: Vec<Endpoint>,
+    agents: Vec<MantisAgent>,
+    is_master: bool,
+    fault_plan: Option<FaultPlan>,
+    setup: Option<Rc<AgentSetup>>,
+    telemetry: Option<Rc<Telemetry>>,
+}
+
+impl Controller {
+    pub fn new(cfg: ControllerConfig) -> Self {
+        Controller {
+            cfg,
+            endpoints: Vec::new(),
+            agents: Vec::new(),
+            is_master: false,
+            fault_plan: None,
+            setup: None,
+            telemetry: None,
+        }
+    }
+
+    pub fn config(&self) -> ControllerConfig {
+        self.cfg
+    }
+
+    /// Attach a switch (its plane endpoint plus the program it runs).
+    /// Switch indices follow attachment order.
+    pub fn add_switch(&mut self, plane: Rc<RefCell<ControlPlane>>, compiled: Compiled) {
+        let index = self.endpoints.len() as u16;
+        let mut arb = Channel::new(plane.clone(), self.cfg.channel);
+        arb.set_switch(Some(index));
+        if let Some(plan) = &self.fault_plan {
+            arb.set_plan(plan.clone());
+        }
+        self.endpoints.push(Endpoint {
+            plane,
+            compiled,
+            arb,
+        });
+    }
+
+    /// Arm a fault plan on every channel this controller owns (only the
+    /// `FaultOp::Control` rules can match a channel). Install it *before*
+    /// acquisition: driver channels created later inherit it, but already
+    /// built agents' channels are not re-armed.
+    pub fn set_channel_fault_plan(&mut self, plan: FaultPlan) {
+        for ep in &mut self.endpoints {
+            ep.arb.set_plan(plan.clone());
+        }
+        self.fault_plan = Some(plan);
+    }
+
+    /// Share a telemetry registry with agents built at acquisition time.
+    pub fn set_telemetry(&mut self, telemetry: Rc<Telemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Install the per-agent setup (reaction registration, user init) run
+    /// once after each prologue or adoption.
+    pub fn set_agent_setup(&mut self, setup: Rc<AgentSetup>) {
+        self.setup = Some(setup);
+    }
+
+    pub fn is_master(&self) -> bool {
+        self.is_master
+    }
+
+    /// The agents this controller drives (empty until first acquisition).
+    pub fn agents(&self) -> &[MantisAgent] {
+        &self.agents
+    }
+
+    pub fn agents_mut(&mut self) -> &mut [MantisAgent] {
+        &mut self.agents
+    }
+
+    fn claim(
+        arb: &mut Channel,
+        id: u16,
+        lease_ns: Nanos,
+    ) -> Result<(bool, Option<u16>, Nanos), DriverError> {
+        let rs = arb.request(&[DriverOp::MasterClaim {
+            controller: id,
+            lease_ns,
+        }])?;
+        match rs.last() {
+            Some(DriverResponse::Master {
+                granted,
+                master,
+                expires,
+            }) => Ok((*granted, *master, *expires)),
+            Some(DriverResponse::Err(e)) => Err(e.clone()),
+            other => panic!("invariant: MasterClaim answers Master, got {other:?}"),
+        }
+    }
+
+    /// Try to take mastership of every attached switch. Returns whether
+    /// the controller is now master; a rejected claim or an unreachable
+    /// switch yields `Ok(false)` (partial grants expire on their own).
+    /// On the first successful acquisition the agents are built and each
+    /// switch gets a prologue (never initialised) or an adoption
+    /// (taken over from a previous master), followed by the agent setup.
+    pub fn try_acquire(&mut self) -> Result<bool, AgentError> {
+        if self.is_master {
+            return Ok(true);
+        }
+        let mut prevs = Vec::with_capacity(self.endpoints.len());
+        for ep in &mut self.endpoints {
+            match Self::claim(&mut ep.arb, self.cfg.id, self.cfg.lease_ns) {
+                Ok((true, prev, _expires)) => prevs.push(prev),
+                Ok((false, _, _)) | Err(_) => return Ok(false),
+            }
+        }
+
+        if self.agents.is_empty() {
+            for (i, ep) in self.endpoints.iter().enumerate() {
+                let mut driver = RemoteDriver::new(ep.plane.clone(), self.cfg.channel);
+                driver.channel_mut().set_switch(Some(i as u16));
+                if let Some(plan) = &self.fault_plan {
+                    driver.channel_mut().set_plan(plan.clone());
+                }
+                let mut agent = MantisAgent::with_driver(&ep.compiled, Box::new(driver));
+                if let Some(tel) = &self.telemetry {
+                    agent.set_telemetry(tel.clone());
+                }
+                self.agents.push(agent);
+            }
+            for (i, (agent, prev)) in self.agents.iter_mut().zip(&prevs).enumerate() {
+                let taken_over = prev.is_some();
+                if taken_over {
+                    agent.adopt()?;
+                } else {
+                    agent.prologue()?;
+                }
+                if let Some(setup) = &self.setup {
+                    setup(i, agent)?;
+                }
+            }
+        } else {
+            // Re-acquisition after losing the lease: another controller
+            // may have rewritten init state — re-assert ours.
+            for agent in &mut self.agents {
+                agent.adopt()?;
+            }
+        }
+        self.is_master = true;
+        Ok(true)
+    }
+
+    /// Renew the lease on every switch; losing any of them drops
+    /// mastership.
+    pub fn renew(&mut self) -> bool {
+        if !self.is_master {
+            return false;
+        }
+        for ep in &mut self.endpoints {
+            if !matches!(
+                Self::claim(&mut ep.arb, self.cfg.id, self.cfg.lease_ns),
+                Ok((true, _, _))
+            ) {
+                self.is_master = false;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// One control step: renew (or try to acquire) mastership, then run
+    /// one dialogue iteration on every agent.
+    pub fn step(&mut self) -> Result<StepReport, AgentError> {
+        let mut acquired = false;
+        if self.is_master {
+            if !self.renew() {
+                return Ok(StepReport::default());
+            }
+        } else {
+            if !self.try_acquire()? {
+                return Ok(StepReport::default());
+            }
+            acquired = true;
+        }
+        let mut report = StepReport {
+            master: true,
+            acquired,
+            ..StepReport::default()
+        };
+        for agent in &mut self.agents {
+            match agent.dialogue_iteration() {
+                Ok(_) => report.iterations += 1,
+                Err(_) => report.failures += 1,
+            }
+        }
+        Ok(report)
+    }
+}
+
+impl std::fmt::Debug for Controller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Controller")
+            .field("id", &self.cfg.id)
+            .field("switches", &self.endpoints.len())
+            .field("is_master", &self.is_master)
+            .finish()
+    }
+}

@@ -1,0 +1,478 @@
+//! The remote driver: the agent-facing [`DriverApi`] implementation that
+//! encodes every call onto the wire and pipelines batches (RBFRT-style).
+//!
+//! ## Batching model
+//!
+//! Mutations with no client-visible result (`table_mod`, `table_del`,
+//! non-init `set_default`, `register_write`, `checkpoint_discard`) are
+//! **deferred** into a pending batch. Everything whose result the agent
+//! needs immediately — `table_add` (device-assigned handle), every read,
+//! checkpoints/restores, init-table flips, port admin changes — is a
+//! **barrier**: the pending batch is sent with the barrier op appended,
+//! one frame for the lot. [`DriverApi::flush`] is an explicit barrier
+//! with no op. With batching disabled every mutation is its own frame
+//! (the one-op-per-frame baseline the bench compares against).
+//!
+//! ## Deferred-error protocol
+//!
+//! The plane applies a batch in order and stops at the first error, so a
+//! short response batch identifies the failing index `i`: ops `[0, i)`
+//! were applied and are dropped from pending; ops `[i, ..)` (minus the
+//! barrier, which the caller's retry will re-issue) are retained. A
+//! deferred mutation's failure thus surfaces at the *barrier* that
+//! flushed it — blame attribution shifts to the barrier op on permanent
+//! failures, which the differential tests accept as a documented
+//! difference from local mode. A transport-level failure retains the
+//! whole batch: the channel's in-flight retries already replayed the
+//! same sequence number, so nothing was applied (or the response was
+//! lost, the at-least-once caveat documented in [`crate::channel`]).
+
+use crate::channel::{Channel, ChannelConfig};
+use crate::plane::ControlPlane;
+use crate::wire::{DriverOp, DriverResponse};
+use mantis_agent::costmodel::CostModel;
+use mantis_agent::driver::DriverStats;
+use mantis_agent::{CheckpointToken, DriverApi};
+use mantis_faults::FaultPlan;
+use mantis_telemetry::{scopes, Telemetry};
+use p4_ast::Value;
+use rmt_sim::{
+    ActionId, Clock, DataPlaneSpec, DriverError, EntryHandle, KeyField, Nanos, PortId, ReadAgg,
+    RegisterId, TableId,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// How a batch send failed.
+enum SendFailure {
+    /// The channel gave up: nothing (knowably) applied, batch retained.
+    Transport(DriverError),
+    /// The plane stopped at op `index`; ops before it were applied.
+    Op { index: usize, error: DriverError },
+}
+
+/// A [`DriverApi`] that drives a switch through a control [`Channel`].
+pub struct RemoteDriver {
+    channel: Channel,
+    plane: Rc<RefCell<ControlPlane>>,
+    // Client-side session metadata, pushed at setup like a P4Runtime
+    // pipeline config — metadata lookups never cross the wire.
+    spec: DataPlaneSpec,
+    num_pipes: u16,
+    cost: CostModel,
+    clock: Clock,
+    pending: Vec<DriverOp>,
+    batching: bool,
+    telemetry: Rc<Telemetry>,
+}
+
+impl RemoteDriver {
+    /// Connect a batching driver to `plane` over a channel with `cfg`.
+    pub fn new(plane: Rc<RefCell<ControlPlane>>, cfg: ChannelConfig) -> Self {
+        Self::with_batching(plane, cfg, true)
+    }
+
+    /// As [`new`](RemoteDriver::new), choosing the batching mode.
+    pub fn with_batching(
+        plane: Rc<RefCell<ControlPlane>>,
+        cfg: ChannelConfig,
+        batching: bool,
+    ) -> Self {
+        let channel = Channel::new(plane.clone(), cfg);
+        let (spec, num_pipes, cost, clock) = {
+            let p = plane.borrow();
+            let d = p.driver();
+            (
+                d.spec().clone(),
+                d.num_pipes(),
+                d.cost().clone(),
+                d.clock().clone(),
+            )
+        };
+        RemoteDriver {
+            channel,
+            plane,
+            spec,
+            num_pipes,
+            cost,
+            clock,
+            pending: Vec::new(),
+            batching,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    pub fn is_batching(&self) -> bool {
+        self.batching
+    }
+
+    /// Deferred mutations not yet flushed.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn channel(&self) -> &Channel {
+        &self.channel
+    }
+
+    pub fn channel_mut(&mut self) -> &mut Channel {
+        &mut self.channel
+    }
+
+    pub fn plane(&self) -> &Rc<RefCell<ControlPlane>> {
+        &self.plane
+    }
+
+    /// Claim (or renew) mastership of the switch for `controller`.
+    /// Returns `(granted, previous master, lease expiry)`.
+    pub fn claim_mastership(
+        &mut self,
+        controller: u16,
+        lease_ns: Nanos,
+    ) -> Result<(bool, Option<u16>, Nanos), DriverError> {
+        match self.barrier(DriverOp::MasterClaim {
+            controller,
+            lease_ns,
+        })? {
+            DriverResponse::Master {
+                granted,
+                master,
+                expires,
+            } => Ok((granted, master, expires)),
+            other => panic!("invariant: MasterClaim answers Master, got {other:?}"),
+        }
+    }
+
+    /// Read the switch's mastership state without claiming it.
+    pub fn probe_mastership(&mut self) -> Result<(Option<u16>, Nanos), DriverError> {
+        match self.barrier(DriverOp::MasterProbe)? {
+            DriverResponse::Master {
+                master, expires, ..
+            } => Ok((master, expires)),
+            other => panic!("invariant: MasterProbe answers Master, got {other:?}"),
+        }
+    }
+
+    // -- batch plumbing ------------------------------------------------------
+
+    fn send(&mut self, batch: &[DriverOp]) -> Result<Vec<DriverResponse>, SendFailure> {
+        self.telemetry
+            .hist_record(scopes::HIST_CONTROL_BATCH, batch.len() as u64);
+        let rs = self
+            .channel
+            .request(batch)
+            .map_err(SendFailure::Transport)?;
+        if let Some(DriverResponse::Err(e)) = rs.last() {
+            return Err(SendFailure::Op {
+                index: rs.len() - 1,
+                error: e.clone(),
+            });
+        }
+        debug_assert_eq!(
+            rs.len(),
+            batch.len(),
+            "invariant: an error-free response batch answers every op"
+        );
+        Ok(rs)
+    }
+
+    /// Queue a result-less mutation; in one-op-per-frame mode it is sent
+    /// immediately.
+    fn defer(&mut self, op: DriverOp) -> Result<(), DriverError> {
+        self.pending.push(op);
+        if self.batching {
+            Ok(())
+        } else {
+            self.flush_pending()
+        }
+    }
+
+    fn flush_pending(&mut self) -> Result<(), DriverError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::take(&mut self.pending);
+        match self.send(&batch) {
+            Ok(_) => Ok(()),
+            Err(SendFailure::Transport(e)) => {
+                self.pending = batch;
+                Err(e)
+            }
+            Err(SendFailure::Op { index, error }) => {
+                self.pending = batch[index..].to_vec();
+                Err(error)
+            }
+        }
+    }
+
+    /// Send pending ops plus `op` as one frame; return `op`'s response.
+    /// On a batch error the applied prefix leaves pending and the barrier
+    /// itself is *not* retained — the caller's retry re-issues it, which
+    /// re-appends it behind whatever is still pending, under a fresh
+    /// sequence number (the plane stopped before applying it, so there is
+    /// no double-apply).
+    fn barrier(&mut self, op: DriverOp) -> Result<DriverResponse, DriverError> {
+        let mut batch = std::mem::take(&mut self.pending);
+        batch.push(op);
+        match self.send(&batch) {
+            Ok(mut rs) => Ok(rs.pop().expect("invariant: batch was non-empty")),
+            Err(SendFailure::Transport(e)) => {
+                batch.pop();
+                self.pending = batch;
+                Err(e)
+            }
+            Err(SendFailure::Op { index, error }) => {
+                if index < batch.len() - 1 {
+                    self.pending = batch[index..batch.len() - 1].to_vec();
+                }
+                Err(error)
+            }
+        }
+    }
+}
+
+impl DriverApi for RemoteDriver {
+    fn spec(&self) -> &DataPlaneSpec {
+        &self.spec
+    }
+
+    fn num_pipes(&self) -> u16 {
+        self.num_pipes
+    }
+
+    fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    fn table_add(
+        &mut self,
+        table: TableId,
+        key: Vec<KeyField>,
+        priority: u32,
+        action: ActionId,
+        data: Vec<Value>,
+    ) -> Result<EntryHandle, DriverError> {
+        match self.barrier(DriverOp::TableAdd {
+            table,
+            key,
+            priority,
+            action,
+            data,
+        })? {
+            DriverResponse::Handle(h) => Ok(h),
+            other => panic!("invariant: TableAdd answers Handle, got {other:?}"),
+        }
+    }
+
+    fn table_mod(
+        &mut self,
+        table: TableId,
+        handle: EntryHandle,
+        action: ActionId,
+        data: Vec<Value>,
+    ) -> Result<(), DriverError> {
+        self.defer(DriverOp::TableMod {
+            table,
+            handle,
+            action,
+            data,
+        })
+    }
+
+    fn table_del(&mut self, table: TableId, handle: EntryHandle) -> Result<(), DriverError> {
+        self.defer(DriverOp::TableDel { table, handle })
+    }
+
+    fn table_set_default(
+        &mut self,
+        table: TableId,
+        action: ActionId,
+        data: Vec<Value>,
+        is_init_flip: bool,
+    ) -> Result<(), DriverError> {
+        let op = DriverOp::SetDefault {
+            table,
+            action,
+            data,
+            is_init_flip,
+        };
+        if is_init_flip {
+            self.barrier(op).map(|_| ())
+        } else {
+            self.defer(op)
+        }
+    }
+
+    fn table_set_default_on(
+        &mut self,
+        pipe: u16,
+        table: TableId,
+        action: ActionId,
+        data: Vec<Value>,
+        is_init_flip: bool,
+    ) -> Result<(), DriverError> {
+        let op = DriverOp::SetDefaultOn {
+            pipe,
+            table,
+            action,
+            data,
+            is_init_flip,
+        };
+        if is_init_flip {
+            self.barrier(op).map(|_| ())
+        } else {
+            self.defer(op)
+        }
+    }
+
+    fn register_write(
+        &mut self,
+        reg: RegisterId,
+        index: u32,
+        value: Value,
+    ) -> Result<(), DriverError> {
+        self.defer(DriverOp::RegisterWrite { reg, index, value })
+    }
+
+    fn port_set_up(&mut self, port: PortId, up: bool) -> Result<(), DriverError> {
+        self.barrier(DriverOp::PortSetUp { port, up }).map(|_| ())
+    }
+
+    fn register_read_range(
+        &mut self,
+        reg: RegisterId,
+        lo: u32,
+        hi: u32,
+    ) -> Result<Vec<Value>, DriverError> {
+        match self.barrier(DriverOp::RegisterReadRange { reg, lo, hi })? {
+            DriverResponse::Values(vs) => Ok(vs),
+            other => panic!("invariant: RegisterReadRange answers Values, got {other:?}"),
+        }
+    }
+
+    fn register_read_agg(
+        &mut self,
+        reg: RegisterId,
+        lo: u32,
+        hi: u32,
+        agg: ReadAgg,
+    ) -> Result<Vec<Value>, DriverError> {
+        match self.barrier(DriverOp::RegisterReadAgg { reg, lo, hi, agg })? {
+            DriverResponse::Values(vs) => Ok(vs),
+            other => panic!("invariant: RegisterReadAgg answers Values, got {other:?}"),
+        }
+    }
+
+    fn port_up(&mut self, port: PortId) -> Result<Option<bool>, DriverError> {
+        match self.barrier(DriverOp::PortUp { port })? {
+            DriverResponse::PortState(st) => Ok(st),
+            other => panic!("invariant: PortUp answers PortState, got {other:?}"),
+        }
+    }
+
+    fn spend_external(&mut self, dur: Nanos) -> Result<(), DriverError> {
+        self.barrier(DriverOp::SpendExternal { dur }).map(|_| ())
+    }
+
+    fn spend_rollback(&mut self, tables: usize) {
+        // Infallible by contract; it only runs inside a fault-suspended
+        // recovery section, where neither the channel nor the device
+        // driver injects.
+        let _ = self.barrier(DriverOp::SpendRollback {
+            tables: tables as u32,
+        });
+    }
+
+    fn table_checkpoint(&mut self, table: TableId) -> Result<CheckpointToken, DriverError> {
+        match self.barrier(DriverOp::TableCheckpoint { table })? {
+            DriverResponse::Token(t) => Ok(t),
+            other => panic!("invariant: TableCheckpoint answers Token, got {other:?}"),
+        }
+    }
+
+    fn table_restore(&mut self, table: TableId, token: CheckpointToken) -> Result<(), DriverError> {
+        self.barrier(DriverOp::TableRestore { table, token })
+            .map(|_| ())
+    }
+
+    fn checkpoint_discard(&mut self, token: CheckpointToken) {
+        // No client-visible result; a (rare) transient loss in
+        // one-op-per-frame mode merely leaks a server-side checkpoint.
+        let _ = self.defer(DriverOp::CheckpointDiscard { token });
+    }
+
+    fn flush(&mut self) -> Result<(), DriverError> {
+        self.flush_pending()
+    }
+
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        // Channel rules (FaultOp::Control) arm here; everything else arms
+        // the far-end device driver. Both see the full plan — selectors
+        // keep them disjoint.
+        self.channel.set_plan(plan.clone());
+        self.plane.borrow_mut().driver_mut().set_fault_plan(plan);
+    }
+
+    fn clear_fault_plan(&mut self) {
+        self.channel.clear_plan();
+        self.plane.borrow_mut().driver_mut().clear_fault_plan();
+    }
+
+    fn suspend_faults(&mut self) {
+        // Rollback entry: the failed attempt's unflushed mutations are
+        // moot once the table checkpoints are restored — drop them so
+        // the retried attempt starts from a clean batch.
+        self.pending.clear();
+        self.channel.suspend_faults();
+        self.plane.borrow_mut().driver_mut().suspend_faults();
+    }
+
+    fn resume_faults(&mut self) {
+        self.channel.resume_faults();
+        self.plane.borrow_mut().driver_mut().resume_faults();
+    }
+
+    fn set_fabric_index(&mut self, index: Option<u16>) {
+        self.channel.set_switch(index);
+        self.plane.borrow_mut().driver_mut().set_fabric_index(index);
+    }
+
+    fn fabric_index(&self) -> Option<u16> {
+        self.plane.borrow().driver().fabric_index()
+    }
+
+    fn set_telemetry(&mut self, telemetry: Rc<Telemetry>) {
+        self.channel.set_telemetry(telemetry.clone());
+        self.plane.borrow_mut().set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    fn stats(&self) -> DriverStats {
+        self.plane.borrow().driver().stats()
+    }
+
+    fn busy_until(&self) -> Nanos {
+        self.plane.borrow().driver().busy_until()
+    }
+
+    fn legacy_table_update_at(&mut self, at: Nanos) -> Nanos {
+        self.plane
+            .borrow_mut()
+            .driver_mut()
+            .legacy_table_update_at(at)
+    }
+}
+
+impl std::fmt::Debug for RemoteDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteDriver")
+            .field("channel", &self.channel)
+            .field("pending", &self.pending.len())
+            .field("batching", &self.batching)
+            .finish()
+    }
+}

@@ -1,0 +1,280 @@
+//! Property test: the wire codec is a faithful roundtrip under arbitrary
+//! transport fragmentation. Random request/response batches are encoded,
+//! concatenated into one byte stream, split at random boundaries, and fed
+//! chunk-by-chunk to a [`FrameDecoder`] — the decoded frames must equal
+//! the originals exactly, regardless of where the splits fall (including
+//! mid-header and mid-length-prefix).
+
+use mantis_control::wire::{encode_request_frame, encode_response_frame, Frame, FrameBody};
+use mantis_control::{DriverOp, DriverResponse, FrameDecoder};
+use p4_ast::{MatchKind, Value};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rmt_sim::{
+    ActionId, DriverError, EntryHandle, KeyField, PortId, ReadAgg, RegisterId, TableError, TableId,
+};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    (any::<u128>(), 1u16..=128).prop_map(|(bits, width)| Value::new(bits, width))
+}
+
+fn key_field_strategy() -> impl Strategy<Value = KeyField> {
+    prop_oneof![
+        value_strategy().prop_map(KeyField::Exact),
+        (value_strategy(), value_strategy())
+            .prop_map(|(value, mask)| KeyField::Ternary { value, mask }),
+        (value_strategy(), 0u16..=128)
+            .prop_map(|(value, prefix_len)| KeyField::Lpm { value, prefix_len }),
+    ]
+}
+
+fn driver_op_strategy() -> impl Strategy<Value = DriverOp> {
+    let values = vec(value_strategy(), 0..4).boxed();
+    prop_oneof![
+        (
+            any::<u32>(),
+            vec(key_field_strategy(), 0..4),
+            any::<u32>(),
+            any::<u32>(),
+            values.clone(),
+        )
+            .prop_map(|(t, key, priority, a, data)| DriverOp::TableAdd {
+                table: TableId(t),
+                key,
+                priority,
+                action: ActionId(a),
+                data,
+            }),
+        (any::<u32>(), any::<u64>(), any::<u32>(), values.clone()).prop_map(|(t, h, a, data)| {
+            DriverOp::TableMod {
+                table: TableId(t),
+                handle: EntryHandle(h),
+                action: ActionId(a),
+                data,
+            }
+        }),
+        (any::<u32>(), any::<u64>()).prop_map(|(t, h)| DriverOp::TableDel {
+            table: TableId(t),
+            handle: EntryHandle(h),
+        }),
+        (any::<u32>(), any::<u32>(), values.clone(), any::<bool>()).prop_map(
+            |(t, a, data, is_init_flip)| DriverOp::SetDefault {
+                table: TableId(t),
+                action: ActionId(a),
+                data,
+                is_init_flip,
+            }
+        ),
+        (
+            any::<u16>(),
+            any::<u32>(),
+            any::<u32>(),
+            values,
+            any::<bool>(),
+        )
+            .prop_map(|(pipe, t, a, data, is_init_flip)| DriverOp::SetDefaultOn {
+                pipe,
+                table: TableId(t),
+                action: ActionId(a),
+                data,
+                is_init_flip,
+            }),
+        (any::<u32>(), any::<u32>(), value_strategy()).prop_map(|(r, index, value)| {
+            DriverOp::RegisterWrite {
+                reg: RegisterId(r),
+                index,
+                value,
+            }
+        }),
+        (any::<PortId>(), any::<bool>()).prop_map(|(port, up)| DriverOp::PortSetUp { port, up }),
+        (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(r, lo, hi)| {
+            DriverOp::RegisterReadRange {
+                reg: RegisterId(r),
+                lo,
+                hi,
+            }
+        }),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            prop_oneof![Just(ReadAgg::Sum), Just(ReadAgg::Max)],
+        )
+            .prop_map(|(r, lo, hi, agg)| DriverOp::RegisterReadAgg {
+                reg: RegisterId(r),
+                lo,
+                hi,
+                agg,
+            }),
+        any::<PortId>().prop_map(|port| DriverOp::PortUp { port }),
+        any::<u64>().prop_map(|dur| DriverOp::SpendExternal { dur }),
+        any::<u32>().prop_map(|tables| DriverOp::SpendRollback { tables }),
+        any::<u32>().prop_map(|t| DriverOp::TableCheckpoint { table: TableId(t) }),
+        (any::<u32>(), any::<u64>()).prop_map(|(t, token)| DriverOp::TableRestore {
+            table: TableId(t),
+            token,
+        }),
+        any::<u64>().prop_map(|token| DriverOp::CheckpointDiscard { token }),
+        (any::<u16>(), any::<u64>()).prop_map(|(controller, lease_ns)| DriverOp::MasterClaim {
+            controller,
+            lease_ns,
+        }),
+        Just(DriverOp::MasterProbe),
+    ]
+}
+
+/// `Injected.op` carries a `&'static str`; the wire maps it through a
+/// fixed label table, so roundtrip only holds for known labels.
+const OP_NAMES: &[&str] = &[
+    "table_add",
+    "table_mod",
+    "table_del",
+    "set_default",
+    "init_flip",
+    "register_read",
+    "field_word_read",
+    "field_poll",
+    "register_write",
+    "port_set",
+    "rollback",
+    "control_req",
+    "control_resp",
+];
+
+fn table_error_strategy() -> impl Strategy<Value = TableError> {
+    prop_oneof![
+        (0usize..8, 0usize..8)
+            .prop_map(|(expected, got)| TableError::KeyArityMismatch { expected, got }),
+        (
+            0usize..8,
+            prop_oneof![
+                Just(MatchKind::Exact),
+                Just(MatchKind::Ternary),
+                Just(MatchKind::Lpm),
+            ],
+        )
+            .prop_map(|(index, expected)| TableError::KeyKindMismatch { index, expected }),
+        any::<u64>().prop_map(|h| TableError::UnknownHandle(EntryHandle(h))),
+        any::<u32>().prop_map(|a| TableError::UnknownAction(ActionId(a))),
+        any::<u32>().prop_map(|capacity| TableError::TableFull { capacity }),
+        (0usize..8, 0usize..8)
+            .prop_map(|(expected, got)| TableError::ActionDataArity { expected, got }),
+    ]
+}
+
+fn driver_error_strategy() -> impl Strategy<Value = DriverError> {
+    prop_oneof![
+        table_error_strategy().prop_map(DriverError::Table),
+        "[a-z_]{0,12}".prop_map(DriverError::UnknownTable),
+        "[a-z_]{0,12}".prop_map(DriverError::UnknownRegister),
+        "[a-z_]{0,12}".prop_map(DriverError::UnknownAction),
+        any::<PortId>().prop_map(DriverError::BadPort),
+        any::<u16>().prop_map(DriverError::BadPipe),
+        (0..OP_NAMES.len(), any::<bool>()).prop_map(|(i, persistent)| DriverError::Injected {
+            op: OP_NAMES[i],
+            persistent,
+        }),
+    ]
+}
+
+fn response_strategy() -> impl Strategy<Value = DriverResponse> {
+    prop_oneof![
+        Just(DriverResponse::Ok),
+        any::<u64>().prop_map(|h| DriverResponse::Handle(EntryHandle(h))),
+        vec(value_strategy(), 0..6).prop_map(DriverResponse::Values),
+        prop_oneof![Just(None), Just(Some(false)), Just(Some(true))]
+            .prop_map(DriverResponse::PortState),
+        any::<u64>().prop_map(DriverResponse::Token),
+        (
+            any::<bool>(),
+            prop_oneof![Just(None), any::<u16>().prop_map(Some)],
+            any::<u64>(),
+        )
+            .prop_map(|(granted, master, expires)| DriverResponse::Master {
+                granted,
+                master,
+                expires,
+            }),
+        driver_error_strategy().prop_map(DriverResponse::Err),
+    ]
+}
+
+fn frame_strategy() -> impl Strategy<Value = (u64, Frame, Vec<u8>)> {
+    let request = (any::<u64>(), vec(driver_op_strategy(), 0..6)).prop_map(|(seq, ops)| {
+        let bytes = encode_request_frame(seq, &ops);
+        (
+            seq,
+            Frame {
+                seq,
+                body: FrameBody::Request(ops),
+            },
+            bytes,
+        )
+    });
+    let response = (any::<u64>(), vec(response_strategy(), 0..6)).prop_map(|(seq, rs)| {
+        let bytes = encode_response_frame(seq, &rs);
+        (
+            seq,
+            Frame {
+                seq,
+                body: FrameBody::Response(rs),
+            },
+            bytes,
+        )
+    });
+    prop_oneof![request, response]
+}
+
+proptest! {
+    /// Any stream of encoded frames, cut at any byte boundaries, decodes
+    /// back to exactly the frames that went in.
+    #[test]
+    fn frames_roundtrip_across_arbitrary_splits(
+        frames in vec(frame_strategy(), 1..5),
+        cuts in vec(any::<u16>(), 0..12),
+    ) {
+        let stream: Vec<u8> = frames.iter().flat_map(|(_, _, bytes)| bytes.clone()).collect();
+
+        // Map the raw cut points into in-range, sorted split offsets.
+        let mut offsets: Vec<usize> = cuts
+            .iter()
+            .map(|c| (*c as usize) % (stream.len() + 1))
+            .collect();
+        offsets.sort_unstable();
+        offsets.dedup();
+
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        let mut last = 0usize;
+        for off in offsets.into_iter().chain(std::iter::once(stream.len())) {
+            decoder.push(&stream[last..off]);
+            last = off;
+            while let Some(frame) = decoder.next_frame().expect("valid stream") {
+                decoded.push(frame);
+            }
+        }
+
+        let expected: Vec<Frame> = frames.into_iter().map(|(_, f, _)| f).collect();
+        prop_assert_eq!(decoded, expected);
+        prop_assert_eq!(decoder.buffered(), 0, "no leftover bytes");
+    }
+
+    /// A truncated frame never yields anything (and never errors); the
+    /// remaining bytes complete it.
+    #[test]
+    fn truncation_waits_instead_of_erroring(
+        frame in frame_strategy(),
+        cut_seed in any::<u16>(),
+    ) {
+        let (_, expected, bytes) = frame;
+        // Cut strictly inside the frame so the prefix is incomplete.
+        let cut = (1 + (cut_seed as usize) % bytes.len()).min(bytes.len() - 1);
+
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&bytes[..cut]);
+        prop_assert_eq!(decoder.next_frame().expect("prefix is not an error"), None);
+        decoder.push(&bytes[cut..]);
+        prop_assert_eq!(decoder.next_frame().expect("completed frame"), Some(expected));
+        prop_assert_eq!(decoder.buffered(), 0);
+    }
+}

@@ -52,6 +52,10 @@ pub enum FaultOp {
     /// Any register/field read (`register_read`/`field_word_read`/
     /// `field_poll`).
     AnyRead,
+    /// Any control-plane channel frame (`control_req`/`control_resp` —
+    /// the op labels `mantis-control`'s `Channel` consults the injector
+    /// with, one per frame per direction). Driver-level ops never match.
+    Control,
     /// Exactly the named op class.
     Named(&'static str),
 }
@@ -68,6 +72,7 @@ impl FaultOp {
             FaultOp::AnyRead => {
                 matches!(op, "register_read" | "field_word_read" | "field_poll")
             }
+            FaultOp::Control => matches!(op, "control_req" | "control_resp"),
             FaultOp::Named(n) => *n == op,
         }
     }
@@ -87,6 +92,11 @@ pub enum FaultEffect {
     /// A register read returns values XOR'd with `xor` (masked to the
     /// register width by the driver).
     CorruptRead { xor: u64 },
+    /// A control-channel frame is delivered twice (at-least-once
+    /// transport). Meaningless for driver-level ops, which treat it as
+    /// no injection; the channel re-delivers and the endpoint's
+    /// sequence-number dedup must absorb it.
+    Duplicate,
 }
 
 /// When a rule is armed.
@@ -226,6 +236,46 @@ impl FaultPlan {
         ))
     }
 
+    /// Deliver up to `hits` matched ops twice (duplicated control
+    /// frames; a no-op for driver-level ops).
+    pub fn duplicate(self, op: FaultOp, window: FaultWindow, hits: u32) -> Self {
+        self.rule(FaultRule::new(
+            op,
+            FaultEffect::Duplicate,
+            window,
+            Some(hits),
+        ))
+    }
+
+    /// Drop up to `hits` control-channel frames inside the window (the
+    /// frame is lost in flight; the sender sees a transport timeout).
+    pub fn drop_frames(self, window: FaultWindow, hits: u32) -> Self {
+        self.fail_transient(FaultOp::Control, window, hits)
+    }
+
+    /// Duplicate up to `hits` control-channel frames inside the window.
+    pub fn duplicate_frames(self, window: FaultWindow, hits: u32) -> Self {
+        self.duplicate(FaultOp::Control, window, hits)
+    }
+
+    /// Sever every control-channel frame of switch `switch`'s channels
+    /// from `at` onward — the persistent partition that forces a
+    /// controller failover.
+    pub fn sever_control(self, switch: u16, at: Nanos) -> Self {
+        self.rule(
+            FaultRule::new(
+                FaultOp::Control,
+                FaultEffect::Fail,
+                FaultWindow::Time {
+                    lo: at,
+                    hi: Nanos::MAX,
+                },
+                None,
+            )
+            .on_switch(switch),
+        )
+    }
+
     /// Schedule a link flap on switch 0 (*the* switch of a single-switch
     /// testbed).
     pub fn flap(self, port: u32, down_at: Nanos, up_at: Nanos) -> Self {
@@ -298,6 +348,7 @@ pub enum Injection {
     Delay { factor_milli: u32 },
     Stale,
     Corrupt { xor: u64 },
+    Duplicate,
 }
 
 /// Executes a [`FaultPlan`]: one [`decide`](FaultInjector::decide) call
@@ -419,6 +470,7 @@ impl FaultInjector {
                 },
                 FaultEffect::StaleRead => Injection::Stale,
                 FaultEffect::CorruptRead { xor } => Injection::Corrupt { xor: *xor },
+                FaultEffect::Duplicate => Injection::Duplicate,
             };
             return Some(inj);
         }
@@ -796,6 +848,42 @@ mod tests {
             inj.decide("init_flip", 0),
             Some(Injection::Fail { persistent: true })
         );
+    }
+
+    #[test]
+    fn control_rules_match_only_channel_frames() {
+        let plan = FaultPlan::new()
+            .drop_frames(FaultWindow::Ops { lo: 0, hi: 10 }, 1)
+            .duplicate_frames(FaultWindow::Always, 1);
+        let mut inj = FaultInjector::new(plan);
+        // Driver-level ops never match a Control rule.
+        assert_eq!(inj.decide("table_add", 0), None);
+        assert_eq!(inj.decide("register_read", 0), None);
+        // The first frame is dropped, the second duplicated, the rest clean.
+        assert_eq!(
+            inj.decide("control_req", 0),
+            Some(Injection::Fail { persistent: false })
+        );
+        assert_eq!(inj.decide("control_resp", 0), Some(Injection::Duplicate));
+        assert_eq!(inj.decide("control_req", 0), None);
+    }
+
+    #[test]
+    fn sever_control_is_switch_scoped_and_persistent() {
+        let plan = FaultPlan::new().sever_control(1, 5_000);
+        let mut inj = FaultInjector::new(plan.clone());
+        inj.set_switch(Some(1));
+        assert_eq!(inj.decide("control_req", 4_999), None, "before severance");
+        for t in [5_000, 50_000, Nanos::MAX - 1] {
+            assert_eq!(
+                inj.decide("control_req", t),
+                Some(Injection::Fail { persistent: true })
+            );
+        }
+        // Other switches' channels are untouched.
+        let mut other = FaultInjector::new(plan);
+        other.set_switch(Some(0));
+        assert_eq!(other.decide("control_req", 10_000), None);
     }
 
     #[test]

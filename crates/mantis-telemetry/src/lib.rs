@@ -133,6 +133,27 @@ pub mod scopes {
     /// 1 while at least one reaction is quarantined (degraded mode).
     pub const GAUGE_DEGRADED: &str = "agent.degraded";
 
+    // -- remote control plane (DESIGN.md §11) ---------------------------
+
+    /// Control-channel frames transmitted (every attempt, retries and
+    /// injected duplicates included).
+    pub const CTR_CONTROL_FRAMES: &str = "control.frames";
+    /// Control-channel bytes transmitted.
+    pub const CTR_CONTROL_BYTES: &str = "control.bytes";
+    /// Request frames lost to an injected channel fault.
+    pub const CTR_CONTROL_DROPS: &str = "control.frames_dropped";
+    /// Frames delivered twice by an injected channel fault (the endpoint
+    /// deduplicates by sequence number).
+    pub const CTR_CONTROL_DUPS: &str = "control.frames_duplicated";
+    /// Driver ops carried per request frame (batching effectiveness).
+    pub const HIST_CONTROL_BATCH: &str = "control.batch_size";
+    /// Virtual-time round-trip latency per successful request frame.
+    pub const HIST_CONTROL_RTT_NS: &str = "control.rtt_ns";
+    /// Driver ops that failed with an injected fault, mirrored from
+    /// `DriverStats.injected_failures` (recorded only when faults fire, so
+    /// fault-free traces stay byte-identical).
+    pub const CTR_DRIVER_INJECTED: &str = "driver.injected_failures";
+
     // -- multi-pipe (DESIGN.md §9) -------------------------------------
 
     /// Name a metric scoped to one hardware pipe (`pipe<p>.<name>`).

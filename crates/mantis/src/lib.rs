@@ -35,6 +35,7 @@
 
 pub use mantis_agent;
 pub use mantis_apps as apps;
+pub use mantis_control as control;
 pub use mantis_telemetry as telemetry;
 pub use netsim;
 pub use p4_ast;
@@ -47,6 +48,7 @@ pub use mantis_agent::{
     schedule_agent, schedule_fabric_agents, schedule_paced_agent, AgentError, AgentErrorKind,
     AgentPhase, CostModel, MantisAgent, NativeReaction, ReactionCtx, ReactionFailure,
 };
+pub use mantis_control::{ChannelConfig, ControlPlane, Controller, ControllerConfig, RemoteDriver};
 pub use mantis_faults::{
     BreakerConfig, BreakerState, CircuitBreaker, FaultInjector, FaultOp, FaultPlan, FaultWindow,
     RetryPolicy,
@@ -70,6 +72,9 @@ pub struct Testbed {
     /// Shared observability handle: the agent, driver, switch, and flow
     /// sources all record into this one registry/tracer.
     pub telemetry: Rc<Telemetry>,
+    /// The switch-side control-plane endpoint when the agent drives the
+    /// switch remotely ([`DriverMode::Remote`]); `None` on a local driver.
+    pub plane: Option<Rc<RefCell<ControlPlane>>>,
 }
 
 impl fmt::Debug for Testbed {
@@ -98,18 +103,45 @@ impl fmt::Display for TestbedError {
 
 impl std::error::Error for TestbedError {}
 
-/// Parse a `MANTIS_*` count knob: a positive integer, or `default` with a
-/// one-line warning on stderr when the value is malformed or zero (a
-/// misspelled CI matrix entry should degrade loudly, not silently). Unset
-/// (`None`) is the quiet default.
+/// Upper clamp for `MANTIS_*` count knobs. Far beyond anything the
+/// simulator meaningfully models, but low enough that a fat-fingered CI
+/// matrix entry degrades loudly instead of allocating absurd state.
+pub const MAX_ENV_COUNT: u16 = 64;
+
+/// Parse a `MANTIS_*` count knob: a positive integer clamped to
+/// [`MAX_ENV_COUNT`], or `default` with a one-line warning on stderr when
+/// the value is malformed or zero (a misspelled CI matrix entry should
+/// degrade loudly, not silently). Unset (`None`) is the quiet default.
 pub fn parse_env_count(name: &str, raw: Option<&str>, default: u16) -> u16 {
     let Some(raw) = raw else {
         return default;
     };
     match raw.trim().parse::<u16>() {
-        Ok(n) if n >= 1 => n,
+        Ok(n) if (1..=MAX_ENV_COUNT).contains(&n) => n,
+        Ok(n) if n > MAX_ENV_COUNT => {
+            eprintln!("warning: {name}={raw:?} exceeds the {MAX_ENV_COUNT} cap; clamping");
+            MAX_ENV_COUNT
+        }
         _ => {
             eprintln!("warning: {name}={raw:?} is not a positive count; using default {default}");
+            default
+        }
+    }
+}
+
+/// Parse a `MANTIS_*` boolean knob: `1`/`true`/`yes`/`on` and
+/// `0`/`false`/`no`/`off` (case-insensitive, whitespace-tolerant), or
+/// `default` with a warning on anything else. Unset (`None`) is the quiet
+/// default.
+pub fn parse_env_flag(name: &str, raw: Option<&str>, default: bool) -> bool {
+    let Some(raw) = raw else {
+        return default;
+    };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "yes" | "on" => true,
+        "0" | "false" | "no" | "off" => false,
+        _ => {
+            eprintln!("warning: {name}={raw:?} is not a boolean; using default {default}");
             default
         }
     }
@@ -132,11 +164,70 @@ pub fn switches_from_env() -> u16 {
     parse_env_count("MANTIS_SWITCHES", raw.as_deref(), 1)
 }
 
+/// Should testbeds drive their switches through the remote control plane
+/// (`MANTIS_REMOTE=1`)? Routing happens at a zero-RTT default channel so
+/// the whole test suite exercises the wire path without timing drift.
+pub fn remote_from_env() -> bool {
+    let raw = std::env::var("MANTIS_REMOTE").ok();
+    parse_env_flag("MANTIS_REMOTE", raw.as_deref(), false)
+}
+
+/// How a testbed's agents reach their switches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriverMode {
+    /// In-process [`mantis_agent::LocalDriver`] — the paper's deployment
+    /// (agent on the switch CPU).
+    Local,
+    /// Wire-encoded batches over a [`ChannelConfig`]-parameterized control
+    /// channel ([`RemoteDriver`]).
+    Remote(ChannelConfig),
+}
+
+impl DriverMode {
+    /// The mode selected by `MANTIS_REMOTE` (default-config channel when
+    /// set; [`DriverMode::Local`] otherwise).
+    pub fn from_env() -> DriverMode {
+        if remote_from_env() {
+            DriverMode::Remote(ChannelConfig::default())
+        } else {
+            DriverMode::Local
+        }
+    }
+}
+
 impl Testbed {
     /// Compile P4R source, load it into a default-config switch, attach an
     /// agent (running its prologue), and wrap everything in a simulator.
+    /// Honors `MANTIS_REMOTE=1` (the agent then drives the switch through
+    /// the wire protocol at zero RTT) — use [`Testbed::from_p4r_local`]
+    /// when a test or golden depends on the in-process driver.
     pub fn from_p4r(src: &str) -> Result<Testbed, TestbedError> {
         Testbed::with_config(src, SwitchConfig::default(), CostModel::default())
+    }
+
+    /// Like [`Testbed::from_p4r`] but pinned to the in-process driver,
+    /// ignoring `MANTIS_REMOTE`. Timing-golden paths (the telemetry trace
+    /// golden) build through this so their byte-identical contract holds
+    /// under every environment.
+    pub fn from_p4r_local(src: &str) -> Result<Testbed, TestbedError> {
+        Testbed::with_config_mode(
+            src,
+            SwitchConfig::default(),
+            CostModel::default(),
+            DriverMode::Local,
+        )
+    }
+
+    /// Like [`Testbed::from_p4r`] but pinned to the remote control plane
+    /// over a channel with `cfg`, ignoring `MANTIS_REMOTE`. The returned
+    /// testbed's [`Testbed::plane`] is `Some`.
+    pub fn from_p4r_remote(src: &str, cfg: ChannelConfig) -> Result<Testbed, TestbedError> {
+        Testbed::with_config_mode(
+            src,
+            SwitchConfig::default(),
+            CostModel::default(),
+            DriverMode::Remote(cfg),
+        )
     }
 
     /// Compile and load onto a switch with `num_pipes` hardware pipes
@@ -155,18 +246,32 @@ impl Testbed {
 
     /// Same, with explicit switch/cost configuration. A `Testbed` is the
     /// 1-node special case of [`Fabric`]: construction delegates to
-    /// [`Fabric::with_config`] on the trivial topology.
+    /// [`Fabric::with_config`] on the trivial topology, so the driver mode
+    /// follows `MANTIS_REMOTE` here too.
     pub fn with_config(
         src: &str,
         switch_cfg: SwitchConfig,
         cost: CostModel,
     ) -> Result<Testbed, TestbedError> {
-        let mut fabric = Fabric::with_config(&[src], Topology::single(), switch_cfg, cost)?;
+        Testbed::with_config_mode(src, switch_cfg, cost, DriverMode::from_env())
+    }
+
+    /// Full control: explicit switch/cost configuration *and* an explicit
+    /// [`DriverMode`] (no environment sniffing).
+    pub fn with_config_mode(
+        src: &str,
+        switch_cfg: SwitchConfig,
+        cost: CostModel,
+        mode: DriverMode,
+    ) -> Result<Testbed, TestbedError> {
+        let mut fabric =
+            Fabric::with_driver_mode(&[src], Topology::single(), switch_cfg, cost, mode)?;
         Ok(Testbed {
             compiled: fabric.compiled.remove(0),
             sim: fabric.sim,
             agent: fabric.agents.remove(0),
             telemetry: fabric.telemetry,
+            plane: fabric.planes.pop(),
         })
     }
 
@@ -209,6 +314,10 @@ pub struct Fabric {
     /// Shared observability handle. On a multi-switch fabric, switches
     /// additionally record under `sw<i>.`-scoped metric names.
     pub telemetry: Rc<Telemetry>,
+    /// Per-switch control-plane endpoints when built with
+    /// [`DriverMode::Remote`] (`planes[i]` serves switch `i`); empty when
+    /// agents drive their switches in-process.
+    pub planes: Vec<Rc<RefCell<ControlPlane>>>,
 }
 
 impl fmt::Debug for Fabric {
@@ -234,7 +343,7 @@ impl Fabric {
     }
 
     /// Full control over switch/cost configuration (shared by all
-    /// switches).
+    /// switches). The driver mode follows `MANTIS_REMOTE`.
     ///
     /// # Panics
     /// Panics when `srcs.len()` does not match the topology.
@@ -243,6 +352,23 @@ impl Fabric {
         topo: Topology,
         switch_cfg: SwitchConfig,
         cost: CostModel,
+    ) -> Result<Fabric, TestbedError> {
+        Fabric::with_driver_mode(srcs, topo, switch_cfg, cost, DriverMode::from_env())
+    }
+
+    /// [`Fabric::with_config`] with an explicit [`DriverMode`] instead of
+    /// environment sniffing. Under [`DriverMode::Remote`] each agent talks
+    /// to its switch through a [`RemoteDriver`] over its own channel, and
+    /// the switch-side endpoints are exposed via [`Fabric::planes`].
+    ///
+    /// # Panics
+    /// Panics when `srcs.len()` does not match the topology.
+    pub fn with_driver_mode(
+        srcs: &[&str],
+        topo: Topology,
+        switch_cfg: SwitchConfig,
+        cost: CostModel,
+        mode: DriverMode,
     ) -> Result<Fabric, TestbedError> {
         assert!(
             srcs.len() == topo.num_switches(),
@@ -256,6 +382,7 @@ impl Fabric {
         let mut compiled = Vec::with_capacity(srcs.len());
         let mut switches = Vec::with_capacity(srcs.len());
         let mut agents = Vec::with_capacity(srcs.len());
+        let mut planes = Vec::new();
         for (i, src) in srcs.iter().enumerate() {
             let comp =
                 compile_source(src, &CompilerOptions::default()).map_err(TestbedError::Compile)?;
@@ -272,7 +399,15 @@ impl Fabric {
                 // every existing telemetry golden stays byte-identical.
                 sw.set_fabric_index(multi.then_some(i as u16));
             }
-            let mut agent = MantisAgent::new(switch.clone(), &comp, cost.clone());
+            let mut agent = match mode {
+                DriverMode::Local => MantisAgent::new(switch.clone(), &comp, cost.clone()),
+                DriverMode::Remote(chan) => {
+                    let (agent, plane) =
+                        mantis_control::remote_agent(switch.clone(), &comp, cost.clone(), chan);
+                    planes.push(plane);
+                    agent
+                }
+            };
             agent.set_telemetry(telemetry.clone());
             agent.set_fabric_index(multi.then_some(i as u16));
             agent.prologue().map_err(TestbedError::Agent)?;
@@ -286,6 +421,7 @@ impl Fabric {
             sim,
             agents,
             telemetry,
+            planes,
         })
     }
 
@@ -366,6 +502,72 @@ control ingress { apply(t); }
                 "{bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn env_counts_clamp_to_cap() {
+        assert_eq!(
+            parse_env_count("MANTIS_PIPES", Some(&MAX_ENV_COUNT.to_string()), 1),
+            MAX_ENV_COUNT
+        );
+        // In-range u16 values above the cap clamp (overflow still defaults,
+        // covered above).
+        assert_eq!(
+            parse_env_count("MANTIS_PIPES", Some("65"), 1),
+            MAX_ENV_COUNT
+        );
+        assert_eq!(
+            parse_env_count("MANTIS_SWITCHES", Some("65535"), 1),
+            MAX_ENV_COUNT
+        );
+    }
+
+    #[test]
+    fn env_flags_parse_leniently_and_default_on_garbage() {
+        assert!(!parse_env_flag("MANTIS_REMOTE", None, false));
+        assert!(parse_env_flag("MANTIS_REMOTE", None, true));
+        for yes in ["1", "true", "TRUE", " yes ", "On"] {
+            assert!(parse_env_flag("MANTIS_REMOTE", Some(yes), false), "{yes:?}");
+        }
+        for no in ["0", "false", "False", " no ", "OFF"] {
+            assert!(!parse_env_flag("MANTIS_REMOTE", Some(no), true), "{no:?}");
+        }
+        for bad in ["2", "remote", "", "tru e"] {
+            assert!(
+                !parse_env_flag("MANTIS_REMOTE", Some(bad), false),
+                "{bad:?}"
+            );
+            assert!(parse_env_flag("MANTIS_REMOTE", Some(bad), true), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn remote_testbed_reacts_like_local() {
+        let src = r#"
+header_type h_t { fields { a : 32; } }
+header h_t h;
+malleable value knob { width : 32; init : 0; }
+action touch() { add_to_field(h.a, ${knob}); }
+table t { actions { touch; } default_action : touch(); }
+reaction r(ing h.a) { ${knob} = h_a + 1; }
+control ingress { apply(t); }
+"#;
+        let mut tb = Testbed::from_p4r_remote(src, ChannelConfig::default()).unwrap();
+        assert!(tb.plane.is_some());
+        tb.agent.borrow_mut().register_all_interpreted().unwrap();
+        tb.start_agent(10_000);
+        tb.sim
+            .switch()
+            .borrow_mut()
+            .inject(&rmt_sim::PacketDesc::new(0).field("h", "a", 41).payload(64));
+        tb.sim.run_until(100_000);
+        assert_eq!(tb.agent.borrow().slot("knob"), Some(42));
+        // The dialogue ran over the wire: frames were exchanged.
+        let snap = tb.telemetry_snapshot();
+        assert!(snap.contains("control.frames"), "snapshot: {snap}");
+        // Local construction exposes no plane.
+        let local = Testbed::from_p4r_local(src).unwrap();
+        assert!(local.plane.is_none());
     }
 
     #[test]

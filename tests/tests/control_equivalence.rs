@@ -1,0 +1,400 @@
+//! Remote-driver equivalence (DESIGN.md §11): driving a switch through
+//! the control-plane wire protocol must not change what the reaction loop
+//! computes.
+//!
+//! * At RTT = 0 the remote run is *exactly* the local run: byte-identical
+//!   final device state (tables, defaults, registers) and identical
+//!   driver op counts, for all four paper use-case programs.
+//! * At RTT > 0 the virtual clock advances on every frame, so
+//!   clock-sampling reactions may branch differently — but the
+//!   clock-independent programs still converge to the identical state,
+//!   and every program completes with converged version bits.
+//! * A seeded channel-fault plan (drops, duplicates, delays) is fully
+//!   absorbed by retransmission + sequence-number dedup: the run
+//!   converges to the same state as the fault-free run.
+//! * Severing the primary controller's channels fails its lease renewal;
+//!   a standby claims after expiry, adopts the initialised switch, and
+//!   the reactive state re-converges from live measurements.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mantis::apps::programs::{DOS_P4R, ECMP_P4R, FAILOVER_P4R, RL_P4R};
+use mantis::p4r_compiler::{compile_source, CompilerOptions};
+use mantis::rmt_sim::{PacketDesc, RegisterId, TableId};
+use mantis::{
+    ChannelConfig, Clock, ControlPlane, Controller, ControllerConfig, CostModel, DriverMode,
+    FaultOp, FaultPlan, FaultWindow, Switch, SwitchConfig, Testbed,
+};
+
+const ITERS: u64 = 8;
+
+type Traffic = fn(&Testbed, u64);
+
+const ALL_PROGRAMS: [(&str, &str, Traffic); 4] = [
+    ("dos", DOS_P4R, dos_traffic),
+    ("failover", FAILOVER_P4R, failover_traffic),
+    ("ecmp", ECMP_P4R, ecmp_traffic),
+    ("rl", RL_P4R, rl_traffic),
+];
+
+/// Programs whose reactions are pure functions of device state (no
+/// `now_us()`), so their final state is RTT-independent.
+const CLOCK_FREE: [(&str, &str, Traffic); 2] =
+    [("ecmp", ECMP_P4R, ecmp_traffic), ("rl", RL_P4R, rl_traffic)];
+
+fn dos_traffic(tb: &Testbed, round: u64) {
+    let mut sw = tb.sim.switch().borrow_mut();
+    for i in 0..4u64 {
+        sw.inject(
+            &PacketDesc::new(0)
+                .field("ethernet", "ether_type", 0x0800)
+                .field("ipv4", "src_addr", u128::from(0x0a00_0010 + (i % 3) as u32))
+                .field("ipv4", "dst_addr", 0x0a00_0002)
+                .payload(400 + round as u32 * 64),
+        );
+    }
+}
+
+fn failover_traffic(tb: &Testbed, round: u64) {
+    let mut sw = tb.sim.switch().borrow_mut();
+    // Heartbeats on neighbor ports 4..8; port 6 goes quiet after round 3.
+    for p in 4u16..8 {
+        if p == 6 && round > 3 {
+            continue;
+        }
+        sw.inject(
+            &PacketDesc::new(p)
+                .field("ethernet", "ether_type", 0x88b5)
+                .field("hb", "seq", u128::from(round))
+                .field("hb", "origin", u128::from(p))
+                .payload(64),
+        );
+    }
+    sw.inject(
+        &PacketDesc::new(0)
+            .field("ethernet", "ether_type", 0x0800)
+            .field("ipv4", "dst_addr", 0x0a00_0001)
+            .field("ipv4", "src_addr", 7)
+            .payload(100),
+    );
+}
+
+fn ecmp_traffic(tb: &Testbed, round: u64) {
+    let mut sw = tb.sim.switch().borrow_mut();
+    for i in 0..6u64 {
+        let flow = round * 6 + i;
+        sw.inject(
+            &PacketDesc::new(0)
+                .field("ethernet", "ether_type", 0x0800)
+                .field("ipv4", "src_addr", 0x0a00_0001)
+                .field("ipv4", "dst_addr", 0x0a00_0002)
+                .field("ipv4", "protocol", 17)
+                .field("l4", "sport", u128::from(flow.wrapping_mul(7_919) & 0xffff))
+                .field(
+                    "l4",
+                    "dport",
+                    u128::from(flow.wrapping_mul(104_729).wrapping_add(3) & 0xffff),
+                )
+                .payload(1_000),
+        );
+    }
+}
+
+fn rl_traffic(tb: &Testbed, _round: u64) {
+    let mut sw = tb.sim.switch().borrow_mut();
+    for i in 0..5u64 {
+        sw.inject(
+            &PacketDesc::new(0)
+                .field("ethernet", "ether_type", 0x0800)
+                .field("ipv4", "src_addr", u128::from(100 + i))
+                .field("ipv4", "dst_addr", 0x0a00_0002)
+                .payload(1_200),
+        );
+    }
+}
+
+/// The device-state oracle: every table's sorted entries and live default
+/// action plus every register's full contents, with the agent's converged
+/// version bit. Timing (busy_ns, clock) is deliberately excluded.
+fn state_fingerprint(tb: &Testbed) -> String {
+    let agent = tb.agent.borrow();
+    assert!(
+        agent.vv_per_pipe().iter().all(|&v| v == agent.vv()),
+        "version bits must converge between iterations: {:?}",
+        agent.vv_per_pipe()
+    );
+    let sw = tb.sim.switch().borrow();
+    let mut out = format!("vv={}", agent.vv());
+    for (i, ts) in sw.spec().tables.iter().enumerate() {
+        let t = TableId(i as u32);
+        let table = sw.table_ref(t);
+        let mut rows: Vec<String> = table
+            .entries()
+            .map(|e| {
+                format!(
+                    "{:?}|{:?}|{}|{:?}|{:?}",
+                    e.handle, e.key, e.priority, e.action, e.action_data
+                )
+            })
+            .collect();
+        rows.sort();
+        out.push_str(&format!(
+            "\ntable {}: default={:?} entries=[{}]",
+            ts.name,
+            table.default_action(),
+            rows.join(";")
+        ));
+    }
+    for (i, rs) in sw.spec().registers.iter().enumerate() {
+        let vals = sw.register_read_range(RegisterId(i as u32), 0, rs.count - 1);
+        out.push_str(&format!(
+            "\nreg {}: {:?}",
+            rs.name,
+            vals.iter().map(|v| v.bits()).collect::<Vec<_>>()
+        ));
+    }
+    out
+}
+
+/// Driver op counts — the same logical ops must reach the device in both
+/// modes (in remote mode they are counted by the plane's local driver).
+fn op_counts(tb: &Testbed) -> String {
+    let agent = tb.agent.borrow();
+    let s = agent.driver().stats();
+    format!(
+        "ops={} table_ops={} register_reads={} field_reads={} injected={}",
+        s.ops, s.table_ops, s.register_reads, s.field_reads, s.injected_failures
+    )
+}
+
+fn run(src: &str, mode: DriverMode, traffic: Traffic, plan: Option<FaultPlan>) -> Testbed {
+    let tb = Testbed::with_config_mode(src, SwitchConfig::default(), CostModel::default(), mode)
+        .expect("testbed");
+    tb.agent
+        .borrow_mut()
+        .register_all_interpreted()
+        .expect("reactions registered");
+    if let Some(plan) = plan {
+        tb.agent.borrow_mut().set_fault_plan(plan);
+    }
+    for round in 0..ITERS {
+        traffic(&tb, round);
+        tb.agent
+            .borrow_mut()
+            .dialogue_iteration()
+            .unwrap_or_else(|e| panic!("iteration {round}: {e}"));
+    }
+    tb
+}
+
+#[test]
+fn remote_at_zero_rtt_is_byte_identical_to_local() {
+    for (name, src, traffic) in ALL_PROGRAMS {
+        let local = run(src, DriverMode::Local, traffic, None);
+        let remote = run(
+            src,
+            DriverMode::Remote(ChannelConfig::default()),
+            traffic,
+            None,
+        );
+        assert_eq!(
+            state_fingerprint(&local),
+            state_fingerprint(&remote),
+            "{name}: remote state diverged from local at RTT=0"
+        );
+        assert_eq!(
+            op_counts(&local),
+            op_counts(&remote),
+            "{name}: remote issued a different op mix at RTT=0"
+        );
+        // The remote run really crossed the wire, batched.
+        assert!(local.plane.is_none());
+        let plane = remote.plane.as_ref().expect("remote exposes its plane");
+        assert!(plane.borrow().had_master() || plane.borrow().master().is_none());
+        assert!(
+            remote.telemetry.counter("control.frames") > 0,
+            "{name}: no frames recorded"
+        );
+        assert!(
+            remote.telemetry.counter("control.bytes") > 0,
+            "{name}: no bytes recorded"
+        );
+        assert_eq!(
+            local.telemetry.counter("control.frames"),
+            0,
+            "{name}: local run must not touch the channel"
+        );
+    }
+}
+
+#[test]
+fn clock_free_programs_match_local_at_nonzero_rtt() {
+    for (name, src, traffic) in CLOCK_FREE {
+        let local = run(src, DriverMode::Local, traffic, None);
+        for rtt in [1_000u64, 10_000, 100_000] {
+            let remote = run(
+                src,
+                DriverMode::Remote(ChannelConfig::with_rtt(rtt)),
+                traffic,
+                None,
+            );
+            assert_eq!(
+                state_fingerprint(&local),
+                state_fingerprint(&remote),
+                "{name}: state diverged at RTT={rtt}"
+            );
+            assert_eq!(
+                op_counts(&local),
+                op_counts(&remote),
+                "{name}: op mix diverged at RTT={rtt}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_program_completes_at_nonzero_rtt() {
+    // `now_us()`-sampling reactions (dos, failover) may branch differently
+    // once frames cost virtual time, but the loop itself — batching,
+    // barriers, version-bit sync — must hold at any latency.
+    for (name, src, traffic) in ALL_PROGRAMS {
+        let remote = run(
+            src,
+            DriverMode::Remote(ChannelConfig::with_rtt(50_000)),
+            traffic,
+            None,
+        );
+        let agent = remote.agent.borrow();
+        assert!(
+            agent.vv_per_pipe().iter().all(|&v| v == agent.vv()),
+            "{name}: version bits diverged at RTT=50us"
+        );
+        assert_eq!(agent.stats().iterations, ITERS, "{name}");
+    }
+}
+
+#[test]
+fn seeded_channel_faults_converge_to_the_fault_free_state() {
+    // Dropped frames retransmit under the same sequence number, duplicates
+    // are absorbed by the plane's dedup window, delays only cost time —
+    // so a clock-independent program lands in the identical final state.
+    let cfg = ChannelConfig::with_rtt(2_000);
+    for (name, src, traffic) in CLOCK_FREE {
+        let clean = run(src, DriverMode::Remote(cfg), traffic, None);
+        let plan = FaultPlan::new()
+            .drop_frames(FaultWindow::Ops { lo: 6, hi: 60 }, 3)
+            .duplicate_frames(FaultWindow::Ops { lo: 12, hi: 80 }, 2)
+            .delay(
+                FaultOp::Control,
+                FaultWindow::Ops { lo: 20, hi: 90 },
+                5_000,
+                2,
+            );
+        let faulted = run(src, DriverMode::Remote(cfg), traffic, Some(plan));
+        assert_eq!(
+            state_fingerprint(&clean),
+            state_fingerprint(&faulted),
+            "{name}: channel faults leaked into device state"
+        );
+        assert!(
+            faulted.telemetry.counter("control.frames_dropped") > 0,
+            "{name}: the drop rules never fired"
+        );
+        assert!(
+            faulted.telemetry.counter("control.frames_duplicated") > 0,
+            "{name}: the duplicate rules never fired"
+        );
+        // Retransmissions mean strictly more frames than the clean run.
+        assert!(
+            faulted.telemetry.counter("control.frames") > clean.telemetry.counter("control.frames"),
+            "{name}: no retransmitted frames"
+        );
+    }
+}
+
+const COUNTER_P4R: &str = r#"
+header_type h_t { fields { a : 32; } }
+header h_t h;
+register seen { width : 64; instance_count : 4; }
+malleable value knob { width : 32; init : 0; }
+action tally() { count(seen, 0); }
+table t { actions { tally; } default_action : tally(); }
+reaction watch(reg seen[0:0]) { ${knob} = seen[0]; }
+control ingress { apply(t); }
+"#;
+
+#[test]
+fn standby_controller_takes_over_after_channel_severance() {
+    let comp = compile_source(COUNTER_P4R, &CompilerOptions::default()).expect("compiles");
+    let spec = mantis::rmt_sim::load(&comp.p4).expect("loads");
+    let clock = Clock::new();
+    let switch = Rc::new(RefCell::new(Switch::new(
+        spec,
+        SwitchConfig::default(),
+        clock.clone(),
+    )));
+    let plane = ControlPlane::shared(switch.clone(), CostModel::default());
+
+    let lease_ns = 100_000;
+    let chan = ChannelConfig::with_rtt(1_000);
+    let mut primary = Controller::new(ControllerConfig::new(1, lease_ns, chan));
+    let mut standby = Controller::new(ControllerConfig::new(2, lease_ns, chan));
+    primary.add_switch(plane.clone(), comp.clone());
+    standby.add_switch(plane.clone(), comp);
+    let setup =
+        Rc::new(|_i: usize, agent: &mut mantis::MantisAgent| agent.register_all_interpreted());
+    primary.set_agent_setup(setup.clone());
+    standby.set_agent_setup(setup);
+
+    let inject = |n: u64| {
+        let mut sw = switch.borrow_mut();
+        for _ in 0..n {
+            sw.inject(&PacketDesc::new(0).field("h", "a", 7).payload(64));
+        }
+    };
+
+    // Primary boots the switch: first-ever claim → prologue, then reacts.
+    let r = primary.step().expect("primary step");
+    assert!(r.master && r.acquired && r.iterations == 1);
+    inject(3);
+    primary.step().expect("primary step");
+    assert_eq!(primary.agents()[0].slot("knob"), Some(3));
+    assert_eq!(plane.borrow().master().map(|(id, _)| id), Some(1));
+
+    // While the primary's lease is live, the standby is refused.
+    let r = standby.step().expect("standby step");
+    assert!(!r.master && !standby.is_master());
+
+    // Partition the primary: every frame on its channels is dropped. Its
+    // next renewal fails and it stops driving the switch.
+    primary.set_channel_fault_plan(FaultPlan::new().sever_control(0, clock.now()));
+    let r = primary.step().expect("primary step");
+    assert!(!r.master && !primary.is_master());
+
+    // The standby still cannot claim until the lease expires on the
+    // virtual clock…
+    let r = standby.step().expect("standby step");
+    assert!(!r.master);
+    clock.advance(lease_ns + 1);
+
+    // …then its claim is granted with the previous holder reported, so it
+    // adopts the initialised switch instead of re-running the prologue,
+    // and the reactive state re-converges from live measurements.
+    inject(2);
+    let r = standby.step().expect("standby step");
+    assert!(r.master && r.acquired && r.iterations == 1);
+    assert!(standby.is_master());
+    assert_eq!(plane.borrow().master().map(|(id, _)| id), Some(2));
+    assert_eq!(standby.agents()[0].slot("knob"), Some(5));
+
+    // The standby keeps running the dialogue loop.
+    inject(4);
+    standby.step().expect("standby step");
+    assert_eq!(standby.agents()[0].slot("knob"), Some(9));
+
+    // The partitioned ex-primary stays out: its claims cannot reach the
+    // switch at all.
+    let r = primary.step().expect("primary step");
+    assert!(!r.master);
+}
