@@ -29,6 +29,7 @@ const KNOWN: &[&str] = &[
     "rl",
     "telemetry",
     "perf",
+    "parallel",
     "faults",
     "fabric",
     "control",
@@ -301,8 +302,7 @@ fn main() {
         let quick = std::env::var("MANTIS_BENCH_QUICK").is_ok_and(|v| v != "0");
         let r = bench::perf::run(quick);
         save("perf", &r);
-        fs::write("BENCH_perf.json", bench::to_json("perf", &r)).expect("write BENCH_perf.json");
-        eprintln!("(wrote BENCH_perf.json)");
+        merge_bench_perf("data", &r);
         println!(
             "== Perf — fast-path wall-clock throughput ({}) ==",
             if quick { "quick" } else { "full" }
@@ -323,6 +323,44 @@ fn main() {
             r.reactions.vm_runs_per_sec,
             r.reactions.walker_runs_per_sec,
             r.reactions.speedup
+        );
+        println!();
+    }
+
+    if want("parallel") {
+        let quick = std::env::var("MANTIS_BENCH_QUICK").is_ok_and(|v| v != "0");
+        let r = bench::parallel::run(quick);
+        save("parallel", &r);
+        merge_bench_perf("parallel", &r);
+        println!(
+            "== Parallel — epoch-barrier worker pool scaling ({}) ==",
+            if quick { "quick" } else { "full" }
+        );
+        println!(
+            "    {}x{} leaf-spine ({} switches), {} flows, horizon {} ms, host cores {}",
+            r.leaves,
+            r.spines,
+            r.switches,
+            r.flows,
+            r.duration_ns as f64 / 1e6,
+            r.host_cores
+        );
+        for p in &r.points {
+            println!(
+                "    workers {:>2}: speedup {:>5.2}x  ({} work units / {} critical)  \
+                 wall {:>8.1} ms  drains {} ({} parallel)",
+                p.workers,
+                p.speedup,
+                p.work_units,
+                p.critical_units,
+                p.wall_ms,
+                p.drains,
+                p.parallel_drains
+            );
+        }
+        println!(
+            "    fingerprints identical across worker counts: {}",
+            r.identical
         );
         println!();
     }
@@ -439,4 +477,16 @@ fn save<T: serde::Serialize>(name: &str, value: &T) {
     let path = Path::new("results").join(format!("{name}.json"));
     fs::write(&path, bench::to_json(name, value)).expect("write figure data");
     eprintln!("(wrote {})", path.display());
+}
+
+/// Read–modify–write one section of the repo-root `BENCH_perf.json` so
+/// the fast-path and parallel sweeps can coexist in it.
+fn merge_bench_perf<T: serde::Serialize>(section: &str, value: &T) {
+    let existing = fs::read_to_string("BENCH_perf.json").ok();
+    fs::write(
+        "BENCH_perf.json",
+        bench::merge_bench_perf(existing.as_deref(), section, value),
+    )
+    .expect("write BENCH_perf.json");
+    eprintln!("(wrote BENCH_perf.json [{section}])");
 }

@@ -22,12 +22,12 @@ use mantis::p4r_compiler::entry::LogicalKey;
 use mantis::p4r_compiler::{compile_source, Compiled, CompilerOptions};
 use mantis::rmt_sim::PacketDesc;
 use mantis::{
-    Clock, Controller, ControllerConfig, CostModel, FaultPlan, MantisAgent, ReactionCtx, Switch,
-    SwitchConfig, Telemetry,
+    Clock, Controller, ControllerConfig, CostModel, FaultPlan, MantisAgent, ReactionCtx,
+    SharedSwitch, Switch, SwitchConfig, Telemetry,
 };
 use serde::Serialize;
-use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Entries rewritten per dialogue iteration.
 const MODS_PER_ITER: usize = 8;
@@ -94,7 +94,7 @@ pub struct ControlBenchResult {
 
 struct Loop {
     agent: MantisAgent,
-    telemetry: Rc<Telemetry>,
+    telemetry: Arc<Telemetry>,
     clock: Clock,
 }
 
@@ -141,15 +141,11 @@ fn arm_workload(agent: &mut MantisAgent) {
         .expect("reaction registered");
 }
 
-fn build_switch() -> (Rc<RefCell<Switch>>, Clock) {
+fn build_switch() -> (SharedSwitch, Clock) {
     let comp = compiled();
     let spec = mantis::rmt_sim::load(&comp.p4).expect("loads");
     let clock = Clock::new();
-    let switch = Rc::new(RefCell::new(Switch::new(
-        spec,
-        SwitchConfig::default(),
-        clock.clone(),
-    )));
+    let switch = SharedSwitch::new(Switch::new(spec, SwitchConfig::default(), clock.clone()));
     (switch, clock)
 }
 

@@ -23,6 +23,7 @@
 pub mod control;
 pub mod fabric;
 pub mod faults;
+pub mod parallel;
 pub mod perf;
 
 use mantis::apps::{baselines, dos, ecmp, failover, rl, table1 as t1};
@@ -797,9 +798,60 @@ pub fn to_json<T: Serialize>(name: &str, value: &T) -> String {
         .expect("figure data serializes")
 }
 
+/// Merge one section into the repo-root `BENCH_perf.json`, preserving
+/// sections written by other figures (the fast-path sweep writes
+/// `"data"`, the parallel-runtime sweep `"parallel"`). A missing or
+/// unparseable `existing` file starts fresh; `"figure": "perf"` is
+/// always pinned as the first key.
+pub fn merge_bench_perf<T: Serialize>(existing: Option<&str>, section: &str, value: &T) -> String {
+    use serde_json::Value;
+    let mut sections: Vec<(String, Value)> = existing
+        .and_then(|s| serde_json::from_str::<Value>(s).ok())
+        .and_then(|v| v.as_map().map(<[_]>::to_vec))
+        .unwrap_or_default();
+    sections.retain(|(k, _)| k != "figure");
+    let staged = serde_json::to_value(value).expect("figure data serializes");
+    match sections.iter_mut().find(|(k, _)| k == section) {
+        Some((_, slot)) => *slot = staged,
+        None => sections.push((section.to_string(), staged)),
+    }
+    let mut entries = vec![("figure".to_string(), Value::Str("perf".into()))];
+    entries.extend(sections);
+    serde_json::to_string_pretty(&Value::Map(entries)).expect("BENCH_perf.json renders")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_bench_perf_preserves_other_sections() {
+        // Fresh file: figure pinned first, section added.
+        let first = merge_bench_perf(None, "data", &json!({"speedup": 3.0}));
+        let v: serde_json::Value = serde_json::from_str(&first).unwrap();
+        let m = v.as_map().unwrap();
+        assert_eq!(m[0].0, "figure");
+        assert_eq!(m[0].1.as_str(), Some("perf"));
+        assert!(serde::map_get(m, "data").is_some());
+
+        // A second figure merges in without clobbering the first.
+        let merged = merge_bench_perf(Some(&first), "parallel", &json!({"speedup_at_4": 2.9}));
+        let v: serde_json::Value = serde_json::from_str(&merged).unwrap();
+        let m = v.as_map().unwrap();
+        assert!(serde::map_get(m, "data").is_some(), "perf section lost");
+        assert!(serde::map_get(m, "parallel").is_some());
+
+        // Re-writing a section replaces it in place.
+        let rewritten = merge_bench_perf(Some(&merged), "data", &json!({"speedup": 4.0}));
+        let v: serde_json::Value = serde_json::from_str(&rewritten).unwrap();
+        let m = v.as_map().unwrap();
+        assert_eq!(m.iter().filter(|(k, _)| k == "data").count(), 1);
+        assert!(serde::map_get(m, "parallel").is_some());
+
+        // Garbage input starts fresh instead of panicking.
+        let fresh = merge_bench_perf(Some("not json"), "parallel", &json!({}));
+        assert!(serde_json::from_str::<serde_json::Value>(&fresh).is_ok());
+    }
 
     #[test]
     fn fig10a_shapes() {

@@ -37,12 +37,13 @@ use p4r_compiler::entry::{expand_entry, ExpandError, PhysEntry, PhysKey};
 use p4r_compiler::iface::{ControlInterface, ReactionBinding, TableInfo};
 use p4r_compiler::Compiled;
 use reaction_interp::{CompiledReaction, InterpError, Interpreter};
-use rmt_sim::{Clock, DriverError, EntryHandle, KeyField, Nanos, PortId, ReadAgg, Switch, TableId};
-use std::cell::RefCell;
+use rmt_sim::{
+    Clock, DriverError, EntryHandle, KeyField, Nanos, PortId, ReadAgg, SharedSwitch, TableId,
+};
 use std::collections::HashMap;
 use std::fmt;
 use std::ops::Range;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Which part of the agent's lifecycle an error surfaced in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -396,7 +397,7 @@ pub struct MantisAgent {
     /// Set once any breaker ever trips; gates the degraded-mode gauges so
     /// fault-free runs record nothing extra (telemetry determinism).
     had_quarantine: bool,
-    telemetry: Rc<Telemetry>,
+    telemetry: Arc<Telemetry>,
     last_report: IterationReport,
     prologue_done: bool,
 }
@@ -454,7 +455,7 @@ impl MantisAgent {
     /// # Panics
     /// Panics if the switch was not loaded with the same compiled program
     /// (tables/actions referenced by the interface must exist).
-    pub fn new(switch: Rc<RefCell<Switch>>, compiled: &Compiled, cost: CostModel) -> Self {
+    pub fn new(switch: SharedSwitch, compiled: &Compiled, cost: CostModel) -> Self {
         Self::with_driver(compiled, Box::new(LocalDriver::new(switch, cost)))
     }
 
@@ -471,7 +472,7 @@ impl MantisAgent {
         // Every agent owns an (enabled) telemetry handle so that stats
         // are always registry-sourced; `set_telemetry` swaps in a
         // shared handle when the caller wants the full trace.
-        let telemetry = Rc::new(Telemetry::new(TelemetryConfig::default()));
+        let telemetry = Arc::new(Telemetry::new(TelemetryConfig::default()));
         driver.set_telemetry(telemetry.clone());
 
         let master = iface
@@ -615,12 +616,12 @@ impl MantisAgent {
 
     /// Share a telemetry handle (e.g. the testbed-wide one). The driver
     /// is re-pointed too. Counters accumulated so far are not migrated.
-    pub fn set_telemetry(&mut self, telemetry: Rc<Telemetry>) {
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
         self.driver.set_telemetry(telemetry.clone());
         self.telemetry = telemetry;
     }
 
-    pub fn telemetry(&self) -> &Rc<Telemetry> {
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
     }
 

@@ -18,7 +18,7 @@ use rmt_sim::{
     ActionId, Clock, DriverError, EntryHandle, KeyField, Nanos, RegisterId, Switch, TableId,
 };
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Memoization key: which device-instruction templates have been computed.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -50,7 +50,7 @@ pub struct MantisDriver {
     lock_start: Nanos,
     lock_until: Nanos,
     pub stats: DriverStats,
-    telemetry: Rc<Telemetry>,
+    telemetry: Arc<Telemetry>,
     injector: Option<FaultInjector>,
     /// Fabric switch this driver controls (`None` on single-switch
     /// testbeds); fault injectors inherit it so `FaultRule::on_switch`
@@ -81,7 +81,7 @@ impl MantisDriver {
     /// Route per-op accounting into a shared telemetry handle: each op
     /// records a `Scope::Driver` span plus a `driver.<op>_ns` histogram
     /// sample and a `driver.<op>_calls` counter.
-    pub fn set_telemetry(&mut self, telemetry: Rc<Telemetry>) {
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
         self.telemetry = telemetry;
     }
 

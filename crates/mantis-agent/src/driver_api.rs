@@ -21,11 +21,10 @@ use mantis_telemetry::Telemetry;
 use p4_ast::Value;
 use rmt_sim::{
     ActionId, Clock, DataPlaneSpec, DriverError, EntryHandle, KeyField, Nanos, PortId, ReadAgg,
-    RegisterId, Switch, TableCheckpoint, TableId,
+    RegisterId, SharedSwitch, TableCheckpoint, TableId,
 };
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Opaque handle to a server-held table checkpoint. The checkpoint bytes
 /// never cross the driver API (remotely they would have to cross the
@@ -193,7 +192,7 @@ pub trait DriverApi {
 
     fn fabric_index(&self) -> Option<u16>;
 
-    fn set_telemetry(&mut self, telemetry: Rc<Telemetry>);
+    fn set_telemetry(&mut self, telemetry: Arc<Telemetry>);
 
     /// Cumulative device-driver statistics.
     fn stats(&self) -> DriverStats;
@@ -214,7 +213,7 @@ pub trait DriverApi {
 #[derive(Debug)]
 pub struct LocalDriver {
     inner: MantisDriver,
-    switch: Rc<RefCell<Switch>>,
+    switch: SharedSwitch,
     /// Client-side spec copy so metadata lookups never borrow the switch.
     spec: DataPlaneSpec,
     num_pipes: u16,
@@ -223,7 +222,7 @@ pub struct LocalDriver {
 }
 
 impl LocalDriver {
-    pub fn new(switch: Rc<RefCell<Switch>>, cost: CostModel) -> Self {
+    pub fn new(switch: SharedSwitch, cost: CostModel) -> Self {
         let clock = switch.borrow().clock().clone();
         let (spec, num_pipes) = {
             let sw = switch.borrow();
@@ -421,7 +420,7 @@ impl DriverApi for LocalDriver {
         self.inner.fabric_index()
     }
 
-    fn set_telemetry(&mut self, telemetry: Rc<Telemetry>) {
+    fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
         self.inner.set_telemetry(telemetry);
     }
 

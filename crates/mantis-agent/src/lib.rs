@@ -46,7 +46,7 @@ mod tests {
     use p4_ast::{Pipeline, Value};
     use p4r_compiler::entry::LogicalKey;
     use p4r_compiler::{compile_source, CompilerOptions};
-    use rmt_sim::{Clock, PacketDesc, Switch, SwitchConfig};
+    use rmt_sim::{Clock, PacketDesc, SharedSwitch, Switch, SwitchConfig};
     use std::cell::RefCell;
     use std::rc::Rc;
 
@@ -87,21 +87,17 @@ control ingress {
 }
 "#;
 
-    fn build() -> (Rc<RefCell<Switch>>, MantisAgent, Clock) {
+    fn build() -> (SharedSwitch, MantisAgent, Clock) {
         let compiled = compile_source(PROGRAM, &CompilerOptions::default()).unwrap();
         let clock = Clock::new();
         let spec = rmt_sim::load(&compiled.p4).unwrap();
-        let switch = Rc::new(RefCell::new(Switch::new(
-            spec,
-            SwitchConfig::default(),
-            clock.clone(),
-        )));
+        let switch = SharedSwitch::new(Switch::new(spec, SwitchConfig::default(), clock.clone()));
         let mut agent = MantisAgent::new(switch.clone(), &compiled, CostModel::default());
         agent.prologue().unwrap();
         (switch, agent, clock)
     }
 
-    fn inject(sw: &Rc<RefCell<Switch>>, src: u128, dst: u128) -> bool {
+    fn inject(sw: &SharedSwitch, src: u128, dst: u128) -> bool {
         sw.borrow_mut().inject(
             &PacketDesc::new(1)
                 .field("ip", "src", src)
@@ -348,7 +344,7 @@ control ingress {
             .unwrap();
         let handle = *h.borrow();
 
-        let port_of = |sw: &Rc<RefCell<Switch>>| {
+        let port_of = |sw: &SharedSwitch| {
             let mut swm = sw.borrow_mut();
             let phv = PacketDesc::new(1)
                 .field("ip", "src", 5)
@@ -398,11 +394,7 @@ control ingress { apply(blocklist); apply(adjust); }
         );
         let clock = Clock::new();
         let spec = rmt_sim::load(&compiled.p4).unwrap();
-        let switch = Rc::new(RefCell::new(Switch::new(
-            spec,
-            SwitchConfig::default(),
-            clock.clone(),
-        )));
+        let switch = SharedSwitch::new(Switch::new(spec, SwitchConfig::default(), clock.clone()));
         let mut agent = MantisAgent::new(switch.clone(), &compiled, CostModel::default());
         agent.prologue().unwrap();
 
@@ -506,11 +498,7 @@ control ingress { apply(acl); }
         let compiled = compile_source(src, &CompilerOptions::default()).unwrap();
         let clock = Clock::new();
         let spec = rmt_sim::load(&compiled.p4).unwrap();
-        let switch = Rc::new(RefCell::new(Switch::new(
-            spec,
-            SwitchConfig::default(),
-            clock.clone(),
-        )));
+        let switch = SharedSwitch::new(Switch::new(spec, SwitchConfig::default(), clock.clone()));
         let mut agent = MantisAgent::new(switch.clone(), &compiled, CostModel::default());
         agent.prologue().unwrap();
         agent.register_all_interpreted().unwrap();

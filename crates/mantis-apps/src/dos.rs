@@ -13,7 +13,7 @@ use netsim::{spawn_tcp, spawn_udp, BucketSeries, Simulator, TcpConfig, TcpState,
 use p4_ast::Value;
 use p4r_compiler::entry::LogicalKey;
 use p4r_compiler::{compile_source, CompilerOptions};
-use rmt_sim::{Clock, Nanos, Switch, SwitchConfig};
+use rmt_sim::{Clock, Nanos, SharedSwitch, Switch, SwitchConfig};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -119,7 +119,7 @@ pub fn build_testbed(
     let compiled = compile_source(DOS_P4R, &CompilerOptions::default()).expect("DOS_P4R compiles");
     let clock = Clock::new();
     let spec = rmt_sim::load(&compiled.p4).expect("DOS_P4R loads");
-    let switch = Rc::new(RefCell::new(Switch::new(spec, switch_cfg, clock)));
+    let switch = SharedSwitch::new(Switch::new(spec, switch_cfg, clock));
     let mut agent = MantisAgent::new(switch.clone(), &compiled, CostModel::default());
     agent.prologue().expect("prologue");
 

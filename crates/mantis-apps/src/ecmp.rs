@@ -11,7 +11,7 @@ use crate::programs::ECMP_P4R;
 use mantis_agent::{CostModel, CtxError, MantisAgent, ReactionCtx};
 use netsim::{mean, mean_abs_dev, Simulator, UdpConfig};
 use p4r_compiler::{compile_source, CompilerOptions};
-use rmt_sim::{Clock, Nanos, Switch, SwitchConfig};
+use rmt_sim::{Clock, Nanos, SharedSwitch, Switch, SwitchConfig};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -116,11 +116,7 @@ pub fn build_testbed() -> EcmpTestbed {
         compile_source(ECMP_P4R, &CompilerOptions::default()).expect("ECMP_P4R compiles");
     let clock = Clock::new();
     let spec = rmt_sim::load(&compiled.p4).expect("loads");
-    let switch = Rc::new(RefCell::new(Switch::new(
-        spec,
-        SwitchConfig::default(),
-        clock,
-    )));
+    let switch = SharedSwitch::new(Switch::new(spec, SwitchConfig::default(), clock));
     let mut agent = MantisAgent::new(switch.clone(), &compiled, CostModel::default());
     agent.prologue().expect("prologue");
     let rb = Rebalancer::new();
@@ -305,11 +301,7 @@ mod tests {
         let compiled = compile_source(ECMP_P4R, &CompilerOptions::default()).unwrap();
         let clock = Clock::new();
         let spec = rmt_sim::load(&compiled.p4).unwrap();
-        let switch = Rc::new(RefCell::new(Switch::new(
-            spec,
-            SwitchConfig::default(),
-            clock,
-        )));
+        let switch = SharedSwitch::new(Switch::new(spec, SwitchConfig::default(), clock));
         let mut agent = MantisAgent::new(switch.clone(), &compiled, CostModel::default());
         agent.prologue().unwrap();
         agent.register_all_interpreted().unwrap();

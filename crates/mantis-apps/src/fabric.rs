@@ -30,7 +30,7 @@ use netsim::{
 use p4_ast::Value;
 use p4r_compiler::entry::LogicalKey;
 use p4r_compiler::{compile_source, CompilerOptions};
-use rmt_sim::{Clock, Nanos, PortId, Switch, SwitchConfig};
+use rmt_sim::{Clock, Nanos, PortId, SharedSwitch, Switch, SwitchConfig};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -122,11 +122,7 @@ pub fn build_failover_fabric(
 
     for i in 0..leaves {
         let spec = rmt_sim::load(&leaf_compiled.p4).expect("leaf spec loads");
-        let switch = Rc::new(RefCell::new(Switch::new(
-            spec,
-            SwitchConfig::default(),
-            clock.clone(),
-        )));
+        let switch = SharedSwitch::new(Switch::new(spec, SwitchConfig::default(), clock.clone()));
         switch.borrow_mut().set_fabric_index(Some(i as u16));
         let mut agent = MantisAgent::new(switch.clone(), &leaf_compiled, CostModel::default());
         agent.set_fabric_index(Some(i as u16));
@@ -184,11 +180,7 @@ pub fn build_failover_fabric(
     for j in 0..spines {
         let fab = (leaves + j) as u16;
         let spec = rmt_sim::load(&spine_compiled.p4).expect("spine spec loads");
-        let switch = Rc::new(RefCell::new(Switch::new(
-            spec,
-            SwitchConfig::default(),
-            clock.clone(),
-        )));
+        let switch = SharedSwitch::new(Switch::new(spec, SwitchConfig::default(), clock.clone()));
         switch.borrow_mut().set_fabric_index(Some(fab));
         let mut agent = MantisAgent::new(switch.clone(), &spine_compiled, CostModel::default());
         agent.set_fabric_index(Some(fab));
@@ -429,11 +421,7 @@ pub fn run_fabric_ecmp(flows: usize, duration_ns: Nanos) -> FabricEcmpOutcome {
     // uplinks — ports 4..8 — so no routes are needed).
     {
         let spec = rmt_sim::load(&ecmp_compiled.p4).expect("ecmp spec loads");
-        let switch = Rc::new(RefCell::new(Switch::new(
-            spec,
-            SwitchConfig::default(),
-            clock.clone(),
-        )));
+        let switch = SharedSwitch::new(Switch::new(spec, SwitchConfig::default(), clock.clone()));
         switch.borrow_mut().set_fabric_index(Some(0));
         let mut agent = MantisAgent::new(switch.clone(), &ecmp_compiled, CostModel::default());
         agent.prologue().expect("ecmp prologue");
@@ -442,11 +430,7 @@ pub fn run_fabric_ecmp(flows: usize, duration_ns: Nanos) -> FabricEcmpOutcome {
     // Leaf 1: the receiver; its local subnet exits at the host port.
     {
         let spec = rmt_sim::load(&leaf_compiled.p4).expect("leaf spec loads");
-        let switch = Rc::new(RefCell::new(Switch::new(
-            spec,
-            SwitchConfig::default(),
-            clock.clone(),
-        )));
+        let switch = SharedSwitch::new(Switch::new(spec, SwitchConfig::default(), clock.clone()));
         switch.borrow_mut().set_fabric_index(Some(1));
         let mut agent = MantisAgent::new(switch.clone(), &leaf_compiled, CostModel::default());
         agent.prologue().expect("leaf prologue");
@@ -470,11 +454,7 @@ pub fn run_fabric_ecmp(flows: usize, duration_ns: Nanos) -> FabricEcmpOutcome {
     // Spines: route leaf 1's prefix down its link.
     for j in 0..spines {
         let spec = rmt_sim::load(&spine_compiled.p4).expect("spine spec loads");
-        let switch = Rc::new(RefCell::new(Switch::new(
-            spec,
-            SwitchConfig::default(),
-            clock.clone(),
-        )));
+        let switch = SharedSwitch::new(Switch::new(spec, SwitchConfig::default(), clock.clone()));
         switch
             .borrow_mut()
             .set_fabric_index(Some((leaves + j) as u16));

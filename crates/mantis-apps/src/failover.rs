@@ -14,7 +14,7 @@ use netsim::{spawn_heartbeats, HeartbeatConfig, Simulator};
 use p4_ast::Value;
 use p4r_compiler::entry::LogicalKey;
 use p4r_compiler::{compile_source, CompilerOptions};
-use rmt_sim::{Clock, Nanos, PortId, Switch, SwitchConfig};
+use rmt_sim::{Clock, Nanos, PortId, SharedSwitch, Switch, SwitchConfig};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -217,11 +217,7 @@ pub fn build_testbed(topo: Topology, ts_ns: Nanos, eta: f64) -> FailoverTestbed 
         compile_source(FAILOVER_P4R, &CompilerOptions::default()).expect("FAILOVER_P4R compiles");
     let clock = Clock::new();
     let spec = rmt_sim::load(&compiled.p4).expect("loads");
-    let switch = Rc::new(RefCell::new(Switch::new(
-        spec,
-        SwitchConfig::default(),
-        clock,
-    )));
+    let switch = SharedSwitch::new(Switch::new(spec, SwitchConfig::default(), clock));
     let mut agent = MantisAgent::new(switch.clone(), &compiled, CostModel::default());
     agent.prologue().expect("prologue");
 
@@ -474,11 +470,7 @@ mod tests {
         let compiled = compile_source(FAILOVER_P4R, &CompilerOptions::default()).unwrap();
         let clock = Clock::new();
         let spec = rmt_sim::load(&compiled.p4).unwrap();
-        let switch = Rc::new(RefCell::new(Switch::new(
-            spec,
-            SwitchConfig::default(),
-            clock,
-        )));
+        let switch = SharedSwitch::new(Switch::new(spec, SwitchConfig::default(), clock));
         let mut agent = MantisAgent::new(switch.clone(), &compiled, CostModel::default());
         agent.prologue().unwrap();
         agent.register_all_interpreted().unwrap();

@@ -15,7 +15,7 @@ use netsim::{spawn_tcp, Simulator, TcpConfig, TcpState};
 use p4r_compiler::{compile_source, CompilerOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rmt_sim::{Clock, Nanos, Switch, SwitchConfig};
+use rmt_sim::{Clock, Nanos, SharedSwitch, Switch, SwitchConfig};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -168,7 +168,7 @@ pub fn build_testbed(n_flows: usize, seed: u64, learner: Option<QLearner>) -> Rl
     switch
         .bind_queue_depth_register("qdepths")
         .expect("qdepths register");
-    let switch = Rc::new(RefCell::new(switch));
+    let switch = SharedSwitch::new(switch);
     let mut agent = MantisAgent::new(switch.clone(), &compiled, CostModel::default());
     agent.prologue().expect("prologue");
     let learner = learner.unwrap_or_else(|| QLearner::new(seed, line_rate));
@@ -391,7 +391,7 @@ mod tests {
             clock,
         );
         switch.bind_queue_depth_register("qdepths").unwrap();
-        let switch = Rc::new(RefCell::new(switch));
+        let switch = SharedSwitch::new(switch);
         let mut agent = MantisAgent::new(switch.clone(), &compiled, CostModel::default());
         agent.prologue().unwrap();
         agent.register_all_interpreted().unwrap();

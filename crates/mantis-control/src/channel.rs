@@ -29,6 +29,7 @@ use mantis_telemetry::{scopes, Telemetry};
 use rmt_sim::{Clock, DriverError, Nanos};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Latency/bandwidth/reliability parameters of one control channel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,7 +82,7 @@ pub struct Channel {
     plane: Rc<RefCell<ControlPlane>>,
     client: u16,
     next_seq: u64,
-    telemetry: Rc<Telemetry>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl Channel {
@@ -112,7 +113,7 @@ impl Channel {
         self.client
     }
 
-    pub fn set_telemetry(&mut self, telemetry: Rc<Telemetry>) {
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
         self.telemetry = telemetry;
     }
 

@@ -28,6 +28,7 @@ use p4r_compiler::Compiled;
 use rmt_sim::{DriverError, Nanos};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Controller identity and timing parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -82,7 +83,7 @@ pub struct Controller {
     is_master: bool,
     fault_plan: Option<FaultPlan>,
     setup: Option<Rc<AgentSetup>>,
-    telemetry: Option<Rc<Telemetry>>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Controller {
@@ -130,7 +131,7 @@ impl Controller {
     }
 
     /// Share a telemetry registry with agents built at acquisition time.
-    pub fn set_telemetry(&mut self, telemetry: Rc<Telemetry>) {
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
         self.telemetry = Some(telemetry);
     }
 

@@ -45,7 +45,7 @@ pub use wire::{
 
 use mantis_agent::{CostModel, MantisAgent};
 use p4r_compiler::Compiled;
-use rmt_sim::Switch;
+use rmt_sim::SharedSwitch;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -58,7 +58,7 @@ use std::rc::Rc;
 /// path (`agent.prologue()`), so construction order matches
 /// `Fabric::with_config`.
 pub fn remote_agent(
-    switch: Rc<RefCell<Switch>>,
+    switch: SharedSwitch,
     compiled: &Compiled,
     cost: CostModel,
     cfg: ChannelConfig,

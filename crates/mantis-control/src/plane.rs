@@ -26,10 +26,11 @@ use crate::wire::{
 };
 use mantis_agent::{CostModel, DriverApi, LocalDriver};
 use mantis_telemetry::{scopes, Telemetry};
-use rmt_sim::{Clock, Nanos, Switch};
+use rmt_sim::{Clock, Nanos, SharedSwitch};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Cached responses retained per client for duplicate suppression. The
 /// channel's retry budget is far below this, so a retransmission always
@@ -39,7 +40,7 @@ const DEDUP_WINDOW: usize = 32;
 /// The device-side endpoint: decodes frames onto a [`LocalDriver`].
 pub struct ControlPlane {
     driver: LocalDriver,
-    telemetry: Rc<Telemetry>,
+    telemetry: Arc<Telemetry>,
     next_client: u16,
     dedup: HashMap<(u16, u64), Vec<u8>>,
     dedup_order: HashMap<u16, VecDeque<u64>>,
@@ -50,7 +51,7 @@ pub struct ControlPlane {
 }
 
 impl ControlPlane {
-    pub fn new(switch: Rc<RefCell<Switch>>, cost: CostModel) -> Self {
+    pub fn new(switch: SharedSwitch, cost: CostModel) -> Self {
         ControlPlane {
             driver: LocalDriver::new(switch, cost),
             telemetry: Telemetry::disabled(),
@@ -64,7 +65,7 @@ impl ControlPlane {
     }
 
     /// Wrap the plane for sharing with channels and a remote driver.
-    pub fn shared(switch: Rc<RefCell<Switch>>, cost: CostModel) -> Rc<RefCell<Self>> {
+    pub fn shared(switch: SharedSwitch, cost: CostModel) -> Rc<RefCell<Self>> {
         Rc::new(RefCell::new(ControlPlane::new(switch, cost)))
     }
 
@@ -90,7 +91,7 @@ impl ControlPlane {
         id
     }
 
-    pub fn set_telemetry(&mut self, telemetry: Rc<Telemetry>) {
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
         self.driver.set_telemetry(telemetry.clone());
         self.telemetry = telemetry;
     }

@@ -42,6 +42,7 @@ use rmt_sim::{
 };
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// How a batch send failed.
 enum SendFailure {
@@ -63,7 +64,7 @@ pub struct RemoteDriver {
     clock: Clock,
     pending: Vec<DriverOp>,
     batching: bool,
-    telemetry: Rc<Telemetry>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl RemoteDriver {
@@ -445,7 +446,7 @@ impl DriverApi for RemoteDriver {
         self.plane.borrow().driver().fabric_index()
     }
 
-    fn set_telemetry(&mut self, telemetry: Rc<Telemetry>) {
+    fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
         self.channel.set_telemetry(telemetry.clone());
         self.plane.borrow_mut().set_telemetry(telemetry.clone());
         self.telemetry = telemetry;

@@ -20,14 +20,17 @@
 //!   per-op histograms, so a single trace shows where a reaction
 //!   window went.
 //!
-//! The handle is `Rc`-shared and internally `RefCell`'d, matching the
-//! single-threaded simulator design of `rmt-sim`.
+//! The handle is `Arc`-shared and internally mutexed, so the deterministic
+//! parallel fabric executor (DESIGN.md §12) can hand worker threads
+//! per-shard *staging* handles ([`Telemetry::staging`]) and merge them
+//! back into the main registry in canonical shard order at each epoch
+//! barrier ([`Telemetry::merge_from`]) — trace bytes stay identical to a
+//! sequential run at any worker count.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Virtual-clock timestamp, nanoseconds. Mirrors `rmt_sim::Nanos`
 /// without depending on it (this crate sits below the whole stack).
@@ -277,6 +280,19 @@ impl Histogram {
         self.max = self.max.max(v);
     }
 
+    /// Fold another histogram into this one (bucket-wise). Histograms are
+    /// distributions, so merging is commutative — the epoch-barrier merge
+    /// still applies shards in canonical order for uniformity.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     pub fn count(&self) -> u64 {
         self.count
     }
@@ -367,39 +383,118 @@ struct Inner {
     hists: BTreeMap<String, Histogram>,
 }
 
-/// The shared telemetry handle. Clone the `Rc` freely; all methods
+/// The shared telemetry handle. Clone the `Arc` freely; all methods
 /// take `&self`.
 #[derive(Debug, Default)]
 pub struct Telemetry {
-    inner: RefCell<Inner>,
+    inner: Mutex<Inner>,
 }
 
 impl Telemetry {
     pub fn new(config: TelemetryConfig) -> Self {
         Telemetry {
-            inner: RefCell::new(Inner {
+            inner: Mutex::new(Inner {
                 config,
                 ..Inner::default()
             }),
         }
     }
 
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// An enabled handle with default config, ready to share.
-    pub fn shared() -> Rc<Telemetry> {
-        Rc::new(Telemetry::new(TelemetryConfig::default()))
+    pub fn shared() -> Arc<Telemetry> {
+        Arc::new(Telemetry::new(TelemetryConfig::default()))
     }
 
     /// A handle that records nothing (the default for components whose
     /// caller did not ask for telemetry).
-    pub fn disabled() -> Rc<Telemetry> {
-        Rc::new(Telemetry::new(TelemetryConfig {
+    pub fn disabled() -> Arc<Telemetry> {
+        Arc::new(Telemetry::new(TelemetryConfig {
             enabled: false,
             trace_capacity: 0,
         }))
     }
 
+    /// A fresh per-shard staging handle mirroring this handle's master
+    /// switch: enabled iff `self` is, with an effectively unbounded ring so
+    /// *which* events get dropped stays a property of the main ring's
+    /// capacity, not of how the epoch was sharded. Worker threads record
+    /// into their shard's staging handle; the coordinator folds the
+    /// buffers back in canonical shard order with [`Telemetry::merge_from`].
+    pub fn staging(&self) -> Arc<Telemetry> {
+        let enabled = self.is_enabled();
+        Arc::new(Telemetry::new(TelemetryConfig {
+            enabled,
+            trace_capacity: if enabled { usize::MAX } else { 0 },
+        }))
+    }
+
+    /// Drain `staged` (a buffer produced via [`Telemetry::staging`]) into
+    /// this handle: trace events are appended in their recorded order
+    /// (subject to this handle's ring capacity, exactly as if they had
+    /// been recorded here directly), counters add, gauges take the staged
+    /// final value, and histograms fold bucket-wise. Calling this for
+    /// every shard in canonical `(switch, pipe)` order reproduces the
+    /// byte-exact sequential recording order.
+    pub fn merge_from(&self, staged: &Telemetry) {
+        let mut src = staged.lock();
+        if !src.config.enabled {
+            return;
+        }
+        let events: Vec<Event> = src.events.drain(..).collect();
+        let counters = std::mem::take(&mut src.counters);
+        let gauges = std::mem::take(&mut src.gauges);
+        let hists = std::mem::take(&mut src.hists);
+        let dropped = std::mem::take(&mut src.events_dropped);
+        drop(src);
+        {
+            let mut dst = self.lock();
+            if !dst.config.enabled {
+                return;
+            }
+            // Staging rings are unbounded, so `dropped` is 0 in practice;
+            // carry it anyway so accounting can never lose events silently.
+            dst.events_dropped += dropped;
+            for ev in events {
+                if dst.events.len() >= dst.config.trace_capacity {
+                    dst.events.pop_front();
+                    dst.events_dropped += 1;
+                }
+                if dst.config.trace_capacity > 0 {
+                    dst.events.push_back(ev);
+                } else {
+                    dst.events_dropped += 1;
+                }
+            }
+            for (name, delta) in counters {
+                match dst.counters.get_mut(&name) {
+                    Some(v) => *v += delta,
+                    None => {
+                        dst.counters.insert(name, delta);
+                    }
+                }
+            }
+            for (name, value) in gauges {
+                dst.gauges.insert(name, value);
+            }
+            for (name, h) in hists {
+                match dst.hists.get_mut(&name) {
+                    Some(existing) => existing.merge(&h),
+                    None => {
+                        dst.hists.insert(name, h);
+                    }
+                }
+            }
+        }
+    }
+
     pub fn is_enabled(&self) -> bool {
-        self.inner.borrow().config.enabled
+        self.lock().config.enabled
     }
 
     // -- tracer ------------------------------------------------------------
@@ -436,7 +531,7 @@ impl Telemetry {
     }
 
     fn push(&self, ev: Event) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         if !inner.config.enabled {
             return;
         }
@@ -454,7 +549,7 @@ impl Telemetry {
     // -- metrics registry --------------------------------------------------
 
     pub fn counter_add(&self, name: &str, delta: i128) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         if !inner.config.enabled {
             return;
         }
@@ -467,7 +562,7 @@ impl Telemetry {
     }
 
     pub fn gauge_set(&self, name: &str, value: i128) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         if !inner.config.enabled {
             return;
         }
@@ -480,7 +575,7 @@ impl Telemetry {
     }
 
     pub fn hist_record(&self, name: &str, value: u64) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         if !inner.config.enabled {
             return;
         }
@@ -500,7 +595,7 @@ impl Telemetry {
     /// vs scalar updates all show up as separate histograms).
     pub fn driver_op(&self, op: &str, cost_ns: Nanos) {
         {
-            let inner = self.inner.borrow();
+            let inner = self.lock();
             if !inner.config.enabled {
                 return;
             }
@@ -510,16 +605,15 @@ impl Telemetry {
     }
 
     pub fn counter(&self, name: &str) -> i128 {
-        self.inner.borrow().counters.get(name).copied().unwrap_or(0)
+        self.lock().counters.get(name).copied().unwrap_or(0)
     }
 
     pub fn gauge(&self, name: &str) -> i128 {
-        self.inner.borrow().gauges.get(name).copied().unwrap_or(0)
+        self.lock().gauges.get(name).copied().unwrap_or(0)
     }
 
     pub fn hist_quantile(&self, name: &str, q: f64) -> u64 {
-        self.inner
-            .borrow()
+        self.lock()
             .hists
             .get(name)
             .map(|h| h.quantile(q))
@@ -527,7 +621,7 @@ impl Telemetry {
     }
 
     pub fn snapshot(&self) -> Snapshot {
-        let inner = self.inner.borrow();
+        let inner = self.lock();
         Snapshot {
             counters: inner.counters.clone(),
             gauges: inner.gauges.clone(),
@@ -543,7 +637,7 @@ impl Telemetry {
 
     /// Drop all recorded events and metrics (config is kept).
     pub fn reset(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.events.clear();
         inner.events_dropped = 0;
         inner.counters.clear();
@@ -558,7 +652,7 @@ impl Telemetry {
     /// are virtual-clock microseconds with nanosecond fractions;
     /// output is byte-deterministic for a given event sequence.
     pub fn chrome_trace_json(&self) -> String {
-        let inner = self.inner.borrow();
+        let inner = self.lock();
         let mut out = String::new();
         out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
         let mut first = true;
@@ -799,5 +893,71 @@ mod tests {
         assert!(json.contains("\"driver.register_read_ns\""));
         assert!(json.contains("\"p99\""));
         assert_eq!(tel.counter("driver.register_read_calls"), 100);
+    }
+
+    #[test]
+    fn staging_merge_in_order_matches_direct_recording() {
+        // Recording directly vs recording into two stagings merged in
+        // canonical order must produce byte-identical exports.
+        let direct = Telemetry::new(TelemetryConfig::default());
+        direct.instant(Scope::Switch, "a", 10, &[("sw", 0)]);
+        direct.counter_add("switch.tx", 3);
+        direct.gauge_set("tm.q0_depth_bytes", 64);
+        direct.instant(Scope::Switch, "b", 20, &[("sw", 1)]);
+        direct.counter_add("switch.tx", 5);
+        direct.gauge_set("tm.q0_depth_bytes", 128);
+        direct.hist_record("lat", 100);
+        direct.hist_record("lat", 200);
+
+        let merged = Telemetry::new(TelemetryConfig::default());
+        let s0 = merged.staging();
+        let s1 = merged.staging();
+        s0.instant(Scope::Switch, "a", 10, &[("sw", 0)]);
+        s0.counter_add("switch.tx", 3);
+        s0.gauge_set("tm.q0_depth_bytes", 64);
+        s0.hist_record("lat", 100);
+        s1.instant(Scope::Switch, "b", 20, &[("sw", 1)]);
+        s1.counter_add("switch.tx", 5);
+        s1.gauge_set("tm.q0_depth_bytes", 128);
+        s1.hist_record("lat", 200);
+        merged.merge_from(&s0);
+        merged.merge_from(&s1);
+
+        assert_eq!(direct.chrome_trace_json(), merged.chrome_trace_json());
+        assert_eq!(direct.snapshot_json(), merged.snapshot_json());
+        // Gauge takes the later shard's final value (serial last-writer).
+        assert_eq!(merged.gauge("tm.q0_depth_bytes"), 128);
+        assert_eq!(merged.counter("switch.tx"), 8);
+    }
+
+    #[test]
+    fn staging_of_disabled_handle_records_nothing() {
+        let main = Telemetry::disabled();
+        let s = main.staging();
+        assert!(!s.is_enabled());
+        s.instant(Scope::Switch, "a", 10, &[]);
+        s.counter_add("c", 1);
+        main.merge_from(&s);
+        assert_eq!(main.counter("c"), 0);
+    }
+
+    #[test]
+    fn merge_respects_destination_ring_capacity() {
+        let main = Telemetry::new(TelemetryConfig {
+            enabled: true,
+            trace_capacity: 2,
+        });
+        let s = main.staging();
+        for t in 0..5 {
+            s.instant(Scope::Switch, "e", t, &[]);
+        }
+        main.merge_from(&s);
+        let snap = main.snapshot();
+        assert_eq!(snap.events_buffered, 2);
+        assert_eq!(snap.events_dropped, 3);
+        // Ring keeps the most recent events, same as direct recording.
+        let trace = main.chrome_trace_json();
+        assert!(trace.contains("\"ts\":0.004"));
+        assert!(!trace.contains("\"ts\":0.000,"));
     }
 }

@@ -56,11 +56,12 @@ pub use mantis_faults::{
 pub use mantis_telemetry::{Scope, Telemetry, TelemetryConfig};
 pub use netsim::{Endpoint, Link, Topology};
 pub use p4r_compiler::{compile_source, CompileError, Compiled, CompilerOptions};
-pub use rmt_sim::{Clock, Switch, SwitchConfig};
+pub use rmt_sim::{Clock, SharedSwitch, Switch, SwitchConfig};
 
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Everything wired together: a compiled program loaded into a simulated
 /// switch, a Mantis agent attached to it (prologue already run), and a
@@ -71,7 +72,7 @@ pub struct Testbed {
     pub agent: Rc<RefCell<MantisAgent>>,
     /// Shared observability handle: the agent, driver, switch, and flow
     /// sources all record into this one registry/tracer.
-    pub telemetry: Rc<Telemetry>,
+    pub telemetry: Arc<Telemetry>,
     /// The switch-side control-plane endpoint when the agent drives the
     /// switch remotely ([`DriverMode::Remote`]); `None` on a local driver.
     pub plane: Option<Rc<RefCell<ControlPlane>>>,
@@ -162,6 +163,20 @@ pub fn pipes_from_env() -> u16 {
 pub fn switches_from_env() -> u16 {
     let raw = std::env::var("MANTIS_SWITCHES").ok();
     parse_env_count("MANTIS_SWITCHES", raw.as_deref(), 1)
+}
+
+/// Pump worker count requested via the `MANTIS_WORKERS` environment
+/// variable — the parallel-runtime sibling of [`pipes_from_env`] /
+/// [`switches_from_env`]. Defaults to the host's available parallelism
+/// when unset (so a multi-core machine shards by default), and to that
+/// same default with a warning when malformed or zero. The simulator
+/// clamps further to the switch count; 1 disables the pool entirely.
+pub fn workers_from_env() -> u16 {
+    let raw = std::env::var("MANTIS_WORKERS").ok();
+    let default = std::thread::available_parallelism()
+        .map(|n| n.get().min(usize::from(MAX_ENV_COUNT)) as u16)
+        .unwrap_or(1);
+    parse_env_count("MANTIS_WORKERS", raw.as_deref(), default)
 }
 
 /// Should testbeds drive their switches through the remote control plane
@@ -313,7 +328,7 @@ pub struct Fabric {
     pub agents: Vec<Rc<RefCell<MantisAgent>>>,
     /// Shared observability handle. On a multi-switch fabric, switches
     /// additionally record under `sw<i>.`-scoped metric names.
-    pub telemetry: Rc<Telemetry>,
+    pub telemetry: Arc<Telemetry>,
     /// Per-switch control-plane endpoints when built with
     /// [`DriverMode::Remote`] (`planes[i]` serves switch `i`); empty when
     /// agents drive their switches in-process.
@@ -387,11 +402,7 @@ impl Fabric {
             let comp =
                 compile_source(src, &CompilerOptions::default()).map_err(TestbedError::Compile)?;
             let spec = rmt_sim::load(&comp.p4).map_err(TestbedError::Load)?;
-            let switch = Rc::new(RefCell::new(Switch::new(
-                spec,
-                switch_cfg.clone(),
-                clock.clone(),
-            )));
+            let switch = SharedSwitch::new(Switch::new(spec, switch_cfg.clone(), clock.clone()));
             {
                 let mut sw = switch.borrow_mut();
                 sw.set_telemetry(telemetry.clone());
@@ -415,7 +426,8 @@ impl Fabric {
             switches.push(switch);
             agents.push(Rc::new(RefCell::new(agent)));
         }
-        let sim = netsim::Simulator::fabric(switches, topo);
+        let mut sim = netsim::Simulator::fabric(switches, topo);
+        sim.set_workers(usize::from(workers_from_env()));
         Ok(Fabric {
             compiled,
             sim,
@@ -520,6 +532,34 @@ control ingress { apply(t); }
             parse_env_count("MANTIS_SWITCHES", Some("65535"), 1),
             MAX_ENV_COUNT
         );
+    }
+
+    #[test]
+    fn worker_env_counts_parse_clamp_and_default() {
+        // `MANTIS_WORKERS` goes through the same hardened parser as
+        // `MANTIS_PIPES`/`MANTIS_SWITCHES`: positive counts parse...
+        assert_eq!(parse_env_count("MANTIS_WORKERS", Some("4"), 2), 4);
+        assert_eq!(parse_env_count("MANTIS_WORKERS", Some(" 8 "), 2), 8);
+        // ...garbage and zero fall back to the default...
+        for bad in ["abc", "", "0", "-1", "2.5"] {
+            assert_eq!(
+                parse_env_count("MANTIS_WORKERS", Some(bad), 3),
+                3,
+                "{bad:?}"
+            );
+        }
+        // ...and oversized values clamp to the cap.
+        assert_eq!(
+            parse_env_count("MANTIS_WORKERS", Some("9999"), 2),
+            MAX_ENV_COUNT
+        );
+        // The unset default mirrors the host parallelism and never
+        // exceeds the cap or drops below one worker.
+        let d = std::thread::available_parallelism()
+            .map(|n| n.get().min(usize::from(MAX_ENV_COUNT)) as u16)
+            .unwrap_or(1);
+        assert_eq!(parse_env_count("MANTIS_WORKERS", None, d), d);
+        assert!((1..=MAX_ENV_COUNT).contains(&d));
     }
 
     #[test]

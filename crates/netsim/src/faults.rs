@@ -79,9 +79,7 @@ fn set_port(sim: &mut Simulator, switch: usize, port: PortId, up: bool) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rmt_sim::{switch_from_source, Clock, SwitchConfig};
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use rmt_sim::{switch_from_source, Clock, SharedSwitch, SwitchConfig};
 
     const PROG: &str = r#"
 header_type ip_t { fields { src : 32; } }
@@ -95,7 +93,7 @@ control ingress { apply(t); }
     fn flaps_toggle_ports_at_their_scheduled_times() {
         let clock = Clock::new();
         let sw = switch_from_source(PROG, SwitchConfig::default(), clock).unwrap();
-        let mut sim = Simulator::new(Rc::new(RefCell::new(sw)));
+        let mut sim = Simulator::new(SharedSwitch::new(sw));
         let plan = FaultPlan::new().flap(2, 1_000, 5_000);
         schedule_link_flaps(&mut sim, &plan);
 
@@ -114,10 +112,7 @@ control ingress { apply(t); }
         let a = switch_from_source(PROG, SwitchConfig::default(), clock.clone()).unwrap();
         let b = switch_from_source(PROG, SwitchConfig::default(), clock).unwrap();
         let topo = Topology::new(2).link(Endpoint::new(0, 5), Endpoint::new(1, 6));
-        let mut sim = Simulator::fabric(
-            vec![Rc::new(RefCell::new(a)), Rc::new(RefCell::new(b))],
-            topo,
-        );
+        let mut sim = Simulator::fabric(vec![SharedSwitch::new(a), SharedSwitch::new(b)], topo);
         let plan = FaultPlan::new().flap_on(0, 5, 1_000, 5_000);
         schedule_link_flaps(&mut sim, &plan);
 
@@ -136,7 +131,7 @@ control ingress { apply(t); }
     fn out_of_range_ports_are_ignored() {
         let clock = Clock::new();
         let sw = switch_from_source(PROG, SwitchConfig::default(), clock).unwrap();
-        let mut sim = Simulator::new(Rc::new(RefCell::new(sw)));
+        let mut sim = Simulator::new(SharedSwitch::new(sw));
         let plan = FaultPlan::new().flap(60_000, 10, 20);
         schedule_link_flaps(&mut sim, &plan);
         sim.run_until(100); // must not panic

@@ -339,7 +339,7 @@ pub fn spawn_heartbeats_on(sim: &mut Simulator, switch: usize, cfg: HeartbeatCon
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rmt_sim::{switch_from_source, Clock, Switch, SwitchConfig};
+    use rmt_sim::{switch_from_source, Clock, SharedSwitch, Switch, SwitchConfig};
 
     const PROG: &str = r#"
 header_type ip_t { fields { src : 32; dst : 32; } }
@@ -363,7 +363,7 @@ control ingress { apply(hb); apply(route); }
             clock,
         )
         .unwrap();
-        Simulator::new(Rc::new(RefCell::new(sw)))
+        Simulator::new(SharedSwitch::new(sw))
     }
 
     fn ip_fields(src: u128) -> FieldTemplate {
@@ -516,7 +516,7 @@ control ingress { apply(hb); apply(route); }
             clock,
         )
         .unwrap();
-        let sim = Simulator::new(Rc::new(RefCell::new(sw)));
+        let sim = Simulator::new(SharedSwitch::new(sw));
         let ports = ports_across_pipes(&sim, 8);
         let pipes: Vec<u16> = {
             let sw = sim.switch().borrow();

@@ -17,6 +17,7 @@
 pub mod faults;
 pub mod flows;
 pub mod metrics;
+mod par;
 pub mod sim;
 pub mod topo;
 pub mod trace;
@@ -28,6 +29,6 @@ pub use flows::{
     UdpState,
 };
 pub use metrics::{mad, mean, mean_abs_dev, median, percentile, BucketSeries};
-pub use sim::Simulator;
+pub use sim::{ParStats, Simulator};
 pub use topo::{Endpoint, Link, Topology, DEFAULT_LINK_LATENCY_NS, HOST_PORTS};
 pub use trace::{generate, Trace, TraceConfig, TracePacket};

@@ -1,0 +1,144 @@
+//! The epoch-barrier worker pool behind [`Simulator`](crate::Simulator)'s
+//! parallel drain (DESIGN.md §12).
+//!
+//! Shards are whole switches, statically assigned to workers (switch `i` →
+//! worker `i % W` unless the assignment was scrambled for testing). Each
+//! drain is one epoch: the coordinator broadcasts a `Go`, every worker
+//! pumps its owned switches concurrently — recording telemetry into a
+//! fresh per-switch staging buffer — and replies with one
+//! [`ShardResult`] per switch. The coordinator then merges stagings and
+//! routes transmit batches in canonical switch-index order, which is what
+//! makes the output byte-identical to the sequential engine at any worker
+//! count.
+//!
+//! Workers never touch the event heap, the topology, or each other's
+//! switches; cross-shard effects (wire deliveries, fabric-exit packets)
+//! travel through `ShardResult::batch` and are applied serially at the
+//! barrier.
+
+use mantis_telemetry::Telemetry;
+use rmt_sim::{SharedSwitch, TxPacket};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// What one switch produced during one epoch's pump.
+pub(crate) struct ShardResult {
+    /// Fabric index of the switch this came from.
+    pub switch: usize,
+    /// Packets served (the deterministic work unit for scaling stats).
+    pub work: u64,
+    /// Transmitted packets with their frame length, in transmit order.
+    pub batch: Vec<(TxPacket, u32)>,
+    /// The staging telemetry buffer recorded during the pump; folded into
+    /// the main registry in switch-index order at the barrier.
+    pub staging: Arc<Telemetry>,
+}
+
+enum Msg {
+    Go,
+    Shutdown,
+}
+
+struct Worker {
+    go_tx: mpsc::Sender<Msg>,
+    reply_rx: mpsc::Receiver<Vec<ShardResult>>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A fixed pool of pump workers with static shard ownership.
+pub(crate) struct WorkerPool {
+    workers: Vec<Worker>,
+}
+
+impl WorkerPool {
+    /// Spawn one thread per entry of `shards`; `shards[w]` is the list of
+    /// `(switch_index, handle)` pairs worker `w` owns for the pool's
+    /// lifetime.
+    pub fn new(shards: Vec<Vec<(usize, SharedSwitch)>>) -> Self {
+        let workers = shards
+            .into_iter()
+            .enumerate()
+            .map(|(w, owned)| {
+                let (go_tx, go_rx) = mpsc::channel::<Msg>();
+                let (reply_tx, reply_rx) = mpsc::channel::<Vec<ShardResult>>();
+                let join = std::thread::Builder::new()
+                    .name(format!("mantis-pump-{w}"))
+                    .spawn(move || worker_loop(&owned, &go_rx, &reply_tx))
+                    .expect("spawn pump worker");
+                Worker {
+                    go_tx,
+                    reply_rx,
+                    join: Some(join),
+                }
+            })
+            .collect();
+        WorkerPool { workers }
+    }
+
+    /// Run one epoch: pump every shard concurrently, gather every worker's
+    /// results. `out[w]` holds worker `w`'s shard results in its ownership
+    /// order — the caller re-sorts by switch index for the canonical merge.
+    pub fn run_epoch(&self) -> Vec<Vec<ShardResult>> {
+        for w in &self.workers {
+            w.go_tx.send(Msg::Go).expect("pump worker alive");
+        }
+        self.workers
+            .iter()
+            .map(|w| w.reply_rx.recv().expect("pump worker reply"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let _ = w.go_tx.send(Msg::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(join) = w.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    owned: &[(usize, SharedSwitch)],
+    go_rx: &mpsc::Receiver<Msg>,
+    reply_tx: &mpsc::Sender<Vec<ShardResult>>,
+) {
+    while let Ok(Msg::Go) = go_rx.recv() {
+        let results = owned
+            .iter()
+            .map(|(idx, handle)| {
+                let mut sw = handle.borrow_mut();
+                // Record this pump into a private staging buffer so
+                // concurrent shards never interleave writes to the shared
+                // registry; the coordinator merges in switch-index order.
+                let main = sw.telemetry().clone();
+                let staging = main.staging();
+                sw.set_telemetry(staging.clone());
+                let work = sw.pump();
+                sw.set_telemetry(main);
+                let batch = sw
+                    .take_transmitted()
+                    .into_iter()
+                    .map(|pkt| {
+                        let bytes = pkt.phv.frame_len(sw.spec());
+                        (pkt, bytes)
+                    })
+                    .collect();
+                ShardResult {
+                    switch: *idx,
+                    work,
+                    batch,
+                    staging,
+                }
+            })
+            .collect();
+        if reply_tx.send(results).is_err() {
+            break;
+        }
+    }
+}

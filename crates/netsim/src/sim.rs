@@ -13,13 +13,13 @@
 //! delay; packets leaving unlinked ports exit the fabric into the
 //! transmit log.
 
+use crate::par::{ShardResult, WorkerPool};
 use crate::topo::Topology;
 use mantis_telemetry::Telemetry;
-use rmt_sim::{Clock, Nanos, Switch, TxPacket};
-use std::cell::RefCell;
+use rmt_sim::{Clock, Nanos, SharedSwitch, TxPacket};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 type EventFn = Box<dyn FnOnce(&mut Simulator)>;
 
@@ -46,10 +46,44 @@ impl Ord for Scheduled {
     }
 }
 
+/// Deterministic scaling accounting for the parallel drain.
+///
+/// The work unit is one packet served by a pump. `critical_units` is the
+/// epoch-by-epoch makespan: per drain, each worker's load is the sum of
+/// work over the switches it owns, and the makespan is the slowest
+/// worker's load (the whole drain's work when running serially). So
+/// `speedup() = work / makespan` is the parallel speedup the shard
+/// schedule achieves on ≥ `workers` cores — measured, not modelled, and
+/// byte-reproducible across runs and host core counts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParStats {
+    /// Worker count this simulator is configured for.
+    pub workers: usize,
+    /// Total drains executed (serial + parallel).
+    pub drains: u64,
+    /// Drains that went through the worker pool.
+    pub parallel_drains: u64,
+    /// Total packets served by pumps.
+    pub work_units: u64,
+    /// Sum over drains of the slowest worker's load.
+    pub critical_units: u64,
+}
+
+impl ParStats {
+    /// Critical-path speedup over a serial run (1.0 when serial or idle).
+    pub fn speedup(&self) -> f64 {
+        if self.critical_units == 0 {
+            1.0
+        } else {
+            self.work_units as f64 / self.critical_units as f64
+        }
+    }
+}
+
 /// The event-driven simulator.
 pub struct Simulator {
     clock: Clock,
-    switches: Vec<Rc<RefCell<Switch>>>,
+    switches: Vec<SharedSwitch>,
     topo: Topology,
     heap: BinaryHeap<Reverse<Scheduled>>,
     next_seq: u64,
@@ -67,6 +101,16 @@ pub struct Simulator {
     tx_count_per_switch: Vec<u64>,
     tx_bytes_per_switch: Vec<u64>,
     next_flow_id: u64,
+    /// Configured worker count (1 = serial drain, the default).
+    workers: usize,
+    /// Lazily spawned worker pool; dropped (threads joined) whenever the
+    /// worker count or shard assignment changes.
+    pool: Option<WorkerPool>,
+    /// Switch → worker map. `None` means the canonical `i % workers`;
+    /// tests scramble it to prove the barrier merge alone fixes the
+    /// output order.
+    assignment: Option<Vec<usize>>,
+    par_stats: ParStats,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -82,7 +126,7 @@ impl std::fmt::Debug for Simulator {
 impl Simulator {
     /// A single-switch simulator — the 1-node special case of
     /// [`Simulator::fabric`] with the trivial topology.
-    pub fn new(switch: Rc<RefCell<Switch>>) -> Self {
+    pub fn new(switch: SharedSwitch) -> Self {
         Simulator::fabric(vec![switch], Topology::single())
     }
 
@@ -92,7 +136,7 @@ impl Simulator {
     ///
     /// # Panics
     /// Panics when the switch count does not match the topology.
-    pub fn fabric(switches: Vec<Rc<RefCell<Switch>>>, topo: Topology) -> Self {
+    pub fn fabric(switches: Vec<SharedSwitch>, topo: Topology) -> Self {
         assert!(
             switches.len() == topo.num_switches(),
             "fabric has {} switches but the topology names {}",
@@ -114,13 +158,75 @@ impl Simulator {
             tx_count_per_switch: vec![0; n],
             tx_bytes_per_switch: vec![0; n],
             next_flow_id: 0,
+            workers: 1,
+            pool: None,
+            assignment: None,
+            par_stats: ParStats {
+                workers: 1,
+                ..ParStats::default()
+            },
         }
+    }
+
+    /// Set the pump worker count. `1` (the default) keeps the historical
+    /// serial drain; `> 1` pumps switch shards on a fixed worker pool with
+    /// an epoch barrier per drain. Output is byte-identical either way —
+    /// see DESIGN.md §12. Values are clamped to `[1, num_switches]`
+    /// (a worker without a shard would just idle).
+    pub fn set_workers(&mut self, workers: usize) {
+        let w = workers.clamp(1, self.switches.len().max(1));
+        if w != self.workers {
+            self.pool = None;
+            self.workers = w;
+        }
+        self.par_stats.workers = w;
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Replace the canonical `i % workers` shard assignment with a seeded
+    /// pseudo-random permutation. A test hook: the barrier merge is what
+    /// guarantees determinism, so any assignment must produce byte-
+    /// identical output — the stress suite proves it by scrambling.
+    pub fn scramble_assignment(&mut self, seed: u64) {
+        let n = self.switches.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        // Deterministic Fisher–Yates off a splitmix-style stream.
+        let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for i in (1..n).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let w = self.workers.max(1);
+        let mut assignment = vec![0usize; n];
+        for (slot, &sw) in order.iter().enumerate() {
+            assignment[sw] = slot % w;
+        }
+        self.assignment = Some(assignment);
+        self.pool = None;
+    }
+
+    /// Scaling accounting accumulated so far (work units, per-epoch
+    /// makespan, derived speedup).
+    pub fn par_stats(&self) -> ParStats {
+        self.par_stats
     }
 
     /// The fabric's telemetry handle (disabled unless a testbed attached
     /// one via `Switch::set_telemetry`). Flow sources use it to publish
     /// per-flow rate gauges and drop events.
-    pub fn telemetry(&self) -> Rc<Telemetry> {
+    pub fn telemetry(&self) -> Arc<Telemetry> {
         self.switches[0].borrow().telemetry().clone()
     }
 
@@ -140,12 +246,12 @@ impl Simulator {
     }
 
     /// Switch 0 — *the* switch of a single-switch testbed.
-    pub fn switch(&self) -> &Rc<RefCell<Switch>> {
+    pub fn switch(&self) -> &SharedSwitch {
         &self.switches[0]
     }
 
     /// Switch `i` of the fabric.
-    pub fn switch_at(&self, i: usize) -> &Rc<RefCell<Switch>> {
+    pub fn switch_at(&self, i: usize) -> &SharedSwitch {
         &self.switches[i]
     }
 
@@ -240,17 +346,32 @@ impl Simulator {
         self.run_until(until);
     }
 
-    /// Service every switch's queues (in switch-index order, so fabric
-    /// deliveries are deterministically ordered) and collect transmitted
-    /// packets: linked ports schedule an rx event on the peer switch after
-    /// the wire delay, unlinked ports append to the transmit log.
+    /// Service every switch's queues and collect transmitted packets:
+    /// linked ports schedule an rx event on the peer switch after the wire
+    /// delay, unlinked ports append to the transmit log.
+    ///
+    /// Transmit batches are always *routed* in switch-index order — that
+    /// total `(time, switch_id, seq)` order on deliveries is the fabric
+    /// determinism contract. With `workers > 1` the *pumps* run
+    /// concurrently on the shard pool and everything merges at the epoch
+    /// barrier; output is byte-identical to the serial drain.
     pub fn drain_switch(&mut self) {
+        if self.workers > 1 && self.switches.len() > 1 {
+            self.drain_parallel();
+        } else {
+            self.drain_serial();
+        }
+    }
+
+    /// The historical single-threaded drain (also the workers=1 path).
+    fn drain_serial(&mut self) {
+        let mut drain_work: u64 = 0;
         for i in 0..self.switches.len() {
             // Collect this switch's transmissions first: scheduling the
             // deliveries needs `&mut self` again.
             let batch: Vec<(TxPacket, u32)> = {
                 let mut sw = self.switches[i].borrow_mut();
-                sw.pump();
+                drain_work += sw.pump();
                 let pkts = sw.take_transmitted();
                 if pkts.is_empty() {
                     continue;
@@ -262,44 +383,111 @@ impl Simulator {
                     })
                     .collect()
             };
-            for (pkt, bytes) in batch {
-                self.tx_count += 1;
-                self.tx_bytes += u64::from(bytes);
-                self.tx_count_per_switch[i] += 1;
-                self.tx_bytes_per_switch[i] += u64::from(bytes);
-                match self.topo.peer_of(i, pkt.port) {
-                    Some((peer, link)) => {
-                        let arrival = pkt.time + link.wire_delay(bytes);
-                        let mut desc = {
-                            let sw = self.switches[i].borrow();
-                            pkt.phv.describe(sw.spec())
-                        };
-                        desc.port = peer.port;
-                        let dest = peer.switch;
-                        // Inject *as of* the arrival time: the delivery
-                        // event may be materialized after the clock moved
-                        // past `arrival` (the drain is lazy), and the
-                        // peer's tx timeline must not be distorted by
-                        // that.
-                        self.schedule(arrival, move |s| {
-                            let mut sw = s.switches[dest].borrow_mut();
-                            let phv = desc.build_lossy(sw.spec());
-                            sw.inject_phv_at(phv, arrival);
-                        });
+            self.route_batch(i, batch);
+        }
+        self.par_stats.drains += 1;
+        self.par_stats.work_units += drain_work;
+        // One worker does everything: the critical path is all the work.
+        self.par_stats.critical_units += drain_work;
+    }
+
+    /// The epoch-barrier drain: pump shards on the worker pool, then merge
+    /// telemetry and route batches serially in switch-index order.
+    fn drain_parallel(&mut self) {
+        if self.pool.is_none() {
+            self.pool = Some(self.build_pool());
+        }
+        let replies = self.pool.as_ref().expect("pool built").run_epoch();
+
+        let n = self.switches.len();
+        let mut per_switch: Vec<Option<ShardResult>> = (0..n).map(|_| None).collect();
+        let mut makespan: u64 = 0;
+        let mut total: u64 = 0;
+        for reply in replies {
+            let load: u64 = reply.iter().map(|r| r.work).sum();
+            makespan = makespan.max(load);
+            total += load;
+            for r in reply {
+                let slot = r.switch;
+                per_switch[slot] = Some(r);
+            }
+        }
+        self.par_stats.drains += 1;
+        self.par_stats.parallel_drains += 1;
+        self.par_stats.work_units += total;
+        self.par_stats.critical_units += makespan;
+
+        // Barrier merge, phase 1: fold staging telemetry in switch-index
+        // order — reproduces the serial recording order byte-for-byte.
+        let telemetry = self.telemetry();
+        for r in per_switch.iter().flatten() {
+            telemetry.merge_from(&r.staging);
+        }
+        // Phase 2: route cross-shard effects (wire deliveries, fabric
+        // exits) in the same canonical order.
+        for (i, slot) in per_switch.iter_mut().enumerate() {
+            if let Some(r) = slot.take() {
+                self.route_batch(i, r.batch);
+            }
+        }
+    }
+
+    /// Deliver one switch's transmit batch: linked ports become rx events
+    /// on the peer after the wire delay, unlinked ports exit to the log.
+    fn route_batch(&mut self, i: usize, batch: Vec<(TxPacket, u32)>) {
+        for (pkt, bytes) in batch {
+            self.tx_count += 1;
+            self.tx_bytes += u64::from(bytes);
+            self.tx_count_per_switch[i] += 1;
+            self.tx_bytes_per_switch[i] += u64::from(bytes);
+            match self.topo.peer_of(i, pkt.port) {
+                Some((peer, link)) => {
+                    let arrival = pkt.time + link.wire_delay(bytes);
+                    let mut desc = {
+                        let sw = self.switches[i].borrow();
+                        pkt.phv.describe(sw.spec())
+                    };
+                    desc.port = peer.port;
+                    let dest = peer.switch;
+                    // Inject *as of* the arrival time: the delivery
+                    // event may be materialized after the clock moved
+                    // past `arrival` (the drain is lazy), and the
+                    // peer's tx timeline must not be distorted by
+                    // that.
+                    self.schedule(arrival, move |s| {
+                        let mut sw = s.switches[dest].borrow_mut();
+                        let phv = desc.build_lossy(sw.spec());
+                        sw.inject_phv_at(phv, arrival);
+                    });
+                }
+                None => {
+                    // Enforce the cap contract: older packets are
+                    // discarded first.
+                    while self.tx_log.len() >= self.tx_log_cap.max(1) {
+                        self.tx_log.pop_front();
                     }
-                    None => {
-                        // Enforce the cap contract: older packets are
-                        // discarded first.
-                        while self.tx_log.len() >= self.tx_log_cap.max(1) {
-                            self.tx_log.pop_front();
-                        }
-                        if self.tx_log_cap > 0 {
-                            self.tx_log.push_back((i, pkt));
-                        }
+                    if self.tx_log_cap > 0 {
+                        self.tx_log.push_back((i, pkt));
                     }
                 }
             }
         }
+    }
+
+    /// Build the worker pool from the current assignment (canonical
+    /// `i % workers` unless scrambled).
+    fn build_pool(&self) -> WorkerPool {
+        let n = self.switches.len();
+        let w = self.workers;
+        let mut shards: Vec<Vec<(usize, SharedSwitch)>> = (0..w).map(|_| Vec::new()).collect();
+        for i in 0..n {
+            let owner = match &self.assignment {
+                Some(a) => a[i] % w,
+                None => i % w,
+            };
+            shards[owner].push((i, self.switches[i].clone()));
+        }
+        WorkerPool::new(shards)
     }
 
     /// Take the transmitted-packet log (packets that exited the fabric).
@@ -319,6 +507,8 @@ mod tests {
     use super::*;
     use crate::topo::Endpoint;
     use rmt_sim::{switch_from_source, PacketDesc, SwitchConfig};
+    use std::cell::RefCell;
+    use std::rc::Rc;
 
     const FWD_ALL: &str = r#"
 header_type ip_t { fields { src : 32; dst : 32; } }
@@ -331,7 +521,7 @@ control ingress { apply(t); }
     fn mk() -> Simulator {
         let clock = Clock::new();
         let sw = switch_from_source(FWD_ALL, SwitchConfig::default(), clock).unwrap();
-        Simulator::new(Rc::new(RefCell::new(sw)))
+        Simulator::new(SharedSwitch::new(sw))
     }
 
     /// A 2-switch line where switch 0 forwards everything out its linked
@@ -349,10 +539,7 @@ control ingress { apply(t); }
         let b = switch_from_source(FWD_ALL, SwitchConfig::default(), clock).unwrap();
         let topo =
             Topology::new(2).link_with(Endpoint::new(0, 5), Endpoint::new(1, 4), latency_ns, 0);
-        Simulator::fabric(
-            vec![Rc::new(RefCell::new(a)), Rc::new(RefCell::new(b))],
-            topo,
-        )
+        Simulator::fabric(vec![SharedSwitch::new(a), SharedSwitch::new(b)], topo)
     }
 
     #[test]
@@ -484,6 +671,69 @@ control ingress { apply(t); }
         }
         // The second hop can only start after the 5 µs wire delay.
         assert!(pkt.time > 5_000, "delivery at {} ns", pkt.time);
+    }
+
+    fn pair_fingerprint(
+        workers: usize,
+        scramble: Option<u64>,
+    ) -> (Vec<(usize, u64, u16)>, u64, u64, ParStats) {
+        let mut sim = mk_pair(700);
+        sim.set_workers(workers);
+        if let Some(seed) = scramble {
+            sim.scramble_assignment(seed);
+        }
+        for i in 0..20u64 {
+            sim.schedule(i * 777, move |s| {
+                s.switch_at(0).borrow_mut().inject(
+                    &PacketDesc::new(0)
+                        .field("ip", "src", u128::from(i))
+                        .payload(64),
+                );
+            });
+        }
+        sim.run_until(3_000_000);
+        let fingerprint: Vec<(usize, u64, u16)> = sim
+            .take_tx_tagged()
+            .iter()
+            .map(|(sw, p)| (*sw, p.time, p.port))
+            .collect();
+        (fingerprint, sim.tx_count, sim.tx_bytes, sim.par_stats())
+    }
+
+    #[test]
+    fn parallel_drain_matches_serial_exactly() {
+        let (serial_fp, serial_count, serial_bytes, serial_stats) = pair_fingerprint(1, None);
+        let (par_fp, par_count, par_bytes, par_stats) = pair_fingerprint(2, None);
+        assert_eq!(serial_fp, par_fp);
+        assert_eq!(serial_count, par_count);
+        assert_eq!(serial_bytes, par_bytes);
+        assert!(par_stats.parallel_drains > 0, "pool path must have run");
+        assert_eq!(serial_stats.parallel_drains, 0);
+        // Same total work observed regardless of execution mode.
+        assert_eq!(serial_stats.work_units, par_stats.work_units);
+        assert!(par_stats.critical_units <= par_stats.work_units);
+    }
+
+    #[test]
+    fn scrambled_assignment_does_not_change_output() {
+        let (base_fp, base_count, _, _) = pair_fingerprint(2, None);
+        for seed in [1u64, 7, 42] {
+            let (fp, count, _, _) = pair_fingerprint(2, Some(seed));
+            assert_eq!(base_fp, fp, "seed {seed} changed the output");
+            assert_eq!(base_count, count);
+        }
+    }
+
+    #[test]
+    fn worker_count_clamps_to_switch_count() {
+        let mut sim = mk();
+        sim.set_workers(8);
+        assert_eq!(sim.workers(), 1, "single switch cannot shard");
+        let mut pair = mk_pair(700);
+        pair.set_workers(64);
+        assert_eq!(pair.workers(), 2);
+        pair.set_workers(0);
+        assert_eq!(pair.workers(), 1);
     }
 
     #[test]

@@ -5,9 +5,9 @@
 //! clock. Control-plane driver operations advance it by their modelled cost;
 //! the event-driven network simulator advances it to the next event time.
 
-use std::cell::Cell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Virtual time in nanoseconds since simulation start.
 pub type Nanos = u64;
@@ -16,9 +16,16 @@ pub type Nanos = u64;
 ///
 /// Cloning shares the underlying time cell, so a `Clock` can be handed to
 /// the switch, the agent, and the simulator and they all see the same time.
+///
+/// The cell is an atomic so a `Clock` is `Send + Sync`: the parallel
+/// fabric executor hands clones to its worker pool. Virtual time only
+/// *advances on the coordinator thread between epochs* — workers read it
+/// while pumping their shards but never move it — so relaxed ordering is
+/// sufficient (the epoch barrier's channel handoff establishes the
+/// happens-before edge).
 #[derive(Clone, Default)]
 pub struct Clock {
-    now: Rc<Cell<Nanos>>,
+    now: Arc<AtomicU64>,
 }
 
 impl Clock {
@@ -28,21 +35,21 @@ impl Clock {
 
     /// Current virtual time.
     pub fn now(&self) -> Nanos {
-        self.now.get()
+        self.now.load(Ordering::Relaxed)
     }
 
     /// Advance time by `delta` nanoseconds, returning the new time.
     pub fn advance(&self, delta: Nanos) -> Nanos {
-        let t = self.now.get() + delta;
-        self.now.set(t);
+        let t = self.now.load(Ordering::Relaxed) + delta;
+        self.now.store(t, Ordering::Relaxed);
         t
     }
 
     /// Move time forward to `t`. Ignored if `t` is in the past — the clock
     /// is monotonic.
     pub fn advance_to(&self, t: Nanos) {
-        if t > self.now.get() {
-            self.now.set(t);
+        if t > self.now.load(Ordering::Relaxed) {
+            self.now.store(t, Ordering::Relaxed);
         }
     }
 }

@@ -28,12 +28,14 @@ pub mod hash;
 pub mod parse;
 pub mod phv;
 pub mod registers;
+pub mod shared;
 pub mod spec;
 pub mod switch;
 pub mod table;
 
 pub use clock::{Clock, Nanos};
 pub use phv::{PacketDesc, Phv};
+pub use shared::SharedSwitch;
 pub use spec::{load, ActionId, DataPlaneSpec, FieldId, LoadError, PortId, RegisterId, TableId};
 pub use switch::{
     switch_from_source, DriverError, Pipe, ReadAgg, Switch, SwitchConfig, TableCheckpoint, TxPacket,

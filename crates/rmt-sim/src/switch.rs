@@ -22,7 +22,7 @@ use mantis_telemetry::{
 use p4_ast::{CmpOp, Pipeline, Value};
 use std::collections::VecDeque;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Switch configuration.
 #[derive(Clone, Debug)]
@@ -272,7 +272,7 @@ pub struct Switch {
     /// Register automatically updated with per-port queue depth in bytes.
     qdepth_register: Option<RegisterId>,
     pub stats: SwitchStats,
-    telemetry: Rc<Telemetry>,
+    telemetry: Arc<Telemetry>,
     /// This switch's index within a multi-switch fabric. `None` (the
     /// default, and always the case for single-switch testbeds) suppresses
     /// the `sw{i}.*` telemetry scope entirely so existing goldens stay
@@ -369,11 +369,11 @@ impl Switch {
     /// per-port queue-depth gauges, drops become instant events, and
     /// each egress pass is a `Scope::Switch` span on the virtual
     /// timeline.
-    pub fn set_telemetry(&mut self, telemetry: Rc<Telemetry>) {
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
         self.telemetry = telemetry;
     }
 
-    pub fn telemetry(&self) -> &Rc<Telemetry> {
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
     }
 
@@ -567,16 +567,36 @@ impl Switch {
 
     /// Serve all port queues up to the current virtual time: dequeue, run
     /// egress, transmit (or recirculate). Call after advancing the clock.
-    pub fn pump(&mut self) {
+    /// Returns the number of packets served (the parallel executor's work
+    /// unit for shard accounting).
+    ///
+    /// Pumping is pipe-major — but since ports are assigned to pipes in
+    /// contiguous front-panel blocks (`pipe = port / ports_per_pipe`),
+    /// pipe-major order *is* global port order, so this is byte-identical
+    /// to the historical single loop over all ports.
+    pub fn pump(&mut self) -> u64 {
+        let mut served = 0;
+        for pipe in 0..self.config.num_pipes {
+            served += self.pump_pipe(pipe);
+        }
+        served
+    }
+
+    /// Serve one pipe's port queues up to the current virtual time. This is
+    /// the sub-switch shard granularity of the parallel runtime: each
+    /// pipe's queues, ports, and egress state are disjoint, so pipes of one
+    /// switch could be pumped independently (work accounting treats them as
+    /// separate units even though execution locks whole switches).
+    pub fn pump_pipe(&mut self, pipe_idx: u16) -> u64 {
         let now = self.clock.now();
         let t = &self.config.timing;
         // Latency from enqueue to the first wire byte (egress pipeline +
         // fixed overheads; the ingress half happened before enqueue).
         let pipe_ns: Nanos = t.fixed / 2 + u64::from(self.spec.egress_stages) * t.per_stage;
-        // Global port order, not pipe-major order: identical service order
-        // to the single-pipe switch, so pipes=1 traces stay byte-identical
-        // and multi-pipe runs remain deterministic.
-        for port in 0..self.config.num_ports {
+        let mut served: u64 = 0;
+        let lo = pipe_idx * self.ports_per_pipe;
+        let hi = (lo + self.ports_per_pipe).min(self.config.num_ports);
+        for port in lo..hi {
             let (pipe, local) = match self.port_slot(port) {
                 Some(slot) => slot,
                 None => continue,
@@ -595,6 +615,7 @@ impl Switch {
                 let Some(Queued { phv, bytes, .. }) = q.packets.pop_front() else {
                     break;
                 };
+                served += 1;
                 q.depth_bytes -= bytes;
                 let tx_time = tx_start + self.wire_time(bytes);
                 self.pipes[pipe].queues[local].busy_until = tx_time;
@@ -647,6 +668,7 @@ impl Switch {
                 });
             }
         }
+        served
     }
 
     /// Wire serialization time for `bytes` at the port rate.

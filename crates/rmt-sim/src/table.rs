@@ -39,7 +39,7 @@
 //! scan with the `(prefix, priority, Reverse(seq))` ordering (property-
 //! tested in `tests/`), and nothing about the virtual-clock cost model
 //! changes. Lookups also reuse a per-table scratch buffer instead of
-//! allocating per packet, and hits hand out `Rc<[Value]>` action data
+//! allocating per packet, and hits hand out `Arc<[Value]>` action data
 //! instead of cloning a `Vec`.
 
 use crate::phv::Phv;
@@ -47,7 +47,7 @@ use crate::spec::{ActionId, TableSpec};
 use p4_ast::{MatchKind, Value};
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Opaque handle to an installed entry, unique within a table for the
 /// lifetime of the switch.
@@ -132,7 +132,7 @@ pub struct Entry {
     pub key: Vec<KeyField>,
     pub priority: u32,
     pub action: ActionId,
-    pub action_data: Rc<[Value]>,
+    pub action_data: Arc<[Value]>,
     /// Insertion sequence for deterministic tie-breaks.
     seq: u64,
 }
@@ -267,7 +267,7 @@ pub struct Table {
     /// Entries in insertion order (the driver-visible view).
     entries: Vec<Entry>,
     index: Index,
-    default_action: Option<(ActionId, Rc<[Value]>)>,
+    default_action: Option<(ActionId, Arc<[Value]>)>,
     next_handle: u64,
     next_seq: u64,
     capacity: u32,
@@ -286,11 +286,11 @@ pub enum Lookup {
     Hit {
         handle: EntryHandle,
         action: ActionId,
-        action_data: Rc<[Value]>,
+        action_data: Arc<[Value]>,
     },
     Default {
         action: ActionId,
-        action_data: Rc<[Value]>,
+        action_data: Arc<[Value]>,
     },
     Miss,
 }
@@ -314,7 +314,7 @@ impl Table {
             default_action: spec
                 .default_action
                 .as_ref()
-                .map(|(a, d)| (*a, Rc::from(d.as_slice()))),
+                .map(|(a, d)| (*a, Arc::from(d.as_slice()))),
             next_handle: 1,
             next_seq: 0,
             capacity: spec.size,
@@ -341,12 +341,12 @@ impl Table {
         self.entries.iter()
     }
 
-    pub fn default_action(&self) -> Option<&(ActionId, Rc<[Value]>)> {
+    pub fn default_action(&self) -> Option<&(ActionId, Arc<[Value]>)> {
         self.default_action.as_ref()
     }
 
     pub fn set_default(&mut self, action: ActionId, data: Vec<Value>) {
-        self.default_action = Some((action, Rc::from(data)));
+        self.default_action = Some((action, Arc::from(data)));
     }
 
     fn validate_key(&self, spec: &TableSpec, key: &[KeyField]) -> Result<(), TableError> {
@@ -455,7 +455,7 @@ impl Table {
             key,
             priority,
             action,
-            action_data: Rc::from(action_data),
+            action_data: Arc::from(action_data),
             seq,
         });
         Ok(())
@@ -478,7 +478,7 @@ impl Table {
             .find(|e| e.handle == handle)
             .ok_or(TableError::UnknownHandle(handle))?;
         e.action = action;
-        e.action_data = Rc::from(action_data);
+        e.action_data = Arc::from(action_data);
         Ok(())
     }
 
@@ -561,7 +561,7 @@ impl Table {
             return Lookup::Hit {
                 handle: e.handle,
                 action: e.action,
-                action_data: Rc::clone(&e.action_data),
+                action_data: Arc::clone(&e.action_data),
             };
         }
         self.default_lookup()
@@ -571,7 +571,7 @@ impl Table {
         match &self.default_action {
             Some((a, d)) => Lookup::Default {
                 action: *a,
-                action_data: Rc::clone(d),
+                action_data: Arc::clone(d),
             },
             None => Lookup::Miss,
         }
@@ -630,7 +630,7 @@ impl Table {
                 return Lookup::Hit {
                     handle: e.handle,
                     action: e.action,
-                    action_data: Rc::clone(&e.action_data),
+                    action_data: Arc::clone(&e.action_data),
                 };
             }
             return self.default_lookup();
@@ -663,7 +663,7 @@ impl Table {
             return Lookup::Hit {
                 handle: e.handle,
                 action: e.action,
-                action_data: Rc::clone(&e.action_data),
+                action_data: Arc::clone(&e.action_data),
             };
         }
         self.default_lookup()

@@ -16,7 +16,6 @@
 //!   a standby claims after expiry, adopts the initialised switch, and
 //!   the reactive state re-converges from live measurements.
 
-use std::cell::RefCell;
 use std::rc::Rc;
 
 use mantis::apps::programs::{DOS_P4R, ECMP_P4R, FAILOVER_P4R, RL_P4R};
@@ -24,7 +23,7 @@ use mantis::p4r_compiler::{compile_source, CompilerOptions};
 use mantis::rmt_sim::{PacketDesc, RegisterId, TableId};
 use mantis::{
     ChannelConfig, Clock, ControlPlane, Controller, ControllerConfig, CostModel, DriverMode,
-    FaultOp, FaultPlan, FaultWindow, Switch, SwitchConfig, Testbed,
+    FaultOp, FaultPlan, FaultWindow, SharedSwitch, Switch, SwitchConfig, Testbed,
 };
 
 const ITERS: u64 = 8;
@@ -329,11 +328,7 @@ fn standby_controller_takes_over_after_channel_severance() {
     let comp = compile_source(COUNTER_P4R, &CompilerOptions::default()).expect("compiles");
     let spec = mantis::rmt_sim::load(&comp.p4).expect("loads");
     let clock = Clock::new();
-    let switch = Rc::new(RefCell::new(Switch::new(
-        spec,
-        SwitchConfig::default(),
-        clock.clone(),
-    )));
+    let switch = SharedSwitch::new(Switch::new(spec, SwitchConfig::default(), clock.clone()));
     let plane = ControlPlane::shared(switch.clone(), CostModel::default());
 
     let lease_ns = 100_000;

@@ -5,9 +5,7 @@ use mantis::p4_ast::Value;
 use mantis::p4r_compiler::entry::LogicalKey;
 use mantis::p4r_compiler::{compile, CompilerOptions};
 use mantis::rmt_sim::PacketDesc;
-use mantis::{AgentErrorKind, MantisAgent, Testbed};
-use std::cell::RefCell;
-use std::rc::Rc;
+use mantis::{AgentErrorKind, MantisAgent, SharedSwitch, Testbed};
 
 const PROG: &str = r#"
 header_type h_t { fields { a : 32; b : 32; } }
@@ -211,15 +209,15 @@ control ingress { apply(t); }
 
     let clock = mantis::Clock::new();
     let spec = mantis::rmt_sim::load(&compiled.p4).unwrap();
-    let switch = Rc::new(RefCell::new(mantis::Switch::new(
+    let switch = SharedSwitch::new(mantis::Switch::new(
         spec,
         mantis::SwitchConfig::default(),
         clock,
-    )));
+    ));
     let mut agent = MantisAgent::new(switch.clone(), &compiled, mantis::CostModel::default());
     agent.prologue().unwrap();
 
-    let probe = |switch: &Rc<RefCell<mantis::Switch>>| {
+    let probe = |switch: &SharedSwitch| {
         let mut sw = switch.borrow_mut();
         let phv = PacketDesc::new(0).field("h", "a", 1).build(sw.spec());
         let out = sw.run_pipeline(phv, mantis::p4_ast::Pipeline::Ingress);

@@ -1,0 +1,282 @@
+//! Worker-count equivalence (DESIGN.md §12): the epoch-barrier parallel
+//! drain must be observationally identical to the serial engine.
+//!
+//! * every use-case program runs on a multi-switch fabric under
+//!   workers ∈ {1, 2, 4} with byte-identical telemetry (chrome trace and
+//!   snapshot) and per-switch transmit fingerprints;
+//! * the full leaf–spine failover workload — heartbeats, a measured
+//!   flow, paced agents, a mid-run link failure — converges to the same
+//!   detections, measurements, and exits at every worker count;
+//! * a scrambled shard→worker assignment (seeded Fisher–Yates) changes
+//!   nothing: the barrier merge alone fixes the output order;
+//! * `MANTIS_WORKERS` (the CI sweep knob) is honored via
+//!   [`mantis::workers_from_env`];
+//! * a single-switch testbed never takes the parallel path, so the
+//!   pre-parallel telemetry goldens stay byte-identical at any worker
+//!   count (enforced byte-for-byte by `telemetry_determinism.rs`).
+
+use mantis::apps::fabric::{build_failover_fabric, leaf_host, EXIT_PORT};
+use mantis::apps::programs::{DOS_P4R, ECMP_P4R, FAILOVER_P4R, RL_P4R};
+use mantis::netsim::{
+    schedule_link_flaps, spawn_udp_on, Simulator, Topology, UdpConfig, HOST_PORTS,
+};
+use mantis::p4_ast::Value;
+use mantis::p4r_compiler::entry::LogicalKey;
+use mantis::rmt_sim::PacketDesc;
+use mantis::{schedule_fabric_agents, Fabric, FaultPlan, Telemetry, Testbed};
+
+const ALL_PROGRAMS: [(&str, &str); 4] = [
+    ("dos", DOS_P4R),
+    ("failover", FAILOVER_P4R),
+    ("ecmp", ECMP_P4R),
+    ("rl", RL_P4R),
+];
+
+/// Everything observable per switch after a run: aggregate tx accounting
+/// plus the ordered `(port, time)` sequence of packets that left it.
+fn per_switch_fingerprints(sim: &mut Simulator) -> Vec<String> {
+    let n = sim.num_switches();
+    let tagged = sim.take_tx_tagged();
+    (0..n)
+        .map(|i| {
+            let log: Vec<String> = tagged
+                .iter()
+                .filter(|(s, _)| *s == i)
+                .map(|(_, p)| format!("{}@{}", p.port, p.time))
+                .collect();
+            format!(
+                "sw{i} tx={} bytes={} log=[{}]",
+                sim.tx_count_on(i),
+                sim.tx_bytes_on(i),
+                log.join(",")
+            )
+        })
+        .collect()
+}
+
+/// One use-case program on a 4-switch line fabric: paced agents plus
+/// waves of IPv4 traffic into every switch (all four programs parse
+/// ethernet + ipv4, so one packet shape drives them all). Returns the
+/// complete observable output: telemetry trace + snapshot bytes and the
+/// per-switch transmit fingerprints.
+fn program_run(src: &str, workers: usize, scramble: Option<u64>) -> (String, String, Vec<String>) {
+    let mut fab = Fabric::from_p4r(src, Topology::line(4)).expect("program builds on a fabric");
+    fab.sim.set_workers(workers);
+    if let Some(seed) = scramble {
+        fab.sim.scramble_assignment(seed);
+    }
+    for agent in &fab.agents {
+        let mut agent = agent.borrow_mut();
+        // FAILOVER_P4R drops anything its (initially empty) route table
+        // misses; give every switch a default route so the workload's
+        // 10.0.0.0/8 traffic actually moves.
+        if src == FAILOVER_P4R {
+            agent
+                .user_init(|ctx| {
+                    ctx.table_add(
+                        "route",
+                        vec![LogicalKey::Lpm {
+                            value: Value::new(0x0A00_0000, 32),
+                            prefix_len: 8,
+                        }],
+                        0,
+                        "route_to",
+                        vec![Value::new(1, 9)],
+                    )?;
+                    Ok(())
+                })
+                .expect("default route installed");
+        }
+        agent
+            .register_all_interpreted()
+            .expect("reactions registered");
+    }
+    fab.start_agents(100_000);
+    for round in 0u64..6 {
+        let t = 1_000 + round * 50_000;
+        for i in 0..fab.num_switches() {
+            fab.sim.schedule(t, move |s| {
+                s.switch_at(i).borrow_mut().inject(
+                    &PacketDesc::new(0)
+                        .field("ethernet", "ether_type", 0x0800)
+                        .field("ipv4", "src_addr", u128::from(0xC0A8_0001 + round as u32))
+                        .field("ipv4", "dst_addr", u128::from(0x0A00_0000 + i as u32))
+                        .payload(64 + 8 * round as u32),
+                );
+            });
+        }
+    }
+    fab.sim.run_until(700_000);
+    if workers > 1 {
+        assert!(
+            fab.sim.par_stats().parallel_drains > 0,
+            "workers={workers} never exercised the parallel drain"
+        );
+    }
+    (
+        fab.chrome_trace(),
+        fab.telemetry_snapshot(),
+        per_switch_fingerprints(&mut fab.sim),
+    )
+}
+
+#[test]
+fn every_use_case_program_is_worker_count_invariant() {
+    for (name, src) in ALL_PROGRAMS {
+        let baseline = program_run(src, 1, None);
+        assert!(
+            baseline.2.iter().any(|f| !f.contains("tx=0 ")),
+            "{name}: workload moved no packets: {:?}",
+            baseline.2
+        );
+        for workers in [2, 4] {
+            let run = program_run(src, workers, None);
+            assert_eq!(
+                baseline.0, run.0,
+                "{name} @ {workers} workers: chrome trace diverged"
+            );
+            assert_eq!(
+                baseline.1, run.1,
+                "{name} @ {workers} workers: telemetry snapshot diverged"
+            );
+            assert_eq!(
+                baseline.2, run.2,
+                "{name} @ {workers} workers: per-switch fingerprints diverged"
+            );
+        }
+    }
+}
+
+/// The full cross-switch failover workload at a given worker count:
+/// 2×2 leaf–spine, heartbeats, a measured leaf-0 → leaf-1 flow, paced
+/// agents, and a mid-run link flap. Telemetry is attached to every
+/// switch so the barrier merge's ring bytes are part of the comparison.
+fn failover_run(
+    workers: usize,
+    scramble: Option<u64>,
+) -> (Vec<String>, Vec<usize>, Vec<Option<i128>>, String, String) {
+    let mut tb = build_failover_fabric(2, 2, 1_000, 0.2);
+    let telemetry = Telemetry::shared();
+    for i in 0..tb.sim.num_switches() {
+        tb.sim
+            .switch_at(i)
+            .borrow_mut()
+            .set_telemetry(telemetry.clone());
+    }
+    tb.sim.set_workers(workers);
+    if let Some(seed) = scramble {
+        tb.sim.scramble_assignment(seed);
+    }
+    schedule_fabric_agents(&mut tb.sim, &tb.agents, 50_000, 0);
+    spawn_udp_on(
+        &mut tb.sim,
+        0,
+        UdpConfig {
+            ingress_port: EXIT_PORT,
+            fields: vec![
+                ("ethernet".into(), "ether_type".into(), 0x0800),
+                ("ipv4".into(), "src_addr".into(), u128::from(leaf_host(0))),
+                ("ipv4".into(), "dst_addr".into(), u128::from(leaf_host(1))),
+            ],
+            payload_bytes: 1_250,
+            rate_bps: 1_000_000_000,
+            start_ns: 0,
+            stop_ns: None,
+        },
+    );
+    let plan = FaultPlan::new().flap_on(0, u32::from(HOST_PORTS), 700_000, 1_900_000);
+    schedule_link_flaps(&mut tb.sim, &plan);
+    tb.sim.run_until(1_500_000);
+
+    if workers > 1 {
+        assert!(tb.sim.par_stats().parallel_drains > 0);
+    }
+    let detections: Vec<usize> = tb.events.iter().map(|e| e.borrow().len()).collect();
+    let relay_totals: Vec<Option<i128>> = (2..4)
+        .map(|s| tb.agents[s].borrow().slot("relay_total"))
+        .collect();
+    (
+        per_switch_fingerprints(&mut tb.sim),
+        detections,
+        relay_totals,
+        telemetry.chrome_trace_json(),
+        telemetry.snapshot_json(),
+    )
+}
+
+#[test]
+fn failover_fabric_is_worker_count_invariant() {
+    let baseline = failover_run(1, None);
+    assert_eq!(baseline.1[0], 1, "leaf 0 must detect the downed wire");
+    assert!(
+        baseline.0.iter().all(|f| !f.contains("tx=0 ")),
+        "{:?}",
+        baseline.0
+    );
+    for workers in [2, 4] {
+        let run = failover_run(workers, None);
+        assert_eq!(baseline.0, run.0, "workers={workers}: exits diverged");
+        assert_eq!(baseline.1, run.1, "workers={workers}: detections diverged");
+        assert_eq!(
+            baseline.2, run.2,
+            "workers={workers}: spine measurements diverged"
+        );
+        assert_eq!(
+            baseline.3, run.3,
+            "workers={workers}: chrome trace diverged"
+        );
+        assert_eq!(baseline.4, run.4, "workers={workers}: snapshot diverged");
+    }
+}
+
+#[test]
+fn scrambled_shard_assignment_changes_nothing() {
+    // The shard→worker map is a scheduling detail: any seeded permutation
+    // must leave the output bytes untouched, because the barrier merge —
+    // not the assignment — fixes the canonical order.
+    let baseline = failover_run(2, None);
+    for seed in [1u64, 7, 42, 123] {
+        let run = failover_run(2, Some(seed));
+        assert_eq!(baseline.0, run.0, "seed={seed}: exits diverged");
+        assert_eq!(baseline.3, run.3, "seed={seed}: chrome trace diverged");
+        assert_eq!(baseline.4, run.4, "seed={seed}: snapshot diverged");
+    }
+    // And the same under a scrambled 4-program run.
+    let (trace, snap, fps) = program_run(DOS_P4R, 2, None);
+    for seed in [3u64, 99] {
+        let (t, s, f) = program_run(DOS_P4R, 2, Some(seed));
+        assert_eq!(
+            (trace.as_str(), snap.as_str(), &fps),
+            (t.as_str(), s.as_str(), &f)
+        );
+    }
+}
+
+#[test]
+fn worker_count_from_env_is_honored() {
+    // The CI `MANTIS_WORKERS=4` leg drives this at 4 workers; locally it
+    // defaults to the host's parallelism. The fabric constructor applies
+    // the knob, clamped to the switch count.
+    let requested = usize::from(mantis::workers_from_env());
+    let fab = Fabric::from_p4r(DOS_P4R, Topology::line(3)).expect("fabric");
+    assert_eq!(fab.sim.workers(), requested.clamp(1, 3));
+}
+
+#[test]
+fn single_switch_never_takes_the_parallel_path() {
+    // One switch means no shards to split: whatever MANTIS_WORKERS says,
+    // the serial drain runs and single-switch goldens stay byte-stable.
+    let mut tb = Testbed::from_p4r(DOS_P4R).expect("program");
+    tb.sim.set_workers(4);
+    assert_eq!(tb.sim.workers(), 1, "worker count must clamp to one switch");
+    tb.sim.switch().borrow_mut().inject(
+        &PacketDesc::new(0)
+            .field("ethernet", "ether_type", 0x0800)
+            .field("ipv4", "src_addr", 7)
+            .field("ipv4", "dst_addr", 9)
+            .payload(64),
+    );
+    tb.sim.run_until(100_000);
+    assert_eq!(tb.sim.par_stats().parallel_drains, 0);
+    assert!(tb.sim.par_stats().drains > 0);
+}
