@@ -33,6 +33,7 @@ const KNOWN: &[&str] = &[
     "faults",
     "fabric",
     "control",
+    "chaos",
 ];
 
 fn main() {
@@ -454,6 +455,47 @@ fn main() {
                 f.convergence_ns as f64 / 1000.0,
                 f.standby_attempts
             );
+        }
+        println!();
+    }
+
+    if want("chaos") {
+        let quick = std::env::var("MANTIS_BENCH_QUICK").is_ok_and(|v| v != "0");
+        let r = bench::chaos::run(quick);
+        save("chaos", &r);
+        merge_bench_perf("chaos", &r);
+        println!(
+            "== Chaos — seeded fault schedules vs invariant oracles ({}) ==",
+            if quick { "quick" } else { "full" }
+        );
+        println!(
+            "    {} seeds, {} workers: {} fabric trials ({} fingerprint-checked), {} mastership trials",
+            r.seeds_run, r.workers, r.fabric_trials, r.fingerprint_checked, r.mastership_trials
+        );
+        println!(
+            "    fabric: {} crashes, {} restarts; reconcile mean {:>7.1} µs  max {:>7.1} µs",
+            r.fabric_crashes,
+            r.fabric_restarts,
+            r.mean_reconcile_ns / 1000.0,
+            r.max_reconcile_ns as f64 / 1000.0
+        );
+        println!(
+            "    mastership: {} controller crashes, {} recoveries, {} failovers",
+            r.ctl_crashes, r.ctl_recoveries, r.ctl_failovers
+        );
+        if r.violations.is_empty() {
+            println!("    invariant violations: none");
+        } else {
+            println!("    invariant violations: {}", r.violations.len());
+            for v in &r.violations {
+                println!(
+                    "      seed {} [{}] {}: {}",
+                    v.seed, v.scenario, v.oracle, v.detail
+                );
+            }
+            for p in &r.corpus_written {
+                println!("      shrunk repro written: {p}");
+            }
         }
         println!();
     }

@@ -20,6 +20,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod control;
 pub mod fabric;
 pub mod faults;

@@ -129,6 +129,14 @@ impl AgentError {
         matches!(&self.kind, AgentErrorKind::Driver(e) if e.is_transient())
     }
 
+    /// Did the agent process die mid-operation (an injected crash)? A
+    /// crash is neither retried nor rolled back: the process is gone, and
+    /// whatever the op did or did not reach the device stays there until
+    /// a successor [`reconcile`](MantisAgent::reconcile)s.
+    pub fn is_crash(&self) -> bool {
+        matches!(&self.kind, AgentErrorKind::Driver(e) if e.is_crash())
+    }
+
     /// Annotate with a phase, keeping an earlier (more precise) one.
     fn in_phase(mut self, phase: AgentPhase) -> Self {
         if self.phase.is_none() {
@@ -699,6 +707,106 @@ impl MantisAgent {
         self.tables.get(table).map(|t| t.len())
     }
 
+    /// FNV-1a fingerprint of the agent's *committed malleable config*:
+    /// every slot value plus every logical table entry (key, priority,
+    /// action, action data), both in sorted order.
+    ///
+    /// Deliberately excluded: vv/mv parity (a recovered run may have
+    /// committed a different number of times), physical and logical entry
+    /// handles (monotonic allocators do not reset across a crash), and
+    /// data-plane counters. Two agents with equal fingerprints steer
+    /// packets identically — the convergence oracle of DESIGN.md §13.
+    pub fn config_fingerprint(&self) -> u64 {
+        let mut h = Self::FNV_OFFSET;
+        self.eat_slots(&mut h);
+        self.eat_entries(&mut h);
+        h
+    }
+
+    /// [`MantisAgent::config_fingerprint`] restricted to logical table
+    /// entries — the configuration content alone. Slot values are
+    /// additionally excluded because they mirror *measurements*: two runs
+    /// with different fault timing legitimately diverge on them while
+    /// steering packets through identical tables. The cross-run
+    /// convergence oracle compares this against a fault-free baseline.
+    pub fn entry_fingerprint(&self) -> u64 {
+        let mut h = Self::FNV_OFFSET;
+        self.eat_entries(&mut h);
+        h
+    }
+
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn eat(h: &mut u64, s: &str) {
+        for b in s.as_bytes() {
+            *h ^= u64::from(*b);
+            *h = h.wrapping_mul(Self::FNV_PRIME);
+        }
+    }
+
+    fn eat_slots(&self, h: &mut u64) {
+        let mut slots: Vec<(&String, &i128)> = self.slots.iter().collect();
+        slots.sort();
+        for (name, v) in slots {
+            Self::eat(h, &format!("slot {name}={v}\n"));
+        }
+    }
+
+    fn eat_entries(&self, h: &mut u64) {
+        let mut names: Vec<&String> = self.tables.keys().collect();
+        names.sort();
+        for name in names {
+            let lt = &self.tables[name.as_str()];
+            let mut lines: Vec<String> = lt
+                .entries
+                .values()
+                .map(|e| {
+                    format!(
+                        "{name} {:?} p{} {}{:?}\n",
+                        e.key, e.priority, e.action, e.action_data
+                    )
+                })
+                .collect();
+            lines.sort();
+            for l in lines {
+                Self::eat(h, &l);
+            }
+        }
+    }
+
+    /// Device-side config-atomicity oracle: read every pipe's master init
+    /// default back and check the pipes agree (between dialogue
+    /// iterations every pipe must be entirely-old xor entirely-new, and
+    /// post-quiescence they must all be new). Returns a description of
+    /// the divergence, naming the pipe, if the invariant is violated.
+    /// Reads run with faults suspended so the oracle itself cannot
+    /// trigger injected rules.
+    pub fn verify_config_atomicity(&mut self) -> Result<(), String> {
+        self.driver.suspend_faults();
+        let num_pipes = self.driver.num_pipes();
+        let mut datas = Vec::with_capacity(usize::from(num_pipes));
+        for pipe in 0..num_pipes {
+            match self.driver.table_default_on(pipe, self.master_table) {
+                Ok((_, data)) => datas.push(data),
+                Err(e) => {
+                    self.driver.resume_faults();
+                    return Err(format!("atomicity read-back failed on pipe {pipe}: {e}"));
+                }
+            }
+        }
+        self.driver.resume_faults();
+        for (pipe, data) in datas.iter().enumerate().skip(1) {
+            if *data != datas[0] {
+                return Err(format!(
+                    "config torn across pipes: pipe {pipe} has {data:?}, pipe 0 has {:?}",
+                    datas[0]
+                ));
+            }
+        }
+        Ok(())
+    }
+
     // -- fault-tolerance configuration ------------------------------------------
 
     /// Install a fault plan on the driver (driver-op rules only; link
@@ -931,6 +1039,175 @@ impl MantisAgent {
         Ok(())
     }
 
+    /// Recover from an agent crash at an *arbitrary* point of the dialogue
+    /// (DESIGN.md §13): read the device's authoritative state back through
+    /// the driver and rebuild this agent's soft state to match, repairing
+    /// any torn commit the dead agent left behind.
+    ///
+    /// Unlike [`adopt`](MantisAgent::adopt) — which assumes the previous
+    /// controller died *between* iterations — `reconcile` makes no
+    /// assumption about where the crash landed:
+    ///
+    /// 1. every pipe's master init default is read back; pipe 0 is
+    ///    authoritative (commits and measure flips walk pipes in index
+    ///    order, so pipe 0 always carries the newest `[vv, mv, slots...]`),
+    ///    and stale pipes are rolled *forward* to it;
+    /// 2. each extra init table's two per-vv entries are read back; missing
+    ///    ones are re-added and a mirror divergence (crash between prepare
+    ///    and mirror) is repaired by copying the active copy over the old;
+    /// 3. user-table entries are wiped and logical bookkeeping reset —
+    ///    Mantis reactive state is soft state (§6), so the caller re-runs
+    ///    its `user_init` and lets reactions re-converge from live
+    ///    measurements, exactly as a fresh controller would;
+    /// 4. static prologue entries (field-list selectors) are re-installed.
+    ///
+    /// Runs with faults suspended: recovery itself models the restarted
+    /// process's clean first ops.
+    pub fn reconcile(&mut self) -> Result<(), AgentError> {
+        self.driver.suspend_faults();
+        let res = self.reconcile_inner();
+        self.driver.resume_faults();
+        res.map_err(|e| e.in_phase(AgentPhase::Prologue))
+    }
+
+    fn reconcile_inner(&mut self) -> Result<(), AgentError> {
+        // ── 1. master init: per-pipe read-back + roll-forward ──
+        let num_pipes = self.driver.num_pipes();
+        let mut pipe_datas = Vec::with_capacity(usize::from(num_pipes));
+        for pipe in 0..num_pipes {
+            let (_, data) = self.driver.table_default_on(pipe, self.master_table)?;
+            pipe_datas.push(data);
+        }
+        let want_len = self.master_data.len();
+        if pipe_datas[0].len() != want_len {
+            // The crash predates the master default (mid-prologue): assert
+            // this agent's initial config on every pipe and start clean.
+            self.driver.table_set_default(
+                self.master_table,
+                self.master_action,
+                self.master_data.clone(),
+                true,
+            )?;
+        } else {
+            let newest = pipe_datas[0].clone();
+            for pipe in 1..num_pipes {
+                if pipe_datas[usize::from(pipe)] != newest {
+                    self.driver.table_set_default_on(
+                        pipe,
+                        self.master_table,
+                        self.master_action,
+                        newest.clone(),
+                        true,
+                    )?;
+                }
+            }
+            // Adopt the device's committed view: vv (now uniform), mv, and
+            // every master-resident slot.
+            let vv = newest[0].bits() as u8;
+            self.vv = vec![vv; usize::from(num_pipes)];
+            self.mv = newest[1].bits() as u8;
+            for (name, loc) in &self.slot_locs {
+                if loc.init_table == 0 {
+                    self.slots
+                        .insert(name.clone(), newest[loc.param_idx].bits() as i128);
+                }
+            }
+            self.master_data = newest;
+        }
+
+        // ── 2. extra init tables: read back both per-vv entries ──
+        let active = self.vv[0];
+        for i in 0..self.extra_inits.len() {
+            let (table_id, action) = {
+                let ei = &self.extra_inits[i];
+                (ei.table_id, ei.action)
+            };
+            let snaps = self.driver.table_dump(table_id)?;
+            let mut found: [Option<(EntryHandle, Vec<Value>)>; 2] = [None, None];
+            for s in &snaps {
+                for vvbit in 0..2u8 {
+                    let want = KeyField::Exact(Value::new(u128::from(vvbit), 1));
+                    if s.key.first() == Some(&want) {
+                        found[vvbit as usize] = Some((s.handle, s.data.clone()));
+                    }
+                }
+            }
+            // The active copy's data is what packets currently see: adopt
+            // it (falling back to this agent's initial data if the crash
+            // predates the prologue's add).
+            if let Some((_, data)) = &found[active as usize] {
+                let loaded = data.clone();
+                for (name, loc) in &self.slot_locs {
+                    if loc.init_table == i + 1 {
+                        self.slots
+                            .insert(name.clone(), loaded[loc.param_idx].bits() as i128);
+                    }
+                }
+                self.extra_inits[i].data = loaded;
+            }
+            let data = self.extra_inits[i].data.clone();
+            let mut handles = [EntryHandle(0), EntryHandle(0)];
+            for vvbit in 0..2u8 {
+                match &found[vvbit as usize] {
+                    Some((h, d)) => {
+                        handles[vvbit as usize] = *h;
+                        // Crash between prepare and mirror: the old copy
+                        // still holds pre-crash data. Repair it.
+                        if *d != data {
+                            self.driver.table_mod(table_id, *h, action, data.clone())?;
+                        }
+                    }
+                    None => {
+                        handles[vvbit as usize] = self.driver.table_add(
+                            table_id,
+                            vec![KeyField::Exact(Value::new(u128::from(vvbit), 1))],
+                            0,
+                            action,
+                            data.clone(),
+                        )?;
+                    }
+                }
+            }
+            self.extra_inits[i].handles = handles;
+        }
+
+        // ── 3. user tables: wipe physical entries, reset bookkeeping ──
+        let tids: Vec<(String, TableId)> = self
+            .tables
+            .iter()
+            .map(|(n, lt)| (n.clone(), lt.table_id))
+            .collect();
+        for (name, tid) in tids {
+            for s in self.driver.table_dump(tid)? {
+                self.driver.table_del(tid, s.handle)?;
+            }
+            self.tables
+                .insert(name.clone(), LogicalTable::new(name, tid));
+        }
+
+        // ── 4. re-install static prologue entries ──
+        for pe in self.iface.prologue_entries.clone() {
+            let tid = self.driver.table_id(&pe.table)?;
+            let aid = self.driver.action_id(&pe.action)?;
+            self.driver.table_add(
+                tid,
+                vec![KeyField::Exact(Value::new(u128::from(pe.selector), 16))],
+                0,
+                aid,
+                vec![],
+            )?;
+        }
+
+        // Soft state of the dead agent dies with it.
+        self.staged.clear();
+        self.reaction_ranges.clear();
+        self.snapshots.clear();
+        self.reg_caches.clear();
+        self.driver.flush()?;
+        self.prologue_done = true;
+        Ok(())
+    }
+
     /// Run user initialization: stage updates in a closure, then apply them
     /// with the full serializable sequence (no measurement).
     pub fn user_init<F>(&mut self, f: F) -> Result<(), AgentError>
@@ -992,6 +1269,12 @@ impl MantisAgent {
             .write_master(&mut retries)
             .and_then(|()| self.read_measurements(frozen, &mut retries));
         if let Err(e) = measured {
+            if e.is_crash() {
+                // The process died mid-measure. No restore: a dead agent
+                // writes nothing, and the device keeps whatever subset of
+                // pipes the flip reached. The successor reconciles.
+                return Err(e.in_phase(AgentPhase::Measure).at_iteration(iter));
+            }
             // Nothing malleable was touched; re-freeze the old copy so the
             // device and agent agree again, then surface the error.
             self.mv = frozen;
@@ -1367,6 +1650,13 @@ impl MantisAgent {
                     break Ok(ns);
                 }
                 Err(fail) => {
+                    if fail.err.is_crash() {
+                        // The process died mid-apply. A dead agent cannot
+                        // roll back: the device is left torn exactly as the
+                        // crash found it (some pipes committed, some not),
+                        // which is the state a successor must reconcile.
+                        break Err(fail.err);
+                    }
                     self.rollback(&txn);
                     *rollbacks += 1;
                     self.telemetry.counter_add(scopes::CTR_ROLLBACKS, 1);

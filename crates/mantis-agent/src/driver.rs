@@ -27,6 +27,17 @@ enum MemoKey {
     InitDefault(TableId),
 }
 
+/// One physical table entry as read back from the device — the unit of
+/// the reconcile path's [`MantisDriver::table_dump`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EntrySnapshot {
+    pub handle: EntryHandle,
+    pub key: Vec<KeyField>,
+    pub priority: u32,
+    pub action: ActionId,
+    pub data: Vec<Value>,
+}
+
 /// Statistics of driver activity.
 #[derive(Clone, Debug, Default)]
 pub struct DriverStats {
@@ -187,6 +198,15 @@ impl MantisDriver {
                 self.stats.injected_failures += 1;
                 self.telemetry.counter_add(scopes::CTR_DRIVER_INJECTED, 1);
                 Err(DriverError::Injected { op, persistent })
+            }
+            // Process death is instant: no latency is spent, no state
+            // mutated. Whether the op "landed" is decided by where the
+            // crash point falls in the op sequence, which is exactly what
+            // the reconcile path must cope with.
+            Some(Injection::Crash) => {
+                self.stats.injected_failures += 1;
+                self.telemetry.counter_add(scopes::CTR_DRIVER_INJECTED, 1);
+                Err(DriverError::Crashed { op })
             }
             Some(Injection::Delay { factor_milli }) => {
                 *cost = scale(*cost, factor_milli);
@@ -360,6 +380,13 @@ impl MantisDriver {
                     persistent,
                 });
             }
+            Some(Injection::Crash) => {
+                self.stats.injected_failures += 1;
+                self.telemetry.counter_add(scopes::CTR_DRIVER_INJECTED, 1);
+                return Err(DriverError::Crashed {
+                    op: "register_read",
+                });
+            }
             Some(Injection::Stale) => {
                 self.spend("register_read", cost);
                 // Serve the previous snapshot of this range (zeros if it
@@ -430,6 +457,56 @@ impl MantisDriver {
         self.gate("port_set", &mut cost)?;
         self.spend("port_set", cost);
         sw.port_set_up(port, up)
+    }
+
+    // -- read-back (reconcile) --------------------------------------------------
+
+    /// Read back one pipe's default action of a table — the reconcile
+    /// path's master-state read (a restarted agent recovering vv/mv and
+    /// the committed slot values from the device).
+    pub fn table_default_on(
+        &mut self,
+        sw: &Switch,
+        pipe: u16,
+        table: TableId,
+    ) -> Result<(ActionId, Vec<Value>), DriverError> {
+        if pipe >= sw.num_pipes() {
+            return Err(DriverError::BadPipe(pipe));
+        }
+        let mut cost = self.cost.pcie_base_ns;
+        self.gate_on("default_read", Some(pipe), &mut cost)?;
+        self.spend("default_read", cost);
+        let (action, data) = sw
+            .table_ref_on(pipe, table)
+            .default_action()
+            .cloned()
+            .unwrap_or((ActionId(0), std::sync::Arc::from(Vec::new())));
+        Ok((action, data.to_vec()))
+    }
+
+    /// Dump every physical entry of a table (pipe 0's view; symmetric ops
+    /// keep all pipes equal) — the reconcile path's table read-back. Cost
+    /// scales with the entry count like a batched register read.
+    pub fn table_dump(
+        &mut self,
+        sw: &Switch,
+        table: TableId,
+    ) -> Result<Vec<EntrySnapshot>, DriverError> {
+        let n = sw.table_len(table).max(1);
+        let mut cost = self.cost.register_read(n * 16);
+        self.gate("table_dump", &mut cost)?;
+        self.spend("table_dump", cost);
+        Ok(sw
+            .table_ref(table)
+            .entries()
+            .map(|e| EntrySnapshot {
+                handle: e.handle,
+                key: e.key.clone(),
+                priority: e.priority,
+                action: e.action,
+                data: e.action_data.to_vec(),
+            })
+            .collect())
     }
 
     /// Account an externally computed cost (e.g. the packed-word cost of a

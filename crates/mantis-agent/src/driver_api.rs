@@ -15,7 +15,7 @@
 //! applies everything synchronously, so its barriers are trivial.
 
 use crate::costmodel::CostModel;
-use crate::driver::{DriverStats, MantisDriver};
+use crate::driver::{DriverStats, EntrySnapshot, MantisDriver};
 use mantis_faults::FaultPlan;
 use mantis_telemetry::Telemetry;
 use p4_ast::Value;
@@ -145,6 +145,23 @@ pub trait DriverApi {
 
     /// Admin state of a port (`None` for an unknown port).
     fn port_up(&mut self, port: PortId) -> Result<Option<bool>, DriverError>;
+
+    // -- read-back (reconcile) ----------------------------------------------
+
+    /// Read back one pipe's default action of a table. The reconcile path
+    /// of a restarted agent recovers the per-pipe version bits, the
+    /// measurement version, and the committed slot values from the master
+    /// init table's defaults. Barrier for batching drivers.
+    fn table_default_on(
+        &mut self,
+        pipe: u16,
+        table: TableId,
+    ) -> Result<(ActionId, Vec<Value>), DriverError>;
+
+    /// Dump every physical entry of a table (pipe 0's view; symmetric ops
+    /// keep all pipes equal) — how a restarted agent discovers what the
+    /// dead one left installed. Barrier for batching drivers.
+    fn table_dump(&mut self, table: TableId) -> Result<Vec<EntrySnapshot>, DriverError>;
 
     /// Account an externally computed measurement cost (the packed-word
     /// field poll).
@@ -364,6 +381,22 @@ impl DriverApi for LocalDriver {
 
     fn port_up(&mut self, port: PortId) -> Result<Option<bool>, DriverError> {
         Ok(self.switch.borrow().port(port).map(|st| st.up))
+    }
+
+    fn table_default_on(
+        &mut self,
+        pipe: u16,
+        table: TableId,
+    ) -> Result<(ActionId, Vec<Value>), DriverError> {
+        let switch = self.switch.clone();
+        let sw = switch.borrow();
+        self.inner.table_default_on(&sw, pipe, table)
+    }
+
+    fn table_dump(&mut self, table: TableId) -> Result<Vec<EntrySnapshot>, DriverError> {
+        let switch = self.switch.clone();
+        let sw = switch.borrow();
+        self.inner.table_dump(&sw, table)
     }
 
     fn spend_external(&mut self, dur: Nanos) -> Result<(), DriverError> {

@@ -21,7 +21,7 @@
 
 use crate::failover::{FailureEvent, GrayFailureDetector, Topology as RouteTopology};
 use crate::programs::{ECMP_P4R, FAILOVER_P4R, SPINE_P4R};
-use mantis_agent::{schedule_fabric_agents, CostModel, MantisAgent};
+use mantis_agent::{schedule_fabric_agents, AgentError, CostModel, LogicalHandle, MantisAgent};
 use mantis_faults::FaultPlan;
 use netsim::{
     schedule_link_flaps, spawn_heartbeats_on, spawn_udp_on, HeartbeatConfig, Simulator, Topology,
@@ -89,6 +89,136 @@ pub struct FabricTestbed {
     pub spines: usize,
     /// Per-leaf failure-event logs (leaf index order).
     pub events: Vec<Rc<RefCell<Vec<FailureEvent>>>>,
+    /// Heartbeat period the fabric was built with (needed to rebuild a
+    /// crashed leaf's detector).
+    pub ts_ns: Nanos,
+    /// Delivery expectation the fabric was built with.
+    pub eta: f64,
+}
+
+/// Install leaf `leaf`'s initial routes (primary spine per remote
+/// prefix plus the local-subnet exit) and return the remote-prefix
+/// route handles in destination order — the handles the gray-failure
+/// detector repoints on failover. Logical handles are deterministic, so
+/// a crash-restarted agent gets the same ones back.
+pub fn install_leaf_routes(
+    agent: &mut MantisAgent,
+    leaf: usize,
+    leaves: usize,
+    spines: usize,
+) -> Result<Vec<LogicalHandle>, AgentError> {
+    let topo = leaf_route_topology(leaf, leaves, spines);
+    let routes = topo.best_routes(&vec![true; spines]);
+    let handles = Rc::new(RefCell::new(Vec::new()));
+    let out = handles.clone();
+    let local = leaf_subnet(leaf);
+    agent.user_init(move |ctx| {
+        for (d, (addr, plen)) in topo.dests.iter().enumerate() {
+            let n = routes[d].expect("all spines alive initially");
+            let port = topo.neighbor_ports[n];
+            let h = ctx.table_add(
+                "route",
+                vec![LogicalKey::Lpm {
+                    value: Value::new(u128::from(*addr), 32),
+                    prefix_len: *plen,
+                }],
+                0,
+                "route_to",
+                vec![Value::new(u128::from(port), 9)],
+            )?;
+            handles.borrow_mut().push(h);
+        }
+        // The local subnet exits the fabric at the host port.
+        ctx.table_add(
+            "route",
+            vec![LogicalKey::Lpm {
+                value: Value::new(u128::from(local), 32),
+                prefix_len: 24,
+            }],
+            0,
+            "route_to",
+            vec![Value::new(u128::from(EXIT_PORT), 9)],
+        )?;
+        Ok(())
+    })?;
+    let hs = out.borrow().clone();
+    Ok(hs)
+}
+
+/// Install a spine's heartbeat and data routes: one downlink entry per
+/// leaf in each of `hb_route` and `route`.
+pub fn install_spine_routes(agent: &mut MantisAgent, leaves: usize) -> Result<(), AgentError> {
+    agent.user_init(move |ctx| {
+        for i in 0..leaves {
+            let down = u128::from(HOST_PORTS + i as PortId);
+            // Heartbeats bound for leaf i (hb.origin = i) relay to
+            // its downlink; so does its data prefix.
+            ctx.table_add(
+                "hb_route",
+                vec![LogicalKey::Exact(Value::new(i as u128, 16))],
+                0,
+                "hb_to",
+                vec![Value::new(down, 9)],
+            )?;
+            ctx.table_add(
+                "route",
+                vec![LogicalKey::Lpm {
+                    value: Value::new(u128::from(leaf_subnet(i)), 32),
+                    prefix_len: 24,
+                }],
+                0,
+                "route_to",
+                vec![Value::new(down, 9)],
+            )?;
+        }
+        Ok(())
+    })
+}
+
+/// Model a crash-restart of fabric agent `index` (leaf or spine): the
+/// restarted control process runs under `plan` (typically
+/// [`mantis_faults::chaos::ChaosPlan::restart_plan`]'s output; `None`
+/// clears faults), reads device state back and repairs any torn apply
+/// ([`MantisAgent::reconcile`]), re-installs its routes, and re-arms a
+/// fresh gray-failure detector (leaves) appending to the same event log.
+/// The agent object is repaired in place, so paced dialogue loops
+/// already scheduled against its `Rc` keep driving the revived agent.
+pub fn restart_fabric_agent(
+    tb: &FabricTestbed,
+    index: usize,
+    plan: Option<FaultPlan>,
+) -> Result<(), AgentError> {
+    let mut agent = tb.agents[index].borrow_mut();
+    agent.set_fault_plan(plan.unwrap_or_default());
+    agent.reconcile()?;
+    if index < tb.leaves {
+        let handles = install_leaf_routes(&mut agent, index, tb.leaves, tb.spines)?;
+        let mut det = GrayFailureDetector::new(
+            leaf_route_topology(index, tb.leaves, tb.spines),
+            tb.ts_ns,
+            tb.eta,
+        );
+        det.events = tb.events[index].clone();
+        det.set_route_handles(handles);
+        agent.swap_reaction("detect_failures", Box::new(det), true)?;
+    } else {
+        install_spine_routes(&mut agent, tb.leaves)?;
+    }
+    Ok(())
+}
+
+/// Knobs for [`build_failover_fabric_with`] beyond the topology shape.
+#[derive(Clone, Debug, Default)]
+pub struct FabricOptions {
+    /// Per-switch hardware configuration. The fabric's active ports all
+    /// live in pipe 0 even at `num_pipes > 1` (ports partition
+    /// contiguously), so raising the pipe count leaves traffic behavior
+    /// unchanged while making the agents' per-pipe apply path — and its
+    /// torn-crash surface — live.
+    pub switch: SwitchConfig,
+    /// Stop the heartbeat generators at this virtual time (`None` = run
+    /// forever). Used by workloads that must fully quiesce.
+    pub hb_stop_ns: Option<Nanos>,
 }
 
 /// Build the failover fabric. `ts_ns` is the heartbeat period `T_s`
@@ -102,6 +232,17 @@ pub fn build_failover_fabric(
     spines: usize,
     ts_ns: Nanos,
     eta: f64,
+) -> FabricTestbed {
+    build_failover_fabric_with(leaves, spines, ts_ns, eta, &FabricOptions::default())
+}
+
+/// [`build_failover_fabric`] with explicit [`FabricOptions`].
+pub fn build_failover_fabric_with(
+    leaves: usize,
+    spines: usize,
+    ts_ns: Nanos,
+    eta: f64,
+    opts: &FabricOptions,
 ) -> FabricTestbed {
     assert!(
         (2..=HOST_PORTS as usize).contains(&leaves),
@@ -122,7 +263,7 @@ pub fn build_failover_fabric(
 
     for i in 0..leaves {
         let spec = rmt_sim::load(&leaf_compiled.p4).expect("leaf spec loads");
-        let switch = SharedSwitch::new(Switch::new(spec, SwitchConfig::default(), clock.clone()));
+        let switch = SharedSwitch::new(Switch::new(spec, opts.switch.clone(), clock.clone()));
         switch.borrow_mut().set_fabric_index(Some(i as u16));
         let mut agent = MantisAgent::new(switch.clone(), &leaf_compiled, CostModel::default());
         agent.set_fabric_index(Some(i as u16));
@@ -131,45 +272,9 @@ pub fn build_failover_fabric(
         let route_topo = leaf_route_topology(i, leaves, spines);
         let mut det = GrayFailureDetector::new(route_topo.clone(), ts_ns, eta);
         events.push(det.events.clone());
-        let routes = route_topo.best_routes(&vec![true; spines]);
-        let handles = Rc::new(RefCell::new(Vec::new()));
-        {
-            let topo = route_topo.clone();
-            let handles = handles.clone();
-            let local = leaf_subnet(i);
-            agent
-                .user_init(move |ctx| {
-                    for (d, (addr, plen)) in topo.dests.iter().enumerate() {
-                        let n = routes[d].expect("all spines alive initially");
-                        let port = topo.neighbor_ports[n];
-                        let h = ctx.table_add(
-                            "route",
-                            vec![LogicalKey::Lpm {
-                                value: Value::new(u128::from(*addr), 32),
-                                prefix_len: *plen,
-                            }],
-                            0,
-                            "route_to",
-                            vec![Value::new(u128::from(port), 9)],
-                        )?;
-                        handles.borrow_mut().push(h);
-                    }
-                    // The local subnet exits the fabric at the host port.
-                    ctx.table_add(
-                        "route",
-                        vec![LogicalKey::Lpm {
-                            value: Value::new(u128::from(local), 32),
-                            prefix_len: 24,
-                        }],
-                        0,
-                        "route_to",
-                        vec![Value::new(u128::from(EXIT_PORT), 9)],
-                    )?;
-                    Ok(())
-                })
-                .expect("leaf routes installed");
-        }
-        det.set_route_handles(handles.borrow().clone());
+        let handles =
+            install_leaf_routes(&mut agent, i, leaves, spines).expect("leaf routes installed");
+        det.set_route_handles(handles);
         agent
             .register_native("detect_failures", Box::new(det))
             .expect("leaf reaction registered");
@@ -180,38 +285,12 @@ pub fn build_failover_fabric(
     for j in 0..spines {
         let fab = (leaves + j) as u16;
         let spec = rmt_sim::load(&spine_compiled.p4).expect("spine spec loads");
-        let switch = SharedSwitch::new(Switch::new(spec, SwitchConfig::default(), clock.clone()));
+        let switch = SharedSwitch::new(Switch::new(spec, opts.switch.clone(), clock.clone()));
         switch.borrow_mut().set_fabric_index(Some(fab));
         let mut agent = MantisAgent::new(switch.clone(), &spine_compiled, CostModel::default());
         agent.set_fabric_index(Some(fab));
         agent.prologue().expect("spine prologue");
-        agent
-            .user_init(move |ctx| {
-                for i in 0..leaves {
-                    let down = u128::from(HOST_PORTS + i as PortId);
-                    // Heartbeats bound for leaf i (hb.origin = i) relay to
-                    // its downlink; so does its data prefix.
-                    ctx.table_add(
-                        "hb_route",
-                        vec![LogicalKey::Exact(Value::new(i as u128, 16))],
-                        0,
-                        "hb_to",
-                        vec![Value::new(down, 9)],
-                    )?;
-                    ctx.table_add(
-                        "route",
-                        vec![LogicalKey::Lpm {
-                            value: Value::new(u128::from(leaf_subnet(i)), 32),
-                            prefix_len: 24,
-                        }],
-                        0,
-                        "route_to",
-                        vec![Value::new(down, 9)],
-                    )?;
-                }
-                Ok(())
-            })
-            .expect("spine routes installed");
+        install_spine_routes(&mut agent, leaves).expect("spine routes installed");
         agent
             .register_all_interpreted()
             .expect("spine reaction registered");
@@ -239,6 +318,7 @@ pub fn build_failover_fabric(
                     ],
                     interval_ns: ts_ns,
                     start_ns: 0,
+                    stop_ns: opts.hb_stop_ns,
                 },
             );
         }
@@ -250,6 +330,8 @@ pub fn build_failover_fabric(
         leaves,
         spines,
         events,
+        ts_ns,
+        eta,
     }
 }
 

@@ -269,6 +269,7 @@ pub fn build_testbed(topo: Topology, ts_ns: Nanos, eta: f64) -> FailoverTestbed 
                 ],
                 interval_ns: ts_ns,
                 start_ns: 0,
+                stop_ns: None,
             },
         );
     }
@@ -489,6 +490,7 @@ mod tests {
                     ],
                     interval_ns: 1_000,
                     start_ns: 0,
+                    stop_ns: None,
                 },
             );
         }

@@ -215,6 +215,11 @@ impl Channel {
             }
             Some(Injection::Delay { factor_milli }) => self.delay(bytes.len(), factor_milli),
             Some(Injection::Duplicate) => deliveries = 2,
+            // The controller process dies with the request in hand: it
+            // never reaches the device. Not retried (nobody is left to).
+            Some(Injection::Crash) => {
+                return Err(DriverError::Crashed { op: "control_req" });
+            }
             // Stale/Corrupt are read-path faults with no channel meaning.
             Some(Injection::Stale) | Some(Injection::Corrupt { .. }) | None => {}
         }
@@ -243,6 +248,12 @@ impl Channel {
             // A duplicated response: the client keeps one copy.
             Some(Injection::Duplicate) => {
                 self.telemetry.counter_add(scopes::CTR_CONTROL_DUPS, 1);
+            }
+            // The controller dies with the response in flight: the batch
+            // *was* applied on the device — exactly the torn case the
+            // successor's reconcile repairs.
+            Some(Injection::Crash) => {
+                return Err(DriverError::Crashed { op: "control_resp" });
             }
             Some(Injection::Stale) | Some(Injection::Corrupt { .. }) | None => {}
         }

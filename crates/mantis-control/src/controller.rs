@@ -73,6 +73,12 @@ pub struct StepReport {
     pub iterations: usize,
     /// Dialogue iterations that failed permanently.
     pub failures: usize,
+    /// Did the controller process die this step (injected crash)? It
+    /// drops mastership immediately; the next step models the restarted
+    /// process, which reconciles device state before driving agents.
+    pub crashed: bool,
+    /// Did this step's acquisition run crash-recovery reconciliation?
+    pub reconciled: bool,
 }
 
 /// A (possibly standby) control-plane instance for a set of switches.
@@ -81,6 +87,12 @@ pub struct Controller {
     endpoints: Vec<Endpoint>,
     agents: Vec<MantisAgent>,
     is_master: bool,
+    /// Set when an injected crash killed this controller's process; the
+    /// next acquisition reconciles instead of adopting.
+    crashed: bool,
+    /// Crash-recovery reconciliations performed over this controller's
+    /// lifetime.
+    recoveries: u64,
     fault_plan: Option<FaultPlan>,
     setup: Option<Rc<AgentSetup>>,
     telemetry: Option<Arc<Telemetry>>,
@@ -93,6 +105,8 @@ impl Controller {
             endpoints: Vec::new(),
             agents: Vec::new(),
             is_master: false,
+            crashed: false,
+            recoveries: 0,
             fault_plan: None,
             setup: None,
             telemetry: None,
@@ -145,6 +159,17 @@ impl Controller {
         self.is_master
     }
 
+    /// Is this controller currently down after an injected crash (i.e.
+    /// its next step models the restarted process)?
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Crash-recovery reconciliations performed so far.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
     /// The agents this controller drives (empty until first acquisition).
     pub fn agents(&self) -> &[MantisAgent] {
         &self.agents
@@ -188,7 +213,13 @@ impl Controller {
         for ep in &mut self.endpoints {
             match Self::claim(&mut ep.arb, self.cfg.id, self.cfg.lease_ns) {
                 Ok((true, prev, _expires)) => prevs.push(prev),
-                Ok((false, _, _)) | Err(_) => return Ok(false),
+                Ok((false, _, _)) => return Ok(false),
+                Err(e) => {
+                    if e.is_crash() {
+                        self.crashed = true;
+                    }
+                    return Ok(false);
+                }
             }
         }
 
@@ -205,22 +236,59 @@ impl Controller {
                 }
                 self.agents.push(agent);
             }
-            for (i, (agent, prev)) in self.agents.iter_mut().zip(&prevs).enumerate() {
+            let setup = self.setup.clone();
+            for (i, prev) in prevs.iter().enumerate() {
                 let taken_over = prev.is_some();
-                if taken_over {
-                    agent.adopt()?;
+                let res = if taken_over {
+                    self.agents[i].adopt()
                 } else {
-                    agent.prologue()?;
+                    self.agents[i].prologue()
                 }
-                if let Some(setup) = &self.setup {
-                    setup(i, agent)?;
+                .and_then(|()| match &setup {
+                    Some(s) => s(i, &mut self.agents[i]),
+                    None => Ok(()),
+                });
+                if let Err(e) = res {
+                    if e.is_crash() {
+                        self.crashed = true;
+                        return Ok(false);
+                    }
+                    return Err(e);
                 }
             }
+        } else if self.crashed {
+            // Restarted after a crash: the dead process may have left a
+            // torn apply behind, and its soft state died with it. Read
+            // device state back, repair, and re-run the setup (the
+            // reconcile wiped reactive table state — Mantis soft state
+            // re-converges from measurements).
+            let setup = self.setup.clone();
+            for i in 0..self.agents.len() {
+                let res = self.agents[i].reconcile().and_then(|()| match &setup {
+                    Some(s) => s(i, &mut self.agents[i]),
+                    None => Ok(()),
+                });
+                if let Err(e) = res {
+                    if e.is_crash() {
+                        // Crashed again mid-recovery; try next step.
+                        return Ok(false);
+                    }
+                    return Err(e);
+                }
+            }
+            self.crashed = false;
+            self.recoveries += 1;
         } else {
             // Re-acquisition after losing the lease: another controller
             // may have rewritten init state — re-assert ours.
             for agent in &mut self.agents {
-                agent.adopt()?;
+                if let Err(e) = agent.adopt() {
+                    if e.is_crash() {
+                        self.crashed = true;
+                        return Ok(false);
+                    }
+                    return Err(e);
+                }
             }
         }
         self.is_master = true;
@@ -234,12 +302,15 @@ impl Controller {
             return false;
         }
         for ep in &mut self.endpoints {
-            if !matches!(
-                Self::claim(&mut ep.arb, self.cfg.id, self.cfg.lease_ns),
-                Ok((true, _, _))
-            ) {
-                self.is_master = false;
-                return false;
+            match Self::claim(&mut ep.arb, self.cfg.id, self.cfg.lease_ns) {
+                Ok((true, _, _)) => {}
+                other => {
+                    if matches!(&other, Err(e) if e.is_crash()) {
+                        self.crashed = true;
+                    }
+                    self.is_master = false;
+                    return false;
+                }
             }
         }
         true
@@ -249,24 +320,44 @@ impl Controller {
     /// one dialogue iteration on every agent.
     pub fn step(&mut self) -> Result<StepReport, AgentError> {
         let mut acquired = false;
+        let mut reconciled = false;
         if self.is_master {
             if !self.renew() {
-                return Ok(StepReport::default());
+                return Ok(StepReport {
+                    crashed: self.crashed,
+                    ..StepReport::default()
+                });
             }
         } else {
+            let before = self.recoveries;
             if !self.try_acquire()? {
-                return Ok(StepReport::default());
+                return Ok(StepReport {
+                    crashed: self.crashed,
+                    ..StepReport::default()
+                });
             }
             acquired = true;
+            reconciled = self.recoveries > before;
         }
         let mut report = StepReport {
             master: true,
             acquired,
+            reconciled,
             ..StepReport::default()
         };
         for agent in &mut self.agents {
             match agent.dialogue_iteration() {
                 Ok(_) => report.iterations += 1,
+                Err(e) if e.is_crash() => {
+                    // The controller process died mid-dialogue. Mastership
+                    // is gone the moment the lease lapses; the next step
+                    // models the restarted process.
+                    self.crashed = true;
+                    self.is_master = false;
+                    report.failures += 1;
+                    report.crashed = true;
+                    break;
+                }
                 Err(_) => report.failures += 1,
             }
         }

@@ -255,6 +255,16 @@ impl ControlPlane {
                 master: self.master.map(|(c, _)| c),
                 expires: self.master.map_or(0, |(_, exp)| exp),
             },
+            DriverOp::TableDefaultOn { pipe, table } => {
+                match self.driver.table_default_on(*pipe, *table) {
+                    Ok((action, data)) => DriverResponse::DefaultAction { action, data },
+                    Err(e) => DriverResponse::Err(e),
+                }
+            }
+            DriverOp::TableDump { table } => match self.driver.table_dump(*table) {
+                Ok(es) => DriverResponse::Entries(es),
+                Err(e) => DriverResponse::Err(e),
+            },
         }
     }
 

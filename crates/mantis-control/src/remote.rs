@@ -31,7 +31,7 @@ use crate::channel::{Channel, ChannelConfig};
 use crate::plane::ControlPlane;
 use crate::wire::{DriverOp, DriverResponse};
 use mantis_agent::costmodel::CostModel;
-use mantis_agent::driver::DriverStats;
+use mantis_agent::driver::{DriverStats, EntrySnapshot};
 use mantis_agent::{CheckpointToken, DriverApi};
 use mantis_faults::FaultPlan;
 use mantis_telemetry::{scopes, Telemetry};
@@ -372,6 +372,24 @@ impl DriverApi for RemoteDriver {
         match self.barrier(DriverOp::PortUp { port })? {
             DriverResponse::PortState(st) => Ok(st),
             other => panic!("invariant: PortUp answers PortState, got {other:?}"),
+        }
+    }
+
+    fn table_default_on(
+        &mut self,
+        pipe: u16,
+        table: TableId,
+    ) -> Result<(ActionId, Vec<Value>), DriverError> {
+        match self.barrier(DriverOp::TableDefaultOn { pipe, table })? {
+            DriverResponse::DefaultAction { action, data } => Ok((action, data)),
+            other => panic!("invariant: TableDefaultOn answers DefaultAction, got {other:?}"),
+        }
+    }
+
+    fn table_dump(&mut self, table: TableId) -> Result<Vec<EntrySnapshot>, DriverError> {
+        match self.barrier(DriverOp::TableDump { table })? {
+            DriverResponse::Entries(es) => Ok(es),
+            other => panic!("invariant: TableDump answers Entries, got {other:?}"),
         }
     }
 

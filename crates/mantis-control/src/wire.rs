@@ -14,6 +14,7 @@
 //! an unknown version or tag is a hard [`WireError`] — endpoints of one
 //! simulation always speak the same [`VERSION`].
 
+use mantis_agent::driver::EntrySnapshot;
 use p4_ast::{MatchKind, Value};
 use rmt_sim::{
     ActionId, DriverError, EntryHandle, KeyField, Nanos, PortId, ReadAgg, RegisterId, TableError,
@@ -24,11 +25,18 @@ use std::fmt;
 /// Frame magic: `MCTL`.
 pub const MAGIC: [u8; 4] = *b"MCTL";
 /// Wire-protocol version. Bumped on any encoding change.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
 
 /// Fixed frame-header size: magic(4) + version(1) + direction(1) +
 /// seq(8) + body length(4).
 pub const HEADER_LEN: usize = 18;
+
+/// Upper bound on a frame body. The largest legitimate batch (a full
+/// table dump of a 4096-entry table) is well under 1 MiB; anything
+/// bigger is a corrupt or hostile length prefix, and the decoder must
+/// reject it *before* buffering toward it — otherwise four junk bytes
+/// commit the receiver to reserving up to 4 GiB.
+pub const MAX_FRAME_BODY: usize = 1 << 20;
 
 /// One driver operation, as carried by a request frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -110,6 +118,15 @@ pub enum DriverOp {
     },
     /// Read the current mastership state without claiming it.
     MasterProbe,
+    /// Read one pipe's current default action (crash-recovery read-back).
+    TableDefaultOn {
+        pipe: u16,
+        table: TableId,
+    },
+    /// Dump every installed entry of a table (crash-recovery read-back).
+    TableDump {
+        table: TableId,
+    },
 }
 
 /// The response to one [`DriverOp`], in batch order. A failed batch is
@@ -127,6 +144,14 @@ pub enum DriverResponse {
         master: Option<u16>,
         expires: Nanos,
     },
+    /// A pipe's default action: `(action, data)`. An uninitialized
+    /// default comes back as `ActionId(0)` with empty data.
+    DefaultAction {
+        action: ActionId,
+        data: Vec<Value>,
+    },
+    /// A full table dump.
+    Entries(Vec<EntrySnapshot>),
     Err(DriverError),
 }
 
@@ -150,9 +175,19 @@ pub struct Frame {
 pub enum WireError {
     BadMagic([u8; 4]),
     BadVersion(u8),
-    BadTag { what: &'static str, tag: u8 },
-    Truncated { what: &'static str },
+    BadTag {
+        what: &'static str,
+        tag: u8,
+    },
+    Truncated {
+        what: &'static str,
+    },
     BadUtf8,
+    /// The header's body-length prefix exceeds [`MAX_FRAME_BODY`]: a
+    /// corrupt or hostile stream, rejected before any buffering.
+    FrameTooLarge {
+        len: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -163,6 +198,9 @@ impl fmt::Display for WireError {
             WireError::BadTag { what, tag } => write!(f, "bad {what} tag {tag}"),
             WireError::Truncated { what } => write!(f, "truncated {what}"),
             WireError::BadUtf8 => write!(f, "invalid UTF-8 in string"),
+            WireError::FrameTooLarge { len } => {
+                write!(f, "frame body of {len} bytes exceeds {MAX_FRAME_BODY}")
+            }
         }
     }
 }
@@ -187,13 +225,20 @@ const OP_NAMES: &[&str] = &[
     "rollback",
     "control_req",
     "control_resp",
+    "default_read",
+    "table_dump",
 ];
 
+/// Fallback index for unknown labels — pinned to `"control_req"`
+/// explicitly so appending labels to [`OP_NAMES`] cannot shift it.
+const OP_NAME_FALLBACK: usize = 11;
+
 fn op_name_index(name: &str) -> u8 {
+    debug_assert_eq!(OP_NAMES[OP_NAME_FALLBACK], "control_req");
     OP_NAMES
         .iter()
         .position(|n| *n == name)
-        .unwrap_or(OP_NAMES.len() - 2) as u8
+        .unwrap_or(OP_NAME_FALLBACK) as u8
 }
 
 fn op_name(index: u8) -> &'static str {
@@ -483,6 +528,15 @@ fn encode_op(buf: &mut Vec<u8>, op: &DriverOp) {
         DriverOp::MasterProbe => {
             put_u8(buf, 16);
         }
+        DriverOp::TableDefaultOn { pipe, table } => {
+            put_u8(buf, 17);
+            put_u16(buf, *pipe);
+            put_u32(buf, table.0);
+        }
+        DriverOp::TableDump { table } => {
+            put_u8(buf, 18);
+            put_u32(buf, table.0);
+        }
     }
 }
 
@@ -574,8 +628,44 @@ fn decode_op(c: &mut Cursor<'_>) -> Result<DriverOp, WireError> {
             lease_ns: c.u64("lease")?,
         }),
         16 => Ok(DriverOp::MasterProbe),
+        17 => Ok(DriverOp::TableDefaultOn {
+            pipe: c.u16("pipe")?,
+            table: TableId(c.u32("table id")?),
+        }),
+        18 => Ok(DriverOp::TableDump {
+            table: TableId(c.u32("table id")?),
+        }),
         tag => Err(WireError::BadTag { what: "op", tag }),
     }
+}
+
+// -- entry-snapshot encoding -------------------------------------------------
+
+fn put_entry_snapshot(buf: &mut Vec<u8>, e: &EntrySnapshot) {
+    put_u64(buf, e.handle.0);
+    put_u32(buf, e.key.len() as u32);
+    for k in &e.key {
+        put_key_field(buf, k);
+    }
+    put_u32(buf, e.priority);
+    put_u32(buf, e.action.0);
+    put_values(buf, &e.data);
+}
+
+fn entry_snapshot(c: &mut Cursor<'_>) -> Result<EntrySnapshot, WireError> {
+    let handle = EntryHandle(c.u64("entry handle")?);
+    let nk = c.u32("key arity")? as usize;
+    let mut key = Vec::with_capacity(nk.min(64));
+    for _ in 0..nk {
+        key.push(c.key_field()?);
+    }
+    Ok(EntrySnapshot {
+        handle,
+        key,
+        priority: c.u32("priority")?,
+        action: ActionId(c.u32("action id")?),
+        data: c.values()?,
+    })
 }
 
 // -- error encoding ----------------------------------------------------------
@@ -646,6 +736,10 @@ fn encode_driver_error(buf: &mut Vec<u8>, e: &DriverError) {
             put_u8(buf, op_name_index(op));
             put_bool(buf, *persistent);
         }
+        DriverError::Crashed { op } => {
+            put_u8(buf, 7);
+            put_u8(buf, op_name_index(op));
+        }
     }
 }
 
@@ -698,6 +792,9 @@ fn decode_driver_error(c: &mut Cursor<'_>) -> Result<DriverError, WireError> {
             op: op_name(c.u8("op name")?),
             persistent: c.bool("persistence")?,
         }),
+        7 => Ok(DriverError::Crashed {
+            op: op_name(c.u8("op name")?),
+        }),
         tag => Err(WireError::BadTag { what: "error", tag }),
     }
 }
@@ -749,6 +846,18 @@ fn encode_response(buf: &mut Vec<u8>, r: &DriverResponse) {
             put_u8(buf, 6);
             encode_driver_error(buf, e);
         }
+        DriverResponse::DefaultAction { action, data } => {
+            put_u8(buf, 7);
+            put_u32(buf, action.0);
+            put_values(buf, data);
+        }
+        DriverResponse::Entries(es) => {
+            put_u8(buf, 8);
+            put_u32(buf, es.len() as u32);
+            for e in es {
+                put_entry_snapshot(buf, e);
+            }
+        }
     }
 }
 
@@ -773,6 +882,18 @@ fn decode_response(c: &mut Cursor<'_>) -> Result<DriverResponse, WireError> {
             expires: c.u64("expiry")?,
         }),
         6 => Ok(DriverResponse::Err(decode_driver_error(c)?)),
+        7 => Ok(DriverResponse::DefaultAction {
+            action: ActionId(c.u32("action id")?),
+            data: c.values()?,
+        }),
+        8 => {
+            let n = c.u32("entry count")? as usize;
+            let mut es = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                es.push(entry_snapshot(c)?);
+            }
+            Ok(DriverResponse::Entries(es))
+        }
         tag => Err(WireError::BadTag {
             what: "response",
             tag,
@@ -898,6 +1019,11 @@ impl FrameDecoder {
         let direction = self.buf[5];
         let seq = u64::from_le_bytes(self.buf[6..14].try_into().unwrap());
         let body_len = u32::from_le_bytes(self.buf[14..18].try_into().unwrap()) as usize;
+        if body_len > MAX_FRAME_BODY {
+            // Reject *now*, before `Ok(None)` commits this decoder to
+            // buffering up to 4 GiB chasing a corrupt length prefix.
+            return Err(WireError::FrameTooLarge { len: body_len });
+        }
         if self.buf.len() < HEADER_LEN + body_len {
             return Ok(None);
         }
@@ -960,6 +1086,11 @@ mod tests {
                 controller: 2,
                 lease_ns: 1_000_000,
             },
+            DriverOp::TableDefaultOn {
+                pipe: 1,
+                table: TableId(0),
+            },
+            DriverOp::TableDump { table: TableId(3) },
         ]
     }
 
@@ -981,6 +1112,24 @@ mod tests {
                 index: 2,
                 expected: MatchKind::Lpm,
             })),
+            DriverResponse::Err(DriverError::Crashed { op: "init_flip" }),
+            DriverResponse::DefaultAction {
+                action: ActionId(4),
+                data: vec![Value::new(1, 1), Value::zero(1), Value::new(100, 32)],
+            },
+            DriverResponse::Entries(vec![EntrySnapshot {
+                handle: EntryHandle(7),
+                key: vec![
+                    KeyField::Exact(Value::new(1, 1)),
+                    KeyField::Lpm {
+                        value: Value::new(0x0a00_0100, 32),
+                        prefix_len: 24,
+                    },
+                ],
+                priority: 3,
+                action: ActionId(2),
+                data: vec![Value::new(9, 9)],
+            }]),
         ]
     }
 
@@ -1011,9 +1160,43 @@ mod tests {
         }
         assert_eq!(frames.len(), 2);
         assert_eq!(frames[0].seq, 1);
-        assert!(matches!(frames[0].body, FrameBody::Request(ref ops) if ops.len() == 4));
+        assert!(matches!(frames[0].body, FrameBody::Request(ref ops) if ops.len() == 6));
         assert_eq!(frames[1].seq, 2);
-        assert!(matches!(frames[1].body, FrameBody::Response(ref rs) if rs.len() == 6));
+        assert!(matches!(frames[1].body, FrameBody::Response(ref rs) if rs.len() == 9));
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_buffering() {
+        // A header whose body length claims ~4 GiB must error immediately,
+        // not leave the decoder waiting (and its caller reserving) forever.
+        let mut bytes = encode_request_frame(1, &[DriverOp::MasterProbe]);
+        bytes[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes[..HEADER_LEN]);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn largest_allowed_body_still_waits_for_bytes() {
+        // Exactly MAX_FRAME_BODY is legitimate: the decoder keeps waiting.
+        let mut bytes = encode_request_frame(1, &[DriverOp::MasterProbe]);
+        bytes[14..18].copy_from_slice(&(MAX_FRAME_BODY as u32).to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes[..HEADER_LEN]);
+        assert!(matches!(dec.next_frame(), Ok(None)));
+        // One past the bound is hostile.
+        bytes[14..18].copy_from_slice(&((MAX_FRAME_BODY + 1) as u32).to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes[..HEADER_LEN]);
+        assert_eq!(
+            dec.next_frame(),
+            Err(WireError::FrameTooLarge {
+                len: MAX_FRAME_BODY + 1
+            })
+        );
     }
 
     #[test]

@@ -30,6 +30,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
+
 use std::fmt;
 
 /// Virtual nanoseconds (mirrors `rmt_sim::Nanos`).
@@ -97,6 +99,13 @@ pub enum FaultEffect {
     /// no injection; the channel re-delivers and the endpoint's
     /// sequence-number dedup must absorb it.
     Duplicate,
+    /// The agent process dies at this op (the ISSUE's `FaultOp::Crash`:
+    /// combined with an op selector and a one-op window it kills the
+    /// agent at any dialogue phase, including between per-pipe commits).
+    /// The op surfaces `DriverError::Crashed`; the agent aborts without
+    /// rollback — a dead process repairs nothing — and a restarted agent
+    /// must `reconcile()` device state back before resuming.
+    Crash,
 }
 
 /// When a rule is armed.
@@ -276,6 +285,38 @@ impl FaultPlan {
         )
     }
 
+    /// Kill the agent at its `at_op`-th driver op (one-shot). The hit op
+    /// surfaces `DriverError::Crashed`; because driver ops are issued in
+    /// a fixed order per dialogue iteration, choosing `at_op` selects the
+    /// crash's dialogue phase — including between two per-pipe commits.
+    pub fn crash_at_op(self, at_op: u64) -> Self {
+        self.rule(FaultRule::new(
+            FaultOp::Any,
+            FaultEffect::Crash,
+            FaultWindow::Ops {
+                lo: at_op,
+                hi: at_op + 1,
+            },
+            Some(1),
+        ))
+    }
+
+    /// Kill fabric switch `switch`'s agent at its `at_op`-th driver op.
+    pub fn crash_at_op_on(self, switch: u16, at_op: u64) -> Self {
+        self.rule(
+            FaultRule::new(
+                FaultOp::Any,
+                FaultEffect::Crash,
+                FaultWindow::Ops {
+                    lo: at_op,
+                    hi: at_op + 1,
+                },
+                Some(1),
+            )
+            .on_switch(switch),
+        )
+    }
+
     /// Schedule a link flap on switch 0 (*the* switch of a single-switch
     /// testbed).
     pub fn flap(self, port: u32, down_at: Nanos, up_at: Nanos) -> Self {
@@ -349,6 +390,7 @@ pub enum Injection {
     Stale,
     Corrupt { xor: u64 },
     Duplicate,
+    Crash,
 }
 
 /// Executes a [`FaultPlan`]: one [`decide`](FaultInjector::decide) call
@@ -471,6 +513,7 @@ impl FaultInjector {
                 FaultEffect::StaleRead => Injection::Stale,
                 FaultEffect::CorruptRead { xor } => Injection::Corrupt { xor: *xor },
                 FaultEffect::Duplicate => Injection::Duplicate,
+                FaultEffect::Crash => Injection::Crash,
             };
             return Some(inj);
         }
@@ -656,15 +699,15 @@ impl fmt::Display for BreakerState {
 // -- seeded RNG --------------------------------------------------------------
 
 /// SplitMix64 — the tiny deterministic generator behind
-/// [`FaultPlan::random_transient`].
-struct SplitMix64(u64);
+/// [`FaultPlan::random_transient`] and the [`chaos`] schedule generator.
+pub(crate) struct SplitMix64(u64);
 
 impl SplitMix64 {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         SplitMix64(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
     }
 
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);

@@ -388,22 +388,48 @@ struct Inner {
 #[derive(Debug, Default)]
 pub struct Telemetry {
     inner: Mutex<Inner>,
+    /// Names this registry in the poison panic, so a recorder thread
+    /// that dies mid-update points at the failing shard.
+    label: String,
 }
 
 impl Telemetry {
     pub fn new(config: TelemetryConfig) -> Self {
+        Telemetry::labeled(config, String::new())
+    }
+
+    /// A registry whose poison panic names `label` (e.g. which staging
+    /// shard it backs).
+    pub fn labeled(config: TelemetryConfig, label: impl Into<String>) -> Self {
         Telemetry {
             inner: Mutex::new(Inner {
                 config,
                 ..Inner::default()
             }),
+            label: label.into(),
         }
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {
-        self.inner
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(_) => {
+                // A recorder panicked while holding the registry. Limping
+                // on over half-applied counter updates would surface as
+                // an unrelated conservation-oracle failure later — crash
+                // loudly here, naming the registry, so chaos-test
+                // failures point at the shard that died.
+                let who = if self.label.is_empty() {
+                    "shared registry"
+                } else {
+                    self.label.as_str()
+                };
+                panic!(
+                    "Telemetry: lock poisoned ({who}) — a recorder panicked \
+                     mid-update; metrics are suspect, aborting"
+                );
+            }
+        }
     }
 
     /// An enabled handle with default config, ready to share.
@@ -427,11 +453,20 @@ impl Telemetry {
     /// into their shard's staging handle; the coordinator folds the
     /// buffers back in canonical shard order with [`Telemetry::merge_from`].
     pub fn staging(&self) -> Arc<Telemetry> {
+        self.staging_for("unnamed staging shard")
+    }
+
+    /// [`Telemetry::staging`] with a shard label, named in the poison
+    /// panic if a worker dies while holding the staging registry.
+    pub fn staging_for(&self, label: impl Into<String>) -> Arc<Telemetry> {
         let enabled = self.is_enabled();
-        Arc::new(Telemetry::new(TelemetryConfig {
-            enabled,
-            trace_capacity: if enabled { usize::MAX } else { 0 },
-        }))
+        Arc::new(Telemetry::labeled(
+            TelemetryConfig {
+                enabled,
+                trace_capacity: if enabled { usize::MAX } else { 0 },
+            },
+            label,
+        ))
     }
 
     /// Drain `staged` (a buffer produced via [`Telemetry::staging`]) into
@@ -959,5 +994,20 @@ mod tests {
         let trace = main.chrome_trace_json();
         assert!(trace.contains("\"ts\":0.004"));
         assert!(!trace.contains("\"ts\":0.000,"));
+    }
+
+    #[test]
+    #[should_panic(expected = "lock poisoned (staging shard for switch 3)")]
+    fn poisoned_registry_panics_loudly_naming_the_shard() {
+        let main = Telemetry::shared();
+        let shard = main.staging_for("staging shard for switch 3");
+        let poisoner = shard.clone();
+        // Poison the mutex: panic while holding the guard on another thread.
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock();
+            panic!("chaos recorder dies mid-update");
+        })
+        .join();
+        shard.counter_add("switch.tx", 1); // must panic, naming the shard
     }
 }

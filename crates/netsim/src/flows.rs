@@ -318,6 +318,12 @@ pub struct HeartbeatConfig {
     pub fields: FieldTemplate,
     pub interval_ns: Nanos,
     pub start_ns: Nanos,
+    /// Stop generating at this virtual time (`None` = run forever).
+    /// Workloads that must fully quiesce — e.g. the chaos soak's counter
+    /// conservation check, which needs every injected packet to be either
+    /// transmitted or attributed to a drop counter — stop the heartbeats
+    /// before the horizon and let the queues drain.
+    pub stop_ns: Option<Nanos>,
 }
 
 pub fn spawn_heartbeats(sim: &mut Simulator, cfg: HeartbeatConfig) {
@@ -327,6 +333,9 @@ pub fn spawn_heartbeats(sim: &mut Simulator, cfg: HeartbeatConfig) {
 /// Heartbeat generator injecting into fabric switch `switch`.
 pub fn spawn_heartbeats_on(sim: &mut Simulator, switch: usize, cfg: HeartbeatConfig) {
     sim.schedule_periodic(cfg.start_ns, cfg.interval_ns, move |s| {
+        if cfg.stop_ns.is_some_and(|t| s.now() >= t) {
+            return false;
+        }
         let mut d = PacketDesc::new(cfg.port).payload(0);
         for (i, f, v) in &cfg.fields {
             d = d.field(i, f, *v);
@@ -538,6 +547,7 @@ control ingress { apply(hb); apply(route); }
                 fields: ip_fields(0),
                 interval_ns: 1_000, // Ts = 1 µs, as in the paper
                 start_ns: 0,
+                stop_ns: None,
             },
         );
         sim.run_until(100_000);

@@ -117,7 +117,7 @@ fn worker_loop(
                 // concurrent shards never interleave writes to the shared
                 // registry; the coordinator merges in switch-index order.
                 let main = sw.telemetry().clone();
-                let staging = main.staging();
+                let staging = main.staging_for(format!("staging shard for switch {idx}"));
                 sw.set_telemetry(staging.clone());
                 let work = sw.pump();
                 sw.set_telemetry(main);

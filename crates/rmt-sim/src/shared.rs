@@ -55,7 +55,22 @@ impl SharedSwitch {
     fn lock(&self, op: &str) -> MutexGuard<'_, Switch> {
         match self.inner.try_lock() {
             Ok(guard) => guard,
-            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(TryLockError::Poisoned(poisoned)) => {
+                // A worker panicked while holding this switch. Surfacing
+                // the recovered guard would let the run limp on over
+                // half-mutated state and fail somewhere unrelated —
+                // crash loudly here, naming the switch, so chaos-test
+                // failures point at the shard that died.
+                let guard = poisoned.into_inner();
+                let who = match guard.fabric_index() {
+                    Some(i) => format!("fabric switch {i}"),
+                    None => "single-switch testbed".to_string(),
+                };
+                panic!(
+                    "SharedSwitch::{op}: lock poisoned ({who}) — a worker \
+                     panicked mid-mutation; state is suspect, aborting"
+                );
+            }
             Err(TryLockError::WouldBlock) => panic!(
                 "SharedSwitch::{op}: switch already locked — \
                  two shards touched one switch in the same epoch"
@@ -123,5 +138,19 @@ mod tests {
         let a = mk();
         let _held = a.borrow_mut();
         drop(a.borrow());
+    }
+
+    #[test]
+    #[should_panic(expected = "lock poisoned")]
+    fn poisoned_lock_panics_loudly_instead_of_recovering() {
+        let a = mk();
+        let b = a.clone();
+        // Poison the mutex: panic while holding the guard on another thread.
+        let _ = std::thread::spawn(move || {
+            let _guard = b.borrow_mut();
+            panic!("chaos worker dies mid-mutation");
+        })
+        .join();
+        drop(a.borrow()); // must panic with the loud invariant message
     }
 }

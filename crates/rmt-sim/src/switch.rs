@@ -193,12 +193,19 @@ pub enum DriverError {
         op: &'static str,
         persistent: bool,
     },
+    /// The controlling agent process died mid-operation (an injected
+    /// crash). Unlike `Injected`, the op may or may not have reached the
+    /// device — the survivor must *reconcile* by reading device state
+    /// back, never retry blindly.
+    Crashed {
+        op: &'static str,
+    },
 }
 
 impl DriverError {
     /// Would retrying the failed operation plausibly succeed? Only
     /// injected *transient* faults are retryable; capacity exhaustion,
-    /// unknown names, and persistent faults are not.
+    /// unknown names, crashes, and persistent faults are not.
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
@@ -207,6 +214,13 @@ impl DriverError {
                 ..
             }
         )
+    }
+
+    /// Is this an injected agent crash? Crash errors abort the dialogue
+    /// loop without rollback: the dead process cannot repair anything,
+    /// recovery happens in [`reconcile`] after restart.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, DriverError::Crashed { .. })
     }
 }
 
@@ -228,6 +242,9 @@ impl fmt::Display for DriverError {
                     "transient"
                 }
             ),
+            DriverError::Crashed { op } => {
+                write!(f, "agent crashed during `{op}`")
+            }
         }
     }
 }
