@@ -30,6 +30,7 @@ const KNOWN: &[&str] = &[
     "telemetry",
     "perf",
     "parallel",
+    "scale",
     "faults",
     "fabric",
     "control",
@@ -362,6 +363,45 @@ fn main() {
         println!(
             "    fingerprints identical across worker counts: {}",
             r.identical
+        );
+        println!();
+    }
+
+    if want("scale") {
+        let quick = std::env::var("MANTIS_BENCH_QUICK").is_ok_and(|v| v != "0");
+        let r = bench::scale::run(quick);
+        save("scale", &r);
+        merge_bench_perf("scale", &r);
+        println!(
+            "== Scale — internet-scale traffic engine ({}) ==",
+            if quick { "quick" } else { "full" }
+        );
+        println!(
+            "    {}x{} leaf-spine, {} hosts: {} flows, {} packets over {:.1} s virtual",
+            r.leaves,
+            r.spines,
+            r.hosts,
+            r.headline.flows,
+            r.headline.injected_pkts,
+            r.headline.virtual_secs
+        );
+        println!(
+            "    headline: {:>12.0} pkts/s  (wall {:.2} s, {} accepted)",
+            r.headline.pkts_per_sec, r.headline.wall_secs, r.headline.accepted_pkts
+        );
+        println!(
+            "    engine speedup vs pre-refactor engine: {:.1}x  ({:.0}/s vs {:.0}/s, both on \
+             the full block)",
+            r.engine_speedup, r.headline.pkts_per_sec, r.baseline.pkts_per_sec
+        );
+        println!(
+            "    deterministic across drains: {}   mean batch {:.1} (max {}), \
+             wheel slots {}, arena {} B",
+            r.deterministic,
+            r.gauges.mean_batch,
+            r.gauges.max_batch,
+            r.gauges.wheel_slots,
+            r.gauges.arena_bytes
         );
         println!();
     }

@@ -26,6 +26,7 @@ pub mod fabric;
 pub mod faults;
 pub mod parallel;
 pub mod perf;
+pub mod scale;
 
 use mantis::apps::{baselines, dos, ecmp, failover, rl, table1 as t1};
 use mantis::{CostModel, Testbed};

@@ -385,12 +385,16 @@ struct Inner {
 
 /// The shared telemetry handle. Clone the `Arc` freely; all methods
 /// take `&self`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Telemetry {
     inner: Mutex<Inner>,
     /// Names this registry in the poison panic, so a recorder thread
     /// that dies mid-update points at the failing shard.
     label: String,
+    /// Mirror of `config.enabled`, which is fixed at construction: the
+    /// packet hot path checks it before every record and must not pay a
+    /// mutex acquisition for a constant.
+    enabled: bool,
 }
 
 impl Telemetry {
@@ -398,15 +402,21 @@ impl Telemetry {
         Telemetry::labeled(config, String::new())
     }
 
+    // NOTE: no derived `Default` — the cached `enabled` mirror must agree
+    // with the config inside the mutex, so construction always funnels
+    // through `labeled`.
+
     /// A registry whose poison panic names `label` (e.g. which staging
     /// shard it backs).
     pub fn labeled(config: TelemetryConfig, label: impl Into<String>) -> Self {
+        let enabled = config.enabled;
         Telemetry {
             inner: Mutex::new(Inner {
                 config,
                 ..Inner::default()
             }),
             label: label.into(),
+            enabled,
         }
     }
 
@@ -529,6 +539,14 @@ impl Telemetry {
     }
 
     pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// [`is_enabled`](Telemetry::is_enabled) at its historical cost: a
+    /// mutex acquisition per check. The answer is identical; only the
+    /// price differs. Benchmark baselines that replicate the pre-cache
+    /// engine call this so their per-packet cost shape stays faithful.
+    pub fn is_enabled_uncached(&self) -> bool {
         self.lock().config.enabled
     }
 

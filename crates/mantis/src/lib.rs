@@ -179,6 +179,40 @@ pub fn workers_from_env() -> u16 {
     parse_env_count("MANTIS_WORKERS", raw.as_deref(), default)
 }
 
+/// Upper clamp for [`flows_from_env`]: roughly 5× the paper's Fig. 14
+/// block (~370 K flows), so a scaled-up run stays possible while a
+/// garbage value cannot allocate unbounded flow state.
+pub const MAX_ENV_FLOWS: u64 = 2_000_000;
+
+/// Parse a wide `MANTIS_*` count knob (flow counts overflow the `u16`
+/// range [`parse_env_count`] serves): a positive integer clamped to
+/// `cap`, or `default` with a one-line warning on stderr when malformed
+/// or zero. Unset (`None`) is the quiet default.
+pub fn parse_env_count_u64(name: &str, raw: Option<&str>, default: u64, cap: u64) -> u64 {
+    let Some(raw) = raw else {
+        return default;
+    };
+    match raw.trim().parse::<u64>() {
+        Ok(n) if (1..=cap).contains(&n) => n,
+        Ok(n) if n > cap => {
+            eprintln!("warning: {name}={raw:?} exceeds the {cap} cap; clamping");
+            cap
+        }
+        _ => {
+            eprintln!("warning: {name}={raw:?} is not a positive count; using default {default}");
+            default
+        }
+    }
+}
+
+/// Flow count requested via the `MANTIS_FLOWS` environment variable —
+/// used by the scale benchmark (`figures -- scale`) to size its traffic
+/// schedule; `default` when unset, clamped to [`MAX_ENV_FLOWS`].
+pub fn flows_from_env(default: u64) -> u64 {
+    let raw = std::env::var("MANTIS_FLOWS").ok();
+    parse_env_count_u64("MANTIS_FLOWS", raw.as_deref(), default, MAX_ENV_FLOWS)
+}
+
 /// Should testbeds drive their switches through the remote control plane
 /// (`MANTIS_REMOTE=1`)? Routing happens at a zero-RTT default channel so
 /// the whole test suite exercises the wire path without timing drift.
@@ -511,6 +545,36 @@ control ingress { apply(t); }
             assert_eq!(
                 parse_env_count("MANTIS_SWITCHES", Some(bad), 2),
                 2,
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_env_counts_parse_clamp_and_default() {
+        // Unset: the quiet default.
+        assert_eq!(
+            parse_env_count_u64("MANTIS_FLOWS", None, 370_000, MAX_ENV_FLOWS),
+            370_000
+        );
+        // Well-formed values parse, including ones far beyond u16.
+        assert_eq!(
+            parse_env_count_u64("MANTIS_FLOWS", Some("370000"), 1, MAX_ENV_FLOWS),
+            370_000
+        );
+        assert_eq!(
+            parse_env_count_u64("MANTIS_FLOWS", Some(" 8000 "), 1, MAX_ENV_FLOWS),
+            8_000
+        );
+        // Values above the cap clamp loudly; garbage and zero default.
+        assert_eq!(
+            parse_env_count_u64("MANTIS_FLOWS", Some("999999999999"), 1, MAX_ENV_FLOWS),
+            MAX_ENV_FLOWS
+        );
+        for bad in ["abc", "", "0", "-2", "4.5", "1e5"] {
+            assert_eq!(
+                parse_env_count_u64("MANTIS_FLOWS", Some(bad), 7, MAX_ENV_FLOWS),
+                7,
                 "{bad:?}"
             );
         }

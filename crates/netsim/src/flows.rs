@@ -1,20 +1,42 @@
-//! Traffic sources: TCP-like AIMD flows, constant-bit-rate UDP senders, and
-//! heartbeat generators.
+//! Traffic sources: TCP-like AIMD flows, constant-bit-rate UDP senders,
+//! heartbeat generators, and the bulk "scale" flow engine behind the
+//! unscaled Fig. 14 reproduction.
 //!
 //! The TCP model is deliberately simple — rate-based AIMD with one
 //! multiplicative decrease per RTT on loss — which captures what the
 //! paper's experiments depend on: flows back off under drops and recover on
 //! the RTT timescale (Fig. 15's ~500 µs return to steady state).
+//!
+//! All sources run on the typed event hot path: a spawn compiles the
+//! flow's [`FieldTemplate`] into an interned
+//! [`PacketTemplate`](rmt_sim::PacketTemplate) once, registers the flow in
+//! the simulator's [`FlowRegistry`], and schedules a typed
+//! [`EventKind`](crate::sim) variant that carries only the registry index.
+//! Per-packet work is then a freelist PHV plus id-indexed field writes —
+//! no allocation, no name lookups, no boxed closures.
 
-use crate::sim::Simulator;
+use crate::sim::{EventKind, Simulator};
 use mantis_telemetry::Scope;
-use rmt_sim::{Nanos, PacketDesc, PortId};
+use rmt_sim::{Nanos, PacketDesc, PacketTemplate, PortId};
 use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Header fields to stamp on every generated packet:
 /// `(instance, field, value)`.
 pub type FieldTemplate = Vec<(String, String, u128)>;
+
+/// Typed per-flow state owned by the [`Simulator`], indexed by the ids
+/// carried in flow events. One registry per simulator; spawns append,
+/// nothing is ever removed (flow ids stay stable for a run's lifetime).
+#[derive(Default)]
+pub(crate) struct FlowRegistry {
+    pub tcp: Vec<Rc<RefCell<TcpState>>>,
+    pub udp: Vec<UdpFlow>,
+    pub hb: Vec<HbFlow>,
+    /// Scale-flow shards, one per injection switch. `None` only while the
+    /// shard is checked out by its own wake event.
+    pub scale: Vec<Option<FlowShard>>,
+}
 
 /// Configuration of a TCP-like AIMD flow.
 #[derive(Clone, Debug)]
@@ -74,6 +96,8 @@ pub struct TcpState {
     /// Send-chain generation: bumped when the AIMD tick reschedules an
     /// overslept send loop, invalidating the stale pending event.
     send_gen: u64,
+    /// `cfg.fields` compiled against the target switch's spec at spawn.
+    tmpl: PacketTemplate,
 }
 
 impl TcpState {
@@ -84,6 +108,24 @@ impl TcpState {
     }
 }
 
+/// Compile `(port, fields, payload)` against the spec of fabric switch
+/// `switch`, panicking on unknown fields exactly as the historical
+/// per-packet [`PacketDesc::build`] did.
+fn compile_template(
+    sim: &Simulator,
+    switch: usize,
+    port: PortId,
+    fields: &FieldTemplate,
+    payload_bytes: u32,
+) -> PacketTemplate {
+    let mut d = PacketDesc::new(port).payload(payload_bytes);
+    for (i, f, v) in fields {
+        d = d.field(i, f, *v);
+    }
+    let sw = sim.switch_at(switch).borrow();
+    PacketTemplate::compile(&d, sw.spec()).unwrap_or_else(|e| panic!("{e}"))
+}
+
 /// Spawn a TCP flow into switch 0; returns a handle to its state.
 pub fn spawn_tcp(sim: &mut Simulator, cfg: TcpConfig) -> Rc<RefCell<TcpState>> {
     spawn_tcp_on(sim, 0, cfg)
@@ -92,11 +134,20 @@ pub fn spawn_tcp(sim: &mut Simulator, cfg: TcpConfig) -> Rc<RefCell<TcpState>> {
 /// Spawn a TCP flow injecting into fabric switch `switch`.
 pub fn spawn_tcp_on(sim: &mut Simulator, switch: usize, cfg: TcpConfig) -> Rc<RefCell<TcpState>> {
     let flow_id = sim.alloc_flow_id();
+    let tmpl = compile_template(
+        sim,
+        switch,
+        cfg.ingress_port,
+        &cfg.fields,
+        cfg.payload_bytes,
+    );
+    let start = cfg.start_ns;
+    let rtt = cfg.rtt_ns;
     let state = Rc::new(RefCell::new(TcpState {
         flow_id,
         switch,
         rate_bps: cfg.initial_rate_bps,
-        next_send_ns: cfg.start_ns,
+        next_send_ns: start,
         send_gen: 0,
         cfg,
         sent_pkts: 0,
@@ -106,88 +157,46 @@ pub fn spawn_tcp_on(sim: &mut Simulator, switch: usize, cfg: TcpConfig) -> Rc<Re
         loss_this_rtt: false,
         backoff_factor: None,
         stopped: false,
+        tmpl,
     }));
-
-    // Send loop.
-    {
-        let state = state.clone();
-        let start = state.borrow().cfg.start_ns;
-        sim.schedule(start, move |s| tcp_send(s, state, 0));
-    }
-    // AIMD tick.
-    {
-        let state = state.clone();
-        let (start, rtt) = {
-            let st = state.borrow();
-            (st.cfg.start_ns + st.cfg.rtt_ns, st.cfg.rtt_ns)
-        };
-        sim.schedule_periodic(start, rtt, move |s| {
-            let wake = {
-                let mut st = state.borrow_mut();
-                if st.stopped {
-                    return false;
-                }
-                if let Some(f) = st.backoff_factor.take() {
-                    st.rate_bps = ((st.rate_bps as f64 * f) as u64).max(st.cfg.min_rate_bps);
-                } else if st.loss_this_rtt {
-                    st.rate_bps = (st.rate_bps / 2).max(st.cfg.min_rate_bps);
-                } else {
-                    st.rate_bps = (st.rate_bps + st.cfg.increase_bps).min(st.cfg.max_rate_bps);
-                }
-                st.loss_this_rtt = false;
-                {
-                    let tel = s.telemetry();
-                    if tel.is_enabled() {
-                        tel.gauge_set(
-                            &format!("netsim.flow{}_rate_bps", st.flow_id),
-                            i128::from(st.rate_bps),
-                        );
-                    }
-                }
-                // If the send loop overslept at a previously tiny rate,
-                // reschedule it at the new rate's pace.
-                let interval = st.send_interval();
-                if st.next_send_ns > s.now() + interval {
-                    st.send_gen += 1;
-                    st.next_send_ns = s.now() + interval;
-                    Some((st.next_send_ns, st.send_gen))
-                } else {
-                    None
-                }
-            };
-            if let Some((at, gen)) = wake {
-                let state = state.clone();
-                s.schedule(at, move |s2| tcp_send(s2, state, gen));
-            }
-            true
-        });
-    }
+    let flow = u32::try_from(sim.flows.tcp.len()).expect("tcp flow count fits u32");
+    sim.flows.tcp.push(state.clone());
+    // Send loop, then the AIMD tick — same schedule order as the
+    // historical closure pair, so event seqs (and with them every
+    // same-instant tie-break) are preserved.
+    sim.schedule_kind(start, EventKind::TcpSend { flow, gen: 0 });
+    let tick = start.saturating_add(rtt);
+    sim.schedule_kind(
+        tick,
+        EventKind::TcpTick {
+            flow,
+            nominal: tick,
+        },
+    );
     state
 }
 
-fn tcp_send(sim: &mut Simulator, state: Rc<RefCell<TcpState>>, gen: u64) {
-    let (desc, interval, done, switch) = {
+/// One TCP packet send (the `EventKind::TcpSend` handler).
+pub(crate) fn tcp_send_event(sim: &mut Simulator, flow: u32, gen: u64) {
+    let state = sim.flows.tcp[flow as usize].clone();
+    let switch = {
         let st = state.borrow();
         if gen != st.send_gen {
             return; // superseded by a tick-rescheduled chain
         }
         if st.stopped || st.cfg.stop_ns.is_some_and(|t| sim.now() >= t) {
-            (None, 0, true, st.switch)
-        } else {
-            let mut d = PacketDesc::new(st.cfg.ingress_port).payload(st.cfg.payload_bytes);
-            for (i, f, v) in &st.cfg.fields {
-                d = d.field(i, f, *v);
-            }
-            (Some(d), st.send_interval(), false, st.switch)
+            drop(st);
+            state.borrow_mut().stopped = true;
+            return;
         }
+        st.switch
     };
-    if done {
-        state.borrow_mut().stopped = true;
-        return;
-    }
-    let desc = desc.unwrap();
-    let accepted = sim.switch_at(switch).borrow_mut().inject(&desc);
-    {
+    sim.mark_busy(switch);
+    let accepted = {
+        let st = state.borrow();
+        sim.switch_at(switch).borrow_mut().inject_template(&st.tmpl)
+    };
+    let next = {
         let mut st = state.borrow_mut();
         st.sent_pkts += 1;
         if accepted {
@@ -206,13 +215,69 @@ fn tcp_send(sim: &mut Simulator, state: Rc<RefCell<TcpState>>, gen: u64) {
                 );
             }
         }
-    }
-    let next = {
-        let mut st = state.borrow_mut();
-        st.next_send_ns += interval;
-        st.next_send_ns
+        // A nominal send past the u64 horizon ends the chain (a clamped
+        // reschedule would fire at the same instant forever).
+        let interval = st.send_interval();
+        let Some(next) = st.next_send_ns.checked_add(interval) else {
+            st.stopped = true;
+            return;
+        };
+        st.next_send_ns = next;
+        next
     };
-    sim.schedule(next, move |s| tcp_send(s, state, gen));
+    sim.schedule_kind(next, EventKind::TcpSend { flow, gen });
+}
+
+/// One AIMD rate tick (the `EventKind::TcpTick` handler).
+pub(crate) fn tcp_tick_event(sim: &mut Simulator, flow: u32, nominal: Nanos) {
+    let state = sim.flows.tcp[flow as usize].clone();
+    let (wake, rtt) = {
+        let mut st = state.borrow_mut();
+        if st.stopped {
+            return;
+        }
+        if let Some(f) = st.backoff_factor.take() {
+            st.rate_bps = ((st.rate_bps as f64 * f) as u64).max(st.cfg.min_rate_bps);
+        } else if st.loss_this_rtt {
+            st.rate_bps = (st.rate_bps / 2).max(st.cfg.min_rate_bps);
+        } else {
+            st.rate_bps = (st.rate_bps + st.cfg.increase_bps).min(st.cfg.max_rate_bps);
+        }
+        st.loss_this_rtt = false;
+        {
+            let tel = sim.telemetry();
+            if tel.is_enabled() {
+                tel.gauge_set(
+                    &format!("netsim.flow{}_rate_bps", st.flow_id),
+                    i128::from(st.rate_bps),
+                );
+            }
+        }
+        // If the send loop overslept at a previously tiny rate,
+        // reschedule it at the new rate's pace.
+        let interval = st.send_interval();
+        let wake = if st.next_send_ns > sim.now().saturating_add(interval) {
+            st.send_gen += 1;
+            st.next_send_ns = sim.now().saturating_add(interval);
+            Some((st.next_send_ns, st.send_gen))
+        } else {
+            None
+        };
+        (wake, st.cfg.rtt_ns)
+    };
+    if let Some((at, gen)) = wake {
+        sim.schedule_kind(at, EventKind::TcpSend { flow, gen });
+    }
+    let Some(next) = nominal.checked_add(rtt.max(1)) else {
+        return;
+    };
+    sim.schedule_kind(
+        next,
+        EventKind::TcpTick {
+            flow,
+            nominal: next,
+        },
+    );
 }
 
 /// Ingress ports spread round-robin across the switch's hardware pipes:
@@ -274,6 +339,15 @@ pub struct UdpState {
     pub stopped: bool,
 }
 
+/// Registry entry for a CBR UDP sender.
+pub(crate) struct UdpFlow {
+    switch: usize,
+    stop_ns: Option<Nanos>,
+    interval: Nanos,
+    tmpl: PacketTemplate,
+    state: Rc<RefCell<UdpState>>,
+}
+
 /// Spawn a CBR UDP sender into switch 0.
 pub fn spawn_udp(sim: &mut Simulator, cfg: UdpConfig) -> Rc<RefCell<UdpState>> {
     spawn_udp_on(sim, 0, cfg)
@@ -283,29 +357,67 @@ pub fn spawn_udp(sim: &mut Simulator, cfg: UdpConfig) -> Rc<RefCell<UdpState>> {
 pub fn spawn_udp_on(sim: &mut Simulator, switch: usize, cfg: UdpConfig) -> Rc<RefCell<UdpState>> {
     let state = Rc::new(RefCell::new(UdpState::default()));
     let interval = (u64::from(cfg.payload_bytes) * 8 * 1_000_000_000 / cfg.rate_bps.max(1)).max(1);
-    {
-        let state = state.clone();
-        sim.schedule_periodic(cfg.start_ns, interval, move |s| {
-            if state.borrow().stopped || cfg.stop_ns.is_some_and(|t| s.now() >= t) {
-                state.borrow_mut().stopped = true;
-                return false;
-            }
-            let mut d = PacketDesc::new(cfg.ingress_port).payload(cfg.payload_bytes);
-            for (i, f, v) in &cfg.fields {
-                d = d.field(i, f, *v);
-            }
-            let ok = s.switch_at(switch).borrow_mut().inject(&d);
-            let mut st = state.borrow_mut();
-            st.sent_pkts += 1;
-            if ok {
-                st.accepted_pkts += 1;
-            } else {
-                st.dropped_pkts += 1;
-            }
-            true
-        });
-    }
+    let tmpl = compile_template(
+        sim,
+        switch,
+        cfg.ingress_port,
+        &cfg.fields,
+        cfg.payload_bytes,
+    );
+    let flow = u32::try_from(sim.flows.udp.len()).expect("udp flow count fits u32");
+    sim.flows.udp.push(UdpFlow {
+        switch,
+        stop_ns: cfg.stop_ns,
+        interval,
+        tmpl,
+        state: state.clone(),
+    });
+    sim.schedule_kind(
+        cfg.start_ns,
+        EventKind::UdpSend {
+            flow,
+            nominal: cfg.start_ns,
+        },
+    );
     state
+}
+
+/// One UDP packet send (the `EventKind::UdpSend` handler).
+pub(crate) fn udp_send_event(sim: &mut Simulator, flow: u32, nominal: Nanos) {
+    let i = flow as usize;
+    let (switch, stop_ns, interval) = {
+        let f = &sim.flows.udp[i];
+        (f.switch, f.stop_ns, f.interval)
+    };
+    let state = sim.flows.udp[i].state.clone();
+    if state.borrow().stopped || stop_ns.is_some_and(|t| sim.now() >= t) {
+        state.borrow_mut().stopped = true;
+        return;
+    }
+    sim.mark_busy(switch);
+    let ok = sim
+        .switch_at(switch)
+        .borrow_mut()
+        .inject_template(&sim.flows.udp[i].tmpl);
+    {
+        let mut st = state.borrow_mut();
+        st.sent_pkts += 1;
+        if ok {
+            st.accepted_pkts += 1;
+        } else {
+            st.dropped_pkts += 1;
+        }
+    }
+    let Some(next) = nominal.checked_add(interval.max(1)) else {
+        return;
+    };
+    sim.schedule_kind(
+        next,
+        EventKind::UdpSend {
+            flow,
+            nominal: next,
+        },
+    );
 }
 
 /// Heartbeat generator for the gray-failure use case (§8.3.2): one
@@ -326,23 +438,364 @@ pub struct HeartbeatConfig {
     pub stop_ns: Option<Nanos>,
 }
 
+/// Registry entry for a heartbeat source.
+pub(crate) struct HbFlow {
+    switch: usize,
+    stop_ns: Option<Nanos>,
+    interval: Nanos,
+    tmpl: PacketTemplate,
+}
+
 pub fn spawn_heartbeats(sim: &mut Simulator, cfg: HeartbeatConfig) {
     spawn_heartbeats_on(sim, 0, cfg);
 }
 
 /// Heartbeat generator injecting into fabric switch `switch`.
 pub fn spawn_heartbeats_on(sim: &mut Simulator, switch: usize, cfg: HeartbeatConfig) {
-    sim.schedule_periodic(cfg.start_ns, cfg.interval_ns, move |s| {
-        if cfg.stop_ns.is_some_and(|t| s.now() >= t) {
-            return false;
-        }
-        let mut d = PacketDesc::new(cfg.port).payload(0);
-        for (i, f, v) in &cfg.fields {
-            d = d.field(i, f, *v);
-        }
-        s.switch_at(switch).borrow_mut().inject(&d);
-        true
+    let tmpl = compile_template(sim, switch, cfg.port, &cfg.fields, 0);
+    let flow = u32::try_from(sim.flows.hb.len()).expect("hb flow count fits u32");
+    sim.flows.hb.push(HbFlow {
+        switch,
+        stop_ns: cfg.stop_ns,
+        interval: cfg.interval_ns,
+        tmpl,
     });
+    sim.schedule_kind(
+        cfg.start_ns,
+        EventKind::HbSend {
+            flow,
+            nominal: cfg.start_ns,
+        },
+    );
+}
+
+/// One heartbeat send (the `EventKind::HbSend` handler).
+pub(crate) fn hb_send_event(sim: &mut Simulator, flow: u32, nominal: Nanos) {
+    let i = flow as usize;
+    let (switch, stop_ns, interval) = {
+        let f = &sim.flows.hb[i];
+        (f.switch, f.stop_ns, f.interval)
+    };
+    if stop_ns.is_some_and(|t| sim.now() >= t) {
+        return;
+    }
+    sim.mark_busy(switch);
+    sim.switch_at(switch)
+        .borrow_mut()
+        .inject_template(&sim.flows.hb[i].tmpl);
+    let Some(next) = nominal.checked_add(interval.max(1)) else {
+        return;
+    };
+    sim.schedule_kind(
+        next,
+        EventKind::HbSend {
+            flow,
+            nominal: next,
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Scale flows — the bulk traffic engine behind the unscaled Fig. 14 run.
+// ---------------------------------------------------------------------------
+
+/// Configuration of a bulk scale-flow workload: `flows` Pareto-sized flows
+/// between random host pairs, with starts and inter-packet gaps quantized
+/// to `tick_ns` so same-tick arrivals across a whole switch batch into one
+/// timing-wheel slot (drained by a single wake event).
+#[derive(Clone, Debug)]
+pub struct ScaleConfig {
+    pub seed: u64,
+    /// Number of flows to generate.
+    pub flows: u32,
+    /// Every packet of every flow lands inside `[0, duration_ns)`.
+    pub duration_ns: Nanos,
+    /// Pareto shape for the per-flow packet count (heavy tail).
+    pub pareto_alpha: f64,
+    pub min_pkts: u32,
+    pub max_pkts: u32,
+    pub payload_bytes: u32,
+    /// Arrival quantum; larger ticks mean bigger same-slot batches.
+    pub tick_ns: Nanos,
+    /// Header instance carrying the address fields.
+    pub header: String,
+    pub src_field: String,
+    pub dst_field: String,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            seed: 1,
+            flows: 10_000,
+            duration_ns: 1_000_000_000,
+            pareto_alpha: 1.3,
+            min_pkts: 4,
+            max_pkts: 512,
+            payload_bytes: 700,
+            tick_ns: 1_000,
+            header: "ip".into(),
+            src_field: "src".into(),
+            dst_field: "dst".into(),
+        }
+    }
+}
+
+/// One traffic endpoint: a host address behind `(switch, port)`.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleHost {
+    pub switch: usize,
+    pub port: PortId,
+    pub addr: u64,
+}
+
+/// One packet arrival of the materialized schedule.
+struct Arrival {
+    at: Nanos,
+    src: u64,
+    dst: u64,
+    port: PortId,
+    /// Final packet of its flow (drives the live-flows gauge).
+    last: bool,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct ShardStats {
+    injected: u64,
+    accepted: u64,
+    live: u64,
+    batches: u64,
+    max_batch: u64,
+}
+
+/// All scale-flow state of one injection switch: a shared compiled
+/// template (slot 0 = src, slot 1 = dst) plus the shard's arrival
+/// schedule. Exactly one `FlowWake` event is outstanding per shard — at
+/// the schedule head — and its handler drains *every* due arrival in one
+/// batch.
+///
+/// Scale flows are open-loop: every arrival time is `start + k·gap`,
+/// fixed at spawn with no feedback from the fabric. That makes the whole
+/// schedule static, so it is materialized and sorted once and replayed
+/// with a cursor. Steady state is then a sequential, prefetch-friendly
+/// scan — no per-packet priority-queue ops and no random flow-table
+/// access (a per-shard heap of ~90 K pending arrivals thrashed cache and
+/// cost the full Fig. 14 block ~30% of its throughput versus the quick
+/// block). Memory is ~32 B per planned packet, bounded by the same
+/// Pareto cap that bounds the schedule itself.
+pub(crate) struct FlowShard {
+    switch: usize,
+    tmpl: PacketTemplate,
+    /// Materialized schedule, sorted by `(time, flow index)`.
+    arrivals: Vec<Arrival>,
+    /// Replay cursor into `arrivals`.
+    next: usize,
+    stats: ShardStats,
+}
+
+/// Aggregate scale-engine counters across all shards.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScaleTotals {
+    /// Packets handed to a switch so far.
+    pub injected_pkts: u64,
+    /// Packets the switch accepted (not dropped at ingress admission).
+    pub accepted_pkts: u64,
+    /// Flows with packets still to send.
+    pub active_flows: u64,
+    /// Wake events executed (each drains one same-time batch per shard).
+    pub batches: u64,
+    /// Largest single batch drained by one wake.
+    pub max_batch: u64,
+    /// Number of shards (injection switches).
+    pub shards: usize,
+}
+
+/// Generate `cfg.flows` flows over `hosts` and register them with the
+/// simulator, sharded by injection switch. Returns the total number of
+/// packets the schedule will inject.
+///
+/// Deterministic: the same `(cfg, hosts)` produces the identical schedule,
+/// shard layout, and event order on every run.
+pub fn spawn_scale_flows(
+    sim: &mut Simulator,
+    cfg: &ScaleConfig,
+    hosts: &[ScaleHost],
+) -> Result<u64, String> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    if hosts.len() < 2 {
+        return Err("scale flows need at least two hosts".into());
+    }
+    let tick = cfg.tick_ns.max(1);
+    let duration = cfg.duration_ns.max(tick);
+    let min_pkts = cfg.min_pkts.max(1);
+    let max_pkts = cfg.max_pkts.max(min_pkts);
+
+    // One shard per injection switch, created in first-appearance order of
+    // `hosts` (deterministic given the caller's host list).
+    let mut shard_of: Vec<Option<usize>> = vec![None; sim.num_switches()];
+    let mut shards: Vec<FlowShard> = Vec::new();
+    for h in hosts {
+        if shard_of[h.switch].is_none() {
+            let desc = PacketDesc::new(0)
+                .field(&cfg.header, &cfg.src_field, 0)
+                .field(&cfg.header, &cfg.dst_field, 0)
+                .payload(cfg.payload_bytes);
+            let tmpl = {
+                let sw = sim.switch_at(h.switch).borrow();
+                PacketTemplate::compile(&desc, sw.spec())?
+            };
+            shard_of[h.switch] = Some(shards.len());
+            shards.push(FlowShard {
+                switch: h.switch,
+                tmpl,
+                arrivals: Vec::new(),
+                next: 0,
+                stats: ShardStats::default(),
+            });
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut total: u64 = 0;
+    for _ in 0..cfg.flows {
+        let s = rng.gen_range(0..hosts.len());
+        let mut d = rng.gen_range(0..hosts.len() - 1);
+        if d >= s {
+            d += 1; // src ≠ dst
+        }
+        let (src, dst) = (hosts[s], hosts[d]);
+        // Pareto-tailed packet count.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let raw = f64::from(min_pkts) * u.powf(-1.0 / cfg.pareto_alpha.max(0.1));
+        let count = if raw >= f64::from(max_pkts) {
+            max_pkts
+        } else {
+            (raw as u32).clamp(min_pkts, max_pkts)
+        };
+        // Start and gap are tick-quantized, with the gap capped so the
+        // whole flow finishes inside the duration.
+        let start = rng.gen_range(0..duration) / tick * tick;
+        let gap = if count > 1 {
+            let span_ticks = (duration - start) / tick / u64::from(count - 1);
+            rng.gen_range(1..=span_ticks.max(1)) * tick
+        } else {
+            tick
+        };
+        let shard = shard_of[src.switch].expect("host switch has a shard");
+        let sh = &mut shards[shard];
+        // Materialize the flow's arrivals up front (retiring early at the
+        // u64 horizon, like the incremental scheduler did).
+        let mut at = start;
+        for k in 0..count {
+            sh.arrivals.push(Arrival {
+                at,
+                src: src.addr,
+                dst: dst.addr,
+                port: src.port,
+                last: k + 1 == count,
+            });
+            match at.checked_add(gap) {
+                Some(next) => at = next,
+                None => {
+                    sh.arrivals.last_mut().expect("just pushed").last = true;
+                    break;
+                }
+            }
+        }
+        sh.stats.live += 1;
+        total += u64::from(count);
+    }
+
+    for mut sh in shards {
+        // Stable sort: same-time arrivals keep flow-creation order — the
+        // same `(time, flow index)` total order a priority queue keyed
+        // that way produced.
+        sh.arrivals.sort_by_key(|a| a.at);
+        let first = sh.arrivals.first().map(|a| a.at);
+        let id = u32::try_from(sim.flows.scale.len()).expect("shard count fits u32");
+        sim.flows.scale.push(Some(sh));
+        if let Some(t) = first {
+            sim.schedule_kind(t, EventKind::FlowWake { shard: id });
+        }
+    }
+    Ok(total)
+}
+
+/// Drain every due arrival of one shard (the `EventKind::FlowWake`
+/// handler): same-tick arrivals across the whole shard inject back-to-back
+/// from one event, then a single wake is rescheduled at the next arrival.
+pub(crate) fn flow_wake_event(sim: &mut Simulator, shard: u32) {
+    let s = shard as usize;
+    let mut sh = sim.flows.scale[s]
+        .take()
+        .expect("scale-shard/wake: shard checked out twice");
+    let now = sim.now();
+    sim.mark_busy(sh.switch);
+    let mut batch: u64 = 0;
+    while let Some(a) = sh.arrivals.get(sh.next) {
+        if a.at > now {
+            break;
+        }
+        sh.next += 1;
+        sh.tmpl.set_value(0, u128::from(a.src));
+        sh.tmpl.set_value(1, u128::from(a.dst));
+        sh.tmpl.set_port(a.port);
+        sim.rebalance_pool_for(sh.switch);
+        let ok = sim
+            .switch_at(sh.switch)
+            .borrow_mut()
+            .inject_template(&sh.tmpl);
+        sh.stats.injected += 1;
+        if ok {
+            sh.stats.accepted += 1;
+        }
+        batch += 1;
+        if a.last {
+            sh.stats.live -= 1;
+        }
+    }
+    sh.stats.batches += 1;
+    sh.stats.max_batch = sh.stats.max_batch.max(batch);
+    let next_wake = sh.arrivals.get(sh.next).map(|a| a.at);
+    sim.flows.scale[s] = Some(sh);
+    if let Some(t) = next_wake {
+        sim.schedule_kind(t, EventKind::FlowWake { shard });
+    }
+}
+
+/// Aggregate scale-engine counters (zeroed when no scale flows spawned).
+pub fn scale_totals(sim: &Simulator) -> ScaleTotals {
+    let mut t = ScaleTotals::default();
+    for sh in sim.flows.scale.iter().flatten() {
+        t.injected_pkts += sh.stats.injected;
+        t.accepted_pkts += sh.stats.accepted;
+        t.active_flows += sh.stats.live;
+        t.batches += sh.stats.batches;
+        t.max_batch = t.max_batch.max(sh.stats.max_batch);
+        t.shards += 1;
+    }
+    t
+}
+
+/// Publish the scale engine's gauges (`netsim.scale.*`): active flows,
+/// wheel-slot occupancy, PHV arena bytes, and batch statistics. Only scale
+/// scenarios call this — the standing experiment goldens never see these
+/// names, so they stay byte-identical.
+pub fn publish_scale_telemetry(sim: &Simulator) {
+    let tel = sim.telemetry();
+    if !tel.is_enabled() {
+        return;
+    }
+    let t = scale_totals(sim);
+    tel.gauge_set("netsim.scale.active_flows", t.active_flows as i128);
+    tel.gauge_set("netsim.scale.injected_pkts", t.injected_pkts as i128);
+    tel.gauge_set("netsim.scale.accepted_pkts", t.accepted_pkts as i128);
+    tel.gauge_set("netsim.scale.batches", t.batches as i128);
+    tel.gauge_set("netsim.scale.max_batch", t.max_batch as i128);
+    tel.gauge_set("netsim.scale.wheel_slots", sim.wheel_slots() as i128);
+    tel.gauge_set("netsim.scale.arena_bytes", sim.arena_bytes() as i128);
 }
 
 #[cfg(test)]
@@ -563,5 +1016,98 @@ control ingress { apply(hb); apply(route); }
         sim.run_until(200_000);
         let c2 = count_at(&sim);
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn scale_flows_inject_every_planned_packet() {
+        let mut sim = mk(1 << 24);
+        let hosts: Vec<ScaleHost> = (0..4)
+            .map(|i| ScaleHost {
+                switch: 0,
+                port: i as PortId,
+                addr: 100 + i as u64,
+            })
+            .collect();
+        let cfg = ScaleConfig {
+            seed: 7,
+            flows: 200,
+            duration_ns: 1_000_000, // 1 ms
+            ..Default::default()
+        };
+        let planned = spawn_scale_flows(&mut sim, &cfg, &hosts).unwrap();
+        assert!(planned >= 200 * u64::from(cfg.min_pkts));
+        sim.run_until(cfg.duration_ns + 1_000_000);
+        let t = scale_totals(&sim);
+        assert_eq!(t.injected_pkts, planned, "every planned packet injected");
+        assert_eq!(t.active_flows, 0, "all flows finished inside duration");
+        assert!(t.batches <= t.injected_pkts);
+        assert!(t.max_batch >= 1);
+        assert_eq!(t.shards, 1);
+    }
+
+    #[test]
+    fn scale_flows_are_deterministic() {
+        let run = || {
+            let mut sim = mk(1 << 24);
+            let hosts: Vec<ScaleHost> = (0..4)
+                .map(|i| ScaleHost {
+                    switch: 0,
+                    port: i as PortId,
+                    addr: 100 + i as u64,
+                })
+                .collect();
+            let cfg = ScaleConfig {
+                seed: 42,
+                flows: 100,
+                duration_ns: 500_000,
+                ..Default::default()
+            };
+            spawn_scale_flows(&mut sim, &cfg, &hosts).unwrap();
+            sim.run_until(1_000_000);
+            let t = scale_totals(&sim);
+            (t.injected_pkts, t.accepted_pkts, t.batches, sim.tx_count)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn scale_flows_batch_same_tick_arrivals() {
+        let mut sim = mk(1 << 24);
+        let hosts: Vec<ScaleHost> = (0..8)
+            .map(|i| ScaleHost {
+                switch: 0,
+                port: (i % 4) as PortId,
+                addr: 100 + i as u64,
+            })
+            .collect();
+        // A coarse tick forces many same-tick arrivals.
+        let cfg = ScaleConfig {
+            seed: 3,
+            flows: 500,
+            duration_ns: 100_000,
+            tick_ns: 10_000,
+            ..Default::default()
+        };
+        spawn_scale_flows(&mut sim, &cfg, &hosts).unwrap();
+        sim.run_until(1_000_000);
+        let t = scale_totals(&sim);
+        assert!(
+            t.batches < t.injected_pkts / 2,
+            "expected batching: {} wakes for {} packets",
+            t.batches,
+            t.injected_pkts
+        );
+        assert!(t.max_batch > 1);
+    }
+
+    #[test]
+    fn scale_flows_reject_single_host() {
+        let mut sim = mk(1 << 20);
+        let hosts = [ScaleHost {
+            switch: 0,
+            port: 0,
+            addr: 1,
+        }];
+        assert!(spawn_scale_flows(&mut sim, &ScaleConfig::default(), &hosts).is_err());
     }
 }

@@ -10,7 +10,8 @@
 //! * [`flows`] — TCP-like AIMD flows, CBR UDP senders (the DoS attacker),
 //!   and heartbeat generators,
 //! * [`trace`] — seeded synthetic CAIDA-like traces with ground truth,
-//! * [`metrics`] — time-bucketed series, median/MAD/percentiles.
+//! * [`metrics`] — time-bucketed series, median/MAD/percentiles,
+//! * [`wheel`] — the hierarchical timing wheel behind the event queue.
 
 #![forbid(unsafe_code)]
 
@@ -21,14 +22,17 @@ mod par;
 pub mod sim;
 pub mod topo;
 pub mod trace;
+pub mod wheel;
 
 pub use faults::{schedule_link_flap, schedule_link_flaps};
 pub use flows::{
-    ports_across_pipes, spawn_heartbeats, spawn_heartbeats_on, spawn_tcp, spawn_tcp_across_pipes,
-    spawn_tcp_on, spawn_udp, spawn_udp_on, HeartbeatConfig, TcpConfig, TcpState, UdpConfig,
-    UdpState,
+    ports_across_pipes, publish_scale_telemetry, scale_totals, spawn_heartbeats,
+    spawn_heartbeats_on, spawn_scale_flows, spawn_tcp, spawn_tcp_across_pipes, spawn_tcp_on,
+    spawn_udp, spawn_udp_on, HeartbeatConfig, ScaleConfig, ScaleHost, ScaleTotals, TcpConfig,
+    TcpState, UdpConfig, UdpState,
 };
 pub use metrics::{mad, mean, mean_abs_dev, median, percentile, BucketSeries};
 pub use sim::{ParStats, Simulator};
 pub use topo::{Endpoint, Link, Topology, DEFAULT_LINK_LATENCY_NS, HOST_PORTS};
 pub use trace::{generate, Trace, TraceConfig, TracePacket};
+pub use wheel::TimingWheel;

@@ -18,6 +18,7 @@
 
 use mantis_telemetry::Telemetry;
 use rmt_sim::{SharedSwitch, TxPacket};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -30,6 +31,9 @@ pub(crate) struct ShardResult {
     pub work: u64,
     /// Transmitted packets with their frame length, in transmit order.
     pub batch: Vec<(TxPacket, u32)>,
+    /// Packets still waiting in the switch's TM after the pump; the
+    /// coordinator uses it to refresh the busy flag.
+    pub queued: u64,
     /// The staging telemetry buffer recorded during the pump; folded into
     /// the main registry in switch-index order at the barrier.
     pub staging: Arc<Telemetry>,
@@ -54,17 +58,22 @@ pub(crate) struct WorkerPool {
 impl WorkerPool {
     /// Spawn one thread per entry of `shards`; `shards[w]` is the list of
     /// `(switch_index, handle)` pairs worker `w` owns for the pool's
-    /// lifetime.
-    pub fn new(shards: Vec<Vec<(usize, SharedSwitch)>>) -> Self {
+    /// lifetime. `busy` is the coordinator's per-switch activity flags:
+    /// workers skip owned switches whose flag is clear (an idle pump has
+    /// no side effects, so skipping is byte-exact). The coordinator only
+    /// writes the flags outside epochs; the `Go` channel send orders
+    /// those writes before the workers' relaxed reads.
+    pub fn new(shards: Vec<Vec<(usize, SharedSwitch)>>, busy: Arc<Vec<AtomicBool>>) -> Self {
         let workers = shards
             .into_iter()
             .enumerate()
             .map(|(w, owned)| {
                 let (go_tx, go_rx) = mpsc::channel::<Msg>();
                 let (reply_tx, reply_rx) = mpsc::channel::<Vec<ShardResult>>();
+                let busy = busy.clone();
                 let join = std::thread::Builder::new()
                     .name(format!("mantis-pump-{w}"))
-                    .spawn(move || worker_loop(&owned, &go_rx, &reply_tx))
+                    .spawn(move || worker_loop(&owned, &busy, &go_rx, &reply_tx))
                     .expect("spawn pump worker");
                 Worker {
                     go_tx,
@@ -105,14 +114,22 @@ impl Drop for WorkerPool {
 
 fn worker_loop(
     owned: &[(usize, SharedSwitch)],
+    busy: &[AtomicBool],
     go_rx: &mpsc::Receiver<Msg>,
     reply_tx: &mpsc::Sender<Vec<ShardResult>>,
 ) {
     while let Ok(Msg::Go) = go_rx.recv() {
         let results = owned
             .iter()
-            .map(|(idx, handle)| {
+            .filter(|(idx, _)| busy[*idx].load(Ordering::Relaxed))
+            .filter_map(|(idx, handle)| {
                 let mut sw = handle.borrow_mut();
+                // Same provable-no-op skip as the serial drain: queued
+                // packets none of which can serve yet leave the switch
+                // busy for a later epoch.
+                if sw.tm_queued() > 0 && !sw.tx_ready() {
+                    return None;
+                }
                 // Record this pump into a private staging buffer so
                 // concurrent shards never interleave writes to the shared
                 // registry; the coordinator merges in switch-index order.
@@ -121,6 +138,7 @@ fn worker_loop(
                 sw.set_telemetry(staging.clone());
                 let work = sw.pump();
                 sw.set_telemetry(main);
+                let queued = sw.tm_queued();
                 let batch = sw
                     .take_transmitted()
                     .into_iter()
@@ -129,12 +147,13 @@ fn worker_loop(
                         (pkt, bytes)
                     })
                     .collect();
-                ShardResult {
+                Some(ShardResult {
                     switch: *idx,
                     work,
                     batch,
+                    queued,
                     staging,
-                }
+                })
             })
             .collect();
         if reply_tx.send(results).is_err() {

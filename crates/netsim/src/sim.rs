@@ -1,46 +1,85 @@
 //! The discrete-event simulator core.
 //!
 //! A [`Simulator`] owns the shared virtual clock, the fabric's switches,
-//! and an event queue of scheduled closures. Traffic sources (TCP/UDP
-//! flows, heartbeat generators) schedule their own next events; experiment
-//! harnesses schedule agent dialogue iterations the same way. Execution is
-//! fully deterministic: events tie-break by schedule order, and the
-//! per-event transmit drain visits switches in index order, so link
+//! and an event queue — a hierarchical timing wheel
+//! ([`crate::wheel::TimingWheel`]) of typed [`EventKind`]s. The hot
+//! packet/flow/wire events are enum variants (no per-event allocation);
+//! arbitrary closures remain as the cold-path variant for experiment
+//! harnesses. Execution is fully deterministic: events tie-break by
+//! schedule order exactly as the historical `BinaryHeap` core did, and
+//! the per-event transmit drain visits switches in index order, so link
 //! deliveries are totally ordered by `(time, switch_id, seq)`.
 //!
 //! With a multi-switch [`Topology`], a packet transmitted out a linked
 //! port becomes an rx event on the peer switch after the link's wire
 //! delay; packets leaving unlinked ports exit the fabric into the
-//! transmit log.
+//! transmit log. Wire deliveries move the transmitted PHV itself and
+//! re-materialize it on the peer through a cached
+//! [`TransferMap`] — no per-hop name round-trip.
 
+use crate::flows::FlowRegistry;
 use crate::par::{ShardResult, WorkerPool};
-use crate::topo::Topology;
+use crate::topo::{Endpoint, Link, Topology};
+use crate::wheel::TimingWheel;
 use mantis_telemetry::Telemetry;
-use rmt_sim::{Clock, Nanos, SharedSwitch, TxPacket};
+use rmt_sim::{Clock, Nanos, Phv, PortId, SharedSwitch, TransferMap, TxPacket};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-type EventFn = Box<dyn FnOnce(&mut Simulator)>;
+pub(crate) type EventFn = Box<dyn FnOnce(&mut Simulator)>;
 
-struct Scheduled {
-    at: Nanos,
-    seq: u64,
-    run: EventFn,
+/// A scheduled event. The hot packet/flow/wire events are typed variants
+/// dispatched without allocation or indirection; everything else rides in
+/// [`EventKind::Closure`].
+pub(crate) enum EventKind {
+    /// Cold path: an arbitrary boxed closure.
+    Closure(EventFn),
+    /// A packet on a fabric link: `phv` (frozen at transmit time) travels
+    /// from switch `src` to `dest`, entering at `port` at `arrival`.
+    WireDeliver {
+        src: usize,
+        dest: usize,
+        port: PortId,
+        arrival: Nanos,
+        phv: Phv,
+    },
+    /// One TCP flow's next packet-send (`gen` guards stale reschedules).
+    TcpSend { flow: u32, gen: u64 },
+    /// One TCP flow's periodic AIMD rate tick.
+    TcpTick { flow: u32, nominal: Nanos },
+    /// One UDP flow's periodic constant-rate send.
+    UdpSend { flow: u32, nominal: Nanos },
+    /// One heartbeat source's periodic send.
+    HbSend { flow: u32, nominal: Nanos },
+    /// Drain every due arrival of scale-flow shard `shard` in one batch.
+    FlowWake { shard: u32 },
 }
 
-impl PartialEq for Scheduled {
+/// Verbatim replica of the pre-refactor event-queue entry — one boxed
+/// closure per event, totally ordered by `(time, seq)` in a
+/// `BinaryHeap<Reverse<_>>`. Kept so `legacy_compat` measures the old
+/// engine's real scheduling cost (deep-heap percolation over boxed
+/// closures) instead of letting the baseline ride the timing wheel.
+struct LegacyScheduled {
+    at: Nanos,
+    seq: u64,
+    f: EventFn,
+}
+
+impl PartialEq for LegacyScheduled {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
+impl Eq for LegacyScheduled {}
+impl PartialOrd for LegacyScheduled {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Scheduled {
+impl Ord for LegacyScheduled {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
@@ -85,14 +124,56 @@ pub struct Simulator {
     clock: Clock,
     switches: Vec<SharedSwitch>,
     topo: Topology,
-    heap: BinaryHeap<Reverse<Scheduled>>,
+    wheel: TimingWheel<EventKind>,
     next_seq: u64,
+    /// Per-switch registry of typed flow state (TCP/UDP/heartbeat/scale),
+    /// indexed by the ids carried in flow [`EventKind`]s.
+    pub(crate) flows: FlowRegistry,
+    /// `peer_cache[i][port]` resolves a transmit to the peer endpoint and
+    /// link without scanning the topology per packet. Direct-indexed by
+    /// port (fabric port numbers are small and dense) — a hash lookup
+    /// here was measurable at millions of packets per second.
+    peer_cache: Vec<Vec<Option<(Endpoint, Link)>>>,
+    /// Lazily built `(src, dest)` → transfer map cache for wire
+    /// deliveries.
+    xfer: Vec<Vec<Option<Arc<TransferMap>>>>,
+    /// One flag per switch: set when the switch may have queued packets,
+    /// cleared when a pump leaves its TM empty. A pump of an idle switch
+    /// has zero side effects, so drains skip non-busy switches — the
+    /// shared `Arc` lets pool workers read the flags (the epoch barrier's
+    /// channel handoff orders the coordinator's writes before them).
+    busy: Arc<Vec<AtomicBool>>,
+    /// Serial-drain mirror of `busy` as a bitmask (word `i/64`, bit
+    /// `i%64`): the drain visits only flagged switches in index order
+    /// instead of scanning the whole fabric after every event. May hold
+    /// stale extra bits after a parallel drain (workers clear `busy`
+    /// only); a spurious visit is a no-op pump, never a correctness
+    /// issue.
+    dirty: Vec<u64>,
     /// Packets that exited the fabric (transmitted out an *unlinked*
     /// port), tagged with the switch that emitted them; kept until taken
     /// by the experiment (capped to avoid unbounded growth when unused).
     tx_log: VecDeque<(usize, TxPacket)>,
     /// Cap on `tx_log` length; older packets are discarded first.
     pub tx_log_cap: usize,
+    /// Benchmark-only compatibility mode replicating the pre-refactor
+    /// engine's per-packet mechanics: wire hops re-describe the PHV into
+    /// string-keyed fields and rebuild it from scratch at delivery via a
+    /// boxed closure, every drain pumps every switch (no busy-flag
+    /// skip), and each switch runs its own historical cost shape (see
+    /// [`Switch::set_legacy_compat`](rmt_sim::Switch::set_legacy_compat)).
+    /// Semantically identical output, historically slow — the
+    /// `figures -- scale` baseline measures against it. Set via
+    /// [`Simulator::set_legacy_compat`] so the whole fabric flips
+    /// together. Not for normal use.
+    legacy_compat: bool,
+    /// Compat mode's event queue: the pre-refactor `BinaryHeap` of boxed
+    /// closures. Empty (and never touched) outside `legacy_compat`.
+    legacy_heap: BinaryHeap<Reverse<LegacyScheduled>>,
+    /// Reusable transmit-batch buffer for the serial drain; cleared and
+    /// refilled per pump so the pump → route handoff never allocates at
+    /// steady state.
+    batch_scratch: Vec<(TxPacket, u32)>,
     /// Count of all packets ever transmitted by any switch, including
     /// hops over internal fabric links (not capped).
     pub tx_count: u64,
@@ -118,7 +199,7 @@ impl std::fmt::Debug for Simulator {
         f.debug_struct("Simulator")
             .field("now", &self.clock.now())
             .field("switches", &self.switches.len())
-            .field("pending_events", &self.heap.len())
+            .field("pending_events", &self.wheel.len())
             .finish()
     }
 }
@@ -145,14 +226,42 @@ impl Simulator {
         );
         let clock = switches[0].borrow().clock().clone();
         let n = switches.len();
+        let mut peer_cache: Vec<Vec<Option<(Endpoint, Link)>>> = vec![Vec::new(); n];
+        for link in topo.links() {
+            for (me, peer) in [(link.a, link.b), (link.b, link.a)] {
+                let slots = &mut peer_cache[me.switch];
+                let idx = usize::from(me.port);
+                if slots.len() <= idx {
+                    slots.resize(idx + 1, None);
+                }
+                slots[idx] = Some((peer, *link));
+            }
+        }
         Simulator {
             clock,
             switches,
             topo,
-            heap: BinaryHeap::new(),
+            wheel: TimingWheel::new(),
             next_seq: 0,
+            flows: FlowRegistry::default(),
+            peer_cache,
+            xfer: vec![vec![None; n]; n],
+            busy: Arc::new((0..n).map(|_| AtomicBool::new(true)).collect()),
+            dirty: (0..n.div_ceil(64))
+                .map(|w| {
+                    let bits = n - w * 64;
+                    if bits >= 64 {
+                        !0
+                    } else {
+                        (1u64 << bits) - 1
+                    }
+                })
+                .collect(),
             tx_log: VecDeque::new(),
             tx_log_cap: 1 << 20,
+            legacy_compat: false,
+            legacy_heap: BinaryHeap::new(),
+            batch_scratch: Vec::new(),
             tx_count: 0,
             tx_bytes: 0,
             tx_count_per_switch: vec![0; n],
@@ -184,6 +293,16 @@ impl Simulator {
 
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Enable (or disable) the pre-refactor cost-replication mode — see
+    /// the `legacy_compat` field. Propagates to every switch so the
+    /// per-switch hot paths flip to their historical form together.
+    pub fn set_legacy_compat(&mut self, on: bool) {
+        self.legacy_compat = on;
+        for sw in &self.switches {
+            sw.borrow_mut().set_legacy_compat(on);
+        }
     }
 
     /// Replace the canonical `i % workers` shard assignment with a seeded
@@ -276,13 +395,24 @@ impl Simulator {
     /// Schedule a one-shot event at absolute time `at` (events in the past
     /// run at the current time).
     pub fn schedule(&mut self, at: Nanos, f: impl FnOnce(&mut Simulator) + 'static) {
+        if self.legacy_compat {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.legacy_heap.push(Reverse(LegacyScheduled {
+                at,
+                seq,
+                f: Box::new(f),
+            }));
+            return;
+        }
+        self.schedule_kind(at, EventKind::Closure(Box::new(f)));
+    }
+
+    /// Schedule a typed event (the allocation-free hot path).
+    pub(crate) fn schedule_kind(&mut self, at: Nanos, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Scheduled {
-            at,
-            seq,
-            run: Box::new(f),
-        }));
+        self.wheel.schedule(at, seq, kind);
     }
 
     /// Schedule `f` every `interval` starting at `start`; stops when `f`
@@ -306,43 +436,189 @@ impl Simulator {
             nominal: Nanos,
         ) {
             if f(sim) {
-                let next = nominal + interval.max(1);
+                // A nominal period that would pass the u64 horizon ends
+                // the chain: rescheduling at a clamped time would fire
+                // the same instant forever.
+                let Some(next) = nominal.checked_add(interval.max(1)) else {
+                    return;
+                };
                 sim.schedule(next, move |s| step(s, f, interval, next));
             }
         }
         self.schedule(start, move |s| step(s, f, interval, start));
     }
 
-    fn next_event_within(&self, until: Nanos) -> bool {
-        self.heap
-            .peek()
-            .is_some_and(|Reverse(head)| head.at <= until)
-    }
-
     /// Run all events with `at <= until`, then advance the clock to
     /// `until`.
     pub fn run_until(&mut self, until: Nanos) {
+        // External code may have injected packets directly between runs.
+        self.mark_all_busy();
         loop {
-            while self.next_event_within(until) {
-                let Reverse(ev) = self.heap.pop().expect("peeked event exists");
-                self.clock.advance_to(ev.at);
-                (ev.run)(self);
-                self.drain_switch();
+            while let Some((at, kind)) = self.pop_due(until) {
+                self.clock.advance_to(at);
+                self.dispatch(kind);
+                self.drain_tracked();
             }
             self.clock.advance_to(until);
-            self.drain_switch();
+            self.drain_tracked();
             // The horizon drain may itself have put packets on a fabric
             // link with an arrival inside the horizon — deliver those too
             // before handing control back.
-            if !self.next_event_within(until) {
+            if !self.has_due(until) {
                 break;
             }
         }
     }
 
-    /// Run for `dur` from the current time.
+    /// Pop the earliest event due by `until` from whichever queue holds
+    /// it. Outside `legacy_compat` the heap is empty and this is a plain
+    /// wheel pop; in compat mode the wheel and the replica heap merge by
+    /// the shared `(time, seq)` order.
+    fn pop_due(&mut self, until: Nanos) -> Option<(Nanos, EventKind)> {
+        if self.legacy_heap.is_empty() {
+            return self.wheel.pop_due(until).map(|(at, _seq, kind)| (at, kind));
+        }
+        let heap_due = self
+            .legacy_heap
+            .peek()
+            .map(|Reverse(e)| (e.at, e.seq))
+            .filter(|&(at, _)| at <= until);
+        let take_heap = match (heap_due, self.wheel.peek_due(until)) {
+            (Some(h), Some(w)) => h < w,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if take_heap {
+            let Reverse(e) = self.legacy_heap.pop().expect("peeked");
+            Some((e.at, EventKind::Closure(e.f)))
+        } else {
+            self.wheel.pop_due(until).map(|(at, _seq, kind)| (at, kind))
+        }
+    }
+
+    /// Whether any event (wheel or compat heap) is due by `until`.
+    fn has_due(&mut self, until: Nanos) -> bool {
+        self.wheel.has_due(until)
+            || self
+                .legacy_heap
+                .peek()
+                .is_some_and(|Reverse(e)| e.at <= until)
+    }
+
+    /// Execute one event.
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Closure(f) => {
+                // A closure may inject into any switch.
+                self.mark_all_busy();
+                f(self);
+            }
+            EventKind::WireDeliver {
+                src,
+                dest,
+                port,
+                arrival,
+                phv,
+            } => {
+                self.mark_busy(dest);
+                self.deliver_wire(src, dest, port, arrival, phv);
+            }
+            EventKind::TcpSend { flow, gen } => crate::flows::tcp_send_event(self, flow, gen),
+            EventKind::TcpTick { flow, nominal } => {
+                crate::flows::tcp_tick_event(self, flow, nominal)
+            }
+            EventKind::UdpSend { flow, nominal } => {
+                crate::flows::udp_send_event(self, flow, nominal)
+            }
+            EventKind::HbSend { flow, nominal } => crate::flows::hb_send_event(self, flow, nominal),
+            EventKind::FlowWake { shard } => crate::flows::flow_wake_event(self, shard),
+        }
+    }
+
+    /// Deliver a wire packet: materialize the frozen sender PHV on the
+    /// destination switch through the cached transfer map, then recycle
+    /// the sender-side buffer.
+    fn deliver_wire(&mut self, src: usize, dest: usize, port: PortId, arrival: Nanos, phv: Phv) {
+        self.ensure_transfer_map(src, dest);
+        let identity = self.xfer[src][dest]
+            .as_deref()
+            .is_some_and(TransferMap::is_identity);
+        if identity {
+            // Identical specs on both ends (the common fabric case): the
+            // buffer itself crosses the wire. Wiping the metadata and
+            // stamping the receiver intrinsics leaves exactly the state a
+            // copy into a fresh PHV would have produced, minus the copy —
+            // the buffer simply migrates from `src`'s freelist orbit to
+            // `dest`'s.
+            let mut sw = self.switches[dest].borrow_mut();
+            let mut phv = phv;
+            {
+                let spec = sw.spec();
+                phv.reset_metadata(spec);
+                let intr = spec.intr_ids().expect("intrinsic field");
+                phv.set_u64(intr.ingress_port, u64::from(port));
+                let len = phv.frame_len(spec);
+                phv.set_u64(intr.pkt_len, u64::from(len));
+            }
+            sw.inject_phv_at(phv, arrival);
+            return;
+        }
+        let map = self.xfer[src][dest].clone().expect("just built");
+        if src == dest {
+            // A self-loop link: one switch plays both ends.
+            let mut sw = self.switches[dest].borrow_mut();
+            let mut dst_phv = sw.pool_take();
+            map.apply(&phv, &mut dst_phv, port, sw.spec());
+            sw.recycle_phv(phv);
+            sw.inject_phv_at(dst_phv, arrival);
+        } else {
+            let mut dsw = self.switches[dest].borrow_mut();
+            let mut dst_phv = dsw.pool_take();
+            map.apply(&phv, &mut dst_phv, port, dsw.spec());
+            dsw.inject_phv_at(dst_phv, arrival);
+            drop(dsw);
+            self.switches[src].borrow_mut().recycle_phv(phv);
+        }
+    }
+
+    /// Build the `(src, dest)` transfer map on first use. Kept separate
+    /// from the lookup so the identity fast path can consult the cached
+    /// map without cloning the `Arc` per delivery.
+    fn ensure_transfer_map(&mut self, src: usize, dest: usize) {
+        if self.xfer[src][dest].is_none() {
+            let map = if src == dest {
+                let sw = self.switches[src].borrow();
+                TransferMap::build(sw.spec(), sw.spec())
+            } else {
+                let s = self.switches[src].borrow();
+                let d = self.switches[dest].borrow();
+                TransferMap::build(s.spec(), d.spec())
+            };
+            self.xfer[src][dest] = Some(Arc::new(map));
+        }
+    }
+
+    fn mark_all_busy(&mut self) {
+        for b in self.busy.iter() {
+            b.store(true, Ordering::Relaxed);
+        }
+        let n = self.switches.len();
+        for (w, word) in self.dirty.iter_mut().enumerate() {
+            let bits = n - w * 64;
+            *word = if bits >= 64 { !0 } else { (1u64 << bits) - 1 };
+        }
+    }
+
+    /// Flag switch `i` as possibly having queued packets so the next
+    /// drain pumps it.
+    pub(crate) fn mark_busy(&mut self, i: usize) {
+        self.busy[i].store(true, Ordering::Relaxed);
+        self.dirty[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Run for `dur` from the current time (clamped to the u64 horizon).
     pub fn run_for(&mut self, dur: Nanos) {
-        let until = self.now() + dur;
+        let until = self.now().saturating_add(dur);
         self.run_until(until);
     }
 
@@ -356,6 +632,20 @@ impl Simulator {
     /// concurrently on the shard pool and everything merges at the epoch
     /// barrier; output is byte-identical to the serial drain.
     pub fn drain_switch(&mut self) {
+        // Public entry: callers may have injected into any switch since
+        // the last drain, so the busy flags are stale.
+        self.mark_all_busy();
+        self.drain_tracked();
+    }
+
+    /// The busy-tracked drain `run_until` uses between events: switches
+    /// whose TM queues are known-empty are skipped outright (an idle pump
+    /// has no side effects, so skipping is byte-exact).
+    fn drain_tracked(&mut self) {
+        if self.legacy_compat {
+            // The pre-refactor drain pumped every switch unconditionally.
+            self.mark_all_busy();
+        }
         if self.workers > 1 && self.switches.len() > 1 {
             self.drain_parallel();
         } else {
@@ -366,25 +656,56 @@ impl Simulator {
     /// The historical single-threaded drain (also the workers=1 path).
     fn drain_serial(&mut self) {
         let mut drain_work: u64 = 0;
-        for i in 0..self.switches.len() {
-            // Collect this switch's transmissions first: scheduling the
-            // deliveries needs `&mut self` again.
-            let batch: Vec<(TxPacket, u32)> = {
-                let mut sw = self.switches[i].borrow_mut();
-                drain_work += sw.pump();
-                let pkts = sw.take_transmitted();
-                if pkts.is_empty() {
-                    continue;
+        // The scratch buffer moves out of `self` for the loop's duration
+        // so filling it can overlap the switch borrow; its capacity is
+        // retained across drains.
+        let mut batch = std::mem::take(&mut self.batch_scratch);
+        for w in 0..self.dirty.len() {
+            let mut word = std::mem::take(&mut self.dirty[w]);
+            while word != 0 {
+                let bit = word & word.wrapping_neg();
+                let i = w * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                // Collect this switch's transmissions first: scheduling
+                // the deliveries needs `&mut self` again.
+                batch.clear();
+                {
+                    let mut sw = self.switches[i].borrow_mut();
+                    // Queued packets whose egress/wire time hasn't
+                    // arrived yet make the pump a provable no-op — skip
+                    // it (the switch stays dirty and is revisited once
+                    // the clock reaches its readiness bound). The
+                    // pre-refactor engine pumped unconditionally; compat
+                    // mode keeps that.
+                    if !self.legacy_compat && sw.tm_queued() > 0 && !sw.tx_ready() {
+                        self.dirty[w] |= bit;
+                        continue;
+                    }
+                    drain_work += sw.pump();
+                    let queued = sw.tm_queued() > 0;
+                    self.busy[i].store(queued, Ordering::Relaxed);
+                    if queued {
+                        self.dirty[w] |= bit;
+                    }
+                    if self.legacy_compat {
+                        // Pre-refactor collection: take the Vec wholesale
+                        // and re-collect with frame lengths (two fresh
+                        // allocations per productive pump).
+                        let pkts = sw.take_transmitted();
+                        batch.extend(pkts.into_iter().map(|pkt| {
+                            let bytes = pkt.phv.frame_len_walk(sw.spec());
+                            (pkt, bytes)
+                        }));
+                    } else {
+                        sw.drain_transmitted_with_len(&mut batch);
+                    }
                 }
-                pkts.into_iter()
-                    .map(|pkt| {
-                        let bytes = pkt.phv.frame_len(sw.spec());
-                        (pkt, bytes)
-                    })
-                    .collect()
-            };
-            self.route_batch(i, batch);
+                if !batch.is_empty() {
+                    self.route_batch(i, &mut batch);
+                }
+            }
         }
+        self.batch_scratch = batch;
         self.par_stats.drains += 1;
         self.par_stats.work_units += drain_work;
         // One worker does everything: the critical path is all the work.
@@ -394,6 +715,13 @@ impl Simulator {
     /// The epoch-barrier drain: pump shards on the worker pool, then merge
     /// telemetry and route batches serially in switch-index order.
     fn drain_parallel(&mut self) {
+        if !self.busy.iter().any(|b| b.load(Ordering::Relaxed)) {
+            // Nothing can transmit: the epoch would be a fleet of no-op
+            // pumps. Still counts as a drain for the scaling stats.
+            self.par_stats.drains += 1;
+            self.par_stats.parallel_drains += 1;
+            return;
+        }
         if self.pool.is_none() {
             self.pool = Some(self.build_pool());
         }
@@ -409,6 +737,10 @@ impl Simulator {
             total += load;
             for r in reply {
                 let slot = r.switch;
+                self.busy[slot].store(r.queued > 0, Ordering::Relaxed);
+                if r.queued > 0 {
+                    self.dirty[slot / 64] |= 1u64 << (slot % 64);
+                }
                 per_switch[slot] = Some(r);
             }
         }
@@ -426,45 +758,73 @@ impl Simulator {
         // Phase 2: route cross-shard effects (wire deliveries, fabric
         // exits) in the same canonical order.
         for (i, slot) in per_switch.iter_mut().enumerate() {
-            if let Some(r) = slot.take() {
-                self.route_batch(i, r.batch);
+            if let Some(mut r) = slot.take() {
+                self.route_batch(i, &mut r.batch);
             }
         }
     }
 
     /// Deliver one switch's transmit batch: linked ports become rx events
     /// on the peer after the wire delay, unlinked ports exit to the log.
-    fn route_batch(&mut self, i: usize, batch: Vec<(TxPacket, u32)>) {
-        for (pkt, bytes) in batch {
+    fn route_batch(&mut self, i: usize, batch: &mut Vec<(TxPacket, u32)>) {
+        for (pkt, bytes) in batch.drain(..) {
             self.tx_count += 1;
             self.tx_bytes += u64::from(bytes);
             self.tx_count_per_switch[i] += 1;
             self.tx_bytes_per_switch[i] += u64::from(bytes);
-            match self.topo.peer_of(i, pkt.port) {
+            match self.peer_cache[i]
+                .get(usize::from(pkt.port))
+                .copied()
+                .flatten()
+            {
                 Some((peer, link)) => {
-                    let arrival = pkt.time + link.wire_delay(bytes);
-                    let mut desc = {
-                        let sw = self.switches[i].borrow();
-                        pkt.phv.describe(sw.spec())
-                    };
-                    desc.port = peer.port;
-                    let dest = peer.switch;
-                    // Inject *as of* the arrival time: the delivery
-                    // event may be materialized after the clock moved
-                    // past `arrival` (the drain is lazy), and the
-                    // peer's tx timeline must not be distorted by
-                    // that.
-                    self.schedule(arrival, move |s| {
-                        let mut sw = s.switches[dest].borrow_mut();
-                        let phv = desc.build_lossy(sw.spec());
-                        sw.inject_phv_at(phv, arrival);
-                    });
+                    let arrival = pkt.time.saturating_add(link.wire_delay(bytes));
+                    if self.legacy_compat {
+                        // Pre-refactor hop: re-describe the PHV into
+                        // string-keyed field assignments, box a closure,
+                        // and rebuild the PHV by name resolution at
+                        // delivery.
+                        let mut desc = {
+                            let sw = self.switches[i].borrow();
+                            pkt.phv.describe(sw.spec())
+                        };
+                        desc.port = peer.port;
+                        let dest = peer.switch;
+                        self.switches[i].borrow_mut().recycle_phv(pkt.phv);
+                        self.schedule(arrival, move |s| {
+                            let mut sw = s.switches[dest].borrow_mut();
+                            let phv = desc.build_lossy(sw.spec());
+                            sw.inject_phv_at(phv, arrival);
+                        });
+                        continue;
+                    }
+                    // The PHV travels as transmitted (its values are
+                    // frozen — nothing mutates an in-flight packet) and
+                    // is re-materialized on the peer at dispatch via the
+                    // cached transfer map. Injection happens *as of* the
+                    // arrival time: the delivery event may be
+                    // materialized after the clock moved past `arrival`
+                    // (the drain is lazy), and the peer's tx timeline
+                    // must not be distorted by that.
+                    self.schedule_kind(
+                        arrival,
+                        EventKind::WireDeliver {
+                            src: i,
+                            dest: peer.switch,
+                            port: peer.port,
+                            arrival,
+                            phv: pkt.phv,
+                        },
+                    );
                 }
                 None => {
                     // Enforce the cap contract: older packets are
-                    // discarded first.
+                    // discarded first (their buffers go back to the
+                    // emitting switch's freelist).
                     while self.tx_log.len() >= self.tx_log_cap.max(1) {
-                        self.tx_log.pop_front();
+                        if let Some((from, old)) = self.tx_log.pop_front() {
+                            self.switches[from].borrow_mut().recycle_phv(old.phv);
+                        }
                     }
                     if self.tx_log_cap > 0 {
                         self.tx_log.push_back((i, pkt));
@@ -487,7 +847,64 @@ impl Simulator {
             };
             shards[owner].push((i, self.switches[i].clone()));
         }
-        WorkerPool::new(shards)
+        WorkerPool::new(shards, self.busy.clone())
+    }
+
+    /// Number of currently occupied timing-wheel slots (a telemetry gauge
+    /// for scale scenarios; cheap — counts set occupancy bits).
+    pub fn wheel_slots(&self) -> usize {
+        self.wheel.occupied_slots()
+    }
+
+    /// Pending (scheduled, not yet executed) event count.
+    pub fn pending_events(&self) -> usize {
+        self.wheel.len() + self.legacy_heap.len()
+    }
+
+    /// Heap bytes parked across every switch's PHV freelist (the packet
+    /// arena steady-state footprint).
+    pub fn arena_bytes(&self) -> u64 {
+        self.switches.iter().map(|s| s.borrow().arena_bytes()).sum()
+    }
+
+    /// Top up `dst`'s PHV freelist if it has run dry by moving one parked
+    /// buffer over from the richest identically shaped freelist in the
+    /// fabric. Identity wire transfer migrates buffers toward traffic
+    /// sinks — an exiting packet's buffer is recycled where it *exits*,
+    /// not where it was injected — so a switch sourcing more traffic than
+    /// it sinks slowly drains its pool and injection starts allocating
+    /// again. The non-empty check is one cheap borrow on the hot path;
+    /// the fabric scan runs only on a would-be pool miss.
+    pub(crate) fn rebalance_pool_for(&self, dst: usize) {
+        let (nf, nh) = {
+            let sw = self.switches[dst].borrow();
+            if sw.pool_parked() > 0 {
+                return;
+            }
+            (sw.spec().fields.len(), sw.spec().headers.len())
+        };
+        let mut best: Option<(usize, usize)> = None; // (parked, index)
+        for (i, handle) in self.switches.iter().enumerate() {
+            if i == dst {
+                continue;
+            }
+            let sw = handle.borrow();
+            let parked = sw.pool_parked();
+            if parked > 0
+                && sw.spec().fields.len() == nf
+                && sw.spec().headers.len() == nh
+                && best.is_none_or(|(p, _)| parked > p)
+            {
+                best = Some((parked, i));
+            }
+        }
+        if let Some((_, donor)) = best {
+            let phv = self.switches[donor]
+                .borrow_mut()
+                .pool_steal()
+                .expect("donor pool non-empty under the simulator's borrow");
+            self.switches[dst].borrow_mut().recycle_phv(phv);
+        }
     }
 
     /// Take the transmitted-packet log (packets that exited the fabric).
@@ -758,5 +1175,69 @@ control ingress { apply(t); }
             (fingerprint, sim.tx_count, sim.tx_bytes)
         };
         assert_eq!(run(), run());
+    }
+
+    /// A periodic chain whose next nominal firing would pass the u64
+    /// horizon must end instead of clamping — a clamped reschedule would
+    /// fire at the same instant forever.
+    #[test]
+    fn periodic_chain_ends_at_u64_horizon() {
+        let mut sim = mk();
+        let count = Rc::new(RefCell::new(0u32));
+        let c = count.clone();
+        sim.schedule_periodic(u64::MAX - 10, 8, move |_| {
+            *c.borrow_mut() += 1;
+            true
+        });
+        // Fires at MAX-10 and MAX-2; MAX-2 + 8 overflows, ending the
+        // chain. If the add wrapped this loop would never terminate.
+        sim.run_until(u64::MAX);
+        assert_eq!(*count.borrow(), 2);
+        assert_eq!(sim.now(), u64::MAX);
+    }
+
+    /// A zero interval degrades to 1 ns instead of rescheduling at the
+    /// same instant, so the run still terminates.
+    #[test]
+    fn periodic_zero_interval_still_advances_time() {
+        let mut sim = mk();
+        let count = Rc::new(RefCell::new(0u32));
+        let c = count.clone();
+        sim.schedule_periodic(5, 0, move |_| {
+            *c.borrow_mut() += 1;
+            true
+        });
+        sim.run_until(10);
+        // Fires at 5, 6, ..., 10.
+        assert_eq!(*count.borrow(), 6);
+    }
+
+    /// Wire delay near the horizon saturates: the arrival lands at
+    /// u64::MAX rather than wrapping into the packet's past.
+    #[test]
+    fn wire_delay_saturates_at_u64_horizon() {
+        let mut sim = mk_pair(u64::MAX);
+        sim.schedule(1_000, |s| {
+            s.switch_at(0)
+                .borrow_mut()
+                .inject(&PacketDesc::new(0).field("ip", "src", 1).payload(64));
+        });
+        sim.run_until(u64::MAX);
+        let tx = sim.take_tx_tagged();
+        assert_eq!(tx.len(), 1, "packet must still arrive at the horizon");
+        let (sw, pkt) = &tx[0];
+        assert_eq!(*sw, 1);
+        assert!(pkt.time >= 1_000, "arrival wrapped into the past");
+        assert_eq!(sim.now(), u64::MAX);
+    }
+
+    /// `run_for` with a duration that would pass the horizon clamps to
+    /// u64::MAX instead of wrapping to an earlier target.
+    #[test]
+    fn run_for_saturates_at_u64_horizon() {
+        let mut sim = mk();
+        sim.run_until(1_000);
+        sim.run_for(u64::MAX);
+        assert_eq!(sim.now(), u64::MAX);
     }
 }

@@ -58,9 +58,12 @@ impl Link {
         let transfer = if self.bandwidth_bps == 0 {
             0
         } else {
-            (u128::from(bytes) * 8 * 1_000_000_000 / u128::from(self.bandwidth_bps)) as Nanos
+            let ns = u128::from(bytes) * 8 * 1_000_000_000 / u128::from(self.bandwidth_bps);
+            Nanos::try_from(ns).unwrap_or(Nanos::MAX)
         };
-        self.latency_ns + transfer
+        // Saturating: a delivery at the u64 horizon stays at the horizon
+        // instead of wrapping into the simulation's past.
+        self.latency_ns.saturating_add(transfer)
     }
 }
 

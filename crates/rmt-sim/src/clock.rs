@@ -39,8 +39,10 @@ impl Clock {
     }
 
     /// Advance time by `delta` nanoseconds, returning the new time.
+    /// Saturating: virtual time pins at the u64 horizon rather than
+    /// wrapping back to zero (which would break clock monotonicity).
     pub fn advance(&self, delta: Nanos) -> Nanos {
-        let t = self.now.load(Ordering::Relaxed) + delta;
+        let t = self.now.load(Ordering::Relaxed).saturating_add(delta);
         self.now.store(t, Ordering::Relaxed);
         t
     }
@@ -94,6 +96,14 @@ mod tests {
         assert_eq!(c.now(), 100);
         c.advance_to(50);
         assert_eq!(c.now(), 100);
+    }
+
+    #[test]
+    fn advance_saturates_at_horizon() {
+        let c = Clock::new();
+        c.advance_to(Nanos::MAX - 5);
+        assert_eq!(c.advance(10), Nanos::MAX);
+        assert_eq!(c.now(), Nanos::MAX);
     }
 
     #[test]

@@ -34,9 +34,11 @@ pub mod switch;
 pub mod table;
 
 pub use clock::{Clock, Nanos};
-pub use phv::{PacketDesc, Phv};
+pub use phv::{PacketDesc, PacketTemplate, Phv, PhvPool, TransferMap};
 pub use shared::SharedSwitch;
-pub use spec::{load, ActionId, DataPlaneSpec, FieldId, LoadError, PortId, RegisterId, TableId};
+pub use spec::{
+    load, ActionId, DataPlaneSpec, FieldId, IntrIds, LoadError, PortId, RegisterId, TableId,
+};
 pub use switch::{
     switch_from_source, DriverError, Pipe, ReadAgg, Switch, SwitchConfig, TableCheckpoint, TxPacket,
 };

@@ -48,6 +48,17 @@ impl Phv {
         self.valid[header_idx] = valid;
     }
 
+    /// Read a field as `u64` (hot-path form of `get(..).as_u64()`).
+    pub fn get_u64(&self, id: FieldId) -> u64 {
+        self.get(id).as_u64()
+    }
+
+    /// Write a `u64`, truncating to the container width (the id-resolved
+    /// form of [`Phv::set_intr`]).
+    pub fn set_u64(&mut self, id: FieldId, v: u64) {
+        self.set(id, Value::new(u128::from(v), 64));
+    }
+
     /// Convenience: read an intrinsic field by name.
     pub fn intr(&self, spec: &DataPlaneSpec, name: &str) -> Value {
         self.get(spec.field_id(INTR, name).expect("intrinsic field"))
@@ -88,8 +99,65 @@ impl Phv {
         desc
     }
 
+    /// Restore this PHV to the state [`Phv::new`] produces, reusing its
+    /// buffers. The shape must match `spec` — recycling a PHV across specs
+    /// would silently corrupt field layout, so that is a hard invariant.
+    pub fn reset(&mut self, spec: &DataPlaneSpec) {
+        assert!(
+            self.values.len() == spec.fields.len() && self.valid.len() == spec.headers.len(),
+            "phv-pool/spec-shape: recycled PHV ({}f/{}h) does not match spec ({}f/{}h)",
+            self.values.len(),
+            self.valid.len(),
+            spec.fields.len(),
+            spec.headers.len(),
+        );
+        for (v, f) in self.values.iter_mut().zip(&spec.fields) {
+            *v = f.init;
+        }
+        for (b, h) in self.valid.iter_mut().zip(&spec.headers) {
+            *b = h.is_metadata;
+        }
+        self.dropped = false;
+        self.payload_len = 0;
+    }
+
+    /// Reset only the metadata headers' fields to their init values,
+    /// leaving wire headers (values and validity) and the payload intact.
+    /// This is the state a wire transfer between *identical* specs
+    /// produces: [`TransferMap::apply`] into a fresh PHV copies the wire
+    /// headers and nothing else, so moving the buffer and wiping the
+    /// metadata is byte-equivalent — without the copy.
+    pub fn reset_metadata(&mut self, spec: &DataPlaneSpec) {
+        for h in spec.headers.iter().filter(|h| h.is_metadata) {
+            for f in &h.fields {
+                self.values[f.0 as usize] = spec.fields[f.0 as usize].init;
+            }
+        }
+        self.dropped = false;
+    }
+
+    /// Heap bytes held by this PHV's buffers (arena accounting).
+    pub fn heap_bytes(&self) -> u64 {
+        (self.values.capacity() * std::mem::size_of::<Value>() + self.valid.capacity()) as u64
+    }
+
     /// Total frame length in bytes: parsed+valid headers plus payload.
     pub fn frame_len(&self, spec: &DataPlaneSpec) -> u32 {
+        let mut bits = 0u32;
+        for (i, &hb) in spec.wire_bits().iter().enumerate() {
+            if hb != 0 && self.valid[i] {
+                bits += hb;
+            }
+        }
+        bits / 8 + self.payload_len
+    }
+
+    /// [`frame_len`](Phv::frame_len) at its historical cost: walk every
+    /// header's field list and sum the widths, instead of reading the
+    /// spec's precomputed per-header totals. Same answer, per-packet
+    /// price — the legacy-compat benchmark baseline uses it to keep the
+    /// pre-refactor engine's cost shape.
+    pub fn frame_len_walk(&self, spec: &DataPlaneSpec) -> u32 {
         let mut bits = 0u32;
         for (i, h) in spec.headers.iter().enumerate() {
             if !h.is_metadata && self.valid[i] {
@@ -168,6 +236,241 @@ impl PacketDesc {
         let len = phv.frame_len(spec);
         phv.set_intr(spec, "pkt_len", u64::from(len));
         phv
+    }
+}
+
+/// A bounded freelist of PHVs shaped for one spec.
+///
+/// Every switch keeps one so steady-state packet churn reuses buffers
+/// instead of allocating: `take` pops and [`Phv::reset`]s a recycled PHV
+/// (allocating only while the pool warms up), `put` returns one after the
+/// packet leaves the switch or is dropped. The capacity bound keeps a
+/// traffic burst from pinning unbounded memory.
+#[derive(Debug, Default)]
+pub struct PhvPool {
+    free: Vec<Phv>,
+    cap: usize,
+}
+
+impl PhvPool {
+    pub fn new(cap: usize) -> Self {
+        PhvPool {
+            free: Vec::new(),
+            cap,
+        }
+    }
+
+    /// A fresh PHV for `spec`, recycled when possible.
+    pub fn take(&mut self, spec: &DataPlaneSpec) -> Phv {
+        match self.free.pop() {
+            Some(mut phv) => {
+                phv.reset(spec);
+                phv
+            }
+            None => Phv::new(spec),
+        }
+    }
+
+    /// Return a PHV to the freelist (dropped if the pool is full).
+    pub fn put(&mut self, phv: Phv) {
+        if self.free.len() < self.cap {
+            self.free.push(phv);
+        }
+    }
+
+    /// Pull a parked PHV out without reshaping it — for rebalancing
+    /// buffers between pools of identically shaped specs.
+    pub fn steal(&mut self) -> Option<Phv> {
+        self.free.pop()
+    }
+
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Heap bytes parked in the freelist (the "arena bytes" gauge).
+    pub fn arena_bytes(&self) -> u64 {
+        self.free.iter().map(Phv::heap_bytes).sum()
+    }
+}
+
+/// A [`PacketDesc`] pre-resolved against one spec: `(FieldId, value)`
+/// pairs plus the header-validity set. Compiled once per flow at spawn,
+/// then written into pooled PHVs per packet with zero name lookups and
+/// zero heap allocation.
+#[derive(Clone, Debug)]
+pub struct PacketTemplate {
+    port: PortId,
+    fields: Vec<(FieldId, u128)>,
+    valid_headers: Vec<usize>,
+    payload_len: u32,
+}
+
+impl PacketTemplate {
+    /// Resolve every field of `desc` against `spec`, in order.
+    pub fn compile(desc: &PacketDesc, spec: &DataPlaneSpec) -> Result<Self, String> {
+        let mut fields = Vec::with_capacity(desc.fields.len());
+        let mut valid_headers = Vec::new();
+        for (inst, field, value) in &desc.fields {
+            let Some(id) = spec.field_id(inst, field) else {
+                return Err(format!("unknown field {inst}.{field}"));
+            };
+            fields.push((id, *value));
+            if let Some(h) = spec.header_idx(inst) {
+                if !valid_headers.contains(&h) {
+                    valid_headers.push(h);
+                }
+            }
+        }
+        Ok(PacketTemplate {
+            port: desc.port,
+            fields,
+            valid_headers,
+            payload_len: desc.payload_len,
+        })
+    }
+
+    pub fn port(&self) -> PortId {
+        self.port
+    }
+
+    pub fn set_port(&mut self, port: PortId) {
+        self.port = port;
+    }
+
+    pub fn set_payload(&mut self, len: u32) {
+        self.payload_len = len;
+    }
+
+    /// Overwrite the value of the `slot`-th compiled field (slots follow
+    /// the order fields were added to the source [`PacketDesc`]).
+    pub fn set_value(&mut self, slot: usize, value: u128) {
+        self.fields[slot].1 = value;
+    }
+
+    /// Write this template into a fresh PHV, mirroring
+    /// [`PacketDesc::build`] exactly.
+    pub fn write_into(&self, phv: &mut Phv, spec: &DataPlaneSpec) {
+        phv.payload_len = self.payload_len;
+        for (id, value) in &self.fields {
+            phv.set(*id, Value::new(*value, 128));
+        }
+        for h in &self.valid_headers {
+            phv.set_valid(*h, true);
+        }
+        let intr = spec.intr_ids().expect("intrinsic field");
+        phv.set(intr.ingress_port, Value::new(u128::from(self.port), 64));
+        let len = phv.frame_len(spec);
+        phv.set(intr.pkt_len, Value::new(u128::from(len), 64));
+    }
+}
+
+/// Pre-compiled cross-spec wire transfer.
+///
+/// Semantically identical to `describe(src_spec)` →
+/// `build_lossy(dst_spec)` — every field of every valid non-metadata
+/// sender header that the receiver's program also declares carries over,
+/// and those receiver headers become valid — but resolved to id pairs once
+/// per (sender spec, receiver spec) so per-hop delivery does no String
+/// work at all.
+#[derive(Clone, Debug, Default)]
+pub struct TransferMap {
+    headers: Vec<HeaderXfer>,
+    /// True when the two specs are structurally identical, so a transfer
+    /// is the identity: the receiving side may *move* the source PHV
+    /// (after [`Phv::reset_metadata`]) instead of copying it field by
+    /// field into a fresh buffer.
+    identity: bool,
+}
+
+#[derive(Clone, Debug)]
+struct HeaderXfer {
+    src_header: usize,
+    dst_header: usize,
+    fields: Vec<(FieldId, FieldId)>,
+}
+
+/// Structural equality of two specs' PHV layouts: same headers (name,
+/// metadata flag, field list) and same fields (names, widths, inits) at
+/// the same indices. When this holds, a PHV shaped for one spec is
+/// directly usable under the other.
+fn specs_identical(a: &DataPlaneSpec, b: &DataPlaneSpec) -> bool {
+    if std::ptr::eq(a, b) {
+        return true;
+    }
+    a.fields.len() == b.fields.len()
+        && a.headers.len() == b.headers.len()
+        && a.fields.iter().zip(&b.fields).all(|(x, y)| {
+            x.instance == y.instance
+                && x.field == y.field
+                && x.width == y.width
+                && x.is_metadata == y.is_metadata
+                && x.init == y.init
+        })
+        && a.headers.iter().zip(&b.headers).all(|(x, y)| {
+            x.name == y.name && x.is_metadata == y.is_metadata && x.fields == y.fields
+        })
+}
+
+impl TransferMap {
+    pub fn build(src: &DataPlaneSpec, dst: &DataPlaneSpec) -> Self {
+        let mut headers = Vec::new();
+        for (i, h) in src.headers.iter().enumerate() {
+            if h.is_metadata {
+                continue;
+            }
+            let mut fields = Vec::new();
+            for f in &h.fields {
+                let info = &src.fields[f.0 as usize];
+                if let Some(d) = dst.field_id(&info.instance, &info.field) {
+                    fields.push((*f, d));
+                }
+            }
+            if !fields.is_empty() {
+                let dst_header = dst
+                    .header_idx(&h.name)
+                    .expect("resolved field implies instance");
+                headers.push(HeaderXfer {
+                    src_header: i,
+                    dst_header,
+                    fields,
+                });
+            }
+        }
+        TransferMap {
+            headers,
+            identity: specs_identical(src, dst),
+        }
+    }
+
+    /// Whether this transfer is between structurally identical specs (see
+    /// the `identity` field).
+    pub fn is_identity(&self) -> bool {
+        self.identity
+    }
+
+    /// Copy the transferable headers of `src` into the fresh PHV `dst`,
+    /// then stamp the receiver-side intrinsics (`ingress_port`,
+    /// `pkt_len`) exactly as [`PacketDesc::build_lossy`] would.
+    pub fn apply(&self, src: &Phv, dst: &mut Phv, port: PortId, dst_spec: &DataPlaneSpec) {
+        dst.payload_len = src.payload_len;
+        for hx in &self.headers {
+            if !src.is_valid(hx.src_header) {
+                continue;
+            }
+            for (s, d) in &hx.fields {
+                dst.set(*d, Value::new(src.get(*s).bits(), 128));
+            }
+            dst.set_valid(hx.dst_header, true);
+        }
+        let intr = dst_spec.intr_ids().expect("intrinsic field");
+        dst.set(intr.ingress_port, Value::new(u128::from(port), 64));
+        let len = dst.frame_len(dst_spec);
+        dst.set(intr.pkt_len, Value::new(u128::from(len), 64));
     }
 }
 
@@ -261,5 +564,121 @@ metadata m_t m { x : 5; }
         assert_eq!(back.get(s.field_id("eth", "etype").unwrap()).bits(), 0x0800);
         assert_eq!(back.ingress_port(&s), 5);
         assert_eq!(back.frame_len(&s), phv.frame_len(&s));
+    }
+
+    fn phv_eq(a: &Phv, b: &Phv) -> bool {
+        a.values
+            .iter()
+            .map(|v| (v.bits(), v.width()))
+            .eq(b.values.iter().map(|v| (v.bits(), v.width())))
+            && a.valid == b.valid
+            && a.dropped == b.dropped
+            && a.payload_len == b.payload_len
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let s = spec();
+        let mut phv = PacketDesc::new(3)
+            .field("eth", "dst", 0xaabb)
+            .payload(77)
+            .build(&s);
+        phv.dropped = true;
+        phv.reset(&s);
+        assert!(phv_eq(&phv, &Phv::new(&s)));
+    }
+
+    #[test]
+    #[should_panic(expected = "phv-pool/spec-shape")]
+    fn reset_rejects_mismatched_spec() {
+        let s = spec();
+        let other =
+            load(&parse_program("header_type a_t { fields { x : 8; } } header a_t a;").unwrap())
+                .unwrap();
+        let mut phv = Phv::new(&other);
+        phv.reset(&s);
+    }
+
+    #[test]
+    fn pool_recycles_up_to_cap() {
+        let s = spec();
+        let mut pool = PhvPool::new(1);
+        pool.put(Phv::new(&s));
+        pool.put(Phv::new(&s));
+        assert_eq!(pool.len(), 1);
+        assert!(pool.arena_bytes() > 0);
+        let phv = pool.take(&s);
+        assert!(phv_eq(&phv, &Phv::new(&s)));
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn template_matches_desc_build() {
+        let s = spec();
+        let desc = PacketDesc::new(3)
+            .field("eth", "dst", 0xaabb)
+            .field("eth", "etype", 0x0800)
+            .payload(64);
+        let tmpl = PacketTemplate::compile(&desc, &s).unwrap();
+        let mut got = Phv::new(&s);
+        tmpl.write_into(&mut got, &s);
+        assert!(phv_eq(&got, &desc.build(&s)));
+    }
+
+    #[test]
+    fn template_set_value_rewrites_slot() {
+        let s = spec();
+        let desc = PacketDesc::new(1)
+            .field("eth", "dst", 1)
+            .field("eth", "src", 2);
+        let mut tmpl = PacketTemplate::compile(&desc, &s).unwrap();
+        tmpl.set_value(1, 99);
+        tmpl.set_port(7);
+        let mut got = Phv::new(&s);
+        tmpl.write_into(&mut got, &s);
+        assert_eq!(got.get(s.field_id("eth", "src").unwrap()).bits(), 99);
+        assert_eq!(got.ingress_port(&s), 7);
+    }
+
+    #[test]
+    fn template_unknown_field_errors() {
+        let s = spec();
+        let desc = PacketDesc::new(0).field("nope", "f", 1);
+        assert!(PacketTemplate::compile(&desc, &s).is_err());
+    }
+
+    #[test]
+    fn transfer_map_matches_describe_build_lossy() {
+        let src = spec();
+        let dst = load(
+            &parse_program(
+                r#"
+header_type eth_t { fields { dst : 48; etype : 16; } }
+header eth_t eth;
+header_type v_t { fields { q : 4; } }
+header v_t v;
+"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let phv = PacketDesc::new(3)
+            .field("eth", "dst", 0xaabb)
+            .field("eth", "src", 0xcc)
+            .field("eth", "etype", 0x0800)
+            .payload(42)
+            .build(&src);
+        let mut desc = phv.describe(&src);
+        desc.port = 5;
+        let want = desc.build_lossy(&dst);
+        let map = TransferMap::build(&src, &dst);
+        let mut got = Phv::new(&dst);
+        map.apply(&phv, &mut got, 5, &dst);
+        assert!(phv_eq(&got, &want));
+        // Invalid sender headers must not transfer.
+        let empty = Phv::new(&src);
+        let mut got2 = Phv::new(&dst);
+        map.apply(&empty, &mut got2, 1, &dst);
+        assert!(!got2.is_valid(dst.header_idx("eth").unwrap()));
     }
 }

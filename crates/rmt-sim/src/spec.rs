@@ -294,8 +294,16 @@ pub struct DataPlaneSpec {
     pub ingress_stages: u32,
     pub egress_stages: u32,
 
-    field_index: HashMap<(String, String), FieldId>,
+    /// `(instance, field) → id`, sorted so lookups run on borrowed keys
+    /// (no per-lookup String allocation on the packet hot path).
+    field_index: Vec<(String, String, FieldId)>,
+    /// Pre-resolved intrinsic ids; `None` only when the spec lacks the
+    /// `intr` instance (never for `load`ed programs).
+    intr: Option<IntrIds>,
     header_index: HashMap<String, usize>,
+    /// Per-header wire bit widths (0 for metadata headers), precomputed
+    /// so [`crate::Phv::frame_len`] avoids walking field lists per packet.
+    wire_bits: Vec<u32>,
     table_index: HashMap<String, TableId>,
     action_index: HashMap<String, ActionId>,
     register_index: HashMap<String, RegisterId>,
@@ -320,11 +328,43 @@ impl Default for PipelineTiming {
     }
 }
 
+/// The intrinsic metadata fields every loaded spec carries, resolved to
+/// [`FieldId`]s once at load time so per-packet paths never look names up.
+#[derive(Clone, Copy, Debug)]
+pub struct IntrIds {
+    pub ingress_port: FieldId,
+    pub egress_spec: FieldId,
+    pub egress_port: FieldId,
+    pub pkt_len: FieldId,
+    pub ts_ns: FieldId,
+    pub recirc_count: FieldId,
+    pub deq_qdepth: FieldId,
+}
+
+impl IntrIds {
+    fn resolve(spec: &DataPlaneSpec) -> Option<IntrIds> {
+        Some(IntrIds {
+            ingress_port: spec.field_id(INTR, "ingress_port")?,
+            egress_spec: spec.field_id(INTR, "egress_spec")?,
+            egress_port: spec.field_id(INTR, "egress_port")?,
+            pkt_len: spec.field_id(INTR, "pkt_len")?,
+            ts_ns: spec.field_id(INTR, "ts_ns")?,
+            recirc_count: spec.field_id(INTR, "recirc_count")?,
+            deq_qdepth: spec.field_id(INTR, "deq_qdepth")?,
+        })
+    }
+}
+
 impl DataPlaneSpec {
     pub fn field_id(&self, instance: &str, field: &str) -> Option<FieldId> {
         self.field_index
-            .get(&(instance.to_string(), field.to_string()))
-            .copied()
+            .binary_search_by(|(i, f, _)| (i.as_str(), f.as_str()).cmp(&(instance, field)))
+            .ok()
+            .map(|pos| self.field_index[pos].2)
+    }
+
+    pub fn intr_ids(&self) -> Option<IntrIds> {
+        self.intr
     }
 
     pub fn field_id_of(&self, fr: &FieldRef) -> Option<FieldId> {
@@ -349,6 +389,11 @@ impl DataPlaneSpec {
 
     pub fn field_width(&self, id: FieldId) -> u16 {
         self.fields[id.0 as usize].width
+    }
+
+    /// Wire bit width of each header (0 for metadata headers).
+    pub fn wire_bits(&self) -> &[u32] {
+        &self.wire_bits
     }
 
     pub fn table(&self, id: TableId) -> &TableSpec {
@@ -401,7 +446,7 @@ pub fn load(prog: &Program) -> Result<DataPlaneSpec, LoadError> {
                 init,
             });
             spec.field_index
-                .insert((inst.name.clone(), fname.clone()), id);
+                .push((inst.name.clone(), fname.clone(), id));
             ids.push(id);
         }
         spec.header_index
@@ -412,6 +457,25 @@ pub fn load(prog: &Program) -> Result<DataPlaneSpec, LoadError> {
             fields: ids,
         });
     }
+    // All names are registered; sort once so `field_id` can binary-search
+    // with borrowed keys, then pin the intrinsic ids for the hot paths.
+    spec.field_index
+        .sort_by(|a, b| (a.0.as_str(), a.1.as_str()).cmp(&(b.0.as_str(), b.1.as_str())));
+    spec.intr = IntrIds::resolve(&spec);
+    spec.wire_bits = spec
+        .headers
+        .iter()
+        .map(|h| {
+            if h.is_metadata {
+                0
+            } else {
+                h.fields
+                    .iter()
+                    .map(|f| u32::from(spec.fields[f.0 as usize].width))
+                    .sum()
+            }
+        })
+        .collect();
 
     // Registers.
     for r in &prog.registers {

@@ -7,7 +7,7 @@
 //! interleave control-plane updates with in-flight packets.
 
 use crate::clock::{Clock, Nanos};
-use crate::phv::{PacketDesc, Phv};
+use crate::phv::{PacketDesc, PacketTemplate, Phv, PhvPool};
 use crate::registers::RegisterArray;
 use crate::spec::{
     ActionId, DataPlaneSpec, FieldId, PipelineTiming, PortId, RBool, ROperand, RPrimitive, RStmt,
@@ -23,6 +23,10 @@ use p4_ast::{CmpOp, Pipeline, Value};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
+
+/// Upper bound on PHVs parked in a switch's freelist. Large enough to
+/// absorb a full queue burst, small enough to bound idle memory.
+const PHV_POOL_CAP: usize = 4096;
 
 /// Switch configuration.
 #[derive(Clone, Debug)]
@@ -285,7 +289,10 @@ pub struct Switch {
     /// touches only its own applies instead of filtering the whole plan.
     ingress_plan: Vec<Vec<GuardedApply>>,
     egress_plan: Vec<Vec<GuardedApply>>,
-    transmitted: Vec<TxPacket>,
+    /// Transmitted packets paired with their frame length in bytes
+    /// (known exactly at enqueue — pipeline actions never change header
+    /// validity, so the length is invariant through egress).
+    transmitted: Vec<(TxPacket, u32)>,
     /// Register automatically updated with per-port queue depth in bytes.
     qdepth_register: Option<RegisterId>,
     pub stats: SwitchStats,
@@ -299,6 +306,33 @@ pub struct Switch {
     apply_scratch: Vec<TableId>,
     /// Reusable buffer for hash-calculation inputs.
     hash_scratch: Vec<Value>,
+    /// Freelist of PHVs shaped for `spec`; the steady-state packet path
+    /// (template injection, wire delivery, drops) cycles buffers through
+    /// here instead of allocating.
+    phv_pool: PhvPool,
+    /// Packets currently sitting in TM queues (all pipes).
+    queued_pkts: u64,
+    /// One bit per front-panel port: set while that port's queue is
+    /// non-empty, so `pump` skips idle ports without touching their queues.
+    queue_mask: Vec<u64>,
+    /// Lower bound on the earliest virtual time a queued packet can be
+    /// served: enqueues lower it, a full [`Switch::pump`] recomputes it
+    /// from the blocked queue heads. A pump before this instant is
+    /// provably a no-op (it only serves heads with `tx_start <= now`),
+    /// which lets fabric drains skip the switch outright.
+    next_ready: Nanos,
+    /// One-entry `(bytes, ns)` memo for [`Switch::wire_time`]; starts at
+    /// `(0, 0)`, which is itself the correct mapping for zero bytes.
+    wire_memo: (u32, Nanos),
+    /// Benchmark-only fidelity mode: per-packet paths take their
+    /// *historical* form — string-resolved intrinsic fields, full
+    /// header-walk frame lengths, an unmemoized wire-time division, a
+    /// mutexed telemetry check, and a pump that scans every port queue
+    /// instead of skipping idle ones. Output is byte-identical either
+    /// way; only the cost shape changes. The `figures -- scale` baseline
+    /// sets this so the speedup it reports is measured against what the
+    /// pre-refactor engine actually paid.
+    compat: bool,
 }
 
 impl fmt::Debug for Switch {
@@ -338,6 +372,7 @@ impl Switch {
         let next_handles = vec![1u64; spec.tables.len()];
         let ingress_plan = bucket_by_stage(flatten(&spec, &spec.ingress), spec.ingress_stages);
         let egress_plan = bucket_by_stage(flatten(&spec, &spec.egress), spec.egress_stages);
+        let mask_words = usize::from(config.num_ports.div_ceil(64));
         Switch {
             spec,
             config,
@@ -354,6 +389,31 @@ impl Switch {
             fabric_index: None,
             apply_scratch: Vec::new(),
             hash_scratch: Vec::new(),
+            phv_pool: PhvPool::new(PHV_POOL_CAP),
+            queued_pkts: 0,
+            queue_mask: vec![0u64; mask_words],
+            next_ready: 0,
+            wire_memo: (0, 0),
+            compat: false,
+        }
+    }
+
+    /// Enable (or disable) the legacy cost-fidelity mode — see the
+    /// `compat` field. Simulator-level compat propagates this so a whole
+    /// fabric flips together.
+    pub fn set_legacy_compat(&mut self, on: bool) {
+        self.compat = on;
+    }
+
+    /// Telemetry enablement at the mode's cost: compat pays the
+    /// historical mutex acquisition per check, normal mode reads the
+    /// cached flag.
+    #[inline]
+    fn tel_on(&self) -> bool {
+        if self.compat {
+            self.telemetry.is_enabled_uncached()
+        } else {
+            self.telemetry.is_enabled()
         }
     }
 
@@ -442,6 +502,48 @@ impl Switch {
         self.inject_phv(phv)
     }
 
+    /// Inject a pre-compiled packet template. Semantically identical to
+    /// [`Switch::inject`] on the template's source desc, but the PHV comes
+    /// from the switch's freelist — zero allocation on the steady state.
+    pub fn inject_template(&mut self, tmpl: &PacketTemplate) -> bool {
+        let mut phv = self.phv_pool.take(&self.spec);
+        tmpl.write_into(&mut phv, &self.spec);
+        self.inject_phv(phv)
+    }
+
+    /// Take a fresh PHV from this switch's freelist (shaped for its spec).
+    pub fn pool_take(&mut self) -> Phv {
+        self.phv_pool.take(&self.spec)
+    }
+
+    /// Return a PHV to this switch's freelist once the packet is done.
+    pub fn recycle_phv(&mut self, phv: Phv) {
+        self.phv_pool.put(phv);
+    }
+
+    /// Parked buffers in the PHV freelist.
+    pub fn pool_parked(&self) -> usize {
+        self.phv_pool.len()
+    }
+
+    /// Pull a parked PHV without reshaping it (cross-switch pool
+    /// rebalancing between identically shaped specs).
+    pub fn pool_steal(&mut self) -> Option<Phv> {
+        self.phv_pool.steal()
+    }
+
+    /// Heap bytes parked in the PHV freelist (telemetry gauge).
+    pub fn arena_bytes(&self) -> u64 {
+        self.phv_pool.arena_bytes()
+    }
+
+    /// Packets currently waiting in TM queues across all pipes. A switch
+    /// with zero queued packets is guaranteed to transmit nothing from a
+    /// pump, which is what lets the drain loop skip it entirely.
+    pub fn tm_queued(&self) -> u64 {
+        self.queued_pkts
+    }
+
     /// Inject a pre-built PHV.
     pub fn inject_phv(&mut self, phv: Phv) -> bool {
         self.inject_phv_at(phv, self.clock.now())
@@ -454,10 +556,16 @@ impl Switch {
     /// exact — the TM already computes `tx_start` from per-packet
     /// `enq_ns`, not from the pump time.
     pub fn inject_phv_at(&mut self, mut phv: Phv, at: Nanos) -> bool {
+        let intr = self.spec.intr_ids().expect("intrinsic field");
         self.stats.rx += 1;
-        let in_port = phv.ingress_port(&self.spec);
+        let in_port = if self.compat {
+            // Historical form: resolve the intrinsic by string name.
+            phv.ingress_port(&self.spec)
+        } else {
+            phv.get_u64(intr.ingress_port) as PortId
+        };
         let exec_pipe = self.pipe_of_port(in_port);
-        if self.telemetry.is_enabled() {
+        if self.tel_on() {
             self.telemetry.counter_add("switch.rx", 1);
             if self.config.num_pipes > 1 {
                 self.telemetry
@@ -469,10 +577,9 @@ impl Switch {
             }
         }
         if let Some((pipe, local)) = self.port_slot(in_port) {
-            let p = &mut self.pipes[pipe].ports[local];
-            if !p.up {
+            if !self.pipes[pipe].ports[local].up {
                 self.stats.dropped_port_down += 1;
-                if self.telemetry.is_enabled() {
+                if self.tel_on() {
                     if self.config.num_pipes > 1 {
                         self.telemetry.instant(
                             Scope::Switch,
@@ -489,12 +596,23 @@ impl Switch {
                         );
                     }
                 }
+                self.phv_pool.put(phv);
                 return false;
             }
+            let rx_bytes = u64::from(if self.compat {
+                phv.frame_len_walk(&self.spec)
+            } else {
+                phv.frame_len(&self.spec)
+            });
+            let p = &mut self.pipes[pipe].ports[local];
             p.rx_packets += 1;
-            p.rx_bytes += u64::from(phv.frame_len(&self.spec));
+            p.rx_bytes += rx_bytes;
         }
-        phv.set_intr(&self.spec, "ts_ns", at);
+        if self.compat {
+            phv.set_intr(&self.spec, "ts_ns", at);
+        } else {
+            phv.set_u64(intr.ts_ns, at);
+        }
 
         let mut exec = self.exec_start(phv, Pipeline::Ingress);
         while !exec.done() {
@@ -507,9 +625,15 @@ impl Switch {
     fn after_ingress(&mut self, phv: Phv, at: Nanos) -> bool {
         if phv.dropped {
             self.stats.dropped_ingress += 1;
+            self.phv_pool.put(phv);
             return false;
         }
-        let out_port = phv.egress_spec(&self.spec);
+        let out_port = if self.compat {
+            phv.egress_spec(&self.spec)
+        } else {
+            let intr = self.spec.intr_ids().expect("intrinsic field");
+            phv.get_u64(intr.egress_spec) as PortId
+        };
         if out_port == self.config.recirc_port {
             return self.recirculate(phv, at);
         }
@@ -521,12 +645,22 @@ impl Switch {
     /// `recirculated` stat lets experiments account for the throughput
     /// penalty the paper discusses (§2).
     fn recirculate(&mut self, mut phv: Phv, at: Nanos) -> bool {
-        let count = phv.intr(&self.spec, "recirc_count").as_u64();
+        let intr = self.spec.intr_ids().expect("intrinsic field");
+        let count = if self.compat {
+            phv.intr(&self.spec, "recirc_count").as_u64()
+        } else {
+            phv.get_u64(intr.recirc_count)
+        };
         if count as u8 >= self.config.recirc_limit {
             self.stats.dropped_ingress += 1;
+            self.phv_pool.put(phv);
             return false;
         }
-        phv.set_intr(&self.spec, "recirc_count", count + 1);
+        if self.compat {
+            phv.set_intr(&self.spec, "recirc_count", count + 1);
+        } else {
+            phv.set_u64(intr.recirc_count, count + 1);
+        }
         self.stats.recirculated += 1;
         let mut exec = self.exec_start(phv, Pipeline::Ingress);
         while !exec.done() {
@@ -536,17 +670,23 @@ impl Switch {
     }
 
     fn enqueue(&mut self, port: PortId, mut phv: Phv, at: Nanos) -> bool {
-        let bytes = phv.frame_len(&self.spec);
+        let bytes = if self.compat {
+            phv.frame_len_walk(&self.spec)
+        } else {
+            phv.frame_len(&self.spec)
+        };
         let Some((pipe, local)) = self.port_slot(port) else {
             self.stats.dropped_ingress += 1;
+            self.phv_pool.put(phv);
             return false;
         };
+        let pipe_ns = self.egress_pipe_ns();
         let q = &mut self.pipes[pipe].queues[local];
         if q.depth_bytes + bytes > self.config.queue_capacity_bytes {
             let depth = q.depth_bytes;
             self.stats.dropped_queue += 1;
             self.pipes[pipe].ports[local].queue_drops += 1;
-            if self.telemetry.is_enabled() {
+            if self.tel_on() {
                 if self.config.num_pipes > 1 {
                     self.telemetry.instant(
                         Scope::TrafficManager,
@@ -570,14 +710,28 @@ impl Switch {
                     );
                 }
             }
+            self.phv_pool.put(phv);
             return false;
         }
         // Record the queue depth seen at enqueue (DCTCP-style marking uses
         // this).
-        phv.set_intr(&self.spec, "deq_qdepth", u64::from(q.depth_bytes));
+        if self.compat {
+            let depth = u64::from(q.depth_bytes);
+            phv.set_intr(&self.spec, "deq_qdepth", depth);
+        } else {
+            let intr = self.spec.intr_ids().expect("intrinsic field");
+            phv.set_u64(intr.deq_qdepth, u64::from(q.depth_bytes));
+        }
         q.depth_bytes += bytes;
         let enq_ns = at;
+        // This packet cannot transmit before clearing the egress pipeline
+        // (and any wire backlog ahead of it); fold that into the switch's
+        // readiness lower bound so drains can skip provably-no-op pumps.
+        let bound = q.busy_until.max(enq_ns.saturating_add(pipe_ns));
         q.packets.push_back(Queued { phv, bytes, enq_ns });
+        self.next_ready = self.next_ready.min(bound);
+        self.queued_pkts += 1;
+        self.queue_mask[usize::from(port / 64)] |= 1u64 << (port % 64);
         self.mirror_qdepth(port);
         true
     }
@@ -592,11 +746,27 @@ impl Switch {
     /// pipe-major order *is* global port order, so this is byte-identical
     /// to the historical single loop over all ports.
     pub fn pump(&mut self) -> u64 {
+        // A full pump sees every blocked queue head, so the readiness
+        // bound can be recomputed exactly (enqueues during the pump —
+        // recirculation — lower it again via `enqueue`).
+        self.next_ready = Nanos::MAX;
         let mut served = 0;
         for pipe in 0..self.config.num_pipes {
-            served += self.pump_pipe(pipe);
+            served += self.pump_pipe_inner(pipe);
         }
         served
+    }
+
+    /// Earliest virtual time at which a pump could serve a queued packet
+    /// (`u64::MAX` when nothing is queued). A pump strictly before this
+    /// instant has zero side effects.
+    pub fn next_ready_at(&self) -> Nanos {
+        self.next_ready
+    }
+
+    /// Whether a pump at the current virtual time could serve anything.
+    pub fn tx_ready(&self) -> bool {
+        self.clock.now() >= self.next_ready
     }
 
     /// Serve one pipe's port queues up to the current virtual time. This is
@@ -605,15 +775,36 @@ impl Switch {
     /// switch could be pumped independently (work accounting treats them as
     /// separate units even though execution locks whole switches).
     pub fn pump_pipe(&mut self, pipe_idx: u16) -> u64 {
-        let now = self.clock.now();
+        // A single-pipe pump leaves the other pipes' queue heads unseen,
+        // so the readiness bound cannot be trusted afterwards: drop it to
+        // "always ready" (drains then never skip this switch).
+        self.next_ready = 0;
+        self.pump_pipe_inner(pipe_idx)
+    }
+
+    /// Latency from enqueue to the first wire byte (egress pipeline +
+    /// fixed overheads; the ingress half happens before enqueue).
+    fn egress_pipe_ns(&self) -> Nanos {
         let t = &self.config.timing;
-        // Latency from enqueue to the first wire byte (egress pipeline +
-        // fixed overheads; the ingress half happened before enqueue).
-        let pipe_ns: Nanos = t.fixed / 2 + u64::from(self.spec.egress_stages) * t.per_stage;
+        t.fixed / 2 + u64::from(self.spec.egress_stages) * t.per_stage
+    }
+
+    fn pump_pipe_inner(&mut self, pipe_idx: u16) -> u64 {
+        let now = self.clock.now();
+        let pipe_ns = self.egress_pipe_ns();
         let mut served: u64 = 0;
         let lo = pipe_idx * self.ports_per_pipe;
         let hi = (lo + self.ports_per_pipe).min(self.config.num_ports);
+        let intr = self.spec.intr_ids().expect("intrinsic field");
         for port in lo..hi {
+            // Idle ports (no queued packets) are invisible to a pump: no
+            // telemetry, no state changes — skipping them is byte-exact.
+            // The pre-refactor pump walked every port's queue; compat
+            // keeps that scan.
+            if !self.compat && self.queue_mask[usize::from(port / 64)] & (1u64 << (port % 64)) == 0
+            {
+                continue;
+            }
             let (pipe, local) = match self.port_slot(port) {
                 Some(slot) => slot,
                 None => continue,
@@ -621,23 +812,34 @@ impl Switch {
             loop {
                 let q = &mut self.pipes[pipe].queues[local];
                 let Some(head) = q.packets.front() else {
+                    self.queue_mask[usize::from(port / 64)] &= !(1u64 << (port % 64));
                     break;
                 };
                 // The wire serializes back-to-back; an idle wire waits for
-                // the packet to clear the egress pipeline.
-                let tx_start = q.busy_until.max(head.enq_ns + pipe_ns);
+                // the packet to clear the egress pipeline. Saturating: a
+                // packet enqueued at the u64 horizon stays schedulable
+                // instead of wrapping into the past.
+                let tx_start = q.busy_until.max(head.enq_ns.saturating_add(pipe_ns));
                 if tx_start > now {
+                    self.next_ready = self.next_ready.min(tx_start);
                     break;
                 }
                 let Some(Queued { phv, bytes, .. }) = q.packets.pop_front() else {
                     break;
                 };
                 served += 1;
+                self.queued_pkts -= 1;
                 q.depth_bytes -= bytes;
-                let tx_time = tx_start + self.wire_time(bytes);
+                let wire_ns = if self.compat {
+                    // Historical form: the u128 division every packet.
+                    self.wire_time(bytes)
+                } else {
+                    self.wire_time_memo(bytes)
+                };
+                let tx_time = tx_start.saturating_add(wire_ns);
                 self.pipes[pipe].queues[local].busy_until = tx_time;
                 self.mirror_qdepth(port);
-                if self.telemetry.is_enabled() {
+                if self.tel_on() {
                     // The dequeue→wire window of this packet on the
                     // virtual timeline.
                     self.telemetry
@@ -647,7 +849,11 @@ impl Switch {
                 }
 
                 let mut phv = phv;
-                phv.set_intr(&self.spec, "egress_port", u64::from(port));
+                if self.compat {
+                    phv.set_intr(&self.spec, "egress_port", u64::from(port));
+                } else {
+                    phv.set_u64(intr.egress_port, u64::from(port));
+                }
                 let mut exec = self.exec_start(phv, Pipeline::Egress);
                 while !exec.done() {
                     self.exec_step(&mut exec);
@@ -655,19 +861,21 @@ impl Switch {
                 let phv = exec.phv;
                 if phv.dropped {
                     self.stats.dropped_ingress += 1;
+                    self.phv_pool.put(phv);
+                    continue;
+                }
+                if !self.pipes[pipe].ports[local].up {
+                    self.stats.dropped_port_down += 1;
+                    self.phv_pool.put(phv);
                     continue;
                 }
                 {
                     let p = &mut self.pipes[pipe].ports[local];
-                    if !p.up {
-                        self.stats.dropped_port_down += 1;
-                        continue;
-                    }
                     p.tx_packets += 1;
                     p.tx_bytes += u64::from(bytes);
                 }
                 self.stats.tx += 1;
-                if self.telemetry.is_enabled() {
+                if self.tel_on() {
                     self.telemetry.counter_add("switch.tx", 1);
                     if self.config.num_pipes > 1 {
                         self.telemetry
@@ -678,24 +886,51 @@ impl Switch {
                             .counter_add(&switch_metric(sw, "switch.tx"), 1);
                     }
                 }
-                self.transmitted.push(TxPacket {
-                    port,
-                    phv,
-                    time: tx_time,
-                });
+                self.transmitted.push((
+                    TxPacket {
+                        port,
+                        phv,
+                        time: tx_time,
+                    },
+                    bytes,
+                ));
             }
         }
         served
     }
 
-    /// Wire serialization time for `bytes` at the port rate.
+    /// Wire serialization time for `bytes` at the port rate (saturating:
+    /// a degenerate sub-bit/s rate yields the u64 horizon, not a wrap).
     pub fn wire_time(&self, bytes: u32) -> Nanos {
-        (u128::from(bytes) * 8 * 1_000_000_000 / u128::from(self.config.port_rate_bps)) as Nanos
+        let ns = u128::from(bytes) * 8 * 1_000_000_000 / u128::from(self.config.port_rate_bps);
+        Nanos::try_from(ns).unwrap_or(Nanos::MAX)
+    }
+
+    /// [`wire_time`](Switch::wire_time) with a one-entry memo: traffic is
+    /// dominated by runs of equal-length frames, and the u128 division is
+    /// measurable on the per-packet path.
+    fn wire_time_memo(&mut self, bytes: u32) -> Nanos {
+        let (last_bytes, last_ns) = self.wire_memo;
+        if bytes == last_bytes {
+            return last_ns;
+        }
+        let ns = self.wire_time(bytes);
+        self.wire_memo = (bytes, ns);
+        ns
     }
 
     /// Drain transmitted packets.
     pub fn take_transmitted(&mut self) -> Vec<TxPacket> {
-        std::mem::take(&mut self.transmitted)
+        self.transmitted.drain(..).map(|(pkt, _)| pkt).collect()
+    }
+
+    /// Drain transmitted packets into `out`, tagged with their frame
+    /// length. Unlike [`take_transmitted`](Switch::take_transmitted) this
+    /// keeps the internal buffer's capacity, so a caller that reuses `out`
+    /// makes the whole pump → route handoff allocation-free at steady
+    /// state.
+    pub fn drain_transmitted_with_len(&mut self, out: &mut Vec<(TxPacket, u32)>) {
+        out.append(&mut self.transmitted);
     }
 
     /// Current queue depth in bytes for a port.
@@ -717,7 +952,7 @@ impl Switch {
             self.pipes[pipe].registers[rid.0 as usize]
                 .write(port as usize, Value::new(u128::from(depth), 64));
         }
-        if self.telemetry.is_enabled() {
+        if self.tel_on() {
             self.telemetry
                 .gauge_set(&format!("tm.q{port}_depth_bytes"), i128::from(depth));
         }
@@ -729,9 +964,17 @@ impl Switch {
     /// derived from the packet's port: ingress port for ingress passes,
     /// the `egress_port` intrinsic for egress passes.
     pub fn exec_start(&self, phv: Phv, pipeline: Pipeline) -> Execution {
-        let port = match pipeline {
-            Pipeline::Ingress => phv.ingress_port(&self.spec),
-            Pipeline::Egress => phv.intr(&self.spec, "egress_port").as_u64() as PortId,
+        let port = if self.compat {
+            match pipeline {
+                Pipeline::Ingress => phv.ingress_port(&self.spec),
+                Pipeline::Egress => phv.intr(&self.spec, "egress_port").as_u64() as PortId,
+            }
+        } else {
+            let intr = self.spec.intr_ids().expect("intrinsic field");
+            match pipeline {
+                Pipeline::Ingress => phv.get_u64(intr.ingress_port) as PortId,
+                Pipeline::Egress => phv.get_u64(intr.egress_port) as PortId,
+            }
         };
         self.exec_start_on(phv, pipeline, self.pipe_of_port(port))
     }

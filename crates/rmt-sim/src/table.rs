@@ -45,9 +45,43 @@
 use crate::phv::Phv;
 use crate::spec::{ActionId, TableSpec};
 use p4_ast::{MatchKind, Value};
-use std::collections::HashMap;
+use std::collections::HashMap as StdHashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
+
+/// Multiply-rotate hasher (the rustc/Firefox "Fx" construction) for the
+/// match indices. Table keys are short, well-distributed bit strings, and
+/// the default SipHash costs more than the probe itself on the per-packet
+/// path; a keyed DoS-resistant hash buys nothing here because entries
+/// come from the control plane, not the wire.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let w = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            self.0 = (self.0.rotate_left(5) ^ w).wrapping_mul(SEED);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut w = [0u8; 8];
+            w[..rest.len()].copy_from_slice(rest);
+            self.0 = (self.0.rotate_left(5) ^ u64::from_le_bytes(w)).wrapping_mul(SEED);
+        }
+    }
+}
+
+type HashMap<K, V> = StdHashMap<K, V, BuildHasherDefault<FxHasher>>;
 
 /// Opaque handle to an installed entry, unique within a table for the
 /// lifetime of the switch.
@@ -298,7 +332,7 @@ pub enum Lookup {
 impl Table {
     pub fn new(spec: &TableSpec) -> Self {
         let index = if !spec.key.is_empty() && spec.key.iter().all(|k| k.kind == MatchKind::Exact) {
-            Index::Exact(HashMap::new())
+            Index::Exact(HashMap::default())
         } else if let Some(lpm_pos) = single_lpm_pos(spec) {
             Index::Lpm(LpmIndex {
                 lpm_pos,
@@ -719,7 +753,7 @@ impl LpmIndex {
                     LpmLevel {
                         prefix_len,
                         mask: prefix_mask(self.width, prefix_len),
-                        buckets: HashMap::new(),
+                        buckets: HashMap::default(),
                     },
                 );
                 p
