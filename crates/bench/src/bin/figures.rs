@@ -35,6 +35,7 @@ const KNOWN: &[&str] = &[
     "fabric",
     "control",
     "chaos",
+    "fuzz",
 ];
 
 fn main() {
@@ -535,6 +536,43 @@ fn main() {
             }
             for p in &r.corpus_written {
                 println!("      shrunk repro written: {p}");
+            }
+        }
+        println!();
+    }
+
+    if want("fuzz") {
+        let quick = std::env::var("MANTIS_BENCH_QUICK").is_ok_and(|v| v != "0");
+        let r = bench::fuzz::run(quick);
+        save("fuzz", &r);
+        println!(
+            "== Fuzz — differential compiler/interpreter campaign ({}) ==",
+            if quick { "quick" } else { "full" }
+        );
+        println!(
+            "    {} programs generated (seeds {}..{}): {} compiled, {} rejected with a diagnostic",
+            r.generated,
+            r.seed_base,
+            r.seed_base + r.budget,
+            r.compiled,
+            r.rejected
+        );
+        println!(
+            "    vm fallbacks (walker-only coverage): {}",
+            r.vm_fallbacks
+        );
+        if r.divergences.is_empty() {
+            println!("    divergences: none");
+        } else {
+            println!("    divergences: {}", r.divergences.len());
+            for d in &r.divergences {
+                println!(
+                    "      seed {} ({} → {} stmts): {}",
+                    d.seed, d.original_stmts, d.minimized_stmts, d.detail
+                );
+            }
+            for p in &r.corpus_written {
+                println!("      minimized repro written: {p}");
             }
         }
         println!();

@@ -24,6 +24,7 @@ pub mod chaos;
 pub mod control;
 pub mod fabric;
 pub mod faults;
+pub mod fuzz;
 pub mod parallel;
 pub mod perf;
 pub mod scale;

@@ -36,7 +36,8 @@ use p4_ast::Value;
 use p4r_compiler::entry::{expand_entry, ExpandError, PhysEntry, PhysKey};
 use p4r_compiler::iface::{ControlInterface, ReactionBinding, TableInfo};
 use p4r_compiler::Compiled;
-use reaction_interp::{CompiledReaction, InterpError, Interpreter};
+use p4r_lang::creact::Body;
+use reaction_interp::{CompiledReaction, InterpError, Interpreter, ReactionSlots};
 use rmt_sim::{
     Clock, DriverError, EntryHandle, KeyField, Nanos, PortId, ReadAgg, SharedSwitch, TableId,
 };
@@ -86,8 +87,17 @@ pub enum AgentErrorKind {
     Interp(InterpError),
     UnknownReaction(String),
     UnknownTable(String),
-    MissingEntry { table: String, handle: u64 },
+    MissingEntry {
+        table: String,
+        handle: u64,
+    },
     NotCompiledWithReaction(String),
+    /// The bytecode VM was explicitly requested ([`ReactionEngine::ForceVm`])
+    /// but cannot compile this reaction body.
+    VmUnsupported {
+        reaction: String,
+        reason: String,
+    },
 }
 
 impl fmt::Display for AgentErrorKind {
@@ -104,6 +114,12 @@ impl fmt::Display for AgentErrorKind {
             }
             AgentErrorKind::NotCompiledWithReaction(n) => {
                 write!(f, "program has no reaction named `{n}`")
+            }
+            AgentErrorKind::VmUnsupported { reaction, reason } => {
+                write!(
+                    f,
+                    "reaction `{reaction}` cannot run on the bytecode VM: {reason}"
+                )
             }
         }
     }
@@ -374,6 +390,24 @@ pub struct AgentStats {
     pub last: IterationReport,
 }
 
+/// Which execution engine an interpreted reaction should run on.
+///
+/// The fuzz harness forces each engine in turn to compare their observable
+/// behavior; production callers use [`ReactionEngine::Auto`], which prefers
+/// the bytecode VM and falls back to the tree-walker (recording a
+/// `reaction.vm_fallback` telemetry counter so walker-only coverage is
+/// never silent).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReactionEngine {
+    /// Bytecode VM when compilable, tree-walker otherwise.
+    #[default]
+    Auto,
+    /// Bytecode VM only; registration fails if the body is unsupported.
+    ForceVm,
+    /// Tree-walker only.
+    ForceWalker,
+}
+
 /// The Mantis control-plane agent.
 pub struct MantisAgent {
     pub iface: ControlInterface,
@@ -397,6 +431,14 @@ pub struct MantisAgent {
     reg_caches: HashMap<(String, String), RegCache>,
     snapshots: HashMap<String, Snapshot>,
     reactions: Vec<RegisteredReaction>,
+    /// Pre-parsed reaction bodies and static slots from the compiler IR,
+    /// keyed by reaction name. Registration consumes these instead of
+    /// re-parsing `body_src`; the text round-trip survives only as a
+    /// fallback for interfaces restored without their IR.
+    ir_bodies: HashMap<String, (Body, ReactionSlots)>,
+    /// (reaction, reason) pairs for every VM → walker fallback, mirrored
+    /// by the `reaction.vm_fallback` counter.
+    vm_fallbacks: Vec<(String, String)>,
     staged: Staged,
     reaction_ranges: Vec<ReactionRange>,
     retry: RetryPolicy,
@@ -592,6 +634,15 @@ impl MantisAgent {
             action_arity.insert(a.name.clone(), a.param_widths.len());
         }
 
+        // Capture the typed IR's pre-parsed bodies + static slots so
+        // registration never re-derives them from text.
+        let ir_bodies = compiled
+            .ir
+            .reactions
+            .iter()
+            .map(|r| (r.name.clone(), (r.body.clone(), r.statics.clone())))
+            .collect();
+
         let num_pipes = usize::from(driver.num_pipes());
         MantisAgent {
             iface,
@@ -610,6 +661,8 @@ impl MantisAgent {
             reg_caches: HashMap::new(),
             snapshots: HashMap::new(),
             reactions: Vec::new(),
+            ir_bodies,
+            vm_fallbacks: Vec::new(),
             staged: Staged::default(),
             reaction_ranges: Vec::new(),
             retry: RetryPolicy::default(),
@@ -869,19 +922,58 @@ impl MantisAgent {
     // -- registration ----------------------------------------------------------
 
     /// Register a reaction to run its compiled C-like body in the
-    /// interpreter.
+    /// interpreter, picking the engine automatically.
     pub fn register_interpreted(&mut self, name: &str) -> Result<(), AgentError> {
+        self.register_interpreted_with(name, ReactionEngine::Auto)
+    }
+
+    /// Register a reaction on a specific execution engine.
+    ///
+    /// The body and static slots come pre-parsed from the compiler IR;
+    /// re-parsing `body_src` happens only for interfaces that lost their
+    /// IR (e.g. restored from a serialized `ControlInterface`).
+    pub fn register_interpreted_with(
+        &mut self,
+        name: &str,
+        engine: ReactionEngine,
+    ) -> Result<(), AgentError> {
         let binding = self.iface.reaction(name).cloned().ok_or_else(|| {
             AgentError::from(AgentErrorKind::NotCompiledWithReaction(name.to_string()))
         })?;
-        let body = p4r_lang::creact::parse_body(&binding.body_src).map_err(|e| {
-            AgentError::from(AgentErrorKind::Interp(InterpError::Env(e.to_string())))
-        })?;
-        // Prefer the bytecode VM; fall back to the tree-walker for the
-        // rare bodies the slot resolver cannot compile faithfully.
-        let imp = match CompiledReaction::compile(&body) {
-            Ok(vm) => ReactionImpl::Compiled(vm),
-            Err(_) => ReactionImpl::Interpreted(Interpreter::new(body)),
+        let (body, slots) = match self.ir_bodies.get(name) {
+            Some((body, slots)) => (body.clone(), slots.clone()),
+            None => {
+                let body = p4r_lang::creact::parse_body(&binding.body_src).map_err(|e| {
+                    AgentError::from(AgentErrorKind::Interp(InterpError::Env(e.to_string())))
+                })?;
+                let slots = ReactionSlots::collect(&body).map_err(|e| {
+                    AgentError::from(AgentErrorKind::Interp(InterpError::Env(e.to_string())))
+                })?;
+                (body, slots)
+            }
+        };
+        let imp = match engine {
+            ReactionEngine::ForceWalker => ReactionImpl::Interpreted(Interpreter::new(body)),
+            ReactionEngine::ForceVm => match CompiledReaction::compile_with_slots(&body, &slots) {
+                Ok(vm) => ReactionImpl::Compiled(vm),
+                Err(e) => {
+                    return Err(AgentError::from(AgentErrorKind::VmUnsupported {
+                        reaction: name.to_string(),
+                        reason: e.to_string(),
+                    }))
+                }
+            },
+            // Prefer the bytecode VM; fall back to the tree-walker for the
+            // rare bodies it cannot compile faithfully, and make the
+            // walker-only coverage visible in telemetry.
+            ReactionEngine::Auto => match CompiledReaction::compile_with_slots(&body, &slots) {
+                Ok(vm) => ReactionImpl::Compiled(vm),
+                Err(e) => {
+                    self.telemetry.counter_add(scopes::CTR_VM_FALLBACK, 1);
+                    self.vm_fallbacks.push((name.to_string(), e.to_string()));
+                    ReactionImpl::Interpreted(Interpreter::new(body))
+                }
+            },
         };
         self.reactions.push(RegisteredReaction {
             name: name.to_string(),
@@ -894,6 +986,14 @@ impl MantisAgent {
 
     /// Register every reaction in the program with the interpreter.
     pub fn register_all_interpreted(&mut self) -> Result<(), AgentError> {
+        self.register_all_interpreted_with(ReactionEngine::Auto)
+    }
+
+    /// Register every reaction in the program on a specific engine.
+    pub fn register_all_interpreted_with(
+        &mut self,
+        engine: ReactionEngine,
+    ) -> Result<(), AgentError> {
         for name in self
             .iface
             .reactions
@@ -901,9 +1001,28 @@ impl MantisAgent {
             .map(|r| r.name.clone())
             .collect::<Vec<_>>()
         {
-            self.register_interpreted(&name)?;
+            self.register_interpreted_with(&name, engine)?;
         }
         Ok(())
+    }
+
+    /// Every VM → walker fallback so far, as `(reaction, reason)` pairs.
+    /// Empty in the common case where every body compiles to bytecode.
+    pub fn vm_fallbacks(&self) -> &[(String, String)] {
+        &self.vm_fallbacks
+    }
+
+    /// Cap the interpreter/VM step budget of every registered reaction
+    /// (the fuzz harness tightens this so runaway generated loops abort
+    /// quickly and identically on both engines).
+    pub fn set_reaction_step_limits(&mut self, limit: u64) {
+        for r in &mut self.reactions {
+            match &mut r.imp {
+                ReactionImpl::Compiled(vm) => vm.step_limit = limit,
+                ReactionImpl::Interpreted(w) => w.step_limit = limit,
+                ReactionImpl::Native(_) => {}
+            }
+        }
     }
 
     /// Register a native Rust implementation for a reaction declared in the

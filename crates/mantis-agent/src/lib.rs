@@ -31,7 +31,7 @@ pub mod sched;
 
 pub use agent::{
     AgentError, AgentErrorKind, AgentPhase, AgentStats, IterationReport, MantisAgent,
-    NativeReaction, ReactionFailure,
+    NativeReaction, ReactionEngine, ReactionFailure,
 };
 pub use costmodel::CostModel;
 pub use ctx::{CtxError, ReactionCtx, Snapshot};
@@ -470,6 +470,64 @@ control ingress { apply(blocklist); apply(adjust); }
             AgentErrorKind::NotCompiledWithReaction(_)
         ));
         assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn forced_engines_and_vm_fallback_telemetry() {
+        // The bare-decl-as-if-body shape is the one construct the VM
+        // still refuses; Auto must fall back to the walker *visibly*.
+        const SRC: &str = r#"
+header_type ip_t { fields { src : 32; } }
+header ip_t ip;
+reaction r(ing ip.src) {
+    if (ip_src > 0) static uint64_t n = 0;
+    return 0;
+}
+control ingress { }
+"#;
+        let compiled = compile_source(SRC, &CompilerOptions::default()).unwrap();
+        let clock = Clock::new();
+        let spec = rmt_sim::load(&compiled.p4).unwrap();
+        let switch = SharedSwitch::new(Switch::new(spec, SwitchConfig::default(), clock.clone()));
+        let mut agent = MantisAgent::new(switch, &compiled, CostModel::default());
+
+        // ForceVm refuses the body outright, naming the reaction.
+        let err = agent
+            .register_interpreted_with("r", ReactionEngine::ForceVm)
+            .unwrap_err();
+        assert!(
+            matches!(err.kind, AgentErrorKind::VmUnsupported { .. }),
+            "{err}"
+        );
+        assert!(agent.vm_fallbacks().is_empty());
+
+        // ForceWalker always works.
+        agent
+            .register_interpreted_with("r", ReactionEngine::ForceWalker)
+            .unwrap();
+        assert!(agent.vm_fallbacks().is_empty());
+
+        // Auto falls back and records the reason + counter.
+        agent.register_interpreted("r").unwrap();
+        assert_eq!(agent.vm_fallbacks().len(), 1);
+        assert!(agent.vm_fallbacks()[0].1.contains("declaration"));
+        assert_eq!(
+            agent
+                .telemetry()
+                .counter(mantis_telemetry::scopes::CTR_VM_FALLBACK),
+            1
+        );
+    }
+
+    #[test]
+    fn use_case_style_program_never_falls_back() {
+        // The golden-traced programs must keep compiling on the VM so
+        // their telemetry stays byte-identical.
+        let (_sw, mut agent, _clock) = build();
+        agent
+            .register_all_interpreted_with(ReactionEngine::ForceVm)
+            .unwrap();
+        assert!(agent.vm_fallbacks().is_empty());
     }
 
     #[test]

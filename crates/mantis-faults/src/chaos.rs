@@ -469,10 +469,10 @@ impl std::error::Error for ChaosParseError {}
 
 /// Minimize a failing schedule: `fails(candidate)` must return `true`
 /// when the candidate still reproduces the failure. First events are
-/// removed in ddmin-style halving chunks until no subset can be dropped,
-/// then every surviving event's numeric parameters are halved while the
-/// failure persists. Deterministic given a deterministic predicate; the
-/// result still satisfies `fails`.
+/// removed with the generic [`crate::ddmin`] chunk-halving loop until no
+/// subset can be dropped, then every surviving event's numeric parameters
+/// are halved while the failure persists. Deterministic given a
+/// deterministic predicate; the result still satisfies `fails`.
 pub fn shrink<F>(plan: &ChaosPlan, mut fails: F) -> ChaosPlan
 where
     F: FnMut(&ChaosPlan) -> bool,
@@ -481,32 +481,11 @@ where
     debug_assert!(fails(&best), "shrink() needs a failing starting plan");
 
     // Phase 1: event-subset bisection (greedy ddmin).
-    let mut chunk = best.events.len().div_ceil(2).max(1);
-    while chunk >= 1 {
-        let mut removed_any = false;
-        let mut i = 0;
-        while i < best.events.len() {
-            let hi = (i + chunk).min(best.events.len());
-            let mut candidate = best.clone();
-            candidate.events.drain(i..hi);
-            if !candidate.events.is_empty() && fails(&candidate) {
-                best = candidate;
-                removed_any = true;
-                // Same index now names the next chunk.
-            } else if candidate.events.is_empty() && fails(&candidate) {
-                best = candidate;
-                break;
-            } else {
-                i += chunk;
-            }
-        }
-        if !removed_any {
-            if chunk == 1 {
-                break;
-            }
-            chunk /= 2;
-        }
-    }
+    best.events = crate::ddmin(&best.events, |events| {
+        let mut candidate = plan.clone();
+        candidate.events = events.to_vec();
+        fails(&candidate)
+    });
 
     // Phase 2: per-event parameter shrinking (halve numerics toward
     // their floor while the failure persists; bounded passes).

@@ -1,0 +1,100 @@
+//! Generic greedy delta-debugging minimization (ddmin).
+//!
+//! Given a failing item sequence and a predicate that replays a candidate
+//! and reports whether it *still fails*, [`ddmin`] removes halving chunks
+//! until no subset can be dropped. The same loop minimizes chaos fault
+//! schedules ([`crate::chaos::shrink`]) and the fuzz harness's generated
+//! P4R program statements — anything expressible as "a list of parts, some
+//! subset of which reproduces the failure".
+//!
+//! Deterministic given a deterministic predicate, and the result always
+//! satisfies `fails` (it only ever commits candidates the predicate
+//! confirmed).
+
+/// Minimize `items` to a (locally) 1-minimal failing subsequence.
+///
+/// `fails(candidate)` must return `true` while the candidate still
+/// reproduces the failure. The empty sequence is a legal result when the
+/// predicate accepts it. Greedy: a removed chunk is never revisited, and
+/// chunk size halves only once a full sweep removes nothing.
+pub fn ddmin<T, F>(items: &[T], mut fails: F) -> Vec<T>
+where
+    T: Clone,
+    F: FnMut(&[T]) -> bool,
+{
+    let mut best: Vec<T> = items.to_vec();
+    let mut chunk = best.len().div_ceil(2).max(1);
+    while chunk >= 1 {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < best.len() {
+            let hi = (i + chunk).min(best.len());
+            let mut candidate = best.clone();
+            candidate.drain(i..hi);
+            if fails(&candidate) {
+                let emptied = candidate.is_empty();
+                best = candidate;
+                removed_any = true;
+                if emptied {
+                    break;
+                }
+                // Same index now names the next chunk.
+            } else {
+                i += chunk;
+            }
+        }
+        if !removed_any {
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_only_the_failing_core() {
+        // Failure reproduces iff both 3 and 7 survive.
+        let items: Vec<u32> = (0..20).collect();
+        let min = ddmin(&items, |c| c.contains(&3) && c.contains(&7));
+        assert_eq!(min, vec![3, 7]);
+    }
+
+    #[test]
+    fn single_culprit_shrinks_to_one() {
+        let items: Vec<u32> = (0..33).collect();
+        let min = ddmin(&items, |c| c.contains(&17));
+        assert_eq!(min, vec![17]);
+    }
+
+    #[test]
+    fn empty_allowed_when_predicate_accepts_it() {
+        let items = vec![1, 2, 3];
+        let min = ddmin(&items, |_| true);
+        assert!(min.is_empty());
+    }
+
+    #[test]
+    fn preserves_order_of_survivors() {
+        let items = vec![9, 1, 8, 2, 7, 3];
+        let min = ddmin(&items, |c| {
+            let a = c.iter().position(|&x| x == 1);
+            let b = c.iter().position(|&x| x == 7);
+            matches!((a, b), (Some(i), Some(j)) if i < j)
+        });
+        assert_eq!(min, vec![1, 7]);
+    }
+
+    #[test]
+    fn result_always_fails() {
+        // Adversarial predicate: fails iff sum of survivors is odd.
+        let items = vec![1, 2, 4, 8, 16];
+        let min = ddmin(&items, |c| c.iter().sum::<i32>() % 2 == 1);
+        assert_eq!(min.iter().sum::<i32>() % 2, 1);
+    }
+}

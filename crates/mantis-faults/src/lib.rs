@@ -31,6 +31,9 @@
 #![forbid(unsafe_code)]
 
 pub mod chaos;
+pub mod ddmin;
+
+pub use ddmin::ddmin;
 
 use std::fmt;
 

@@ -15,14 +15,14 @@
 //!   double-buffered measurement registers, duplicated user registers with
 //!   write counters (§5).
 
+#[cfg(test)]
 use crate::iface::*;
-use crate::packing;
-use p4_ast::{
-    ActionDecl, ControlStmt, FieldOrMbl, FieldRef, HeaderTypeDecl, InstanceDecl, MatchKind,
-    MblFieldDecl, Operand, Pipeline, PrimitiveCall, Program, ReactionArg, RegisterDecl, TableDecl,
-    TableRead, Value,
-};
-use std::collections::{BTreeMap, BTreeSet};
+use crate::ir::{self, Diagnostic, P4rIr};
+use crate::lower;
+pub use crate::lower::assignments;
+use p4_ast::Program;
+#[cfg(test)]
+use p4_ast::{ControlStmt, FieldOrMbl, MatchKind, Operand, PrimitiveCall, Value};
 use std::fmt;
 
 /// Compiler options (platform constants).
@@ -59,6 +59,9 @@ pub enum CompileError {
     },
     /// Internal invariant: the generated program failed validation.
     GeneratedProgramInvalid(Vec<p4_ast::validate::ValidateError>),
+    /// Name-resolution / typecheck failures from the IR builder, each with
+    /// a source position and caret snippet.
+    Diagnostics(Vec<Diagnostic>),
 }
 
 impl fmt::Display for CompileError {
@@ -84,6 +87,15 @@ impl fmt::Display for CompileError {
                 }
                 Ok(())
             }
+            CompileError::Diagnostics(diags) => {
+                for (i, d) in diags.iter().enumerate() {
+                    if i > 0 {
+                        writeln!(f)?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -96,7 +108,11 @@ pub struct Compiled {
     /// The transformed, plain-P4 program.
     pub p4: Program,
     /// The runtime interface for the Mantis agent.
-    pub iface: ControlInterface,
+    pub iface: crate::iface::ControlInterface,
+    /// The typed mid-level IR the program was lowered from. Reaction
+    /// engines (walker and VM) are built from its pre-parsed bodies and
+    /// pre-resolved slots.
+    pub ir: P4rIr,
 }
 
 /// Compile P4R source text.
@@ -113,1227 +129,8 @@ pub fn compile(prog: &Program, opts: &CompilerOptions) -> Result<Compiled, Compi
     if !errs.is_empty() {
         return Err(CompileError::Validation(errs));
     }
-    let mut cx = Cx::new(src, opts.clone());
-    cx.collect_load_set();
-    cx.build_slots_and_init_tables();
-    cx.transform_actions();
-    cx.transform_tables()?;
-    cx.gen_load_tables();
-    cx.transform_control_conditions()?;
-    cx.gen_measurements();
-    cx.assemble_control();
-    cx.finish()
-}
-
-struct Cx {
-    src: Program,
-    out: Program,
-    opts: CompilerOptions,
-    iface: ControlInterface,
-    /// Accumulating fields of `p4r_meta_t_`: (name, width, init).
-    meta_fields: Vec<(String, u16, Value)>,
-    /// Malleable fields requiring the load-value optimization.
-    load_set: BTreeSet<String>,
-    /// Generated applies to prepend to ingress.
-    pre_ingress: Vec<ControlStmt>,
-    /// Generated applies to append per pipeline.
-    post_ingress: Vec<ControlStmt>,
-    post_egress: Vec<ControlStmt>,
-    /// Map from user register name to its dup info (shared across
-    /// reactions).
-    dup_regs: BTreeMap<String, MeasuredRegister>,
-    /// Per-action specialization info (filled by `transform_actions`).
-    action_variants: BTreeMap<String, ActionVariants>,
-}
-
-impl Cx {
-    fn new(src: Program, opts: CompilerOptions) -> Self {
-        let out = src.clone();
-        Cx {
-            src,
-            out,
-            opts,
-            iface: ControlInterface::default(),
-            meta_fields: vec![
-                (VV.into(), 1, Value::new(1, 1)),
-                (MV.into(), 1, Value::zero(1)),
-            ],
-            load_set: BTreeSet::new(),
-            pre_ingress: Vec::new(),
-            post_ingress: Vec::new(),
-            post_egress: Vec::new(),
-            dup_regs: BTreeMap::new(),
-            action_variants: BTreeMap::new(),
-        }
-    }
-
-    fn is_mbl_value(&self, name: &str) -> bool {
-        self.src.mbl_value(name).is_some()
-    }
-
-    fn mbl_field(&self, name: &str) -> Option<&MblFieldDecl> {
-        self.src.mbl_field(name)
-    }
-
-    // -- step 1: which malleable fields need the load-value table -----------
-
-    fn collect_load_set(&mut self) {
-        for fl in &self.src.field_lists {
-            for e in &fl.entries {
-                if let FieldOrMbl::Mbl(name) = e {
-                    if self.mbl_field(name).is_some() {
-                        self.load_set.insert(name.clone());
-                    }
-                }
-            }
-        }
-        // Malleable fields used as reaction args also need their value
-        // materialized in metadata.
-        for r in &self.src.reactions {
-            for a in &r.args {
-                if let ReactionArg::Field {
-                    target: FieldOrMbl::Mbl(name),
-                    ..
-                } = a
-                {
-                    if self.mbl_field(name).is_some() {
-                        self.load_set.insert(name.clone());
-                    }
-                }
-            }
-        }
-    }
-
-    // -- step 2: slots, packing, init tables ---------------------------------
-
-    fn build_slots_and_init_tables(&mut self) {
-        // Slot list: values then field selectors, in declaration order.
-        struct SlotTmp {
-            name: String,
-            width: u16,
-            is_value: bool,
-        }
-        let mut slots: Vec<SlotTmp> = Vec::new();
-        for v in &self.src.mbl_values {
-            slots.push(SlotTmp {
-                name: v.name.clone(),
-                width: v.width,
-                is_value: true,
-            });
-        }
-        for f in &self.src.mbl_fields {
-            slots.push(SlotTmp {
-                name: f.name.clone(),
-                width: f.selector_bits(),
-                is_value: false,
-            });
-        }
-
-        // Reserve 2 bits in the master bin for vv and mv.
-        let cap = self.opts.max_init_action_bits.saturating_sub(2).max(8);
-        let sizes: Vec<u32> = slots.iter().map(|s| u32::from(s.width)).collect();
-        let (placement, nbins) = packing::sorted_first_fit(&sizes, cap);
-        let nbins = nbins.max(1);
-
-        // Per-bin slot lists ordered by packing offset.
-        let mut bins: Vec<Vec<usize>> = vec![Vec::new(); nbins];
-        for (i, (b, _)) in placement.iter().enumerate() {
-            bins[*b].push(i);
-        }
-        for b in &mut bins {
-            b.sort_by_key(|&i| placement[i].1);
-        }
-
-        // Generate an init table per bin.
-        for (bi, bin) in bins.iter().enumerate() {
-            let is_master = bi == 0;
-            let table_name = if is_master {
-                "p4r_init_".to_string()
-            } else {
-                format!("p4r_init{}_", bi + 1)
-            };
-            let action_name = if is_master {
-                "p4r_init_action_".to_string()
-            } else {
-                format!("p4r_init{}_action_", bi + 1)
-            };
-
-            let mut params: Vec<String> = Vec::new();
-            let mut param_widths: Vec<u16> = Vec::new();
-            let mut body: Vec<PrimitiveCall> = Vec::new();
-            let mut init_data: Vec<Value> = Vec::new();
-            if is_master {
-                for (p, w, init) in [(VV, 1u16, 1u128), (MV, 1u16, 0u128)] {
-                    params.push(p.into());
-                    param_widths.push(w);
-                    init_data.push(Value::new(init, w));
-                    body.push(PrimitiveCall::ModifyField {
-                        dst: FieldOrMbl::Field(meta_ref(p)),
-                        src: Operand::Param(p.into()),
-                    });
-                }
-            }
-            for &si in bin {
-                let s = &slots[si];
-                let (meta_field, init) = if s.is_value {
-                    let decl = self.src.mbl_value(&s.name).unwrap();
-                    (s.name.clone(), decl.init)
-                } else {
-                    let decl = self.src.mbl_field(&s.name).unwrap();
-                    let idx = decl.init_index().unwrap_or(0);
-                    (format!("{}_alt", s.name), Value::new(idx as u128, s.width))
-                };
-                self.meta_fields.push((meta_field.clone(), s.width, init));
-                let param = format!("{}_", meta_field);
-                params.push(param.clone());
-                param_widths.push(s.width);
-                init_data.push(init);
-                body.push(PrimitiveCall::ModifyField {
-                    dst: FieldOrMbl::Field(meta_ref(&meta_field)),
-                    src: Operand::Param(param),
-                });
-                let param_idx = params.len() - 1;
-                if s.is_value {
-                    let decl = self.src.mbl_value(&s.name).unwrap().clone();
-                    self.iface.values.push(ValueSlot {
-                        name: s.name.clone(),
-                        width: s.width,
-                        init: decl.init,
-                        init_table: bi,
-                        param_idx,
-                        meta_field,
-                    });
-                } else {
-                    let decl = self.src.mbl_field(&s.name).unwrap().clone();
-                    self.iface.fields.push(FieldSlot {
-                        name: s.name.clone(),
-                        width: decl.width,
-                        alts: decl.alts.clone(),
-                        selector_bits: s.width,
-                        init_index: decl.init_index().unwrap_or(0),
-                        init_table: bi,
-                        param_idx,
-                        selector_field: meta_field,
-                        load: None, // filled by gen_load_tables
-                    });
-                }
-            }
-
-            self.out.actions.push(ActionDecl {
-                name: action_name.clone(),
-                params,
-                body,
-            });
-            let reads = if is_master {
-                vec![]
-            } else {
-                vec![TableRead {
-                    target: FieldOrMbl::Field(meta_ref(VV)),
-                    kind: MatchKind::Exact,
-                    mask: None,
-                }]
-            };
-            // The master carries the configuration as its default action so
-            // the program is functional even before an agent attaches;
-            // non-master init tables hold vv=0/vv=1 entries installed by the
-            // agent prologue (until then the metadata initializers supply
-            // the declared init values).
-            let default_action = is_master.then(|| (action_name.clone(), init_data));
-            self.out.tables.push(TableDecl {
-                name: table_name.clone(),
-                reads,
-                actions: vec![action_name.clone()],
-                default_action,
-                size: Some(4),
-                malleable: false,
-            });
-            self.iface.init_tables.push(InitTable {
-                table: table_name,
-                action: action_name,
-                param_widths,
-                is_master,
-            });
-        }
-    }
-
-    // -- step 3: action transformation (Figs. 4-6) ---------------------------
-
-    /// Ordered malleable fields referenced in an action body.
-    fn action_mbl_fields(&self, a: &ActionDecl) -> Vec<String> {
-        let mut out: Vec<String> = Vec::new();
-        let mut push = |name: &str, cx: &Cx| {
-            if cx.mbl_field(name).is_some() && !out.iter().any(|n| n == name) {
-                out.push(name.to_string());
-            }
-        };
-        for call in &a.body {
-            for t in primitive_targets(call) {
-                if let FieldOrMbl::Mbl(n) = t {
-                    push(n, self);
-                }
-            }
-            for o in primitive_operands(call) {
-                if let Operand::Mbl(n) = o {
-                    push(n, self);
-                }
-            }
-        }
-        out
-    }
-
-    fn transform_actions(&mut self) {
-        let originals: Vec<ActionDecl> = self.src.actions.clone();
-        let mut new_actions: Vec<ActionDecl> = Vec::new();
-        let mut variants_by_action: BTreeMap<String, ActionVariants> = BTreeMap::new();
-
-        for a in &originals {
-            // First replace malleable-value reads with metadata refs.
-            let mut a2 = a.clone();
-            for call in &mut a2.body {
-                for o in primitive_operands_mut(call) {
-                    if let Operand::Mbl(n) = o {
-                        if self.is_mbl_value(n) {
-                            *o = Operand::Field(meta_ref(n));
-                        }
-                    }
-                }
-            }
-            let mbls = self.action_mbl_fields(&a2);
-            if mbls.is_empty() {
-                variants_by_action.insert(
-                    a2.name.clone(),
-                    ActionVariants {
-                        orig: a2.name.clone(),
-                        mbls: vec![],
-                        alt_counts: vec![],
-                        variants: vec![a2.name.clone()],
-                    },
-                );
-                new_actions.push(a2);
-                continue;
-            }
-            // Specialize: one variant per combination of alternatives.
-            let alt_counts: Vec<usize> = mbls
-                .iter()
-                .map(|m| self.mbl_field(m).unwrap().alts.len())
-                .collect();
-            let mut variants = Vec::new();
-            for assignment in assignments(&alt_counts) {
-                let mut v = a2.clone();
-                let mut name = a2.name.clone();
-                for (mi, &ai) in assignment.iter().enumerate() {
-                    let decl = self.mbl_field(&mbls[mi]).unwrap();
-                    let alt = decl.alts[ai].clone();
-                    name = format!("{name}_{}_{}", alt.instance, alt.field);
-                    substitute_mbl_field(&mut v.body, &mbls[mi], &alt);
-                }
-                name.push('_');
-                v.name = name.clone();
-                variants.push(name);
-                new_actions.push(v);
-            }
-            variants_by_action.insert(
-                a2.name.clone(),
-                ActionVariants {
-                    orig: a2.name.clone(),
-                    mbls,
-                    alt_counts,
-                    variants,
-                },
-            );
-        }
-
-        // Replace original user actions; keep generated (init) actions.
-        let generated: Vec<ActionDecl> = self
-            .out
-            .actions
-            .iter()
-            .filter(|a| self.src.action(&a.name).is_none())
-            .cloned()
-            .collect();
-        self.out.actions = new_actions;
-        self.out.actions.extend(generated);
-        // Stash variants for table transformation via iface-side lookup.
-        self.action_variants = variants_by_action;
-    }
-
-    // -- step 4: table transformation ----------------------------------------
-
-    fn transform_tables(&mut self) -> Result<(), CompileError> {
-        let user_tables: Vec<TableDecl> = self.src.tables.clone();
-        for t in &user_tables {
-            let mut reads: Vec<TableRead> = Vec::new();
-            let mut user_key: Vec<UserKey> = Vec::new();
-            // Malleable fields needing a selector column on this table.
-            let mut selector_mbls: Vec<String> = Vec::new();
-
-            for r in &t.reads {
-                match &r.target {
-                    FieldOrMbl::Field(fr) => {
-                        user_key.push(UserKey::Concrete {
-                            field: fr.clone(),
-                            kind: r.kind,
-                            width: self.src.field_width(fr).unwrap_or(0),
-                            phys_idx: reads.len(),
-                        });
-                        reads.push(r.clone());
-                    }
-                    FieldOrMbl::Mbl(name) if self.is_mbl_value(name) => {
-                        // Malleable value in a match: becomes a metadata
-                        // field match.
-                        let fr = meta_ref(name);
-                        user_key.push(UserKey::Concrete {
-                            field: fr.clone(),
-                            kind: r.kind,
-                            width: self.src.mbl_value(name).unwrap().width,
-                            phys_idx: reads.len(),
-                        });
-                        reads.push(TableRead {
-                            target: FieldOrMbl::Field(fr),
-                            kind: r.kind,
-                            mask: r.mask,
-                        });
-                    }
-                    FieldOrMbl::Mbl(name) => {
-                        // Fig. 6: |alts| ternary columns + selector.
-                        let decl = self.mbl_field(name).unwrap().clone();
-                        user_key.push(UserKey::MblField {
-                            mbl: name.clone(),
-                            width: decl.width,
-                            alt_count: decl.alts.len(),
-                            alt_phys_start: reads.len(),
-                        });
-                        for alt in &decl.alts {
-                            reads.push(TableRead {
-                                target: FieldOrMbl::Field(alt.clone()),
-                                kind: MatchKind::Ternary,
-                                mask: r.mask,
-                            });
-                        }
-                        if !selector_mbls.contains(name) {
-                            selector_mbls.push(name.clone());
-                        }
-                    }
-                }
-            }
-
-            // Selector columns for malleables used by this table's actions.
-            let mut action_variants: Vec<ActionVariants> = Vec::new();
-            for an in &t.actions {
-                let av = self
-                    .action_variants
-                    .get(an)
-                    .cloned()
-                    .unwrap_or_else(|| ActionVariants {
-                        orig: an.clone(),
-                        mbls: vec![],
-                        alt_counts: vec![],
-                        variants: vec![an.clone()],
-                    });
-                for m in &av.mbls {
-                    if !selector_mbls.contains(m) {
-                        selector_mbls.push(m.clone());
-                    }
-                }
-                action_variants.push(av);
-            }
-
-            let mut selector_cols = Vec::new();
-            for m in &selector_mbls {
-                selector_cols.push((m.clone(), reads.len()));
-                reads.push(TableRead {
-                    target: FieldOrMbl::Field(meta_ref(&format!("{m}_alt"))),
-                    kind: MatchKind::Exact,
-                    mask: None,
-                });
-            }
-
-            // vv column for malleable tables (§5.1.2).
-            let vv_col = if t.malleable {
-                let idx = reads.len();
-                reads.push(TableRead {
-                    target: FieldOrMbl::Field(meta_ref(VV)),
-                    kind: MatchKind::Exact,
-                    mask: None,
-                });
-                Some(idx)
-            } else {
-                None
-            };
-
-            // Default action must not require specialization.
-            if let Some((da, _)) = &t.default_action {
-                if let Some(av) = self.action_variants.get(da) {
-                    if !av.mbls.is_empty() {
-                        return Err(CompileError::DefaultActionUsesMblField {
-                            table: t.name.clone(),
-                            action: da.clone(),
-                        });
-                    }
-                }
-            }
-
-            // Physical action list: all variants.
-            let mut actions: Vec<String> = Vec::new();
-            for av in &action_variants {
-                actions.extend(av.variants.iter().cloned());
-            }
-
-            // Physical capacity: worst-case expansion × 2 for the shadow
-            // copy of malleable tables.
-            let expansion: u32 = selector_mbls
-                .iter()
-                .map(|m| self.mbl_field(m).unwrap().alts.len() as u32)
-                .product();
-            let user_size = t.size.unwrap_or(1024);
-            let phys_size = user_size
-                .saturating_mul(expansion.max(1))
-                .saturating_mul(if t.malleable { 2 } else { 1 });
-
-            let out_t = self.out.table_mut(&t.name).unwrap();
-            out_t.reads = reads.clone();
-            out_t.actions = actions;
-            out_t.size = Some(phys_size);
-            out_t.malleable = false; // lowered to plain P4
-
-            self.iface.tables.push(TableInfo {
-                name: t.name.clone(),
-                user_key,
-                selector_cols,
-                vv_col,
-                phys_cols: reads.len(),
-                actions: action_variants,
-                malleable: t.malleable,
-            });
-        }
-
-        // Non-master init tables are managed with the same vv mechanism:
-        // expose them as keyless malleable tables.
-        for (bi, it) in self.iface.init_tables.clone().iter().enumerate() {
-            if it.is_master {
-                continue;
-            }
-            let _ = bi;
-            self.iface.tables.push(TableInfo {
-                name: it.table.clone(),
-                user_key: vec![],
-                selector_cols: vec![],
-                vv_col: Some(0),
-                phys_cols: 1,
-                actions: vec![ActionVariants {
-                    orig: it.action.clone(),
-                    mbls: vec![],
-                    alt_counts: vec![],
-                    variants: vec![it.action.clone()],
-                }],
-                malleable: true,
-            });
-        }
-        Ok(())
-    }
-
-    // -- step 5: load-value tables (field_list optimization) -----------------
-
-    fn gen_load_tables(&mut self) {
-        for name in self.load_set.clone() {
-            let decl = self.mbl_field(&name).unwrap().clone();
-            let value_field = format!("{name}_val_");
-            self.meta_fields
-                .push((value_field.clone(), decl.width, Value::zero(decl.width)));
-
-            let mut load_actions = Vec::new();
-            for (i, alt) in decl.alts.iter().enumerate() {
-                let an = format!("p4r_load_{name}_{i}_");
-                self.out.actions.push(ActionDecl {
-                    name: an.clone(),
-                    params: vec![],
-                    body: vec![PrimitiveCall::ModifyField {
-                        dst: FieldOrMbl::Field(meta_ref(&value_field)),
-                        src: Operand::Field(alt.clone()),
-                    }],
-                });
-                load_actions.push(an);
-            }
-            let table = format!("p4r_load_{name}_");
-            self.out.tables.push(TableDecl {
-                name: table.clone(),
-                reads: vec![TableRead {
-                    target: FieldOrMbl::Field(meta_ref(&format!("{name}_alt"))),
-                    kind: MatchKind::Exact,
-                    mask: None,
-                }],
-                actions: load_actions.clone(),
-                default_action: None,
-                size: Some(decl.alts.len().max(1) as u32 * 2),
-                malleable: false,
-            });
-            for (i, an) in load_actions.iter().enumerate() {
-                self.iface.prologue_entries.push(PrologueEntry {
-                    table: table.clone(),
-                    selector: i as u64,
-                    action: an.clone(),
-                });
-            }
-            self.pre_ingress.push(ControlStmt::Apply(table.clone()));
-
-            // Replace ${name} in field lists with the value field.
-            for fl in &mut self.out.field_lists {
-                for e in &mut fl.entries {
-                    if matches!(e, FieldOrMbl::Mbl(n) if n == &name) {
-                        *e = FieldOrMbl::Field(meta_ref(&value_field));
-                    }
-                }
-            }
-            if let Some(slot) = self.iface.fields.iter_mut().find(|f| f.name == name) {
-                slot.load = Some(LoadInfo {
-                    table,
-                    value_field,
-                    actions: load_actions,
-                });
-            }
-        }
-        // Any remaining malleable *value* refs in field lists become
-        // metadata refs directly.
-        let value_names: BTreeSet<String> =
-            self.src.mbl_values.iter().map(|v| v.name.clone()).collect();
-        for fl in &mut self.out.field_lists {
-            for e in &mut fl.entries {
-                if let FieldOrMbl::Mbl(n) = e {
-                    if value_names.contains(n.as_str()) {
-                        *e = FieldOrMbl::Field(meta_ref(n));
-                    }
-                }
-            }
-        }
-    }
-
-    // -- step 5b: malleable refs in control-flow conditions -------------------
-
-    /// Replace `${...}` operands inside `if` conditions of the control
-    /// blocks: malleable values become their metadata field; malleable
-    /// fields use the load-value optimization (their loaded value field).
-    fn transform_control_conditions(&mut self) -> Result<(), CompileError> {
-        // Collect replacements first (immutable pass over src).
-        let value_names: BTreeSet<String> =
-            self.src.mbl_values.iter().map(|v| v.name.clone()).collect();
-        let field_names: BTreeSet<String> =
-            self.src.mbl_fields.iter().map(|f| f.name.clone()).collect();
-        // Any malleable field referenced in a condition must have a loaded
-        // value; require it to be in the load set (field_list/reaction use)
-        // — conditions alone do not trigger load-table generation, so we
-        // treat a non-loaded field here as an error the user can fix by
-        // also listing it in a field_list.
-        let load_set = self.load_set.clone();
-        fn walk(
-            stmts: &mut [ControlStmt],
-            f: &mut impl FnMut(&mut Operand) -> Result<(), CompileError>,
-        ) -> Result<(), CompileError> {
-            for s in stmts {
-                if let ControlStmt::If { cond, then_, else_ } = s {
-                    walk_bool(cond, f)?;
-                    walk(then_, f)?;
-                    walk(else_, f)?;
-                }
-            }
-            Ok(())
-        }
-        fn walk_bool(
-            e: &mut p4_ast::BoolExpr,
-            f: &mut impl FnMut(&mut Operand) -> Result<(), CompileError>,
-        ) -> Result<(), CompileError> {
-            match e {
-                p4_ast::BoolExpr::Cmp { lhs, rhs, .. } => {
-                    f(lhs)?;
-                    f(rhs)?;
-                }
-                p4_ast::BoolExpr::And(a, b) | p4_ast::BoolExpr::Or(a, b) => {
-                    walk_bool(a, f)?;
-                    walk_bool(b, f)?;
-                }
-                p4_ast::BoolExpr::Not(a) => walk_bool(a, f)?,
-                p4_ast::BoolExpr::Valid(_) => {}
-            }
-            Ok(())
-        }
-        let mut replace = |op: &mut Operand| -> Result<(), CompileError> {
-            if let Operand::Mbl(name) = op {
-                if value_names.contains(name.as_str()) {
-                    *op = Operand::Field(meta_ref(name));
-                } else if field_names.contains(name.as_str()) {
-                    if load_set.contains(name.as_str()) {
-                        *op = Operand::Field(meta_ref(&format!("{name}_val_")));
-                    } else {
-                        return Err(CompileError::Parse(format!(
-                            "malleable field `{name}` used in a control condition must \
-                             also appear in a field_list (load-value optimization)"
-                        )));
-                    }
-                }
-            }
-            Ok(())
-        };
-        let mut ingress = std::mem::take(&mut self.out.ingress);
-        let mut egress = std::mem::take(&mut self.out.egress);
-        walk(&mut ingress, &mut replace)?;
-        walk(&mut egress, &mut replace)?;
-        self.out.ingress = ingress.clone();
-        self.out.egress = egress.clone();
-        // `assemble_control` re-reads from src; keep src in sync.
-        self.src.ingress = ingress;
-        self.src.egress = egress;
-        Ok(())
-    }
-
-    // -- step 6: measurements (§4.2, §5.2) ------------------------------------
-
-    fn gen_measurements(&mut self) {
-        // Per-pipeline measured fields across all reactions (for the
-        // measurement tables).
-        let mut ing_writes: Vec<(String, FieldRef)> = Vec::new();
-        let mut egr_writes: Vec<(String, FieldRef)> = Vec::new();
-        // Masking instructions prepended to the measurement actions.
-        let mut mask_preludes: Vec<(Pipeline, PrimitiveCall)> = Vec::new();
-
-        for r in self.src.reactions.clone() {
-            let mut fields = Vec::new();
-            let mut registers = Vec::new();
-            let mut widths = Vec::new();
-            for arg in &r.args {
-                match arg {
-                    ReactionArg::Field {
-                        pipeline,
-                        target,
-                        mask,
-                    } => {
-                        let (binding, field, width) = match target {
-                            FieldOrMbl::Field(fr) => (
-                                format!("{}_{}", fr.instance, fr.field),
-                                fr.clone(),
-                                self.src.field_width(fr).unwrap_or(32),
-                            ),
-                            FieldOrMbl::Mbl(name) => {
-                                if self.is_mbl_value(name) {
-                                    (
-                                        name.clone(),
-                                        meta_ref(name),
-                                        self.src.mbl_value(name).unwrap().width,
-                                    )
-                                } else {
-                                    // Malleable field: measure its loaded
-                                    // value field.
-                                    let decl = self.mbl_field(name).unwrap();
-                                    (name.clone(), meta_ref(&format!("{name}_val_")), decl.width)
-                                }
-                            }
-                        };
-                        let reg = format!("p4r_meas_{}_{}_", r.name, binding);
-                        self.out.registers.push(RegisterDecl {
-                            name: reg.clone(),
-                            width,
-                            instance_count: 2,
-                            pipeline: *pipeline,
-                        });
-                        // Masked args (`ing f mask 0x..`): stage the masked
-                        // value into generated metadata and measure that.
-                        let measured_field = match mask {
-                            None => field.clone(),
-                            Some(m) => {
-                                let mfld = format!("{}_mskd_", binding);
-                                self.meta_fields
-                                    .push((mfld.clone(), width, Value::zero(width)));
-                                let masked_ref = meta_ref(&mfld);
-                                let write = PrimitiveCall::BitAnd {
-                                    dst: FieldOrMbl::Field(masked_ref.clone()),
-                                    a: Operand::Field(field.clone()),
-                                    b: Operand::Const(m.resize(width)),
-                                };
-                                mask_preludes.push((*pipeline, write));
-                                masked_ref
-                            }
-                        };
-                        match pipeline {
-                            Pipeline::Ingress => {
-                                ing_writes.push((reg.clone(), measured_field.clone()))
-                            }
-                            Pipeline::Egress => {
-                                egr_writes.push((reg.clone(), measured_field.clone()))
-                            }
-                        }
-                        widths.push(width);
-                        fields.push(MeasuredField {
-                            binding,
-                            field,
-                            width,
-                            pipeline: *pipeline,
-                            register: reg,
-                        });
-                    }
-                    ReactionArg::Register { register, lo, hi } => {
-                        let info = self.ensure_dup_register(register);
-                        registers.push(MeasuredRegister {
-                            binding: register.clone(),
-                            lo: *lo,
-                            hi: *hi,
-                            ..info
-                        });
-                    }
-                    ReactionArg::Header { pipeline, instance } => {
-                        // Fig. 3's `header_ref`: measure every field of the
-                        // instance, bound as `<instance>_<field>`.
-                        let inst = self.src.instance(instance).expect("validated instance");
-                        let ht = self
-                            .src
-                            .header_type(&inst.header_type)
-                            .expect("validated header type")
-                            .clone();
-                        for (fname, width) in &ht.fields {
-                            let field = FieldRef::new(instance.clone(), fname.clone());
-                            let binding = format!("{instance}_{fname}");
-                            let reg = format!("p4r_meas_{}_{}_", r.name, binding);
-                            self.out.registers.push(RegisterDecl {
-                                name: reg.clone(),
-                                width: *width,
-                                instance_count: 2,
-                                pipeline: *pipeline,
-                            });
-                            match pipeline {
-                                Pipeline::Ingress => ing_writes.push((reg.clone(), field.clone())),
-                                Pipeline::Egress => egr_writes.push((reg.clone(), field.clone())),
-                            }
-                            widths.push(*width);
-                            fields.push(MeasuredField {
-                                binding,
-                                field,
-                                width: *width,
-                                pipeline: *pipeline,
-                                register: reg,
-                            });
-                        }
-                    }
-                }
-            }
-            let packed_words = packing::packed_word_count(&widths, self.opts.measurement_word_bits);
-            self.iface.reactions.push(ReactionBinding {
-                name: r.name.clone(),
-                fields,
-                registers,
-                packed_words,
-                body_src: r.body_src.clone(),
-            });
-        }
-
-        // Measurement tables: one per pipeline with measured fields.
-        for (pipeline, writes) in [
-            (Pipeline::Ingress, ing_writes),
-            (Pipeline::Egress, egr_writes),
-        ] {
-            if writes.is_empty() {
-                continue;
-            }
-            let suffix = match pipeline {
-                Pipeline::Ingress => "ing",
-                Pipeline::Egress => "egr",
-            };
-            let action_name = format!("p4r_measure_{suffix}_action_");
-            let mut body: Vec<PrimitiveCall> = mask_preludes
-                .iter()
-                .filter(|(p, _)| *p == pipeline)
-                .map(|(_, c)| c.clone())
-                .collect();
-            body.extend(
-                writes
-                    .iter()
-                    .map(|(reg, field)| PrimitiveCall::RegisterWrite {
-                        register: reg.clone(),
-                        index: Operand::Field(meta_ref(MV)),
-                        value: Operand::Field(field.clone()),
-                    }),
-            );
-            self.out.actions.push(ActionDecl {
-                name: action_name.clone(),
-                params: vec![],
-                body,
-            });
-            let table_name = format!("p4r_measure_{suffix}_");
-            self.out.tables.push(TableDecl {
-                name: table_name.clone(),
-                reads: vec![],
-                actions: vec![action_name.clone()],
-                default_action: Some((action_name, vec![])),
-                size: Some(1),
-                malleable: false,
-            });
-            match pipeline {
-                Pipeline::Ingress => self.post_ingress.push(ControlStmt::Apply(table_name)),
-                Pipeline::Egress => self.post_egress.push(ControlStmt::Apply(table_name)),
-            }
-        }
-    }
-
-    /// Generate (once) the double-buffered duplicate + write counter for a
-    /// measured user register, and rewrite every action writing it (§5.2).
-    fn ensure_dup_register(&mut self, reg: &str) -> MeasuredRegister {
-        if let Some(info) = self.dup_regs.get(reg) {
-            return info.clone();
-        }
-        let decl = self.src.register(reg).unwrap().clone();
-
-        // Registers never written by the data plane (e.g. the traffic
-        // manager's queue-depth mirror) have nothing to double-buffer: the
-        // agent polls them directly.
-        let written = self.out.actions.iter().any(|a| {
-            a.body.iter().any(|c| match c {
-                PrimitiveCall::RegisterWrite { register, .. } => register == reg,
-                PrimitiveCall::Count { counter, .. } => counter == reg,
-                _ => false,
-            })
-        });
-        if !written {
-            let info = MeasuredRegister {
-                binding: reg.to_string(),
-                register: reg.to_string(),
-                lo: 0,
-                hi: decl.instance_count.saturating_sub(1),
-                width: decl.width,
-                dup_register: reg.to_string(),
-                ts_register: String::new(),
-                stride_log2: 0,
-                original_elided: false,
-                external: true,
-            };
-            self.dup_regs.insert(reg.to_string(), info.clone());
-            return info;
-        }
-
-        let stride_log2 = ceil_log2(decl.instance_count.max(1));
-        let dup_count = 2u32 << stride_log2;
-        let dup = format!("p4r_dup_{reg}_");
-        let ts = format!("p4r_ts_{reg}_");
-        self.out.registers.push(RegisterDecl {
-            name: dup.clone(),
-            width: decl.width,
-            instance_count: dup_count,
-            pipeline: decl.pipeline,
-        });
-        self.out.registers.push(RegisterDecl {
-            name: ts.clone(),
-            width: 32,
-            instance_count: dup_count,
-            pipeline: decl.pipeline,
-        });
-
-        // Scratch metadata fields.
-        let idx_field = format!("{reg}_didx_");
-        let val_field = format!("{reg}_dval_");
-        let tsc_field = format!("{reg}_tsc_");
-        self.meta_fields
-            .push((idx_field.clone(), 32, Value::zero(32)));
-        self.meta_fields
-            .push((val_field.clone(), decl.width, Value::zero(decl.width)));
-        self.meta_fields
-            .push((tsc_field.clone(), 32, Value::zero(32)));
-
-        // Analyze usage: reads or `count` on the register anywhere?
-        let mut has_read = false;
-        let mut has_count = false;
-        for a in &self.out.actions {
-            for c in &a.body {
-                match c {
-                    PrimitiveCall::RegisterRead { register, .. } if register == reg => {
-                        has_read = true
-                    }
-                    PrimitiveCall::Count { counter, .. } if counter == reg => has_count = true,
-                    _ => {}
-                }
-            }
-        }
-        let original_elided = !has_read && !has_count;
-
-        // Rewrite every action that writes the register.
-        for a in &mut self.out.actions {
-            let mut new_body: Vec<PrimitiveCall> = Vec::new();
-            for call in a.body.drain(..) {
-                match &call {
-                    PrimitiveCall::RegisterWrite {
-                        register,
-                        index,
-                        value,
-                    } if register == reg => {
-                        let index = index.clone();
-                        let value = value.clone();
-                        if !original_elided {
-                            new_body.push(call.clone());
-                        }
-                        // didx = (mv << stride) | index
-                        mirror_index(&mut new_body, &idx_field, &index, stride_log2);
-                        new_body.push(PrimitiveCall::RegisterWrite {
-                            register: dup.clone(),
-                            index: Operand::Field(meta_ref(&idx_field)),
-                            value,
-                        });
-                        bump_ts(&mut new_body, &ts, &idx_field, &tsc_field);
-                    }
-                    PrimitiveCall::Count { counter, index } if counter == reg => {
-                        let index = index.clone();
-                        new_body.push(call.clone());
-                        // Read back the counter value to mirror it.
-                        new_body.push(PrimitiveCall::RegisterRead {
-                            dst: FieldOrMbl::Field(meta_ref(&val_field)),
-                            register: reg.to_string(),
-                            index: index.clone(),
-                        });
-                        mirror_index(&mut new_body, &idx_field, &index, stride_log2);
-                        new_body.push(PrimitiveCall::RegisterWrite {
-                            register: dup.clone(),
-                            index: Operand::Field(meta_ref(&idx_field)),
-                            value: Operand::Field(meta_ref(&val_field)),
-                        });
-                        bump_ts(&mut new_body, &ts, &idx_field, &tsc_field);
-                    }
-                    _ => new_body.push(call),
-                }
-            }
-            a.body = new_body;
-        }
-        if original_elided {
-            self.out.registers.retain(|r2| r2.name != reg);
-        }
-
-        let info = MeasuredRegister {
-            binding: reg.to_string(),
-            register: reg.to_string(),
-            lo: 0,
-            hi: decl.instance_count.saturating_sub(1),
-            width: decl.width,
-            dup_register: dup,
-            ts_register: ts,
-            stride_log2,
-            original_elided,
-            external: false,
-        };
-        self.dup_regs.insert(reg.to_string(), info.clone());
-        info
-    }
-
-    // -- step 7: final assembly ----------------------------------------------
-
-    fn assemble_control(&mut self) {
-        let mut ingress: Vec<ControlStmt> = Vec::new();
-        for it in &self.iface.init_tables {
-            ingress.push(ControlStmt::Apply(it.table.clone()));
-        }
-        ingress.extend(self.pre_ingress.clone());
-        ingress.extend(self.src.ingress.clone());
-        ingress.extend(self.post_ingress.clone());
-        self.out.ingress = ingress;
-
-        let mut egress = self.src.egress.clone();
-        egress.extend(self.post_egress.clone());
-        self.out.egress = egress;
-    }
-
-    fn finish(mut self) -> Result<Compiled, CompileError> {
-        // Emit the P4R metadata header.
-        self.out.header_types.push(HeaderTypeDecl {
-            name: META_TYPE.into(),
-            fields: self
-                .meta_fields
-                .iter()
-                .map(|(n, w, _)| (n.clone(), *w))
-                .collect(),
-        });
-        self.out.instances.push(InstanceDecl {
-            header_type: META_TYPE.into(),
-            name: META.into(),
-            is_metadata: true,
-            initializers: self
-                .meta_fields
-                .iter()
-                .map(|(n, _, init)| (n.clone(), *init))
-                .collect(),
-        });
-
-        // Strip P4R constructs.
-        self.out.mbl_values.clear();
-        self.out.mbl_fields.clear();
-        self.out.reactions.clear();
-
-        let errs = p4_ast::validate::validate(&self.out);
-        if !errs.is_empty() {
-            return Err(CompileError::GeneratedProgramInvalid(errs));
-        }
-        Ok(Compiled {
-            p4: self.out,
-            iface: self.iface,
-        })
-    }
-}
-
-fn meta_ref(field: &str) -> FieldRef {
-    FieldRef::new(META, field)
-}
-
-/// didx = (mv << stride_log2) | index
-fn mirror_index(body: &mut Vec<PrimitiveCall>, idx_field: &str, index: &Operand, stride_log2: u32) {
-    body.push(PrimitiveCall::ModifyField {
-        dst: FieldOrMbl::Field(meta_ref(idx_field)),
-        src: Operand::Field(meta_ref(MV)),
-    });
-    body.push(PrimitiveCall::ShiftLeft {
-        dst: FieldOrMbl::Field(meta_ref(idx_field)),
-        a: Operand::Field(meta_ref(idx_field)),
-        amount: Operand::Const(Value::new(u128::from(stride_log2), 32)),
-    });
-    body.push(PrimitiveCall::BitOr {
-        dst: FieldOrMbl::Field(meta_ref(idx_field)),
-        a: Operand::Field(meta_ref(idx_field)),
-        b: index.clone(),
-    });
-}
-
-/// ts[didx] += 1
-fn bump_ts(body: &mut Vec<PrimitiveCall>, ts_reg: &str, idx_field: &str, tsc_field: &str) {
-    body.push(PrimitiveCall::RegisterRead {
-        dst: FieldOrMbl::Field(meta_ref(tsc_field)),
-        register: ts_reg.to_string(),
-        index: Operand::Field(meta_ref(idx_field)),
-    });
-    body.push(PrimitiveCall::AddToField {
-        dst: FieldOrMbl::Field(meta_ref(tsc_field)),
-        v: Operand::Const(Value::new(1, 32)),
-    });
-    body.push(PrimitiveCall::RegisterWrite {
-        register: ts_reg.to_string(),
-        index: Operand::Field(meta_ref(idx_field)),
-        value: Operand::Field(meta_ref(tsc_field)),
-    });
-}
-
-fn ceil_log2(n: u32) -> u32 {
-    let mut b = 0;
-    while (1u32 << b) < n {
-        b += 1;
-    }
-    b
-}
-
-/// Enumerate mixed-radix assignments, first position varying slowest.
-pub fn assignments(counts: &[usize]) -> Vec<Vec<usize>> {
-    let total: usize = counts.iter().product();
-    let mut out = Vec::with_capacity(total);
-    if counts.is_empty() {
-        out.push(vec![]);
-        return out;
-    }
-    let mut cur = vec![0usize; counts.len()];
-    loop {
-        out.push(cur.clone());
-        // increment from the last position
-        let mut i = counts.len();
-        loop {
-            if i == 0 {
-                return out;
-            }
-            i -= 1;
-            cur[i] += 1;
-            if cur[i] < counts[i] {
-                break;
-            }
-            cur[i] = 0;
-        }
-    }
-}
-
-/// Destination targets of a primitive call.
-fn primitive_targets(call: &PrimitiveCall) -> Vec<&FieldOrMbl> {
-    use PrimitiveCall::*;
-    match call {
-        ModifyField { dst, .. }
-        | Add { dst, .. }
-        | AddToField { dst, .. }
-        | Subtract { dst, .. }
-        | SubtractFromField { dst, .. }
-        | BitAnd { dst, .. }
-        | BitOr { dst, .. }
-        | BitXor { dst, .. }
-        | ShiftLeft { dst, .. }
-        | ShiftRight { dst, .. }
-        | RegisterRead { dst, .. }
-        | ModifyFieldWithHash { dst, .. } => vec![dst],
-        _ => vec![],
-    }
-}
-
-/// Operand references of a primitive call.
-fn primitive_operands(call: &PrimitiveCall) -> Vec<&Operand> {
-    use PrimitiveCall::*;
-    match call {
-        ModifyField { src, .. } => vec![src],
-        Add { a, b, .. }
-        | Subtract { a, b, .. }
-        | BitAnd { a, b, .. }
-        | BitOr { a, b, .. }
-        | BitXor { a, b, .. } => vec![a, b],
-        ShiftLeft { a, amount, .. } | ShiftRight { a, amount, .. } => vec![a, amount],
-        AddToField { v, .. } | SubtractFromField { v, .. } => vec![v],
-        RegisterWrite { index, value, .. } => vec![index, value],
-        RegisterRead { index, .. } | Count { index, .. } => vec![index],
-        ModifyFieldWithHash { base, size, .. } => vec![base, size],
-        Drop | NoOp => vec![],
-    }
-}
-
-fn primitive_operands_mut(call: &mut PrimitiveCall) -> Vec<&mut Operand> {
-    use PrimitiveCall::*;
-    match call {
-        ModifyField { src, .. } => vec![src],
-        Add { a, b, .. }
-        | Subtract { a, b, .. }
-        | BitAnd { a, b, .. }
-        | BitOr { a, b, .. }
-        | BitXor { a, b, .. } => vec![a, b],
-        ShiftLeft { a, amount, .. } | ShiftRight { a, amount, .. } => vec![a, amount],
-        AddToField { v, .. } | SubtractFromField { v, .. } => vec![v],
-        RegisterWrite { index, value, .. } => vec![index, value],
-        RegisterRead { index, .. } | Count { index, .. } => vec![index],
-        ModifyFieldWithHash { base, size, .. } => vec![base, size],
-        Drop | NoOp => vec![],
-    }
-}
-
-/// Replace `${mbl}` references in an action body with a concrete field.
-fn substitute_mbl_field(body: &mut [PrimitiveCall], mbl: &str, alt: &FieldRef) {
-    for call in body.iter_mut() {
-        for t in primitive_targets_mut(call) {
-            if matches!(t, FieldOrMbl::Mbl(n) if n == mbl) {
-                *t = FieldOrMbl::Field(alt.clone());
-            }
-        }
-        for o in primitive_operands_mut(call) {
-            if matches!(o, Operand::Mbl(n) if n == mbl) {
-                *o = Operand::Field(alt.clone());
-            }
-        }
-    }
-}
-
-fn primitive_targets_mut(call: &mut PrimitiveCall) -> Vec<&mut FieldOrMbl> {
-    use PrimitiveCall::*;
-    match call {
-        ModifyField { dst, .. }
-        | Add { dst, .. }
-        | AddToField { dst, .. }
-        | Subtract { dst, .. }
-        | SubtractFromField { dst, .. }
-        | BitAnd { dst, .. }
-        | BitOr { dst, .. }
-        | BitXor { dst, .. }
-        | ShiftLeft { dst, .. }
-        | ShiftRight { dst, .. }
-        | RegisterRead { dst, .. }
-        | ModifyFieldWithHash { dst, .. } => vec![dst],
-        _ => vec![],
-    }
+    let ir = ir::build(&src).map_err(CompileError::Diagnostics)?;
+    lower::lower(src, ir, opts)
 }
 
 #[cfg(test)]

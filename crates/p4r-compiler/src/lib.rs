@@ -25,7 +25,10 @@
 
 pub mod compiler;
 pub mod entry;
+pub mod generate;
 pub mod iface;
+pub mod ir;
+pub(crate) mod lower;
 pub mod packing;
 pub mod resources;
 

@@ -170,7 +170,7 @@ type PResult<T> = Result<T, ParseError>;
 /// Parse a reaction body (the text between the braces of a `reaction`).
 pub fn parse_body(src: &str) -> PResult<Body> {
     let toks = lex(src)?;
-    let mut p = CParser { toks, pos: 0 };
+    let mut p = CParser { src, pos: 0, toks };
     let mut stmts = Vec::new();
     while p.peek().is_some() {
         stmts.push(p.stmt()?);
@@ -178,12 +178,13 @@ pub fn parse_body(src: &str) -> PResult<Body> {
     Ok(Body { stmts })
 }
 
-struct CParser {
+struct CParser<'s> {
+    src: &'s str,
     toks: Vec<Spanned>,
     pos: usize,
 }
 
-impl CParser {
+impl CParser<'_> {
     fn peek(&self) -> Option<&Tok> {
         self.toks.get(self.pos).map(|s| &s.tok)
     }
@@ -200,11 +201,16 @@ impl CParser {
             .unwrap_or(1)
     }
 
+    fn col(&self) -> u32 {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|s| s.col)
+            .unwrap_or(1)
+    }
+
     fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
-        Err(ParseError {
-            message: msg.into(),
-            line: self.line(),
-        })
+        Err(ParseError::at(self.src, msg, self.line(), self.col()))
     }
 
     fn eat(&mut self, t: &Tok) -> bool {

@@ -126,6 +126,25 @@ pub struct Spanned {
     pub span: Range<usize>,
     /// 1-based line number of the token start.
     pub line: u32,
+    /// 1-based byte column of the token start within its line.
+    pub col: u32,
+}
+
+/// Render a two-line caret snippet pointing at `line`/`col` (both 1-based,
+/// `col` in bytes) of `src`. Used by lex, parse, and typecheck diagnostics.
+pub fn caret_snippet(src: &str, line: u32, col: u32) -> String {
+    let text = src
+        .lines()
+        .nth((line.max(1) - 1) as usize)
+        .unwrap_or_default();
+    let caret_at = (col.max(1) as usize - 1).min(text.len());
+    // Expand tabs so the caret lines up regardless of terminal tab stops.
+    let expand = |s: &str| s.replace('\t', " ");
+    format!(
+        "{line:>4} | {}\n     | {}^",
+        expand(text),
+        " ".repeat(expand(&text[..caret_at]).len())
+    )
 }
 
 /// A lexer error with position information.
@@ -133,11 +152,23 @@ pub struct Spanned {
 pub struct LexError {
     pub message: String,
     pub line: u32,
+    /// 1-based byte column of the offending position.
+    pub col: u32,
+    /// Rendered caret snippet (empty when no source context is available).
+    pub snippet: String,
 }
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "lex error at line {}, col {}: {}",
+            self.line, self.col, self.message
+        )?;
+        if !self.snippet.is_empty() {
+            write!(f, "\n{}", self.snippet)?;
+        }
+        Ok(())
     }
 }
 
@@ -150,13 +181,30 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
     let mut toks = Vec::new();
     let mut i = 0usize;
     let mut line = 1u32;
+    let mut line_start = 0usize;
 
+    macro_rules! col_at {
+        ($pos:expr) => {
+            ($pos - line_start + 1) as u32
+        };
+    }
     macro_rules! push {
         ($tok:expr, $start:expr, $len:expr) => {
             toks.push(Spanned {
                 tok: $tok,
                 span: $start..$start + $len,
                 line,
+                col: col_at!($start),
+            })
+        };
+    }
+    macro_rules! err_at {
+        ($msg:expr, $line:expr, $pos:expr, $lstart:expr) => {
+            return Err(LexError {
+                message: $msg,
+                line: $line,
+                col: ($pos - $lstart + 1) as u32,
+                snippet: caret_snippet(src, $line, ($pos - $lstart + 1) as u32),
             })
         };
     }
@@ -167,6 +215,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             b'\n' => {
                 line += 1;
                 i += 1;
+                line_start = i;
             }
             b' ' | b'\t' | b'\r' => i += 1,
             b'/' if bytes.get(i + 1) == Some(&b'/') => {
@@ -176,16 +225,21 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             b'/' if bytes.get(i + 1) == Some(&b'*') => {
                 let start_line = line;
+                let start_pos = i;
+                let start_lstart = line_start;
                 i += 2;
                 loop {
                     if i + 1 >= bytes.len() {
-                        return Err(LexError {
-                            message: "unterminated block comment".into(),
-                            line: start_line,
-                        });
+                        err_at!(
+                            "unterminated block comment".into(),
+                            start_line,
+                            start_pos,
+                            start_lstart
+                        );
                     }
                     if bytes[i] == b'\n' {
                         line += 1;
+                        line_start = i + 1;
                     }
                     if bytes[i] == b'*' && bytes[i + 1] == b'/' {
                         i += 2;
@@ -194,9 +248,42 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     i += 1;
                 }
             }
+            b'"' => {
+                // P4R has no string literals; scan the would-be literal so we
+                // can report a precise error instead of a cascade of
+                // "unexpected character" failures (or, for an unterminated
+                // one, an error at end of input).
+                let start = i;
+                let (start_line, start_lstart) = (line, line_start);
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None | Some(b'\n') => {
+                            err_at!(
+                                "unterminated string literal".into(),
+                                start_line,
+                                start,
+                                start_lstart
+                            );
+                        }
+                        Some(b'\\') if i + 1 < bytes.len() && bytes[i + 1] != b'\n' => i += 2,
+                        Some(b'"') => break,
+                        Some(_) => i += 1,
+                    }
+                }
+                err_at!(
+                    "string literals are not supported in P4R".into(),
+                    start_line,
+                    start,
+                    start_lstart
+                );
+            }
             b'0'..=b'9' => {
                 let start = i;
-                let (value, len) = lex_number(&src[i..], line)?;
+                let (value, len) = match lex_number(&src[i..]) {
+                    Ok(v) => v,
+                    Err(message) => err_at!(message, line, i, line_start),
+                };
                 i += len;
                 push!(Tok::Number(value), start, len);
             }
@@ -266,13 +353,12 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                             b'=' => (Tok::Eq, 1),
                             b'?' => (Tok::Question, 1),
                             other => {
-                                return Err(LexError {
-                                    message: format!(
-                                        "unexpected character `{}`",
-                                        char::from(other)
-                                    ),
+                                err_at!(
+                                    format!("unexpected character `{}`", char::from(other)),
                                     line,
-                                })
+                                    i,
+                                    line_start
+                                );
                             }
                         },
                     },
@@ -287,43 +373,41 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
 
 /// Lex a decimal or `0x` hexadecimal number prefix of `src`. Also accepts a
 /// P4-14 width-prefixed literal like `8w255` (the width prefix is ignored:
-/// widths are recovered from context during parsing).
-fn lex_number(src: &str, line: u32) -> Result<(u128, usize), LexError> {
+/// widths are recovered from context during parsing). Iterative on purpose:
+/// width prefixes can chain (`1w2w3` lexes like its recursive ancestor did),
+/// and a pathological `1w1w1w…` input must not overflow the stack.
+fn lex_number(src: &str) -> Result<(u128, usize), String> {
     let bytes = src.as_bytes();
-    let mut i = 0usize;
-    // Width-prefixed form: digits 'w' digits.
-    // First scan the leading decimal run.
-    while i < bytes.len() && bytes[i].is_ascii_digit() {
-        i += 1;
-    }
-    if i + 1 < bytes.len() && bytes[i] == b'w' && bytes[i + 1].is_ascii_digit() {
-        // width prefix — skip it and lex the payload.
-        let (v, len) = lex_number(&src[i + 1..], line)?;
-        return Ok((v, i + 1 + len));
-    }
-    if bytes.first() == Some(&b'0') && bytes.get(1).map(|b| b | 32) == Some(b'x') {
-        let start = 2;
-        let mut j = start;
-        while j < bytes.len() && bytes[j].is_ascii_hexdigit() {
-            j += 1;
+    let mut base = 0usize;
+    loop {
+        // Scan the decimal run starting at `base`.
+        let mut i = base;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
         }
-        if j == start {
-            return Err(LexError {
-                message: "`0x` with no hex digits".into(),
-                line,
-            });
+        if i + 1 < bytes.len() && bytes[i] == b'w' && bytes[i + 1].is_ascii_digit() {
+            // Width prefix — skip it; the payload starts after the `w`.
+            base = i + 1;
+            continue;
         }
-        let v = u128::from_str_radix(&src[start..j], 16).map_err(|_| LexError {
-            message: "hex literal too large for 128 bits".into(),
-            line,
-        })?;
-        return Ok((v, j));
+        if bytes.get(base) == Some(&b'0') && bytes.get(base + 1).map(|b| b | 32) == Some(b'x') {
+            let start = base + 2;
+            let mut j = start;
+            while j < bytes.len() && bytes[j].is_ascii_hexdigit() {
+                j += 1;
+            }
+            if j == start {
+                return Err("`0x` with no hex digits".into());
+            }
+            let v = u128::from_str_radix(&src[start..j], 16)
+                .map_err(|_| "hex literal too large for 128 bits".to_string())?;
+            return Ok((v, j));
+        }
+        let v: u128 = src[base..i]
+            .parse()
+            .map_err(|_| "decimal literal too large for 128 bits".to_string())?;
+        return Ok((v, i));
     }
-    let v: u128 = src[..i].parse().map_err(|_| LexError {
-        message: "decimal literal too large for 128 bits".into(),
-        line,
-    })?;
-    Ok((v, i))
 }
 
 #[cfg(test)]
@@ -431,6 +515,66 @@ mod tests {
     #[test]
     fn rejects_bare_hex_prefix() {
         assert!(lex("0x").is_err());
+    }
+
+    #[test]
+    fn tracks_columns() {
+        let spanned = lex("ab cd\n  ef").unwrap();
+        let cols: Vec<u32> = spanned.iter().map(|s| s.col).collect();
+        assert_eq!(cols, vec![1, 4, 3]);
+    }
+
+    #[test]
+    fn errors_carry_col_and_snippet() {
+        let e = lex("a b\ncd @").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.col, 4);
+        assert!(e.snippet.contains("cd @"), "snippet: {}", e.snippet);
+        assert!(e.snippet.lines().nth(1).unwrap().ends_with('^'));
+    }
+
+    #[test]
+    fn unterminated_string_literal_errors() {
+        let e = lex("x = \"never ends").unwrap_err();
+        assert!(e.message.contains("unterminated string"), "{}", e.message);
+        assert_eq!(e.col, 5);
+        // A newline terminates the scan too — strings cannot span lines.
+        let e = lex("\"ab\ncd\"").unwrap_err();
+        assert!(e.message.contains("unterminated string"), "{}", e.message);
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn terminated_string_literal_rejected_cleanly() {
+        let e = lex("x = \"hi \\\" there\"").unwrap_err();
+        assert!(e.message.contains("not supported"), "{}", e.message);
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn overflowing_literals_error_instead_of_panicking() {
+        assert!(lex("340282366920938463463374607431768211456").is_err()); // u128::MAX + 1
+        assert!(lex("0x100000000000000000000000000000000").is_err());
+        let e = lex("999999999999999999999999999999999999999999").unwrap_err();
+        assert!(e.message.contains("too large"), "{}", e.message);
+    }
+
+    #[test]
+    fn deep_width_prefix_chain_does_not_overflow_stack() {
+        // The recursive ancestor of lex_number blew the stack on this input.
+        let src = "1w".repeat(100_000) + "7";
+        let toks = lex(&src).unwrap();
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].tok, Tok::Number(7));
+    }
+
+    #[test]
+    fn caret_snippet_handles_tabs_and_bad_positions() {
+        let s = caret_snippet("\tlet x = 1;", 1, 2);
+        assert!(s.lines().nth(1).unwrap().ends_with('^'));
+        // Out-of-range line/col clamp instead of panicking.
+        let s = caret_snippet("one line", 99, 99);
+        assert!(s.ends_with('^'));
     }
 
     #[test]

@@ -6,30 +6,60 @@
 //! brace matching) into [`ReactionDecl::body_src`], and `creact` parses them
 //! separately.
 
-use crate::lexer::{lex, LexError, Spanned, Tok};
+use crate::lexer::{caret_snippet, lex, LexError, Spanned, Tok};
 use p4_ast::*;
 use std::fmt;
 
-/// A parse error with a line number.
+/// A parse error with line/col position and a rendered caret snippet.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
     pub message: String,
     pub line: u32,
+    /// 1-based byte column of the offending token (0 when unknown).
+    pub col: u32,
+    /// Rendered caret snippet (empty when no source context is available).
+    pub snippet: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.message)
+        write!(f, "parse error at line {}", self.line)?;
+        if self.col > 0 {
+            write!(f, ", col {}", self.col)?;
+        }
+        write!(f, ": {}", self.message)?;
+        if !self.snippet.is_empty() {
+            write!(f, "\n{}", self.snippet)?;
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for ParseError {}
+
+impl ParseError {
+    /// Build an error pointing at `line`/`col` of `src`, rendering a snippet.
+    pub fn at(src: &str, message: impl Into<String>, line: u32, col: u32) -> Self {
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+            snippet: if col > 0 {
+                caret_snippet(src, line, col)
+            } else {
+                String::new()
+            },
+        }
+    }
+}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
         ParseError {
             message: e.message,
             line: e.line,
+            col: e.col,
+            snippet: e.snippet,
         }
     }
 }
@@ -86,11 +116,16 @@ impl<'s> Parser<'s> {
             .unwrap_or(1)
     }
 
+    fn col(&self) -> u32 {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|s| s.col)
+            .unwrap_or(1)
+    }
+
     fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
-        Err(ParseError {
-            message: msg.into(),
-            line: self.line(),
-        })
+        Err(ParseError::at(self.src, msg, self.line(), self.col()))
     }
 
     fn bump(&mut self) -> Option<Spanned> {
@@ -383,9 +418,13 @@ impl<'s> Parser<'s> {
             }
             self.expect(&Tok::Semi)?;
         }
-        let width = width.ok_or_else(|| ParseError {
-            message: format!("register `{name}` missing width"),
-            line: self.line(),
+        let width = width.ok_or_else(|| {
+            ParseError::at(
+                self.src,
+                format!("register `{name}` missing width"),
+                self.line(),
+                self.col(),
+            )
         })?;
         let instance_count = count.unwrap_or(1);
         self.prog.registers.push(RegisterDecl {
@@ -485,9 +524,13 @@ impl<'s> Parser<'s> {
                 _ => return self.err("expected `input`, `algorithm`, or `output_width`"),
             }
         }
-        let input = input.ok_or_else(|| ParseError {
-            message: format!("field_list_calculation `{name}` missing input"),
-            line: self.line(),
+        let input = input.ok_or_else(|| {
+            ParseError::at(
+                self.src,
+                format!("field_list_calculation `{name}` missing input"),
+                self.line(),
+                self.col(),
+            )
         })?;
         self.prog.calculations.push(FieldListCalcDecl {
             name,
@@ -710,9 +753,13 @@ impl<'s> Parser<'s> {
                     }
                     self.expect(&Tok::Semi)?;
                 }
-                let width = width.ok_or_else(|| ParseError {
-                    message: format!("malleable value `{name}` missing width"),
-                    line: self.line(),
+                let width = width.ok_or_else(|| {
+                    ParseError::at(
+                        self.src,
+                        format!("malleable value `{name}` missing width"),
+                        self.line(),
+                        self.col(),
+                    )
                 })?;
                 let init = Value::new(init.unwrap_or(0), width);
                 self.prog
@@ -757,13 +804,21 @@ impl<'s> Parser<'s> {
                         _ => return self.err("expected `width`, `init`, or `alts`"),
                     }
                 }
-                let width = width.ok_or_else(|| ParseError {
-                    message: format!("malleable field `{name}` missing width"),
-                    line: self.line(),
+                let width = width.ok_or_else(|| {
+                    ParseError::at(
+                        self.src,
+                        format!("malleable field `{name}` missing width"),
+                        self.line(),
+                        self.col(),
+                    )
                 })?;
-                let init = init.ok_or_else(|| ParseError {
-                    message: format!("malleable field `{name}` missing init"),
-                    line: self.line(),
+                let init = init.ok_or_else(|| {
+                    ParseError::at(
+                        self.src,
+                        format!("malleable field `{name}` missing init"),
+                        self.line(),
+                        self.col(),
+                    )
                 })?;
                 self.prog.mbl_fields.push(MblFieldDecl {
                     name,

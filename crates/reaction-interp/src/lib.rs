@@ -19,8 +19,10 @@ use p4r_lang::creact::{BinOp, Body, CType, Declarator, Expr, LValue, Stmt, UnOp}
 use std::collections::HashMap;
 use std::fmt;
 
+pub mod slots;
 pub mod vm;
 
+pub use slots::ReactionSlots;
 pub use vm::{CompileError, CompiledReaction};
 
 /// Errors surfaced to the agent.

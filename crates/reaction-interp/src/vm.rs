@@ -25,6 +25,7 @@
 //! are rejected with [`CompileError::Unsupported`]; callers fall back to
 //! the tree-walker for those.
 
+use crate::slots::ReactionSlots;
 use crate::{apply_binop, coerce, InterpError, ReactionEnv};
 use p4r_lang::creact::{BinOp, Body, CType, Declarator, Expr, LValue, Stmt, UnOp};
 use std::collections::{HashMap, HashSet};
@@ -267,9 +268,17 @@ pub struct CompiledReaction {
 }
 
 impl CompiledReaction {
-    /// Compile a parsed body.
+    /// Compile a parsed body, collecting static slots along the way.
     pub fn compile(body: &Body) -> Result<Self, CompileError> {
-        let program = Compiler::compile(body)?;
+        let slots =
+            ReactionSlots::collect(body).map_err(|e| CompileError::TooLarge(e.to_string()))?;
+        Self::compile_with_slots(body, &slots)
+    }
+
+    /// Compile against pre-resolved static slots (shared with the IR layer,
+    /// so the VM and every other consumer agree on slot assignment).
+    pub fn compile_with_slots(body: &Body, slots: &ReactionSlots) -> Result<Self, CompileError> {
+        let program = Compiler::compile(body, slots)?;
         let statics = vec![StaticCell::Uninit; program.n_static_slots];
         let locals = vec![0; program.n_scalar_slots];
         let local_arrays = vec![Vec::new(); program.n_array_slots];
@@ -796,21 +805,21 @@ struct Compiler {
 }
 
 impl Compiler {
-    fn compile(body: &Body) -> Result<Program, CompileError> {
+    /// Compile against the shared, pre-resolved static slot map. Every
+    /// static declaration anywhere in the body already has a slot, so any
+    /// reference can check liveness at run time.
+    fn compile(body: &Body, slots: &ReactionSlots) -> Result<Program, CompileError> {
         let mut c = Compiler {
             ops: Vec::new(),
             names: Vec::new(),
             name_ids: HashMap::new(),
             scopes: vec![HashMap::new()],
-            static_slots: HashMap::new(),
+            static_slots: slots.iter().map(|(n, s)| (n.to_string(), s)).collect(),
             n_scalar_slots: 0,
             n_array_slots: 0,
             loops: Vec::new(),
             end_sites: Vec::new(),
         };
-        // Pre-assign a slot to every static declaration anywhere in the
-        // body, so any reference can check liveness at run time.
-        c.collect_statics(&body.stmts)?;
         for s in &body.stmts {
             c.stmt(s)?;
         }
@@ -826,50 +835,6 @@ impl Compiler {
             n_array_slots: usize::from(c.n_array_slots),
             n_static_slots: c.static_slots.len(),
         })
-    }
-
-    fn collect_statics(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
-        for s in stmts {
-            self.collect_statics_stmt(s)?;
-        }
-        Ok(())
-    }
-
-    fn collect_statics_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
-        match s {
-            Stmt::Decl {
-                is_static, decls, ..
-            } => {
-                if *is_static {
-                    for d in decls {
-                        let next = self.static_slots.len();
-                        if next >= usize::from(u16::MAX) {
-                            return Err(CompileError::TooLarge("too many statics".into()));
-                        }
-                        self.static_slots
-                            .entry(d.name.clone())
-                            .or_insert(next as u16);
-                    }
-                }
-                Ok(())
-            }
-            Stmt::Block(inner) => self.collect_statics(inner),
-            Stmt::If { then_, else_, .. } => {
-                self.collect_statics_stmt(then_)?;
-                if let Some(e) = else_ {
-                    self.collect_statics_stmt(e)?;
-                }
-                Ok(())
-            }
-            Stmt::While { body, .. } => self.collect_statics_stmt(body),
-            Stmt::For { init, body, .. } => {
-                if let Some(i) = init {
-                    self.collect_statics_stmt(i)?;
-                }
-                self.collect_statics_stmt(body)
-            }
-            _ => Ok(()),
-        }
     }
 
     fn intern(&mut self, name: &str) -> Result<u16, CompileError> {

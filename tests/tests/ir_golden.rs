@@ -1,0 +1,67 @@
+//! IR golden snapshots: compiling each of the four paper use-case
+//! programs must produce a byte-identical typed-IR debug dump. The dump
+//! (`P4rIr::dump()`) pins malleable descriptors, table/action shapes, and
+//! per-reaction arg/slot resolution — any unintended pipeline change shows
+//! up as a diff here before it shows up as a behavioral bug.
+//!
+//! Regenerate after an intentional IR change with:
+//!
+//! ```sh
+//! UPDATE_IR_GOLDEN=1 cargo test -p integration-tests --test ir_golden
+//! ```
+
+use mantis::apps::programs::{DOS_P4R, ECMP_P4R, FAILOVER_P4R, RL_P4R};
+use mantis::{compile_source, CompilerOptions};
+use std::path::Path;
+
+fn check(app: &str, src: &str) {
+    let compiled = compile_source(src, &CompilerOptions::default())
+        .unwrap_or_else(|e| panic!("{app}: compile failed: {e}"));
+    let dump = compiled.ir.dump();
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("tests/golden/ir_{app}.txt"));
+    if std::env::var_os("UPDATE_IR_GOLDEN").is_some() {
+        std::fs::write(&path, &dump).expect("write IR golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "{app}: missing IR golden {}; regenerate with \
+             UPDATE_IR_GOLDEN=1 cargo test -p integration-tests --test ir_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        dump, want,
+        "{app}: IR dump changed; if intentional regenerate with UPDATE_IR_GOLDEN=1"
+    );
+}
+
+#[test]
+fn dos_ir_is_stable() {
+    check("dos", DOS_P4R);
+}
+
+#[test]
+fn failover_ir_is_stable() {
+    check("failover", FAILOVER_P4R);
+}
+
+#[test]
+fn ecmp_ir_is_stable() {
+    check("ecmp", ECMP_P4R);
+}
+
+#[test]
+fn rl_ir_is_stable() {
+    check("rl", RL_P4R);
+}
+
+/// The dump itself is deterministic (stable ordering everywhere).
+#[test]
+fn ir_dump_is_deterministic() {
+    for src in [DOS_P4R, FAILOVER_P4R, ECMP_P4R, RL_P4R] {
+        let a = compile_source(src, &CompilerOptions::default()).unwrap();
+        let b = compile_source(src, &CompilerOptions::default()).unwrap();
+        assert_eq!(a.ir.dump(), b.ir.dump());
+    }
+}
